@@ -1,0 +1,23 @@
+//! Criterion bench of the crash-consistent key-value structures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nearpm_core::{NearPmSystem, SystemConfig};
+use nearpm_kv::{PersistentHashMap, VALUE_SIZE};
+use nearpm_pmdk::ObjPool;
+
+fn bench_kv(c: &mut Criterion) {
+    c.bench_function("hashmap_put_32", |b| {
+        b.iter(|| {
+            let mut sys = NearPmSystem::new(SystemConfig::nearpm_md().with_capacity(32 << 20));
+            let mut pool = ObjPool::create(&mut sys, "kv", 16 << 20).unwrap();
+            let mut map = PersistentHashMap::create(&mut sys, &mut pool, 128).unwrap();
+            for k in 0..32u64 {
+                map.put(&mut sys, &mut pool, k, &[k as u8; VALUE_SIZE]).unwrap();
+            }
+            sys.report().makespan
+        })
+    });
+}
+
+criterion_group!(benches, bench_kv);
+criterion_main!(benches);

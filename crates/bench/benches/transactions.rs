@@ -1,0 +1,23 @@
+//! Criterion bench of whole transactions across mechanisms and modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nearpm_bench::run_one;
+use nearpm_cc::Mechanism;
+use nearpm_core::ExecMode;
+use nearpm_workloads::Workload;
+
+fn bench_txn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transactions");
+    group.sample_size(10);
+    for mode in [ExecMode::CpuBaseline, ExecMode::NearPmMd] {
+        group.bench_with_input(
+            BenchmarkId::new("tpcc_logging", format!("{mode:?}")),
+            &mode,
+            |b, &mode| b.iter(|| run_one(Workload::Tpcc, Mechanism::Logging, mode, 16, 1).makespan),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_txn);
+criterion_main!(benches);

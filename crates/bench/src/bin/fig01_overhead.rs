@@ -1,0 +1,40 @@
+//! Figure 1: crash-consistency overhead and its breakdown on the CPU baseline.
+//!
+//! Paper reference: CC overhead 37.7 % (logging), 48.6 % (checkpointing),
+//! 67.2 % (shadow paging); data movement is 68.9 % / 60.4 % / 70.5 % of it.
+
+use nearpm_bench::{header, mechanisms, run_one, workloads, DEFAULT_OPS};
+use nearpm_core::ExecMode;
+
+fn main() {
+    header(
+        "Figure 1a: crash-consistency overhead (CPU baseline)",
+        &["mechanism", "cc_share_%", "paper_%"],
+    );
+    let paper = [37.7, 48.6, 67.2];
+    let paper_dm = [68.9, 60.4, 70.5];
+    for (i, m) in mechanisms().into_iter().enumerate() {
+        let mut cc = Vec::new();
+        let mut dm = Vec::new();
+        for w in workloads() {
+            let r = run_one(w, m, ExecMode::CpuBaseline, DEFAULT_OPS, 1);
+            cc.push(r.cc_fraction() * 100.0);
+            let cc_total: f64 = r
+                .region_time
+                .iter()
+                .filter(|(k, _)| **k != "application" && **k != "app-persist")
+                .map(|(_, v)| v.as_ns())
+                .sum();
+            let data = r.region_time["data-movement"].as_ns();
+            dm.push(if cc_total > 0.0 { data / cc_total * 100.0 } else { 0.0 });
+        }
+        let avg_cc = cc.iter().sum::<f64>() / cc.len() as f64;
+        println!("{}\t{:.1}\t{:.1}", m.label(), avg_cc, paper[i]);
+        header(
+            &format!("Figure 1b-d breakdown: {}", m.label()),
+            &["component", "share_%", "paper_data_movement_%"],
+        );
+        let avg_dm = dm.iter().sum::<f64>() / dm.len() as f64;
+        println!("data-movement\t{:.1}\t{:.1}", avg_dm, paper_dm[i]);
+    }
+}

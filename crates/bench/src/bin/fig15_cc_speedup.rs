@@ -1,0 +1,27 @@
+//! Figure 15: speedup inside the crash-consistency code regions
+//! (NearPM MD over the CPU baseline).
+//!
+//! Paper reference: average 6.9x (logging), 4.3x (checkpointing),
+//! 9.8x (shadow paging); TATP logging is the outlier at ~1.23x.
+
+use nearpm_bench::{gmean, header, mechanisms, run_one, workloads, DEFAULT_OPS};
+use nearpm_core::ExecMode;
+
+fn main() {
+    let paper_avg = [6.9, 4.3, 9.8];
+    for (i, m) in mechanisms().into_iter().enumerate() {
+        header(
+            &format!("Figure 15: CC-region speedup, {}", m.label()),
+            &["workload", "speedup_x"],
+        );
+        let mut speedups = Vec::new();
+        for w in workloads() {
+            let base = run_one(w, m, ExecMode::CpuBaseline, DEFAULT_OPS, 1);
+            let md = run_one(w, m, ExecMode::NearPmMd, DEFAULT_OPS, 1);
+            let s = md.cc_speedup_over(&base);
+            println!("{}\t{:.2}", w.name(), s);
+            speedups.push(s);
+        }
+        println!("average\t{:.2}\t(paper: {:.1})", gmean(&speedups), paper_avg[i]);
+    }
+}

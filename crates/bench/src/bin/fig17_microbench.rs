@@ -1,0 +1,22 @@
+//! Figure 17: data-movement microbenchmark — NearPM copy speedup over a
+//! CPU copy as the transfer size grows from 64 B to 16 kB.
+//!
+//! Paper reference: 1.13x at 64 B up to 5.57x at 16 kB.
+
+use nearpm_bench::header;
+use nearpm_sim::LatencyModel;
+
+fn main() {
+    let model = LatencyModel::default();
+    header(
+        "Figure 17: copy microbenchmark",
+        &["size_bytes", "cpu_ns", "nearpm_ns", "speedup_x"],
+    );
+    for shift in [6u32, 8, 10, 12, 14] {
+        let bytes = 1u64 << shift;
+        let cpu = model.cpu_pm_copy(bytes).as_ns();
+        let ndp = (model.cmd_issue() + model.ndp_dispatch() + model.ndp_copy(bytes)).as_ns();
+        println!("{}\t{:.0}\t{:.0}\t{:.2}", bytes, cpu, ndp, cpu / ndp);
+    }
+    println!("(paper: 1.13x @ 64 B ... 5.57x @ 16 kB)");
+}

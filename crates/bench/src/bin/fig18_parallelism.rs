@@ -1,0 +1,25 @@
+//! Figure 18: fraction of execution during which the CPU and NearPM devices
+//! run in parallel (NearPM MD).
+//!
+//! Paper reference: 20.0 % (logging), 17.3 % (checkpointing),
+//! 24.7 % (shadow paging) on average.
+
+use nearpm_bench::{header, mechanisms, run_one, workloads, DEFAULT_OPS};
+use nearpm_core::ExecMode;
+
+fn main() {
+    let paper = [20.01, 17.25, 24.68];
+    header(
+        "Figure 18: CPU-NearPM parallel execution fraction",
+        &["mechanism", "parallel_%", "paper_%"],
+    );
+    for (i, m) in mechanisms().into_iter().enumerate() {
+        let mut fractions = Vec::new();
+        for w in workloads() {
+            let r = run_one(w, m, ExecMode::NearPmMd, DEFAULT_OPS, 1);
+            fractions.push(r.overlap_fraction * 100.0);
+        }
+        let avg = fractions.iter().sum::<f64>() / fractions.len() as f64;
+        println!("{}\t{:.1}\t{:.1}", m.label(), avg, paper[i]);
+    }
+}

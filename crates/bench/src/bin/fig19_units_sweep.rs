@@ -1,0 +1,25 @@
+//! Figure 19: end-to-end speedup as the number of NearPM units per device
+//! varies (1, 2, 4).
+//!
+//! Paper reference: speedup increases with more units.
+
+use nearpm_bench::{gmean, header, run_custom, run_one, workloads, DEFAULT_OPS};
+use nearpm_cc::Mechanism;
+use nearpm_core::ExecMode;
+
+fn main() {
+    header(
+        "Figure 19: sensitivity to NearPM unit count (logging, NearPM MD)",
+        &["units", "avg_speedup_x"],
+    );
+    for units in [1usize, 2, 4] {
+        let mut speedups = Vec::new();
+        for w in workloads() {
+            let base = run_one(w, Mechanism::Logging, ExecMode::CpuBaseline, DEFAULT_OPS, 1);
+            let r = run_custom(w, Mechanism::Logging, ExecMode::NearPmMd, DEFAULT_OPS, 1, units, 1);
+            speedups.push(r.speedup_over(&base));
+        }
+        println!("{}\t{:.3}", units, gmean(&speedups));
+    }
+    println!("(paper: average speedup grows monotonically from 1 to 4 units)");
+}

@@ -1,0 +1,30 @@
+//! Figure 20: multithreaded throughput of memcached and redis (NearPM MD)
+//! normalized to an equal-thread CPU baseline, 1-16 threads.
+//!
+//! Paper reference: NearPM stays above 1.0x but its advantage shrinks as the
+//! thread count grows because the prototype has only four units per device.
+
+use nearpm_bench::{header, run_custom};
+use nearpm_cc::Mechanism;
+use nearpm_core::ExecMode;
+use nearpm_workloads::Workload;
+
+fn main() {
+    for m in [Mechanism::Logging, Mechanism::Checkpointing, Mechanism::ShadowPaging] {
+        header(
+            &format!("Figure 20: multithreaded throughput, {}", m.label()),
+            &["workload", "threads", "norm_throughput_x"],
+        );
+        for w in [Workload::Memcached, Workload::Redis] {
+            for threads in [1usize, 2, 4, 8, 16] {
+                let ops = 24 * threads;
+                let base = run_custom(w, m, ExecMode::CpuBaseline, ops, threads, 4, 1);
+                let md = run_custom(w, m, ExecMode::NearPmMd, ops, threads, 4, 1);
+                // Equal work, so normalized throughput = inverse runtime ratio.
+                let norm = base.makespan.as_ns() / md.makespan.as_ns();
+                println!("{}\t{}\t{:.3}", w.name(), threads, norm);
+            }
+        }
+    }
+    println!("(paper: above 1.0x, decreasing with thread count)");
+}

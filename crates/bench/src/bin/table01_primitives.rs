@@ -1,0 +1,26 @@
+//! Table 1 / Table 2: crash-consistency mechanisms, their common primitive
+//! operations, and the NearPM software interface that covers them.
+
+use nearpm_bench::header;
+
+fn main() {
+    header(
+        "Table 1: evaluated crash-consistency mechanisms",
+        &["mechanism", "common operations"],
+    );
+    println!("Logging (undo)\tallocate, generate metadata, copy data, delete log, commit");
+    println!("Logging (redo)\tallocate, generate metadata, copy data, delete log, commit");
+    println!("Checkpointing\tallocate, generate metadata, copy data");
+    println!("Shadow paging\tallocate, copy data, switch page");
+
+    header(
+        "Table 2: NearPM software interface",
+        &["primitive", "rust API"],
+    );
+    println!("NearPM_undolg_create\tNearPmOp::UndoLogCreate / UndoLog::log_range");
+    println!("NearPM_applylog\tNearPmOp::ApplyRedoLog / RedoLog::commit");
+    println!("NearPM_commit_log\tNearPmOp::CommitLog / UndoLog::commit");
+    println!("NearPM_ckpoint_create\tNearPmOp::CheckpointCreate / Checkpoint::touch");
+    println!("NearPM_shadowcpy\tNearPmOp::ShadowCopy / ShadowPaging::update");
+    println!("NearPM_init_device\tNearPmSystem::new + create_pool");
+}

@@ -1,0 +1,69 @@
+//! # nearpm-bench — figure and table regeneration harness
+//!
+//! One binary per figure/table of the paper's evaluation (Section 8). Each
+//! binary drives the workloads in `nearpm-workloads` under the relevant
+//! configurations and prints the same rows/series the paper reports, plus the
+//! paper's reference numbers for comparison. Absolute values differ (the
+//! substrate is a simulator, not the authors' FPGA testbed), but the shape —
+//! who wins, by roughly what factor — is the reproduction target.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nearpm_cc::Mechanism;
+use nearpm_core::{ExecMode, RunReport};
+use nearpm_sim::stats::geomean;
+use nearpm_workloads::{RunOptions, Runner, Workload};
+
+/// Default number of operations per workload run (kept modest so every figure
+/// regenerates in seconds; increase for tighter statistics).
+pub const DEFAULT_OPS: usize = 48;
+
+/// Runs one workload/mechanism/mode combination.
+pub fn run_one(w: Workload, m: Mechanism, mode: ExecMode, ops: usize, seed: u64) -> RunReport {
+    Runner::new(w, RunOptions::new(mode, m, ops).with_seed(seed))
+        .run()
+        .expect("workload run failed")
+}
+
+/// Runs one combination with explicit thread / unit counts.
+pub fn run_custom(
+    w: Workload,
+    m: Mechanism,
+    mode: ExecMode,
+    ops: usize,
+    threads: usize,
+    units: usize,
+    seed: u64,
+) -> RunReport {
+    Runner::new(
+        w,
+        RunOptions::new(mode, m, ops)
+            .with_threads(threads)
+            .with_units(units)
+            .with_seed(seed),
+    )
+    .run()
+    .expect("workload run failed")
+}
+
+/// Pretty-prints a table header.
+pub fn header(title: &str, columns: &[&str]) {
+    println!("\n== {title} ==");
+    println!("{}", columns.join("\t"));
+}
+
+/// Geometric mean helper re-exported for the binaries.
+pub fn gmean(values: &[f64]) -> f64 {
+    geomean(values.iter().copied())
+}
+
+/// All (mechanism, per-mechanism paper averages) used in several figures.
+pub fn mechanisms() -> [Mechanism; 3] {
+    Mechanism::all()
+}
+
+/// All workloads in figure order.
+pub fn workloads() -> [Workload; 9] {
+    Workload::all()
+}

@@ -1,0 +1,481 @@
+//! Page-granular crash-consistency mechanisms: checkpointing and shadow
+//! paging.
+//!
+//! Both operate at 4 kB page granularity, as in the paper's evaluation:
+//!
+//! * **Checkpointing** keeps a snapshot of each page taken before its first
+//!   update in the current epoch; recovery restores the snapshots of the
+//!   epoch that was in progress when the failure hit.
+//! * **Shadow paging** redirects updates to a freshly copied shadow page and
+//!   atomically switches a page-table entry at commit; recovery needs no data
+//!   movement because the page table always references a complete page.
+
+use std::collections::HashMap;
+
+use nearpm_core::{
+    ExecMode, NearPmOp, NearPmSystem, OffloadHandle, PoolId, Region, Result, VirtAddr,
+};
+use nearpm_device::{EntryState, LogEntryHeader};
+use nearpm_sim::PM_PAGE;
+
+use crate::arena::{LogArena, LogSlot};
+
+/// Checkpointing mechanism (4 kB pages, epoch-based).
+#[derive(Debug)]
+pub struct Checkpoint {
+    pool: PoolId,
+    thread: usize,
+    arena: LogArena,
+    epoch: u64,
+    /// Pages checkpointed in the current epoch: page base → slot.
+    snapshots: HashMap<u64, (LogSlot, Option<OffloadHandle>)>,
+    epochs_completed: u64,
+}
+
+impl Checkpoint {
+    /// Creates a checkpointing manager.
+    pub fn new(
+        sys: &mut NearPmSystem,
+        pool: PoolId,
+        thread: usize,
+        pages_per_device: usize,
+    ) -> Result<Self> {
+        Ok(Checkpoint {
+            pool,
+            thread,
+            arena: LogArena::new(sys, pool, pages_per_device)?,
+            epoch: 0,
+            snapshots: HashMap::new(),
+            epochs_completed: 0,
+        })
+    }
+
+    /// Current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of completed epochs.
+    pub fn epochs_completed(&self) -> u64 {
+        self.epochs_completed
+    }
+
+    fn page_base(addr: VirtAddr) -> VirtAddr {
+        VirtAddr(addr.raw() & !(PM_PAGE - 1))
+    }
+
+    /// Must be called before updating any byte of the page containing `addr`:
+    /// on the first touch in an epoch the page is snapshotted
+    /// (`NearPM_ckpoint_create` or a CPU copy preceded by fault handling).
+    pub fn touch(&mut self, sys: &mut NearPmSystem, addr: VirtAddr) -> Result<()> {
+        let page = Self::page_base(addr);
+        if self.snapshots.contains_key(&page.raw()) {
+            return Ok(());
+        }
+        // The write-protection fault that detects the first touch is handled
+        // on the CPU in both configurations.
+        let latency = sys.latency().clone();
+        sys.cpu_overhead(
+            self.thread,
+            "page-fault",
+            latency.cpu_page_fault_ns,
+            Region::CcPageFault,
+        )?;
+        let device = sys.device_of(page)?;
+        let slot = self.arena.acquire(device)?;
+        let handle = if sys.mode().uses_ndp() {
+            Some(sys.offload(
+                self.thread,
+                self.pool,
+                NearPmOp::CheckpointCreate {
+                    src: page,
+                    len: PM_PAGE,
+                    ckpt_meta: slot.meta,
+                    ckpt_data: slot.data,
+                    epoch: self.epoch,
+                },
+                &[],
+            )?)
+        } else {
+            let header = LogEntryHeader::active(page, PM_PAGE, self.epoch);
+            sys.cpu_write(self.thread, slot.meta, &header.encode(), Region::CcMetadata)?;
+            sys.cpu_persist(self.thread, slot.meta, 64, Region::CcMetadata)?;
+            sys.cpu_copy(self.thread, page, slot.data, PM_PAGE, Region::CcDataMovement)?;
+            None
+        };
+        self.snapshots.insert(page.raw(), (slot, handle));
+        Ok(())
+    }
+
+    /// Application update of checkpointed data.
+    pub fn update(&mut self, sys: &mut NearPmSystem, addr: VirtAddr, data: &[u8]) -> Result<()> {
+        debug_assert!(
+            self.snapshots.contains_key(&Self::page_base(addr).raw()),
+            "update of a page that was not checkpointed this epoch"
+        );
+        sys.cpu_write_persist(self.thread, addr, data, Region::AppPersist)?;
+        Ok(())
+    }
+
+    /// Ends the current epoch: the snapshots become obsolete and their slots
+    /// are recycled. Mode-specific synchronization mirrors the logging paths.
+    pub fn advance_epoch(&mut self, sys: &mut NearPmSystem) -> Result<()> {
+        let handles: Vec<OffloadHandle> = self
+            .snapshots
+            .values()
+            .filter_map(|(_, h)| h.clone())
+            .collect();
+        let refs: Vec<&OffloadHandle> = handles.iter().collect();
+        match sys.mode() {
+            ExecMode::CpuBaseline | ExecMode::NearPmSd => {}
+            ExecMode::NearPmMdSync => {
+                if !refs.is_empty() {
+                    sys.sw_sync(self.thread, &refs)?;
+                }
+            }
+            ExecMode::NearPmMd => {
+                if !refs.is_empty() {
+                    sys.delayed_sync(&refs)?;
+                }
+            }
+        }
+        sys.release(&refs);
+        for (_page, (slot, _h)) in self.snapshots.drain() {
+            self.arena.release(slot);
+        }
+        self.epoch += 1;
+        self.epochs_completed += 1;
+        Ok(())
+    }
+
+    /// Recovery: restores every page snapshotted in the interrupted epoch.
+    /// Returns the number of pages restored.
+    pub fn recover(&mut self, sys: &mut NearPmSystem) -> Result<usize> {
+        sys.begin_recovery();
+        let mut restored = 0;
+        for (meta, data, _dev) in self.arena.scan_list().to_vec() {
+            let header_bytes = sys.persistent_read(meta, 64)?;
+            if let Some(header) = LogEntryHeader::decode(&header_bytes) {
+                if header.state == EntryState::Active && header.txn_id == self.epoch {
+                    let snapshot = sys.persistent_read(data, header.len as usize)?;
+                    sys.cpu_read(self.thread, data, header.len as usize, Region::CcDataMovement)?;
+                    sys.cpu_write_persist(self.thread, header.target, &snapshot, Region::CcDataMovement)?;
+                    restored += 1;
+                }
+            }
+        }
+        for (_page, (slot, _h)) in self.snapshots.drain() {
+            self.arena.release(slot);
+        }
+        sys.finish_recovery();
+        Ok(restored)
+    }
+}
+
+/// Shadow-paging mechanism: a persistent page table redirects reads to the
+/// current version of each logical page; updates build a shadow copy and
+/// switch the table entry atomically.
+#[derive(Debug)]
+pub struct ShadowPaging {
+    pool: PoolId,
+    thread: usize,
+    arena: LogArena,
+    /// Persistent page-table base: `pages` entries of 8 bytes each.
+    table: VirtAddr,
+    /// Cached copy of the table (the persistent copy is authoritative).
+    entries: Vec<VirtAddr>,
+    switches: u64,
+}
+
+impl ShadowPaging {
+    /// Creates a shadow-paging manager over `pages` logical pages, allocating
+    /// the initial pages and the persistent page table from the pool.
+    pub fn new(
+        sys: &mut NearPmSystem,
+        pool: PoolId,
+        thread: usize,
+        pages: usize,
+        spare_pages_per_device: usize,
+    ) -> Result<Self> {
+        let table = sys.alloc(pool, (pages as u64) * 8, 64)?;
+        let mut entries = Vec::with_capacity(pages);
+        for i in 0..pages {
+            let page = sys.alloc(pool, PM_PAGE, PM_PAGE)?;
+            entries.push(page);
+            sys.cpu_write_persist(
+                thread,
+                table.offset(i as u64 * 8),
+                &page.raw().to_le_bytes(),
+                Region::AppPersist,
+            )?;
+        }
+        Ok(ShadowPaging {
+            pool,
+            thread,
+            arena: LogArena::new(sys, pool, spare_pages_per_device)?,
+            table,
+            entries,
+            switches: 0,
+        })
+    }
+
+    /// Number of logical pages.
+    pub fn page_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of page switches committed.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Current physical location of logical page `idx` (from the persistent
+    /// table, so recovery tests can verify the mapping survived).
+    pub fn page_addr(&mut self, sys: &mut NearPmSystem, idx: usize) -> Result<VirtAddr> {
+        let bytes = sys.persistent_read(self.table.offset(idx as u64 * 8), 8)?;
+        Ok(VirtAddr(u64::from_le_bytes(bytes.try_into().expect("8 bytes"))))
+    }
+
+    /// Reads `len` bytes at `offset` inside logical page `idx`.
+    pub fn read(
+        &mut self,
+        sys: &mut NearPmSystem,
+        idx: usize,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>> {
+        let page = self.entries[idx];
+        sys.cpu_read(self.thread, page.offset(offset), len, Region::Application)
+    }
+
+    /// Updates `data` at `offset` inside logical page `idx` crash-consistently:
+    /// shadow-copy the page, apply the update to the shadow, persist it, and
+    /// switch the page-table entry.
+    pub fn update(
+        &mut self,
+        sys: &mut NearPmSystem,
+        idx: usize,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<()> {
+        assert!(offset + data.len() as u64 <= PM_PAGE, "update crosses page boundary");
+        let old_page = self.entries[idx];
+        let device = sys.device_of(old_page)?;
+        let slot = self.arena.acquire(device)?;
+        let shadow = slot.data;
+
+        // 1. Copy the existing page to the shadow (NearPM_shadowcpy or CPU,
+        //    with the fault-handling overhead the paper attributes to shadow
+        //    paging on the CPU side).
+        let latency = sys.latency().clone();
+        sys.cpu_overhead(
+            self.thread,
+            "page-fault",
+            latency.cpu_page_fault_ns,
+            Region::CcPageFault,
+        )?;
+        let handle = if sys.mode().uses_ndp() {
+            Some(sys.offload(
+                self.thread,
+                self.pool,
+                NearPmOp::ShadowCopy {
+                    src: old_page,
+                    dst: shadow,
+                    len: PM_PAGE,
+                },
+                &[],
+            )?)
+        } else {
+            sys.cpu_copy(self.thread, old_page, shadow, PM_PAGE, Region::CcDataMovement)?;
+            None
+        };
+
+        // 2. Write the new value into the shadow page and persist it. The
+        //    conflict with the in-flight shadow copy orders this correctly.
+        sys.cpu_write_persist(self.thread, shadow.offset(offset), data, Region::AppPersist)?;
+
+        // 3. Mode-specific synchronization before the page switch.
+        if let Some(h) = &handle {
+            match sys.mode() {
+                ExecMode::NearPmMdSync => {
+                    sys.sw_sync(self.thread, &[h])?;
+                }
+                ExecMode::NearPmMd => {
+                    sys.delayed_sync(&[h])?;
+                }
+                _ => {}
+            }
+        }
+
+        // 4. Switch the page-table entry (8-byte atomic persist).
+        sys.cpu_write_persist(
+            self.thread,
+            self.table.offset(idx as u64 * 8),
+            &shadow.raw().to_le_bytes(),
+            Region::CcCommit,
+        )?;
+
+        if let Some(h) = &handle {
+            sys.release(&[h]);
+        }
+        // The old page becomes the spare for the next update of this slot.
+        self.arena.release(LogSlot {
+            meta: slot.meta,
+            data: old_page,
+            device: slot.device,
+        });
+        self.entries[idx] = shadow;
+        self.switches += 1;
+        Ok(())
+    }
+
+    /// Recovery: re-reads the persistent page table; every entry references a
+    /// complete page by construction. Returns the recovered mapping.
+    pub fn recover(&mut self, sys: &mut NearPmSystem) -> Result<Vec<VirtAddr>> {
+        sys.begin_recovery();
+        let mut mapping = Vec::with_capacity(self.entries.len());
+        for i in 0..self.entries.len() {
+            let bytes = sys.persistent_read(self.table.offset(i as u64 * 8), 8)?;
+            let addr = VirtAddr(u64::from_le_bytes(bytes.try_into().expect("8 bytes")));
+            mapping.push(addr);
+        }
+        self.entries = mapping.clone();
+        sys.finish_recovery();
+        Ok(mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nearpm_core::{ExecMode, SystemConfig};
+
+    fn setup(mode: ExecMode) -> (NearPmSystem, PoolId) {
+        let mut sys = NearPmSystem::new(SystemConfig::for_mode(mode).with_capacity(32 << 20));
+        let pool = sys.create_pool("pages-test", 16 << 20).unwrap();
+        (sys, pool)
+    }
+
+    #[test]
+    fn checkpoint_commit_and_crash_recovery() {
+        for mode in ExecMode::all() {
+            let (mut sys, pool) = setup(mode);
+            let data = sys.alloc(pool, 2 * PM_PAGE, PM_PAGE).unwrap();
+            sys.cpu_write_persist(0, data, &vec![1u8; PM_PAGE as usize], Region::AppPersist)
+                .unwrap();
+            let mut ckpt = Checkpoint::new(&mut sys, pool, 0, 8).unwrap();
+
+            // Epoch 0: update the page, then complete the epoch.
+            ckpt.touch(&mut sys, data).unwrap();
+            ckpt.update(&mut sys, data, &[2u8; 128]).unwrap();
+            ckpt.advance_epoch(&mut sys).unwrap();
+            assert_eq!(ckpt.epochs_completed(), 1);
+
+            // Epoch 1: update again, crash before the epoch completes.
+            ckpt.touch(&mut sys, data).unwrap();
+            ckpt.update(&mut sys, data, &[3u8; 128]).unwrap();
+            sys.crash();
+            let restored = ckpt.recover(&mut sys).unwrap();
+            assert_eq!(restored, 1, "mode {:?}", mode);
+            // The page is back to its epoch-0 committed contents.
+            assert_eq!(sys.persistent_read(data, 128).unwrap(), vec![2u8; 128]);
+            assert_eq!(
+                sys.persistent_read(data.offset(128), 16).unwrap(),
+                vec![1u8; 16]
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_only_snapshots_first_touch_per_epoch() {
+        let (mut sys, pool) = setup(ExecMode::NearPmSd);
+        let data = sys.alloc(pool, PM_PAGE, PM_PAGE).unwrap();
+        let mut ckpt = Checkpoint::new(&mut sys, pool, 0, 4).unwrap();
+        ckpt.touch(&mut sys, data).unwrap();
+        ckpt.touch(&mut sys, data.offset(100)).unwrap();
+        ckpt.touch(&mut sys, data.offset(2000)).unwrap();
+        let report = sys.report();
+        // Only one checkpoint-create offload despite three touches.
+        assert_eq!(report.ndp_requests, 1);
+    }
+
+    #[test]
+    fn shadow_paging_update_and_recovery_all_modes() {
+        for mode in ExecMode::all() {
+            let (mut sys, pool) = setup(mode);
+            let mut shadow = ShadowPaging::new(&mut sys, pool, 0, 4, 8).unwrap();
+            assert_eq!(shadow.page_count(), 4);
+            // Initialize page 2 and update it.
+            let p2 = shadow.entries[2];
+            sys.cpu_write_persist(0, p2, &vec![5u8; PM_PAGE as usize], Region::AppPersist)
+                .unwrap();
+            shadow.update(&mut sys, 2, 64, &[9u8; 32]).unwrap();
+            assert_eq!(shadow.switches(), 1);
+
+            // The logical page now shows the new data at offset 64 and the old
+            // data elsewhere.
+            assert_eq!(shadow.read(&mut sys, 2, 64, 32).unwrap(), vec![9u8; 32]);
+            assert_eq!(shadow.read(&mut sys, 2, 0, 32).unwrap(), vec![5u8; 32]);
+
+            // Crash and recover: the persistent page table still references a
+            // complete page with the committed update.
+            sys.crash();
+            let mapping = shadow.recover(&mut sys).unwrap();
+            let page2 = mapping[2];
+            assert_eq!(sys.persistent_read(page2.offset(64), 32).unwrap(), vec![9u8; 32]);
+            assert_eq!(sys.persistent_read(page2, 32).unwrap(), vec![5u8; 32]);
+            assert!(sys.report().ppo_violations.is_empty(), "mode {:?}", mode);
+        }
+    }
+
+    #[test]
+    fn shadow_paging_crash_mid_update_preserves_old_page() {
+        let (mut sys, pool) = setup(ExecMode::NearPmMd);
+        let mut shadow = ShadowPaging::new(&mut sys, pool, 0, 2, 8).unwrap();
+        let p0 = shadow.entries[0];
+        sys.cpu_write_persist(0, p0, &vec![7u8; PM_PAGE as usize], Region::AppPersist)
+            .unwrap();
+        let before = shadow.page_addr(&mut sys, 0).unwrap();
+
+        // Start an update but crash before the page switch: copy the page and
+        // write into the shadow, then fail.
+        let device = sys.device_of(p0).unwrap();
+        let slot = shadow.arena.acquire(device).unwrap();
+        sys.offload(
+            0,
+            pool,
+            NearPmOp::ShadowCopy { src: p0, dst: slot.data, len: PM_PAGE },
+            &[],
+        )
+        .unwrap();
+        sys.cpu_write(0, slot.data.offset(8), &[1u8; 8], Region::AppPersist).unwrap();
+        sys.crash();
+
+        let mapping = shadow.recover(&mut sys).unwrap();
+        assert_eq!(mapping[0], before, "page table must still reference the old page");
+        assert_eq!(sys.persistent_read(mapping[0], 32).unwrap(), vec![7u8; 32]);
+    }
+
+    #[test]
+    fn nearpm_is_faster_for_page_mechanisms() {
+        let run = |mode: ExecMode| {
+            let (mut sys, pool) = setup(mode);
+            let data = sys.alloc(pool, 4 * PM_PAGE, PM_PAGE).unwrap();
+            let mut ckpt = Checkpoint::new(&mut sys, pool, 0, 16).unwrap();
+            for e in 0..4u64 {
+                for p in 0..4u64 {
+                    let page = data.offset(p * PM_PAGE);
+                    ckpt.touch(&mut sys, page).unwrap();
+                    sys.cpu_compute(0, 500.0).unwrap();
+                    ckpt.update(&mut sys, page.offset(e * 64), &[e as u8; 64]).unwrap();
+                }
+                ckpt.advance_epoch(&mut sys).unwrap();
+            }
+            sys.report()
+        };
+        let base = run(ExecMode::CpuBaseline);
+        let md = run(ExecMode::NearPmMd);
+        assert!(md.makespan < base.makespan);
+        assert!(md.cc_time < base.cc_time);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type of the NearPM system facade.
+
+use nearpm_device::DeviceError;
+use nearpm_pm::PoolError;
+
+/// Errors surfaced by [`crate::NearPmSystem`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemError {
+    /// Pool management / translation failure.
+    Pool(PoolError),
+    /// Device-side failure (FIFO full, translation miss).
+    Device(DeviceError),
+    /// An operation was attempted while the system is in the crashed state
+    /// (before recovery was started).
+    Crashed,
+    /// The operation requires NearPM devices but the system is configured as
+    /// the CPU-only baseline.
+    NoDevices,
+    /// A log arena ran out of slots.
+    LogArenaFull {
+        /// Pool whose arena is exhausted.
+        pool: nearpm_pm::PoolId,
+    },
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemError::Pool(e) => write!(f, "pool error: {e}"),
+            SystemError::Device(e) => write!(f, "device error: {e}"),
+            SystemError::Crashed => write!(f, "system is crashed; run recovery first"),
+            SystemError::NoDevices => write!(f, "operation requires NearPM devices"),
+            SystemError::LogArenaFull { pool } => write!(f, "log arena exhausted for {pool}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<PoolError> for SystemError {
+    fn from(e: PoolError) -> Self {
+        SystemError::Pool(e)
+    }
+}
+
+impl From<DeviceError> for SystemError {
+    fn from(e: DeviceError) -> Self {
+        SystemError::Device(e)
+    }
+}
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, SystemError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SystemError::Crashed;
+        assert!(e.to_string().contains("crashed"));
+        let e = SystemError::NoDevices;
+        assert!(e.to_string().contains("NearPM devices"));
+        let e = SystemError::LogArenaFull {
+            pool: nearpm_pm::PoolId(1),
+        };
+        assert!(e.to_string().contains("pool1"));
+        let e: SystemError = PoolError::Unmapped(nearpm_pm::VirtAddr(0)).into();
+        assert!(matches!(e, SystemError::Pool(_)));
+        let e: SystemError = DeviceError::FifoFull.into();
+        assert!(matches!(e, SystemError::Device(_)));
+    }
+}

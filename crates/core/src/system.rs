@@ -1,0 +1,929 @@
+//! The NearPM system facade: CPU model, devices, offload path, trace, report.
+//!
+//! [`NearPmSystem`] is the object applications and crash-consistency
+//! mechanisms program against. It couples
+//!
+//! * a **functional** model — emulated PM ([`PmSpace`]), the CPU write-back
+//!   cache, pools, and the NearPM devices that actually move bytes — with
+//! * a **timing** model — every operation appends tasks to a [`TaskGraph`]
+//!   which is scheduled when the run finishes — and
+//! * a **PPO trace** — every memory event is recorded and checked against the
+//!   PPO invariants using the timestamps the schedule produced.
+//!
+//! The same program, run under different [`ExecMode`]s, produces the
+//! baseline, NearPM SD, NearPM MD SW-sync, and NearPM MD configurations the
+//! paper evaluates.
+
+use std::collections::HashMap;
+
+use nearpm_device::{DeviceConfig, NearPmDevice, NearPmOp, NearPmRequest, RequestId, ThreadId};
+use nearpm_pm::{
+    AddrRange, CpuCache, InterleaveConfig, PhysAddr, PmSpace, PmTraffic, PoolId, PoolRegistry,
+    VirtAddr,
+};
+use nearpm_ppo::{
+    check_all, Agent, EventKind, Interval, PpoViolation, ProcId, Sharing, Trace,
+};
+use nearpm_sim::{LatencyModel, Region, Resource, Schedule, SimDuration, TaskGraph, TaskId};
+
+use crate::config::{ExecMode, SystemConfig};
+use crate::error::{Result, SystemError};
+use crate::trace::TraceBuilder;
+
+/// Handle to an offloaded NearPM procedure.
+#[derive(Debug, Clone)]
+pub struct OffloadHandle {
+    /// PPO procedure id.
+    pub proc: ProcId,
+    /// Device that executed the request.
+    pub device: usize,
+    /// Request id on that device.
+    pub request: RequestId,
+    /// Final task of the device-side execution.
+    pub finish: TaskId,
+    /// Payload bytes moved.
+    pub bytes: u64,
+}
+
+/// Summary of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Execution mode of the run.
+    pub mode: ExecMode,
+    /// End-to-end simulated time.
+    pub makespan: SimDuration,
+    /// Busy time attributed to application logic (incl. its own persists).
+    pub app_time: SimDuration,
+    /// Busy time attributed to crash-consistency work.
+    pub cc_time: SimDuration,
+    /// Per-region busy time.
+    pub region_time: HashMap<&'static str, SimDuration>,
+    /// Wall-clock time during which CPU and NearPM work overlapped.
+    pub cpu_ndp_overlap: SimDuration,
+    /// Overlap as a fraction of the makespan (Figure 18).
+    pub overlap_fraction: f64,
+    /// PPO violations detected in the trace (must be empty).
+    pub ppo_violations: Vec<PpoViolation>,
+    /// Number of trace events.
+    pub trace_events: usize,
+    /// Bytes moved by NearPM devices.
+    pub ndp_bytes_moved: u64,
+    /// Requests executed by NearPM devices.
+    pub ndp_requests: u64,
+    /// Aggregate PM traffic.
+    pub pm_traffic: PmTraffic,
+}
+
+impl RunReport {
+    /// Crash-consistency share of total busy time (Figure 1a).
+    pub fn cc_fraction(&self) -> f64 {
+        let total = self.app_time + self.cc_time;
+        self.cc_time.ratio(total)
+    }
+
+    /// Elapsed (critical-path) time attributable to crash consistency: the
+    /// part of the makespan not covered by application work. In the CPU
+    /// baseline this equals the crash-consistency busy time; with NearPM it
+    /// shrinks further because offloaded work overlaps with the application.
+    /// This is the quantity Figure 15 reports the speedup of.
+    pub fn cc_elapsed(&self) -> SimDuration {
+        self.makespan.saturating_sub(self.app_time)
+    }
+
+    /// Speedup of this run relative to `baseline` on end-to-end time.
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        baseline.makespan.ratio(self.makespan)
+    }
+
+    /// Speedup of this run relative to `baseline` within the code regions
+    /// that maintain crash consistency (Figure 15).
+    pub fn cc_speedup_over(&self, baseline: &RunReport) -> f64 {
+        baseline.cc_elapsed().ratio(self.cc_elapsed())
+    }
+}
+
+/// The simulated NearPM machine.
+#[derive(Debug)]
+pub struct NearPmSystem {
+    config: SystemConfig,
+    space: PmSpace,
+    pools: PoolRegistry,
+    cache: CpuCache,
+    devices: Vec<NearPmDevice>,
+    graph: TaskGraph,
+    cpu_tail: Vec<Option<TaskId>>,
+    trace: TraceBuilder,
+    ndp_managed: Vec<AddrRange>,
+    next_txn: u64,
+    crashed: bool,
+    recovering: bool,
+    next_device_rr: usize,
+}
+
+impl NearPmSystem {
+    /// Builds a system from a configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        let devices_for_interleave = config.devices.max(1);
+        let space = PmSpace::new(
+            config.pm_capacity,
+            InterleaveConfig::new(devices_for_interleave, config.interleave_granularity),
+        );
+        let pools = PoolRegistry::new(config.pm_capacity);
+        let devices = (0..config.devices)
+            .map(|id| {
+                NearPmDevice::new(DeviceConfig {
+                    id,
+                    units: config.units_per_device,
+                    fifo_depth: config.fifo_depth,
+                })
+            })
+            .collect();
+        let trace = TraceBuilder::new(config.devices.max(1));
+        NearPmSystem {
+            cpu_tail: vec![None; config.cpu_threads],
+            devices,
+            space,
+            pools,
+            cache: CpuCache::new(),
+            graph: TaskGraph::new(),
+            trace,
+            ndp_managed: Vec::new(),
+            next_txn: 0,
+            crashed: false,
+            recovering: false,
+            next_device_rr: 0,
+            config,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.config.mode
+    }
+
+    /// Latency model in use.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.config.latency
+    }
+
+    /// Number of NearPM devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Allocates a fresh transaction id.
+    pub fn next_txn_id(&mut self) -> u64 {
+        let id = self.next_txn;
+        self.next_txn += 1;
+        id
+    }
+
+    /// True if a crash has been injected and recovery has not started.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    // ------------------------------------------------------------------
+    // Pools and address management
+    // ------------------------------------------------------------------
+
+    /// Creates a PM pool and registers its translation with every device
+    /// (the `NearPM_init_device` + pool-creation flow).
+    pub fn create_pool(&mut self, name: &str, size: u64) -> Result<PoolId> {
+        let id = self.pools.create_pool(name, size)?;
+        let pool = self.pools.pool(id)?;
+        let (virt, phys, len) = (pool.virt_base(), pool.phys_base(), pool.size());
+        for dev in &mut self.devices {
+            dev.register_pool(id, virt, phys, len);
+        }
+        Ok(id)
+    }
+
+    /// Allocates `len` bytes in a pool.
+    pub fn alloc(&mut self, pool: PoolId, len: u64, align: u64) -> Result<VirtAddr> {
+        Ok(self.pools.pool_mut(pool)?.alloc(len, align)?)
+    }
+
+    /// Frees a pool allocation.
+    pub fn free(&mut self, pool: PoolId, addr: VirtAddr) -> Result<()> {
+        Ok(self.pools.pool_mut(pool)?.free(addr)?)
+    }
+
+    /// Read-only access to the pool registry.
+    pub fn pools(&self) -> &PoolRegistry {
+        &self.pools
+    }
+
+    /// Registers a virtual range as NDP-managed (logs, checkpoints, shadow
+    /// pages). Accesses to these ranges are classified accordingly in the
+    /// PPO trace and benefit from relaxed persist ordering.
+    pub fn register_ndp_managed(&mut self, range: AddrRange) {
+        self.ndp_managed.push(range);
+    }
+
+    /// Sharing classification of a virtual range.
+    pub fn classify(&self, addr: VirtAddr, len: u64) -> Sharing {
+        let probe = AddrRange::new(addr, len.max(1));
+        if self.ndp_managed.iter().any(|r| r.overlaps(&probe)) {
+            Sharing::NdpManaged
+        } else {
+            Sharing::Shared
+        }
+    }
+
+    /// The device that owns the physical block backing `addr`.
+    pub fn device_of(&self, addr: VirtAddr) -> Result<usize> {
+        let phys = self.pools.translate(addr)?;
+        Ok(self.space.device_of(phys))
+    }
+
+    /// Splits a virtual range into per-device spans `(addr, len, device)`.
+    pub fn device_spans(&self, addr: VirtAddr, len: u64) -> Result<Vec<(VirtAddr, u64, usize)>> {
+        let phys = self.pools.translate(addr)?;
+        let spans = self.space.interleave().split(phys, len);
+        let mut out = Vec::with_capacity(spans.len());
+        let mut offset = 0u64;
+        for s in spans {
+            out.push((addr.offset(offset), s.len, s.device));
+            offset += s.len;
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // CPU-side execution
+    // ------------------------------------------------------------------
+
+    fn check_not_crashed(&self) -> Result<()> {
+        if self.crashed {
+            Err(SystemError::Crashed)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn cpu_resource(&self, thread: usize) -> Resource {
+        Resource::Cpu(thread % self.config.cpu_threads)
+    }
+
+    fn push_cpu_task(
+        &mut self,
+        thread: usize,
+        label: &'static str,
+        duration: SimDuration,
+        region: Region,
+        extra_deps: &[TaskId],
+    ) -> TaskId {
+        let thread = thread % self.config.cpu_threads;
+        let mut deps: Vec<TaskId> = Vec::with_capacity(extra_deps.len() + 1);
+        if let Some(tail) = self.cpu_tail[thread] {
+            deps.push(tail);
+        }
+        deps.extend_from_slice(extra_deps);
+        deps.sort_unstable();
+        deps.dedup();
+        let id = self
+            .graph
+            .add(label, self.cpu_resource(thread), duration, region, &deps);
+        self.cpu_tail[thread] = Some(id);
+        id
+    }
+
+    fn host_conflicts(&mut self, phys: PhysAddr, len: u64, is_write: bool) -> Vec<TaskId> {
+        let mut deps = Vec::new();
+        for dev in &mut self.devices {
+            deps.extend(dev.host_access_conflicts(phys, len, is_write));
+        }
+        deps
+    }
+
+    /// Pure application compute (no PM access).
+    pub fn cpu_compute(&mut self, thread: usize, ns: f64) -> Result<TaskId> {
+        self.check_not_crashed()?;
+        let d = self.config.latency.cpu_compute(ns);
+        Ok(self.push_cpu_task(thread, "app-compute", d, Region::Application, &[]))
+    }
+
+    /// CPU load of `len` bytes from PM.
+    pub fn cpu_read(
+        &mut self,
+        thread: usize,
+        addr: VirtAddr,
+        len: usize,
+        region: Region,
+    ) -> Result<Vec<u8>> {
+        self.check_not_crashed()?;
+        let phys = self.pools.translate(addr)?;
+        let deps = self.host_conflicts(phys, len as u64, false);
+        let data = self.cache.load_vec(&mut self.space, phys, len);
+        let duration = self.config.latency.cpu_pm_read(len as u64);
+        let task = self.push_cpu_task(thread, "cpu-read", duration, region, &deps);
+        let kind = if self.recovering {
+            EventKind::RecoveryRead
+        } else {
+            EventKind::Read
+        };
+        let sharing = self.classify(addr, len as u64);
+        self.trace.record(
+            Agent::Cpu,
+            kind,
+            Interval::new(addr.raw(), len as u64),
+            sharing,
+            None,
+            None,
+            Some(task),
+        );
+        Ok(data)
+    }
+
+    /// CPU store of `data` at `addr` (visible, not yet persistent).
+    pub fn cpu_write(
+        &mut self,
+        thread: usize,
+        addr: VirtAddr,
+        data: &[u8],
+        region: Region,
+    ) -> Result<TaskId> {
+        self.check_not_crashed()?;
+        let phys = self.pools.translate(addr)?;
+        let deps = self.host_conflicts(phys, data.len() as u64, true);
+        self.cache.store(&mut self.space, phys, data);
+        let duration = SimDuration::from_ns(self.config.latency.llc_latency_ns)
+            + SimDuration::from_transfer(data.len() as u64, self.config.latency.cpu_pm_write_gbps);
+        let task = self.push_cpu_task(thread, "cpu-write", duration, region, &deps);
+        let sharing = self.classify(addr, data.len() as u64);
+        self.trace.record(
+            Agent::Cpu,
+            EventKind::Write,
+            Interval::new(addr.raw(), data.len() as u64),
+            sharing,
+            None,
+            None,
+            Some(task),
+        );
+        Ok(task)
+    }
+
+    /// Persist barrier over `addr..addr+len`: write back dirty lines + fence.
+    pub fn cpu_persist(
+        &mut self,
+        thread: usize,
+        addr: VirtAddr,
+        len: u64,
+        region: Region,
+    ) -> Result<TaskId> {
+        self.check_not_crashed()?;
+        let phys = self.pools.translate(addr)?;
+        self.cache.flush(&mut self.space, phys, len);
+        let lines = LatencyModel::cache_lines(len);
+        let duration = SimDuration::from_ns(self.config.latency.clwb_issue_ns) * lines
+            + SimDuration::from_ns(self.config.latency.clwb_drain_ns)
+            + SimDuration::from_ns(self.config.latency.sfence_ns);
+        let task = self.push_cpu_task(thread, "cpu-persist", duration, region, &[]);
+        let sharing = self.classify(addr, len);
+        self.trace.record(
+            Agent::Cpu,
+            EventKind::Persist,
+            Interval::new(addr.raw(), len),
+            sharing,
+            None,
+            None,
+            Some(task),
+        );
+        Ok(task)
+    }
+
+    /// Store followed by persist (the common "update in place" step).
+    pub fn cpu_write_persist(
+        &mut self,
+        thread: usize,
+        addr: VirtAddr,
+        data: &[u8],
+        region: Region,
+    ) -> Result<TaskId> {
+        self.cpu_write(thread, addr, data, region)?;
+        self.cpu_persist(thread, addr, data.len() as u64, region)
+    }
+
+    /// CPU-driven PM-to-PM copy with persist of the destination. This is the
+    /// data-movement core of the CPU baseline's crash-consistency work.
+    pub fn cpu_copy(
+        &mut self,
+        thread: usize,
+        src: VirtAddr,
+        dst: VirtAddr,
+        len: u64,
+        region: Region,
+    ) -> Result<TaskId> {
+        self.check_not_crashed()?;
+        let src_phys = self.pools.translate(src)?;
+        let dst_phys = self.pools.translate(dst)?;
+        let mut deps = self.host_conflicts(src_phys, len, false);
+        deps.extend(self.host_conflicts(dst_phys, len, true));
+        let data = self.cache.load_vec(&mut self.space, src_phys, len as usize);
+        self.cache.store(&mut self.space, dst_phys, &data);
+        self.cache.flush(&mut self.space, dst_phys, len);
+        let duration = self.config.latency.cpu_pm_copy(len);
+        let task = self.push_cpu_task(thread, "cpu-copy", duration, region, &deps);
+        let src_sharing = self.classify(src, len);
+        let dst_sharing = self.classify(dst, len);
+        self.trace.record(
+            Agent::Cpu,
+            EventKind::Read,
+            Interval::new(src.raw(), len),
+            src_sharing,
+            None,
+            None,
+            Some(task),
+        );
+        self.trace.record(
+            Agent::Cpu,
+            EventKind::Write,
+            Interval::new(dst.raw(), len),
+            dst_sharing,
+            None,
+            None,
+            Some(task),
+        );
+        self.trace.record(
+            Agent::Cpu,
+            EventKind::Persist,
+            Interval::new(dst.raw(), len),
+            dst_sharing,
+            None,
+            None,
+            Some(task),
+        );
+        Ok(task)
+    }
+
+    /// A CPU-side busy-wait / bookkeeping task attributed to a CC region.
+    pub fn cpu_overhead(
+        &mut self,
+        thread: usize,
+        label: &'static str,
+        ns: f64,
+        region: Region,
+    ) -> Result<TaskId> {
+        self.check_not_crashed()?;
+        Ok(self.push_cpu_task(thread, label, SimDuration::from_ns(ns), region, &[]))
+    }
+
+    // ------------------------------------------------------------------
+    // Offload path
+    // ------------------------------------------------------------------
+
+    /// Offloads a crash-consistency primitive to the device owning its
+    /// payload, optionally adding extra ordering dependencies (used by the
+    /// delayed-synchronization commit path).
+    pub fn offload(
+        &mut self,
+        thread: usize,
+        pool: PoolId,
+        op: NearPmOp,
+        extra_deps: &[TaskId],
+    ) -> Result<OffloadHandle> {
+        self.check_not_crashed()?;
+        if self.devices.is_empty() {
+            return Err(SystemError::NoDevices);
+        }
+        // Determine the owning device from the first operand range.
+        let primary = op
+            .write_ranges()
+            .first()
+            .map(|(a, _)| *a)
+            .or_else(|| op.read_ranges().first().map(|(a, _)| *a));
+        let device = match primary {
+            Some(addr) => {
+                let phys = self.pools.translate(addr)?;
+                self.space.device_of(phys) % self.devices.len()
+            }
+            None => {
+                let d = self.next_device_rr % self.devices.len();
+                self.next_device_rr += 1;
+                d
+            }
+        };
+
+        // Command issue on the CPU (posted MMIO write over the control path).
+        let issue = self.push_cpu_task(
+            thread,
+            "cmd-issue",
+            self.config.latency.cmd_issue(),
+            Region::CcOffload,
+            extra_deps,
+        );
+        let proc = self.trace.new_proc();
+        self.trace.record(
+            Agent::Cpu,
+            EventKind::Offload,
+            Interval::new(0, 0),
+            Sharing::Shared,
+            Some(proc),
+            None,
+            Some(issue),
+        );
+
+        // The CPU-visible side of the data must be written back before the
+        // device reads it (Invariant 2 implementation: "writing back all
+        // updates to PM on the CPU side before invoking an NDP procedure").
+        let read_ranges = op.read_ranges();
+        for (addr, len) in &read_ranges {
+            let phys = self.pools.translate(*addr)?;
+            self.cache.flush(&mut self.space, phys, *len);
+        }
+
+        let request = NearPmRequest::new(pool, ThreadId(thread as u32), op);
+        let exec = {
+            let latency = self.config.latency.clone();
+            let dev = &mut self.devices[device];
+            dev.submit(request, &mut self.space, &mut self.graph, &latency, &[issue])?
+        };
+
+        // Record the device-side accesses in the PPO trace.
+        for (v, _p, len) in &exec.reads {
+            let sharing = self.classify(*v, *len);
+            self.trace.record(
+                Agent::Ndp(device),
+                EventKind::Read,
+                Interval::new(v.raw(), *len),
+                sharing,
+                Some(proc),
+                None,
+                Some(exec.dispatch),
+            );
+        }
+        for (v, _p, len) in &exec.writes {
+            let sharing = self.classify(*v, *len);
+            self.trace.record(
+                Agent::Ndp(device),
+                EventKind::Write,
+                Interval::new(v.raw(), *len),
+                sharing,
+                Some(proc),
+                None,
+                Some(exec.finish),
+            );
+            self.trace.record(
+                Agent::Ndp(device),
+                EventKind::Persist,
+                Interval::new(v.raw(), *len),
+                sharing,
+                Some(proc),
+                None,
+                Some(exec.finish),
+            );
+        }
+
+        Ok(OffloadHandle {
+            proc,
+            device,
+            request: exec.request,
+            finish: exec.finish,
+            bytes: exec.bytes_moved,
+        })
+    }
+
+    /// CPU waits for the completion of offloaded procedures (completion
+    /// notification over the control path).
+    pub fn wait_for(&mut self, thread: usize, handles: &[&OffloadHandle]) -> Result<TaskId> {
+        self.check_not_crashed()?;
+        let deps: Vec<TaskId> = handles.iter().map(|h| h.finish).collect();
+        let duration = self.config.latency.notify();
+        Ok(self.push_cpu_task(thread, "wait-ndp", duration, Region::CcSync, &deps))
+    }
+
+    /// Software (CPU-polling) synchronization across devices: the CPU polls a
+    /// completion flag on every involved device before proceeding. This is
+    /// the `NearPM MD SW-sync` commit path.
+    pub fn sw_sync(&mut self, thread: usize, handles: &[&OffloadHandle]) -> Result<TaskId> {
+        self.check_not_crashed()?;
+        let deps: Vec<TaskId> = handles.iter().map(|h| h.finish).collect();
+        let mut devices: Vec<usize> = handles.iter().map(|h| h.device).collect();
+        devices.sort_unstable();
+        devices.dedup();
+        let duration = self.config.latency.cpu_poll() * devices.len().max(1) as u64;
+        let task = self.push_cpu_task(thread, "sw-sync", duration, Region::CcSync, &deps);
+        let sync = self.trace.new_sync();
+        for d in devices {
+            self.trace.record(
+                Agent::Ndp(d),
+                EventKind::Sync,
+                Interval::new(0, 0),
+                Sharing::NdpManaged,
+                None,
+                Some(sync),
+                Some(task),
+            );
+        }
+        Ok(task)
+    }
+
+    /// Delayed near-memory synchronization: the multi-device handlers
+    /// exchange completion notifications off the CPU's critical path. Returns
+    /// the barrier task that log deletion must depend on.
+    pub fn delayed_sync(&mut self, handles: &[&OffloadHandle]) -> Result<TaskId> {
+        self.check_not_crashed()?;
+        if self.devices.is_empty() {
+            return Err(SystemError::NoDevices);
+        }
+        let deps: Vec<TaskId> = handles.iter().map(|h| h.finish).collect();
+        let mut devices: Vec<usize> = handles.iter().map(|h| h.device).collect();
+        devices.sort_unstable();
+        devices.dedup();
+        let anchor = devices.first().copied().unwrap_or(0);
+        let task = self.graph.add(
+            "md-sync",
+            Resource::Dispatcher(anchor),
+            self.config.latency.notify(),
+            Region::CcSync,
+            &deps,
+        );
+        let sync = self.trace.new_sync();
+        for d in devices {
+            self.trace.record(
+                Agent::Ndp(d),
+                EventKind::Sync,
+                Interval::new(0, 0),
+                Sharing::NdpManaged,
+                None,
+                Some(sync),
+                Some(task),
+            );
+        }
+        Ok(task)
+    }
+
+    /// Releases the in-flight ordering records of offloaded procedures (at
+    /// transaction commit, when the host no longer needs ordering against
+    /// them).
+    pub fn release(&mut self, handles: &[&OffloadHandle]) {
+        for h in handles {
+            if let Some(dev) = self.devices.get_mut(h.device) {
+                dev.release_request(h.request);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash and recovery
+    // ------------------------------------------------------------------
+
+    /// Injects a failure: all volatile CPU state (dirty cache lines) is lost;
+    /// the PM media and the devices' persistence-domain structures survive.
+    pub fn crash(&mut self) {
+        self.cache.crash();
+        let marker = self.cpu_tail.iter().flatten().copied().max();
+        self.trace.record(
+            Agent::Cpu,
+            EventKind::Failure,
+            Interval::new(0, 0),
+            Sharing::Shared,
+            None,
+            None,
+            marker,
+        );
+        self.crashed = true;
+        self.recovering = false;
+    }
+
+    /// Begins recovery after a crash: the system becomes usable again and
+    /// subsequent CPU reads are recorded as recovery reads until
+    /// [`NearPmSystem::finish_recovery`] is called.
+    pub fn begin_recovery(&mut self) {
+        self.crashed = false;
+        self.recovering = true;
+    }
+
+    /// Marks recovery complete; subsequent reads are ordinary reads again.
+    pub fn finish_recovery(&mut self) {
+        self.recovering = false;
+    }
+
+    /// Direct read of the persistent image, bypassing the (now empty) CPU
+    /// cache — what recovery code sees immediately after a restart.
+    pub fn persistent_read(&mut self, addr: VirtAddr, len: usize) -> Result<Vec<u8>> {
+        let phys = self.pools.translate(addr)?;
+        Ok(self.space.read_vec(phys, len))
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting
+    // ------------------------------------------------------------------
+
+    /// Schedules the accumulated task graph, resolves the PPO trace, and
+    /// produces the run report.
+    pub fn report(&self) -> RunReport {
+        let schedule = Schedule::compute(&self.graph);
+        let trace = self.trace.resolve(&schedule);
+        self.build_report(&schedule, &trace)
+    }
+
+    /// Like [`NearPmSystem::report`] but also returns the resolved trace for
+    /// further inspection.
+    pub fn report_with_trace(&self) -> (RunReport, Trace) {
+        let schedule = Schedule::compute(&self.graph);
+        let trace = self.trace.resolve(&schedule);
+        (self.build_report(&schedule, &trace), trace)
+    }
+
+    fn build_report(&self, schedule: &Schedule, trace: &Trace) -> RunReport {
+        let mut region_time = HashMap::new();
+        for r in Region::all() {
+            region_time.insert(r.name(), schedule.region_time(r));
+        }
+        let (ndp_bytes_moved, ndp_requests) = self
+            .devices
+            .iter()
+            .fold((0, 0), |(b, r), d| (b + d.stats().bytes_moved, r + d.stats().requests));
+        RunReport {
+            mode: self.config.mode,
+            makespan: schedule.makespan(),
+            app_time: schedule.application_time(),
+            cc_time: schedule.crash_consistency_time(),
+            region_time,
+            cpu_ndp_overlap: schedule.cpu_ndp_overlap(),
+            overlap_fraction: schedule.overlap_fraction(),
+            ppo_violations: check_all(trace),
+            trace_events: trace.len(),
+            ndp_bytes_moved,
+            ndp_requests,
+            pm_traffic: self.space.traffic(),
+        }
+    }
+
+    /// Number of tasks in the timing graph (diagnostics).
+    pub fn task_count(&self) -> usize {
+        self.graph.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(mode: ExecMode) -> SystemConfig {
+        SystemConfig::for_mode(mode).with_capacity(4 << 20)
+    }
+
+    #[test]
+    fn cpu_write_persist_survives_crash_unflushed_does_not() {
+        let mut sys = NearPmSystem::new(small_config(ExecMode::CpuBaseline));
+        let pool = sys.create_pool("p", 1 << 20).unwrap();
+        let a = sys.alloc(pool, 64, 64).unwrap();
+        let b = sys.alloc(pool, 64, 64).unwrap();
+        sys.cpu_write_persist(0, a, &[1; 16], Region::AppPersist).unwrap();
+        sys.cpu_write(0, b, &[2; 16], Region::AppPersist).unwrap();
+        sys.crash();
+        assert!(sys.is_crashed());
+        assert!(sys.cpu_read(0, a, 16, Region::Application).is_err());
+        sys.begin_recovery();
+        assert_eq!(sys.persistent_read(a, 16).unwrap(), vec![1; 16]);
+        assert_eq!(sys.persistent_read(b, 16).unwrap(), vec![0; 16]);
+    }
+
+    #[test]
+    fn baseline_offload_is_rejected() {
+        let mut sys = NearPmSystem::new(small_config(ExecMode::CpuBaseline));
+        let pool = sys.create_pool("p", 1 << 20).unwrap();
+        let a = sys.alloc(pool, 64, 64).unwrap();
+        let err = sys
+            .offload(
+                0,
+                pool,
+                NearPmOp::ShadowCopy { src: a, dst: a.offset(4096), len: 64 },
+                &[],
+            )
+            .unwrap_err();
+        assert_eq!(err, SystemError::NoDevices);
+    }
+
+    #[test]
+    fn offloaded_undo_log_produces_valid_ppo_trace() {
+        let mut sys = NearPmSystem::new(small_config(ExecMode::NearPmSd));
+        let pool = sys.create_pool("p", 1 << 20).unwrap();
+        let obj = sys.alloc(pool, 64, 64).unwrap();
+        let log_area = sys.alloc(pool, 4096, 4096).unwrap();
+        sys.register_ndp_managed(AddrRange::new(log_area, 4096));
+
+        // Initialize the object.
+        sys.cpu_write_persist(0, obj, &[7; 64], Region::AppPersist).unwrap();
+
+        // Offload undo-log creation, then update in place.
+        let txn = sys.next_txn_id();
+        let handle = sys
+            .offload(
+                0,
+                pool,
+                NearPmOp::UndoLogCreate {
+                    src: obj,
+                    len: 64,
+                    log_meta: log_area,
+                    log_data: log_area.offset(64),
+                    txn_id: txn,
+                },
+                &[],
+            )
+            .unwrap();
+        sys.cpu_write_persist(0, obj, &[9; 64], Region::AppPersist).unwrap();
+        sys.release(&[&handle]);
+
+        // Functional: the log holds the old value, the object the new one.
+        assert_eq!(sys.persistent_read(log_area.offset(64), 64).unwrap(), vec![7; 64]);
+        let report = sys.report();
+        assert!(report.ppo_violations.is_empty(), "{:?}", report.ppo_violations);
+        assert!(report.makespan > SimDuration::ZERO);
+        assert_eq!(report.ndp_requests, 1);
+        assert_eq!(report.ndp_bytes_moved, 64);
+    }
+
+    #[test]
+    fn classification_uses_registered_ranges() {
+        let mut sys = NearPmSystem::new(small_config(ExecMode::NearPmSd));
+        let pool = sys.create_pool("p", 1 << 20).unwrap();
+        let a = sys.alloc(pool, 4096, 4096).unwrap();
+        assert_eq!(sys.classify(a, 64), Sharing::Shared);
+        sys.register_ndp_managed(AddrRange::new(a, 4096));
+        assert_eq!(sys.classify(a, 64), Sharing::NdpManaged);
+        assert_eq!(sys.classify(a.offset(8192), 64), Sharing::Shared);
+    }
+
+    #[test]
+    fn sw_sync_and_delayed_sync_order_after_offloads() {
+        for mode in [ExecMode::NearPmMdSync, ExecMode::NearPmMd] {
+            let mut sys = NearPmSystem::new(small_config(mode));
+            let pool = sys.create_pool("p", 1 << 20).unwrap();
+            let obj = sys.alloc(pool, 8192, 4096).unwrap();
+            let log_area = sys.alloc(pool, 16384, 4096).unwrap();
+            sys.register_ndp_managed(AddrRange::new(log_area, 16384));
+            sys.cpu_write_persist(0, obj, &[3; 128], Region::AppPersist).unwrap();
+
+            let txn = sys.next_txn_id();
+            let spans = sys.device_spans(obj, 8192).unwrap();
+            assert!(spans.len() >= 2, "object should span both devices");
+            let mut handles = Vec::new();
+            for (i, (addr, len, _dev)) in spans.into_iter().enumerate() {
+                let slot = log_area.offset(i as u64 * 8192);
+                let h = sys
+                    .offload(
+                        0,
+                        pool,
+                        NearPmOp::UndoLogCreate {
+                            src: addr,
+                            len: len.min(4096),
+                            log_meta: slot,
+                            log_data: slot.offset(64),
+                            txn_id: txn,
+                        },
+                        &[],
+                    )
+                    .unwrap();
+                handles.push(h);
+            }
+            let refs: Vec<&OffloadHandle> = handles.iter().collect();
+            let sync_task = if mode == ExecMode::NearPmMdSync {
+                sys.sw_sync(0, &refs).unwrap()
+            } else {
+                sys.delayed_sync(&refs).unwrap()
+            };
+            sys.release(&refs);
+            let report = sys.report();
+            assert!(report.ppo_violations.is_empty(), "{:?}", report.ppo_violations);
+            // The sync task exists in the graph.
+            assert!(sync_task.index() < sys.task_count());
+        }
+    }
+
+    #[test]
+    fn report_region_accounting() {
+        let mut sys = NearPmSystem::new(small_config(ExecMode::CpuBaseline));
+        let pool = sys.create_pool("p", 1 << 20).unwrap();
+        let a = sys.alloc(pool, 4096, 4096).unwrap();
+        let b = sys.alloc(pool, 4096, 4096).unwrap();
+        sys.cpu_compute(0, 1000.0).unwrap();
+        sys.cpu_copy(0, a, b, 4096, Region::CcDataMovement).unwrap();
+        let report = sys.report();
+        assert!(report.cc_time > SimDuration::ZERO);
+        assert!(report.app_time > SimDuration::ZERO);
+        assert!(report.cc_fraction() > 0.0 && report.cc_fraction() < 1.0);
+        assert!(report.region_time["data-movement"] > SimDuration::ZERO);
+        assert_eq!(report.mode, ExecMode::CpuBaseline);
+    }
+
+    #[test]
+    fn speedup_helpers() {
+        let mut base = NearPmSystem::new(small_config(ExecMode::CpuBaseline));
+        let pool = base.create_pool("p", 1 << 20).unwrap();
+        let a = base.alloc(pool, 4096, 4096).unwrap();
+        let b = base.alloc(pool, 4096, 4096).unwrap();
+        base.cpu_copy(0, a, b, 4096, Region::CcDataMovement).unwrap();
+        let base_report = base.report();
+        assert!((base_report.speedup_over(&base_report) - 1.0).abs() < 1e-9);
+        assert!((base_report.cc_speedup_over(&base_report) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,188 @@
+//! Deferred PPO trace construction.
+//!
+//! Functional effects are applied while the task graph is being built, but
+//! event *timestamps* only exist once the graph has been scheduled. The
+//! [`TraceBuilder`] therefore records events against [`TaskId`]s and resolves
+//! them into a [`nearpm_ppo::Trace`] after scheduling, so the PPO checkers
+//! validate the ordering the timing model actually produced.
+
+use nearpm_ppo::{Agent, EventKind, Interval, ProcId, Sharing, SyncId, Trace};
+use nearpm_sim::{Schedule, TaskId};
+
+/// A trace event whose timestamp is the finish time of a scheduled task.
+#[derive(Debug, Clone)]
+struct PendingEvent {
+    agent: Agent,
+    kind: EventKind,
+    interval: Interval,
+    sharing: Sharing,
+    proc: Option<ProcId>,
+    sync: Option<SyncId>,
+    task: Option<TaskId>,
+}
+
+/// Accumulates PPO events during graph construction.
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    devices: usize,
+    pending: Vec<PendingEvent>,
+    next_proc: u64,
+    next_sync: u64,
+}
+
+impl TraceBuilder {
+    /// Creates a builder for a system with `devices` NearPM devices.
+    pub fn new(devices: usize) -> Self {
+        TraceBuilder {
+            devices,
+            pending: Vec::new(),
+            next_proc: 0,
+            next_sync: 0,
+        }
+    }
+
+    /// Allocates a fresh NDP-procedure id.
+    pub fn new_proc(&mut self) -> ProcId {
+        let id = ProcId(self.next_proc);
+        self.next_proc += 1;
+        id
+    }
+
+    /// Allocates a fresh synchronization-event id.
+    pub fn new_sync(&mut self) -> SyncId {
+        let id = SyncId(self.next_sync);
+        self.next_sync += 1;
+        id
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Records an event tied to `task`'s finish time (or to time zero when
+    /// `task` is `None`, used for the failure marker).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        agent: Agent,
+        kind: EventKind,
+        interval: Interval,
+        sharing: Sharing,
+        proc: Option<ProcId>,
+        sync: Option<SyncId>,
+        task: Option<TaskId>,
+    ) {
+        self.pending.push(PendingEvent {
+            agent,
+            kind,
+            interval,
+            sharing,
+            proc,
+            sync,
+            task,
+        });
+    }
+
+    /// Resolves the pending events into a concrete trace using the schedule's
+    /// task finish times. Events are emitted in recording order, which is the
+    /// per-agent program order by construction.
+    pub fn resolve(&self, schedule: &Schedule) -> Trace {
+        let mut trace = Trace::new(self.devices);
+        for e in &self.pending {
+            let ts = e
+                .task
+                .map(|t| schedule.timing(t).finish.as_ps())
+                .unwrap_or(u64::MAX);
+            trace.record(e.agent, e.kind, e.interval, e.sharing, e.proc, e.sync, ts);
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nearpm_sim::{LatencyModel, Region, Resource, TaskGraph};
+
+    #[test]
+    fn events_resolve_to_task_finish_times() {
+        let model = LatencyModel::default();
+        let mut graph = TaskGraph::new();
+        let a = graph.add(
+            "cpu",
+            Resource::Cpu(0),
+            model.cpu_compute(100.0),
+            Region::Application,
+            &[],
+        );
+        let b = graph.add(
+            "ndp",
+            Resource::NdpUnit { device: 0, unit: 0 },
+            model.ndp_copy(4096),
+            Region::CcDataMovement,
+            &[a],
+        );
+
+        let mut tb = TraceBuilder::new(1);
+        let p = tb.new_proc();
+        tb.record(
+            Agent::Cpu,
+            EventKind::Offload,
+            Interval::new(0, 0),
+            Sharing::Shared,
+            Some(p),
+            None,
+            Some(a),
+        );
+        tb.record(
+            Agent::Ndp(0),
+            EventKind::Persist,
+            Interval::new(0x100, 64),
+            Sharing::NdpManaged,
+            Some(p),
+            None,
+            Some(b),
+        );
+        assert_eq!(tb.len(), 2);
+
+        let schedule = nearpm_sim::Schedule::compute(&graph);
+        let trace = tb.resolve(&schedule);
+        assert_eq!(trace.len(), 2);
+        let events = trace.events();
+        assert_eq!(events[0].timestamp_ps, schedule.timing(a).finish.as_ps());
+        assert_eq!(events[1].timestamp_ps, schedule.timing(b).finish.as_ps());
+        assert!(events[0].timestamp_ps < events[1].timestamp_ps);
+    }
+
+    #[test]
+    fn failure_marker_without_task_sorts_last() {
+        let graph = TaskGraph::new();
+        let mut tb = TraceBuilder::new(1);
+        tb.record(
+            Agent::Cpu,
+            EventKind::Failure,
+            Interval::new(0, 0),
+            Sharing::Shared,
+            None,
+            None,
+            None,
+        );
+        let schedule = nearpm_sim::Schedule::compute(&graph);
+        let trace = tb.resolve(&schedule);
+        assert_eq!(trace.failure_time(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut tb = TraceBuilder::new(2);
+        assert!(tb.is_empty());
+        assert_ne!(tb.new_proc(), tb.new_proc());
+        assert_ne!(tb.new_sync(), tb.new_sync());
+    }
+}

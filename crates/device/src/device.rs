@@ -1,0 +1,655 @@
+//! The NearPM device model: front-end, dispatcher, units, recovery state.
+//!
+//! A [`NearPmDevice`] assembles the components of Figure 8:
+//!
+//! * the request FIFO fed by the host control path,
+//! * the dispatcher, which decodes requests, translates their operands
+//!   through the address-mapping table, and checks the in-flight access
+//!   table for conflicts,
+//! * the NearPM units, which execute the data-intensive micro-operations
+//!   (metadata generation, DMA copy, log reset) against the PM media,
+//! * the persistence-domain state (FIFO + in-flight table) that survives a
+//!   failure and is replayed by the hardware recovery procedure.
+//!
+//! The device is driven synchronously by the host-side model in
+//! `nearpm-core`: functional effects are applied immediately; timing is
+//! captured by the tasks the device appends to the shared [`TaskGraph`].
+
+use std::collections::HashMap;
+
+use nearpm_pm::{PhysAddr, PmSpace, PoolId, VirtAddr};
+use nearpm_sim::{LatencyModel, Region, Resource, TaskGraph, TaskId};
+
+use crate::address_map::{AddressMappingTable, TranslateError};
+use crate::fifo::{FifoFull, RequestFifo};
+use crate::inflight::{InFlightEntry, InFlightTable};
+use crate::metadata::LogEntryHeader;
+use crate::request::{NearPmOp, NearPmRequest, RequestId, ThreadId};
+use crate::unit::{NearPmUnit, UnitStats};
+
+/// Static configuration of one NearPM device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceConfig {
+    /// Device index in the system.
+    pub id: usize,
+    /// Number of NearPM units (4 in the prototype).
+    pub units: usize,
+    /// Request-FIFO depth (32 in the prototype).
+    pub fifo_depth: usize,
+}
+
+impl DeviceConfig {
+    /// Prototype configuration for device `id`: 4 units, 32-entry FIFO.
+    pub fn prototype(id: usize) -> Self {
+        DeviceConfig {
+            id,
+            units: 4,
+            fifo_depth: crate::fifo::DEFAULT_FIFO_DEPTH,
+        }
+    }
+}
+
+/// Errors surfaced by the device model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// The request FIFO is full.
+    FifoFull,
+    /// An operand address failed translation.
+    Translate(TranslateError),
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::FifoFull => write!(f, "request FIFO full"),
+            DeviceError::Translate(e) => write!(f, "address translation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+impl From<FifoFull> for DeviceError {
+    fn from(_: FifoFull) -> Self {
+        DeviceError::FifoFull
+    }
+}
+
+impl From<TranslateError> for DeviceError {
+    fn from(e: TranslateError) -> Self {
+        DeviceError::Translate(e)
+    }
+}
+
+/// Result of executing one request on the device.
+#[derive(Debug, Clone)]
+pub struct ExecutedRequest {
+    /// Request identifier.
+    pub request: RequestId,
+    /// Device that executed it.
+    pub device: usize,
+    /// Unit that executed it.
+    pub unit: usize,
+    /// Dispatcher task (decode + translate + conflict check).
+    pub dispatch: TaskId,
+    /// Final task of the execution; later work that must order after this
+    /// request depends on it.
+    pub finish: TaskId,
+    /// Payload bytes moved.
+    pub bytes_moved: u64,
+    /// Virtual/physical ranges read by the request.
+    pub reads: Vec<(VirtAddr, PhysAddr, u64)>,
+    /// Virtual/physical ranges written by the request.
+    pub writes: Vec<(VirtAddr, PhysAddr, u64)>,
+}
+
+/// Aggregate device statistics.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceStats {
+    /// Requests executed, by primitive mnemonic.
+    pub by_op: HashMap<&'static str, u64>,
+    /// Total requests executed.
+    pub requests: u64,
+    /// Total payload bytes moved.
+    pub bytes_moved: u64,
+    /// Conflicts detected against in-flight accesses.
+    pub conflicts: u64,
+}
+
+/// Persistence-domain image of the device front-end, written back to PM on a
+/// failure and restored by the hardware recovery procedure (Section 5.3.3).
+#[derive(Debug, Clone)]
+pub struct DevicePersistentState {
+    /// Queued (not yet executed) requests.
+    pub fifo: Vec<(RequestId, NearPmRequest)>,
+    /// In-flight access records.
+    pub inflight: Vec<InFlightEntry>,
+}
+
+/// One NearPM device.
+#[derive(Debug, Clone)]
+pub struct NearPmDevice {
+    config: DeviceConfig,
+    fifo: RequestFifo,
+    map: AddressMappingTable,
+    inflight: InFlightTable,
+    units: Vec<NearPmUnit>,
+    next_unit: usize,
+    stats: DeviceStats,
+}
+
+impl NearPmDevice {
+    /// Creates a device from its configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        assert!(config.units >= 1, "a device needs at least one unit");
+        NearPmDevice {
+            config,
+            fifo: RequestFifo::new(config.fifo_depth),
+            map: AddressMappingTable::new(),
+            inflight: InFlightTable::new(),
+            units: (0..config.units)
+                .map(|u| NearPmUnit::new(config.id, u))
+                .collect(),
+            next_unit: 0,
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// Device index.
+    pub fn id(&self) -> usize {
+        self.config.id
+    }
+
+    /// Number of execution units.
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Device statistics.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Per-unit statistics.
+    pub fn unit_stats(&self) -> Vec<UnitStats> {
+        self.units.iter().map(|u| u.stats()).collect()
+    }
+
+    /// Number of queued (not yet executed) requests.
+    pub fn pending(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// The dispatcher's scheduling resource.
+    pub fn dispatcher_resource(&self) -> Resource {
+        Resource::Dispatcher(self.config.id)
+    }
+
+    /// Installs the address-mapping entry for a pool (called at
+    /// `NearPM_init_device` / pool-creation time).
+    pub fn register_pool(
+        &mut self,
+        pool: PoolId,
+        virt_base: VirtAddr,
+        phys_base: PhysAddr,
+        size: u64,
+    ) {
+        self.map.register_pool(pool, virt_base, phys_base, size);
+    }
+
+    /// Installs a thread-local mapping.
+    pub fn register_thread_pool(
+        &mut self,
+        pool: PoolId,
+        thread: ThreadId,
+        virt_base: VirtAddr,
+        phys_base: PhysAddr,
+        size: u64,
+    ) {
+        self.map
+            .register_thread_pool(pool, thread, virt_base, phys_base, size);
+    }
+
+    /// Enqueues a request without executing it (step 1a of the execution
+    /// flow). Used by the recovery tests to model requests still sitting in
+    /// the FIFO when a failure hits.
+    pub fn enqueue(&mut self, request: NearPmRequest) -> Result<RequestId, DeviceError> {
+        Ok(self.fifo.push(request)?)
+    }
+
+    /// Enqueues and immediately executes a request, returning its execution
+    /// record. `issue_deps` are the tasks that must precede the dispatch
+    /// (typically the CPU's command-issue task on the control path).
+    pub fn submit(
+        &mut self,
+        request: NearPmRequest,
+        space: &mut PmSpace,
+        graph: &mut TaskGraph,
+        model: &LatencyModel,
+        issue_deps: &[TaskId],
+    ) -> Result<ExecutedRequest, DeviceError> {
+        self.enqueue(request)?;
+        self.process_one(space, graph, model, issue_deps)
+            .expect("request was just enqueued")
+    }
+
+    /// Pops and executes the oldest queued request (steps 2a–8a).
+    pub fn process_one(
+        &mut self,
+        space: &mut PmSpace,
+        graph: &mut TaskGraph,
+        model: &LatencyModel,
+        issue_deps: &[TaskId],
+    ) -> Option<Result<ExecutedRequest, DeviceError>> {
+        let (id, request) = self.fifo.pop()?;
+        Some(self.execute(id, request, space, graph, model, issue_deps))
+    }
+
+    /// Executes every queued request in FIFO order (used by recovery replay).
+    pub fn drain(
+        &mut self,
+        space: &mut PmSpace,
+        graph: &mut TaskGraph,
+        model: &LatencyModel,
+        issue_deps: &[TaskId],
+    ) -> Vec<Result<ExecutedRequest, DeviceError>> {
+        let mut out = Vec::new();
+        while let Some(r) = self.process_one(space, graph, model, issue_deps) {
+            out.push(r);
+        }
+        out
+    }
+
+    fn execute(
+        &mut self,
+        id: RequestId,
+        request: NearPmRequest,
+        space: &mut PmSpace,
+        graph: &mut TaskGraph,
+        model: &LatencyModel,
+        issue_deps: &[TaskId],
+    ) -> Result<ExecutedRequest, DeviceError> {
+        // Step 2a/3a: decode and translate operands.
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        for (v, len) in request.op.read_ranges() {
+            let p = self.map.translate(request.pool, request.thread, v)?;
+            reads.push((v, p, len));
+        }
+        for (v, len) in request.op.write_ranges() {
+            let p = self.map.translate(request.pool, request.thread, v)?;
+            writes.push((v, p, len));
+        }
+
+        // Step 4a: conflict check against in-flight accesses.
+        let mut conflict_deps: Vec<TaskId> = Vec::new();
+        for (_, p, len) in &reads {
+            conflict_deps.extend(self.inflight.conflicts(*p, *len, false));
+        }
+        for (_, p, len) in &writes {
+            conflict_deps.extend(self.inflight.conflicts(*p, *len, true));
+        }
+        conflict_deps.sort_unstable();
+        conflict_deps.dedup();
+        if !conflict_deps.is_empty() {
+            self.stats.conflicts += 1;
+        }
+
+        // Dispatcher occupancy: decode/translate/conflict-check time.
+        let mut dispatch_deps = issue_deps.to_vec();
+        dispatch_deps.extend_from_slice(&conflict_deps);
+        let dispatch = graph.add(
+            "ndp-dispatch",
+            self.dispatcher_resource(),
+            model.ndp_dispatch(),
+            Region::CcOffload,
+            &dispatch_deps,
+        );
+
+        // Step 6a: hand the request to the next unit (round-robin; the
+        // scheduler accounts for unit contention).
+        let unit_index = self.next_unit % self.units.len();
+        self.next_unit = self.next_unit.wrapping_add(1);
+
+        let finish = {
+            let unit = &mut self.units[unit_index];
+            let mut last = dispatch;
+            match &request.op {
+                NearPmOp::UndoLogCreate {
+                    src,
+                    len,
+                    log_meta,
+                    log_data,
+                    txn_id,
+                } => {
+                    let src_p = self.map.translate(request.pool, request.thread, *src)?;
+                    let meta_p = self.map.translate(request.pool, request.thread, *log_meta)?;
+                    let data_p = self.map.translate(request.pool, request.thread, *log_data)?;
+                    let header = LogEntryHeader::active(*src, *len, *txn_id);
+                    last = unit.write_header(space, graph, model, meta_p, &header, &[last]);
+                    last = unit.copy(
+                        space,
+                        graph,
+                        model,
+                        src_p,
+                        data_p,
+                        *len,
+                        Region::CcDataMovement,
+                        &[last],
+                    );
+                }
+                NearPmOp::ApplyRedoLog { log_data, dst, len } => {
+                    let src_p = self.map.translate(request.pool, request.thread, *log_data)?;
+                    let dst_p = self.map.translate(request.pool, request.thread, *dst)?;
+                    last = unit.copy(
+                        space,
+                        graph,
+                        model,
+                        src_p,
+                        dst_p,
+                        *len,
+                        Region::CcDataMovement,
+                        &[last],
+                    );
+                }
+                NearPmOp::CommitLog { entries, .. } => {
+                    for entry in entries {
+                        let p = self.map.translate(request.pool, request.thread, *entry)?;
+                        last = unit.reset_header(space, graph, model, p, &[last]);
+                    }
+                }
+                NearPmOp::CheckpointCreate {
+                    src,
+                    len,
+                    ckpt_meta,
+                    ckpt_data,
+                    epoch,
+                } => {
+                    let src_p = self.map.translate(request.pool, request.thread, *src)?;
+                    let meta_p = self.map.translate(request.pool, request.thread, *ckpt_meta)?;
+                    let data_p = self.map.translate(request.pool, request.thread, *ckpt_data)?;
+                    let header = LogEntryHeader::active(*src, *len, *epoch);
+                    last = unit.write_header(space, graph, model, meta_p, &header, &[last]);
+                    last = unit.copy(
+                        space,
+                        graph,
+                        model,
+                        src_p,
+                        data_p,
+                        *len,
+                        Region::CcDataMovement,
+                        &[last],
+                    );
+                }
+                NearPmOp::ShadowCopy { src, dst, len } => {
+                    let src_p = self.map.translate(request.pool, request.thread, *src)?;
+                    let dst_p = self.map.translate(request.pool, request.thread, *dst)?;
+                    last = unit.copy(
+                        space,
+                        graph,
+                        model,
+                        src_p,
+                        dst_p,
+                        *len,
+                        Region::CcDataMovement,
+                        &[last],
+                    );
+                }
+            }
+            unit.complete_request();
+            last
+        };
+
+        // Track the request's accesses until the host releases them (commit).
+        for (_, p, len) in &reads {
+            self.inflight.insert(InFlightEntry {
+                request: id,
+                start: *p,
+                len: *len,
+                is_write: false,
+                completes_at: finish,
+            });
+        }
+        for (_, p, len) in &writes {
+            self.inflight.insert(InFlightEntry {
+                request: id,
+                start: *p,
+                len: *len,
+                is_write: true,
+                completes_at: finish,
+            });
+        }
+
+        let bytes = request.op.bytes_moved();
+        self.stats.requests += 1;
+        self.stats.bytes_moved += bytes;
+        *self.stats.by_op.entry(request.op.mnemonic()).or_insert(0) += 1;
+
+        Ok(ExecutedRequest {
+            request: id,
+            device: self.config.id,
+            unit: unit_index,
+            dispatch,
+            finish,
+            bytes_moved: bytes,
+            reads,
+            writes,
+        })
+    }
+
+    /// Conflict check for a *host* memory access (steps 1b–3b): returns the
+    /// tasks the host access must wait for. An empty vector means no
+    /// buffering is needed.
+    pub fn host_access_conflicts(
+        &mut self,
+        addr: PhysAddr,
+        len: u64,
+        is_write: bool,
+    ) -> Vec<TaskId> {
+        self.inflight.conflicts(addr, len, is_write)
+    }
+
+    /// Releases the in-flight records of a request once the host no longer
+    /// needs ordering against it (at transaction commit).
+    pub fn release_request(&mut self, request: RequestId) {
+        self.inflight.complete_request(request);
+    }
+
+    /// Number of in-flight access records (diagnostics).
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Captures the persistence-domain image of the front-end.
+    pub fn crash_snapshot(&self) -> DevicePersistentState {
+        DevicePersistentState {
+            fifo: self.fifo.snapshot(),
+            inflight: self.inflight.snapshot(),
+        }
+    }
+
+    /// Hardware recovery step 1: restore the persistence-domain structures
+    /// from the reserved PM region. Step 2 (replaying the requests) is
+    /// performed by calling [`NearPmDevice::drain`].
+    pub fn restore(&mut self, state: DevicePersistentState) {
+        self.fifo.restore(state.fifo);
+        self.inflight = InFlightTable::new();
+        for e in state.inflight {
+            self.inflight.insert(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nearpm_sim::Schedule;
+
+    fn setup() -> (NearPmDevice, PmSpace, TaskGraph, LatencyModel) {
+        let mut dev = NearPmDevice::new(DeviceConfig::prototype(0));
+        let space = PmSpace::single(1 << 20);
+        // One pool covering the whole space: virtual 0x1000_0000 → physical 0.
+        dev.register_pool(PoolId(0), VirtAddr(0x1000_0000), PhysAddr(0), 1 << 20);
+        (dev, space, TaskGraph::new(), LatencyModel::default())
+    }
+
+    fn undolog_req(src_off: u64, len: u64, log_off: u64, txn: u64) -> NearPmRequest {
+        NearPmRequest::new(
+            PoolId(0),
+            ThreadId(0),
+            NearPmOp::UndoLogCreate {
+                src: VirtAddr(0x1000_0000 + src_off),
+                len,
+                log_meta: VirtAddr(0x1000_0000 + log_off),
+                log_data: VirtAddr(0x1000_0000 + log_off + 64),
+                txn_id: txn,
+            },
+        )
+    }
+
+    #[test]
+    fn undo_log_create_copies_data_and_writes_header() {
+        let (mut dev, mut space, mut graph, model) = setup();
+        space.write(PhysAddr(0x100), &[0xAA; 128]);
+        let exec = dev
+            .submit(undolog_req(0x100, 128, 0x8000, 7), &mut space, &mut graph, &model, &[])
+            .unwrap();
+        // Log data copied.
+        assert_eq!(space.read_vec(PhysAddr(0x8000 + 64), 128), vec![0xAA; 128]);
+        // Header decodable and points at the source.
+        let header = LogEntryHeader::decode(&space.read_vec(PhysAddr(0x8000), 40)).unwrap();
+        assert_eq!(header.target, VirtAddr(0x1000_0100));
+        assert_eq!(header.len, 128);
+        assert_eq!(header.txn_id, 7);
+        assert_eq!(exec.bytes_moved, 128);
+        assert_eq!(dev.stats().requests, 1);
+        assert_eq!(dev.stats().by_op["undolog_create"], 1);
+        // Timing: the request occupies a dispatcher and a unit.
+        let s = Schedule::compute(&graph);
+        assert!(s.timing(exec.finish).finish > s.timing(exec.dispatch).start);
+    }
+
+    #[test]
+    fn commit_log_resets_headers() {
+        let (mut dev, mut space, mut graph, model) = setup();
+        space.write(PhysAddr(0x100), &[1; 64]);
+        dev.submit(undolog_req(0x100, 64, 0x8000, 1), &mut space, &mut graph, &model, &[])
+            .unwrap();
+        assert!(LogEntryHeader::decode(&space.read_vec(PhysAddr(0x8000), 40)).is_some());
+        let commit = NearPmRequest::new(
+            PoolId(0),
+            ThreadId(0),
+            NearPmOp::CommitLog {
+                entries: vec![VirtAddr(0x1000_8000)],
+                txn_id: 1,
+            },
+        );
+        dev.submit(commit, &mut space, &mut graph, &model, &[]).unwrap();
+        assert!(LogEntryHeader::decode(&space.read_vec(PhysAddr(0x8000), 40)).is_none());
+    }
+
+    #[test]
+    fn shadow_copy_and_apply_redo_log() {
+        let (mut dev, mut space, mut graph, model) = setup();
+        space.write(PhysAddr(0x4000), &[3; 4096]);
+        let shadow = NearPmRequest::new(
+            PoolId(0),
+            ThreadId(0),
+            NearPmOp::ShadowCopy {
+                src: VirtAddr(0x1000_4000),
+                dst: VirtAddr(0x1002_0000),
+                len: 4096,
+            },
+        );
+        dev.submit(shadow, &mut space, &mut graph, &model, &[]).unwrap();
+        assert_eq!(space.read_vec(PhysAddr(0x2_0000), 4096), vec![3; 4096]);
+
+        space.write(PhysAddr(0x9000), &[9; 256]);
+        let apply = NearPmRequest::new(
+            PoolId(0),
+            ThreadId(0),
+            NearPmOp::ApplyRedoLog {
+                log_data: VirtAddr(0x1000_9000),
+                dst: VirtAddr(0x1000_0400),
+                len: 256,
+            },
+        );
+        dev.submit(apply, &mut space, &mut graph, &model, &[]).unwrap();
+        assert_eq!(space.read_vec(PhysAddr(0x400), 256), vec![9; 256]);
+    }
+
+    #[test]
+    fn host_conflict_detected_until_release() {
+        let (mut dev, mut space, mut graph, model) = setup();
+        let exec = dev
+            .submit(undolog_req(0x100, 64, 0x8000, 1), &mut space, &mut graph, &model, &[])
+            .unwrap();
+        // The host reads the logged source range: conflicts with the NDP read?
+        // Reads don't conflict with reads, but a host *write* to the source does.
+        let deps = dev.host_access_conflicts(PhysAddr(0x100), 64, true);
+        assert_eq!(deps, vec![exec.finish]);
+        // A host access to an unrelated range does not conflict.
+        assert!(dev.host_access_conflicts(PhysAddr(0x40000), 64, true).is_empty());
+        dev.release_request(exec.request);
+        assert!(dev.host_access_conflicts(PhysAddr(0x100), 64, true).is_empty());
+        assert_eq!(dev.inflight_len(), 0);
+    }
+
+    #[test]
+    fn requests_round_robin_across_units() {
+        let (mut dev, mut space, mut graph, model) = setup();
+        let mut units_used = std::collections::HashSet::new();
+        for i in 0..4 {
+            let exec = dev
+                .submit(
+                    undolog_req(0x1000 + i * 0x100, 64, 0x8000 + i * 0x200, i),
+                    &mut space,
+                    &mut graph,
+                    &model,
+                    &[],
+                )
+                .unwrap();
+            units_used.insert(exec.unit);
+        }
+        assert_eq!(units_used.len(), 4);
+    }
+
+    #[test]
+    fn translation_failure_surfaces() {
+        let (mut dev, mut space, mut graph, model) = setup();
+        let bad = NearPmRequest::new(
+            PoolId(3),
+            ThreadId(0),
+            NearPmOp::ShadowCopy {
+                src: VirtAddr(0x1000_0000),
+                dst: VirtAddr(0x1000_1000),
+                len: 64,
+            },
+        );
+        let err = dev.submit(bad, &mut space, &mut graph, &model, &[]).unwrap_err();
+        assert!(matches!(err, DeviceError::Translate(_)));
+    }
+
+    #[test]
+    fn crash_snapshot_preserves_queued_requests_for_replay() {
+        let (mut dev, mut space, mut graph, model) = setup();
+        space.write(PhysAddr(0x100), &[5; 64]);
+        // Enqueue but do not execute: the request is only in the FIFO when the
+        // failure hits.
+        dev.enqueue(undolog_req(0x100, 64, 0x8000, 2)).unwrap();
+        let snapshot = dev.crash_snapshot();
+        assert_eq!(snapshot.fifo.len(), 1);
+
+        // "Reboot": a fresh device restores the persistence-domain image and
+        // replays the request.
+        let mut dev2 = NearPmDevice::new(DeviceConfig::prototype(0));
+        dev2.register_pool(PoolId(0), VirtAddr(0x1000_0000), PhysAddr(0), 1 << 20);
+        dev2.restore(snapshot);
+        assert_eq!(dev2.pending(), 1);
+        let results = dev2.drain(&mut space, &mut graph, &model, &[]);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_ok());
+        // The replayed log creation is visible in PM.
+        assert_eq!(space.read_vec(PhysAddr(0x8000 + 64), 64), vec![5; 64]);
+    }
+}

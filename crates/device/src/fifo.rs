@@ -1,0 +1,188 @@
+//! Request FIFO of a NearPM device.
+//!
+//! Requests issued over the control path land in a bounded FIFO (32 entries
+//! in the prototype, Table 3) that is part of the persistence domain: on a
+//! failure its contents are written back to a reserved PM location by the
+//! residual-capacitance mechanism and replayed during recovery.
+
+use crate::request::{NearPmRequest, RequestId};
+
+/// Default FIFO depth (entries), matching the prototype configuration.
+pub const DEFAULT_FIFO_DEPTH: usize = 32;
+
+/// Error returned when the FIFO is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoFull;
+
+impl std::fmt::Display for FifoFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NearPM request FIFO is full")
+    }
+}
+
+impl std::error::Error for FifoFull {}
+
+/// Bounded request FIFO.
+#[derive(Debug, Clone)]
+pub struct RequestFifo {
+    depth: usize,
+    entries: std::collections::VecDeque<(RequestId, NearPmRequest)>,
+    next_id: u64,
+    accepted: u64,
+    high_watermark: usize,
+}
+
+impl RequestFifo {
+    /// Creates a FIFO of the given depth.
+    pub fn new(depth: usize) -> Self {
+        RequestFifo {
+            depth,
+            entries: std::collections::VecDeque::with_capacity(depth),
+            next_id: 0,
+            accepted: 0,
+            high_watermark: 0,
+        }
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no requests are queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if the FIFO cannot accept another request.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.depth
+    }
+
+    /// FIFO depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total requests accepted over the FIFO's lifetime.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Maximum occupancy observed.
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+
+    /// Enqueues a request, assigning it a [`RequestId`].
+    pub fn push(&mut self, request: NearPmRequest) -> Result<RequestId, FifoFull> {
+        if self.is_full() {
+            return Err(FifoFull);
+        }
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.accepted += 1;
+        self.entries.push_back((id, request));
+        self.high_watermark = self.high_watermark.max(self.entries.len());
+        Ok(id)
+    }
+
+    /// Dequeues the oldest request.
+    pub fn pop(&mut self) -> Option<(RequestId, NearPmRequest)> {
+        self.entries.pop_front()
+    }
+
+    /// Peeks at the oldest request without removing it.
+    pub fn peek(&self) -> Option<&(RequestId, NearPmRequest)> {
+        self.entries.front()
+    }
+
+    /// Snapshot of the queued requests (persistence-domain image used by the
+    /// hardware recovery procedure).
+    pub fn snapshot(&self) -> Vec<(RequestId, NearPmRequest)> {
+        self.entries.iter().cloned().collect()
+    }
+
+    /// Restores the FIFO from a persistence-domain snapshot.
+    pub fn restore(&mut self, entries: Vec<(RequestId, NearPmRequest)>) {
+        self.entries = entries.into();
+        self.high_watermark = self.high_watermark.max(self.entries.len());
+    }
+
+    /// Discards all queued requests (used to model losing state that is *not*
+    /// in the persistence domain, for negative tests).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl Default for RequestFifo {
+    fn default() -> Self {
+        RequestFifo::new(DEFAULT_FIFO_DEPTH)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{NearPmOp, NearPmRequest, ThreadId};
+    use nearpm_pm::{PoolId, VirtAddr};
+
+    fn req(n: u64) -> NearPmRequest {
+        NearPmRequest::new(
+            PoolId(0),
+            ThreadId(0),
+            NearPmOp::ShadowCopy {
+                src: VirtAddr(n * 4096),
+                dst: VirtAddr(n * 4096 + 0x100000),
+                len: 4096,
+            },
+        )
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut f = RequestFifo::new(4);
+        let a = f.push(req(1)).unwrap();
+        let b = f.push(req(2)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(f.len(), 2);
+        let (id, r) = f.pop().unwrap();
+        assert_eq!(id, a);
+        assert_eq!(r, req(1));
+        assert_eq!(f.pop().unwrap().0, b);
+        assert!(f.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_full_rejected() {
+        let mut f = RequestFifo::new(2);
+        f.push(req(1)).unwrap();
+        f.push(req(2)).unwrap();
+        assert!(f.is_full());
+        assert_eq!(f.push(req(3)), Err(FifoFull));
+        f.pop();
+        assert!(f.push(req(3)).is_ok());
+        assert_eq!(f.accepted(), 3);
+        assert_eq!(f.high_watermark(), 2);
+    }
+
+    #[test]
+    fn snapshot_and_restore_roundtrip() {
+        let mut f = RequestFifo::new(8);
+        f.push(req(1)).unwrap();
+        f.push(req(2)).unwrap();
+        let snap = f.snapshot();
+        f.clear();
+        assert!(f.is_empty());
+        f.restore(snap);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.peek().unwrap().1, req(1));
+    }
+
+    #[test]
+    fn default_depth_matches_prototype() {
+        let f = RequestFifo::default();
+        assert_eq!(f.depth(), 32);
+    }
+}

@@ -1,0 +1,190 @@
+//! In-flight memory access table.
+//!
+//! The dispatcher records the physical ranges currently being read or written
+//! by NearPM units. Incoming requests (from the host or from the request
+//! FIFO) whose operands conflict with an in-flight range must stall until the
+//! conflicting access completes — this is how the hardware enforces PPO
+//! Invariant 1 between the CPU and NDP procedures and between NDP procedures
+//! of the same device.
+
+use nearpm_pm::PhysAddr;
+use nearpm_sim::TaskId;
+
+use crate::request::RequestId;
+
+/// One in-flight access record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InFlightEntry {
+    /// Request that owns the access.
+    pub request: RequestId,
+    /// Physical start address.
+    pub start: PhysAddr,
+    /// Length in bytes.
+    pub len: u64,
+    /// True if the access writes the range (write-write and read-write are
+    /// conflicts; read-read is not).
+    pub is_write: bool,
+    /// The scheduler task whose completion releases this entry. Conflicting
+    /// work must add this task to its dependency list.
+    pub completes_at: TaskId,
+}
+
+impl InFlightEntry {
+    fn overlaps(&self, start: PhysAddr, len: u64) -> bool {
+        len > 0
+            && self.len > 0
+            && start.raw() < self.start.raw() + self.len
+            && self.start.raw() < start.raw() + len
+    }
+}
+
+/// The in-flight access table of one NearPM device.
+#[derive(Debug, Clone, Default)]
+pub struct InFlightTable {
+    entries: Vec<InFlightEntry>,
+    conflicts_detected: u64,
+}
+
+impl InFlightTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        InFlightTable::default()
+    }
+
+    /// Number of tracked accesses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total conflicts detected (diagnostics; the paper's motivation for
+    /// buffering host accesses).
+    pub fn conflicts_detected(&self) -> u64 {
+        self.conflicts_detected
+    }
+
+    /// Registers an in-flight access.
+    pub fn insert(&mut self, entry: InFlightEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Removes every access belonging to `request` (called when the request's
+    /// execution completes).
+    pub fn complete_request(&mut self, request: RequestId) {
+        self.entries.retain(|e| e.request != request);
+    }
+
+    /// Returns the completion tasks of every in-flight access that conflicts
+    /// with the given access. An empty result means the access may proceed
+    /// immediately; otherwise the caller must make its work depend on the
+    /// returned tasks (stall until the conflicting accesses complete).
+    pub fn conflicts(&mut self, start: PhysAddr, len: u64, is_write: bool) -> Vec<TaskId> {
+        let mut deps: Vec<TaskId> = self
+            .entries
+            .iter()
+            .filter(|e| (is_write || e.is_write) && e.overlaps(start, len))
+            .map(|e| e.completes_at)
+            .collect();
+        deps.sort_unstable();
+        deps.dedup();
+        if !deps.is_empty() {
+            self.conflicts_detected += 1;
+        }
+        deps
+    }
+
+    /// Snapshot of the in-flight entries (persistence-domain image).
+    pub fn snapshot(&self) -> Vec<InFlightEntry> {
+        self.entries.clone()
+    }
+
+    /// Approximate persistence-domain footprint in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.entries.len() * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(req: u64, start: u64, len: u64, is_write: bool, task: usize) -> InFlightEntry {
+        // TaskId construction goes through a tiny graph because its inner
+        // index is crate-private to nearpm-sim.
+        let mut g = nearpm_sim::TaskGraph::new();
+        let mut id = None;
+        for _ in 0..=task {
+            id = Some(g.add(
+                "t",
+                nearpm_sim::Resource::Cpu(0),
+                nearpm_sim::SimDuration::ZERO,
+                nearpm_sim::Region::Application,
+                &[],
+            ));
+        }
+        InFlightEntry {
+            request: RequestId(req),
+            start: PhysAddr(start),
+            len,
+            is_write,
+            completes_at: id.unwrap(),
+        }
+    }
+
+    #[test]
+    fn write_write_and_read_write_conflict() {
+        let mut t = InFlightTable::new();
+        t.insert(entry(1, 0x1000, 64, true, 0));
+        // Overlapping write conflicts.
+        assert_eq!(t.conflicts(PhysAddr(0x1020), 64, true).len(), 1);
+        // Overlapping read against a write conflicts.
+        assert_eq!(t.conflicts(PhysAddr(0x1020), 64, false).len(), 1);
+        // Disjoint access does not.
+        assert!(t.conflicts(PhysAddr(0x2000), 64, true).is_empty());
+        assert_eq!(t.conflicts_detected(), 2);
+    }
+
+    #[test]
+    fn read_read_does_not_conflict() {
+        let mut t = InFlightTable::new();
+        t.insert(entry(1, 0x1000, 64, false, 0));
+        assert!(t.conflicts(PhysAddr(0x1000), 64, false).is_empty());
+        // But a write against an in-flight read does conflict.
+        assert_eq!(t.conflicts(PhysAddr(0x1000), 64, true).len(), 1);
+    }
+
+    #[test]
+    fn completion_releases_entries() {
+        let mut t = InFlightTable::new();
+        t.insert(entry(1, 0x1000, 64, true, 0));
+        t.insert(entry(1, 0x8000, 64, true, 1));
+        t.insert(entry(2, 0x1000, 64, false, 2));
+        assert_eq!(t.len(), 3);
+        t.complete_request(RequestId(1));
+        assert_eq!(t.len(), 1);
+        assert!(t.conflicts(PhysAddr(0x1000), 8, false).is_empty());
+        assert_eq!(t.conflicts(PhysAddr(0x1000), 8, true).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_dependencies_are_deduplicated() {
+        let mut t = InFlightTable::new();
+        t.insert(entry(1, 0x1000, 64, true, 0));
+        t.insert(entry(2, 0x1040, 64, true, 0));
+        let deps = t.conflicts(PhysAddr(0x1000), 256, true);
+        assert_eq!(deps.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_and_footprint() {
+        let mut t = InFlightTable::new();
+        t.insert(entry(1, 0, 64, true, 0));
+        assert_eq!(t.snapshot().len(), 1);
+        assert_eq!(t.footprint_bytes(), 32);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! NearPM requests: the command format of the control path.
+//!
+//! The software interface (Table 2 of the paper) issues commands whose
+//! operands are **virtual addresses** plus pool and thread identifiers. The
+//! dispatcher inside the device translates the operands to physical addresses
+//! via the address-mapping table before execution. This module defines both
+//! the raw (virtual-address) request and its decoded (physical-address) form,
+//! plus the micro-operations a NearPM unit executes.
+
+use nearpm_pm::{PhysAddr, PoolId, VirtAddr};
+
+/// Identifier of an application thread, used to select the per-thread log
+/// region and to index the address-mapping table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ThreadId(pub u32);
+
+/// Monotonically increasing identifier assigned to every request accepted by
+/// a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+/// A crash-consistency primitive offloaded to NearPM (Table 2).
+///
+/// Log/checkpoint destinations are chosen by the PM library on the host (as
+/// PMDK does for its per-transaction log offsets) and carried in the request
+/// so that the device's metadata generator and DMA engine know where to
+/// place recovery data. Destinations always point into NDP-managed regions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NearPmOp {
+    /// `NearPM_undolg_create`: generate metadata and copy `len` bytes of old
+    /// data from `src` into the undo-log slot at `log_meta`/`log_data`.
+    UndoLogCreate {
+        /// Virtual address of the data about to be overwritten.
+        src: VirtAddr,
+        /// Length of the logged range in bytes.
+        len: u64,
+        /// Destination of the log-entry header.
+        log_meta: VirtAddr,
+        /// Destination of the logged data bytes.
+        log_data: VirtAddr,
+        /// Transaction the entry belongs to.
+        txn_id: u64,
+    },
+    /// `NearPM_applylog`: apply a redo log by copying `len` bytes from the
+    /// log back to the home location.
+    ApplyRedoLog {
+        /// Virtual address of the redo-log data.
+        log_data: VirtAddr,
+        /// Home location to apply the log to.
+        dst: VirtAddr,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// `NearPM_commit_log`: mark a transaction's log entries committed and
+    /// reset (delete) them.
+    CommitLog {
+        /// Log-entry headers to reset.
+        entries: Vec<VirtAddr>,
+        /// Transaction being committed.
+        txn_id: u64,
+    },
+    /// `NearPM_ckpoint_create`: generate metadata and copy an existing page
+    /// into the checkpoint area before it is updated.
+    CheckpointCreate {
+        /// Virtual address of the page to snapshot.
+        src: VirtAddr,
+        /// Length (typically 4 kB).
+        len: u64,
+        /// Destination of the checkpoint-entry header.
+        ckpt_meta: VirtAddr,
+        /// Destination of the snapshot bytes.
+        ckpt_data: VirtAddr,
+        /// Checkpoint epoch.
+        epoch: u64,
+    },
+    /// `NearPM_shadowcpy`: copy an existing page to its shadow page before
+    /// the application writes the new version.
+    ShadowCopy {
+        /// Virtual address of the original page.
+        src: VirtAddr,
+        /// Virtual address of the shadow page.
+        dst: VirtAddr,
+        /// Length (typically 4 kB).
+        len: u64,
+    },
+}
+
+impl NearPmOp {
+    /// Short mnemonic used in traces and statistics.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            NearPmOp::UndoLogCreate { .. } => "undolog_create",
+            NearPmOp::ApplyRedoLog { .. } => "applylog",
+            NearPmOp::CommitLog { .. } => "commit_log",
+            NearPmOp::CheckpointCreate { .. } => "ckpoint_create",
+            NearPmOp::ShadowCopy { .. } => "shadowcpy",
+        }
+    }
+
+    /// Number of payload bytes the operation moves.
+    pub fn bytes_moved(&self) -> u64 {
+        match self {
+            NearPmOp::UndoLogCreate { len, .. }
+            | NearPmOp::ApplyRedoLog { len, .. }
+            | NearPmOp::CheckpointCreate { len, .. }
+            | NearPmOp::ShadowCopy { len, .. } => *len,
+            NearPmOp::CommitLog { .. } => 0,
+        }
+    }
+
+    /// Virtual operand ranges the operation *reads* (shared application data
+    /// or log data).
+    pub fn read_ranges(&self) -> Vec<(VirtAddr, u64)> {
+        match self {
+            NearPmOp::UndoLogCreate { src, len, .. } => vec![(*src, *len)],
+            NearPmOp::ApplyRedoLog { log_data, len, .. } => vec![(*log_data, *len)],
+            NearPmOp::CheckpointCreate { src, len, .. } => vec![(*src, *len)],
+            NearPmOp::ShadowCopy { src, len, .. } => vec![(*src, *len)],
+            NearPmOp::CommitLog { .. } => vec![],
+        }
+    }
+
+    /// Virtual operand ranges the operation *writes*.
+    pub fn write_ranges(&self) -> Vec<(VirtAddr, u64)> {
+        match self {
+            NearPmOp::UndoLogCreate {
+                log_meta, log_data, len, ..
+            } => vec![
+                (*log_meta, crate::metadata::LOG_ENTRY_HEADER_LEN as u64),
+                (*log_data, *len),
+            ],
+            NearPmOp::ApplyRedoLog { dst, len, .. } => vec![(*dst, *len)],
+            NearPmOp::CommitLog { entries, .. } => entries
+                .iter()
+                .map(|e| (*e, crate::metadata::LOG_ENTRY_HEADER_LEN as u64))
+                .collect(),
+            NearPmOp::CheckpointCreate {
+                ckpt_meta,
+                ckpt_data,
+                len,
+                ..
+            } => vec![
+                (*ckpt_meta, crate::metadata::LOG_ENTRY_HEADER_LEN as u64),
+                (*ckpt_data, *len),
+            ],
+            NearPmOp::ShadowCopy { dst, len, .. } => vec![(*dst, *len)],
+        }
+    }
+}
+
+/// A request as issued by the host over the control path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NearPmRequest {
+    /// Pool the operands belong to.
+    pub pool: PoolId,
+    /// Issuing application thread.
+    pub thread: ThreadId,
+    /// The operation.
+    pub op: NearPmOp,
+}
+
+impl NearPmRequest {
+    /// Creates a request.
+    pub fn new(pool: PoolId, thread: ThreadId, op: NearPmOp) -> Self {
+        NearPmRequest { pool, thread, op }
+    }
+}
+
+/// A physical copy/metadata micro-operation produced by decoding a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// Copy `len` bytes from `src` to `dst` using the DMA engine.
+    Copy {
+        /// Physical source.
+        src: PhysAddr,
+        /// Physical destination.
+        dst: PhysAddr,
+        /// Bytes to copy.
+        len: u64,
+    },
+    /// Write a log/checkpoint entry header at `dst`.
+    WriteHeader {
+        /// Physical destination of the header.
+        dst: PhysAddr,
+    },
+    /// Reset (invalidate) the header at `dst`.
+    ResetHeader {
+        /// Physical location of the header.
+        dst: PhysAddr,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u64) -> VirtAddr {
+        VirtAddr(x)
+    }
+
+    #[test]
+    fn mnemonics_and_bytes() {
+        let op = NearPmOp::UndoLogCreate {
+            src: v(0x1000),
+            len: 256,
+            log_meta: v(0x8000),
+            log_data: v(0x8040),
+            txn_id: 1,
+        };
+        assert_eq!(op.mnemonic(), "undolog_create");
+        assert_eq!(op.bytes_moved(), 256);
+        let commit = NearPmOp::CommitLog {
+            entries: vec![v(0x8000)],
+            txn_id: 1,
+        };
+        assert_eq!(commit.bytes_moved(), 0);
+        assert_eq!(commit.mnemonic(), "commit_log");
+    }
+
+    #[test]
+    fn read_and_write_ranges() {
+        let op = NearPmOp::UndoLogCreate {
+            src: v(0x1000),
+            len: 128,
+            log_meta: v(0x8000),
+            log_data: v(0x8040),
+            txn_id: 0,
+        };
+        assert_eq!(op.read_ranges(), vec![(v(0x1000), 128)]);
+        let writes = op.write_ranges();
+        assert_eq!(writes.len(), 2);
+        assert_eq!(writes[1], (v(0x8040), 128));
+
+        let shadow = NearPmOp::ShadowCopy {
+            src: v(0x2000),
+            dst: v(0x3000),
+            len: 4096,
+        };
+        assert_eq!(shadow.read_ranges(), vec![(v(0x2000), 4096)]);
+        assert_eq!(shadow.write_ranges(), vec![(v(0x3000), 4096)]);
+    }
+
+    #[test]
+    fn request_construction() {
+        let r = NearPmRequest::new(
+            PoolId(1),
+            ThreadId(2),
+            NearPmOp::ApplyRedoLog {
+                log_data: v(0x9000),
+                dst: v(0x1000),
+                len: 64,
+            },
+        );
+        assert_eq!(r.pool, PoolId(1));
+        assert_eq!(r.thread, ThreadId(2));
+        assert_eq!(r.op.bytes_moved(), 64);
+    }
+}

@@ -1,0 +1,189 @@
+//! NearPM execution units.
+//!
+//! Each device contains several units (four in the prototype); each unit has
+//! a request register, a controller, a metadata generator, a load/store unit
+//! for fine-grained accesses, and a DMA engine for bulk copies (Figure 9).
+//! A unit executes the micro-operations of one decoded request at a time.
+//!
+//! Functionally a unit manipulates the [`PmSpace`] directly (the device sits
+//! inside the PM controller and has no volatile write cache, so its writes
+//! are persistent as soon as they complete — the basis of PPO Invariant 2's
+//! treatment of NDP writes). For timing, the unit emits tasks bound to its
+//! [`Resource::NdpUnit`] slot.
+
+use nearpm_pm::{PhysAddr, PmSpace};
+use nearpm_sim::{LatencyModel, Region, Resource, TaskGraph, TaskId};
+
+use crate::metadata::{LogEntryHeader, LOG_ENTRY_HEADER_LEN};
+
+/// Statistics of one NearPM unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitStats {
+    /// Requests executed to completion.
+    pub requests: u64,
+    /// Payload bytes copied by the DMA engine.
+    pub bytes_copied: u64,
+    /// Log/checkpoint headers generated.
+    pub headers_written: u64,
+    /// Log entries reset/deleted.
+    pub headers_reset: u64,
+}
+
+/// One NearPM execution unit.
+#[derive(Debug, Clone)]
+pub struct NearPmUnit {
+    device: usize,
+    index: usize,
+    stats: UnitStats,
+}
+
+impl NearPmUnit {
+    /// Creates unit `index` of device `device`.
+    pub fn new(device: usize, index: usize) -> Self {
+        NearPmUnit {
+            device,
+            index,
+            stats: UnitStats::default(),
+        }
+    }
+
+    /// The unit's scheduling resource.
+    pub fn resource(&self) -> Resource {
+        Resource::NdpUnit {
+            device: self.device,
+            unit: self.index,
+        }
+    }
+
+    /// Unit statistics.
+    pub fn stats(&self) -> UnitStats {
+        self.stats
+    }
+
+    /// Executes a bulk copy: functionally moves the bytes, and emits a DMA
+    /// task that depends on `deps`. Returns the task id of the copy.
+    pub fn copy(
+        &mut self,
+        space: &mut PmSpace,
+        graph: &mut TaskGraph,
+        model: &LatencyModel,
+        src: PhysAddr,
+        dst: PhysAddr,
+        len: u64,
+        region: Region,
+        deps: &[TaskId],
+    ) -> TaskId {
+        space.copy(src, dst, len as usize);
+        self.stats.bytes_copied += len;
+        graph.add("ndp-copy", self.resource(), model.ndp_copy(len), region, deps)
+    }
+
+    /// Generates and persists a log/checkpoint entry header.
+    pub fn write_header(
+        &mut self,
+        space: &mut PmSpace,
+        graph: &mut TaskGraph,
+        model: &LatencyModel,
+        dst: PhysAddr,
+        header: &LogEntryHeader,
+        deps: &[TaskId],
+    ) -> TaskId {
+        space.write(dst, &header.encode());
+        self.stats.headers_written += 1;
+        graph.add(
+            "ndp-metadata",
+            self.resource(),
+            model.ndp_metadata(),
+            Region::CcMetadata,
+            deps,
+        )
+    }
+
+    /// Resets (deletes) a log entry header.
+    pub fn reset_header(
+        &mut self,
+        space: &mut PmSpace,
+        graph: &mut TaskGraph,
+        model: &LatencyModel,
+        dst: PhysAddr,
+        deps: &[TaskId],
+    ) -> TaskId {
+        space.write(dst, &LogEntryHeader::reset_image());
+        self.stats.headers_reset += 1;
+        graph.add(
+            "ndp-log-reset",
+            self.resource(),
+            model.ndp_log_reset(),
+            Region::CcLogReset,
+            deps,
+        )
+    }
+
+    /// Reads a header back (used by the hardware recovery procedure).
+    pub fn read_header(&self, space: &mut PmSpace, src: PhysAddr) -> Option<LogEntryHeader> {
+        let buf = space.read_vec(src, LOG_ENTRY_HEADER_LEN);
+        LogEntryHeader::decode(&buf)
+    }
+
+    /// Marks a request complete (statistics only).
+    pub fn complete_request(&mut self) {
+        self.stats.requests += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nearpm_pm::VirtAddr;
+    use nearpm_sim::Schedule;
+
+    #[test]
+    fn copy_moves_bytes_and_emits_task() {
+        let mut space = PmSpace::single(1 << 16);
+        let mut graph = TaskGraph::new();
+        let model = LatencyModel::default();
+        let mut unit = NearPmUnit::new(0, 1);
+
+        space.write(PhysAddr(0x100), &[7; 128]);
+        let t = unit.copy(
+            &mut space,
+            &mut graph,
+            &model,
+            PhysAddr(0x100),
+            PhysAddr(0x4000),
+            128,
+            Region::CcDataMovement,
+            &[],
+        );
+        assert_eq!(space.read_vec(PhysAddr(0x4000), 128), vec![7; 128]);
+        assert_eq!(unit.stats().bytes_copied, 128);
+        let schedule = Schedule::compute(&graph);
+        assert!(schedule.timing(t).finish.as_ns() > 0.0);
+        assert_eq!(unit.resource(), Resource::NdpUnit { device: 0, unit: 1 });
+    }
+
+    #[test]
+    fn header_write_read_reset_cycle() {
+        let mut space = PmSpace::single(1 << 16);
+        let mut graph = TaskGraph::new();
+        let model = LatencyModel::default();
+        let mut unit = NearPmUnit::new(0, 0);
+
+        let header = LogEntryHeader::active(VirtAddr(0xABC0), 64, 3);
+        unit.write_header(&mut space, &mut graph, &model, PhysAddr(0x2000), &header, &[]);
+        assert_eq!(unit.read_header(&mut space, PhysAddr(0x2000)), Some(header));
+
+        unit.reset_header(&mut space, &mut graph, &model, PhysAddr(0x2000), &[]);
+        assert_eq!(unit.read_header(&mut space, PhysAddr(0x2000)), None);
+        assert_eq!(unit.stats().headers_written, 1);
+        assert_eq!(unit.stats().headers_reset, 1);
+    }
+
+    #[test]
+    fn request_counter() {
+        let mut unit = NearPmUnit::new(1, 2);
+        unit.complete_request();
+        unit.complete_request();
+        assert_eq!(unit.stats().requests, 2);
+    }
+}

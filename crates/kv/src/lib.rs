@@ -1,0 +1,328 @@
+//! # nearpm-kv — crash-consistent key-value structures
+//!
+//! Persistent key-value structures of the kind the paper's workloads exercise
+//! (the PMDK example stores and PmemKV's B+-tree backend), built on the
+//! transactional layer of `nearpm-pmdk`, so every mutation is failure-atomic
+//! and transparently accelerated when the system has NearPM devices.
+//!
+//! * [`PersistentHashMap`] — fixed-bucket open-addressing hash map with
+//!   64-byte values (the `hashmap` workload and the Memcached/Redis value
+//!   store shape).
+//! * [`PersistentIndex`] — sorted persistent index with fixed-size slots (the
+//!   B-tree/B+-tree workloads' leaf-update shape).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nearpm_core::{NearPmSystem, Result, VirtAddr};
+use nearpm_pmdk::ObjPool;
+
+/// Size of a stored value in bytes (the paper's workloads use 64 B values).
+pub const VALUE_SIZE: usize = 64;
+/// Size of one slot: 8-byte key + 8-byte state + value.
+const SLOT_SIZE: u64 = 16 + VALUE_SIZE as u64;
+const STATE_FULL: u64 = 1;
+
+fn encode_slot(key: u64, value: &[u8]) -> Vec<u8> {
+    let mut buf = vec![0u8; SLOT_SIZE as usize];
+    buf[0..8].copy_from_slice(&key.to_le_bytes());
+    buf[8..16].copy_from_slice(&STATE_FULL.to_le_bytes());
+    let n = value.len().min(VALUE_SIZE);
+    buf[16..16 + n].copy_from_slice(&value[..n]);
+    buf
+}
+
+fn decode_slot(buf: &[u8]) -> Option<(u64, Vec<u8>)> {
+    let key = u64::from_le_bytes(buf[0..8].try_into().ok()?);
+    let state = u64::from_le_bytes(buf[8..16].try_into().ok()?);
+    if state == STATE_FULL {
+        Some((key, buf[16..16 + VALUE_SIZE].to_vec()))
+    } else {
+        None
+    }
+}
+
+/// A crash-consistent open-addressing hash map with a fixed bucket count.
+#[derive(Debug)]
+pub struct PersistentHashMap {
+    base: VirtAddr,
+    buckets: u64,
+    len: usize,
+}
+
+impl PersistentHashMap {
+    /// Creates a map with `buckets` slots inside `pool`.
+    pub fn create(sys: &mut NearPmSystem, pool: &mut ObjPool, buckets: u64) -> Result<Self> {
+        let base = pool.alloc(sys, buckets * SLOT_SIZE)?;
+        // Zero-initialize the bucket array durably.
+        for b in 0..buckets {
+            pool.write_persist(sys, base.offset(b * SLOT_SIZE), &[0u8; SLOT_SIZE as usize])?;
+        }
+        Ok(PersistentHashMap {
+            base,
+            buckets,
+            len: 0,
+        })
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn slot_addr(&self, idx: u64) -> VirtAddr {
+        self.base.offset((idx % self.buckets) * SLOT_SIZE)
+    }
+
+    fn hash(&self, key: u64) -> u64 {
+        key.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.buckets
+    }
+
+    /// Inserts or updates `key` with `value` failure-atomically.
+    pub fn put(
+        &mut self,
+        sys: &mut NearPmSystem,
+        pool: &mut ObjPool,
+        key: u64,
+        value: &[u8],
+    ) -> Result<()> {
+        let mut idx = self.hash(key);
+        for _ in 0..self.buckets {
+            let addr = self.slot_addr(idx);
+            let existing = pool.read(sys, addr, SLOT_SIZE as usize)?;
+            match decode_slot(&existing) {
+                Some((k, _)) if k != key => {
+                    idx += 1;
+                    continue;
+                }
+                existing_entry => {
+                    let is_new = existing_entry.is_none();
+                    let bytes = encode_slot(key, value);
+                    pool.tx(sys, |tx, sys| tx.write(sys, addr, &bytes))?;
+                    if is_new {
+                        self.len += 1;
+                    }
+                    return Ok(());
+                }
+            }
+        }
+        panic!("hash map is full ({} buckets)", self.buckets);
+    }
+
+    /// Looks up `key`.
+    pub fn get(
+        &mut self,
+        sys: &mut NearPmSystem,
+        pool: &mut ObjPool,
+        key: u64,
+    ) -> Result<Option<Vec<u8>>> {
+        let mut idx = self.hash(key);
+        for _ in 0..self.buckets {
+            let addr = self.slot_addr(idx);
+            let raw = pool.read(sys, addr, SLOT_SIZE as usize)?;
+            match decode_slot(&raw) {
+                Some((k, v)) if k == key => return Ok(Some(v)),
+                Some(_) => idx += 1,
+                None => return Ok(None),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Re-reads an entry from the persistent image (used by recovery tests).
+    pub fn get_persistent(
+        &self,
+        sys: &mut NearPmSystem,
+        key: u64,
+    ) -> Result<Option<Vec<u8>>> {
+        let mut idx = self.hash(key);
+        for _ in 0..self.buckets {
+            let addr = self.slot_addr(idx);
+            let raw = sys.persistent_read(addr, SLOT_SIZE as usize)?;
+            match decode_slot(&raw) {
+                Some((k, v)) if k == key => return Ok(Some(v)),
+                Some(_) => idx += 1,
+                None => return Ok(None),
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// A crash-consistent sorted index with fixed-size slots (insertion shifts
+/// within a leaf region, like a B+-tree leaf).
+#[derive(Debug)]
+pub struct PersistentIndex {
+    base: VirtAddr,
+    capacity: u64,
+    keys: Vec<u64>,
+}
+
+impl PersistentIndex {
+    /// Creates an index with room for `capacity` entries.
+    pub fn create(sys: &mut NearPmSystem, pool: &mut ObjPool, capacity: u64) -> Result<Self> {
+        let base = pool.alloc(sys, capacity * SLOT_SIZE)?;
+        Ok(PersistentIndex {
+            base,
+            capacity,
+            keys: Vec::new(),
+        })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Inserts `key` with `value`, keeping entries sorted by key.
+    pub fn insert(
+        &mut self,
+        sys: &mut NearPmSystem,
+        pool: &mut ObjPool,
+        key: u64,
+        value: &[u8],
+    ) -> Result<()> {
+        assert!((self.keys.len() as u64) < self.capacity, "index full");
+        let pos = self.keys.partition_point(|&k| k < key);
+        let bytes = encode_slot(key, value);
+        // Shift the tail within one transaction, then write the new slot —
+        // the write amplification pattern of a sorted leaf.
+        pool.tx(sys, |tx, sys| {
+            for i in (pos..self.keys.len()).rev() {
+                let from = self.base.offset(i as u64 * SLOT_SIZE);
+                let to = self.base.offset((i as u64 + 1) * SLOT_SIZE);
+                let data = tx.read(sys, from, SLOT_SIZE as usize)?;
+                tx.write(sys, to, &data)?;
+            }
+            tx.write(sys, self.base.offset(pos as u64 * SLOT_SIZE), &bytes)
+        })?;
+        self.keys.insert(pos, key);
+        Ok(())
+    }
+
+    /// Looks up `key`.
+    pub fn get(
+        &mut self,
+        sys: &mut NearPmSystem,
+        pool: &mut ObjPool,
+        key: u64,
+    ) -> Result<Option<Vec<u8>>> {
+        match self.keys.binary_search(&key) {
+            Ok(pos) => {
+                let raw = pool.read(sys, self.base.offset(pos as u64 * SLOT_SIZE), SLOT_SIZE as usize)?;
+                Ok(decode_slot(&raw).map(|(_, v)| v))
+            }
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Keys in sorted order.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nearpm_core::{ExecMode, SystemConfig};
+
+    fn setup() -> (NearPmSystem, ObjPool) {
+        let mut sys = NearPmSystem::new(SystemConfig::nearpm_md().with_capacity(32 << 20));
+        let pool = ObjPool::create(&mut sys, "kv", 16 << 20).unwrap();
+        (sys, pool)
+    }
+
+    #[test]
+    fn hashmap_put_get_update() {
+        let (mut sys, mut pool) = setup();
+        let mut map = PersistentHashMap::create(&mut sys, &mut pool, 128).unwrap();
+        assert!(map.is_empty());
+        for k in 0..32u64 {
+            map.put(&mut sys, &mut pool, k, &[k as u8; VALUE_SIZE]).unwrap();
+        }
+        assert_eq!(map.len(), 32);
+        for k in 0..32u64 {
+            assert_eq!(
+                map.get(&mut sys, &mut pool, k).unwrap(),
+                Some(vec![k as u8; VALUE_SIZE])
+            );
+        }
+        assert_eq!(map.get(&mut sys, &mut pool, 999).unwrap(), None);
+        // Update in place does not grow the map.
+        map.put(&mut sys, &mut pool, 5, &[0xFF; VALUE_SIZE]).unwrap();
+        assert_eq!(map.len(), 32);
+        assert_eq!(
+            map.get(&mut sys, &mut pool, 5).unwrap(),
+            Some(vec![0xFF; VALUE_SIZE])
+        );
+        assert!(sys.report().ppo_violations.is_empty());
+    }
+
+    #[test]
+    fn hashmap_matches_model_under_random_ops() {
+        use rand::{Rng, SeedableRng};
+        let (mut sys, mut pool) = setup();
+        let mut map = PersistentHashMap::create(&mut sys, &mut pool, 256).unwrap();
+        let mut model = std::collections::HashMap::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..60 {
+            let k = rng.gen_range(0..40u64);
+            let v = vec![rng.gen::<u8>(); VALUE_SIZE];
+            map.put(&mut sys, &mut pool, k, &v).unwrap();
+            model.insert(k, v);
+        }
+        for (k, v) in &model {
+            assert_eq!(map.get(&mut sys, &mut pool, *k).unwrap().as_ref(), Some(v));
+        }
+        assert_eq!(map.len(), model.len());
+    }
+
+    #[test]
+    fn committed_hashmap_updates_survive_crash() {
+        let (mut sys, mut pool) = setup();
+        let mut map = PersistentHashMap::create(&mut sys, &mut pool, 64).unwrap();
+        map.put(&mut sys, &mut pool, 42, &[0xAA; VALUE_SIZE]).unwrap();
+        sys.crash();
+        pool.recover(&mut sys).unwrap();
+        assert_eq!(
+            map.get_persistent(&mut sys, 42).unwrap(),
+            Some(vec![0xAA; VALUE_SIZE])
+        );
+    }
+
+    #[test]
+    fn index_insert_sorted_and_lookup() {
+        let (mut sys, mut pool) = setup();
+        let mut idx = PersistentIndex::create(&mut sys, &mut pool, 64).unwrap();
+        for k in [5u64, 1, 9, 3, 7] {
+            idx.insert(&mut sys, &mut pool, k, &[k as u8; VALUE_SIZE]).unwrap();
+        }
+        assert_eq!(idx.keys(), &[1, 3, 5, 7, 9]);
+        assert_eq!(idx.len(), 5);
+        assert_eq!(
+            idx.get(&mut sys, &mut pool, 7).unwrap(),
+            Some(vec![7; VALUE_SIZE])
+        );
+        assert_eq!(idx.get(&mut sys, &mut pool, 4).unwrap(), None);
+    }
+
+    #[test]
+    fn kv_works_in_baseline_mode_too() {
+        let mut sys = NearPmSystem::new(SystemConfig::for_mode(ExecMode::CpuBaseline).with_capacity(16 << 20));
+        let mut pool = ObjPool::create(&mut sys, "kv", 8 << 20).unwrap();
+        let mut map = PersistentHashMap::create(&mut sys, &mut pool, 32).unwrap();
+        map.put(&mut sys, &mut pool, 1, &[1; VALUE_SIZE]).unwrap();
+        assert_eq!(map.get(&mut sys, &mut pool, 1).unwrap(), Some(vec![1; VALUE_SIZE]));
+    }
+}

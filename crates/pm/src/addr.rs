@@ -1,0 +1,202 @@
+//! Address types used across the emulated PM subsystem.
+//!
+//! The emulation distinguishes **virtual addresses** (what the application
+//! and the NearPM command operands carry) from **physical addresses** (byte
+//! offsets into the emulated PM space, which interleaving then maps onto a
+//! specific device). Pools tie the two together: a pool has a virtual base
+//! chosen at creation time and a physical base assigned by the allocator, and
+//! every address inside the pool translates by the same constant offset —
+//! exactly the property NearPM's address-mapping table relies on (Section 5.4
+//! of the paper).
+
+use std::fmt;
+use std::ops::Range;
+
+/// Identifier of a PM pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PoolId(pub u32);
+
+impl fmt::Display for PoolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pool{}", self.0)
+    }
+}
+
+/// A virtual address in the application's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VirtAddr(pub u64);
+
+/// A physical address: a byte offset into the emulated PM physical space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PhysAddr(pub u64);
+
+impl VirtAddr {
+    /// Adds a byte offset.
+    pub fn offset(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0 + bytes)
+    }
+
+    /// Byte distance from `base` (panics if `self < base`).
+    pub fn offset_from(self, base: VirtAddr) -> u64 {
+        self.0
+            .checked_sub(base.0)
+            .expect("address below pool base")
+    }
+
+    /// Raw value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Aligns the address down to `align` (power of two).
+    pub fn align_down(self, align: u64) -> VirtAddr {
+        debug_assert!(align.is_power_of_two());
+        VirtAddr(self.0 & !(align - 1))
+    }
+
+    /// Aligns the address up to `align` (power of two).
+    pub fn align_up(self, align: u64) -> VirtAddr {
+        debug_assert!(align.is_power_of_two());
+        VirtAddr((self.0 + align - 1) & !(align - 1))
+    }
+}
+
+impl PhysAddr {
+    /// Adds a byte offset.
+    pub fn offset(self, bytes: u64) -> PhysAddr {
+        PhysAddr(self.0 + bytes)
+    }
+
+    /// Raw value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Aligns the address down to `align` (power of two).
+    pub fn align_down(self, align: u64) -> PhysAddr {
+        debug_assert!(align.is_power_of_two());
+        PhysAddr(self.0 & !(align - 1))
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p:{:#x}", self.0)
+    }
+}
+
+/// A half-open byte range of virtual addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddrRange {
+    /// Inclusive start.
+    pub start: VirtAddr,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl AddrRange {
+    /// Creates a range from a start address and a length.
+    pub fn new(start: VirtAddr, len: u64) -> Self {
+        AddrRange { start, len }
+    }
+
+    /// Exclusive end address.
+    pub fn end(&self) -> VirtAddr {
+        self.start.offset(self.len)
+    }
+
+    /// True if the two ranges share at least one byte.
+    pub fn overlaps(&self, other: &AddrRange) -> bool {
+        if self.len == 0 || other.len == 0 {
+            return false;
+        }
+        self.start < other.end() && other.start < self.end()
+    }
+
+    /// True if `addr` falls inside the range.
+    pub fn contains(&self, addr: VirtAddr) -> bool {
+        addr >= self.start && addr < self.end()
+    }
+
+    /// True if `other` is entirely inside this range.
+    pub fn contains_range(&self, other: &AddrRange) -> bool {
+        other.len == 0 || (other.start >= self.start && other.end() <= self.end())
+    }
+
+    /// Converts to a `Range<u64>` over raw virtual addresses.
+    pub fn raw(&self) -> Range<u64> {
+        self.start.0..self.start.0 + self.len
+    }
+}
+
+impl fmt::Display for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}..{:#x})", self.start.0, self.end().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virt_addr_arithmetic() {
+        let a = VirtAddr(0x1000);
+        assert_eq!(a.offset(0x10).raw(), 0x1010);
+        assert_eq!(a.offset(0x10).offset_from(a), 0x10);
+        assert_eq!(VirtAddr(0x1037).align_down(64).raw(), 0x1000);
+        assert_eq!(VirtAddr(0x1037).align_up(64).raw(), 0x1040);
+        assert_eq!(VirtAddr(0x1040).align_up(64).raw(), 0x1040);
+    }
+
+    #[test]
+    #[should_panic(expected = "address below pool base")]
+    fn offset_from_below_base_panics() {
+        VirtAddr(0x10).offset_from(VirtAddr(0x20));
+    }
+
+    #[test]
+    fn phys_addr_arithmetic() {
+        let p = PhysAddr(0x2000);
+        assert_eq!(p.offset(5).raw(), 0x2005);
+        assert_eq!(PhysAddr(0x2fff).align_down(0x1000).raw(), 0x2000);
+    }
+
+    #[test]
+    fn range_overlap() {
+        let a = AddrRange::new(VirtAddr(0x100), 0x100);
+        let b = AddrRange::new(VirtAddr(0x180), 0x100);
+        let c = AddrRange::new(VirtAddr(0x200), 0x100);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&c));
+        let empty = AddrRange::new(VirtAddr(0x150), 0);
+        assert!(!a.overlaps(&empty));
+    }
+
+    #[test]
+    fn range_contains() {
+        let a = AddrRange::new(VirtAddr(0x100), 0x100);
+        assert!(a.contains(VirtAddr(0x100)));
+        assert!(a.contains(VirtAddr(0x1ff)));
+        assert!(!a.contains(VirtAddr(0x200)));
+        assert!(a.contains_range(&AddrRange::new(VirtAddr(0x140), 0x40)));
+        assert!(!a.contains_range(&AddrRange::new(VirtAddr(0x1c0), 0x80)));
+        assert!(a.contains_range(&AddrRange::new(VirtAddr(0x300), 0)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PoolId(3).to_string(), "pool3");
+        assert_eq!(VirtAddr(0x10).to_string(), "v:0x10");
+        assert_eq!(PhysAddr(0x10).to_string(), "p:0x10");
+        assert_eq!(AddrRange::new(VirtAddr(0x10), 0x10).to_string(), "[0x10..0x20)");
+    }
+}

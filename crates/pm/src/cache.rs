@@ -1,0 +1,270 @@
+//! CPU write-back cache model.
+//!
+//! Crash consistency on PM hinges on the distinction between a *store*
+//! (visible to later loads, but volatile) and a *persist* (written back to
+//! the PM media and therefore durable). [`CpuCache`] models exactly that
+//! distinction and nothing more: stores land in a volatile dirty-line map;
+//! `clwb`/`flush` writes lines back to the [`PmSpace`]; a crash discards
+//! whatever was still dirty.
+//!
+//! The model is deliberately not a performance model (timing lives in
+//! `nearpm-sim`); it is the functional source of truth for what survives a
+//! failure.
+
+use std::collections::HashMap;
+
+use crate::addr::PhysAddr;
+use crate::space::PmSpace;
+
+/// Cache-line size in bytes.
+pub const LINE: u64 = 64;
+
+/// Statistics of CPU cache activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Stores performed (each may dirty several lines).
+    pub stores: u64,
+    /// Loads performed.
+    pub loads: u64,
+    /// Lines written back by explicit flushes.
+    pub lines_flushed: u64,
+    /// Dirty lines discarded by a simulated crash.
+    pub lines_lost: u64,
+}
+
+/// A write-back, allocate-on-write CPU cache keyed by physical line address.
+#[derive(Debug, Clone, Default)]
+pub struct CpuCache {
+    dirty: HashMap<u64, [u8; LINE as usize]>,
+    stats: CacheStats,
+}
+
+impl CpuCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        CpuCache::default()
+    }
+
+    /// Number of dirty (not yet persisted) lines.
+    pub fn dirty_lines(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Cache activity statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// True if the line containing `addr` is dirty.
+    pub fn is_dirty(&self, addr: PhysAddr) -> bool {
+        self.dirty.contains_key(&line_of(addr.raw()))
+    }
+
+    /// CPU store: writes `data` at `addr`, dirtying the covered lines.
+    /// The data is *not* persistent until the lines are flushed.
+    pub fn store(&mut self, space: &mut PmSpace, addr: PhysAddr, data: &[u8]) {
+        self.stats.stores += 1;
+        let mut cursor = 0usize;
+        let mut a = addr.raw();
+        let end = addr.raw() + data.len() as u64;
+        while a < end {
+            let line = line_of(a);
+            let offset_in_line = (a - line) as usize;
+            let take = ((LINE as usize - offset_in_line) as u64).min(end - a) as usize;
+            let entry = self.dirty.entry(line).or_insert_with(|| {
+                // Allocate-on-write: fill the line from the persistent image
+                // so that untouched bytes of the line stay correct.
+                let mut buf = [0u8; LINE as usize];
+                space.read(PhysAddr(line), &mut buf);
+                buf
+            });
+            entry[offset_in_line..offset_in_line + take]
+                .copy_from_slice(&data[cursor..cursor + take]);
+            cursor += take;
+            a += take as u64;
+        }
+    }
+
+    /// CPU load: reads `buf.len()` bytes at `addr`, observing dirty lines
+    /// first and falling back to the persistent image.
+    pub fn load(&mut self, space: &mut PmSpace, addr: PhysAddr, buf: &mut [u8]) {
+        self.stats.loads += 1;
+        let mut cursor = 0usize;
+        let mut a = addr.raw();
+        let end = addr.raw() + buf.len() as u64;
+        while a < end {
+            let line = line_of(a);
+            let offset_in_line = (a - line) as usize;
+            let take = ((LINE as usize - offset_in_line) as u64).min(end - a) as usize;
+            if let Some(entry) = self.dirty.get(&line) {
+                buf[cursor..cursor + take]
+                    .copy_from_slice(&entry[offset_in_line..offset_in_line + take]);
+            } else {
+                space.read(PhysAddr(a), &mut buf[cursor..cursor + take]);
+            }
+            cursor += take;
+            a += take as u64;
+        }
+    }
+
+    /// Convenience load into a fresh vector.
+    pub fn load_vec(&mut self, space: &mut PmSpace, addr: PhysAddr, len: usize) -> Vec<u8> {
+        let mut v = vec![0; len];
+        self.load(space, addr, &mut v);
+        v
+    }
+
+    /// Writes back (persists) every dirty line intersecting `addr..addr+len`.
+    /// This models `clwb`/`clflushopt` over the range followed by the fence
+    /// that the caller issues at the language level.
+    pub fn flush(&mut self, space: &mut PmSpace, addr: PhysAddr, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = line_of(addr.raw());
+        let last = line_of(addr.raw() + len - 1);
+        let mut line = first;
+        while line <= last {
+            if let Some(data) = self.dirty.remove(&line) {
+                space.write(PhysAddr(line), &data);
+                self.stats.lines_flushed += 1;
+            }
+            line += LINE;
+        }
+    }
+
+    /// Writes back every dirty line (e.g. an eADR-style full drain, used by
+    /// tests that want a fully persisted image).
+    pub fn flush_all(&mut self, space: &mut PmSpace) {
+        let mut lines: Vec<u64> = self.dirty.keys().copied().collect();
+        lines.sort_unstable();
+        for line in lines {
+            if let Some(data) = self.dirty.remove(&line) {
+                space.write(PhysAddr(line), &data);
+                self.stats.lines_flushed += 1;
+            }
+        }
+    }
+
+    /// Simulates a power failure: every dirty line is lost. The persistent
+    /// image in `PmSpace` is untouched.
+    pub fn crash(&mut self) {
+        self.stats.lines_lost += self.dirty.len() as u64;
+        self.dirty.clear();
+    }
+}
+
+fn line_of(addr: u64) -> u64 {
+    addr & !(LINE - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (PmSpace, CpuCache) {
+        (PmSpace::single(1 << 16), CpuCache::new())
+    }
+
+    #[test]
+    fn store_is_visible_to_load_but_not_persistent() {
+        let (mut space, mut cache) = setup();
+        cache.store(&mut space, PhysAddr(0x100), &[1, 2, 3, 4]);
+        assert_eq!(cache.load_vec(&mut space, PhysAddr(0x100), 4), vec![1, 2, 3, 4]);
+        // Persistent image still zero.
+        assert_eq!(space.read_vec(PhysAddr(0x100), 4), vec![0, 0, 0, 0]);
+        assert!(cache.is_dirty(PhysAddr(0x100)));
+    }
+
+    #[test]
+    fn flush_persists_dirty_lines() {
+        let (mut space, mut cache) = setup();
+        cache.store(&mut space, PhysAddr(0x100), &[1, 2, 3, 4]);
+        cache.flush(&mut space, PhysAddr(0x100), 4);
+        assert_eq!(space.read_vec(PhysAddr(0x100), 4), vec![1, 2, 3, 4]);
+        assert!(!cache.is_dirty(PhysAddr(0x100)));
+        assert_eq!(cache.stats().lines_flushed, 1);
+    }
+
+    #[test]
+    fn crash_discards_unflushed_stores() {
+        let (mut space, mut cache) = setup();
+        cache.store(&mut space, PhysAddr(0x40), &[7; 8]);
+        cache.store(&mut space, PhysAddr(0x200), &[8; 8]);
+        cache.flush(&mut space, PhysAddr(0x40), 8);
+        cache.crash();
+        // Flushed data survives, unflushed is gone.
+        assert_eq!(space.read_vec(PhysAddr(0x40), 8), vec![7; 8]);
+        assert_eq!(space.read_vec(PhysAddr(0x200), 8), vec![0; 8]);
+        assert_eq!(cache.dirty_lines(), 0);
+        assert_eq!(cache.stats().lines_lost, 1);
+    }
+
+    #[test]
+    fn partial_line_store_preserves_other_bytes() {
+        let (mut space, mut cache) = setup();
+        // Pre-populate persistent bytes in the same line.
+        space.write(PhysAddr(0x100), &[9; 64]);
+        cache.store(&mut space, PhysAddr(0x110), &[1, 1]);
+        cache.flush(&mut space, PhysAddr(0x110), 2);
+        let line = space.read_vec(PhysAddr(0x100), 64);
+        assert_eq!(line[0x10], 1);
+        assert_eq!(line[0x11], 1);
+        assert_eq!(line[0x0f], 9);
+        assert_eq!(line[0x12], 9);
+    }
+
+    #[test]
+    fn store_spanning_lines() {
+        let (mut space, mut cache) = setup();
+        let data: Vec<u8> = (0..200u8).collect();
+        cache.store(&mut space, PhysAddr(0x3f0), &data);
+        assert_eq!(cache.load_vec(&mut space, PhysAddr(0x3f0), 200), data);
+        assert!(cache.dirty_lines() >= 4);
+        cache.flush(&mut space, PhysAddr(0x3f0), 200);
+        assert_eq!(space.read_vec(PhysAddr(0x3f0), 200), data);
+        assert_eq!(cache.dirty_lines(), 0);
+    }
+
+    #[test]
+    fn flush_range_only_affects_covered_lines() {
+        let (mut space, mut cache) = setup();
+        cache.store(&mut space, PhysAddr(0x000), &[1; 8]);
+        cache.store(&mut space, PhysAddr(0x400), &[2; 8]);
+        cache.flush(&mut space, PhysAddr(0x000), 8);
+        assert_eq!(space.read_vec(PhysAddr(0x000), 8), vec![1; 8]);
+        assert_eq!(space.read_vec(PhysAddr(0x400), 8), vec![0; 8]);
+        assert!(cache.is_dirty(PhysAddr(0x400)));
+    }
+
+    #[test]
+    fn flush_all_drains_everything() {
+        let (mut space, mut cache) = setup();
+        for i in 0..10u64 {
+            cache.store(&mut space, PhysAddr(i * 128), &[i as u8; 16]);
+        }
+        cache.flush_all(&mut space);
+        assert_eq!(cache.dirty_lines(), 0);
+        for i in 0..10u64 {
+            assert_eq!(space.read_vec(PhysAddr(i * 128), 16), vec![i as u8; 16]);
+        }
+    }
+
+    #[test]
+    fn load_mixes_dirty_and_clean_lines() {
+        let (mut space, mut cache) = setup();
+        space.write(PhysAddr(0x140), &[5; 64]);
+        cache.store(&mut space, PhysAddr(0x100), &[6; 64]);
+        let v = cache.load_vec(&mut space, PhysAddr(0x100), 128);
+        assert_eq!(&v[..64], &[6; 64]);
+        assert_eq!(&v[64..], &[5; 64]);
+    }
+
+    #[test]
+    fn zero_length_flush_is_noop() {
+        let (mut space, mut cache) = setup();
+        cache.store(&mut space, PhysAddr(0x100), &[1]);
+        cache.flush(&mut space, PhysAddr(0x100), 0);
+        assert!(cache.is_dirty(PhysAddr(0x100)));
+    }
+}

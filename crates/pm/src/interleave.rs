@@ -1,0 +1,210 @@
+//! Address interleaving across multiple PM devices.
+//!
+//! When more than one NearPM device is present, consecutive physical-address
+//! blocks alternate between devices (like interleaved DIMMs). A persistent
+//! object can therefore span devices, which is precisely the situation that
+//! motivates the multi-device half of PPO: two devices can be at different
+//! stages of the same logical crash-consistency operation when a failure
+//! hits.
+//!
+//! The prototype interleaves at a contiguous-block granularity ("NearPM can
+//! only support interleaving which will result in a contiguous block in a
+//! given device; scatter-gather operations are not supported"), so the
+//! default granularity is 4 kB.
+
+use crate::addr::PhysAddr;
+
+/// Default interleaving granularity (bytes).
+pub const DEFAULT_INTERLEAVE: u64 = 4096;
+
+/// Static interleaving configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterleaveConfig {
+    /// Number of PM devices.
+    pub devices: usize,
+    /// Interleave granularity in bytes (power of two).
+    pub granularity: u64,
+}
+
+/// A physical address range mapped onto one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceSpan {
+    /// Device index.
+    pub device: usize,
+    /// Byte offset within that device's local medium.
+    pub local_offset: u64,
+    /// Length in bytes of this contiguous span.
+    pub len: u64,
+    /// Physical address where the span starts (global address space).
+    pub phys: PhysAddr,
+}
+
+impl InterleaveConfig {
+    /// Creates a configuration; `granularity` must be a power of two and
+    /// `devices` at least 1.
+    pub fn new(devices: usize, granularity: u64) -> Self {
+        assert!(devices >= 1, "at least one device required");
+        assert!(
+            granularity.is_power_of_two(),
+            "interleave granularity must be a power of two"
+        );
+        InterleaveConfig {
+            devices,
+            granularity,
+        }
+    }
+
+    /// Single-device configuration (no interleaving).
+    pub fn single() -> Self {
+        InterleaveConfig::new(1, DEFAULT_INTERLEAVE)
+    }
+
+    /// The device that owns physical address `addr`.
+    pub fn device_of(&self, addr: PhysAddr) -> usize {
+        ((addr.raw() / self.granularity) % self.devices as u64) as usize
+    }
+
+    /// The local byte offset of `addr` within its owning device.
+    pub fn local_offset(&self, addr: PhysAddr) -> u64 {
+        let block = addr.raw() / self.granularity;
+        let within = addr.raw() % self.granularity;
+        (block / self.devices as u64) * self.granularity + within
+    }
+
+    /// Capacity each device must provide so that a global physical space of
+    /// `total` bytes is addressable.
+    pub fn per_device_capacity(&self, total: u64) -> u64 {
+        total.div_ceil(self.devices as u64 * self.granularity) * self.granularity
+    }
+
+    /// Splits a physical range into per-device contiguous spans, in address
+    /// order.
+    pub fn split(&self, start: PhysAddr, len: u64) -> Vec<DeviceSpan> {
+        let mut spans = Vec::new();
+        let mut addr = start.raw();
+        let end = start.raw() + len;
+        while addr < end {
+            let block_end = (addr / self.granularity + 1) * self.granularity;
+            let span_end = block_end.min(end);
+            let phys = PhysAddr(addr);
+            spans.push(DeviceSpan {
+                device: self.device_of(phys),
+                local_offset: self.local_offset(phys),
+                len: span_end - addr,
+                phys,
+            });
+            addr = span_end;
+        }
+        // Merge adjacent spans that land contiguously on the same device
+        // (always true for a single device).
+        let mut merged: Vec<DeviceSpan> = Vec::with_capacity(spans.len());
+        for s in spans {
+            match merged.last_mut() {
+                Some(prev)
+                    if prev.device == s.device
+                        && prev.local_offset + prev.len == s.local_offset =>
+                {
+                    prev.len += s.len;
+                }
+                _ => merged.push(s),
+            }
+        }
+        merged
+    }
+
+    /// The set of devices touched by a physical range (sorted, deduplicated).
+    pub fn devices_of(&self, start: PhysAddr, len: u64) -> Vec<usize> {
+        let mut devs: Vec<usize> = self.split(start, len).iter().map(|s| s.device).collect();
+        devs.sort_unstable();
+        devs.dedup();
+        devs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_device_identity_mapping() {
+        let c = InterleaveConfig::single();
+        assert_eq!(c.device_of(PhysAddr(0)), 0);
+        assert_eq!(c.device_of(PhysAddr(123_456)), 0);
+        assert_eq!(c.local_offset(PhysAddr(123_456)), 123_456);
+        let spans = c.split(PhysAddr(100), 10_000);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].local_offset, 100);
+        assert_eq!(spans[0].len, 10_000);
+    }
+
+    #[test]
+    fn two_device_alternation() {
+        let c = InterleaveConfig::new(2, 4096);
+        assert_eq!(c.device_of(PhysAddr(0)), 0);
+        assert_eq!(c.device_of(PhysAddr(4096)), 1);
+        assert_eq!(c.device_of(PhysAddr(8192)), 0);
+        assert_eq!(c.local_offset(PhysAddr(0)), 0);
+        assert_eq!(c.local_offset(PhysAddr(4096)), 0);
+        assert_eq!(c.local_offset(PhysAddr(8192)), 4096);
+        assert_eq!(c.local_offset(PhysAddr(8192 + 17)), 4096 + 17);
+    }
+
+    #[test]
+    fn split_crossing_devices() {
+        let c = InterleaveConfig::new(2, 4096);
+        // 8 kB starting 1 kB before a boundary: spans dev0 (1 kB), dev1 (4 kB), dev0 (3 kB).
+        let spans = c.split(PhysAddr(3072), 8192);
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].device, 0);
+        assert_eq!(spans[0].len, 1024);
+        assert_eq!(spans[1].device, 1);
+        assert_eq!(spans[1].len, 4096);
+        assert_eq!(spans[2].device, 0);
+        assert_eq!(spans[2].len, 3072);
+        // Total length preserved.
+        let total: u64 = spans.iter().map(|s| s.len).sum();
+        assert_eq!(total, 8192);
+        assert_eq!(c.devices_of(PhysAddr(3072), 8192), vec![0, 1]);
+        assert_eq!(c.devices_of(PhysAddr(0), 64), vec![0]);
+    }
+
+    #[test]
+    fn contiguous_same_device_spans_merge() {
+        let c = InterleaveConfig::new(1, 4096);
+        let spans = c.split(PhysAddr(0), 4096 * 3);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].len, 4096 * 3);
+    }
+
+    #[test]
+    fn per_device_capacity_covers_total() {
+        let c = InterleaveConfig::new(2, 4096);
+        assert_eq!(c.per_device_capacity(8192), 4096);
+        assert_eq!(c.per_device_capacity(8193), 8192);
+        let c1 = InterleaveConfig::single();
+        assert_eq!(c1.per_device_capacity(10_000), 12_288);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_granularity_rejected() {
+        InterleaveConfig::new(2, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_rejected() {
+        InterleaveConfig::new(0, 4096);
+    }
+
+    #[test]
+    fn local_offsets_never_exceed_per_device_capacity() {
+        let c = InterleaveConfig::new(2, 4096);
+        let total = 1 << 20;
+        let cap = c.per_device_capacity(total);
+        for addr in (0..total).step_by(1024) {
+            let a = PhysAddr(addr);
+            assert!(c.local_offset(a) < cap, "offset overflow at {addr}");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! The PM storage medium of one device.
+//!
+//! [`PmMedia`] stores the *persistent* image of one emulated PM device: bytes
+//! written here survive a crash. The prototype in the paper emulates PM with
+//! the FPGA's on-board DRAM; here it is a plain byte vector plus write
+//! statistics. Everything that is *not* yet in a `PmMedia` (CPU cache lines
+//! that have not been written back, device buffers outside the persistence
+//! domain) is lost on a simulated failure.
+
+/// Persistent storage medium of a single PM device.
+#[derive(Debug, Clone)]
+pub struct PmMedia {
+    bytes: Vec<u8>,
+    writes: u64,
+    bytes_written: u64,
+    reads: u64,
+    bytes_read: u64,
+}
+
+impl PmMedia {
+    /// Creates a zero-initialized medium of `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        PmMedia {
+            bytes: vec![0; capacity],
+            writes: 0,
+            bytes_written: 0,
+            reads: 0,
+            bytes_read: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Reads `buf.len()` bytes starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access runs past the end of the medium; the allocator
+    /// and interleaver are responsible for never issuing such accesses.
+    pub fn read(&mut self, offset: usize, buf: &mut [u8]) {
+        let end = offset + buf.len();
+        assert!(end <= self.bytes.len(), "PM read out of bounds: {offset}..{end}");
+        buf.copy_from_slice(&self.bytes[offset..end]);
+        self.reads += 1;
+        self.bytes_read += buf.len() as u64;
+    }
+
+    /// Reads `len` bytes starting at `offset` into a new vector.
+    pub fn read_vec(&mut self, offset: usize, len: usize) -> Vec<u8> {
+        let mut v = vec![0; len];
+        self.read(offset, &mut v);
+        v
+    }
+
+    /// Writes `data` starting at `offset`. The write is durable immediately:
+    /// the medium *is* the persistence domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access runs past the end of the medium.
+    pub fn write(&mut self, offset: usize, data: &[u8]) {
+        let end = offset + data.len();
+        assert!(end <= self.bytes.len(), "PM write out of bounds: {offset}..{end}");
+        self.bytes[offset..end].copy_from_slice(data);
+        self.writes += 1;
+        self.bytes_written += data.len() as u64;
+    }
+
+    /// Fills `len` bytes starting at `offset` with `value`.
+    pub fn fill(&mut self, offset: usize, len: usize, value: u8) {
+        let end = offset + len;
+        assert!(end <= self.bytes.len(), "PM fill out of bounds: {offset}..{end}");
+        self.bytes[offset..end].fill(value);
+        self.writes += 1;
+        self.bytes_written += len as u64;
+    }
+
+    /// Copies `len` bytes from `src` to `dst` inside the medium (the DMA
+    /// engine's local copy path).
+    pub fn copy_within(&mut self, src: usize, dst: usize, len: usize) {
+        assert!(src + len <= self.bytes.len(), "PM copy source out of bounds");
+        assert!(dst + len <= self.bytes.len(), "PM copy destination out of bounds");
+        self.bytes.copy_within(src..src + len, dst);
+        self.reads += 1;
+        self.bytes_read += len as u64;
+        self.writes += 1;
+        self.bytes_written += len as u64;
+    }
+
+    /// Number of write operations served.
+    pub fn write_ops(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total bytes written.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Number of read operations served.
+    pub fn read_ops(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total bytes read.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Resets the access statistics (not the contents).
+    pub fn reset_stats(&mut self) {
+        self.writes = 0;
+        self.bytes_written = 0;
+        self.reads = 0;
+        self.bytes_read = 0;
+    }
+
+    /// Read-only view of the full contents, used by recovery checks in tests.
+    pub fn contents(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = PmMedia::new(1024);
+        assert_eq!(m.capacity(), 1024);
+        m.write(100, &[1, 2, 3, 4]);
+        let mut buf = [0u8; 4];
+        m.read(100, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+        assert_eq!(m.read_vec(101, 2), vec![2, 3]);
+    }
+
+    #[test]
+    fn zero_initialized() {
+        let mut m = PmMedia::new(64);
+        assert_eq!(m.read_vec(0, 64), vec![0u8; 64]);
+    }
+
+    #[test]
+    fn fill_and_copy_within() {
+        let mut m = PmMedia::new(256);
+        m.fill(0, 16, 0xAB);
+        assert_eq!(m.read_vec(0, 16), vec![0xAB; 16]);
+        m.copy_within(0, 128, 16);
+        assert_eq!(m.read_vec(128, 16), vec![0xAB; 16]);
+    }
+
+    #[test]
+    fn statistics_track_traffic() {
+        let mut m = PmMedia::new(256);
+        m.write(0, &[0; 32]);
+        m.write(32, &[0; 32]);
+        let _ = m.read_vec(0, 64);
+        assert_eq!(m.write_ops(), 2);
+        assert_eq!(m.bytes_written(), 64);
+        assert_eq!(m.read_ops(), 1);
+        assert_eq!(m.bytes_read(), 64);
+        m.reset_stats();
+        assert_eq!(m.write_ops(), 0);
+        assert_eq!(m.bytes_read(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn write_out_of_bounds_panics() {
+        let mut m = PmMedia::new(16);
+        m.write(10, &[0; 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn read_out_of_bounds_panics() {
+        let mut m = PmMedia::new(16);
+        let mut buf = [0u8; 4];
+        m.read(14, &mut buf);
+    }
+}

@@ -1,0 +1,210 @@
+//! # nearpm-pmdk — a PMDK-like persistent-object layer
+//!
+//! A small `libpmemobj`-flavoured layer on top of the NearPM system: open a
+//! pool, allocate persistent objects, and mutate them inside failure-atomic
+//! transactions. Transactions are undo-log based (the default in PMDK) and
+//! therefore transparently benefit from NearPM offloading when the system is
+//! configured with NearPM devices — exactly how the paper integrates its API
+//! into PMDK.
+//!
+//! ```
+//! use nearpm_core::{NearPmSystem, SystemConfig};
+//! use nearpm_pmdk::ObjPool;
+//!
+//! let mut sys = NearPmSystem::new(SystemConfig::nearpm_sd().with_capacity(8 << 20));
+//! let mut pool = ObjPool::create(&mut sys, "example", 4 << 20).unwrap();
+//! let obj = pool.alloc(&mut sys, 64).unwrap();
+//!
+//! pool.tx(&mut sys, |tx, sys| {
+//!     tx.write(sys, obj, b"persistent and failure atomic")?;
+//!     Ok(())
+//! })
+//! .unwrap();
+//! assert_eq!(&pool.read(&mut sys, obj, 10).unwrap(), b"persistent");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nearpm_cc::UndoLog;
+use nearpm_core::{NearPmSystem, PoolId, Region, Result, VirtAddr};
+
+/// A persistent object pool with transactional updates.
+#[derive(Debug)]
+pub struct ObjPool {
+    pool: PoolId,
+    undo: UndoLog,
+    thread: usize,
+}
+
+/// Transaction context passed to the closure of [`ObjPool::tx`].
+#[derive(Debug)]
+pub struct Tx<'a> {
+    undo: &'a mut UndoLog,
+    thread: usize,
+}
+
+impl<'a> Tx<'a> {
+    /// Adds `addr..addr+len` to the transaction (undo-logs the old contents).
+    /// Equivalent to PMDK's `pmemobj_tx_add_range`.
+    pub fn add_range(&mut self, sys: &mut NearPmSystem, addr: VirtAddr, len: u64) -> Result<()> {
+        self.undo.log_range(sys, addr, len)
+    }
+
+    /// Transactionally writes `data` at `addr`: the range is added to the
+    /// transaction first, then updated in place.
+    pub fn write(&mut self, sys: &mut NearPmSystem, addr: VirtAddr, data: &[u8]) -> Result<()> {
+        self.undo.log_range(sys, addr, data.len() as u64)?;
+        self.undo.update(sys, addr, data)
+    }
+
+    /// Reads inside the transaction (no logging needed for reads).
+    pub fn read(&mut self, sys: &mut NearPmSystem, addr: VirtAddr, len: usize) -> Result<Vec<u8>> {
+        sys.cpu_read(self.thread, addr, len, Region::Application)
+    }
+}
+
+impl ObjPool {
+    /// Creates a pool of `size` bytes named `name` and its transaction log.
+    pub fn create(sys: &mut NearPmSystem, name: &str, size: u64) -> Result<Self> {
+        let pool = sys.create_pool(name, size)?;
+        let undo = UndoLog::new(sys, pool, 0, 32)?;
+        Ok(ObjPool {
+            pool,
+            undo,
+            thread: 0,
+        })
+    }
+
+    /// The underlying pool id.
+    pub fn id(&self) -> PoolId {
+        self.pool
+    }
+
+    /// Allocates a persistent object of `len` bytes.
+    pub fn alloc(&mut self, sys: &mut NearPmSystem, len: u64) -> Result<VirtAddr> {
+        sys.alloc(self.pool, len, 64)
+    }
+
+    /// Frees a persistent object.
+    pub fn free(&mut self, sys: &mut NearPmSystem, addr: VirtAddr) -> Result<()> {
+        sys.free(self.pool, addr)
+    }
+
+    /// Reads `len` bytes of an object outside any transaction.
+    pub fn read(&mut self, sys: &mut NearPmSystem, addr: VirtAddr, len: usize) -> Result<Vec<u8>> {
+        sys.cpu_read(self.thread, addr, len, Region::Application)
+    }
+
+    /// Non-transactional durable write (store + persist).
+    pub fn write_persist(
+        &mut self,
+        sys: &mut NearPmSystem,
+        addr: VirtAddr,
+        data: &[u8],
+    ) -> Result<()> {
+        sys.cpu_write_persist(self.thread, addr, data, Region::AppPersist)?;
+        Ok(())
+    }
+
+    /// Runs `body` as a failure-atomic transaction: all writes performed
+    /// through the [`Tx`] either survive a crash completely or are rolled
+    /// back by [`ObjPool::recover`].
+    pub fn tx<F>(&mut self, sys: &mut NearPmSystem, body: F) -> Result<()>
+    where
+        F: FnOnce(&mut Tx<'_>, &mut NearPmSystem) -> Result<()>,
+    {
+        self.undo.begin(sys)?;
+        let mut tx = Tx {
+            undo: &mut self.undo,
+            thread: self.thread,
+        };
+        body(&mut tx, sys)?;
+        self.undo.commit(sys)
+    }
+
+    /// Number of committed transactions.
+    pub fn committed(&self) -> u64 {
+        self.undo.committed()
+    }
+
+    /// Rolls back any transaction that was interrupted by a crash. Returns
+    /// the number of undo entries applied.
+    pub fn recover(&mut self, sys: &mut NearPmSystem) -> Result<usize> {
+        self.undo.recover(sys)
+    }
+
+    /// Access to the underlying undo log (used by advanced callers and the
+    /// crash-injection tests).
+    pub fn undo_log_mut(&mut self) -> &mut UndoLog {
+        &mut self.undo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nearpm_core::{ExecMode, SystemConfig};
+
+    fn setup(mode: ExecMode) -> NearPmSystem {
+        NearPmSystem::new(SystemConfig::for_mode(mode).with_capacity(16 << 20))
+    }
+
+    #[test]
+    fn transactional_write_commits() {
+        for mode in ExecMode::all() {
+            let mut sys = setup(mode);
+            let mut pool = ObjPool::create(&mut sys, "t", 8 << 20).unwrap();
+            let obj = pool.alloc(&mut sys, 128).unwrap();
+            pool.write_persist(&mut sys, obj, &[1; 128]).unwrap();
+            pool.tx(&mut sys, |tx, sys| tx.write(sys, obj, &[2; 128])).unwrap();
+            assert_eq!(pool.read(&mut sys, obj, 128).unwrap(), vec![2; 128]);
+            assert_eq!(pool.committed(), 1);
+            assert!(sys.report().ppo_violations.is_empty(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn crash_inside_tx_rolls_back() {
+        let mut sys = setup(ExecMode::NearPmMd);
+        let mut pool = ObjPool::create(&mut sys, "t", 8 << 20).unwrap();
+        let obj = pool.alloc(&mut sys, 64).unwrap();
+        pool.write_persist(&mut sys, obj, &[7; 64]).unwrap();
+
+        // Manually drive a transaction that crashes before commit.
+        pool.undo_log_mut().begin(&mut sys).unwrap();
+        pool.undo_log_mut().log_range(&mut sys, obj, 64).unwrap();
+        pool.undo_log_mut().update(&mut sys, obj, &[9; 64]).unwrap();
+        sys.crash();
+        let rolled = pool.recover(&mut sys).unwrap();
+        assert!(rolled >= 1);
+        assert_eq!(sys.persistent_read(obj, 64).unwrap(), vec![7; 64]);
+    }
+
+    #[test]
+    fn multiple_objects_in_one_tx() {
+        let mut sys = setup(ExecMode::NearPmSd);
+        let mut pool = ObjPool::create(&mut sys, "t", 8 << 20).unwrap();
+        let a = pool.alloc(&mut sys, 64).unwrap();
+        let b = pool.alloc(&mut sys, 64).unwrap();
+        pool.tx(&mut sys, |tx, sys| {
+            tx.write(sys, a, &[1; 64])?;
+            tx.write(sys, b, &[2; 64])?;
+            assert_eq!(tx.read(sys, a, 64)?, vec![1; 64]);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(pool.read(&mut sys, a, 64).unwrap(), vec![1; 64]);
+        assert_eq!(pool.read(&mut sys, b, 64).unwrap(), vec![2; 64]);
+    }
+
+    #[test]
+    fn alloc_and_free_roundtrip() {
+        let mut sys = setup(ExecMode::CpuBaseline);
+        let mut pool = ObjPool::create(&mut sys, "t", 4 << 20).unwrap();
+        let a = pool.alloc(&mut sys, 256).unwrap();
+        pool.free(&mut sys, a).unwrap();
+        let b = pool.alloc(&mut sys, 256).unwrap();
+        assert_eq!(a, b, "freed space is reused");
+    }
+}

@@ -1,0 +1,388 @@
+//! Persist-ordering event traces.
+//!
+//! Execution of a PM program on a NearPM system is *partitioned*: some memory
+//! accesses are issued by the CPU, some by NDP procedures running on one or
+//! more NearPM devices. To reason about Partitioned Persist Ordering (PPO),
+//! the system records an [`Trace`] of [`PpoEvent`]s. Each event carries:
+//!
+//! * the **agent** that issued it (CPU or a specific NearPM device),
+//! * its **kind** (read, write, persist, offload, synchronization, failure,
+//!   recovery read),
+//! * the affected **address interval** and its **sharing classification**
+//!   (shared between CPU and NDP, or managed exclusively by NDP — logs,
+//!   checkpoints, shadow copies),
+//! * a **timestamp** in simulated time and a per-agent **program-order
+//!   index**.
+//!
+//! The checkers in [`crate::invariants`] consume such traces and verify the
+//! four PPO invariants from Section 4 of the paper.
+
+use std::fmt;
+
+/// Identifier of an NDP procedure (a series of primitives offloaded together,
+/// e.g. "create the undo log for object X").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub u64);
+
+/// Identifier of a multi-device synchronization event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SyncId(pub u64);
+
+/// The agent that issued a memory event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Agent {
+    /// The host CPU.
+    Cpu,
+    /// A NearPM device (by index).
+    Ndp(usize),
+}
+
+impl Agent {
+    /// True for NearPM agents.
+    pub fn is_ndp(&self) -> bool {
+        matches!(self, Agent::Ndp(_))
+    }
+}
+
+impl fmt::Display for Agent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Agent::Cpu => write!(f, "cpu"),
+            Agent::Ndp(d) => write!(f, "ndp{d}"),
+        }
+    }
+}
+
+/// Sharing classification of an address interval, the pivot of PPO's relaxed
+/// ordering: NDP-managed addresses never become visible to the CPU outside of
+/// recovery, so persists to them may be delayed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sharing {
+    /// Shared between the CPU and NDP procedures (application data).
+    Shared,
+    /// Managed exclusively by NDP procedures (logs, checkpoints, shadow pages).
+    NdpManaged,
+}
+
+/// A byte interval in the (virtual) address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// First byte.
+    pub start: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Interval {
+    /// Creates an interval.
+    pub fn new(start: u64, len: u64) -> Self {
+        Interval { start, len }
+    }
+
+    /// Exclusive end.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// True if two intervals share at least one byte.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.len > 0 && other.len > 0 && self.start < other.end() && other.start < self.end()
+    }
+}
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A read of the interval.
+    Read,
+    /// A write of the interval (visible, not necessarily persistent yet).
+    Write,
+    /// The interval became persistent (reached the persistence domain).
+    Persist,
+    /// The CPU offloaded an NDP procedure (the event's `proc` names it).
+    Offload,
+    /// An NDP procedure completed on this agent.
+    ProcComplete,
+    /// A multi-device synchronization point (the event's `sync` names it).
+    Sync,
+    /// A system failure (crash). Everything not persisted is lost.
+    Failure,
+    /// A read performed by the recovery procedure after a failure.
+    RecoveryRead,
+}
+
+/// One entry of a PPO trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PpoEvent {
+    /// Issuing agent.
+    pub agent: Agent,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Affected address interval (zero-length for pure control events).
+    pub interval: Interval,
+    /// Sharing classification of the interval.
+    pub sharing: Sharing,
+    /// NDP procedure this event belongs to (if any).
+    pub proc: Option<ProcId>,
+    /// Synchronization event referenced (for `Sync` events).
+    pub sync: Option<SyncId>,
+    /// Simulated time at which the event took effect, in picoseconds.
+    pub timestamp_ps: u64,
+    /// Program-order index within the issuing agent.
+    pub program_order: u64,
+}
+
+impl PpoEvent {
+    /// Builder-style constructor for a control event with no interval.
+    pub fn control(agent: Agent, kind: EventKind, timestamp_ps: u64, program_order: u64) -> Self {
+        PpoEvent {
+            agent,
+            kind,
+            interval: Interval::new(0, 0),
+            sharing: Sharing::Shared,
+            proc: None,
+            sync: None,
+            timestamp_ps,
+            program_order,
+        }
+    }
+}
+
+/// An append-only trace of PPO events.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<PpoEvent>,
+    next_proc: u64,
+    next_sync: u64,
+    program_order_cpu: u64,
+    program_order_ndp: Vec<u64>,
+}
+
+impl Trace {
+    /// Creates an empty trace for a system with `devices` NearPM devices.
+    pub fn new(devices: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            next_proc: 0,
+            next_sync: 0,
+            program_order_cpu: 0,
+            program_order_ndp: vec![0; devices],
+        }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events in recording order.
+    pub fn events(&self) -> &[PpoEvent] {
+        &self.events
+    }
+
+    /// Allocates a fresh NDP-procedure id.
+    pub fn new_proc(&mut self) -> ProcId {
+        let id = ProcId(self.next_proc);
+        self.next_proc += 1;
+        id
+    }
+
+    /// Allocates a fresh synchronization-event id.
+    pub fn new_sync(&mut self) -> SyncId {
+        let id = SyncId(self.next_sync);
+        self.next_sync += 1;
+        id
+    }
+
+    /// Next program-order index for `agent`, advancing the counter.
+    fn next_po(&mut self, agent: Agent) -> u64 {
+        match agent {
+            Agent::Cpu => {
+                let po = self.program_order_cpu;
+                self.program_order_cpu += 1;
+                po
+            }
+            Agent::Ndp(d) => {
+                if d >= self.program_order_ndp.len() {
+                    self.program_order_ndp.resize(d + 1, 0);
+                }
+                let po = self.program_order_ndp[d];
+                self.program_order_ndp[d] += 1;
+                po
+            }
+        }
+    }
+
+    /// Records an event, assigning its program-order index automatically.
+    pub fn record(
+        &mut self,
+        agent: Agent,
+        kind: EventKind,
+        interval: Interval,
+        sharing: Sharing,
+        proc: Option<ProcId>,
+        sync: Option<SyncId>,
+        timestamp_ps: u64,
+    ) -> &PpoEvent {
+        let program_order = self.next_po(agent);
+        self.events.push(PpoEvent {
+            agent,
+            kind,
+            interval,
+            sharing,
+            proc,
+            sync,
+            timestamp_ps,
+            program_order,
+        });
+        self.events.last().expect("just pushed")
+    }
+
+    /// Convenience: record a write and its persist at the same timestamp
+    /// (used for NDP writes, which have no write cache).
+    pub fn record_write_persist(
+        &mut self,
+        agent: Agent,
+        interval: Interval,
+        sharing: Sharing,
+        proc: Option<ProcId>,
+        timestamp_ps: u64,
+    ) {
+        self.record(agent, EventKind::Write, interval, sharing, proc, None, timestamp_ps);
+        self.record(
+            agent,
+            EventKind::Persist,
+            interval,
+            sharing,
+            proc,
+            None,
+            timestamp_ps,
+        );
+    }
+
+    /// Events issued by one agent, in program order.
+    pub fn by_agent(&self, agent: Agent) -> Vec<&PpoEvent> {
+        self.events.iter().filter(|e| e.agent == agent).collect()
+    }
+
+    /// The timestamp of the failure event, if one was recorded.
+    pub fn failure_time(&self) -> Option<u64> {
+        self.events
+            .iter()
+            .find(|e| e.kind == EventKind::Failure)
+            .map(|e| e.timestamp_ps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_overlap_rules() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 10);
+        let c = Interval::new(10, 10);
+        let z = Interval::new(0, 0);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(!a.overlaps(&z));
+        assert_eq!(a.end(), 10);
+    }
+
+    #[test]
+    fn program_order_advances_per_agent() {
+        let mut t = Trace::new(2);
+        t.record(
+            Agent::Cpu,
+            EventKind::Write,
+            Interval::new(0, 8),
+            Sharing::Shared,
+            None,
+            None,
+            10,
+        );
+        t.record(
+            Agent::Ndp(0),
+            EventKind::Write,
+            Interval::new(64, 8),
+            Sharing::NdpManaged,
+            None,
+            None,
+            20,
+        );
+        t.record(
+            Agent::Cpu,
+            EventKind::Persist,
+            Interval::new(0, 8),
+            Sharing::Shared,
+            None,
+            None,
+            30,
+        );
+        let cpu = t.by_agent(Agent::Cpu);
+        assert_eq!(cpu.len(), 2);
+        assert_eq!(cpu[0].program_order, 0);
+        assert_eq!(cpu[1].program_order, 1);
+        let ndp = t.by_agent(Agent::Ndp(0));
+        assert_eq!(ndp[0].program_order, 0);
+        assert!(t.by_agent(Agent::Ndp(1)).is_empty());
+    }
+
+    #[test]
+    fn proc_and_sync_ids_are_unique() {
+        let mut t = Trace::new(1);
+        let p0 = t.new_proc();
+        let p1 = t.new_proc();
+        let s0 = t.new_sync();
+        let s1 = t.new_sync();
+        assert_ne!(p0, p1);
+        assert_ne!(s0, s1);
+    }
+
+    #[test]
+    fn write_persist_shortcut_records_two_events() {
+        let mut t = Trace::new(1);
+        let p = t.new_proc();
+        t.record_write_persist(
+            Agent::Ndp(0),
+            Interval::new(128, 64),
+            Sharing::NdpManaged,
+            Some(p),
+            42,
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[0].kind, EventKind::Write);
+        assert_eq!(t.events()[1].kind, EventKind::Persist);
+        assert_eq!(t.events()[1].timestamp_ps, 42);
+    }
+
+    #[test]
+    fn failure_time_lookup() {
+        let mut t = Trace::new(1);
+        assert_eq!(t.failure_time(), None);
+        t.record(
+            Agent::Cpu,
+            EventKind::Failure,
+            Interval::new(0, 0),
+            Sharing::Shared,
+            None,
+            None,
+            999,
+        );
+        assert_eq!(t.failure_time(), Some(999));
+    }
+
+    #[test]
+    fn agent_display_and_classification() {
+        assert_eq!(Agent::Cpu.to_string(), "cpu");
+        assert_eq!(Agent::Ndp(1).to_string(), "ndp1");
+        assert!(Agent::Ndp(0).is_ndp());
+        assert!(!Agent::Cpu.is_ndp());
+    }
+}

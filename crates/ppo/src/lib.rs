@@ -1,0 +1,59 @@
+//! # nearpm-ppo — Partitioned Persist Ordering
+//!
+//! Formal-model companion of the NearPM system: the event-trace
+//! representation of a partitioned (CPU + multiple NearPM devices) execution
+//! and checkers for the four PPO invariants defined in Section 4 of the
+//! paper:
+//!
+//! 1. **Read-write ordering** — accesses to CPU/NDP *shared* addresses follow
+//!    program order across the offload boundary; accesses to NDP-*managed*
+//!    addresses only follow program order within their NDP procedure.
+//! 2. **Persistence** — persists to shared addresses follow program order
+//!    across the boundary; persists to NDP-managed addresses may be delayed.
+//! 3. **Persist before synchronization** — every NDP write issued before a
+//!    multi-device synchronization event has persisted when the
+//!    synchronization completes.
+//! 4. **Failure-recovery** — recovery reads only data that persisted before
+//!    the failure.
+//!
+//! The crate also contains the per-command multi-device synchronization state
+//! machine of Figure 12 ([`SyncStateMachine`], [`MultiDeviceSync`]), which
+//! the device model drives and which decides when recovery data (logs,
+//! checkpoints) may be deleted.
+//!
+//! ## Example
+//!
+//! ```
+//! use nearpm_ppo::{
+//!     check_all, Agent, EventKind, Interval, Sharing, Trace,
+//! };
+//!
+//! let mut trace = Trace::new(1);
+//! let proc_id = trace.new_proc();
+//! let object = Interval::new(0x1000, 64);
+//! let undo_log = Interval::new(0x8000, 64);
+//!
+//! // CPU offloads undo-log creation; the device copies the old value into
+//! // the (NDP-managed) log; only then does the CPU update the object.
+//! trace.record(Agent::Cpu, EventKind::Offload, Interval::new(0, 0), Sharing::Shared, Some(proc_id), None, 100);
+//! trace.record(Agent::Ndp(0), EventKind::Read, object, Sharing::Shared, Some(proc_id), None, 200);
+//! trace.record_write_persist(Agent::Ndp(0), undo_log, Sharing::NdpManaged, Some(proc_id), 300);
+//! trace.record(Agent::Cpu, EventKind::Write, object, Sharing::Shared, None, None, 400);
+//! trace.record(Agent::Cpu, EventKind::Persist, object, Sharing::Shared, None, None, 420);
+//!
+//! assert!(check_all(&trace).is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod invariants;
+pub mod statemachine;
+
+pub use event::{Agent, EventKind, Interval, PpoEvent, ProcId, Sharing, SyncId, Trace};
+pub use invariants::{
+    check_all, check_cpu_ndp_ordering, check_recovery_reads, check_sync_persistence,
+    relaxed_persist_count, PpoViolation,
+};
+pub use statemachine::{MultiDeviceSync, SyncError, SyncInput, SyncState, SyncStateMachine};

@@ -1,0 +1,309 @@
+//! Multi-device synchronization state machine (paper Figure 12).
+//!
+//! When a NearPM command operates on a persistent object that spans multiple
+//! devices, the command is duplicated to every involved device. Each device's
+//! multi-device handler tracks the command with a small state machine:
+//!
+//! ```text
+//!                 receive command
+//!   AllComplete ------------------> Executing
+//!        ^                          /        \
+//!        |        local complete   /          \  remote completion
+//!        |                        v            v
+//!        |                LocalComplete    RemoteComplete
+//!        |                        \            /
+//!        |     remote completion   \          /  local complete
+//!        +--------------------------+--------+
+//! ```
+//!
+//! Only when a device's state machine returns to `AllComplete` may the data
+//! required for recovery (logs, checkpoints) be deleted — that is how
+//! Invariant 3 ("persist before synchronization") is enforced without putting
+//! the synchronization on the critical path.
+
+/// States of the per-command synchronization state machine for a two-device
+/// partitioned execution. The paper encodes them as `<Device0><Device1>`
+/// completion bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncState {
+    /// `E: 00` — executing; neither local nor remote completion seen.
+    Executing,
+    /// `L: 10` — local execution complete, waiting for the remote device.
+    LocalComplete,
+    /// `R: 01` — remote completion received, local execution still running.
+    RemoteComplete,
+    /// `C: 11` — all devices complete; recovery data may now be released.
+    AllComplete,
+}
+
+/// Inputs to the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncInput {
+    /// A command duplicated across devices was received.
+    ReceiveCommand,
+    /// The local NearPM execution logic finished the command.
+    ReceiveLocalComplete,
+    /// A remote device signalled completion of its share of the command.
+    ReceiveRemoteComplete,
+}
+
+/// Errors raised on protocol violations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncError {
+    /// The input is not legal in the current state (e.g. a second local
+    /// completion while already complete).
+    InvalidTransition {
+        /// State when the input arrived.
+        state: SyncState,
+        /// Offending input.
+        input: SyncInput,
+    },
+}
+
+impl std::fmt::Display for SyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncError::InvalidTransition { state, input } => {
+                write!(f, "invalid synchronization transition: {input:?} in {state:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}
+
+/// Per-command synchronization tracker of one device's multi-device handler.
+#[derive(Debug, Clone)]
+pub struct SyncStateMachine {
+    state: SyncState,
+    transitions: u64,
+}
+
+impl Default for SyncStateMachine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SyncStateMachine {
+    /// Creates a state machine in the initial `AllComplete` state.
+    pub fn new() -> Self {
+        SyncStateMachine {
+            state: SyncState::AllComplete,
+            transitions: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SyncState {
+        self.state
+    }
+
+    /// True if every device has completed the current command (or no command
+    /// is in flight).
+    pub fn is_all_complete(&self) -> bool {
+        self.state == SyncState::AllComplete
+    }
+
+    /// Number of accepted transitions (diagnostics).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Applies an input, returning the new state.
+    pub fn step(&mut self, input: SyncInput) -> Result<SyncState, SyncError> {
+        use SyncInput::*;
+        use SyncState::*;
+        let next = match (self.state, input) {
+            (AllComplete, ReceiveCommand) => Executing,
+            (Executing, ReceiveLocalComplete) => LocalComplete,
+            (Executing, ReceiveRemoteComplete) => RemoteComplete,
+            (LocalComplete, ReceiveRemoteComplete) => AllComplete,
+            (RemoteComplete, ReceiveLocalComplete) => AllComplete,
+            (state, input) => return Err(SyncError::InvalidTransition { state, input }),
+        };
+        self.state = next;
+        self.transitions += 1;
+        Ok(next)
+    }
+}
+
+/// Synchronization coordinator for a command duplicated across `n` devices.
+///
+/// Generalizes the two-device state machine of Figure 12: a command is
+/// complete once every involved device has reported completion. Each device
+/// keeps one [`SyncStateMachine`]; the coordinator drives them consistently
+/// and answers "may recovery data be deleted yet?".
+#[derive(Debug, Clone)]
+pub struct MultiDeviceSync {
+    machines: Vec<SyncStateMachine>,
+    involved: Vec<bool>,
+    completed: Vec<bool>,
+}
+
+impl MultiDeviceSync {
+    /// Creates a coordinator for a system with `devices` NearPM devices.
+    pub fn new(devices: usize) -> Self {
+        MultiDeviceSync {
+            machines: (0..devices).map(|_| SyncStateMachine::new()).collect(),
+            involved: vec![false; devices],
+            completed: vec![false; devices],
+        }
+    }
+
+    /// Number of devices.
+    pub fn devices(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Starts a command on the given set of devices.
+    pub fn start_command(&mut self, devices: &[usize]) -> Result<(), SyncError> {
+        for &d in devices {
+            self.involved[d] = true;
+            self.completed[d] = false;
+            self.machines[d].step(SyncInput::ReceiveCommand)?;
+        }
+        Ok(())
+    }
+
+    /// Reports local completion of device `device`, which broadcasts a remote
+    /// completion to every other involved device (as the multi-device handler
+    /// hardware does).
+    pub fn local_complete(&mut self, device: usize) -> Result<(), SyncError> {
+        assert!(self.involved[device], "device {device} not part of the command");
+        self.completed[device] = true;
+        self.machines[device].step(SyncInput::ReceiveLocalComplete)?;
+        for d in 0..self.machines.len() {
+            if d != device && self.involved[d] {
+                self.machines[d].step(SyncInput::ReceiveRemoteComplete)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// True if device `device` has reached `AllComplete` for the current
+    /// command (considering only involved devices).
+    pub fn device_all_complete(&self, device: usize) -> bool {
+        if !self.involved[device] {
+            return true;
+        }
+        // A device is "all complete" when its own machine returned to
+        // AllComplete, which for >2 devices we approximate by checking that
+        // every involved device has reported completion.
+        self.involved
+            .iter()
+            .zip(&self.completed)
+            .all(|(inv, comp)| !inv || *comp)
+    }
+
+    /// True if the command is complete on all involved devices.
+    pub fn all_complete(&self) -> bool {
+        self.involved
+            .iter()
+            .zip(&self.completed)
+            .all(|(inv, comp)| !inv || *comp)
+    }
+
+    /// Resets the coordinator for the next command.
+    pub fn reset(&mut self) {
+        for d in 0..self.machines.len() {
+            self.machines[d] = SyncStateMachine::new();
+            self.involved[d] = false;
+            self.completed[d] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_device_happy_path_local_first() {
+        let mut m = SyncStateMachine::new();
+        assert_eq!(m.state(), SyncState::AllComplete);
+        assert_eq!(m.step(SyncInput::ReceiveCommand).unwrap(), SyncState::Executing);
+        assert_eq!(
+            m.step(SyncInput::ReceiveLocalComplete).unwrap(),
+            SyncState::LocalComplete
+        );
+        assert_eq!(
+            m.step(SyncInput::ReceiveRemoteComplete).unwrap(),
+            SyncState::AllComplete
+        );
+        assert!(m.is_all_complete());
+        assert_eq!(m.transitions(), 3);
+    }
+
+    #[test]
+    fn two_device_happy_path_remote_first() {
+        let mut m = SyncStateMachine::new();
+        m.step(SyncInput::ReceiveCommand).unwrap();
+        assert_eq!(
+            m.step(SyncInput::ReceiveRemoteComplete).unwrap(),
+            SyncState::RemoteComplete
+        );
+        assert_eq!(
+            m.step(SyncInput::ReceiveLocalComplete).unwrap(),
+            SyncState::AllComplete
+        );
+    }
+
+    #[test]
+    fn invalid_transitions_rejected() {
+        let mut m = SyncStateMachine::new();
+        // Local completion without a command.
+        assert!(m.step(SyncInput::ReceiveLocalComplete).is_err());
+        m.step(SyncInput::ReceiveCommand).unwrap();
+        // Duplicate command while executing.
+        assert!(m.step(SyncInput::ReceiveCommand).is_err());
+        m.step(SyncInput::ReceiveLocalComplete).unwrap();
+        // Duplicate local completion.
+        assert!(m.step(SyncInput::ReceiveLocalComplete).is_err());
+    }
+
+    #[test]
+    fn coordinator_two_devices() {
+        let mut c = MultiDeviceSync::new(2);
+        c.start_command(&[0, 1]).unwrap();
+        assert!(!c.all_complete());
+        c.local_complete(0).unwrap();
+        assert!(!c.all_complete());
+        assert!(!c.device_all_complete(1));
+        c.local_complete(1).unwrap();
+        assert!(c.all_complete());
+        assert!(c.device_all_complete(0));
+        assert!(c.device_all_complete(1));
+    }
+
+    #[test]
+    fn coordinator_single_device_command() {
+        let mut c = MultiDeviceSync::new(2);
+        c.start_command(&[1]).unwrap();
+        // Device 0 is uninvolved, so it is trivially complete.
+        assert!(c.device_all_complete(0));
+        assert!(!c.all_complete());
+        c.local_complete(1).unwrap();
+        assert!(c.all_complete());
+    }
+
+    #[test]
+    fn coordinator_reset_allows_next_command() {
+        let mut c = MultiDeviceSync::new(2);
+        c.start_command(&[0, 1]).unwrap();
+        c.local_complete(0).unwrap();
+        c.local_complete(1).unwrap();
+        c.reset();
+        assert!(c.all_complete());
+        c.start_command(&[0, 1]).unwrap();
+        assert!(!c.all_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of the command")]
+    fn completion_from_uninvolved_device_panics() {
+        let mut c = MultiDeviceSync::new(2);
+        c.start_command(&[0]).unwrap();
+        c.local_complete(1).unwrap();
+    }
+}

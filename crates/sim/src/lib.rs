@@ -1,0 +1,76 @@
+//! # nearpm-sim — simulation substrate for NearPM
+//!
+//! This crate provides the discrete-event timing substrate that the NearPM
+//! reproduction is built on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — picosecond-precision simulated time.
+//! * [`LatencyModel`] — latency/bandwidth parameters of the evaluation
+//!   platform (PM latency, PCIe / AXI bandwidth, NearPM unit clock, flush and
+//!   fence costs), defaulting to the paper's FPGA prototype.
+//! * [`Resource`] / [`Topology`] — the exclusive execution resources of the
+//!   platform: CPU threads, NearPM units, per-device dispatchers, and the
+//!   host↔device control path.
+//! * [`TaskGraph`] / [`Task`] / [`Region`] — the task-DAG representation that
+//!   every crash-consistency operation and application step is lowered to.
+//! * [`Schedule`] — the deterministic list scheduler and its analysis
+//!   (makespan, per-region breakdown, CPU/NDP overlap, critical path).
+//! * [`stats`] — mean / standard deviation / geometric-mean summaries used by
+//!   the benchmark harness.
+//!
+//! Performance results in the rest of the workspace are *derived exclusively*
+//! from task graphs scheduled by this crate; no wall-clock measurement of the
+//! simulator itself leaks into reported figures.
+//!
+//! ## Example
+//!
+//! ```
+//! use nearpm_sim::{LatencyModel, Region, Resource, Schedule, TaskGraph};
+//!
+//! let model = LatencyModel::default();
+//! let mut graph = TaskGraph::new();
+//!
+//! // A NearPM unit copies 4 kB to an undo log while the CPU keeps computing.
+//! let log = graph.add(
+//!     "undo-log copy",
+//!     Resource::NdpUnit { device: 0, unit: 0 },
+//!     model.ndp_copy(4096),
+//!     Region::CcDataMovement,
+//!     &[],
+//! );
+//! let compute = graph.add(
+//!     "application logic",
+//!     Resource::Cpu(0),
+//!     model.cpu_compute(500.0),
+//!     Region::Application,
+//!     &[],
+//! );
+//! // The in-place update persists only after the log copy (PPO shared-address
+//! // ordering) and after the application produced the new value.
+//! let _update = graph.add(
+//!     "in-place update",
+//!     Resource::Cpu(0),
+//!     model.cpu_inplace_update(64),
+//!     Region::AppPersist,
+//!     &[log, compute],
+//! );
+//!
+//! let schedule = Schedule::compute(&graph);
+//! assert!(schedule.cpu_ndp_overlap().as_ns() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod resource;
+pub mod schedule;
+pub mod stats;
+pub mod task;
+pub mod time;
+
+pub use latency::{LatencyModel, CACHE_LINE, PM_PAGE};
+pub use resource::{Resource, Topology};
+pub use schedule::{Schedule, TaskTiming};
+pub use stats::Summary;
+pub use task::{Region, Task, TaskGraph, TaskId};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,185 @@
+//! Execution resources of the simulated platform.
+//!
+//! A [`Resource`] is anything that can execute at most one task at a time:
+//! a CPU hardware thread, one of the NearPM execution units of a device, the
+//! PCIe control path used to issue commands, or the dispatcher front-end of a
+//! device. Task durations already account for bandwidth sharing on the data
+//! path, so the PM media itself is not modeled as an exclusive resource.
+
+use std::fmt;
+
+/// An exclusive execution resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resource {
+    /// A CPU hardware thread (the paper's host runs the application here).
+    Cpu(usize),
+    /// One NearPM execution unit.
+    NdpUnit {
+        /// Device the unit belongs to.
+        device: usize,
+        /// Unit index within the device.
+        unit: usize,
+    },
+    /// The dispatcher front-end of a NearPM device (decode, translation,
+    /// conflict checks are serialized per device).
+    Dispatcher(usize),
+    /// The memory-mapped control path between the host and the devices.
+    ControlPath,
+}
+
+impl Resource {
+    /// True if this resource belongs to a NearPM device (unit or dispatcher).
+    pub fn is_ndp(&self) -> bool {
+        matches!(self, Resource::NdpUnit { .. } | Resource::Dispatcher(_))
+    }
+
+    /// True if this resource is a CPU hardware thread.
+    pub fn is_cpu(&self) -> bool {
+        matches!(self, Resource::Cpu(_))
+    }
+
+    /// Device index for device-local resources.
+    pub fn device(&self) -> Option<usize> {
+        match self {
+            Resource::NdpUnit { device, .. } | Resource::Dispatcher(device) => Some(*device),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Cpu(i) => write!(f, "cpu{i}"),
+            Resource::NdpUnit { device, unit } => write!(f, "dev{device}.unit{unit}"),
+            Resource::Dispatcher(d) => write!(f, "dev{d}.dispatcher"),
+            Resource::ControlPath => write!(f, "control-path"),
+        }
+    }
+}
+
+/// Describes the resources available to a simulation: how many CPU threads,
+/// how many NearPM devices, and how many execution units per device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of CPU hardware threads available to the application.
+    pub cpu_threads: usize,
+    /// Number of NearPM devices (0 = CPU-only baseline).
+    pub devices: usize,
+    /// NearPM execution units per device (4 in the prototype).
+    pub units_per_device: usize,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology {
+            cpu_threads: 1,
+            devices: 2,
+            units_per_device: 4,
+        }
+    }
+}
+
+impl Topology {
+    /// CPU-only topology used by the baseline configuration.
+    pub fn cpu_only(cpu_threads: usize) -> Self {
+        Topology {
+            cpu_threads,
+            devices: 0,
+            units_per_device: 0,
+        }
+    }
+
+    /// Topology with `devices` NearPM devices of `units` units each.
+    pub fn with_devices(cpu_threads: usize, devices: usize, units: usize) -> Self {
+        Topology {
+            cpu_threads,
+            devices,
+            units_per_device: units,
+        }
+    }
+
+    /// Total number of NearPM execution units in the system.
+    pub fn total_units(&self) -> usize {
+        self.devices * self.units_per_device
+    }
+
+    /// Iterates over every exclusive resource in this topology.
+    pub fn resources(&self) -> Vec<Resource> {
+        let mut out = Vec::new();
+        for c in 0..self.cpu_threads {
+            out.push(Resource::Cpu(c));
+        }
+        out.push(Resource::ControlPath);
+        for d in 0..self.devices {
+            out.push(Resource::Dispatcher(d));
+            for u in 0..self.units_per_device {
+                out.push(Resource::NdpUnit { device: d, unit: u });
+            }
+        }
+        out
+    }
+
+    /// True if the topology has at least one NearPM device.
+    pub fn has_ndp(&self) -> bool {
+        self.devices > 0 && self.units_per_device > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_classification() {
+        assert!(Resource::Cpu(0).is_cpu());
+        assert!(!Resource::Cpu(0).is_ndp());
+        assert!(Resource::NdpUnit { device: 1, unit: 2 }.is_ndp());
+        assert!(Resource::Dispatcher(0).is_ndp());
+        assert!(!Resource::ControlPath.is_ndp());
+        assert_eq!(Resource::NdpUnit { device: 1, unit: 2 }.device(), Some(1));
+        assert_eq!(Resource::Dispatcher(3).device(), Some(3));
+        assert_eq!(Resource::Cpu(0).device(), None);
+        assert_eq!(Resource::ControlPath.device(), None);
+    }
+
+    #[test]
+    fn default_topology_matches_prototype() {
+        let t = Topology::default();
+        assert_eq!(t.devices, 2);
+        assert_eq!(t.units_per_device, 4);
+        assert_eq!(t.total_units(), 8);
+        assert!(t.has_ndp());
+    }
+
+    #[test]
+    fn cpu_only_topology() {
+        let t = Topology::cpu_only(4);
+        assert_eq!(t.cpu_threads, 4);
+        assert_eq!(t.total_units(), 0);
+        assert!(!t.has_ndp());
+        // Resources: 4 CPUs + control path.
+        assert_eq!(t.resources().len(), 5);
+    }
+
+    #[test]
+    fn resource_enumeration_counts() {
+        let t = Topology::with_devices(2, 2, 4);
+        let rs = t.resources();
+        // 2 CPUs + control path + 2 dispatchers + 8 units.
+        assert_eq!(rs.len(), 13);
+        let units = rs.iter().filter(|r| matches!(r, Resource::NdpUnit { .. })).count();
+        assert_eq!(units, 8);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Resource::Cpu(3).to_string(), "cpu3");
+        assert_eq!(
+            Resource::NdpUnit { device: 1, unit: 0 }.to_string(),
+            "dev1.unit0"
+        );
+        assert_eq!(Resource::Dispatcher(0).to_string(), "dev0.dispatcher");
+        assert_eq!(Resource::ControlPath.to_string(), "control-path");
+    }
+}

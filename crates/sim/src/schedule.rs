@@ -1,0 +1,379 @@
+//! List scheduler and schedule analysis.
+//!
+//! The scheduler assigns start and finish times to every task in a
+//! [`TaskGraph`]: a task starts at the later of (a) the finish time of its
+//! last dependency and (b) the time its resource becomes free. Tasks are
+//! processed in insertion order, which corresponds to program order on each
+//! resource, so the schedule is deterministic.
+//!
+//! The resulting [`Schedule`] exposes the quantities the paper reports:
+//! makespan (end-to-end time), per-region busy time (Figure 1 breakdowns),
+//! per-resource busy time, and the CPU/NDP overlap used for the
+//! parallelizable-fraction analysis (Figure 18).
+
+use std::collections::HashMap;
+
+use crate::resource::Resource;
+use crate::task::{Region, TaskGraph, TaskId};
+use crate::time::{SimDuration, SimTime};
+
+/// Start/finish assignment for one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskTiming {
+    /// Scheduled start time.
+    pub start: SimTime,
+    /// Scheduled finish time.
+    pub finish: SimTime,
+}
+
+impl TaskTiming {
+    /// Execution duration (finish - start).
+    pub fn duration(&self) -> SimDuration {
+        self.finish - self.start
+    }
+}
+
+/// The result of scheduling a task graph.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    timings: Vec<TaskTiming>,
+    makespan: SimDuration,
+    region_busy: HashMap<Region, SimDuration>,
+    resource_busy: HashMap<Resource, SimDuration>,
+    cpu_busy: SimDuration,
+    ndp_busy: SimDuration,
+    overlap: SimDuration,
+    critical_path: SimDuration,
+}
+
+impl Schedule {
+    /// Schedules `graph` with the list-scheduling policy described in the
+    /// module documentation.
+    pub fn compute(graph: &TaskGraph) -> Schedule {
+        let mut timings: Vec<TaskTiming> = Vec::with_capacity(graph.len());
+        let mut resource_free: HashMap<Resource, SimTime> = HashMap::new();
+        let mut region_busy: HashMap<Region, SimDuration> = HashMap::new();
+        let mut resource_busy: HashMap<Resource, SimDuration> = HashMap::new();
+        // Longest dependency chain ending at each task (critical path).
+        let mut chain: Vec<SimDuration> = Vec::with_capacity(graph.len());
+
+        let mut makespan = SimDuration::ZERO;
+        let mut cpu_intervals: Vec<(SimTime, SimTime)> = Vec::new();
+        let mut ndp_intervals: Vec<(SimTime, SimTime)> = Vec::new();
+
+        for task in graph.tasks() {
+            let dep_ready = task
+                .deps
+                .iter()
+                .map(|d| timings[d.index()].finish)
+                .max()
+                .unwrap_or(SimTime::ZERO);
+            let free = resource_free
+                .get(&task.resource)
+                .copied()
+                .unwrap_or(SimTime::ZERO);
+            let start = dep_ready.max(free);
+            let finish = start + task.duration;
+
+            resource_free.insert(task.resource, finish);
+            *region_busy.entry(task.region).or_insert(SimDuration::ZERO) += task.duration;
+            *resource_busy
+                .entry(task.resource)
+                .or_insert(SimDuration::ZERO) += task.duration;
+
+            let dep_chain = task
+                .deps
+                .iter()
+                .map(|d| chain[d.index()])
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            chain.push(dep_chain + task.duration);
+
+            if finish.since(SimTime::ZERO) > makespan {
+                makespan = finish.since(SimTime::ZERO);
+            }
+            if !task.duration.is_zero() {
+                if task.resource.is_cpu() {
+                    cpu_intervals.push((start, finish));
+                } else if task.resource.is_ndp() {
+                    ndp_intervals.push((start, finish));
+                }
+            }
+            timings.push(TaskTiming { start, finish });
+        }
+
+        let cpu_busy = merged_length(&mut cpu_intervals);
+        let ndp_busy = merged_length(&mut ndp_intervals);
+        let overlap = intersection_length(&cpu_intervals, &ndp_intervals);
+        let critical_path = chain.iter().copied().max().unwrap_or(SimDuration::ZERO);
+
+        Schedule {
+            timings,
+            makespan,
+            region_busy,
+            resource_busy,
+            cpu_busy,
+            ndp_busy,
+            overlap,
+            critical_path,
+        }
+    }
+
+    /// Timing of a specific task.
+    pub fn timing(&self, id: TaskId) -> TaskTiming {
+        self.timings[id.index()]
+    }
+
+    /// End-to-end simulated time (completion of the last task).
+    pub fn makespan(&self) -> SimDuration {
+        self.makespan
+    }
+
+    /// Total busy time attributed to a region (summed across resources, so it
+    /// can exceed the makespan when work overlaps).
+    pub fn region_time(&self, region: Region) -> SimDuration {
+        self.region_busy
+            .get(&region)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Total busy time of one resource.
+    pub fn resource_time(&self, resource: Resource) -> SimDuration {
+        self.resource_busy
+            .get(&resource)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Sum of all crash-consistency region time.
+    pub fn crash_consistency_time(&self) -> SimDuration {
+        Region::all()
+            .into_iter()
+            .filter(|r| r.is_crash_consistency())
+            .map(|r| self.region_time(r))
+            .sum()
+    }
+
+    /// Sum of application-logic region time (including the application's own
+    /// in-place persists, which the paper counts as application logic).
+    pub fn application_time(&self) -> SimDuration {
+        self.region_time(Region::Application) + self.region_time(Region::AppPersist)
+    }
+
+    /// Wall-clock time during which at least one CPU thread was busy.
+    pub fn cpu_busy(&self) -> SimDuration {
+        self.cpu_busy
+    }
+
+    /// Wall-clock time during which at least one NearPM resource was busy.
+    pub fn ndp_busy(&self) -> SimDuration {
+        self.ndp_busy
+    }
+
+    /// Wall-clock time during which the CPU and a NearPM resource were busy
+    /// simultaneously — the "parallelizable fraction" numerator of Figure 18.
+    pub fn cpu_ndp_overlap(&self) -> SimDuration {
+        self.overlap
+    }
+
+    /// Fraction of the makespan during which CPU and NDP overlap.
+    pub fn overlap_fraction(&self) -> f64 {
+        self.overlap.ratio(self.makespan)
+    }
+
+    /// Length of the longest dependency chain (lower bound on makespan with
+    /// infinite resources).
+    pub fn critical_path(&self) -> SimDuration {
+        self.critical_path
+    }
+
+    /// Per-region breakdown as fractions of total busy time.
+    pub fn region_breakdown(&self) -> Vec<(Region, f64)> {
+        let total: SimDuration = Region::all().into_iter().map(|r| self.region_time(r)).sum();
+        Region::all()
+            .into_iter()
+            .map(|r| (r, self.region_time(r).ratio(total)))
+            .collect()
+    }
+}
+
+/// Sorts and merges intervals in place, returning their total covered length.
+fn merged_length(intervals: &mut Vec<(SimTime, SimTime)>) -> SimDuration {
+    if intervals.is_empty() {
+        return SimDuration::ZERO;
+    }
+    intervals.sort_by_key(|(s, _)| *s);
+    let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(intervals.len());
+    for &(s, e) in intervals.iter() {
+        match merged.last_mut() {
+            Some((_, last_end)) if s <= *last_end => {
+                if e > *last_end {
+                    *last_end = e;
+                }
+            }
+            _ => merged.push((s, e)),
+        }
+    }
+    let total = merged.iter().map(|(s, e)| *e - *s).sum();
+    *intervals = merged;
+    total
+}
+
+/// Total length of the intersection of two sets of *merged, sorted* intervals.
+fn intersection_length(a: &[(SimTime, SimTime)], b: &[(SimTime, SimTime)]) -> SimDuration {
+    let mut i = 0;
+    let mut j = 0;
+    let mut total = SimDuration::ZERO;
+    while i < a.len() && j < b.len() {
+        let (as_, ae) = a[i];
+        let (bs, be) = b[j];
+        let start = as_.max(bs);
+        let end = ae.min(be);
+        if end > start {
+            total += end - start;
+        }
+        if ae <= be {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::Resource;
+    use crate::task::{Region, TaskGraph};
+    use crate::time::SimDuration;
+
+    fn ns(x: f64) -> SimDuration {
+        SimDuration::from_ns(x)
+    }
+
+    const CPU: Resource = Resource::Cpu(0);
+    const UNIT0: Resource = Resource::NdpUnit { device: 0, unit: 0 };
+    const UNIT1: Resource = Resource::NdpUnit { device: 0, unit: 1 };
+
+    #[test]
+    fn serial_chain_on_one_resource() {
+        let mut g = TaskGraph::new();
+        let a = g.add("a", CPU, ns(10.0), Region::Application, &[]);
+        let b = g.add("b", CPU, ns(20.0), Region::CcDataMovement, &[a]);
+        let _c = g.add("c", CPU, ns(5.0), Region::CcMetadata, &[b]);
+        let s = Schedule::compute(&g);
+        assert!((s.makespan().as_ns() - 35.0).abs() < 1e-9);
+        assert!((s.crash_consistency_time().as_ns() - 25.0).abs() < 1e-9);
+        assert!((s.application_time().as_ns() - 10.0).abs() < 1e-9);
+        assert!((s.critical_path().as_ns() - 35.0).abs() < 1e-9);
+        assert_eq!(s.cpu_ndp_overlap(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn resource_contention_serializes_independent_tasks() {
+        let mut g = TaskGraph::new();
+        let _a = g.add("a", CPU, ns(10.0), Region::Application, &[]);
+        let _b = g.add("b", CPU, ns(10.0), Region::Application, &[]);
+        let s = Schedule::compute(&g);
+        // Independent but same resource: must serialize.
+        assert!((s.makespan().as_ns() - 20.0).abs() < 1e-9);
+        // Critical path ignores resource contention.
+        assert!((s.critical_path().as_ns() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_tasks_on_distinct_units_run_in_parallel() {
+        let mut g = TaskGraph::new();
+        let _a = g.add("log-a", UNIT0, ns(100.0), Region::CcDataMovement, &[]);
+        let _b = g.add("log-b", UNIT1, ns(100.0), Region::CcDataMovement, &[]);
+        let s = Schedule::compute(&g);
+        assert!((s.makespan().as_ns() - 100.0).abs() < 1e-9);
+        assert!((s.ndp_busy().as_ns() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_ndp_overlap_measured() {
+        let mut g = TaskGraph::new();
+        // NDP copies for 100 ns while the CPU computes for 60 ns concurrently.
+        let _n = g.add("ndp-copy", UNIT0, ns(100.0), Region::CcDataMovement, &[]);
+        let _c = g.add("cpu-work", CPU, ns(60.0), Region::Application, &[]);
+        let s = Schedule::compute(&g);
+        assert!((s.makespan().as_ns() - 100.0).abs() < 1e-9);
+        assert!((s.cpu_ndp_overlap().as_ns() - 60.0).abs() < 1e-9);
+        assert!((s.overlap_fraction() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependency_across_resources_enforced() {
+        let mut g = TaskGraph::new();
+        let n = g.add("ndp-log", UNIT0, ns(50.0), Region::CcDataMovement, &[]);
+        let u = g.add("cpu-update", CPU, ns(10.0), Region::AppPersist, &[n]);
+        let s = Schedule::compute(&g);
+        assert!((s.timing(u).start.as_ns() - 50.0).abs() < 1e-9);
+        assert!((s.makespan().as_ns() - 60.0).abs() < 1e-9);
+        assert_eq!(s.cpu_ndp_overlap(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn barriers_do_not_consume_time_but_order() {
+        let mut g = TaskGraph::new();
+        let a = g.add("a", UNIT0, ns(40.0), Region::CcDataMovement, &[]);
+        let b = g.add("b", UNIT1, ns(70.0), Region::CcDataMovement, &[]);
+        let j = g.barrier("join", CPU, &[a, b]);
+        let c = g.add("commit", CPU, ns(10.0), Region::CcCommit, &[j]);
+        let s = Schedule::compute(&g);
+        assert!((s.timing(c).start.as_ns() - 70.0).abs() < 1e-9);
+        assert!((s.makespan().as_ns() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn region_breakdown_sums_to_one() {
+        let mut g = TaskGraph::new();
+        let a = g.add("a", CPU, ns(30.0), Region::Application, &[]);
+        let _b = g.add("b", CPU, ns(70.0), Region::CcDataMovement, &[a]);
+        let s = Schedule::compute(&g);
+        let breakdown = s.region_breakdown();
+        let total: f64 = breakdown.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let dm = breakdown
+            .iter()
+            .find(|(r, _)| *r == Region::CcDataMovement)
+            .unwrap()
+            .1;
+        assert!((dm - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_schedules_to_zero() {
+        let g = TaskGraph::new();
+        let s = Schedule::compute(&g);
+        assert_eq!(s.makespan(), SimDuration::ZERO);
+        assert_eq!(s.critical_path(), SimDuration::ZERO);
+        assert_eq!(s.cpu_busy(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn interval_merging_handles_overlaps() {
+        let mut v = vec![
+            (SimTime::from_ns(0.0), SimTime::from_ns(10.0)),
+            (SimTime::from_ns(5.0), SimTime::from_ns(15.0)),
+            (SimTime::from_ns(20.0), SimTime::from_ns(25.0)),
+        ];
+        let len = merged_length(&mut v);
+        assert!((len.as_ns() - 20.0).abs() < 1e-9);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn interval_intersection() {
+        let a = vec![(SimTime::from_ns(0.0), SimTime::from_ns(10.0))];
+        let b = vec![
+            (SimTime::from_ns(5.0), SimTime::from_ns(7.0)),
+            (SimTime::from_ns(9.0), SimTime::from_ns(20.0)),
+        ];
+        let len = intersection_length(&a, &b);
+        assert!((len.as_ns() - 3.0).abs() < 1e-9);
+    }
+}

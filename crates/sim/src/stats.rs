@@ -1,0 +1,177 @@
+//! Statistics helpers used by the benchmark harness.
+//!
+//! The paper reports means with standard-deviation error bars over 10 runs;
+//! [`Summary`] provides exactly that, plus geometric means for speedup
+//! aggregation across workloads.
+
+/// Online accumulator for a stream of samples.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Creates a summary from an existing sample vector.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Self {
+        Summary {
+            samples: samples.into_iter().collect(),
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (0 for an empty summary).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Population standard deviation (0 for fewer than two samples).
+    pub fn stddev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    /// Minimum sample (0 for an empty summary).
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min_or_zero()
+    }
+
+    /// Maximum sample (0 for an empty summary).
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max_or_zero()
+    }
+
+    /// Geometric mean; samples must be positive (non-positive samples are
+    /// skipped).
+    pub fn geomean(&self) -> f64 {
+        let positive: Vec<f64> = self.samples.iter().copied().filter(|s| *s > 0.0).collect();
+        if positive.is_empty() {
+            return 0.0;
+        }
+        let log_sum: f64 = positive.iter().map(|s| s.ln()).sum();
+        (log_sum / positive.len() as f64).exp()
+    }
+
+    /// Borrow the raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Geometric mean of an iterator of positive values.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    Summary::from_samples(values).geomean()
+}
+
+/// Arithmetic mean of an iterator of values.
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    Summary::from_samples(values).mean()
+}
+
+trait FiniteOrZero {
+    fn min_or_zero(self) -> f64;
+    fn max_or_zero(self) -> f64;
+}
+
+impl FiniteOrZero for f64 {
+    fn min_or_zero(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+    fn max_or_zero(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.geomean(), 0.0);
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        let s = Summary::from_samples([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-9);
+        assert!((s.stddev() - 2.0).abs() < 1e-9);
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        let s = Summary::from_samples([1.0, 4.0, 16.0]);
+        assert!((s.geomean() - 4.0).abs() < 1e-9);
+        // Non-positive samples are skipped.
+        let s = Summary::from_samples([0.0, 4.0, 4.0]);
+        assert!((s.geomean() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_function_helpers() {
+        assert!((mean([1.0, 2.0, 3.0]) - 2.0).abs() < 1e-9);
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = Summary::new();
+        s.add(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+        assert_eq!(s.samples(), &[3.5]);
+    }
+}

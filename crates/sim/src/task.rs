@@ -1,0 +1,299 @@
+//! Task-graph construction.
+//!
+//! Every operation in the system — an application compute burst, a CPU
+//! in-place persist, a NearPM DMA copy, a synchronization wait — is lowered
+//! to a [`Task`] bound to one [`Resource`] with an explicit dependency list.
+//! A [`TaskGraph`] accumulates these tasks; the scheduler in
+//! [`crate::schedule`] then derives start/finish times, overlap, and region
+//! breakdowns from it.
+
+use crate::resource::Resource;
+use crate::time::SimDuration;
+
+/// Identifier of a task within one [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) usize);
+
+impl TaskId {
+    /// Index into the graph's task vector.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Accounting category of a task, matching the breakdowns reported by the
+/// paper (Figure 1 and Figure 18).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Region {
+    /// Application logic: compute and volatile-memory work.
+    Application,
+    /// In-place persistent updates that the application itself performs.
+    AppPersist,
+    /// Crash-consistency data movement (log/checkpoint/shadow copies).
+    CcDataMovement,
+    /// Crash-consistency metadata generation.
+    CcMetadata,
+    /// Log reset / deletion.
+    CcLogReset,
+    /// Page-fault handling attributed to checkpointing or shadow paging.
+    CcPageFault,
+    /// Command issue and offload overhead on the control path.
+    CcOffload,
+    /// Synchronization: CPU polling, cross-device completion exchange.
+    CcSync,
+    /// Page-table switch in shadow paging, commit records, etc.
+    CcCommit,
+}
+
+impl Region {
+    /// True if this region is part of crash-consistency overhead (everything
+    /// except plain application logic and the application's own in-place
+    /// persists).
+    pub fn is_crash_consistency(self) -> bool {
+        !matches!(self, Region::Application | Region::AppPersist)
+    }
+
+    /// Stable short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::Application => "application",
+            Region::AppPersist => "app-persist",
+            Region::CcDataMovement => "data-movement",
+            Region::CcMetadata => "metadata",
+            Region::CcLogReset => "log-reset",
+            Region::CcPageFault => "page-fault",
+            Region::CcOffload => "offload",
+            Region::CcSync => "sync",
+            Region::CcCommit => "commit",
+        }
+    }
+
+    /// All regions, in report order.
+    pub fn all() -> [Region; 9] {
+        [
+            Region::Application,
+            Region::AppPersist,
+            Region::CcDataMovement,
+            Region::CcMetadata,
+            Region::CcLogReset,
+            Region::CcPageFault,
+            Region::CcOffload,
+            Region::CcSync,
+            Region::CcCommit,
+        ]
+    }
+}
+
+/// A unit of work bound to a single resource.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Identifier within the owning graph.
+    pub id: TaskId,
+    /// Short human-readable label (used in traces and debugging).
+    pub label: &'static str,
+    /// Resource that executes the task.
+    pub resource: Resource,
+    /// Execution time once started.
+    pub duration: SimDuration,
+    /// Tasks that must finish before this one starts.
+    pub deps: Vec<TaskId>,
+    /// Accounting category.
+    pub region: Region,
+}
+
+/// A directed acyclic graph of tasks.
+///
+/// Tasks are appended in program order; dependencies may only reference
+/// previously added tasks, which makes cycles impossible by construction and
+/// lets the scheduler process tasks in insertion order.
+#[derive(Debug, Default, Clone)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+}
+
+impl TaskGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        TaskGraph { tasks: Vec::new() }
+    }
+
+    /// Number of tasks in the graph.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Adds a task and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dependency refers to a task that has not been added yet;
+    /// this indicates a bug in the code building the graph.
+    pub fn add(
+        &mut self,
+        label: &'static str,
+        resource: Resource,
+        duration: SimDuration,
+        region: Region,
+        deps: &[TaskId],
+    ) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        for d in deps {
+            assert!(
+                d.0 < id.0,
+                "task dependency {:?} does not precede task {:?}",
+                d,
+                id
+            );
+        }
+        self.tasks.push(Task {
+            id,
+            label,
+            resource,
+            duration,
+            deps: deps.to_vec(),
+            region,
+        });
+        id
+    }
+
+    /// Adds a zero-length barrier task on `resource` depending on `deps`.
+    ///
+    /// Barriers are used to express "wait until all of these finish" without
+    /// consuming time, e.g. the commit point waiting on log completions.
+    pub fn barrier(&mut self, label: &'static str, resource: Resource, deps: &[TaskId]) -> TaskId {
+        self.add(label, resource, SimDuration::ZERO, Region::CcSync, deps)
+    }
+
+    /// Read-only access to the tasks in insertion order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Access one task.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// Sum of the durations of all tasks (serial work).
+    pub fn total_work(&self) -> SimDuration {
+        self.tasks.iter().map(|t| t.duration).sum()
+    }
+
+    /// Sum of the durations of tasks in a given region.
+    pub fn region_work(&self, region: Region) -> SimDuration {
+        self.tasks
+            .iter()
+            .filter(|t| t.region == region)
+            .map(|t| t.duration)
+            .sum()
+    }
+
+    /// Appends another graph, offsetting its task ids, and making its first
+    /// tasks additionally depend on `join`. Returns the id offset applied.
+    pub fn append(&mut self, other: &TaskGraph, join: &[TaskId]) -> usize {
+        let offset = self.tasks.len();
+        for t in &other.tasks {
+            let mut deps: Vec<TaskId> = t.deps.iter().map(|d| TaskId(d.0 + offset)).collect();
+            if t.deps.is_empty() {
+                deps.extend_from_slice(join);
+            }
+            self.tasks.push(Task {
+                id: TaskId(t.id.0 + offset),
+                label: t.label,
+                resource: t.resource,
+                duration: t.duration,
+                deps,
+                region: t.region,
+            });
+        }
+        offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn ns(x: f64) -> SimDuration {
+        SimDuration::from_ns(x)
+    }
+
+    #[test]
+    fn add_tasks_and_query() {
+        let mut g = TaskGraph::new();
+        assert!(g.is_empty());
+        let a = g.add("a", Resource::Cpu(0), ns(10.0), Region::Application, &[]);
+        let b = g.add(
+            "b",
+            Resource::Cpu(0),
+            ns(5.0),
+            Region::CcDataMovement,
+            &[a],
+        );
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.task(b).deps, vec![a]);
+        assert!((g.total_work().as_ns() - 15.0).abs() < 1e-9);
+        assert!((g.region_work(Region::Application).as_ns() - 10.0).abs() < 1e-9);
+        assert!((g.region_work(Region::CcDataMovement).as_ns() - 5.0).abs() < 1e-9);
+        assert!(g.region_work(Region::CcSync).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not precede")]
+    fn forward_dependency_panics() {
+        let mut g = TaskGraph::new();
+        // Fabricate a dependency on a task that does not exist yet.
+        g.add(
+            "bad",
+            Resource::Cpu(0),
+            ns(1.0),
+            Region::Application,
+            &[TaskId(5)],
+        );
+    }
+
+    #[test]
+    fn barrier_has_zero_duration() {
+        let mut g = TaskGraph::new();
+        let a = g.add("a", Resource::Cpu(0), ns(1.0), Region::Application, &[]);
+        let b = g.barrier("join", Resource::Cpu(0), &[a]);
+        assert!(g.task(b).duration.is_zero());
+        assert_eq!(g.task(b).region, Region::CcSync);
+    }
+
+    #[test]
+    fn region_classification() {
+        assert!(!Region::Application.is_crash_consistency());
+        assert!(!Region::AppPersist.is_crash_consistency());
+        for r in Region::all() {
+            if r != Region::Application && r != Region::AppPersist {
+                assert!(r.is_crash_consistency(), "{:?}", r);
+            }
+            assert!(!r.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn append_offsets_and_joins() {
+        let mut base = TaskGraph::new();
+        let a = base.add("a", Resource::Cpu(0), ns(3.0), Region::Application, &[]);
+
+        let mut tail = TaskGraph::new();
+        let x = tail.add("x", Resource::Cpu(0), ns(2.0), Region::Application, &[]);
+        let _y = tail.add("y", Resource::Cpu(0), ns(2.0), Region::Application, &[x]);
+
+        let offset = base.append(&tail, &[a]);
+        assert_eq!(offset, 1);
+        assert_eq!(base.len(), 3);
+        // The appended root now depends on `a`.
+        assert_eq!(base.task(TaskId(1)).deps, vec![a]);
+        // The appended second task depends on the offset first task.
+        assert_eq!(base.task(TaskId(2)).deps, vec![TaskId(1)]);
+    }
+}

@@ -1,0 +1,315 @@
+//! Workload generators: YCSB-style key selection, TPC-C and TATP transaction
+//! mixes.
+//!
+//! The evaluation drives Redis/Memcached with 100 %-write YCSB, the PMDK
+//! stores with random inserts of 64-byte values, and TPCC/TATP with their
+//! standard transaction mixes. These generators are deterministic given a
+//! seed so that every configuration of a figure sees the same request
+//! stream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Zipfian key-popularity generator (the YCSB default, theta = 0.99).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    items: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    rng: StdRng,
+}
+
+impl Zipfian {
+    /// Creates a generator over `items` keys with the YCSB constant 0.99.
+    pub fn new(items: u64, seed: u64) -> Self {
+        Self::with_theta(items, 0.99, seed)
+    }
+
+    /// Creates a generator with an explicit skew parameter.
+    pub fn with_theta(items: u64, theta: f64, seed: u64) -> Self {
+        let items = items.max(1);
+        let zetan = Self::zeta(items, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            items,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Next key in `[0, items)`.
+    pub fn next_key(&mut self) -> u64 {
+        let u: f64 = self.rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let k = (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        k.min(self.items - 1)
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+}
+
+/// YCSB operation types. The paper uses a 100 %-write workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbOp {
+    /// Insert or update a key.
+    Update {
+        /// Selected key.
+        key: u64,
+        /// Value size in bytes.
+        value_size: u64,
+    },
+    /// Read a key (unused in the 100 %-write configuration, kept for
+    /// completeness).
+    Read {
+        /// Selected key.
+        key: u64,
+    },
+}
+
+/// YCSB-style request generator.
+#[derive(Debug, Clone)]
+pub struct YcsbGenerator {
+    keys: Zipfian,
+    write_fraction: f64,
+    value_size: u64,
+    rng: StdRng,
+}
+
+impl YcsbGenerator {
+    /// 100 %-write generator as used by the paper for Redis and Memcached.
+    pub fn write_only(items: u64, value_size: u64, seed: u64) -> Self {
+        YcsbGenerator {
+            keys: Zipfian::new(items, seed ^ 0x5eed),
+            write_fraction: 1.0,
+            value_size,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generator with an arbitrary write fraction (e.g. YCSB-A is 0.5).
+    pub fn with_write_fraction(items: u64, value_size: u64, write_fraction: f64, seed: u64) -> Self {
+        YcsbGenerator {
+            keys: Zipfian::new(items, seed ^ 0x5eed),
+            write_fraction,
+            value_size,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next operation.
+    pub fn next_op(&mut self) -> YcsbOp {
+        let key = self.keys.next_key();
+        if self.rng.gen::<f64>() < self.write_fraction {
+            YcsbOp::Update {
+                key,
+                value_size: self.value_size,
+            }
+        } else {
+            YcsbOp::Read { key }
+        }
+    }
+}
+
+/// TPC-C transaction types in the standard mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TpccTxn {
+    /// New-order (45 %): inserts an order with 5–15 order lines.
+    NewOrder {
+        /// Number of order lines.
+        lines: u32,
+    },
+    /// Payment (43 %): updates warehouse, district, customer balances.
+    Payment,
+    /// Delivery / order-status / stock-level (12 %): lighter updates.
+    Delivery,
+}
+
+/// TPC-C transaction generator.
+#[derive(Debug, Clone)]
+pub struct TpccGenerator {
+    rng: StdRng,
+}
+
+impl TpccGenerator {
+    /// Creates a generator.
+    pub fn new(seed: u64) -> Self {
+        TpccGenerator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next transaction.
+    pub fn next_txn(&mut self) -> TpccTxn {
+        let r: f64 = self.rng.gen();
+        if r < 0.45 {
+            TpccTxn::NewOrder {
+                lines: self.rng.gen_range(5..=15),
+            }
+        } else if r < 0.88 {
+            TpccTxn::Payment
+        } else {
+            TpccTxn::Delivery
+        }
+    }
+}
+
+/// TATP transaction types (update-heavy subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TatpTxn {
+    /// Update-subscriber-data: one small row update.
+    UpdateSubscriber {
+        /// Subscriber id.
+        subscriber: u64,
+    },
+    /// Update-location: one tiny (8-byte) field update.
+    UpdateLocation {
+        /// Subscriber id.
+        subscriber: u64,
+    },
+}
+
+/// TATP transaction generator over `subscribers` rows.
+#[derive(Debug, Clone)]
+pub struct TatpGenerator {
+    subscribers: u64,
+    rng: StdRng,
+}
+
+impl TatpGenerator {
+    /// Creates a generator.
+    pub fn new(subscribers: u64, seed: u64) -> Self {
+        TatpGenerator {
+            subscribers: subscribers.max(1),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next transaction.
+    pub fn next_txn(&mut self) -> TatpTxn {
+        let subscriber = self.rng.gen_range(0..self.subscribers);
+        if self.rng.gen::<f64>() < 0.5 {
+            TatpTxn::UpdateSubscriber { subscriber }
+        } else {
+            TatpTxn::UpdateLocation { subscriber }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipfian_is_skewed_and_in_range() {
+        let mut z = Zipfian::new(1000, 42);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..20_000 {
+            let k = z.next_key();
+            assert!(k < 1000);
+            counts[k as usize] += 1;
+        }
+        // The most popular key should be dramatically more frequent than the
+        // median key under a 0.99-skew Zipfian.
+        let max = *counts.iter().max().unwrap();
+        let median = {
+            let mut c = counts.clone();
+            c.sort_unstable();
+            c[500]
+        };
+        assert!(max > median * 5, "zipfian not skewed: max={max} median={median}");
+        assert_eq!(z.items(), 1000);
+    }
+
+    #[test]
+    fn zipfian_is_deterministic_per_seed() {
+        let mut a = Zipfian::new(100, 7);
+        let mut b = Zipfian::new(100, 7);
+        let mut c = Zipfian::new(100, 8);
+        let seq_a: Vec<u64> = (0..50).map(|_| a.next_key()).collect();
+        let seq_b: Vec<u64> = (0..50).map(|_| b.next_key()).collect();
+        let seq_c: Vec<u64> = (0..50).map(|_| c.next_key()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn ycsb_write_only_generates_updates() {
+        let mut g = YcsbGenerator::write_only(100, 64, 1);
+        for _ in 0..100 {
+            match g.next_op() {
+                YcsbOp::Update { key, value_size } => {
+                    assert!(key < 100);
+                    assert_eq!(value_size, 64);
+                }
+                YcsbOp::Read { .. } => panic!("write-only workload produced a read"),
+            }
+        }
+    }
+
+    #[test]
+    fn ycsb_mixed_produces_reads_and_writes() {
+        let mut g = YcsbGenerator::with_write_fraction(100, 64, 0.5, 3);
+        let mut reads = 0;
+        let mut writes = 0;
+        for _ in 0..1000 {
+            match g.next_op() {
+                YcsbOp::Update { .. } => writes += 1,
+                YcsbOp::Read { .. } => reads += 1,
+            }
+        }
+        assert!(reads > 300 && writes > 300);
+    }
+
+    #[test]
+    fn tpcc_mix_roughly_matches_standard() {
+        let mut g = TpccGenerator::new(11);
+        let mut new_order = 0;
+        let mut payment = 0;
+        let mut other = 0;
+        for _ in 0..10_000 {
+            match g.next_txn() {
+                TpccTxn::NewOrder { lines } => {
+                    assert!((5..=15).contains(&lines));
+                    new_order += 1;
+                }
+                TpccTxn::Payment => payment += 1,
+                TpccTxn::Delivery => other += 1,
+            }
+        }
+        assert!((4000..5000).contains(&new_order), "{new_order}");
+        assert!((3800..4800).contains(&payment), "{payment}");
+        assert!((800..1600).contains(&other), "{other}");
+    }
+
+    #[test]
+    fn tatp_subscribers_in_range() {
+        let mut g = TatpGenerator::new(500, 9);
+        for _ in 0..100 {
+            match g.next_txn() {
+                TatpTxn::UpdateSubscriber { subscriber } | TatpTxn::UpdateLocation { subscriber } => {
+                    assert!(subscriber < 500)
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # nearpm-workloads — evaluation workloads
+//!
+//! The nine PM workloads of the paper's evaluation (Table 4): TPCC and TATP
+//! transaction processing, the four PMDK example key-value structures
+//! (btree, rbtree, skiplist, hashmap), the Redis- and Memcached-like key-value
+//! servers driven by 100 %-write YCSB, and PmemKV.
+//!
+//! Each workload runs under any combination of crash-consistency mechanism
+//! (logging, checkpointing, shadow paging) and execution mode (CPU baseline,
+//! NearPM SD, NearPM MD SW-sync, NearPM MD), producing the
+//! [`RunReport`](nearpm_core::RunReport)s from which the benchmark harness in
+//! `nearpm-bench` regenerates every figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod runner;
+
+pub use gen::{TatpGenerator, TatpTxn, TpccGenerator, TpccTxn, YcsbGenerator, YcsbOp, Zipfian};
+pub use runner::{run, RunOptions, Runner, Workload, WorkloadSpec};

@@ -1,0 +1,493 @@
+//! Workload specifications and the execution engine.
+//!
+//! The evaluation (Table 4) covers nine PM workloads. Each is described by a
+//! [`WorkloadSpec`] capturing its per-operation footprint — how much
+//! application compute it performs, and which persistent objects of which
+//! sizes it updates per operation — derived from the workload's structure:
+//! TPCC/TATP transactions, the PMDK example stores' node updates, and the
+//! YCSB-driven key-value servers. The [`Runner`] executes a request stream
+//! under any (mechanism, execution-mode) combination and returns the
+//! system's [`RunReport`], from which every figure of the evaluation is
+//! derived.
+
+use nearpm_cc::{Checkpoint, Mechanism, ShadowPaging, UndoLog};
+use nearpm_core::{ExecMode, NearPmSystem, PoolId, Result, RunReport, SystemConfig, VirtAddr};
+use nearpm_sim::PM_PAGE;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gen::{TatpGenerator, TatpTxn, TpccGenerator, TpccTxn, YcsbGenerator, YcsbOp, Zipfian};
+
+/// The nine evaluated workloads (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// TPC-C transactions (from the SFR suite).
+    Tpcc,
+    /// TATP transactions (from the SFR suite).
+    Tatp,
+    /// PMDK example B-tree, random 64 B inserts.
+    Btree,
+    /// PMDK example red-black tree, random 64 B inserts.
+    Rbtree,
+    /// PMDK example skip list, random 64 B inserts.
+    Skiplist,
+    /// PMDK example hash map, random 64 B inserts.
+    Hashmap,
+    /// Memcached (PM port), 100 % write YCSB.
+    Memcached,
+    /// Redis (PM port), 100 % write YCSB.
+    Redis,
+    /// PmemKV (B+-tree backend), pmemkv-bench input.
+    Pmemkv,
+}
+
+impl Workload {
+    /// All workloads in the paper's figure order.
+    pub fn all() -> [Workload; 9] {
+        [
+            Workload::Tpcc,
+            Workload::Tatp,
+            Workload::Btree,
+            Workload::Rbtree,
+            Workload::Skiplist,
+            Workload::Hashmap,
+            Workload::Memcached,
+            Workload::Redis,
+            Workload::Pmemkv,
+        ]
+    }
+
+    /// Short name used in figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Tpcc => "tpcc",
+            Workload::Tatp => "tatp",
+            Workload::Btree => "btree",
+            Workload::Rbtree => "rbtree",
+            Workload::Skiplist => "skiplist",
+            Workload::Hashmap => "hashmap",
+            Workload::Memcached => "memcached",
+            Workload::Redis => "redis",
+            Workload::Pmemkv => "pmemkv",
+        }
+    }
+
+    /// The per-operation footprint of the workload.
+    pub fn spec(self) -> WorkloadSpec {
+        match self {
+            // TPC-C new-order/payment touch several rows per transaction.
+            Workload::Tpcc => WorkloadSpec::new(self, 3600.0, &[(8, 128), (1, 512)], 4096),
+            // TATP transactions update one tiny row: almost no room for
+            // intra-transaction parallelism (the paper calls this out).
+            Workload::Tatp => WorkloadSpec::new(self, 700.0, &[(1, 64)], 8192),
+            Workload::Btree => WorkloadSpec::new(self, 900.0, &[(2, 256), (1, 64)], 4096),
+            Workload::Rbtree => WorkloadSpec::new(self, 1000.0, &[(3, 128), (1, 64)], 4096),
+            Workload::Skiplist => WorkloadSpec::new(self, 800.0, &[(2, 128), (1, 64)], 4096),
+            Workload::Hashmap => WorkloadSpec::new(self, 600.0, &[(1, 128), (1, 64)], 4096),
+            Workload::Memcached => WorkloadSpec::new(self, 1700.0, &[(1, 1024), (1, 64)], 2048),
+            Workload::Redis => WorkloadSpec::new(self, 1900.0, &[(1, 512), (2, 64)], 2048),
+            Workload::Pmemkv => WorkloadSpec::new(self, 1100.0, &[(1, 512), (1, 256)], 4096),
+        }
+    }
+}
+
+/// Per-operation footprint of one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Which workload this is.
+    pub workload: Workload,
+    /// Application compute per operation (ns), excluding crash consistency.
+    pub compute_ns: f64,
+    /// `(count, bytes)` persistent updates per operation.
+    pub updates: Vec<(u32, u64)>,
+    /// Number of distinct persistent objects in the working set.
+    pub working_set: usize,
+}
+
+impl WorkloadSpec {
+    fn new(workload: Workload, compute_ns: f64, updates: &[(u32, u64)], working_set: usize) -> Self {
+        WorkloadSpec {
+            workload,
+            compute_ns,
+            updates: updates.to_vec(),
+            working_set,
+        }
+    }
+
+    /// Bytes of persistent data updated per operation.
+    pub fn bytes_per_op(&self) -> u64 {
+        self.updates.iter().map(|(c, b)| *c as u64 * b).sum()
+    }
+
+    /// Largest single update size.
+    pub fn max_update(&self) -> u64 {
+        self.updates.iter().map(|(_, b)| *b).max().unwrap_or(64)
+    }
+}
+
+/// Options of one workload run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Execution mode (baseline / SD / MD-sync / MD).
+    pub mode: ExecMode,
+    /// Crash-consistency mechanism.
+    pub mechanism: Mechanism,
+    /// Number of operations (transactions / requests) to execute.
+    pub operations: usize,
+    /// Number of application threads (Figure 20 sweep).
+    pub threads: usize,
+    /// NearPM units per device (Figure 19 sweep).
+    pub units_per_device: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            mode: ExecMode::CpuBaseline,
+            mechanism: Mechanism::Logging,
+            operations: 64,
+            threads: 1,
+            units_per_device: 4,
+            seed: 1,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Convenience constructor.
+    pub fn new(mode: ExecMode, mechanism: Mechanism, operations: usize) -> Self {
+        RunOptions {
+            mode,
+            mechanism,
+            operations,
+            ..Default::default()
+        }
+    }
+
+    /// Overrides the thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the per-device unit count.
+    pub fn with_units(mut self, units: usize) -> Self {
+        self.units_per_device = units.max(1);
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Per-thread crash-consistency state.
+enum ThreadMechanism {
+    Logging(UndoLog),
+    Checkpointing(Checkpoint),
+    Shadow(ShadowPaging),
+}
+
+/// Per-thread workload state: working-set objects and request generators.
+struct ThreadState {
+    mechanism: ThreadMechanism,
+    objects: Vec<VirtAddr>,
+    pages: usize,
+    ycsb: YcsbGenerator,
+    tpcc: TpccGenerator,
+    tatp: TatpGenerator,
+    keys: Zipfian,
+    rng: StdRng,
+    ops_done: usize,
+}
+
+/// Executes a workload under a given configuration.
+pub struct Runner {
+    spec: WorkloadSpec,
+    options: RunOptions,
+}
+
+impl Runner {
+    /// Creates a runner for `workload` with `options`.
+    pub fn new(workload: Workload, options: RunOptions) -> Self {
+        Runner {
+            spec: workload.spec(),
+            options,
+        }
+    }
+
+    /// Runs the workload and returns the system report.
+    pub fn run(&self) -> Result<RunReport> {
+        let (report, _sys) = self.run_with_system()?;
+        Ok(report)
+    }
+
+    /// Runs the workload, returning both the report and the system (for
+    /// tests that want to inspect the persistent image afterwards).
+    pub fn run_with_system(&self) -> Result<(RunReport, NearPmSystem)> {
+        let o = &self.options;
+        let capacity: u64 = 96 << 20;
+        let config = SystemConfig::for_mode(o.mode)
+            .with_units(o.units_per_device)
+            .with_cpu_threads(o.threads)
+            .with_capacity(capacity);
+        let mut sys = NearPmSystem::new(config);
+
+        // Redis shares one pool among all threads; Memcached and the rest use
+        // one pool per thread (Section 8.3.1).
+        let shared_pool = self.spec.workload == Workload::Redis || o.threads == 1;
+        let pool_size = (capacity / (o.threads as u64 + 1)).min(32 << 20);
+        let mut pools: Vec<PoolId> = Vec::new();
+        if shared_pool {
+            pools.push(sys.create_pool("pm-pool", pool_size)?);
+        } else {
+            for t in 0..o.threads {
+                pools.push(sys.create_pool(&format!("pm-pool-{t}"), pool_size)?);
+            }
+        }
+
+        // Per-thread state.
+        let per_thread_objects = (self.spec.working_set / o.threads).max(16);
+        let mut threads: Vec<ThreadState> = Vec::with_capacity(o.threads);
+        for t in 0..o.threads {
+            let pool = pools[if shared_pool { 0 } else { t }];
+            let obj_size = self.spec.max_update().max(64);
+            let mut objects = Vec::with_capacity(per_thread_objects);
+            for _ in 0..per_thread_objects {
+                objects.push(sys.alloc(pool, obj_size, 64)?);
+            }
+            let arena_pages = 48 / o.threads.max(1) + 16;
+            let mechanism = match o.mechanism {
+                Mechanism::Logging => {
+                    ThreadMechanism::Logging(UndoLog::new(&mut sys, pool, t, arena_pages)?)
+                }
+                Mechanism::Checkpointing => {
+                    ThreadMechanism::Checkpointing(Checkpoint::new(&mut sys, pool, t, arena_pages)?)
+                }
+                Mechanism::ShadowPaging => ThreadMechanism::Shadow(ShadowPaging::new(
+                    &mut sys,
+                    pool,
+                    t,
+                    (per_thread_objects / 8).clamp(4, 32),
+                    arena_pages,
+                )?),
+            };
+            let seed = o.seed ^ (t as u64).wrapping_mul(0x9E37_79B9);
+            threads.push(ThreadState {
+                mechanism,
+                objects,
+                pages: (per_thread_objects / 8).clamp(4, 32),
+                ycsb: YcsbGenerator::write_only(per_thread_objects as u64, self.spec.max_update(), seed),
+                tpcc: TpccGenerator::new(seed),
+                tatp: TatpGenerator::new(per_thread_objects as u64, seed),
+                keys: Zipfian::new(per_thread_objects as u64, seed),
+                rng: StdRng::seed_from_u64(seed),
+                ops_done: 0,
+            });
+        }
+
+        // Round-robin the operations over the threads (a closed-loop client
+        // per thread).
+        for op in 0..o.operations {
+            let t = op % o.threads;
+            self.run_one_op(&mut sys, &mut threads[t], t)?;
+        }
+
+        // Close out open epochs so checkpointing work is fully accounted.
+        for (t, state) in threads.iter_mut().enumerate() {
+            if let ThreadMechanism::Checkpointing(ckpt) = &mut state.mechanism {
+                let _ = ckpt.advance_epoch(&mut sys);
+            }
+            let _ = t;
+        }
+
+        Ok((sys.report(), sys))
+    }
+
+    /// Runs one workload operation on one thread.
+    fn run_one_op(&self, sys: &mut NearPmSystem, state: &mut ThreadState, thread: usize) -> Result<()> {
+        // Determine the update sites and compute burst for this operation.
+        let (compute_ns, update_sites) = self.op_shape(state);
+        state.ops_done += 1;
+
+        match &mut state.mechanism {
+            ThreadMechanism::Logging(undo) => {
+                undo.begin(sys)?;
+                // Log every to-be-updated range first (independent logging
+                // operations can proceed in parallel on NearPM).
+                for (addr, len) in &update_sites {
+                    undo.log_range(sys, *addr, *len)?;
+                }
+                sys.cpu_compute(thread, compute_ns)?;
+                for (addr, len) in &update_sites {
+                    let val = vec![state.rng.gen::<u8>(); *len as usize];
+                    undo.update(sys, *addr, &val)?;
+                }
+                undo.commit(sys)?;
+            }
+            ThreadMechanism::Checkpointing(ckpt) => {
+                for (addr, _len) in &update_sites {
+                    ckpt.touch(sys, *addr)?;
+                }
+                sys.cpu_compute(thread, compute_ns)?;
+                for (addr, len) in &update_sites {
+                    let val = vec![state.rng.gen::<u8>(); *len as usize];
+                    ckpt.update(sys, *addr, &val)?;
+                }
+                // Epoch boundary every 16 operations.
+                if state.ops_done % 16 == 0 {
+                    ckpt.advance_epoch(sys)?;
+                }
+            }
+            ThreadMechanism::Shadow(shadow) => {
+                sys.cpu_compute(thread, compute_ns)?;
+                for (addr, len) in &update_sites {
+                    let page_idx = (addr.raw() as usize / 64) % state.pages;
+                    let offset = (addr.raw() % (PM_PAGE - len)) & !63;
+                    let val = vec![state.rng.gen::<u8>(); *len as usize];
+                    shadow.update(sys, page_idx, offset, &val)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Chooses the update sites and compute burst for the next operation of
+    /// this workload.
+    fn op_shape(&self, state: &mut ThreadState) -> (f64, Vec<(VirtAddr, u64)>) {
+        let mut sites = Vec::new();
+        let mut compute = self.spec.compute_ns;
+        match self.spec.workload {
+            Workload::Tpcc => match state.tpcc.next_txn() {
+                TpccTxn::NewOrder { lines } => {
+                    compute *= 1.2;
+                    for _ in 0..lines.min(8) {
+                        sites.push(self.pick(state, 128));
+                    }
+                    sites.push(self.pick(state, 512));
+                }
+                TpccTxn::Payment => {
+                    for _ in 0..3 {
+                        sites.push(self.pick(state, 128));
+                    }
+                }
+                TpccTxn::Delivery => {
+                    compute *= 0.8;
+                    sites.push(self.pick(state, 128));
+                }
+            },
+            Workload::Tatp => match state.tatp.next_txn() {
+                TatpTxn::UpdateSubscriber { .. } => sites.push(self.pick(state, 64)),
+                TatpTxn::UpdateLocation { .. } => sites.push(self.pick(state, 64)),
+            },
+            Workload::Memcached | Workload::Redis => match state.ycsb.next_op() {
+                YcsbOp::Update { value_size, .. } => {
+                    for (count, bytes) in &self.spec.updates {
+                        for _ in 0..*count {
+                            let b = if *bytes >= 512 { value_size.max(*bytes) } else { *bytes };
+                            sites.push(self.pick(state, b));
+                        }
+                    }
+                }
+                YcsbOp::Read { .. } => {
+                    sites.push(self.pick(state, 64));
+                }
+            },
+            _ => {
+                for (count, bytes) in &self.spec.updates {
+                    for _ in 0..*count {
+                        sites.push(self.pick(state, *bytes));
+                    }
+                }
+            }
+        }
+        (compute, sites)
+    }
+
+    fn pick(&self, state: &mut ThreadState, len: u64) -> (VirtAddr, u64) {
+        let idx = state.keys.next_key() as usize % state.objects.len();
+        let len = len.min(self.spec.max_update().max(64));
+        (state.objects[idx], len)
+    }
+}
+
+/// Convenience: run one workload / mechanism / mode combination.
+pub fn run(workload: Workload, mechanism: Mechanism, mode: ExecMode, operations: usize) -> Result<RunReport> {
+    Runner::new(workload, RunOptions::new(mode, mechanism, operations)).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_specs_are_populated() {
+        for w in Workload::all() {
+            let s = w.spec();
+            assert!(s.compute_ns > 0.0);
+            assert!(s.bytes_per_op() > 0);
+            assert!(!w.name().is_empty());
+        }
+        // TATP is the smallest-footprint workload.
+        assert!(Workload::Tatp.spec().bytes_per_op() <= Workload::Tpcc.spec().bytes_per_op());
+    }
+
+    #[test]
+    fn every_workload_runs_under_every_mechanism() {
+        for w in [Workload::Tatp, Workload::Hashmap, Workload::Redis] {
+            for m in Mechanism::all() {
+                let report = run(w, m, ExecMode::NearPmMd, 8).unwrap();
+                assert!(report.ppo_violations.is_empty(), "{w:?}/{m:?}");
+                assert!(report.makespan.as_ns() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn nearpm_md_beats_baseline_on_logging_workloads() {
+        for w in [Workload::Tpcc, Workload::Btree, Workload::Memcached] {
+            let base = run(w, Mechanism::Logging, ExecMode::CpuBaseline, 24).unwrap();
+            let md = run(w, Mechanism::Logging, ExecMode::NearPmMd, 24).unwrap();
+            let speedup = md.speedup_over(&base);
+            assert!(speedup > 1.0, "{w:?}: end-to-end speedup {speedup}");
+            let cc_speedup = md.cc_speedup_over(&base);
+            assert!(cc_speedup > 1.5, "{w:?}: cc speedup {cc_speedup}");
+        }
+    }
+
+    #[test]
+    fn baseline_cc_overhead_is_substantial() {
+        let base = run(Workload::Btree, Mechanism::ShadowPaging, ExecMode::CpuBaseline, 24).unwrap();
+        assert!(base.cc_fraction() > 0.3, "{}", base.cc_fraction());
+    }
+
+    #[test]
+    fn multithreaded_run_produces_valid_report() {
+        let opts = RunOptions::new(ExecMode::NearPmMd, Mechanism::Logging, 32).with_threads(4);
+        let report = Runner::new(Workload::Memcached, opts).run().unwrap();
+        assert!(report.ppo_violations.is_empty());
+        assert!(report.makespan.as_ns() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Runner::new(
+            Workload::Hashmap,
+            RunOptions::new(ExecMode::NearPmSd, Mechanism::Logging, 16).with_seed(5),
+        )
+        .run()
+        .unwrap();
+        let b = Runner::new(
+            Workload::Hashmap,
+            RunOptions::new(ExecMode::NearPmSd, Mechanism::Logging, 16).with_seed(5),
+        )
+        .run()
+        .unwrap();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.ndp_bytes_moved, b.ndp_bytes_moved);
+    }
+}

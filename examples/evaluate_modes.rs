@@ -1,0 +1,33 @@
+//! Runs one workload under all four configurations of the paper and prints
+//! the end-to-end and crash-consistency-region speedups (a single row of
+//! Figures 15 and 16).
+
+use nearpm::cc::Mechanism;
+use nearpm::core::ExecMode;
+use nearpm::workloads::{RunOptions, Runner, Workload};
+
+fn main() {
+    let workload = Workload::Btree;
+    let mechanism = Mechanism::Logging;
+    let ops = 48;
+
+    let run = |mode: ExecMode| {
+        Runner::new(workload, RunOptions::new(mode, mechanism, ops))
+            .run()
+            .expect("run")
+    };
+    let base = run(ExecMode::CpuBaseline);
+    println!("workload={} mechanism={}", workload.name(), mechanism.label());
+    println!("{:<22} {:>12} {:>10} {:>10}", "configuration", "makespan", "e2e_x", "cc_x");
+    for mode in ExecMode::all() {
+        let r = run(mode);
+        println!(
+            "{:<22} {:>12} {:>10.3} {:>10.2}",
+            mode.label(),
+            format!("{}", r.makespan),
+            r.speedup_over(&base),
+            r.cc_speedup_over(&base)
+        );
+        assert!(r.ppo_violations.is_empty());
+    }
+}

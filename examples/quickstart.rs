@@ -1,0 +1,36 @@
+//! Quickstart: open a pool, run a failure-atomic transaction on NearPM, and
+//! print the run report.
+
+use nearpm::core::{NearPmSystem, SystemConfig};
+use nearpm::pmdk::ObjPool;
+
+fn main() {
+    // A system with one NearPM device (the "NearPM SD" configuration).
+    let mut sys = NearPmSystem::new(SystemConfig::nearpm_sd().with_capacity(16 << 20));
+    let mut pool = ObjPool::create(&mut sys, "quickstart", 8 << 20).expect("pool");
+
+    let account_a = pool.alloc(&mut sys, 64).expect("alloc");
+    let account_b = pool.alloc(&mut sys, 64).expect("alloc");
+    pool.write_persist(&mut sys, account_a, &100u64.to_le_bytes()).unwrap();
+    pool.write_persist(&mut sys, account_b, &0u64.to_le_bytes()).unwrap();
+
+    // Failure-atomic transfer: both balances change or neither does. The
+    // undo-logging primitives execute on the NearPM device.
+    pool.tx(&mut sys, |tx, sys| {
+        tx.write(sys, account_a, &40u64.to_le_bytes())?;
+        tx.write(sys, account_b, &60u64.to_le_bytes())?;
+        Ok(())
+    })
+    .expect("transaction");
+
+    let a = u64::from_le_bytes(pool.read(&mut sys, account_a, 8).unwrap().try_into().unwrap());
+    let b = u64::from_le_bytes(pool.read(&mut sys, account_b, 8).unwrap().try_into().unwrap());
+    println!("balances after transfer: a={a} b={b}");
+
+    let report = sys.report();
+    println!("end-to-end simulated time: {}", report.makespan);
+    println!("crash-consistency time:    {}", report.cc_time);
+    println!("offloaded requests:        {}", report.ndp_requests);
+    println!("PPO violations:            {}", report.ppo_violations.len());
+    assert!(report.ppo_violations.is_empty());
+}

@@ -1,0 +1,69 @@
+//! Cross-crate integration tests: every workload × mechanism × mode smoke
+//! run, end-to-end speedup shape, and PPO validity of every run.
+
+use nearpm::cc::Mechanism;
+use nearpm::core::ExecMode;
+use nearpm::workloads::{run, Workload};
+
+#[test]
+fn all_workloads_all_mechanisms_all_modes_are_ppo_clean() {
+    for w in Workload::all() {
+        for m in Mechanism::all() {
+            for mode in ExecMode::all() {
+                let r = run(w, m, mode, 6).expect("run");
+                assert!(
+                    r.ppo_violations.is_empty(),
+                    "{w:?}/{m:?}/{mode:?}: {:?}",
+                    r.ppo_violations
+                );
+                assert!(r.makespan.as_ns() > 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn nearpm_md_end_to_end_speedup_shape_matches_paper() {
+    // The paper reports 1.2x-1.35x end-to-end; accept a generous band but
+    // require NearPM MD to beat the baseline on average for every mechanism.
+    for m in Mechanism::all() {
+        let mut speedups = Vec::new();
+        for w in [Workload::Tpcc, Workload::Btree, Workload::Hashmap, Workload::Redis] {
+            let base = run(w, m, ExecMode::CpuBaseline, 24).unwrap();
+            let md = run(w, m, ExecMode::NearPmMd, 24).unwrap();
+            speedups.push(md.speedup_over(&base));
+        }
+        let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        assert!(avg > 1.05, "{m:?}: average speedup {avg}");
+        assert!(avg < 3.0, "{m:?}: implausibly large speedup {avg}");
+    }
+}
+
+#[test]
+fn delayed_sync_beats_software_sync() {
+    // NearPM MD (delayed near-memory sync) must not be slower than
+    // MD SW-sync on logging workloads, matching Figure 16.
+    let mut wins = 0;
+    let workloads = [Workload::Tpcc, Workload::Btree, Workload::Memcached, Workload::Redis];
+    for w in workloads {
+        let sync = run(w, Mechanism::Logging, ExecMode::NearPmMdSync, 24).unwrap();
+        let md = run(w, Mechanism::Logging, ExecMode::NearPmMd, 24).unwrap();
+        if md.makespan <= sync.makespan {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 3, "delayed sync won only {wins}/4");
+}
+
+#[test]
+fn tatp_logging_speedup_is_the_smallest() {
+    // The paper singles out TATP's low logging speedup (one tiny log per
+    // transaction leaves no parallelism to exploit).
+    let base_tatp = run(Workload::Tatp, Mechanism::Logging, ExecMode::CpuBaseline, 32).unwrap();
+    let md_tatp = run(Workload::Tatp, Mechanism::Logging, ExecMode::NearPmMd, 32).unwrap();
+    let base_tpcc = run(Workload::Tpcc, Mechanism::Logging, ExecMode::CpuBaseline, 32).unwrap();
+    let md_tpcc = run(Workload::Tpcc, Mechanism::Logging, ExecMode::NearPmMd, 32).unwrap();
+    let tatp = md_tatp.cc_speedup_over(&base_tatp);
+    let tpcc = md_tpcc.cc_speedup_over(&base_tpcc);
+    assert!(tatp < tpcc, "TATP ({tatp:.2}x) should speed up less than TPCC ({tpcc:.2}x)");
+}
