@@ -13,7 +13,8 @@ fn bench_copy(c: &mut Criterion) {
                 let pool = sys.create_pool("p", 1 << 20).unwrap();
                 let src = sys.alloc(pool, size, 4096).unwrap();
                 let dst = sys.alloc(pool, size, 4096).unwrap();
-                sys.cpu_copy(0, src, dst, size, Region::CcDataMovement).unwrap();
+                sys.cpu_copy(0, src, dst, size, Region::CcDataMovement)
+                    .unwrap();
                 sys.report().makespan
             })
         });
@@ -23,7 +24,17 @@ fn bench_copy(c: &mut Criterion) {
                 let pool = sys.create_pool("p", 1 << 20).unwrap();
                 let src = sys.alloc(pool, size, 4096).unwrap();
                 let dst = sys.alloc(pool, size, 4096).unwrap();
-                sys.offload(0, pool, NearPmOp::ShadowCopy { src, dst, len: size }, &[]).unwrap();
+                sys.offload(
+                    0,
+                    pool,
+                    NearPmOp::ShadowCopy {
+                        src,
+                        dst,
+                        len: size,
+                    },
+                    &[],
+                )
+                .unwrap();
                 sys.report().makespan
             })
         });

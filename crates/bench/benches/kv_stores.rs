@@ -12,7 +12,8 @@ fn bench_kv(c: &mut Criterion) {
             let mut pool = ObjPool::create(&mut sys, "kv", 16 << 20).unwrap();
             let mut map = PersistentHashMap::create(&mut sys, &mut pool, 128).unwrap();
             for k in 0..32u64 {
-                map.put(&mut sys, &mut pool, k, &[k as u8; VALUE_SIZE]).unwrap();
+                map.put(&mut sys, &mut pool, k, &[k as u8; VALUE_SIZE])
+                    .unwrap();
             }
             sys.report().makespan
         })

@@ -26,7 +26,11 @@ fn main() {
                 .map(|(_, v)| v.as_ns())
                 .sum();
             let data = r.region_time["data-movement"].as_ns();
-            dm.push(if cc_total > 0.0 { data / cc_total * 100.0 } else { 0.0 });
+            dm.push(if cc_total > 0.0 {
+                data / cc_total * 100.0
+            } else {
+                0.0
+            });
         }
         let avg_cc = cc.iter().sum::<f64>() / cc.len() as f64;
         println!("{}\t{:.1}\t{:.1}", m.label(), avg_cc, paper[i]);

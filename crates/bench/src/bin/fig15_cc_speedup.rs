@@ -22,6 +22,10 @@ fn main() {
             println!("{}\t{:.2}", w.name(), s);
             speedups.push(s);
         }
-        println!("average\t{:.2}\t(paper: {:.1})", gmean(&speedups), paper_avg[i]);
+        println!(
+            "average\t{:.2}\t(paper: {:.1})",
+            gmean(&speedups),
+            paper_avg[i]
+        );
     }
 }

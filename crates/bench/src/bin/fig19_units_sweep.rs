@@ -16,7 +16,15 @@ fn main() {
         let mut speedups = Vec::new();
         for w in workloads() {
             let base = run_one(w, Mechanism::Logging, ExecMode::CpuBaseline, DEFAULT_OPS, 1);
-            let r = run_custom(w, Mechanism::Logging, ExecMode::NearPmMd, DEFAULT_OPS, 1, units, 1);
+            let r = run_custom(
+                w,
+                Mechanism::Logging,
+                ExecMode::NearPmMd,
+                DEFAULT_OPS,
+                1,
+                units,
+                1,
+            );
             speedups.push(r.speedup_over(&base));
         }
         println!("{}\t{:.3}", units, gmean(&speedups));

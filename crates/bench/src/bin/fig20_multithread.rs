@@ -10,7 +10,11 @@ use nearpm_core::ExecMode;
 use nearpm_workloads::Workload;
 
 fn main() {
-    for m in [Mechanism::Logging, Mechanism::Checkpointing, Mechanism::ShadowPaging] {
+    for m in [
+        Mechanism::Logging,
+        Mechanism::Checkpointing,
+        Mechanism::ShadowPaging,
+    ] {
         header(
             &format!("Figure 20: multithreaded throughput, {}", m.label()),
             &["workload", "threads", "norm_throughput_x"],

@@ -1,0 +1,66 @@
+//! fig16-scale PPO checker smoke test: indexed vs naive, head to head.
+//!
+//! Builds a synthetic trace with the shape of a fig16 end-to-end run
+//! (≥100k events), runs the naive oracle once and the indexed checkers
+//! several times, verifies both report the identical violation list, and
+//! asserts the indexed implementation is at least 10× faster. Exits nonzero
+//! on any mismatch or if the speedup target is missed.
+//!
+//! Run with: `cargo run --release -p nearpm-bench --bin ppo_check_smoke`
+
+use std::time::{Duration, Instant};
+
+use nearpm_bench::synthetic::{synthetic_undo_log_trace, SyntheticTraceSpec};
+use nearpm_ppo::check_all;
+use nearpm_ppo::invariants::oracle;
+
+const TARGET_EVENTS: usize = 120_000;
+const REQUIRED_SPEEDUP: f64 = 10.0;
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+fn main() {
+    println!("== PPO checker smoke test (fig16 scale) ==");
+    let spec = SyntheticTraceSpec::fig16(TARGET_EVENTS);
+    let (trace, gen_time) = time(|| synthetic_undo_log_trace(spec));
+    println!("trace: {} events (generated in {gen_time:?})", trace.len());
+    assert!(
+        trace.len() >= 100_000,
+        "trace too small for the acceptance bar"
+    );
+
+    // Indexed: several runs, keep the fastest (steady-state figure).
+    let mut indexed_best = Duration::MAX;
+    let mut indexed_violations = Vec::new();
+    for _ in 0..5 {
+        let (v, d) = time(|| check_all(&trace));
+        indexed_best = indexed_best.min(d);
+        indexed_violations = v;
+    }
+
+    // Naive oracle: one run (it is the slow side by construction).
+    let (naive_violations, naive_time) = time(|| oracle::check_all(&trace));
+
+    println!("indexed check_all:  {indexed_best:?} (best of 5)");
+    println!("naive   check_all:  {naive_time:?}");
+    assert_eq!(
+        indexed_violations, naive_violations,
+        "indexed and naive checkers disagree at fig16 scale"
+    );
+    assert!(
+        indexed_violations.is_empty(),
+        "synthetic trace unexpectedly has violations: {indexed_violations:?}"
+    );
+
+    let speedup = naive_time.as_secs_f64() / indexed_best.as_secs_f64().max(1e-9);
+    println!("speedup: {speedup:.1}x (required: ≥{REQUIRED_SPEEDUP:.0}x)");
+    if speedup < REQUIRED_SPEEDUP {
+        eprintln!("FAIL: speedup below target");
+        std::process::exit(1);
+    }
+    println!("OK: identical violation output, ≥{REQUIRED_SPEEDUP:.0}x speedup");
+}

@@ -12,10 +12,16 @@ fn main() {
     println!("PCIe bandwidth\t{} GB/s", c.latency.pcie_gbps);
     println!("AXI bandwidth\t{} GB/s", c.latency.axi_gbps);
     println!("NearPM devices\t{}", c.devices);
-    println!("NearPM units per device\t{} @ {} MHz", c.units_per_device, c.latency.ndp_unit_mhz);
+    println!(
+        "NearPM units per device\t{} @ {} MHz",
+        c.units_per_device, c.latency.ndp_unit_mhz
+    );
     println!("Request FIFO\t{} entries", c.fifo_depth);
 
-    header("Table 4: workloads", &["workload", "bytes updated per op", "compute ns per op"]);
+    header(
+        "Table 4: workloads",
+        &["workload", "bytes updated per op", "compute ns per op"],
+    );
     for w in Workload::all() {
         let s = w.spec();
         println!("{}\t{}\t{:.0}", w.name(), s.bytes_per_op(), s.compute_ns);

@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod synthetic;
+
 use nearpm_cc::Mechanism;
 use nearpm_core::{ExecMode, RunReport};
 use nearpm_sim::stats::geomean;

@@ -1,0 +1,163 @@
+//! Synthetic PPO traces at evaluation scale.
+//!
+//! The checker benchmarks need traces with the *shape* of a fig16 end-to-end
+//! run (per-transaction offload → NDP read → NDP log write/persist → CPU
+//! update/persist, with occasional multi-device syncs and a crash/recovery
+//! tail) but with a controllable event count, so that the indexed checkers
+//! can be compared against the naive oracles at 100k+ events. Generation is
+//! fully deterministic — no RNG — so benchmark runs are reproducible.
+
+use nearpm_ppo::{Agent, EventKind, Interval, Sharing, Trace};
+
+/// Shape of a synthetic undo-log trace.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticTraceSpec {
+    /// Stop once at least this many events are recorded.
+    pub target_events: usize,
+    /// Number of NearPM devices transactions round-robin over.
+    pub devices: usize,
+    /// Distinct shared objects (reuse forces interval-index collisions).
+    pub objects: u64,
+    /// Distinct NDP-managed log slots.
+    pub log_slots: u64,
+    /// Record a multi-device sync for the first `sync_txns` transactions
+    /// (early syncs keep the naive oracle's cubic sync check affordable
+    /// while still exercising the path at scale).
+    pub sync_txns: u64,
+    /// Number of recovery-read events appended (after a failure event) as
+    /// the trace's recovery tail.
+    pub recovery_reads: usize,
+}
+
+impl SyntheticTraceSpec {
+    /// A fig16-shaped trace with the given event count.
+    pub fn fig16(target_events: usize) -> Self {
+        SyntheticTraceSpec {
+            target_events,
+            devices: 2,
+            objects: 4096,
+            log_slots: 1024,
+            sync_txns: 32,
+            recovery_reads: 512,
+        }
+    }
+}
+
+/// Generates a PPO-clean trace with the transaction shape of the fig16
+/// end-to-end workloads. The trace verifies cleanly under both the indexed
+/// checkers and the naive oracles, so benchmark comparisons measure checking
+/// speed, not violation-reporting throughput.
+pub fn synthetic_undo_log_trace(spec: SyntheticTraceSpec) -> Trace {
+    let mut t = Trace::new(spec.devices);
+    let mut ts: u64 = 100;
+    let mut txn: u64 = 0;
+    // Leave room for the failure/recovery tail.
+    let body_events = spec.target_events.saturating_sub(spec.recovery_reads + 1);
+    while t.len() < body_events {
+        let obj = Interval::new(0x10_0000 + (txn % spec.objects) * 0x100, 64);
+        let log = Interval::new(0x4000_0000 + (txn % spec.log_slots) * 0x100, 64);
+        let dev = Agent::Ndp((txn % spec.devices as u64) as usize);
+        let p = t.new_proc();
+
+        // CPU offloads undo-log creation for this transaction.
+        t.record(
+            Agent::Cpu,
+            EventKind::Offload,
+            Interval::new(0, 0),
+            Sharing::Shared,
+            Some(p),
+            None,
+            ts,
+        );
+        // The device reads the shared object and persists the log copy.
+        t.record(
+            dev,
+            EventKind::Read,
+            obj,
+            Sharing::Shared,
+            Some(p),
+            None,
+            ts + 10,
+        );
+        t.record_write_persist(dev, log, Sharing::NdpManaged, Some(p), ts + 20);
+        // The CPU then updates the object in place and persists it.
+        t.record(
+            Agent::Cpu,
+            EventKind::Write,
+            obj,
+            Sharing::Shared,
+            None,
+            None,
+            ts + 30,
+        );
+        t.record(
+            Agent::Cpu,
+            EventKind::Persist,
+            obj,
+            Sharing::Shared,
+            None,
+            None,
+            ts + 40,
+        );
+        if txn < spec.sync_txns {
+            let s = t.new_sync();
+            t.record(
+                dev,
+                EventKind::Sync,
+                Interval::new(0, 0),
+                Sharing::NdpManaged,
+                Some(p),
+                Some(s),
+                ts + 50,
+            );
+        }
+        ts += 60;
+        txn += 1;
+    }
+
+    // Crash, then a recovery pass re-reading a slice of the logs.
+    t.record(
+        Agent::Cpu,
+        EventKind::Failure,
+        Interval::new(0, 0),
+        Sharing::Shared,
+        None,
+        None,
+        ts,
+    );
+    for i in 0..spec.recovery_reads as u64 {
+        let log = Interval::new(0x4000_0000 + (i % spec.log_slots) * 0x100, 64);
+        t.record(
+            Agent::Ndp((i % spec.devices as u64) as usize),
+            EventKind::RecoveryRead,
+            log,
+            Sharing::NdpManaged,
+            None,
+            None,
+            ts + 10 + i,
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nearpm_ppo::{check_all, invariants::oracle};
+
+    #[test]
+    fn synthetic_trace_hits_target_size_and_is_clean() {
+        let spec = SyntheticTraceSpec::fig16(20_000);
+        let t = synthetic_undo_log_trace(spec);
+        assert!(t.len() >= 20_000, "only {} events", t.len());
+        assert!(t.len() < 21_000, "overshot: {} events", t.len());
+        let violations = check_all(&t);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn synthetic_trace_agrees_with_oracle_at_modest_scale() {
+        let t = synthetic_undo_log_trace(SyntheticTraceSpec::fig16(4_000));
+        assert_eq!(check_all(&t), oracle::check_all(&t));
+    }
+}

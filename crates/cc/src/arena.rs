@@ -40,11 +40,7 @@ impl LogArena {
     /// Reserves an arena with `pages_per_device` data pages (plus header
     /// space) on each device, registering every reserved range as
     /// NDP-managed.
-    pub fn new(
-        sys: &mut NearPmSystem,
-        pool: PoolId,
-        pages_per_device: usize,
-    ) -> Result<Self> {
+    pub fn new(sys: &mut NearPmSystem, pool: PoolId, pages_per_device: usize) -> Result<Self> {
         let devices = sys.device_count().max(1);
         let mut data_pages: Vec<Vec<VirtAddr>> = vec![Vec::new(); devices];
         let mut header_pages: Vec<Vec<VirtAddr>> = vec![Vec::new(); devices];
@@ -74,9 +70,9 @@ impl LogArena {
         let mut free: Vec<Vec<LogSlot>> = vec![Vec::new(); devices];
         let mut all_slots = Vec::new();
         for dev in 0..devices {
-            let mut header_slots = header_pages[dev]
-                .iter()
-                .flat_map(|page| (0..(PM_PAGE / HEADER_SLOT)).map(move |i| page.offset(i * HEADER_SLOT)));
+            let mut header_slots = header_pages[dev].iter().flat_map(|page| {
+                (0..(PM_PAGE / HEADER_SLOT)).map(move |i| page.offset(i * HEADER_SLOT))
+            });
             for data in &data_pages[dev] {
                 let meta = header_slots.next().expect("enough header slots");
                 let slot = LogSlot {

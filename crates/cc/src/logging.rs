@@ -138,8 +138,11 @@ impl UndoLog {
     /// specific synchronization), deletes the logs, and recycles the slots.
     pub fn commit(&mut self, sys: &mut NearPmSystem) -> Result<()> {
         let _txn = self.txn.take().expect("commit without begin");
-        let handles: Vec<&OffloadHandle> =
-            self.active.iter().filter_map(|e| e.handle.as_ref()).collect();
+        let handles: Vec<&OffloadHandle> = self
+            .active
+            .iter()
+            .filter_map(|e| e.handle.as_ref())
+            .collect();
 
         match sys.mode() {
             ExecMode::CpuBaseline => {
@@ -183,8 +186,11 @@ impl UndoLog {
             }
         }
 
-        let handles: Vec<OffloadHandle> =
-            self.active.iter().filter_map(|e| e.handle.clone()).collect();
+        let handles: Vec<OffloadHandle> = self
+            .active
+            .iter()
+            .filter_map(|e| e.handle.clone())
+            .collect();
         let refs: Vec<&OffloadHandle> = handles.iter().collect();
         sys.release(&refs);
         for e in self.active.drain(..) {
@@ -194,7 +200,11 @@ impl UndoLog {
         Ok(())
     }
 
-    fn offload_commit(&mut self, sys: &mut NearPmSystem, deps: &[nearpm_sim::TaskId]) -> Result<()> {
+    fn offload_commit(
+        &mut self,
+        sys: &mut NearPmSystem,
+        deps: &[nearpm_sim::TaskId],
+    ) -> Result<()> {
         let txn = self.committed_txns;
         // Group entries by device, one commit command per device (the memory
         // controller duplicates commands for objects spanning devices).
@@ -238,8 +248,18 @@ impl UndoLog {
             if let Some(header) = LogEntryHeader::decode(&header_bytes) {
                 if header.state == EntryState::Active {
                     let old = sys.persistent_read(data, header.len as usize)?;
-                    sys.cpu_read(self.thread, data, header.len as usize, Region::CcDataMovement)?;
-                    sys.cpu_write_persist(self.thread, header.target, &old, Region::CcDataMovement)?;
+                    sys.cpu_read(
+                        self.thread,
+                        data,
+                        header.len as usize,
+                        Region::CcDataMovement,
+                    )?;
+                    sys.cpu_write_persist(
+                        self.thread,
+                        header.target,
+                        &old,
+                        Region::CcDataMovement,
+                    )?;
                     // Reset the entry so recovery is idempotent.
                     sys.cpu_write_persist(
                         self.thread,
@@ -308,7 +328,10 @@ impl RedoLog {
     /// created by the CPU (Figure 14c/d): metadata + new value, persisted.
     pub fn stage(&mut self, sys: &mut NearPmSystem, addr: VirtAddr, data: &[u8]) -> Result<()> {
         let txn = self.txn.expect("stage outside a transaction");
-        assert!(data.len() as u64 <= MAX_LOG_CHUNK, "staged update too large");
+        assert!(
+            data.len() as u64 <= MAX_LOG_CHUNK,
+            "staged update too large"
+        );
         let device = sys.device_of(addr)?;
         let slot = self.arena.acquire(device)?;
         let latency = sys.latency().clone();
@@ -322,7 +345,12 @@ impl RedoLog {
         sys.cpu_write(self.thread, slot.meta, &header.encode(), Region::CcMetadata)?;
         sys.cpu_persist(self.thread, slot.meta, 64, Region::CcMetadata)?;
         sys.cpu_write(self.thread, slot.data, data, Region::CcDataMovement)?;
-        sys.cpu_persist(self.thread, slot.data, data.len() as u64, Region::CcDataMovement)?;
+        sys.cpu_persist(
+            self.thread,
+            slot.data,
+            data.len() as u64,
+            Region::CcDataMovement,
+        )?;
         self.staged.push(ActiveEntry {
             slot,
             target: addr,
@@ -491,7 +519,11 @@ mod tests {
                 mode
             );
             let report = sys.report();
-            assert!(report.ppo_violations.is_empty(), "{mode:?}: {:?}", report.ppo_violations);
+            assert!(
+                report.ppo_violations.is_empty(),
+                "{mode:?}: {:?}",
+                report.ppo_violations
+            );
         }
     }
 
@@ -558,7 +590,10 @@ mod tests {
             assert_eq!(sys.persistent_read(obj, 64).unwrap(), vec![0xAB; 64]);
             redo.commit(&mut sys).unwrap();
             assert_eq!(sys.persistent_read(obj, 64).unwrap(), vec![0x42; 64]);
-            assert_eq!(sys.persistent_read(obj.offset(4096), 64).unwrap(), vec![0x43; 64]);
+            assert_eq!(
+                sys.persistent_read(obj.offset(4096), 64).unwrap(),
+                vec![0x43; 64]
+            );
             assert!(sys.report().ppo_violations.is_empty(), "mode {:?}", mode);
         }
     }
@@ -583,7 +618,8 @@ mod tests {
             let mut undo = UndoLog::new(&mut sys, pool, 0, 16).unwrap();
             for i in 0..8u64 {
                 undo.begin(&mut sys).unwrap();
-                undo.log_range(&mut sys, obj.offset((i % 2) * 4096), 1024).unwrap();
+                undo.log_range(&mut sys, obj.offset((i % 2) * 4096), 1024)
+                    .unwrap();
                 sys.cpu_compute(0, 400.0).unwrap();
                 undo.update(&mut sys, obj.offset((i % 2) * 4096), &[i as u8; 1024])
                     .unwrap();

@@ -100,7 +100,13 @@ impl Checkpoint {
             let header = LogEntryHeader::active(page, PM_PAGE, self.epoch);
             sys.cpu_write(self.thread, slot.meta, &header.encode(), Region::CcMetadata)?;
             sys.cpu_persist(self.thread, slot.meta, 64, Region::CcMetadata)?;
-            sys.cpu_copy(self.thread, page, slot.data, PM_PAGE, Region::CcDataMovement)?;
+            sys.cpu_copy(
+                self.thread,
+                page,
+                slot.data,
+                PM_PAGE,
+                Region::CcDataMovement,
+            )?;
             None
         };
         self.snapshots.insert(page.raw(), (slot, handle));
@@ -158,8 +164,18 @@ impl Checkpoint {
             if let Some(header) = LogEntryHeader::decode(&header_bytes) {
                 if header.state == EntryState::Active && header.txn_id == self.epoch {
                     let snapshot = sys.persistent_read(data, header.len as usize)?;
-                    sys.cpu_read(self.thread, data, header.len as usize, Region::CcDataMovement)?;
-                    sys.cpu_write_persist(self.thread, header.target, &snapshot, Region::CcDataMovement)?;
+                    sys.cpu_read(
+                        self.thread,
+                        data,
+                        header.len as usize,
+                        Region::CcDataMovement,
+                    )?;
+                    sys.cpu_write_persist(
+                        self.thread,
+                        header.target,
+                        &snapshot,
+                        Region::CcDataMovement,
+                    )?;
                     restored += 1;
                 }
             }
@@ -233,7 +249,9 @@ impl ShadowPaging {
     /// table, so recovery tests can verify the mapping survived).
     pub fn page_addr(&mut self, sys: &mut NearPmSystem, idx: usize) -> Result<VirtAddr> {
         let bytes = sys.persistent_read(self.table.offset(idx as u64 * 8), 8)?;
-        Ok(VirtAddr(u64::from_le_bytes(bytes.try_into().expect("8 bytes"))))
+        Ok(VirtAddr(u64::from_le_bytes(
+            bytes.try_into().expect("8 bytes"),
+        )))
     }
 
     /// Reads `len` bytes at `offset` inside logical page `idx`.
@@ -258,7 +276,10 @@ impl ShadowPaging {
         offset: u64,
         data: &[u8],
     ) -> Result<()> {
-        assert!(offset + data.len() as u64 <= PM_PAGE, "update crosses page boundary");
+        assert!(
+            offset + data.len() as u64 <= PM_PAGE,
+            "update crosses page boundary"
+        );
         let old_page = self.entries[idx];
         let device = sys.device_of(old_page)?;
         let slot = self.arena.acquire(device)?;
@@ -286,7 +307,13 @@ impl ShadowPaging {
                 &[],
             )?)
         } else {
-            sys.cpu_copy(self.thread, old_page, shadow, PM_PAGE, Region::CcDataMovement)?;
+            sys.cpu_copy(
+                self.thread,
+                old_page,
+                shadow,
+                PM_PAGE,
+                Region::CcDataMovement,
+            )?;
             None
         };
 
@@ -422,7 +449,10 @@ mod tests {
             sys.crash();
             let mapping = shadow.recover(&mut sys).unwrap();
             let page2 = mapping[2];
-            assert_eq!(sys.persistent_read(page2.offset(64), 32).unwrap(), vec![9u8; 32]);
+            assert_eq!(
+                sys.persistent_read(page2.offset(64), 32).unwrap(),
+                vec![9u8; 32]
+            );
             assert_eq!(sys.persistent_read(page2, 32).unwrap(), vec![5u8; 32]);
             assert!(sys.report().ppo_violations.is_empty(), "mode {:?}", mode);
         }
@@ -444,15 +474,23 @@ mod tests {
         sys.offload(
             0,
             pool,
-            NearPmOp::ShadowCopy { src: p0, dst: slot.data, len: PM_PAGE },
+            NearPmOp::ShadowCopy {
+                src: p0,
+                dst: slot.data,
+                len: PM_PAGE,
+            },
             &[],
         )
         .unwrap();
-        sys.cpu_write(0, slot.data.offset(8), &[1u8; 8], Region::AppPersist).unwrap();
+        sys.cpu_write(0, slot.data.offset(8), &[1u8; 8], Region::AppPersist)
+            .unwrap();
         sys.crash();
 
         let mapping = shadow.recover(&mut sys).unwrap();
-        assert_eq!(mapping[0], before, "page table must still reference the old page");
+        assert_eq!(
+            mapping[0], before,
+            "page table must still reference the old page"
+        );
         assert_eq!(sys.persistent_read(mapping[0], 32).unwrap(), vec![7u8; 32]);
     }
 
@@ -467,7 +505,8 @@ mod tests {
                     let page = data.offset(p * PM_PAGE);
                     ckpt.touch(&mut sys, page).unwrap();
                     sys.cpu_compute(0, 500.0).unwrap();
-                    ckpt.update(&mut sys, page.offset(e * 64), &[e as u8; 64]).unwrap();
+                    ckpt.update(&mut sys, page.offset(e * 64), &[e as u8; 64])
+                        .unwrap();
                 }
                 ckpt.advance_epoch(&mut sys).unwrap();
             }

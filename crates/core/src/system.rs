@@ -21,9 +21,7 @@ use nearpm_pm::{
     AddrRange, CpuCache, InterleaveConfig, PhysAddr, PmSpace, PmTraffic, PoolId, PoolRegistry,
     VirtAddr,
 };
-use nearpm_ppo::{
-    check_all, Agent, EventKind, Interval, PpoViolation, ProcId, Sharing, Trace,
-};
+use nearpm_ppo::{check_all, Agent, EventKind, Interval, PpoViolation, ProcId, Sharing, Trace};
 use nearpm_sim::{LatencyModel, Region, Resource, Schedule, SimDuration, TaskGraph, TaskId};
 
 use crate::config::{ExecMode, SystemConfig};
@@ -118,6 +116,9 @@ pub struct NearPmSystem {
     crashed: bool,
     recovering: bool,
     next_device_rr: usize,
+    /// Reusable staging buffer for CPU-driven copies (avoids a heap
+    /// allocation per `cpu_copy`).
+    scratch: Vec<u8>,
 }
 
 impl NearPmSystem {
@@ -152,6 +153,7 @@ impl NearPmSystem {
             crashed: false,
             recovering: false,
             next_device_rr: 0,
+            scratch: Vec::new(),
             config,
         }
     }
@@ -425,8 +427,13 @@ impl NearPmSystem {
         let dst_phys = self.pools.translate(dst)?;
         let mut deps = self.host_conflicts(src_phys, len, false);
         deps.extend(self.host_conflicts(dst_phys, len, true));
-        let data = self.cache.load_vec(&mut self.space, src_phys, len as usize);
-        self.cache.store(&mut self.space, dst_phys, &data);
+        // Reuse the per-system scratch buffer instead of allocating a fresh
+        // vector for every copy.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.resize(len as usize, 0);
+        self.cache.load(&mut self.space, src_phys, &mut scratch);
+        self.cache.store(&mut self.space, dst_phys, &scratch);
+        self.scratch = scratch;
         self.cache.flush(&mut self.space, dst_phys, len);
         let duration = self.config.latency.cpu_pm_copy(len);
         let task = self.push_cpu_task(thread, "cpu-copy", duration, region, &deps);
@@ -540,9 +547,14 @@ impl NearPmSystem {
 
         let request = NearPmRequest::new(pool, ThreadId(thread as u32), op);
         let exec = {
-            let latency = self.config.latency.clone();
             let dev = &mut self.devices[device];
-            dev.submit(request, &mut self.space, &mut self.graph, &latency, &[issue])?
+            dev.submit(
+                request,
+                &mut self.space,
+                &mut self.graph,
+                &self.config.latency,
+                &[issue],
+            )?
         };
 
         // Record the device-side accesses in the PPO trace.
@@ -737,10 +749,9 @@ impl NearPmSystem {
         for r in Region::all() {
             region_time.insert(r.name(), schedule.region_time(r));
         }
-        let (ndp_bytes_moved, ndp_requests) = self
-            .devices
-            .iter()
-            .fold((0, 0), |(b, r), d| (b + d.stats().bytes_moved, r + d.stats().requests));
+        let (ndp_bytes_moved, ndp_requests) = self.devices.iter().fold((0, 0), |(b, r), d| {
+            (b + d.stats().bytes_moved, r + d.stats().requests)
+        });
         RunReport {
             mode: self.config.mode,
             makespan: schedule.makespan(),
@@ -777,7 +788,8 @@ mod tests {
         let pool = sys.create_pool("p", 1 << 20).unwrap();
         let a = sys.alloc(pool, 64, 64).unwrap();
         let b = sys.alloc(pool, 64, 64).unwrap();
-        sys.cpu_write_persist(0, a, &[1; 16], Region::AppPersist).unwrap();
+        sys.cpu_write_persist(0, a, &[1; 16], Region::AppPersist)
+            .unwrap();
         sys.cpu_write(0, b, &[2; 16], Region::AppPersist).unwrap();
         sys.crash();
         assert!(sys.is_crashed());
@@ -796,7 +808,11 @@ mod tests {
             .offload(
                 0,
                 pool,
-                NearPmOp::ShadowCopy { src: a, dst: a.offset(4096), len: 64 },
+                NearPmOp::ShadowCopy {
+                    src: a,
+                    dst: a.offset(4096),
+                    len: 64,
+                },
                 &[],
             )
             .unwrap_err();
@@ -812,7 +828,8 @@ mod tests {
         sys.register_ndp_managed(AddrRange::new(log_area, 4096));
 
         // Initialize the object.
-        sys.cpu_write_persist(0, obj, &[7; 64], Region::AppPersist).unwrap();
+        sys.cpu_write_persist(0, obj, &[7; 64], Region::AppPersist)
+            .unwrap();
 
         // Offload undo-log creation, then update in place.
         let txn = sys.next_txn_id();
@@ -830,13 +847,21 @@ mod tests {
                 &[],
             )
             .unwrap();
-        sys.cpu_write_persist(0, obj, &[9; 64], Region::AppPersist).unwrap();
+        sys.cpu_write_persist(0, obj, &[9; 64], Region::AppPersist)
+            .unwrap();
         sys.release(&[&handle]);
 
         // Functional: the log holds the old value, the object the new one.
-        assert_eq!(sys.persistent_read(log_area.offset(64), 64).unwrap(), vec![7; 64]);
+        assert_eq!(
+            sys.persistent_read(log_area.offset(64), 64).unwrap(),
+            vec![7; 64]
+        );
         let report = sys.report();
-        assert!(report.ppo_violations.is_empty(), "{:?}", report.ppo_violations);
+        assert!(
+            report.ppo_violations.is_empty(),
+            "{:?}",
+            report.ppo_violations
+        );
         assert!(report.makespan > SimDuration::ZERO);
         assert_eq!(report.ndp_requests, 1);
         assert_eq!(report.ndp_bytes_moved, 64);
@@ -861,7 +886,8 @@ mod tests {
             let obj = sys.alloc(pool, 8192, 4096).unwrap();
             let log_area = sys.alloc(pool, 16384, 4096).unwrap();
             sys.register_ndp_managed(AddrRange::new(log_area, 16384));
-            sys.cpu_write_persist(0, obj, &[3; 128], Region::AppPersist).unwrap();
+            sys.cpu_write_persist(0, obj, &[3; 128], Region::AppPersist)
+                .unwrap();
 
             let txn = sys.next_txn_id();
             let spans = sys.device_spans(obj, 8192).unwrap();
@@ -893,7 +919,11 @@ mod tests {
             };
             sys.release(&refs);
             let report = sys.report();
-            assert!(report.ppo_violations.is_empty(), "{:?}", report.ppo_violations);
+            assert!(
+                report.ppo_violations.is_empty(),
+                "{:?}",
+                report.ppo_violations
+            );
             // The sync task exists in the graph.
             assert!(sync_task.index() < sys.task_count());
         }
@@ -921,7 +951,8 @@ mod tests {
         let pool = base.create_pool("p", 1 << 20).unwrap();
         let a = base.alloc(pool, 4096, 4096).unwrap();
         let b = base.alloc(pool, 4096, 4096).unwrap();
-        base.cpu_copy(0, a, b, 4096, Region::CcDataMovement).unwrap();
+        base.cpu_copy(0, a, b, 4096, Region::CcDataMovement)
+            .unwrap();
         let base_report = base.report();
         assert!((base_report.speedup_over(&base_report) - 1.0).abs() < 1e-9);
         assert!((base_report.cc_speedup_over(&base_report) - 1.0).abs() < 1e-9);

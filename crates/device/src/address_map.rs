@@ -85,7 +85,13 @@ impl AddressMappingTable {
     }
 
     /// Installs (or replaces) the mapping for a pool.
-    pub fn register_pool(&mut self, pool: PoolId, virt_base: VirtAddr, phys_base: PhysAddr, size: u64) {
+    pub fn register_pool(
+        &mut self,
+        pool: PoolId,
+        virt_base: VirtAddr,
+        phys_base: PhysAddr,
+        size: u64,
+    ) {
         self.entries.insert(
             (pool, None),
             MapEntry {
@@ -158,7 +164,9 @@ mod tests {
     fn pool_translation() {
         let mut t = AddressMappingTable::new();
         t.register_pool(PoolId(0), VirtAddr(0x1000_0000), PhysAddr(0x0), 0x10000);
-        let p = t.translate(PoolId(0), ThreadId(0), VirtAddr(0x1000_0040)).unwrap();
+        let p = t
+            .translate(PoolId(0), ThreadId(0), VirtAddr(0x1000_0040))
+            .unwrap();
         assert_eq!(p, PhysAddr(0x40));
         assert_eq!(t.lookups(), 1);
     }
@@ -185,9 +193,19 @@ mod tests {
     fn thread_entry_takes_precedence() {
         let mut t = AddressMappingTable::new();
         t.register_pool(PoolId(0), VirtAddr(0x1000), PhysAddr(0x0), 0x1000);
-        t.register_thread_pool(PoolId(0), ThreadId(5), VirtAddr(0x1000), PhysAddr(0x8000), 0x1000);
-        let default = t.translate(PoolId(0), ThreadId(1), VirtAddr(0x1010)).unwrap();
-        let thread5 = t.translate(PoolId(0), ThreadId(5), VirtAddr(0x1010)).unwrap();
+        t.register_thread_pool(
+            PoolId(0),
+            ThreadId(5),
+            VirtAddr(0x1000),
+            PhysAddr(0x8000),
+            0x1000,
+        );
+        let default = t
+            .translate(PoolId(0), ThreadId(1), VirtAddr(0x1010))
+            .unwrap();
+        let thread5 = t
+            .translate(PoolId(0), ThreadId(5), VirtAddr(0x1010))
+            .unwrap();
         assert_eq!(default, PhysAddr(0x10));
         assert_eq!(thread5, PhysAddr(0x8010));
     }

@@ -323,8 +323,12 @@ impl NearPmDevice {
                     txn_id,
                 } => {
                     let src_p = self.map.translate(request.pool, request.thread, *src)?;
-                    let meta_p = self.map.translate(request.pool, request.thread, *log_meta)?;
-                    let data_p = self.map.translate(request.pool, request.thread, *log_data)?;
+                    let meta_p = self
+                        .map
+                        .translate(request.pool, request.thread, *log_meta)?;
+                    let data_p = self
+                        .map
+                        .translate(request.pool, request.thread, *log_data)?;
                     let header = LogEntryHeader::active(*src, *len, *txn_id);
                     last = unit.write_header(space, graph, model, meta_p, &header, &[last]);
                     last = unit.copy(
@@ -339,7 +343,9 @@ impl NearPmDevice {
                     );
                 }
                 NearPmOp::ApplyRedoLog { log_data, dst, len } => {
-                    let src_p = self.map.translate(request.pool, request.thread, *log_data)?;
+                    let src_p = self
+                        .map
+                        .translate(request.pool, request.thread, *log_data)?;
                     let dst_p = self.map.translate(request.pool, request.thread, *dst)?;
                     last = unit.copy(
                         space,
@@ -366,8 +372,12 @@ impl NearPmDevice {
                     epoch,
                 } => {
                     let src_p = self.map.translate(request.pool, request.thread, *src)?;
-                    let meta_p = self.map.translate(request.pool, request.thread, *ckpt_meta)?;
-                    let data_p = self.map.translate(request.pool, request.thread, *ckpt_data)?;
+                    let meta_p = self
+                        .map
+                        .translate(request.pool, request.thread, *ckpt_meta)?;
+                    let data_p = self
+                        .map
+                        .translate(request.pool, request.thread, *ckpt_data)?;
                     let header = LogEntryHeader::active(*src, *len, *epoch);
                     last = unit.write_header(space, graph, model, meta_p, &header, &[last]);
                     last = unit.copy(
@@ -512,7 +522,13 @@ mod tests {
         let (mut dev, mut space, mut graph, model) = setup();
         space.write(PhysAddr(0x100), &[0xAA; 128]);
         let exec = dev
-            .submit(undolog_req(0x100, 128, 0x8000, 7), &mut space, &mut graph, &model, &[])
+            .submit(
+                undolog_req(0x100, 128, 0x8000, 7),
+                &mut space,
+                &mut graph,
+                &model,
+                &[],
+            )
             .unwrap();
         // Log data copied.
         assert_eq!(space.read_vec(PhysAddr(0x8000 + 64), 128), vec![0xAA; 128]);
@@ -533,8 +549,14 @@ mod tests {
     fn commit_log_resets_headers() {
         let (mut dev, mut space, mut graph, model) = setup();
         space.write(PhysAddr(0x100), &[1; 64]);
-        dev.submit(undolog_req(0x100, 64, 0x8000, 1), &mut space, &mut graph, &model, &[])
-            .unwrap();
+        dev.submit(
+            undolog_req(0x100, 64, 0x8000, 1),
+            &mut space,
+            &mut graph,
+            &model,
+            &[],
+        )
+        .unwrap();
         assert!(LogEntryHeader::decode(&space.read_vec(PhysAddr(0x8000), 40)).is_some());
         let commit = NearPmRequest::new(
             PoolId(0),
@@ -544,7 +566,8 @@ mod tests {
                 txn_id: 1,
             },
         );
-        dev.submit(commit, &mut space, &mut graph, &model, &[]).unwrap();
+        dev.submit(commit, &mut space, &mut graph, &model, &[])
+            .unwrap();
         assert!(LogEntryHeader::decode(&space.read_vec(PhysAddr(0x8000), 40)).is_none());
     }
 
@@ -561,7 +584,8 @@ mod tests {
                 len: 4096,
             },
         );
-        dev.submit(shadow, &mut space, &mut graph, &model, &[]).unwrap();
+        dev.submit(shadow, &mut space, &mut graph, &model, &[])
+            .unwrap();
         assert_eq!(space.read_vec(PhysAddr(0x2_0000), 4096), vec![3; 4096]);
 
         space.write(PhysAddr(0x9000), &[9; 256]);
@@ -574,7 +598,8 @@ mod tests {
                 len: 256,
             },
         );
-        dev.submit(apply, &mut space, &mut graph, &model, &[]).unwrap();
+        dev.submit(apply, &mut space, &mut graph, &model, &[])
+            .unwrap();
         assert_eq!(space.read_vec(PhysAddr(0x400), 256), vec![9; 256]);
     }
 
@@ -582,16 +607,26 @@ mod tests {
     fn host_conflict_detected_until_release() {
         let (mut dev, mut space, mut graph, model) = setup();
         let exec = dev
-            .submit(undolog_req(0x100, 64, 0x8000, 1), &mut space, &mut graph, &model, &[])
+            .submit(
+                undolog_req(0x100, 64, 0x8000, 1),
+                &mut space,
+                &mut graph,
+                &model,
+                &[],
+            )
             .unwrap();
         // The host reads the logged source range: conflicts with the NDP read?
         // Reads don't conflict with reads, but a host *write* to the source does.
         let deps = dev.host_access_conflicts(PhysAddr(0x100), 64, true);
         assert_eq!(deps, vec![exec.finish]);
         // A host access to an unrelated range does not conflict.
-        assert!(dev.host_access_conflicts(PhysAddr(0x40000), 64, true).is_empty());
+        assert!(dev
+            .host_access_conflicts(PhysAddr(0x40000), 64, true)
+            .is_empty());
         dev.release_request(exec.request);
-        assert!(dev.host_access_conflicts(PhysAddr(0x100), 64, true).is_empty());
+        assert!(dev
+            .host_access_conflicts(PhysAddr(0x100), 64, true)
+            .is_empty());
         assert_eq!(dev.inflight_len(), 0);
     }
 
@@ -626,7 +661,9 @@ mod tests {
                 len: 64,
             },
         );
-        let err = dev.submit(bad, &mut space, &mut graph, &model, &[]).unwrap_err();
+        let err = dev
+            .submit(bad, &mut space, &mut graph, &model, &[])
+            .unwrap_err();
         assert!(matches!(err, DeviceError::Translate(_)));
     }
 

@@ -103,9 +103,14 @@ impl RequestFifo {
         self.entries.iter().cloned().collect()
     }
 
-    /// Restores the FIFO from a persistence-domain snapshot.
+    /// Restores the FIFO from a persistence-domain snapshot. `next_id` is
+    /// advanced past every restored id so that requests pushed after recovery
+    /// can never be minted with a [`RequestId`] that is still in flight.
     pub fn restore(&mut self, entries: Vec<(RequestId, NearPmRequest)>) {
         self.entries = entries.into();
+        if let Some(max_id) = self.entries.iter().map(|(id, _)| id.0).max() {
+            self.next_id = self.next_id.max(max_id + 1);
+        }
         self.high_watermark = self.high_watermark.max(self.entries.len());
     }
 
@@ -178,6 +183,48 @@ mod tests {
         f.restore(snap);
         assert_eq!(f.len(), 2);
         assert_eq!(f.peek().unwrap().1, req(1));
+    }
+
+    #[test]
+    fn restore_advances_next_id_past_restored_entries() {
+        // A FIFO that has already issued ids 0..3 crashes with two requests
+        // still queued.
+        let mut f = RequestFifo::new(8);
+        for i in 0..4 {
+            f.push(req(i)).unwrap();
+        }
+        f.pop();
+        f.pop();
+        let snap = f.snapshot();
+        assert_eq!(
+            snap.iter().map(|(id, _)| id.0).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+
+        // A fresh device (next_id = 0) restores the snapshot: post-recovery
+        // pushes must not collide with the replayed ids.
+        let mut recovered = RequestFifo::new(8);
+        recovered.restore(snap);
+        let fresh = recovered.push(req(9)).unwrap();
+        assert_eq!(fresh, RequestId(4));
+        let ids: Vec<u64> = recovered.snapshot().iter().map(|(id, _)| id.0).collect();
+        let mut deduped = ids.clone();
+        deduped.dedup();
+        assert_eq!(ids, deduped, "restored FIFO minted a duplicate RequestId");
+    }
+
+    #[test]
+    fn restore_never_rewinds_next_id() {
+        let mut f = RequestFifo::new(8);
+        for i in 0..6 {
+            f.push(req(i)).unwrap();
+        }
+        while f.pop().is_some() {}
+        // Restoring an old (lower-id) snapshot must not rewind the counter.
+        let mut old = RequestFifo::new(8);
+        old.push(req(1)).unwrap();
+        f.restore(old.snapshot());
+        assert_eq!(f.push(req(7)).unwrap(), RequestId(6));
     }
 
     #[test]

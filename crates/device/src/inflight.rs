@@ -6,11 +6,28 @@
 //! conflicting access completes — this is how the hardware enforces PPO
 //! Invariant 1 between the CPU and NDP procedures and between NDP procedures
 //! of the same device.
+//!
+//! The table is consulted on *every* host PM access and every dispatched
+//! request, so lookups must not scan all live entries. Entries are stored in
+//! a slab and indexed two ways: by the 4 kB-aligned pages their interval
+//! touches (conflict lookups walk only the buckets of the queried pages) and
+//! by owning request (release at commit removes the request's entries
+//! without a scan).
+
+use std::collections::HashMap;
 
 use nearpm_pm::PhysAddr;
 use nearpm_sim::TaskId;
 
 use crate::request::RequestId;
+
+/// Granularity of the conflict-lookup buckets.
+const PAGE_SHIFT: u32 = 12;
+
+fn pages_of(start: u64, len: u64) -> std::ops::RangeInclusive<u64> {
+    debug_assert!(len > 0);
+    (start >> PAGE_SHIFT)..=((start + len - 1) >> PAGE_SHIFT)
+}
 
 /// One in-flight access record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,7 +58,14 @@ impl InFlightEntry {
 /// The in-flight access table of one NearPM device.
 #[derive(Debug, Clone, Default)]
 pub struct InFlightTable {
-    entries: Vec<InFlightEntry>,
+    /// Slab of entries; freed slots are recycled.
+    slots: Vec<Option<InFlightEntry>>,
+    free: Vec<usize>,
+    /// Page number → slots whose interval touches that page.
+    pages: HashMap<u64, Vec<usize>>,
+    /// Owning request → its slots (release path).
+    by_request: HashMap<RequestId, Vec<usize>>,
+    live: usize,
     conflicts_detected: u64,
 }
 
@@ -53,12 +77,12 @@ impl InFlightTable {
 
     /// Number of tracked accesses.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// True if nothing is in flight.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
     /// Total conflicts detected (diagnostics; the paper's motivation for
@@ -69,26 +93,77 @@ impl InFlightTable {
 
     /// Registers an in-flight access.
     pub fn insert(&mut self, entry: InFlightEntry) {
-        self.entries.push(entry);
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s] = Some(entry);
+                s
+            }
+            None => {
+                self.slots.push(Some(entry));
+                self.slots.len() - 1
+            }
+        };
+        if entry.len > 0 {
+            for page in pages_of(entry.start.raw(), entry.len) {
+                self.pages.entry(page).or_default().push(slot);
+            }
+        }
+        self.by_request.entry(entry.request).or_default().push(slot);
+        self.live += 1;
     }
 
     /// Removes every access belonging to `request` (called when the request's
     /// execution completes).
     pub fn complete_request(&mut self, request: RequestId) {
-        self.entries.retain(|e| e.request != request);
+        let Some(slots) = self.by_request.remove(&request) else {
+            return;
+        };
+        for slot in slots {
+            let Some(entry) = self.slots[slot].take() else {
+                continue;
+            };
+            if entry.len > 0 {
+                for page in pages_of(entry.start.raw(), entry.len) {
+                    if let Some(bucket) = self.pages.get_mut(&page) {
+                        if let Some(pos) = bucket.iter().position(|&s| s == slot) {
+                            bucket.swap_remove(pos);
+                        }
+                        if bucket.is_empty() {
+                            self.pages.remove(&page);
+                        }
+                    }
+                }
+            }
+            self.free.push(slot);
+            self.live -= 1;
+        }
     }
 
     /// Returns the completion tasks of every in-flight access that conflicts
     /// with the given access. An empty result means the access may proceed
     /// immediately; otherwise the caller must make its work depend on the
     /// returned tasks (stall until the conflicting accesses complete).
+    ///
+    /// Only the buckets of the pages the query touches are inspected, so the
+    /// cost scales with the locality of the access, not with the number of
+    /// live entries.
     pub fn conflicts(&mut self, start: PhysAddr, len: u64, is_write: bool) -> Vec<TaskId> {
-        let mut deps: Vec<TaskId> = self
-            .entries
-            .iter()
-            .filter(|e| (is_write || e.is_write) && e.overlaps(start, len))
-            .map(|e| e.completes_at)
-            .collect();
+        let mut deps: Vec<TaskId> = Vec::new();
+        if len > 0 && !self.pages.is_empty() {
+            for page in pages_of(start.raw(), len) {
+                let Some(bucket) = self.pages.get(&page) else {
+                    continue;
+                };
+                for &slot in bucket {
+                    let Some(e) = &self.slots[slot] else {
+                        continue;
+                    };
+                    if (is_write || e.is_write) && e.overlaps(start, len) {
+                        deps.push(e.completes_at);
+                    }
+                }
+            }
+        }
         deps.sort_unstable();
         deps.dedup();
         if !deps.is_empty() {
@@ -99,12 +174,12 @@ impl InFlightTable {
 
     /// Snapshot of the in-flight entries (persistence-domain image).
     pub fn snapshot(&self) -> Vec<InFlightEntry> {
-        self.entries.clone()
+        self.slots.iter().flatten().copied().collect()
     }
 
     /// Approximate persistence-domain footprint in bytes.
     pub fn footprint_bytes(&self) -> usize {
-        self.entries.len() * 32
+        self.live * 32
     }
 }
 
@@ -186,5 +261,48 @@ mod tests {
         assert_eq!(t.snapshot().len(), 1);
         assert_eq!(t.footprint_bytes(), 32);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn page_spanning_entry_found_from_every_page_and_counted_once() {
+        let mut t = InFlightTable::new();
+        // Entry spanning three 4 kB pages.
+        t.insert(entry(1, 0x1F00, 0x2200, true, 0));
+        assert_eq!(t.conflicts(PhysAddr(0x1F80), 8, true).len(), 1);
+        assert_eq!(t.conflicts(PhysAddr(0x3000), 8, true).len(), 1);
+        assert_eq!(t.conflicts(PhysAddr(0x4000), 8, true).len(), 1);
+        // A query spanning all three pages reports the entry once.
+        assert_eq!(t.conflicts(PhysAddr(0x1000), 0x4000, true).len(), 1);
+        // Same page, disjoint bytes: bucket hit but no overlap.
+        assert!(t.conflicts(PhysAddr(0x1000), 64, true).is_empty());
+    }
+
+    #[test]
+    fn slots_are_recycled_after_release() {
+        let mut t = InFlightTable::new();
+        for round in 0..10 {
+            for i in 0..8u64 {
+                t.insert(entry(i, i * 0x1000, 64, true, i as usize));
+            }
+            assert_eq!(t.len(), 8);
+            for i in 0..8u64 {
+                t.complete_request(RequestId(i));
+            }
+            assert_eq!(t.len(), 0, "round {round}");
+            assert!(t.conflicts(PhysAddr(0), 0x10000, true).is_empty());
+        }
+        // The slab did not grow beyond one generation of entries.
+        assert!(t.slots.len() <= 8);
+    }
+
+    #[test]
+    fn zero_length_queries_and_entries_never_conflict() {
+        let mut t = InFlightTable::new();
+        t.insert(entry(1, 0x1000, 0, true, 0));
+        assert_eq!(t.len(), 1);
+        assert!(t.conflicts(PhysAddr(0x1000), 64, true).is_empty());
+        assert!(t.conflicts(PhysAddr(0x1000), 0, true).is_empty());
+        t.complete_request(RequestId(1));
+        assert_eq!(t.len(), 0);
     }
 }

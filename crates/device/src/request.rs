@@ -124,7 +124,10 @@ impl NearPmOp {
     pub fn write_ranges(&self) -> Vec<(VirtAddr, u64)> {
         match self {
             NearPmOp::UndoLogCreate {
-                log_meta, log_data, len, ..
+                log_meta,
+                log_data,
+                len,
+                ..
             } => vec![
                 (*log_meta, crate::metadata::LOG_ENTRY_HEADER_LEN as u64),
                 (*log_data, *len),

@@ -62,6 +62,7 @@ impl NearPmUnit {
 
     /// Executes a bulk copy: functionally moves the bytes, and emits a DMA
     /// task that depends on `deps`. Returns the task id of the copy.
+    #[allow(clippy::too_many_arguments)]
     pub fn copy(
         &mut self,
         space: &mut PmSpace,
@@ -75,7 +76,13 @@ impl NearPmUnit {
     ) -> TaskId {
         space.copy(src, dst, len as usize);
         self.stats.bytes_copied += len;
-        graph.add("ndp-copy", self.resource(), model.ndp_copy(len), region, deps)
+        graph.add(
+            "ndp-copy",
+            self.resource(),
+            model.ndp_copy(len),
+            region,
+            deps,
+        )
     }
 
     /// Generates and persists a log/checkpoint entry header.
@@ -170,7 +177,14 @@ mod tests {
         let mut unit = NearPmUnit::new(0, 0);
 
         let header = LogEntryHeader::active(VirtAddr(0xABC0), 64, 3);
-        unit.write_header(&mut space, &mut graph, &model, PhysAddr(0x2000), &header, &[]);
+        unit.write_header(
+            &mut space,
+            &mut graph,
+            &model,
+            PhysAddr(0x2000),
+            &header,
+            &[],
+        );
         assert_eq!(unit.read_header(&mut space, PhysAddr(0x2000)), Some(header));
 
         unit.reset_header(&mut space, &mut graph, &model, PhysAddr(0x2000), &[]);

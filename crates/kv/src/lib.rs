@@ -135,11 +135,7 @@ impl PersistentHashMap {
     }
 
     /// Re-reads an entry from the persistent image (used by recovery tests).
-    pub fn get_persistent(
-        &self,
-        sys: &mut NearPmSystem,
-        key: u64,
-    ) -> Result<Option<Vec<u8>>> {
+    pub fn get_persistent(&self, sys: &mut NearPmSystem, key: u64) -> Result<Option<Vec<u8>>> {
         let mut idx = self.hash(key);
         for _ in 0..self.buckets {
             let addr = self.slot_addr(idx);
@@ -219,7 +215,11 @@ impl PersistentIndex {
     ) -> Result<Option<Vec<u8>>> {
         match self.keys.binary_search(&key) {
             Ok(pos) => {
-                let raw = pool.read(sys, self.base.offset(pos as u64 * SLOT_SIZE), SLOT_SIZE as usize)?;
+                let raw = pool.read(
+                    sys,
+                    self.base.offset(pos as u64 * SLOT_SIZE),
+                    SLOT_SIZE as usize,
+                )?;
                 Ok(decode_slot(&raw).map(|(_, v)| v))
             }
             Err(_) => Ok(None),
@@ -249,7 +249,8 @@ mod tests {
         let mut map = PersistentHashMap::create(&mut sys, &mut pool, 128).unwrap();
         assert!(map.is_empty());
         for k in 0..32u64 {
-            map.put(&mut sys, &mut pool, k, &[k as u8; VALUE_SIZE]).unwrap();
+            map.put(&mut sys, &mut pool, k, &[k as u8; VALUE_SIZE])
+                .unwrap();
         }
         assert_eq!(map.len(), 32);
         for k in 0..32u64 {
@@ -260,7 +261,8 @@ mod tests {
         }
         assert_eq!(map.get(&mut sys, &mut pool, 999).unwrap(), None);
         // Update in place does not grow the map.
-        map.put(&mut sys, &mut pool, 5, &[0xFF; VALUE_SIZE]).unwrap();
+        map.put(&mut sys, &mut pool, 5, &[0xFF; VALUE_SIZE])
+            .unwrap();
         assert_eq!(map.len(), 32);
         assert_eq!(
             map.get(&mut sys, &mut pool, 5).unwrap(),
@@ -292,7 +294,8 @@ mod tests {
     fn committed_hashmap_updates_survive_crash() {
         let (mut sys, mut pool) = setup();
         let mut map = PersistentHashMap::create(&mut sys, &mut pool, 64).unwrap();
-        map.put(&mut sys, &mut pool, 42, &[0xAA; VALUE_SIZE]).unwrap();
+        map.put(&mut sys, &mut pool, 42, &[0xAA; VALUE_SIZE])
+            .unwrap();
         sys.crash();
         pool.recover(&mut sys).unwrap();
         assert_eq!(
@@ -306,7 +309,8 @@ mod tests {
         let (mut sys, mut pool) = setup();
         let mut idx = PersistentIndex::create(&mut sys, &mut pool, 64).unwrap();
         for k in [5u64, 1, 9, 3, 7] {
-            idx.insert(&mut sys, &mut pool, k, &[k as u8; VALUE_SIZE]).unwrap();
+            idx.insert(&mut sys, &mut pool, k, &[k as u8; VALUE_SIZE])
+                .unwrap();
         }
         assert_eq!(idx.keys(), &[1, 3, 5, 7, 9]);
         assert_eq!(idx.len(), 5);
@@ -319,10 +323,15 @@ mod tests {
 
     #[test]
     fn kv_works_in_baseline_mode_too() {
-        let mut sys = NearPmSystem::new(SystemConfig::for_mode(ExecMode::CpuBaseline).with_capacity(16 << 20));
+        let mut sys = NearPmSystem::new(
+            SystemConfig::for_mode(ExecMode::CpuBaseline).with_capacity(16 << 20),
+        );
         let mut pool = ObjPool::create(&mut sys, "kv", 8 << 20).unwrap();
         let mut map = PersistentHashMap::create(&mut sys, &mut pool, 32).unwrap();
         map.put(&mut sys, &mut pool, 1, &[1; VALUE_SIZE]).unwrap();
-        assert_eq!(map.get(&mut sys, &mut pool, 1).unwrap(), Some(vec![1; VALUE_SIZE]));
+        assert_eq!(
+            map.get(&mut sys, &mut pool, 1).unwrap(),
+            Some(vec![1; VALUE_SIZE])
+        );
     }
 }

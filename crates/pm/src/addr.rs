@@ -38,9 +38,7 @@ impl VirtAddr {
 
     /// Byte distance from `base` (panics if `self < base`).
     pub fn offset_from(self, base: VirtAddr) -> u64 {
-        self.0
-            .checked_sub(base.0)
-            .expect("address below pool base")
+        self.0.checked_sub(base.0).expect("address below pool base")
     }
 
     /// Raw value.
@@ -197,6 +195,9 @@ mod tests {
         assert_eq!(PoolId(3).to_string(), "pool3");
         assert_eq!(VirtAddr(0x10).to_string(), "v:0x10");
         assert_eq!(PhysAddr(0x10).to_string(), "p:0x10");
-        assert_eq!(AddrRange::new(VirtAddr(0x10), 0x10).to_string(), "[0x10..0x20)");
+        assert_eq!(
+            AddrRange::new(VirtAddr(0x10), 0x10).to_string(),
+            "[0x10..0x20)"
+        );
     }
 }

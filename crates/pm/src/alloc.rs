@@ -51,7 +51,11 @@ impl FreeListAllocator {
     pub fn new(capacity: u64) -> Self {
         FreeListAllocator {
             capacity,
-            free: if capacity > 0 { vec![(0, capacity)] } else { vec![] },
+            free: if capacity > 0 {
+                vec![(0, capacity)]
+            } else {
+                vec![]
+            },
             allocated: Vec::new(),
         }
     }
@@ -204,10 +208,7 @@ mod tests {
     fn invalid_free_reported() {
         let mut a = FreeListAllocator::new(128);
         let x = a.alloc(16, 1).unwrap();
-        assert!(matches!(
-            a.free(x + 1),
-            Err(AllocError::InvalidFree { .. })
-        ));
+        assert!(matches!(a.free(x + 1), Err(AllocError::InvalidFree { .. })));
         a.free(x).unwrap();
         assert!(matches!(a.free(x), Err(AllocError::InvalidFree { .. })));
     }

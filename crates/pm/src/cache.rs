@@ -170,7 +170,10 @@ mod tests {
     fn store_is_visible_to_load_but_not_persistent() {
         let (mut space, mut cache) = setup();
         cache.store(&mut space, PhysAddr(0x100), &[1, 2, 3, 4]);
-        assert_eq!(cache.load_vec(&mut space, PhysAddr(0x100), 4), vec![1, 2, 3, 4]);
+        assert_eq!(
+            cache.load_vec(&mut space, PhysAddr(0x100), 4),
+            vec![1, 2, 3, 4]
+        );
         // Persistent image still zero.
         assert_eq!(space.read_vec(PhysAddr(0x100), 4), vec![0, 0, 0, 0]);
         assert!(cache.is_dirty(PhysAddr(0x100)));

@@ -42,7 +42,10 @@ impl PmMedia {
     /// and interleaver are responsible for never issuing such accesses.
     pub fn read(&mut self, offset: usize, buf: &mut [u8]) {
         let end = offset + buf.len();
-        assert!(end <= self.bytes.len(), "PM read out of bounds: {offset}..{end}");
+        assert!(
+            end <= self.bytes.len(),
+            "PM read out of bounds: {offset}..{end}"
+        );
         buf.copy_from_slice(&self.bytes[offset..end]);
         self.reads += 1;
         self.bytes_read += buf.len() as u64;
@@ -63,7 +66,10 @@ impl PmMedia {
     /// Panics if the access runs past the end of the medium.
     pub fn write(&mut self, offset: usize, data: &[u8]) {
         let end = offset + data.len();
-        assert!(end <= self.bytes.len(), "PM write out of bounds: {offset}..{end}");
+        assert!(
+            end <= self.bytes.len(),
+            "PM write out of bounds: {offset}..{end}"
+        );
         self.bytes[offset..end].copy_from_slice(data);
         self.writes += 1;
         self.bytes_written += data.len() as u64;
@@ -72,7 +78,10 @@ impl PmMedia {
     /// Fills `len` bytes starting at `offset` with `value`.
     pub fn fill(&mut self, offset: usize, len: usize, value: u8) {
         let end = offset + len;
-        assert!(end <= self.bytes.len(), "PM fill out of bounds: {offset}..{end}");
+        assert!(
+            end <= self.bytes.len(),
+            "PM fill out of bounds: {offset}..{end}"
+        );
         self.bytes[offset..end].fill(value);
         self.writes += 1;
         self.bytes_written += len as u64;
@@ -81,13 +90,39 @@ impl PmMedia {
     /// Copies `len` bytes from `src` to `dst` inside the medium (the DMA
     /// engine's local copy path).
     pub fn copy_within(&mut self, src: usize, dst: usize, len: usize) {
-        assert!(src + len <= self.bytes.len(), "PM copy source out of bounds");
-        assert!(dst + len <= self.bytes.len(), "PM copy destination out of bounds");
+        assert!(
+            src + len <= self.bytes.len(),
+            "PM copy source out of bounds"
+        );
+        assert!(
+            dst + len <= self.bytes.len(),
+            "PM copy destination out of bounds"
+        );
         self.bytes.copy_within(src..src + len, dst);
         self.reads += 1;
         self.bytes_read += len as u64;
         self.writes += 1;
         self.bytes_written += len as u64;
+    }
+
+    /// Copies `len` bytes from `self` at `src_offset` into `dst` at
+    /// `dst_offset` without an intermediate buffer (the cross-device DMA
+    /// path).
+    pub fn copy_to(&mut self, src_offset: usize, dst: &mut PmMedia, dst_offset: usize, len: usize) {
+        assert!(
+            src_offset + len <= self.bytes.len(),
+            "PM cross-copy source out of bounds"
+        );
+        assert!(
+            dst_offset + len <= dst.bytes.len(),
+            "PM cross-copy destination out of bounds"
+        );
+        dst.bytes[dst_offset..dst_offset + len]
+            .copy_from_slice(&self.bytes[src_offset..src_offset + len]);
+        self.reads += 1;
+        self.bytes_read += len as u64;
+        dst.writes += 1;
+        dst.bytes_written += len as u64;
     }
 
     /// Number of write operations served.

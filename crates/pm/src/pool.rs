@@ -269,7 +269,8 @@ impl PoolRegistry {
 
     /// Translates a virtual address to a physical address.
     pub fn translate(&self, addr: VirtAddr) -> Result<PhysAddr, PoolError> {
-        self.pool_of(addr).map(|p| p.translate(addr).expect("contained"))
+        self.pool_of(addr)
+            .map(|p| p.translate(addr).expect("contained"))
     }
 
     /// Translates a physical address back to a virtual address, if any pool
@@ -379,10 +380,7 @@ mod tests {
             let v = p.virt_base().offset(1234);
             let phys = p.translate(v).unwrap();
             // phys = virt - offset, by the paper's translation rule.
-            assert_eq!(
-                phys.raw() as i128,
-                v.raw() as i128 - p.translation_offset()
-            );
+            assert_eq!(phys.raw() as i128, v.raw() as i128 - p.translation_offset());
         }
     }
 }

@@ -85,10 +85,8 @@ impl PmSpace {
         let mut cursor = 0usize;
         for span in self.interleave.split(addr, buf.len() as u64) {
             let len = span.len as usize;
-            self.media[span.device].read(
-                span.local_offset as usize,
-                &mut buf[cursor..cursor + len],
-            );
+            self.media[span.device]
+                .read(span.local_offset as usize, &mut buf[cursor..cursor + len]);
             cursor += len;
         }
     }
@@ -116,16 +114,75 @@ impl PmSpace {
         }
     }
 
-    /// Copies `len` bytes from physical `src` to physical `dst`.
+    /// Copies `len` bytes from physical `src` to physical `dst` without an
+    /// intermediate allocation: the source and destination span lists are
+    /// walked in lockstep and each chunk is moved media-to-media (or with
+    /// `copy_within` when both ends live on the same device).
     pub fn copy(&mut self, src: PhysAddr, dst: PhysAddr, len: usize) {
-        let data = self.read_vec(src, len);
-        self.write(dst, &data);
+        if len == 0 {
+            return;
+        }
+        assert!(
+            src.raw() + len as u64 <= self.capacity,
+            "PM space copy source out of bounds at {src} len {len}"
+        );
+        assert!(
+            dst.raw() + len as u64 <= self.capacity,
+            "PM space copy destination out of bounds at {dst} len {len}"
+        );
+        // Overlapping ranges need the source buffered before any chunk is
+        // written (a later chunk may re-read bytes an earlier chunk already
+        // overwrote); the hot paths only ever copy disjoint ranges.
+        if src.raw() < dst.raw() + len as u64 && dst.raw() < src.raw() + len as u64 {
+            let data = self.read_vec(src, len);
+            self.write(dst, &data);
+            return;
+        }
+        let src_spans = self.interleave.split(src, len as u64);
+        let dst_spans = self.interleave.split(dst, len as u64);
+        let (mut si, mut di) = (0usize, 0usize);
+        let (mut s_done, mut d_done) = (0u64, 0u64);
+        while si < src_spans.len() && di < dst_spans.len() {
+            let s = &src_spans[si];
+            let d = &dst_spans[di];
+            let chunk = (s.len - s_done).min(d.len - d_done) as usize;
+            let s_local = (s.local_offset + s_done) as usize;
+            let d_local = (d.local_offset + d_done) as usize;
+            if s.device == d.device {
+                self.media[s.device].copy_within(s_local, d_local, chunk);
+            } else {
+                // Distinct devices: split the media vector to borrow both.
+                let (lo, hi) = (s.device.min(d.device), s.device.max(d.device));
+                let (head, tail) = self.media.split_at_mut(hi);
+                let (first, second) = (&mut head[lo], &mut tail[0]);
+                if s.device < d.device {
+                    first.copy_to(s_local, second, d_local, chunk);
+                } else {
+                    second.copy_to(s_local, first, d_local, chunk);
+                }
+            }
+            s_done += chunk as u64;
+            d_done += chunk as u64;
+            if s_done == s.len {
+                si += 1;
+                s_done = 0;
+            }
+            if d_done == d.len {
+                di += 1;
+                d_done = 0;
+            }
+        }
     }
 
-    /// Fills `len` bytes at `addr` with `value`.
+    /// Fills `len` bytes at `addr` with `value` (no intermediate buffer).
     pub fn fill(&mut self, addr: PhysAddr, len: usize, value: u8) {
-        let data = vec![value; len];
-        self.write(addr, &data);
+        assert!(
+            addr.raw() + len as u64 <= self.capacity,
+            "PM space fill out of bounds at {addr} len {len}"
+        );
+        for span in self.interleave.split(addr, len as u64) {
+            self.media[span.device].fill(span.local_offset as usize, span.len as usize, value);
+        }
     }
 
     /// Aggregated traffic statistics across devices.
@@ -158,8 +215,15 @@ impl PmSpace {
         }
     }
 
+    /// Borrowed view of one device's full persistent image — the zero-copy
+    /// alternative to [`PmSpace::snapshot`] when a read-only look suffices.
+    pub fn device_contents(&self, device: usize) -> &[u8] {
+        self.media[device].contents()
+    }
+
     /// Snapshot of the full persistent image (used by crash-equivalence
     /// checks in tests; cloning multi-megabyte spaces is acceptable there).
+    /// Hot paths should use [`PmSpace::device_contents`] instead.
     pub fn snapshot(&self) -> Vec<Vec<u8>> {
         self.media.iter().map(|m| m.contents().to_vec()).collect()
     }
@@ -208,6 +272,33 @@ mod tests {
         assert_eq!(t.write_ops, 2);
         s.reset_stats();
         assert_eq!(s.traffic().bytes_written, 0);
+    }
+
+    #[test]
+    fn cross_device_copy_without_intermediate_buffer() {
+        let mut s = PmSpace::new(1 << 16, InterleaveConfig::new(2, 4096));
+        let data: Vec<u8> = (0..6000u32).map(|i| (i % 251) as u8).collect();
+        // Source spans both devices; destination starts on the other device.
+        s.write(PhysAddr(1024), &data);
+        s.copy(PhysAddr(1024), PhysAddr(4096 + 512), 6000);
+        assert_eq!(s.read_vec(PhysAddr(4096 + 512), 6000), data);
+    }
+
+    #[test]
+    fn overlapping_copy_preserves_source_semantics() {
+        let mut s = PmSpace::new(1 << 16, InterleaveConfig::new(2, 4096));
+        let data: Vec<u8> = (0..8192u32).map(|i| (i % 241) as u8).collect();
+        s.write(PhysAddr(0), &data);
+        // Destination overlaps the source across the interleave boundary.
+        s.copy(PhysAddr(0), PhysAddr(2048), 8192);
+        assert_eq!(s.read_vec(PhysAddr(2048), 8192), data);
+    }
+
+    #[test]
+    fn device_contents_borrows_the_image() {
+        let mut s = PmSpace::single(8192);
+        s.write(PhysAddr(10), &[1, 2, 3]);
+        assert_eq!(&s.device_contents(0)[10..13], &[1, 2, 3]);
     }
 
     #[test]

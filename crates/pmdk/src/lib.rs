@@ -157,7 +157,8 @@ mod tests {
             let mut pool = ObjPool::create(&mut sys, "t", 8 << 20).unwrap();
             let obj = pool.alloc(&mut sys, 128).unwrap();
             pool.write_persist(&mut sys, obj, &[1; 128]).unwrap();
-            pool.tx(&mut sys, |tx, sys| tx.write(sys, obj, &[2; 128])).unwrap();
+            pool.tx(&mut sys, |tx, sys| tx.write(sys, obj, &[2; 128]))
+                .unwrap();
             assert_eq!(pool.read(&mut sys, obj, 128).unwrap(), vec![2; 128]);
             assert_eq!(pool.committed(), 1);
             assert!(sys.report().ppo_violations.is_empty(), "{mode:?}");

@@ -1,0 +1,225 @@
+//! Differential tests: indexed checkers vs the naive oracles.
+//!
+//! Generates randomized traces — adversarial ones, with overlapping
+//! intervals, colliding timestamps, missing offloads, zero-length intervals,
+//! multiple failures, and all event kinds — and asserts that the indexed
+//! single-pass checkers report *exactly* the same violation lists (same
+//! contents, same order) as the original nested-scan oracles.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::{Agent, EventKind, Interval, ProcId, Sharing, SyncId, Trace};
+use crate::invariants::{self, oracle};
+
+/// Shape parameters of one random trace.
+struct TraceShape {
+    events: usize,
+    devices: usize,
+    /// Number of distinct base addresses; a small pool forces overlaps.
+    bases: u64,
+    procs: u64,
+    /// Probability that a procedure gets an offload event recorded.
+    offload_prob: f64,
+    failure_prob: f64,
+}
+
+fn random_interval(rng: &mut StdRng, shape: &TraceShape) -> Interval {
+    let base = rng.gen_range(0..shape.bases) * 0x100;
+    let jitter = rng.gen_range(0u64..32);
+    // Occasionally zero-length, to exercise the filters.
+    let len = if rng.gen_range(0u64..10) == 0 {
+        0
+    } else {
+        rng.gen_range(1u64..160)
+    };
+    Interval::new(base + jitter, len)
+}
+
+fn random_trace(rng: &mut StdRng, shape: &TraceShape) -> Trace {
+    let mut t = Trace::new(shape.devices);
+    let procs: Vec<ProcId> = (0..shape.procs).map(|_| t.new_proc()).collect();
+    let syncs: Vec<SyncId> = (0..3).map(|_| t.new_sync()).collect();
+
+    // Some procedures get an offload record, some deliberately do not
+    // (MissingOffload coverage).
+    for p in &procs {
+        if rng.gen::<f64>() < shape.offload_prob {
+            let ts = rng.gen_range(0u64..10_000);
+            t.record(
+                Agent::Cpu,
+                EventKind::Offload,
+                Interval::new(0, 0),
+                Sharing::Shared,
+                Some(*p),
+                None,
+                ts,
+            );
+        }
+    }
+
+    let mut failed = false;
+    for _ in 0..shape.events {
+        let agent = if rng.gen::<f64>() < 0.4 {
+            Agent::Cpu
+        } else {
+            Agent::Ndp(rng.gen_range(0..shape.devices))
+        };
+        let kind = match rng.gen_range(0u32..100) {
+            0..=29 => EventKind::Write,
+            30..=54 => EventKind::Persist,
+            55..=74 => EventKind::Read,
+            75..=84 => EventKind::Sync,
+            85..=94 => {
+                if failed {
+                    EventKind::RecoveryRead
+                } else {
+                    EventKind::Read
+                }
+            }
+            _ => {
+                if !failed && rng.gen::<f64>() < shape.failure_prob {
+                    failed = true;
+                    EventKind::Failure
+                } else {
+                    EventKind::Persist
+                }
+            }
+        };
+        let interval = random_interval(rng, shape);
+        let sharing = if rng.gen::<f64>() < 0.5 {
+            Sharing::Shared
+        } else {
+            Sharing::NdpManaged
+        };
+        let proc = if rng.gen::<f64>() < 0.7 {
+            Some(procs[rng.gen_range(0..procs.len())])
+        } else {
+            None
+        };
+        let sync = if kind == EventKind::Sync {
+            Some(syncs[rng.gen_range(0..syncs.len())])
+        } else {
+            None
+        };
+        // Coarse timestamps so that <=/< boundary cases actually occur.
+        let ts = rng.gen_range(0u64..2_000) * 10;
+        t.record(agent, kind, interval, sharing, proc, sync, ts);
+    }
+    t
+}
+
+fn assert_checkers_agree(t: &Trace, seed: u64) {
+    assert_eq!(
+        invariants::check_cpu_ndp_ordering(t),
+        oracle::check_cpu_ndp_ordering(t),
+        "cpu/ndp ordering diverged (seed {seed})"
+    );
+    assert_eq!(
+        invariants::check_sync_persistence(t),
+        oracle::check_sync_persistence(t),
+        "sync persistence diverged (seed {seed})"
+    );
+    assert_eq!(
+        invariants::check_recovery_reads(t),
+        oracle::check_recovery_reads(t),
+        "recovery reads diverged (seed {seed})"
+    );
+    assert_eq!(
+        invariants::check_all(t),
+        oracle::check_all(t),
+        "check_all diverged (seed {seed})"
+    );
+    assert_eq!(
+        invariants::relaxed_persist_count(t),
+        oracle::relaxed_persist_count(t),
+        "relaxed persist count diverged (seed {seed})"
+    );
+}
+
+#[test]
+fn random_traces_do_exercise_violations() {
+    // Guard against the differential suite silently comparing empty lists:
+    // across the seeds, a healthy share of traces must contain violations of
+    // each class.
+    let (mut ordering, mut sync_v, mut recovery) = (0usize, 0usize, 0usize);
+    for seed in 0..150u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shape = TraceShape {
+            events: rng.gen_range(1usize..120),
+            devices: rng.gen_range(1usize..4),
+            bases: rng.gen_range(2u64..10),
+            procs: rng.gen_range(1u64..5),
+            offload_prob: 0.7,
+            failure_prob: 0.5,
+        };
+        let t = random_trace(&mut rng, &shape);
+        ordering += invariants::check_cpu_ndp_ordering(&t).len();
+        sync_v += invariants::check_sync_persistence(&t).len();
+        recovery += invariants::check_recovery_reads(&t).len();
+    }
+    assert!(
+        ordering > 50,
+        "ordering violations never generated: {ordering}"
+    );
+    assert!(sync_v > 50, "sync violations never generated: {sync_v}");
+    assert!(
+        recovery > 10,
+        "recovery violations never generated: {recovery}"
+    );
+}
+
+#[test]
+fn indexed_checkers_match_oracles_on_random_traces() {
+    for seed in 0..150u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shape = TraceShape {
+            events: rng.gen_range(1usize..120),
+            devices: rng.gen_range(1usize..4),
+            bases: rng.gen_range(2u64..10),
+            procs: rng.gen_range(1u64..5),
+            offload_prob: 0.7,
+            failure_prob: 0.5,
+        };
+        let t = random_trace(&mut rng, &shape);
+        assert_checkers_agree(&t, seed);
+    }
+}
+
+#[test]
+fn indexed_checkers_match_oracles_on_dense_overlap_traces() {
+    // One base address: every interval overlaps every other, the worst case
+    // for ordering between equal starts and for duplicate violations.
+    for seed in 1_000..1_040u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shape = TraceShape {
+            events: 80,
+            devices: 2,
+            bases: 1,
+            procs: 2,
+            offload_prob: 0.5,
+            failure_prob: 0.8,
+        };
+        let t = random_trace(&mut rng, &shape);
+        assert_checkers_agree(&t, seed);
+    }
+}
+
+#[test]
+fn indexed_checkers_match_oracles_on_empty_and_tiny_traces() {
+    let t = Trace::new(1);
+    assert_checkers_agree(&t, u64::MAX);
+    for seed in 2_000..2_020u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shape = TraceShape {
+            events: rng.gen_range(1usize..4),
+            devices: 1,
+            bases: 2,
+            procs: 1,
+            offload_prob: 0.5,
+            failure_prob: 0.5,
+        };
+        let t = random_trace(&mut rng, &shape);
+        assert_checkers_agree(&t, seed);
+    }
+}

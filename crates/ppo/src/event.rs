@@ -219,6 +219,7 @@ impl Trace {
     }
 
     /// Records an event, assigning its program-order index automatically.
+    #[allow(clippy::too_many_arguments)]
     pub fn record(
         &mut self,
         agent: Agent,
@@ -253,7 +254,15 @@ impl Trace {
         proc: Option<ProcId>,
         timestamp_ps: u64,
     ) {
-        self.record(agent, EventKind::Write, interval, sharing, proc, None, timestamp_ps);
+        self.record(
+            agent,
+            EventKind::Write,
+            interval,
+            sharing,
+            proc,
+            None,
+            timestamp_ps,
+        );
         self.record(
             agent,
             EventKind::Persist,

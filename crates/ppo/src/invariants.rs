@@ -5,8 +5,23 @@
 //! system-level tests run every workload/mechanism combination, collect the
 //! trace, and assert that no violations are reported; mutation tests flip
 //! timestamps to confirm the checkers actually detect broken orderings.
+//!
+//! ## Implementation
+//!
+//! All checkers are single-pass queries against a [`TraceIndex`] built once
+//! per trace in O(n log n): shared CPU accesses live in per-kind interval
+//! indexes, per-agent persists in an interval index with earliest-timestamp
+//! augmentation, and the failure window in write/persist existence indexes.
+//! The original quadratic scans are preserved verbatim in [`oracle`]
+//! (compiled under `cfg(test)` or the `oracle` feature) and differential
+//! tests assert that both implementations report identical violation lists
+//! on randomized traces.
 
-use crate::event::{Agent, EventKind, Interval, PpoEvent, ProcId, Sharing, Trace};
+use std::collections::{BTreeSet, HashMap};
+use std::ops::Bound;
+
+use crate::event::{Agent, EventKind, Interval, ProcId, Sharing, Trace};
+use crate::index::TraceIndex;
 
 /// A detected violation of a PPO invariant.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,78 +99,50 @@ impl std::fmt::Display for PpoViolation {
     }
 }
 
-/// Runs every invariant checker and returns all violations found.
+/// Runs every invariant checker over one shared [`TraceIndex`] and returns
+/// all violations found.
 pub fn check_all(trace: &Trace) -> Vec<PpoViolation> {
-    let mut v = check_cpu_ndp_ordering(trace);
-    v.extend(check_sync_persistence(trace));
-    v.extend(check_recovery_reads(trace));
+    let idx = TraceIndex::new(trace);
+    check_all_indexed(&idx)
+}
+
+/// [`check_all`] against a pre-built index (lets callers amortize the build
+/// across checkers or reuse the index for their own queries).
+pub fn check_all_indexed(idx: &TraceIndex<'_>) -> Vec<PpoViolation> {
+    let mut v = check_cpu_ndp_ordering_indexed(idx);
+    v.extend(check_sync_persistence_indexed(idx));
+    v.extend(check_recovery_reads_indexed(idx));
     v
 }
 
 /// Invariants 1 and 2: ordering between CPU and NDP accesses to shared
 /// addresses must follow program order around the offload point.
 pub fn check_cpu_ndp_ordering(trace: &Trace) -> Vec<PpoViolation> {
+    check_cpu_ndp_ordering_indexed(&TraceIndex::new(trace))
+}
+
+/// Indexed implementation of [`check_cpu_ndp_ordering`]: one pass over the
+/// NDP accesses, each resolved against the per-kind CPU interval indexes.
+pub fn check_cpu_ndp_ordering_indexed(idx: &TraceIndex<'_>) -> Vec<PpoViolation> {
     let mut violations = Vec::new();
-    let events = trace.events();
-
-    // Offload program-order index (on the CPU) and timestamp per procedure.
-    let mut offload_po: std::collections::HashMap<ProcId, u64> = std::collections::HashMap::new();
-    for e in events {
-        if e.kind == EventKind::Offload && e.agent == Agent::Cpu {
-            if let Some(p) = e.proc {
-                offload_po.entry(p).or_insert(e.program_order);
-            }
-        }
-    }
-
-    // NDP accesses to shared intervals, grouped by procedure.
-    let ndp_shared: Vec<&PpoEvent> = events
-        .iter()
-        .filter(|e| {
-            e.agent.is_ndp()
-                && e.sharing == Sharing::Shared
-                && matches!(e.kind, EventKind::Write | EventKind::Persist | EventKind::Read)
-                && e.interval.len > 0
-        })
-        .collect();
-
-    // CPU accesses to shared intervals.
-    let cpu_shared: Vec<&PpoEvent> = events
-        .iter()
-        .filter(|e| {
-            e.agent == Agent::Cpu
-                && e.sharing == Sharing::Shared
-                && matches!(e.kind, EventKind::Write | EventKind::Persist | EventKind::Read)
-                && e.interval.len > 0
-        })
-        .collect();
-
-    for ndp in &ndp_shared {
+    for ndp in idx.trace().events().iter().filter(|e| {
+        e.agent.is_ndp()
+            && e.sharing == Sharing::Shared
+            && matches!(
+                e.kind,
+                EventKind::Write | EventKind::Persist | EventKind::Read
+            )
+            && e.interval.len > 0
+    }) {
         let proc = match ndp.proc {
             Some(p) => p,
             None => continue,
         };
-        let Some(&off_po) = offload_po.get(&proc) else {
+        let Some(off_po) = idx.offload_po(proc) else {
             violations.push(PpoViolation::MissingOffload { proc });
             continue;
         };
-        for cpu in &cpu_shared {
-            if !cpu.interval.overlaps(&ndp.interval) {
-                continue;
-            }
-            // Only compare like kinds for persistence (Invariant 2) and
-            // visibility (Invariant 1): persist-vs-persist and
-            // write/read-vs-write/read.
-            let comparable = matches!(
-                (cpu.kind, ndp.kind),
-                (EventKind::Persist, EventKind::Persist)
-                    | (EventKind::Write, EventKind::Write)
-                    | (EventKind::Write, EventKind::Read)
-                    | (EventKind::Read, EventKind::Write)
-            );
-            if !comparable {
-                continue;
-            }
+        idx.for_each_comparable_cpu_access(ndp.kind, ndp.interval, |cpu| {
             let cpu_before_offload = cpu.program_order < off_po;
             let ok = if cpu_before_offload {
                 cpu.timestamp_ps <= ndp.timestamp_ps
@@ -172,7 +159,7 @@ pub fn check_cpu_ndp_ordering(trace: &Trace) -> Vec<PpoViolation> {
                     cpu_before_offload,
                 });
             }
-        }
+        });
     }
     violations
 }
@@ -181,34 +168,55 @@ pub fn check_cpu_ndp_ordering(trace: &Trace) -> Vec<PpoViolation> {
 /// synchronization event on the same device must have persisted no later
 /// than the synchronization completes.
 pub fn check_sync_persistence(trace: &Trace) -> Vec<PpoViolation> {
-    let mut violations = Vec::new();
-    let events = trace.events();
+    check_sync_persistence_indexed(&TraceIndex::new(trace))
+}
 
-    for sync in events
-        .iter()
-        .filter(|e| e.kind == EventKind::Sync && e.agent.is_ndp())
-    {
-        for w in events.iter().filter(|e| {
-            e.agent == sync.agent
-                && e.kind == EventKind::Write
-                && e.interval.len > 0
-                && e.program_order < sync.program_order
-        }) {
-            // Find a persist of the same agent covering (overlapping) the
-            // write interval, no later than the sync.
-            let persisted = events.iter().any(|p| {
-                p.agent == w.agent
-                    && p.kind == EventKind::Persist
-                    && p.interval.overlaps(&w.interval)
-                    && p.timestamp_ps <= sync.timestamp_ps
-            });
-            if !persisted {
-                violations.push(PpoViolation::UnpersistedBeforeSync {
-                    agent: w.agent,
-                    interval: w.interval,
-                    sync_ts: sync.timestamp_ps,
-                });
+/// Indexed implementation of [`check_sync_persistence`].
+///
+/// One pass over the trace: each NDP write is resolved once to the earliest
+/// timestamp at which a persist of the same agent covered it (u64::MAX if
+/// never), and parked in a per-agent ordered set keyed by that timestamp.
+/// A sync event then reports exactly the parked writes whose earliest
+/// covering persist lands after the sync — an O(log n + violations) range
+/// read instead of a rescan of every prior write.
+pub fn check_sync_persistence_indexed(idx: &TraceIndex<'_>) -> Vec<PpoViolation> {
+    let mut violations = Vec::new();
+    let events = idx.trace().events();
+    // Writes seen so far per agent, keyed by (earliest covering persist
+    // timestamp, event index).
+    let mut pending: HashMap<Agent, BTreeSet<(u64, u32)>> = HashMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if !e.agent.is_ndp() {
+            continue;
+        }
+        match e.kind {
+            EventKind::Write if e.interval.len > 0 => {
+                let ts = idx
+                    .earliest_persist_by(e.agent, e.interval)
+                    .unwrap_or(u64::MAX);
+                pending.entry(e.agent).or_default().insert((ts, i as u32));
             }
+            EventKind::Sync => {
+                if let Some(parked) = pending.get(&e.agent) {
+                    let mut failing: Vec<u32> = parked
+                        .range((
+                            Bound::Excluded((e.timestamp_ps, u32::MAX)),
+                            Bound::Unbounded,
+                        ))
+                        .map(|&(_, id)| id)
+                        .collect();
+                    failing.sort_unstable();
+                    for id in failing {
+                        let w = &events[id as usize];
+                        violations.push(PpoViolation::UnpersistedBeforeSync {
+                            agent: w.agent,
+                            interval: w.interval,
+                            sync_ts: e.timestamp_ps,
+                        });
+                    }
+                }
+            }
+            _ => {}
         }
     }
     violations
@@ -216,12 +224,19 @@ pub fn check_sync_persistence(trace: &Trace) -> Vec<PpoViolation> {
 
 /// Invariant 4: recovery reads only data that persisted before the failure.
 pub fn check_recovery_reads(trace: &Trace) -> Vec<PpoViolation> {
+    check_recovery_reads_indexed(&TraceIndex::new(trace))
+}
+
+/// Indexed implementation of [`check_recovery_reads`]: each recovery read is
+/// two existence queries against the failure-window write/persist indexes.
+pub fn check_recovery_reads_indexed(idx: &TraceIndex<'_>) -> Vec<PpoViolation> {
     let mut violations = Vec::new();
-    let Some(failure_ts) = trace.failure_time() else {
+    if idx.failure_ts().is_none() {
         return violations;
-    };
-    let events = trace.events();
-    for r in events
+    }
+    for r in idx
+        .trace()
+        .events()
         .iter()
         .filter(|e| e.kind == EventKind::RecoveryRead && e.interval.len > 0)
     {
@@ -229,20 +244,7 @@ pub fn check_recovery_reads(trace: &Trace) -> Vec<PpoViolation> {
         // interval that completed before the failure, or the data must have
         // never been written at all since the start of the trace (reading the
         // initial image is always safe).
-        let written = events.iter().any(|w| {
-            w.kind == EventKind::Write
-                && w.interval.overlaps(&r.interval)
-                && w.timestamp_ps <= failure_ts
-        });
-        if !written {
-            continue;
-        }
-        let persisted_before_failure = events.iter().any(|p| {
-            p.kind == EventKind::Persist
-                && p.interval.overlaps(&r.interval)
-                && p.timestamp_ps <= failure_ts
-        });
-        if !persisted_before_failure {
+        if idx.written_before_failure(r.interval) && !idx.persisted_before_failure(r.interval) {
             violations.push(PpoViolation::RecoveryReadUnpersisted {
                 agent: r.agent,
                 interval: r.interval,
@@ -255,23 +257,236 @@ pub fn check_recovery_reads(trace: &Trace) -> Vec<PpoViolation> {
 /// Counts NDP persists to NDP-managed addresses that were *delayed* past a
 /// later CPU access — the relaxation PPO explicitly allows. Benchmarks use
 /// this to confirm the relaxed mode actually exercises the relaxation.
+///
+/// Two O(n) passes: the earliest CPU access timestamp (program order > 0)
+/// bounds the comparison for every NDP-managed persist.
 pub fn relaxed_persist_count(trace: &Trace) -> usize {
     let events = trace.events();
-    let cpu_accesses: Vec<&PpoEvent> = events
+    let min_cpu_ts = events
         .iter()
-        .filter(|e| e.agent == Agent::Cpu && matches!(e.kind, EventKind::Write | EventKind::Read))
-        .collect();
+        .filter(|e| {
+            e.agent == Agent::Cpu
+                && matches!(e.kind, EventKind::Write | EventKind::Read)
+                && e.program_order > 0
+        })
+        .map(|e| e.timestamp_ps)
+        .min();
+    let Some(min_cpu_ts) = min_cpu_ts else {
+        return 0;
+    };
     events
         .iter()
         .filter(|e| {
-            e.agent.is_ndp() && e.kind == EventKind::Persist && e.sharing == Sharing::NdpManaged
-        })
-        .filter(|p| {
-            cpu_accesses
-                .iter()
-                .any(|c| c.program_order > 0 && c.timestamp_ps < p.timestamp_ps)
+            e.agent.is_ndp()
+                && e.kind == EventKind::Persist
+                && e.sharing == Sharing::NdpManaged
+                && min_cpu_ts < e.timestamp_ps
         })
         .count()
+}
+
+/// The original nested-scan checkers, kept verbatim as reference oracles.
+///
+/// These are O(n²)–O(n³) in the trace length and exist only so that
+/// differential tests and the `ppo_check` benchmarks can compare the indexed
+/// implementations against the original semantics. Compiled under
+/// `cfg(test)` or the `oracle` cargo feature.
+#[cfg(any(test, feature = "oracle"))]
+pub mod oracle {
+    use super::PpoViolation;
+    use crate::event::{Agent, EventKind, PpoEvent, ProcId, Sharing, Trace};
+
+    /// Naive [`super::check_all`]: runs every naive checker.
+    pub fn check_all(trace: &Trace) -> Vec<PpoViolation> {
+        let mut v = check_cpu_ndp_ordering(trace);
+        v.extend(check_sync_persistence(trace));
+        v.extend(check_recovery_reads(trace));
+        v
+    }
+
+    /// Naive [`super::check_cpu_ndp_ordering`]: all-pairs CPU×NDP scan.
+    pub fn check_cpu_ndp_ordering(trace: &Trace) -> Vec<PpoViolation> {
+        let mut violations = Vec::new();
+        let events = trace.events();
+
+        // Offload program-order index (on the CPU) and timestamp per procedure.
+        let mut offload_po: std::collections::HashMap<ProcId, u64> =
+            std::collections::HashMap::new();
+        for e in events {
+            if e.kind == EventKind::Offload && e.agent == Agent::Cpu {
+                if let Some(p) = e.proc {
+                    offload_po.entry(p).or_insert(e.program_order);
+                }
+            }
+        }
+
+        // NDP accesses to shared intervals, grouped by procedure.
+        let ndp_shared: Vec<&PpoEvent> = events
+            .iter()
+            .filter(|e| {
+                e.agent.is_ndp()
+                    && e.sharing == Sharing::Shared
+                    && matches!(
+                        e.kind,
+                        EventKind::Write | EventKind::Persist | EventKind::Read
+                    )
+                    && e.interval.len > 0
+            })
+            .collect();
+
+        // CPU accesses to shared intervals.
+        let cpu_shared: Vec<&PpoEvent> = events
+            .iter()
+            .filter(|e| {
+                e.agent == Agent::Cpu
+                    && e.sharing == Sharing::Shared
+                    && matches!(
+                        e.kind,
+                        EventKind::Write | EventKind::Persist | EventKind::Read
+                    )
+                    && e.interval.len > 0
+            })
+            .collect();
+
+        for ndp in &ndp_shared {
+            let proc = match ndp.proc {
+                Some(p) => p,
+                None => continue,
+            };
+            let Some(&off_po) = offload_po.get(&proc) else {
+                violations.push(PpoViolation::MissingOffload { proc });
+                continue;
+            };
+            for cpu in &cpu_shared {
+                if !cpu.interval.overlaps(&ndp.interval) {
+                    continue;
+                }
+                // Only compare like kinds for persistence (Invariant 2) and
+                // visibility (Invariant 1): persist-vs-persist and
+                // write/read-vs-write/read.
+                let comparable = matches!(
+                    (cpu.kind, ndp.kind),
+                    (EventKind::Persist, EventKind::Persist)
+                        | (EventKind::Write, EventKind::Write)
+                        | (EventKind::Write, EventKind::Read)
+                        | (EventKind::Read, EventKind::Write)
+                );
+                if !comparable {
+                    continue;
+                }
+                let cpu_before_offload = cpu.program_order < off_po;
+                let ok = if cpu_before_offload {
+                    cpu.timestamp_ps <= ndp.timestamp_ps
+                } else {
+                    ndp.timestamp_ps <= cpu.timestamp_ps
+                };
+                if !ok {
+                    violations.push(PpoViolation::SharedOrderViolation {
+                        proc,
+                        cpu_interval: cpu.interval,
+                        ndp_interval: ndp.interval,
+                        cpu_ts: cpu.timestamp_ps,
+                        ndp_ts: ndp.timestamp_ps,
+                        cpu_before_offload,
+                    });
+                }
+            }
+        }
+        violations
+    }
+
+    /// Naive [`super::check_sync_persistence`]: per sync, rescan every prior
+    /// write and, per write, rescan every event for a covering persist.
+    pub fn check_sync_persistence(trace: &Trace) -> Vec<PpoViolation> {
+        let mut violations = Vec::new();
+        let events = trace.events();
+
+        for sync in events
+            .iter()
+            .filter(|e| e.kind == EventKind::Sync && e.agent.is_ndp())
+        {
+            for w in events.iter().filter(|e| {
+                e.agent == sync.agent
+                    && e.kind == EventKind::Write
+                    && e.interval.len > 0
+                    && e.program_order < sync.program_order
+            }) {
+                // Find a persist of the same agent covering (overlapping) the
+                // write interval, no later than the sync.
+                let persisted = events.iter().any(|p| {
+                    p.agent == w.agent
+                        && p.kind == EventKind::Persist
+                        && p.interval.overlaps(&w.interval)
+                        && p.timestamp_ps <= sync.timestamp_ps
+                });
+                if !persisted {
+                    violations.push(PpoViolation::UnpersistedBeforeSync {
+                        agent: w.agent,
+                        interval: w.interval,
+                        sync_ts: sync.timestamp_ps,
+                    });
+                }
+            }
+        }
+        violations
+    }
+
+    /// Naive [`super::check_recovery_reads`]: per recovery read, rescan the
+    /// whole trace for pre-failure writes and persists.
+    pub fn check_recovery_reads(trace: &Trace) -> Vec<PpoViolation> {
+        let mut violations = Vec::new();
+        let Some(failure_ts) = trace.failure_time() else {
+            return violations;
+        };
+        let events = trace.events();
+        for r in events
+            .iter()
+            .filter(|e| e.kind == EventKind::RecoveryRead && e.interval.len > 0)
+        {
+            let written = events.iter().any(|w| {
+                w.kind == EventKind::Write
+                    && w.interval.overlaps(&r.interval)
+                    && w.timestamp_ps <= failure_ts
+            });
+            if !written {
+                continue;
+            }
+            let persisted_before_failure = events.iter().any(|p| {
+                p.kind == EventKind::Persist
+                    && p.interval.overlaps(&r.interval)
+                    && p.timestamp_ps <= failure_ts
+            });
+            if !persisted_before_failure {
+                violations.push(PpoViolation::RecoveryReadUnpersisted {
+                    agent: r.agent,
+                    interval: r.interval,
+                });
+            }
+        }
+        violations
+    }
+
+    /// Naive [`super::relaxed_persist_count`]: all-pairs persist×access scan.
+    pub fn relaxed_persist_count(trace: &Trace) -> usize {
+        let events = trace.events();
+        let cpu_accesses: Vec<&PpoEvent> = events
+            .iter()
+            .filter(|e| {
+                e.agent == Agent::Cpu && matches!(e.kind, EventKind::Write | EventKind::Read)
+            })
+            .collect();
+        events
+            .iter()
+            .filter(|e| {
+                e.agent.is_ndp() && e.kind == EventKind::Persist && e.sharing == Sharing::NdpManaged
+            })
+            .filter(|p| {
+                cpu_accesses
+                    .iter()
+                    .any(|c| c.program_order > 0 && c.timestamp_ps < p.timestamp_ps)
+            })
+            .count()
+    }
 }
 
 #[cfg(test)]
@@ -289,14 +504,46 @@ mod tests {
         let log = Interval::new(0x8000, 64);
 
         // CPU offloads the log-creation procedure.
-        t.record(Agent::Cpu, EventKind::Offload, Interval::new(0, 0), Sharing::Shared, Some(p), None, 100);
+        t.record(
+            Agent::Cpu,
+            EventKind::Offload,
+            Interval::new(0, 0),
+            Sharing::Shared,
+            Some(p),
+            None,
+            100,
+        );
         // NDP reads the shared object (source of the log copy).
-        t.record(Agent::Ndp(0), EventKind::Read, obj, Sharing::Shared, Some(p), None, 200);
+        t.record(
+            Agent::Ndp(0),
+            EventKind::Read,
+            obj,
+            Sharing::Shared,
+            Some(p),
+            None,
+            200,
+        );
         // NDP writes + persists the log (NDP-managed).
         t.record_write_persist(Agent::Ndp(0), log, Sharing::NdpManaged, Some(p), 300);
         // CPU updates the object afterwards and persists it.
-        t.record(Agent::Cpu, EventKind::Write, obj, Sharing::Shared, None, None, 400);
-        t.record(Agent::Cpu, EventKind::Persist, obj, Sharing::Shared, None, None, 450);
+        t.record(
+            Agent::Cpu,
+            EventKind::Write,
+            obj,
+            Sharing::Shared,
+            None,
+            None,
+            400,
+        );
+        t.record(
+            Agent::Cpu,
+            EventKind::Persist,
+            obj,
+            Sharing::Shared,
+            None,
+            None,
+            450,
+        );
         t
     }
 
@@ -313,16 +560,43 @@ mod tests {
         let mut t = Trace::new(1);
         let p = t.new_proc();
         let obj = Interval::new(0x1000, 64);
-        t.record(Agent::Cpu, EventKind::Offload, Interval::new(0, 0), Sharing::Shared, Some(p), None, 100);
+        t.record(
+            Agent::Cpu,
+            EventKind::Offload,
+            Interval::new(0, 0),
+            Sharing::Shared,
+            Some(p),
+            None,
+            100,
+        );
         // NDP reads the object *late*...
-        t.record(Agent::Ndp(0), EventKind::Read, obj, Sharing::Shared, Some(p), None, 500);
+        t.record(
+            Agent::Ndp(0),
+            EventKind::Read,
+            obj,
+            Sharing::Shared,
+            Some(p),
+            None,
+            500,
+        );
         // ...but the CPU already overwrote it at t=200 (program order after offload).
-        t.record(Agent::Cpu, EventKind::Write, obj, Sharing::Shared, None, None, 200);
+        t.record(
+            Agent::Cpu,
+            EventKind::Write,
+            obj,
+            Sharing::Shared,
+            None,
+            None,
+            200,
+        );
         let violations = check_cpu_ndp_ordering(&t);
         assert_eq!(violations.len(), 1);
         assert!(matches!(
             violations[0],
-            PpoViolation::SharedOrderViolation { cpu_before_offload: false, .. }
+            PpoViolation::SharedOrderViolation {
+                cpu_before_offload: false,
+                ..
+            }
         ));
     }
 
@@ -333,14 +607,41 @@ mod tests {
         let obj = Interval::new(0x1000, 64);
         // CPU writes the object, then offloads; the NDP read happens "earlier"
         // in simulated time than the CPU write — a violation.
-        t.record(Agent::Cpu, EventKind::Write, obj, Sharing::Shared, None, None, 300);
-        t.record(Agent::Cpu, EventKind::Offload, Interval::new(0, 0), Sharing::Shared, Some(p), None, 350);
-        t.record(Agent::Ndp(0), EventKind::Read, obj, Sharing::Shared, Some(p), None, 100);
+        t.record(
+            Agent::Cpu,
+            EventKind::Write,
+            obj,
+            Sharing::Shared,
+            None,
+            None,
+            300,
+        );
+        t.record(
+            Agent::Cpu,
+            EventKind::Offload,
+            Interval::new(0, 0),
+            Sharing::Shared,
+            Some(p),
+            None,
+            350,
+        );
+        t.record(
+            Agent::Ndp(0),
+            EventKind::Read,
+            obj,
+            Sharing::Shared,
+            Some(p),
+            None,
+            100,
+        );
         let violations = check_cpu_ndp_ordering(&t);
         assert_eq!(violations.len(), 1);
         assert!(matches!(
             violations[0],
-            PpoViolation::SharedOrderViolation { cpu_before_offload: true, .. }
+            PpoViolation::SharedOrderViolation {
+                cpu_before_offload: true,
+                ..
+            }
         ));
     }
 
@@ -349,10 +650,28 @@ mod tests {
         let mut t = Trace::new(1);
         let p = t.new_proc();
         let obj = Interval::new(0x1000, 64);
-        t.record(Agent::Ndp(0), EventKind::Write, obj, Sharing::Shared, Some(p), None, 100);
-        t.record(Agent::Cpu, EventKind::Write, obj, Sharing::Shared, None, None, 200);
+        t.record(
+            Agent::Ndp(0),
+            EventKind::Write,
+            obj,
+            Sharing::Shared,
+            Some(p),
+            None,
+            100,
+        );
+        t.record(
+            Agent::Cpu,
+            EventKind::Write,
+            obj,
+            Sharing::Shared,
+            None,
+            None,
+            200,
+        );
         let violations = check_cpu_ndp_ordering(&t);
-        assert!(violations.iter().any(|v| matches!(v, PpoViolation::MissingOffload { .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, PpoViolation::MissingOffload { .. })));
     }
 
     #[test]
@@ -361,8 +680,24 @@ mod tests {
         let mut t = Trace::new(1);
         let p = t.new_proc();
         let log = Interval::new(0x8000, 64);
-        t.record(Agent::Cpu, EventKind::Offload, Interval::new(0, 0), Sharing::Shared, Some(p), None, 100);
-        t.record(Agent::Cpu, EventKind::Write, Interval::new(0x1000, 64), Sharing::Shared, None, None, 150);
+        t.record(
+            Agent::Cpu,
+            EventKind::Offload,
+            Interval::new(0, 0),
+            Sharing::Shared,
+            Some(p),
+            None,
+            100,
+        );
+        t.record(
+            Agent::Cpu,
+            EventKind::Write,
+            Interval::new(0x1000, 64),
+            Sharing::Shared,
+            None,
+            None,
+            150,
+        );
         t.record_write_persist(Agent::Ndp(0), log, Sharing::NdpManaged, Some(p), 9_000);
         assert!(check_cpu_ndp_ordering(&t).is_empty());
         assert_eq!(relaxed_persist_count(&t), 1);
@@ -374,23 +709,82 @@ mod tests {
         let p = t.new_proc();
         let s = t.new_sync();
         let log = Interval::new(0x8000, 64);
-        t.record(Agent::Cpu, EventKind::Offload, Interval::new(0, 0), Sharing::Shared, Some(p), None, 10);
+        t.record(
+            Agent::Cpu,
+            EventKind::Offload,
+            Interval::new(0, 0),
+            Sharing::Shared,
+            Some(p),
+            None,
+            10,
+        );
         // Device 0 writes its half of the log but never persists it...
-        t.record(Agent::Ndp(0), EventKind::Write, log, Sharing::NdpManaged, Some(p), None, 100);
+        t.record(
+            Agent::Ndp(0),
+            EventKind::Write,
+            log,
+            Sharing::NdpManaged,
+            Some(p),
+            None,
+            100,
+        );
         // ...and then synchronizes. That violates Invariant 3.
-        t.record(Agent::Ndp(0), EventKind::Sync, Interval::new(0, 0), Sharing::NdpManaged, Some(p), Some(s), 200);
+        t.record(
+            Agent::Ndp(0),
+            EventKind::Sync,
+            Interval::new(0, 0),
+            Sharing::NdpManaged,
+            Some(p),
+            Some(s),
+            200,
+        );
         let violations = check_sync_persistence(&t);
         assert_eq!(violations.len(), 1);
-        assert!(matches!(violations[0], PpoViolation::UnpersistedBeforeSync { .. }));
+        assert!(matches!(
+            violations[0],
+            PpoViolation::UnpersistedBeforeSync { .. }
+        ));
 
         // Adding the persist before the sync fixes it.
         let mut t2 = Trace::new(2);
         let p2 = t2.new_proc();
         let s2 = t2.new_sync();
-        t2.record(Agent::Cpu, EventKind::Offload, Interval::new(0, 0), Sharing::Shared, Some(p2), None, 10);
-        t2.record(Agent::Ndp(0), EventKind::Write, log, Sharing::NdpManaged, Some(p2), None, 100);
-        t2.record(Agent::Ndp(0), EventKind::Persist, log, Sharing::NdpManaged, Some(p2), None, 150);
-        t2.record(Agent::Ndp(0), EventKind::Sync, Interval::new(0, 0), Sharing::NdpManaged, Some(p2), Some(s2), 200);
+        t2.record(
+            Agent::Cpu,
+            EventKind::Offload,
+            Interval::new(0, 0),
+            Sharing::Shared,
+            Some(p2),
+            None,
+            10,
+        );
+        t2.record(
+            Agent::Ndp(0),
+            EventKind::Write,
+            log,
+            Sharing::NdpManaged,
+            Some(p2),
+            None,
+            100,
+        );
+        t2.record(
+            Agent::Ndp(0),
+            EventKind::Persist,
+            log,
+            Sharing::NdpManaged,
+            Some(p2),
+            None,
+            150,
+        );
+        t2.record(
+            Agent::Ndp(0),
+            EventKind::Sync,
+            Interval::new(0, 0),
+            Sharing::NdpManaged,
+            Some(p2),
+            Some(s2),
+            200,
+        );
         assert!(check_sync_persistence(&t2).is_empty());
     }
 
@@ -399,24 +793,72 @@ mod tests {
         let mut t = Trace::new(1);
         let log = Interval::new(0x8000, 64);
         // Written but never persisted before the failure.
-        t.record(Agent::Ndp(0), EventKind::Write, log, Sharing::NdpManaged, None, None, 100);
-        t.record(Agent::Cpu, EventKind::Failure, Interval::new(0, 0), Sharing::Shared, None, None, 200);
-        t.record(Agent::Ndp(0), EventKind::RecoveryRead, log, Sharing::NdpManaged, None, None, 300);
+        t.record(
+            Agent::Ndp(0),
+            EventKind::Write,
+            log,
+            Sharing::NdpManaged,
+            None,
+            None,
+            100,
+        );
+        t.record(
+            Agent::Cpu,
+            EventKind::Failure,
+            Interval::new(0, 0),
+            Sharing::Shared,
+            None,
+            None,
+            200,
+        );
+        t.record(
+            Agent::Ndp(0),
+            EventKind::RecoveryRead,
+            log,
+            Sharing::NdpManaged,
+            None,
+            None,
+            300,
+        );
         let violations = check_recovery_reads(&t);
         assert_eq!(violations.len(), 1);
 
         // If the data persisted before the failure, recovery may read it.
         let mut t2 = Trace::new(1);
         t2.record_write_persist(Agent::Ndp(0), log, Sharing::NdpManaged, None, 100);
-        t2.record(Agent::Cpu, EventKind::Failure, Interval::new(0, 0), Sharing::Shared, None, None, 200);
-        t2.record(Agent::Ndp(0), EventKind::RecoveryRead, log, Sharing::NdpManaged, None, None, 300);
+        t2.record(
+            Agent::Cpu,
+            EventKind::Failure,
+            Interval::new(0, 0),
+            Sharing::Shared,
+            None,
+            None,
+            200,
+        );
+        t2.record(
+            Agent::Ndp(0),
+            EventKind::RecoveryRead,
+            log,
+            Sharing::NdpManaged,
+            None,
+            None,
+            300,
+        );
         assert!(check_recovery_reads(&t2).is_empty());
     }
 
     #[test]
     fn recovery_read_of_never_written_region_is_allowed() {
         let mut t = Trace::new(1);
-        t.record(Agent::Cpu, EventKind::Failure, Interval::new(0, 0), Sharing::Shared, None, None, 200);
+        t.record(
+            Agent::Cpu,
+            EventKind::Failure,
+            Interval::new(0, 0),
+            Sharing::Shared,
+            None,
+            None,
+            200,
+        );
         t.record(
             Agent::Ndp(0),
             EventKind::RecoveryRead,
@@ -444,5 +886,14 @@ mod tests {
             interval: Interval::new(0, 8),
         };
         assert!(v.to_string().contains("recovery read"));
+    }
+
+    #[test]
+    fn indexed_and_oracle_agree_on_handcrafted_traces() {
+        let traces = [good_undo_log_trace()];
+        for t in &traces {
+            assert_eq!(check_all(t), oracle::check_all(t));
+            assert_eq!(relaxed_persist_count(t), oracle::relaxed_persist_count(t));
+        }
     }
 }

@@ -64,7 +64,10 @@ impl std::fmt::Display for SyncError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SyncError::InvalidTransition { state, input } => {
-                write!(f, "invalid synchronization transition: {input:?} in {state:?}")
+                write!(
+                    f,
+                    "invalid synchronization transition: {input:?} in {state:?}"
+                )
             }
         }
     }
@@ -170,7 +173,10 @@ impl MultiDeviceSync {
     /// completion to every other involved device (as the multi-device handler
     /// hardware does).
     pub fn local_complete(&mut self, device: usize) -> Result<(), SyncError> {
-        assert!(self.involved[device], "device {device} not part of the command");
+        assert!(
+            self.involved[device],
+            "device {device} not part of the command"
+        );
         self.completed[device] = true;
         self.machines[device].step(SyncInput::ReceiveLocalComplete)?;
         for d in 0..self.machines.len() {
@@ -222,7 +228,10 @@ mod tests {
     fn two_device_happy_path_local_first() {
         let mut m = SyncStateMachine::new();
         assert_eq!(m.state(), SyncState::AllComplete);
-        assert_eq!(m.step(SyncInput::ReceiveCommand).unwrap(), SyncState::Executing);
+        assert_eq!(
+            m.step(SyncInput::ReceiveCommand).unwrap(),
+            SyncState::Executing
+        );
         assert_eq!(
             m.step(SyncInput::ReceiveLocalComplete).unwrap(),
             SyncState::LocalComplete

@@ -18,7 +18,7 @@ pub const CACHE_LINE: u64 = 64;
 pub const PM_PAGE: u64 = 4096;
 
 /// Latency/bandwidth parameters of the simulated platform.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencyModel {
     /// Latency of a CPU load that misses to the emulated PM (ns).
     pub pm_read_latency_ns: f64,
@@ -284,7 +284,10 @@ mod tests {
         assert!(s64 < s16k, "speedup must grow with size: {s64} vs {s16k}");
         // Figure 17 band: ~1.1x at 64 B and ~5.6x at 16 kB.
         assert!(s64 > 1.0 && s64 < 2.5, "64 B speedup out of band: {s64}");
-        assert!(s16k > 3.5 && s16k < 8.0, "16 kB speedup out of band: {s16k}");
+        assert!(
+            s16k > 3.5 && s16k < 8.0,
+            "16 kB speedup out of band: {s16k}"
+        );
     }
 
     #[test]

@@ -168,7 +168,10 @@ mod tests {
         let rs = t.resources();
         // 2 CPUs + control path + 2 dispatchers + 8 units.
         assert_eq!(rs.len(), 13);
-        let units = rs.iter().filter(|r| matches!(r, Resource::NdpUnit { .. })).count();
+        let units = rs
+            .iter()
+            .filter(|r| matches!(r, Resource::NdpUnit { .. }))
+            .count();
         assert_eq!(units, 8);
     }
 

@@ -63,7 +63,11 @@ impl Summary {
 
     /// Minimum sample (0 for an empty summary).
     pub fn min(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min_or_zero()
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min_or_zero()
     }
 
     /// Maximum sample (0 for an empty summary).

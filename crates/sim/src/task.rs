@@ -229,13 +229,7 @@ mod tests {
         let mut g = TaskGraph::new();
         assert!(g.is_empty());
         let a = g.add("a", Resource::Cpu(0), ns(10.0), Region::Application, &[]);
-        let b = g.add(
-            "b",
-            Resource::Cpu(0),
-            ns(5.0),
-            Region::CcDataMovement,
-            &[a],
-        );
+        let b = g.add("b", Resource::Cpu(0), ns(5.0), Region::CcDataMovement, &[a]);
         assert_eq!(g.len(), 2);
         assert_eq!(g.task(b).deps, vec![a]);
         assert!((g.total_work().as_ns() - 15.0).abs() < 1e-9);

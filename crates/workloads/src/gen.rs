@@ -107,7 +107,12 @@ impl YcsbGenerator {
     }
 
     /// Generator with an arbitrary write fraction (e.g. YCSB-A is 0.5).
-    pub fn with_write_fraction(items: u64, value_size: u64, write_fraction: f64, seed: u64) -> Self {
+    pub fn with_write_fraction(
+        items: u64,
+        value_size: u64,
+        write_fraction: f64,
+        seed: u64,
+    ) -> Self {
         YcsbGenerator {
             keys: Zipfian::new(items, seed ^ 0x5eed),
             write_fraction,
@@ -236,7 +241,10 @@ mod tests {
             c.sort_unstable();
             c[500]
         };
-        assert!(max > median * 5, "zipfian not skewed: max={max} median={median}");
+        assert!(
+            max > median * 5,
+            "zipfian not skewed: max={max} median={median}"
+        );
         assert_eq!(z.items(), 1000);
     }
 
@@ -306,7 +314,8 @@ mod tests {
         let mut g = TatpGenerator::new(500, 9);
         for _ in 0..100 {
             match g.next_txn() {
-                TatpTxn::UpdateSubscriber { subscriber } | TatpTxn::UpdateLocation { subscriber } => {
+                TatpTxn::UpdateSubscriber { subscriber }
+                | TatpTxn::UpdateLocation { subscriber } => {
                     assert!(subscriber < 500)
                 }
             }

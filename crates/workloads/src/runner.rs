@@ -105,7 +105,12 @@ pub struct WorkloadSpec {
 }
 
 impl WorkloadSpec {
-    fn new(workload: Workload, compute_ns: f64, updates: &[(u32, u64)], working_set: usize) -> Self {
+    fn new(
+        workload: Workload,
+        compute_ns: f64,
+        updates: &[(u32, u64)],
+        working_set: usize,
+    ) -> Self {
         WorkloadSpec {
             workload,
             compute_ns,
@@ -281,7 +286,11 @@ impl Runner {
                 mechanism,
                 objects,
                 pages: (per_thread_objects / 8).clamp(4, 32),
-                ycsb: YcsbGenerator::write_only(per_thread_objects as u64, self.spec.max_update(), seed),
+                ycsb: YcsbGenerator::write_only(
+                    per_thread_objects as u64,
+                    self.spec.max_update(),
+                    seed,
+                ),
                 tpcc: TpccGenerator::new(seed),
                 tatp: TatpGenerator::new(per_thread_objects as u64, seed),
                 keys: Zipfian::new(per_thread_objects as u64, seed),
@@ -309,7 +318,12 @@ impl Runner {
     }
 
     /// Runs one workload operation on one thread.
-    fn run_one_op(&self, sys: &mut NearPmSystem, state: &mut ThreadState, thread: usize) -> Result<()> {
+    fn run_one_op(
+        &self,
+        sys: &mut NearPmSystem,
+        state: &mut ThreadState,
+        thread: usize,
+    ) -> Result<()> {
         // Determine the update sites and compute burst for this operation.
         let (compute_ns, update_sites) = self.op_shape(state);
         state.ops_done += 1;
@@ -339,7 +353,7 @@ impl Runner {
                     ckpt.update(sys, *addr, &val)?;
                 }
                 // Epoch boundary every 16 operations.
-                if state.ops_done % 16 == 0 {
+                if state.ops_done.is_multiple_of(16) {
                     ckpt.advance_epoch(sys)?;
                 }
             }
@@ -388,7 +402,11 @@ impl Runner {
                 YcsbOp::Update { value_size, .. } => {
                     for (count, bytes) in &self.spec.updates {
                         for _ in 0..*count {
-                            let b = if *bytes >= 512 { value_size.max(*bytes) } else { *bytes };
+                            let b = if *bytes >= 512 {
+                                value_size.max(*bytes)
+                            } else {
+                                *bytes
+                            };
                             sites.push(self.pick(state, b));
                         }
                     }
@@ -416,7 +434,12 @@ impl Runner {
 }
 
 /// Convenience: run one workload / mechanism / mode combination.
-pub fn run(workload: Workload, mechanism: Mechanism, mode: ExecMode, operations: usize) -> Result<RunReport> {
+pub fn run(
+    workload: Workload,
+    mechanism: Mechanism,
+    mode: ExecMode,
+    operations: usize,
+) -> Result<RunReport> {
     Runner::new(workload, RunOptions::new(mode, mechanism, operations)).run()
 }
 
@@ -461,7 +484,13 @@ mod tests {
 
     #[test]
     fn baseline_cc_overhead_is_substantial() {
-        let base = run(Workload::Btree, Mechanism::ShadowPaging, ExecMode::CpuBaseline, 24).unwrap();
+        let base = run(
+            Workload::Btree,
+            Mechanism::ShadowPaging,
+            ExecMode::CpuBaseline,
+            24,
+        )
+        .unwrap();
         assert!(base.cc_fraction() > 0.3, "{}", base.cc_fraction());
     }
 

@@ -9,7 +9,8 @@ fn main() {
     let pool = sys.create_pool("bank", 16 << 20).unwrap();
     // An 8 kB record interleaved across both NearPM devices.
     let record = sys.alloc(pool, 8192, 4096).unwrap();
-    sys.cpu_write_persist(0, record, &vec![0xAA; 8192], Region::AppPersist).unwrap();
+    sys.cpu_write_persist(0, record, &vec![0xAA; 8192], Region::AppPersist)
+        .unwrap();
 
     let mut undo = UndoLog::new(&mut sys, pool, 0, 16).unwrap();
     undo.begin(&mut sys).unwrap();

@@ -17,8 +17,15 @@ fn main() {
             .expect("run")
     };
     let base = run(ExecMode::CpuBaseline);
-    println!("workload={} mechanism={}", workload.name(), mechanism.label());
-    println!("{:<22} {:>12} {:>10} {:>10}", "configuration", "makespan", "e2e_x", "cc_x");
+    println!(
+        "workload={} mechanism={}",
+        workload.name(),
+        mechanism.label()
+    );
+    println!(
+        "{:<22} {:>12} {:>10} {:>10}",
+        "configuration", "makespan", "e2e_x", "cc_x"
+    );
     for mode in ExecMode::all() {
         let r = run(mode);
         println!(

@@ -11,7 +11,8 @@ fn main() {
     let mut map = PersistentHashMap::create(&mut sys, &mut pool, 256).unwrap();
 
     for k in 0..64u64 {
-        map.put(&mut sys, &mut pool, k, &[k as u8; VALUE_SIZE]).unwrap();
+        map.put(&mut sys, &mut pool, k, &[k as u8; VALUE_SIZE])
+            .unwrap();
     }
     println!("inserted {} keys", map.len());
 

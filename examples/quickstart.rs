@@ -11,8 +11,10 @@ fn main() {
 
     let account_a = pool.alloc(&mut sys, 64).expect("alloc");
     let account_b = pool.alloc(&mut sys, 64).expect("alloc");
-    pool.write_persist(&mut sys, account_a, &100u64.to_le_bytes()).unwrap();
-    pool.write_persist(&mut sys, account_b, &0u64.to_le_bytes()).unwrap();
+    pool.write_persist(&mut sys, account_a, &100u64.to_le_bytes())
+        .unwrap();
+    pool.write_persist(&mut sys, account_b, &0u64.to_le_bytes())
+        .unwrap();
 
     // Failure-atomic transfer: both balances change or neither does. The
     // undo-logging primitives execute on the NearPM device.
@@ -23,8 +25,18 @@ fn main() {
     })
     .expect("transaction");
 
-    let a = u64::from_le_bytes(pool.read(&mut sys, account_a, 8).unwrap().try_into().unwrap());
-    let b = u64::from_le_bytes(pool.read(&mut sys, account_b, 8).unwrap().try_into().unwrap());
+    let a = u64::from_le_bytes(
+        pool.read(&mut sys, account_a, 8)
+            .unwrap()
+            .try_into()
+            .unwrap(),
+    );
+    let b = u64::from_le_bytes(
+        pool.read(&mut sys, account_b, 8)
+            .unwrap()
+            .try_into()
+            .unwrap(),
+    );
     println!("balances after transfer: a={a} b={b}");
 
     let report = sys.report();

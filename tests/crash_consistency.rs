@@ -12,7 +12,8 @@ fn undo_logging_recovers_across_two_devices() {
     let mut sys = system(ExecMode::NearPmMd);
     let pool = sys.create_pool("p", 16 << 20).unwrap();
     let obj = sys.alloc(pool, 8192, 4096).unwrap();
-    sys.cpu_write_persist(0, obj, &vec![1u8; 8192], Region::AppPersist).unwrap();
+    sys.cpu_write_persist(0, obj, &vec![1u8; 8192], Region::AppPersist)
+        .unwrap();
 
     let mut undo = UndoLog::new(&mut sys, pool, 0, 16).unwrap();
     // Commit one transaction, then crash in the middle of a second one.
@@ -36,7 +37,8 @@ fn checkpointing_restores_interrupted_epoch() {
     let mut sys = system(ExecMode::NearPmMd);
     let pool = sys.create_pool("p", 16 << 20).unwrap();
     let page = sys.alloc(pool, 4096, 4096).unwrap();
-    sys.cpu_write_persist(0, page, &vec![9u8; 4096], Region::AppPersist).unwrap();
+    sys.cpu_write_persist(0, page, &vec![9u8; 4096], Region::AppPersist)
+        .unwrap();
     let mut ckpt = Checkpoint::new(&mut sys, pool, 0, 8).unwrap();
     ckpt.touch(&mut sys, page).unwrap();
     ckpt.update(&mut sys, page, &[7u8; 512]).unwrap();
@@ -52,7 +54,8 @@ fn shadow_paging_page_table_is_always_consistent() {
     let mut shadow = ShadowPaging::new(&mut sys, pool, 0, 2, 8).unwrap();
     let initial = vec![4u8; 4096];
     let p0 = shadow.page_addr(&mut sys, 0).unwrap();
-    sys.cpu_write_persist(0, p0, &initial, Region::AppPersist).unwrap();
+    sys.cpu_write_persist(0, p0, &initial, Region::AppPersist)
+        .unwrap();
     shadow.update(&mut sys, 0, 0, &[5u8; 64]).unwrap();
     sys.crash();
     let mapping = shadow.recover(&mut sys).unwrap();
@@ -67,7 +70,8 @@ fn recovery_is_idempotent() {
     let mut sys = system(ExecMode::NearPmMd);
     let pool = sys.create_pool("p", 16 << 20).unwrap();
     let obj = sys.alloc(pool, 256, 64).unwrap();
-    sys.cpu_write_persist(0, obj, &[1u8; 256], Region::AppPersist).unwrap();
+    sys.cpu_write_persist(0, obj, &[1u8; 256], Region::AppPersist)
+        .unwrap();
     let mut undo = UndoLog::new(&mut sys, pool, 0, 8).unwrap();
     undo.begin(&mut sys).unwrap();
     undo.log_range(&mut sys, obj, 256).unwrap();

@@ -28,7 +28,12 @@ fn nearpm_md_end_to_end_speedup_shape_matches_paper() {
     // require NearPM MD to beat the baseline on average for every mechanism.
     for m in Mechanism::all() {
         let mut speedups = Vec::new();
-        for w in [Workload::Tpcc, Workload::Btree, Workload::Hashmap, Workload::Redis] {
+        for w in [
+            Workload::Tpcc,
+            Workload::Btree,
+            Workload::Hashmap,
+            Workload::Redis,
+        ] {
             let base = run(w, m, ExecMode::CpuBaseline, 24).unwrap();
             let md = run(w, m, ExecMode::NearPmMd, 24).unwrap();
             speedups.push(md.speedup_over(&base));
@@ -44,7 +49,12 @@ fn delayed_sync_beats_software_sync() {
     // NearPM MD (delayed near-memory sync) must not be slower than
     // MD SW-sync on logging workloads, matching Figure 16.
     let mut wins = 0;
-    let workloads = [Workload::Tpcc, Workload::Btree, Workload::Memcached, Workload::Redis];
+    let workloads = [
+        Workload::Tpcc,
+        Workload::Btree,
+        Workload::Memcached,
+        Workload::Redis,
+    ];
     for w in workloads {
         let sync = run(w, Mechanism::Logging, ExecMode::NearPmMdSync, 24).unwrap();
         let md = run(w, Mechanism::Logging, ExecMode::NearPmMd, 24).unwrap();
@@ -59,11 +69,26 @@ fn delayed_sync_beats_software_sync() {
 fn tatp_logging_speedup_is_the_smallest() {
     // The paper singles out TATP's low logging speedup (one tiny log per
     // transaction leaves no parallelism to exploit).
-    let base_tatp = run(Workload::Tatp, Mechanism::Logging, ExecMode::CpuBaseline, 32).unwrap();
+    let base_tatp = run(
+        Workload::Tatp,
+        Mechanism::Logging,
+        ExecMode::CpuBaseline,
+        32,
+    )
+    .unwrap();
     let md_tatp = run(Workload::Tatp, Mechanism::Logging, ExecMode::NearPmMd, 32).unwrap();
-    let base_tpcc = run(Workload::Tpcc, Mechanism::Logging, ExecMode::CpuBaseline, 32).unwrap();
+    let base_tpcc = run(
+        Workload::Tpcc,
+        Mechanism::Logging,
+        ExecMode::CpuBaseline,
+        32,
+    )
+    .unwrap();
     let md_tpcc = run(Workload::Tpcc, Mechanism::Logging, ExecMode::NearPmMd, 32).unwrap();
     let tatp = md_tatp.cc_speedup_over(&base_tatp);
     let tpcc = md_tpcc.cc_speedup_over(&base_tpcc);
-    assert!(tatp < tpcc, "TATP ({tatp:.2}x) should speed up less than TPCC ({tpcc:.2}x)");
+    assert!(
+        tatp < tpcc,
+        "TATP ({tatp:.2}x) should speed up less than TPCC ({tpcc:.2}x)"
+    );
 }
