@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/copy_primitive-9072993ea8f539b5.d: crates/bench/benches/copy_primitive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcopy_primitive-9072993ea8f539b5.rmeta: crates/bench/benches/copy_primitive.rs Cargo.toml
+
+crates/bench/benches/copy_primitive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

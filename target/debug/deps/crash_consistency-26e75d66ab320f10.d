@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_consistency-26e75d66ab320f10.d: tests/crash_consistency.rs
+
+/root/repo/target/debug/deps/crash_consistency-26e75d66ab320f10: tests/crash_consistency.rs
+
+tests/crash_consistency.rs:

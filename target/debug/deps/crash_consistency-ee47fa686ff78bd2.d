@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_consistency-ee47fa686ff78bd2.d: tests/crash_consistency.rs
+
+/root/repo/target/debug/deps/crash_consistency-ee47fa686ff78bd2: tests/crash_consistency.rs
+
+tests/crash_consistency.rs:

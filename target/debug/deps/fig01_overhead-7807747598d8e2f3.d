@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_overhead-7807747598d8e2f3.d: crates/bench/src/bin/fig01_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_overhead-7807747598d8e2f3.rmeta: crates/bench/src/bin/fig01_overhead.rs Cargo.toml
+
+crates/bench/src/bin/fig01_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_overhead-a7bd547321a14c4d.d: crates/bench/src/bin/fig01_overhead.rs
+
+/root/repo/target/debug/deps/fig01_overhead-a7bd547321a14c4d: crates/bench/src/bin/fig01_overhead.rs
+
+crates/bench/src/bin/fig01_overhead.rs:

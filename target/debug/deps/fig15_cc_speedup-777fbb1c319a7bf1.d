@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_cc_speedup-777fbb1c319a7bf1.d: crates/bench/src/bin/fig15_cc_speedup.rs
+
+/root/repo/target/debug/deps/fig15_cc_speedup-777fbb1c319a7bf1: crates/bench/src/bin/fig15_cc_speedup.rs
+
+crates/bench/src/bin/fig15_cc_speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_cc_speedup-b042d97f2653870d.d: crates/bench/src/bin/fig15_cc_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_cc_speedup-b042d97f2653870d.rmeta: crates/bench/src/bin/fig15_cc_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig15_cc_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

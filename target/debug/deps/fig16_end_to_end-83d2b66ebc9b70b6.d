@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_end_to_end-83d2b66ebc9b70b6.d: crates/bench/src/bin/fig16_end_to_end.rs
+
+/root/repo/target/debug/deps/fig16_end_to_end-83d2b66ebc9b70b6: crates/bench/src/bin/fig16_end_to_end.rs
+
+crates/bench/src/bin/fig16_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_end_to_end-cd3b608810ebae9e.d: crates/bench/src/bin/fig16_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_end_to_end-cd3b608810ebae9e.rmeta: crates/bench/src/bin/fig16_end_to_end.rs Cargo.toml
+
+crates/bench/src/bin/fig16_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

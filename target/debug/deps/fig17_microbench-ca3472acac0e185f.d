@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_microbench-ca3472acac0e185f.d: crates/bench/src/bin/fig17_microbench.rs
+
+/root/repo/target/debug/deps/fig17_microbench-ca3472acac0e185f: crates/bench/src/bin/fig17_microbench.rs
+
+crates/bench/src/bin/fig17_microbench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_microbench-d9dfc78ed4ba5ec6.d: crates/bench/src/bin/fig17_microbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_microbench-d9dfc78ed4ba5ec6.rmeta: crates/bench/src/bin/fig17_microbench.rs Cargo.toml
+
+crates/bench/src/bin/fig17_microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18_parallelism-8e34d007cab376b5.d: crates/bench/src/bin/fig18_parallelism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18_parallelism-8e34d007cab376b5.rmeta: crates/bench/src/bin/fig18_parallelism.rs Cargo.toml
+
+crates/bench/src/bin/fig18_parallelism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_parallelism-b1ce6c052d437c11.d: crates/bench/src/bin/fig18_parallelism.rs
+
+/root/repo/target/debug/deps/fig18_parallelism-b1ce6c052d437c11: crates/bench/src/bin/fig18_parallelism.rs
+
+crates/bench/src/bin/fig18_parallelism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_units_sweep-5a357a92a7557efb.d: crates/bench/src/bin/fig19_units_sweep.rs
+
+/root/repo/target/debug/deps/fig19_units_sweep-5a357a92a7557efb: crates/bench/src/bin/fig19_units_sweep.rs
+
+crates/bench/src/bin/fig19_units_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19_units_sweep-9f4f98890d302717.d: crates/bench/src/bin/fig19_units_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19_units_sweep-9f4f98890d302717.rmeta: crates/bench/src/bin/fig19_units_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig19_units_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19_units_sweep-c4e685862bce9fef.d: crates/bench/src/bin/fig19_units_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19_units_sweep-c4e685862bce9fef.rmeta: crates/bench/src/bin/fig19_units_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig19_units_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

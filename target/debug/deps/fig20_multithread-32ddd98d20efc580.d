@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20_multithread-32ddd98d20efc580.d: crates/bench/src/bin/fig20_multithread.rs
+
+/root/repo/target/debug/deps/fig20_multithread-32ddd98d20efc580: crates/bench/src/bin/fig20_multithread.rs
+
+crates/bench/src/bin/fig20_multithread.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig20_multithread-64dcdac2978a9fae.d: crates/bench/src/bin/fig20_multithread.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig20_multithread-64dcdac2978a9fae.rmeta: crates/bench/src/bin/fig20_multithread.rs Cargo.toml
+
+crates/bench/src/bin/fig20_multithread.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kv_stores-4fec688ff6dcbd6d.d: crates/bench/benches/kv_stores.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkv_stores-4fec688ff6dcbd6d.rmeta: crates/bench/benches/kv_stores.rs Cargo.toml
+
+crates/bench/benches/kv_stores.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nearpm-385ec8cae5035268.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnearpm-385ec8cae5035268.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnearpm-385ec8cae5035268.rmeta: src/lib.rs
+
+src/lib.rs:

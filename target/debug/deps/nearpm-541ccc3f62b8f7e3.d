@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nearpm-541ccc3f62b8f7e3.d: src/lib.rs
+
+/root/repo/target/debug/deps/nearpm-541ccc3f62b8f7e3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nearpm-7c5be4a340c7cbca.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnearpm-7c5be4a340c7cbca.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nearpm-985dc1f50184dff1.d: src/lib.rs
+
+/root/repo/target/debug/deps/nearpm-985dc1f50184dff1: src/lib.rs
+
+src/lib.rs:

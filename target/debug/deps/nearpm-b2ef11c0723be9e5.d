@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nearpm-b2ef11c0723be9e5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnearpm-b2ef11c0723be9e5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnearpm-b2ef11c0723be9e5.rmeta: src/lib.rs
+
+src/lib.rs:

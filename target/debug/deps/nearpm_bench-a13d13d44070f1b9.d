@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/nearpm_bench-a13d13d44070f1b9.d: crates/bench/src/lib.rs crates/bench/src/synthetic.rs
+
+/root/repo/target/debug/deps/nearpm_bench-a13d13d44070f1b9: crates/bench/src/lib.rs crates/bench/src/synthetic.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/synthetic.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nearpm_bench-b79c45ba3fe3abe7.d: crates/bench/src/lib.rs crates/bench/src/synthetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnearpm_bench-b79c45ba3fe3abe7.rmeta: crates/bench/src/lib.rs crates/bench/src/synthetic.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/synthetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nearpm_bench-e32d4e8a58fded0c.d: crates/bench/src/lib.rs crates/bench/src/synthetic.rs
+
+/root/repo/target/debug/deps/libnearpm_bench-e32d4e8a58fded0c.rlib: crates/bench/src/lib.rs crates/bench/src/synthetic.rs
+
+/root/repo/target/debug/deps/libnearpm_bench-e32d4e8a58fded0c.rmeta: crates/bench/src/lib.rs crates/bench/src/synthetic.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/synthetic.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nearpm_cc-0846bff46c45d848.d: crates/cc/src/lib.rs crates/cc/src/arena.rs crates/cc/src/logging.rs crates/cc/src/pages.rs
+
+/root/repo/target/debug/deps/libnearpm_cc-0846bff46c45d848.rlib: crates/cc/src/lib.rs crates/cc/src/arena.rs crates/cc/src/logging.rs crates/cc/src/pages.rs
+
+/root/repo/target/debug/deps/libnearpm_cc-0846bff46c45d848.rmeta: crates/cc/src/lib.rs crates/cc/src/arena.rs crates/cc/src/logging.rs crates/cc/src/pages.rs
+
+crates/cc/src/lib.rs:
+crates/cc/src/arena.rs:
+crates/cc/src/logging.rs:
+crates/cc/src/pages.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nearpm_cc-3eb1d9b02096e47a.d: crates/cc/src/lib.rs crates/cc/src/arena.rs crates/cc/src/logging.rs crates/cc/src/pages.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnearpm_cc-3eb1d9b02096e47a.rmeta: crates/cc/src/lib.rs crates/cc/src/arena.rs crates/cc/src/logging.rs crates/cc/src/pages.rs Cargo.toml
+
+crates/cc/src/lib.rs:
+crates/cc/src/arena.rs:
+crates/cc/src/logging.rs:
+crates/cc/src/pages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nearpm_cc-b2fa953cb6e2772b.d: crates/cc/src/lib.rs crates/cc/src/arena.rs crates/cc/src/logging.rs crates/cc/src/pages.rs
+
+/root/repo/target/debug/deps/nearpm_cc-b2fa953cb6e2772b: crates/cc/src/lib.rs crates/cc/src/arena.rs crates/cc/src/logging.rs crates/cc/src/pages.rs
+
+crates/cc/src/lib.rs:
+crates/cc/src/arena.rs:
+crates/cc/src/logging.rs:
+crates/cc/src/pages.rs:

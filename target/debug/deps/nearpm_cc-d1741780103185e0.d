@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nearpm_cc-d1741780103185e0.d: crates/cc/src/lib.rs crates/cc/src/arena.rs crates/cc/src/logging.rs crates/cc/src/pages.rs
+
+/root/repo/target/debug/deps/libnearpm_cc-d1741780103185e0.rlib: crates/cc/src/lib.rs crates/cc/src/arena.rs crates/cc/src/logging.rs crates/cc/src/pages.rs
+
+/root/repo/target/debug/deps/libnearpm_cc-d1741780103185e0.rmeta: crates/cc/src/lib.rs crates/cc/src/arena.rs crates/cc/src/logging.rs crates/cc/src/pages.rs
+
+crates/cc/src/lib.rs:
+crates/cc/src/arena.rs:
+crates/cc/src/logging.rs:
+crates/cc/src/pages.rs:

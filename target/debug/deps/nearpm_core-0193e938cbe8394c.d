@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nearpm_core-0193e938cbe8394c.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/system.rs crates/core/src/trace.rs
+
+/root/repo/target/debug/deps/nearpm_core-0193e938cbe8394c: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/system.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/system.rs:
+crates/core/src/trace.rs:

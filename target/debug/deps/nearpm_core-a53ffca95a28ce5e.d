@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nearpm_core-a53ffca95a28ce5e.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/system.rs crates/core/src/trace.rs
+
+/root/repo/target/debug/deps/libnearpm_core-a53ffca95a28ce5e.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/system.rs crates/core/src/trace.rs
+
+/root/repo/target/debug/deps/libnearpm_core-a53ffca95a28ce5e.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/system.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/system.rs:
+crates/core/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nearpm_core-aa51179b35892db4.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/system.rs crates/core/src/trace.rs
+
+/root/repo/target/debug/deps/nearpm_core-aa51179b35892db4: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/system.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/system.rs:
+crates/core/src/trace.rs:

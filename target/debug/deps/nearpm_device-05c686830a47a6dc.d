@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nearpm_device-05c686830a47a6dc.d: crates/device/src/lib.rs crates/device/src/address_map.rs crates/device/src/device.rs crates/device/src/fifo.rs crates/device/src/inflight.rs crates/device/src/metadata.rs crates/device/src/request.rs crates/device/src/unit.rs
+
+/root/repo/target/debug/deps/libnearpm_device-05c686830a47a6dc.rlib: crates/device/src/lib.rs crates/device/src/address_map.rs crates/device/src/device.rs crates/device/src/fifo.rs crates/device/src/inflight.rs crates/device/src/metadata.rs crates/device/src/request.rs crates/device/src/unit.rs
+
+/root/repo/target/debug/deps/libnearpm_device-05c686830a47a6dc.rmeta: crates/device/src/lib.rs crates/device/src/address_map.rs crates/device/src/device.rs crates/device/src/fifo.rs crates/device/src/inflight.rs crates/device/src/metadata.rs crates/device/src/request.rs crates/device/src/unit.rs
+
+crates/device/src/lib.rs:
+crates/device/src/address_map.rs:
+crates/device/src/device.rs:
+crates/device/src/fifo.rs:
+crates/device/src/inflight.rs:
+crates/device/src/metadata.rs:
+crates/device/src/request.rs:
+crates/device/src/unit.rs:

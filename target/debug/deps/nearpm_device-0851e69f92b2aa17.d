@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nearpm_device-0851e69f92b2aa17.d: crates/device/src/lib.rs crates/device/src/address_map.rs crates/device/src/device.rs crates/device/src/fifo.rs crates/device/src/inflight.rs crates/device/src/metadata.rs crates/device/src/request.rs crates/device/src/unit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnearpm_device-0851e69f92b2aa17.rmeta: crates/device/src/lib.rs crates/device/src/address_map.rs crates/device/src/device.rs crates/device/src/fifo.rs crates/device/src/inflight.rs crates/device/src/metadata.rs crates/device/src/request.rs crates/device/src/unit.rs Cargo.toml
+
+crates/device/src/lib.rs:
+crates/device/src/address_map.rs:
+crates/device/src/device.rs:
+crates/device/src/fifo.rs:
+crates/device/src/inflight.rs:
+crates/device/src/metadata.rs:
+crates/device/src/request.rs:
+crates/device/src/unit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nearpm_device-baa515bbfb5f4d1b.d: crates/device/src/lib.rs crates/device/src/address_map.rs crates/device/src/device.rs crates/device/src/fifo.rs crates/device/src/inflight.rs crates/device/src/metadata.rs crates/device/src/request.rs crates/device/src/unit.rs
+
+/root/repo/target/debug/deps/nearpm_device-baa515bbfb5f4d1b: crates/device/src/lib.rs crates/device/src/address_map.rs crates/device/src/device.rs crates/device/src/fifo.rs crates/device/src/inflight.rs crates/device/src/metadata.rs crates/device/src/request.rs crates/device/src/unit.rs
+
+crates/device/src/lib.rs:
+crates/device/src/address_map.rs:
+crates/device/src/device.rs:
+crates/device/src/fifo.rs:
+crates/device/src/inflight.rs:
+crates/device/src/metadata.rs:
+crates/device/src/request.rs:
+crates/device/src/unit.rs:

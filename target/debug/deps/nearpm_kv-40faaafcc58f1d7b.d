@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nearpm_kv-40faaafcc58f1d7b.d: crates/kv/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnearpm_kv-40faaafcc58f1d7b.rmeta: crates/kv/src/lib.rs Cargo.toml
+
+crates/kv/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

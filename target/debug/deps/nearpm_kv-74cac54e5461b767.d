@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nearpm_kv-74cac54e5461b767.d: crates/kv/src/lib.rs
+
+/root/repo/target/debug/deps/libnearpm_kv-74cac54e5461b767.rlib: crates/kv/src/lib.rs
+
+/root/repo/target/debug/deps/libnearpm_kv-74cac54e5461b767.rmeta: crates/kv/src/lib.rs
+
+crates/kv/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nearpm_kv-78aa31a908b317a5.d: crates/kv/src/lib.rs
+
+/root/repo/target/debug/deps/nearpm_kv-78aa31a908b317a5: crates/kv/src/lib.rs
+
+crates/kv/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nearpm_kv-942d522592370715.d: crates/kv/src/lib.rs
+
+/root/repo/target/debug/deps/libnearpm_kv-942d522592370715.rlib: crates/kv/src/lib.rs
+
+/root/repo/target/debug/deps/libnearpm_kv-942d522592370715.rmeta: crates/kv/src/lib.rs
+
+crates/kv/src/lib.rs:

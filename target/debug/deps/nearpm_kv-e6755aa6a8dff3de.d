@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nearpm_kv-e6755aa6a8dff3de.d: crates/kv/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnearpm_kv-e6755aa6a8dff3de.rmeta: crates/kv/src/lib.rs Cargo.toml
+
+crates/kv/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

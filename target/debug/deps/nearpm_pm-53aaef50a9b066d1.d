@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nearpm_pm-53aaef50a9b066d1.d: crates/pm/src/lib.rs crates/pm/src/addr.rs crates/pm/src/alloc.rs crates/pm/src/cache.rs crates/pm/src/interleave.rs crates/pm/src/media.rs crates/pm/src/pool.rs crates/pm/src/space.rs
+
+/root/repo/target/debug/deps/libnearpm_pm-53aaef50a9b066d1.rlib: crates/pm/src/lib.rs crates/pm/src/addr.rs crates/pm/src/alloc.rs crates/pm/src/cache.rs crates/pm/src/interleave.rs crates/pm/src/media.rs crates/pm/src/pool.rs crates/pm/src/space.rs
+
+/root/repo/target/debug/deps/libnearpm_pm-53aaef50a9b066d1.rmeta: crates/pm/src/lib.rs crates/pm/src/addr.rs crates/pm/src/alloc.rs crates/pm/src/cache.rs crates/pm/src/interleave.rs crates/pm/src/media.rs crates/pm/src/pool.rs crates/pm/src/space.rs
+
+crates/pm/src/lib.rs:
+crates/pm/src/addr.rs:
+crates/pm/src/alloc.rs:
+crates/pm/src/cache.rs:
+crates/pm/src/interleave.rs:
+crates/pm/src/media.rs:
+crates/pm/src/pool.rs:
+crates/pm/src/space.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nearpm_pm-a5bebff3a0c6ef1f.d: crates/pm/src/lib.rs crates/pm/src/addr.rs crates/pm/src/alloc.rs crates/pm/src/cache.rs crates/pm/src/interleave.rs crates/pm/src/media.rs crates/pm/src/pool.rs crates/pm/src/space.rs
+
+/root/repo/target/debug/deps/nearpm_pm-a5bebff3a0c6ef1f: crates/pm/src/lib.rs crates/pm/src/addr.rs crates/pm/src/alloc.rs crates/pm/src/cache.rs crates/pm/src/interleave.rs crates/pm/src/media.rs crates/pm/src/pool.rs crates/pm/src/space.rs
+
+crates/pm/src/lib.rs:
+crates/pm/src/addr.rs:
+crates/pm/src/alloc.rs:
+crates/pm/src/cache.rs:
+crates/pm/src/interleave.rs:
+crates/pm/src/media.rs:
+crates/pm/src/pool.rs:
+crates/pm/src/space.rs:

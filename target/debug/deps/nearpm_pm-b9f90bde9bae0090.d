@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nearpm_pm-b9f90bde9bae0090.d: crates/pm/src/lib.rs crates/pm/src/addr.rs crates/pm/src/alloc.rs crates/pm/src/cache.rs crates/pm/src/interleave.rs crates/pm/src/media.rs crates/pm/src/pool.rs crates/pm/src/space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnearpm_pm-b9f90bde9bae0090.rmeta: crates/pm/src/lib.rs crates/pm/src/addr.rs crates/pm/src/alloc.rs crates/pm/src/cache.rs crates/pm/src/interleave.rs crates/pm/src/media.rs crates/pm/src/pool.rs crates/pm/src/space.rs Cargo.toml
+
+crates/pm/src/lib.rs:
+crates/pm/src/addr.rs:
+crates/pm/src/alloc.rs:
+crates/pm/src/cache.rs:
+crates/pm/src/interleave.rs:
+crates/pm/src/media.rs:
+crates/pm/src/pool.rs:
+crates/pm/src/space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nearpm_pmdk-13be91a9001605b4.d: crates/pmdk/src/lib.rs
+
+/root/repo/target/debug/deps/libnearpm_pmdk-13be91a9001605b4.rlib: crates/pmdk/src/lib.rs
+
+/root/repo/target/debug/deps/libnearpm_pmdk-13be91a9001605b4.rmeta: crates/pmdk/src/lib.rs
+
+crates/pmdk/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nearpm_pmdk-6d75eafa8c7e6cdf.d: crates/pmdk/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnearpm_pmdk-6d75eafa8c7e6cdf.rmeta: crates/pmdk/src/lib.rs Cargo.toml
+
+crates/pmdk/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

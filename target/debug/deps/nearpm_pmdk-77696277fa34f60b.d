@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nearpm_pmdk-77696277fa34f60b.d: crates/pmdk/src/lib.rs
+
+/root/repo/target/debug/deps/nearpm_pmdk-77696277fa34f60b: crates/pmdk/src/lib.rs
+
+crates/pmdk/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nearpm_pmdk-f1976794f6f4f998.d: crates/pmdk/src/lib.rs
+
+/root/repo/target/debug/deps/libnearpm_pmdk-f1976794f6f4f998.rlib: crates/pmdk/src/lib.rs
+
+/root/repo/target/debug/deps/libnearpm_pmdk-f1976794f6f4f998.rmeta: crates/pmdk/src/lib.rs
+
+crates/pmdk/src/lib.rs:

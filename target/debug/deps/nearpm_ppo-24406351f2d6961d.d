@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nearpm_ppo-24406351f2d6961d.d: crates/ppo/src/lib.rs crates/ppo/src/event.rs crates/ppo/src/index.rs crates/ppo/src/invariants.rs crates/ppo/src/statemachine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnearpm_ppo-24406351f2d6961d.rmeta: crates/ppo/src/lib.rs crates/ppo/src/event.rs crates/ppo/src/index.rs crates/ppo/src/invariants.rs crates/ppo/src/statemachine.rs Cargo.toml
+
+crates/ppo/src/lib.rs:
+crates/ppo/src/event.rs:
+crates/ppo/src/index.rs:
+crates/ppo/src/invariants.rs:
+crates/ppo/src/statemachine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nearpm_ppo-8a498a9bf07b9210.d: crates/ppo/src/lib.rs crates/ppo/src/differential.rs crates/ppo/src/event.rs crates/ppo/src/index.rs crates/ppo/src/invariants.rs crates/ppo/src/statemachine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnearpm_ppo-8a498a9bf07b9210.rmeta: crates/ppo/src/lib.rs crates/ppo/src/differential.rs crates/ppo/src/event.rs crates/ppo/src/index.rs crates/ppo/src/invariants.rs crates/ppo/src/statemachine.rs Cargo.toml
+
+crates/ppo/src/lib.rs:
+crates/ppo/src/differential.rs:
+crates/ppo/src/event.rs:
+crates/ppo/src/index.rs:
+crates/ppo/src/invariants.rs:
+crates/ppo/src/statemachine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nearpm_ppo-917a064b91655ac7.d: crates/ppo/src/lib.rs crates/ppo/src/event.rs crates/ppo/src/index.rs crates/ppo/src/invariants.rs crates/ppo/src/statemachine.rs
+
+/root/repo/target/debug/deps/libnearpm_ppo-917a064b91655ac7.rlib: crates/ppo/src/lib.rs crates/ppo/src/event.rs crates/ppo/src/index.rs crates/ppo/src/invariants.rs crates/ppo/src/statemachine.rs
+
+/root/repo/target/debug/deps/libnearpm_ppo-917a064b91655ac7.rmeta: crates/ppo/src/lib.rs crates/ppo/src/event.rs crates/ppo/src/index.rs crates/ppo/src/invariants.rs crates/ppo/src/statemachine.rs
+
+crates/ppo/src/lib.rs:
+crates/ppo/src/event.rs:
+crates/ppo/src/index.rs:
+crates/ppo/src/invariants.rs:
+crates/ppo/src/statemachine.rs:

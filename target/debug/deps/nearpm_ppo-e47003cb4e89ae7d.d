@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nearpm_ppo-e47003cb4e89ae7d.d: crates/ppo/src/lib.rs crates/ppo/src/event.rs crates/ppo/src/index.rs crates/ppo/src/invariants.rs crates/ppo/src/statemachine.rs
+
+/root/repo/target/debug/deps/libnearpm_ppo-e47003cb4e89ae7d.rlib: crates/ppo/src/lib.rs crates/ppo/src/event.rs crates/ppo/src/index.rs crates/ppo/src/invariants.rs crates/ppo/src/statemachine.rs
+
+/root/repo/target/debug/deps/libnearpm_ppo-e47003cb4e89ae7d.rmeta: crates/ppo/src/lib.rs crates/ppo/src/event.rs crates/ppo/src/index.rs crates/ppo/src/invariants.rs crates/ppo/src/statemachine.rs
+
+crates/ppo/src/lib.rs:
+crates/ppo/src/event.rs:
+crates/ppo/src/index.rs:
+crates/ppo/src/invariants.rs:
+crates/ppo/src/statemachine.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nearpm_ppo-f72fde3a8866ec58.d: crates/ppo/src/lib.rs crates/ppo/src/differential.rs crates/ppo/src/event.rs crates/ppo/src/index.rs crates/ppo/src/invariants.rs crates/ppo/src/statemachine.rs
+
+/root/repo/target/debug/deps/nearpm_ppo-f72fde3a8866ec58: crates/ppo/src/lib.rs crates/ppo/src/differential.rs crates/ppo/src/event.rs crates/ppo/src/index.rs crates/ppo/src/invariants.rs crates/ppo/src/statemachine.rs
+
+crates/ppo/src/lib.rs:
+crates/ppo/src/differential.rs:
+crates/ppo/src/event.rs:
+crates/ppo/src/index.rs:
+crates/ppo/src/invariants.rs:
+crates/ppo/src/statemachine.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nearpm_sim-1eb3709aeea9639b.d: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/resource.rs crates/sim/src/schedule.rs crates/sim/src/stats.rs crates/sim/src/task.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnearpm_sim-1eb3709aeea9639b.rmeta: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/resource.rs crates/sim/src/schedule.rs crates/sim/src/stats.rs crates/sim/src/task.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/latency.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/schedule.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/task.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

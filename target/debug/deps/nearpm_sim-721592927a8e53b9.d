@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nearpm_sim-721592927a8e53b9.d: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/resource.rs crates/sim/src/schedule.rs crates/sim/src/stats.rs crates/sim/src/task.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libnearpm_sim-721592927a8e53b9.rlib: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/resource.rs crates/sim/src/schedule.rs crates/sim/src/stats.rs crates/sim/src/task.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libnearpm_sim-721592927a8e53b9.rmeta: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/resource.rs crates/sim/src/schedule.rs crates/sim/src/stats.rs crates/sim/src/task.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/latency.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/schedule.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/task.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nearpm_sim-cb39ffbdece8392e.d: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/resource.rs crates/sim/src/schedule.rs crates/sim/src/stats.rs crates/sim/src/task.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/nearpm_sim-cb39ffbdece8392e: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/resource.rs crates/sim/src/schedule.rs crates/sim/src/stats.rs crates/sim/src/task.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/latency.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/schedule.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/task.rs:
+crates/sim/src/time.rs:

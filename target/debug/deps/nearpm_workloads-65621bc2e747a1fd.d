@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nearpm_workloads-65621bc2e747a1fd.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnearpm_workloads-65621bc2e747a1fd.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/runner.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

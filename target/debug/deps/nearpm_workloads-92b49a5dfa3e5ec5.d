@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nearpm_workloads-92b49a5dfa3e5ec5.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnearpm_workloads-92b49a5dfa3e5ec5.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/runner.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

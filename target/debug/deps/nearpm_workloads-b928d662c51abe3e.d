@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nearpm_workloads-b928d662c51abe3e.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/runner.rs
+
+/root/repo/target/debug/deps/libnearpm_workloads-b928d662c51abe3e.rlib: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/runner.rs
+
+/root/repo/target/debug/deps/libnearpm_workloads-b928d662c51abe3e.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/runner.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nearpm_workloads-c826a204ff7613e4.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/runner.rs
+
+/root/repo/target/debug/deps/nearpm_workloads-c826a204ff7613e4: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/runner.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/runner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nearpm_workloads-ee99f294bfad457f.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/runner.rs
+
+/root/repo/target/debug/deps/libnearpm_workloads-ee99f294bfad457f.rlib: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/runner.rs
+
+/root/repo/target/debug/deps/libnearpm_workloads-ee99f294bfad457f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/runner.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/runner.rs:

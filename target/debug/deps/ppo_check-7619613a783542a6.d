@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ppo_check-7619613a783542a6.d: crates/bench/benches/ppo_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libppo_check-7619613a783542a6.rmeta: crates/bench/benches/ppo_check.rs Cargo.toml
+
+crates/bench/benches/ppo_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

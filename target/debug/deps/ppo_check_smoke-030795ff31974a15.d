@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ppo_check_smoke-030795ff31974a15.d: crates/bench/src/bin/ppo_check_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libppo_check_smoke-030795ff31974a15.rmeta: crates/bench/src/bin/ppo_check_smoke.rs Cargo.toml
+
+crates/bench/src/bin/ppo_check_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

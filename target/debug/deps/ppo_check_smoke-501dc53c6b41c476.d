@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ppo_check_smoke-501dc53c6b41c476.d: crates/bench/src/bin/ppo_check_smoke.rs
+
+/root/repo/target/debug/deps/ppo_check_smoke-501dc53c6b41c476: crates/bench/src/bin/ppo_check_smoke.rs
+
+crates/bench/src/bin/ppo_check_smoke.rs:

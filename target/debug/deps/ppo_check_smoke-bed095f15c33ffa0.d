@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ppo_check_smoke-bed095f15c33ffa0.d: crates/bench/src/bin/ppo_check_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libppo_check_smoke-bed095f15c33ffa0.rmeta: crates/bench/src/bin/ppo_check_smoke.rs Cargo.toml
+
+crates/bench/src/bin/ppo_check_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ppo_properties-28c4881469ee853a.d: tests/ppo_properties.rs
+
+/root/repo/target/debug/deps/ppo_properties-28c4881469ee853a: tests/ppo_properties.rs
+
+tests/ppo_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ppo_properties-7756754bd5567817.d: tests/ppo_properties.rs
+
+/root/repo/target/debug/deps/ppo_properties-7756754bd5567817: tests/ppo_properties.rs
+
+tests/ppo_properties.rs:

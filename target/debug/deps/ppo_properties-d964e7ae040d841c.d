@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ppo_properties-d964e7ae040d841c.d: tests/ppo_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libppo_properties-d964e7ae040d841c.rmeta: tests/ppo_properties.rs Cargo.toml
+
+tests/ppo_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-eb4106ad5d87ae69.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-eb4106ad5d87ae69: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

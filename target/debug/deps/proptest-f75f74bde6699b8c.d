@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-f75f74bde6699b8c.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f75f74bde6699b8c.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f75f74bde6699b8c.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_integration-34194c4476ec5a61.d: tests/system_integration.rs
+
+/root/repo/target/debug/deps/system_integration-34194c4476ec5a61: tests/system_integration.rs
+
+tests/system_integration.rs:

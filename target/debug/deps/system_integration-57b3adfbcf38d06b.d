@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/system_integration-57b3adfbcf38d06b.d: tests/system_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsystem_integration-57b3adfbcf38d06b.rmeta: tests/system_integration.rs Cargo.toml
+
+tests/system_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_integration-dc5a8a94a55721d9.d: tests/system_integration.rs
+
+/root/repo/target/debug/deps/system_integration-dc5a8a94a55721d9: tests/system_integration.rs
+
+tests/system_integration.rs:

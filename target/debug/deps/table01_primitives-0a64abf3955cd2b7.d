@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table01_primitives-0a64abf3955cd2b7.d: crates/bench/src/bin/table01_primitives.rs
+
+/root/repo/target/debug/deps/table01_primitives-0a64abf3955cd2b7: crates/bench/src/bin/table01_primitives.rs
+
+crates/bench/src/bin/table01_primitives.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table01_primitives-bed309d4a2bd6180.d: crates/bench/src/bin/table01_primitives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable01_primitives-bed309d4a2bd6180.rmeta: crates/bench/src/bin/table01_primitives.rs Cargo.toml
+
+crates/bench/src/bin/table01_primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table01_primitives-cd0140d056fe7eac.d: crates/bench/src/bin/table01_primitives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable01_primitives-cd0140d056fe7eac.rmeta: crates/bench/src/bin/table01_primitives.rs Cargo.toml
+
+crates/bench/src/bin/table01_primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

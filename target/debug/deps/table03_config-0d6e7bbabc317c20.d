@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table03_config-0d6e7bbabc317c20.d: crates/bench/src/bin/table03_config.rs
+
+/root/repo/target/debug/deps/table03_config-0d6e7bbabc317c20: crates/bench/src/bin/table03_config.rs
+
+crates/bench/src/bin/table03_config.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table03_config-6028786b3d935ed2.d: crates/bench/src/bin/table03_config.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable03_config-6028786b3d935ed2.rmeta: crates/bench/src/bin/table03_config.rs Cargo.toml
+
+crates/bench/src/bin/table03_config.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transactions-b1bbda6736d1450b.d: crates/bench/benches/transactions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransactions-b1bbda6736d1450b.rmeta: crates/bench/benches/transactions.rs Cargo.toml
+
+crates/bench/benches/transactions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-0dfae28995c47aff.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/crash_recovery-0dfae28995c47aff: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-813a04f1ea9993e6.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/crash_recovery-813a04f1ea9993e6: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/evaluate_modes-576e8ca931abd4a7.d: examples/evaluate_modes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libevaluate_modes-576e8ca931abd4a7.rmeta: examples/evaluate_modes.rs Cargo.toml
+
+examples/evaluate_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/evaluate_modes-784dabaace32a559.d: examples/evaluate_modes.rs
+
+/root/repo/target/debug/examples/evaluate_modes-784dabaace32a559: examples/evaluate_modes.rs
+
+examples/evaluate_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/evaluate_modes-b471464e2c318ae4.d: examples/evaluate_modes.rs
+
+/root/repo/target/debug/examples/evaluate_modes-b471464e2c318ae4: examples/evaluate_modes.rs
+
+examples/evaluate_modes.rs:

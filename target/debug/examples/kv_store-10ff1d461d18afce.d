@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kv_store-10ff1d461d18afce.d: examples/kv_store.rs
+
+/root/repo/target/debug/examples/kv_store-10ff1d461d18afce: examples/kv_store.rs
+
+examples/kv_store.rs:

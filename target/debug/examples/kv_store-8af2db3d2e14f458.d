@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kv_store-8af2db3d2e14f458.d: examples/kv_store.rs
+
+/root/repo/target/debug/examples/kv_store-8af2db3d2e14f458: examples/kv_store.rs
+
+examples/kv_store.rs:

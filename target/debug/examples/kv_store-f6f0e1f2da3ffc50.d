@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/kv_store-f6f0e1f2da3ffc50.d: examples/kv_store.rs Cargo.toml
+
+/root/repo/target/debug/examples/libkv_store-f6f0e1f2da3ffc50.rmeta: examples/kv_store.rs Cargo.toml
+
+examples/kv_store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

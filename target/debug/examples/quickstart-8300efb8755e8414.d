@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8300efb8755e8414.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8300efb8755e8414: examples/quickstart.rs
+
+examples/quickstart.rs:

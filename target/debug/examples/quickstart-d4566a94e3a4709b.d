@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d4566a94e3a4709b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d4566a94e3a4709b: examples/quickstart.rs
+
+examples/quickstart.rs:

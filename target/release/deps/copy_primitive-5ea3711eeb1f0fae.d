@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/copy_primitive-5ea3711eeb1f0fae.d: crates/bench/benches/copy_primitive.rs
+
+/root/repo/target/release/deps/copy_primitive-5ea3711eeb1f0fae: crates/bench/benches/copy_primitive.rs
+
+crates/bench/benches/copy_primitive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-f4d99eb18d6fe7c6.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-f4d99eb18d6fe7c6: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

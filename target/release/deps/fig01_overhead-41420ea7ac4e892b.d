@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_overhead-41420ea7ac4e892b.d: crates/bench/src/bin/fig01_overhead.rs
+
+/root/repo/target/release/deps/fig01_overhead-41420ea7ac4e892b: crates/bench/src/bin/fig01_overhead.rs
+
+crates/bench/src/bin/fig01_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_overhead-43b585c611cfdfc5.d: crates/bench/src/bin/fig01_overhead.rs
+
+/root/repo/target/release/deps/fig01_overhead-43b585c611cfdfc5: crates/bench/src/bin/fig01_overhead.rs
+
+crates/bench/src/bin/fig01_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_cc_speedup-0f1c8171066f9ff2.d: crates/bench/src/bin/fig15_cc_speedup.rs
+
+/root/repo/target/release/deps/fig15_cc_speedup-0f1c8171066f9ff2: crates/bench/src/bin/fig15_cc_speedup.rs
+
+crates/bench/src/bin/fig15_cc_speedup.rs:

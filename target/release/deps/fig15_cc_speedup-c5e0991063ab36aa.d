@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_cc_speedup-c5e0991063ab36aa.d: crates/bench/src/bin/fig15_cc_speedup.rs
+
+/root/repo/target/release/deps/fig15_cc_speedup-c5e0991063ab36aa: crates/bench/src/bin/fig15_cc_speedup.rs
+
+crates/bench/src/bin/fig15_cc_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_end_to_end-7ee35e7084ab46bf.d: crates/bench/src/bin/fig16_end_to_end.rs
+
+/root/repo/target/release/deps/fig16_end_to_end-7ee35e7084ab46bf: crates/bench/src/bin/fig16_end_to_end.rs
+
+crates/bench/src/bin/fig16_end_to_end.rs:

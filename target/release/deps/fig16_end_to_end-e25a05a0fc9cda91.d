@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_end_to_end-e25a05a0fc9cda91.d: crates/bench/src/bin/fig16_end_to_end.rs
+
+/root/repo/target/release/deps/fig16_end_to_end-e25a05a0fc9cda91: crates/bench/src/bin/fig16_end_to_end.rs
+
+crates/bench/src/bin/fig16_end_to_end.rs:

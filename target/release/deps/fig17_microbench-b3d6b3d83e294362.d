@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_microbench-b3d6b3d83e294362.d: crates/bench/src/bin/fig17_microbench.rs
+
+/root/repo/target/release/deps/fig17_microbench-b3d6b3d83e294362: crates/bench/src/bin/fig17_microbench.rs
+
+crates/bench/src/bin/fig17_microbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_microbench-f65ef9200612f93b.d: crates/bench/src/bin/fig17_microbench.rs
+
+/root/repo/target/release/deps/fig17_microbench-f65ef9200612f93b: crates/bench/src/bin/fig17_microbench.rs
+
+crates/bench/src/bin/fig17_microbench.rs:

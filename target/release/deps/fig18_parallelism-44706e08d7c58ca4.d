@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_parallelism-44706e08d7c58ca4.d: crates/bench/src/bin/fig18_parallelism.rs
+
+/root/repo/target/release/deps/fig18_parallelism-44706e08d7c58ca4: crates/bench/src/bin/fig18_parallelism.rs
+
+crates/bench/src/bin/fig18_parallelism.rs:

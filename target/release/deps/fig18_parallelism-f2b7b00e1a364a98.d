@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_parallelism-f2b7b00e1a364a98.d: crates/bench/src/bin/fig18_parallelism.rs
+
+/root/repo/target/release/deps/fig18_parallelism-f2b7b00e1a364a98: crates/bench/src/bin/fig18_parallelism.rs
+
+crates/bench/src/bin/fig18_parallelism.rs:

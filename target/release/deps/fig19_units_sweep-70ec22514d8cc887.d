@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19_units_sweep-70ec22514d8cc887.d: crates/bench/src/bin/fig19_units_sweep.rs
+
+/root/repo/target/release/deps/fig19_units_sweep-70ec22514d8cc887: crates/bench/src/bin/fig19_units_sweep.rs
+
+crates/bench/src/bin/fig19_units_sweep.rs:

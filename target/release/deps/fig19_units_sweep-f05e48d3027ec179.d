@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19_units_sweep-f05e48d3027ec179.d: crates/bench/src/bin/fig19_units_sweep.rs
+
+/root/repo/target/release/deps/fig19_units_sweep-f05e48d3027ec179: crates/bench/src/bin/fig19_units_sweep.rs
+
+crates/bench/src/bin/fig19_units_sweep.rs:

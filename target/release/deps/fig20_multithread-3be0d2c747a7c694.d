@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20_multithread-3be0d2c747a7c694.d: crates/bench/src/bin/fig20_multithread.rs
+
+/root/repo/target/release/deps/fig20_multithread-3be0d2c747a7c694: crates/bench/src/bin/fig20_multithread.rs
+
+crates/bench/src/bin/fig20_multithread.rs:

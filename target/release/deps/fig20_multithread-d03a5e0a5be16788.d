@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20_multithread-d03a5e0a5be16788.d: crates/bench/src/bin/fig20_multithread.rs
+
+/root/repo/target/release/deps/fig20_multithread-d03a5e0a5be16788: crates/bench/src/bin/fig20_multithread.rs
+
+crates/bench/src/bin/fig20_multithread.rs:

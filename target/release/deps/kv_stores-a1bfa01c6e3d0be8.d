@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kv_stores-a1bfa01c6e3d0be8.d: crates/bench/benches/kv_stores.rs
+
+/root/repo/target/release/deps/kv_stores-a1bfa01c6e3d0be8: crates/bench/benches/kv_stores.rs
+
+crates/bench/benches/kv_stores.rs:

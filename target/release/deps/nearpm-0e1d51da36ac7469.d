@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nearpm-0e1d51da36ac7469.d: src/lib.rs
+
+/root/repo/target/release/deps/nearpm-0e1d51da36ac7469: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nearpm-9ba1839c2c1b0498.d: src/lib.rs
+
+/root/repo/target/release/deps/libnearpm-9ba1839c2c1b0498.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnearpm-9ba1839c2c1b0498.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/nearpm_bench-6b5620aaecc2c88c.d: crates/bench/src/lib.rs crates/bench/src/synthetic.rs
+
+/root/repo/target/release/deps/nearpm_bench-6b5620aaecc2c88c: crates/bench/src/lib.rs crates/bench/src/synthetic.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/synthetic.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/nearpm_bench-d3f5e0e22f345572.d: crates/bench/src/lib.rs crates/bench/src/synthetic.rs
+
+/root/repo/target/release/deps/libnearpm_bench-d3f5e0e22f345572.rlib: crates/bench/src/lib.rs crates/bench/src/synthetic.rs
+
+/root/repo/target/release/deps/libnearpm_bench-d3f5e0e22f345572.rmeta: crates/bench/src/lib.rs crates/bench/src/synthetic.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/synthetic.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nearpm_cc-927fec21d6e38054.d: crates/cc/src/lib.rs crates/cc/src/arena.rs crates/cc/src/logging.rs crates/cc/src/pages.rs
+
+/root/repo/target/release/deps/libnearpm_cc-927fec21d6e38054.rlib: crates/cc/src/lib.rs crates/cc/src/arena.rs crates/cc/src/logging.rs crates/cc/src/pages.rs
+
+/root/repo/target/release/deps/libnearpm_cc-927fec21d6e38054.rmeta: crates/cc/src/lib.rs crates/cc/src/arena.rs crates/cc/src/logging.rs crates/cc/src/pages.rs
+
+crates/cc/src/lib.rs:
+crates/cc/src/arena.rs:
+crates/cc/src/logging.rs:
+crates/cc/src/pages.rs:

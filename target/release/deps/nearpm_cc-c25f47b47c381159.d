@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/nearpm_cc-c25f47b47c381159.d: crates/cc/src/lib.rs crates/cc/src/arena.rs crates/cc/src/logging.rs crates/cc/src/pages.rs
+
+/root/repo/target/release/deps/nearpm_cc-c25f47b47c381159: crates/cc/src/lib.rs crates/cc/src/arena.rs crates/cc/src/logging.rs crates/cc/src/pages.rs
+
+crates/cc/src/lib.rs:
+crates/cc/src/arena.rs:
+crates/cc/src/logging.rs:
+crates/cc/src/pages.rs:

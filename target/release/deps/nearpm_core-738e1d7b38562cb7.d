@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/nearpm_core-738e1d7b38562cb7.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/system.rs crates/core/src/trace.rs
+
+/root/repo/target/release/deps/libnearpm_core-738e1d7b38562cb7.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/system.rs crates/core/src/trace.rs
+
+/root/repo/target/release/deps/libnearpm_core-738e1d7b38562cb7.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/system.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/system.rs:
+crates/core/src/trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/nearpm_device-48657b6f40e5c253.d: crates/device/src/lib.rs crates/device/src/address_map.rs crates/device/src/device.rs crates/device/src/fifo.rs crates/device/src/inflight.rs crates/device/src/metadata.rs crates/device/src/request.rs crates/device/src/unit.rs
+
+/root/repo/target/release/deps/libnearpm_device-48657b6f40e5c253.rlib: crates/device/src/lib.rs crates/device/src/address_map.rs crates/device/src/device.rs crates/device/src/fifo.rs crates/device/src/inflight.rs crates/device/src/metadata.rs crates/device/src/request.rs crates/device/src/unit.rs
+
+/root/repo/target/release/deps/libnearpm_device-48657b6f40e5c253.rmeta: crates/device/src/lib.rs crates/device/src/address_map.rs crates/device/src/device.rs crates/device/src/fifo.rs crates/device/src/inflight.rs crates/device/src/metadata.rs crates/device/src/request.rs crates/device/src/unit.rs
+
+crates/device/src/lib.rs:
+crates/device/src/address_map.rs:
+crates/device/src/device.rs:
+crates/device/src/fifo.rs:
+crates/device/src/inflight.rs:
+crates/device/src/metadata.rs:
+crates/device/src/request.rs:
+crates/device/src/unit.rs:

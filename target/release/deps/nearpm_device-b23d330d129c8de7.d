@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/nearpm_device-b23d330d129c8de7.d: crates/device/src/lib.rs crates/device/src/address_map.rs crates/device/src/device.rs crates/device/src/fifo.rs crates/device/src/inflight.rs crates/device/src/metadata.rs crates/device/src/request.rs crates/device/src/unit.rs
+
+/root/repo/target/release/deps/nearpm_device-b23d330d129c8de7: crates/device/src/lib.rs crates/device/src/address_map.rs crates/device/src/device.rs crates/device/src/fifo.rs crates/device/src/inflight.rs crates/device/src/metadata.rs crates/device/src/request.rs crates/device/src/unit.rs
+
+crates/device/src/lib.rs:
+crates/device/src/address_map.rs:
+crates/device/src/device.rs:
+crates/device/src/fifo.rs:
+crates/device/src/inflight.rs:
+crates/device/src/metadata.rs:
+crates/device/src/request.rs:
+crates/device/src/unit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nearpm_kv-b6145eb102e2be0a.d: crates/kv/src/lib.rs
+
+/root/repo/target/release/deps/nearpm_kv-b6145eb102e2be0a: crates/kv/src/lib.rs
+
+crates/kv/src/lib.rs:

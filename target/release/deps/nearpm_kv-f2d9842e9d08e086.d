@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nearpm_kv-f2d9842e9d08e086.d: crates/kv/src/lib.rs
+
+/root/repo/target/release/deps/libnearpm_kv-f2d9842e9d08e086.rlib: crates/kv/src/lib.rs
+
+/root/repo/target/release/deps/libnearpm_kv-f2d9842e9d08e086.rmeta: crates/kv/src/lib.rs
+
+crates/kv/src/lib.rs:

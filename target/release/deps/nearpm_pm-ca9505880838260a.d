@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/nearpm_pm-ca9505880838260a.d: crates/pm/src/lib.rs crates/pm/src/addr.rs crates/pm/src/alloc.rs crates/pm/src/cache.rs crates/pm/src/interleave.rs crates/pm/src/media.rs crates/pm/src/pool.rs crates/pm/src/space.rs
+
+/root/repo/target/release/deps/libnearpm_pm-ca9505880838260a.rlib: crates/pm/src/lib.rs crates/pm/src/addr.rs crates/pm/src/alloc.rs crates/pm/src/cache.rs crates/pm/src/interleave.rs crates/pm/src/media.rs crates/pm/src/pool.rs crates/pm/src/space.rs
+
+/root/repo/target/release/deps/libnearpm_pm-ca9505880838260a.rmeta: crates/pm/src/lib.rs crates/pm/src/addr.rs crates/pm/src/alloc.rs crates/pm/src/cache.rs crates/pm/src/interleave.rs crates/pm/src/media.rs crates/pm/src/pool.rs crates/pm/src/space.rs
+
+crates/pm/src/lib.rs:
+crates/pm/src/addr.rs:
+crates/pm/src/alloc.rs:
+crates/pm/src/cache.rs:
+crates/pm/src/interleave.rs:
+crates/pm/src/media.rs:
+crates/pm/src/pool.rs:
+crates/pm/src/space.rs:

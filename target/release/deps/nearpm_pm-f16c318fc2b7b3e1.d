@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/nearpm_pm-f16c318fc2b7b3e1.d: crates/pm/src/lib.rs crates/pm/src/addr.rs crates/pm/src/alloc.rs crates/pm/src/cache.rs crates/pm/src/interleave.rs crates/pm/src/media.rs crates/pm/src/pool.rs crates/pm/src/space.rs
+
+/root/repo/target/release/deps/nearpm_pm-f16c318fc2b7b3e1: crates/pm/src/lib.rs crates/pm/src/addr.rs crates/pm/src/alloc.rs crates/pm/src/cache.rs crates/pm/src/interleave.rs crates/pm/src/media.rs crates/pm/src/pool.rs crates/pm/src/space.rs
+
+crates/pm/src/lib.rs:
+crates/pm/src/addr.rs:
+crates/pm/src/alloc.rs:
+crates/pm/src/cache.rs:
+crates/pm/src/interleave.rs:
+crates/pm/src/media.rs:
+crates/pm/src/pool.rs:
+crates/pm/src/space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nearpm_pmdk-1ce5f0f978f26ace.d: crates/pmdk/src/lib.rs
+
+/root/repo/target/release/deps/nearpm_pmdk-1ce5f0f978f26ace: crates/pmdk/src/lib.rs
+
+crates/pmdk/src/lib.rs:

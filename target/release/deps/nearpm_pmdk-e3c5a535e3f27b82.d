@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nearpm_pmdk-e3c5a535e3f27b82.d: crates/pmdk/src/lib.rs
+
+/root/repo/target/release/deps/libnearpm_pmdk-e3c5a535e3f27b82.rlib: crates/pmdk/src/lib.rs
+
+/root/repo/target/release/deps/libnearpm_pmdk-e3c5a535e3f27b82.rmeta: crates/pmdk/src/lib.rs
+
+crates/pmdk/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nearpm_ppo-40307cf9619f13fa.d: crates/ppo/src/lib.rs crates/ppo/src/differential.rs crates/ppo/src/event.rs crates/ppo/src/index.rs crates/ppo/src/invariants.rs crates/ppo/src/statemachine.rs
+
+/root/repo/target/release/deps/nearpm_ppo-40307cf9619f13fa: crates/ppo/src/lib.rs crates/ppo/src/differential.rs crates/ppo/src/event.rs crates/ppo/src/index.rs crates/ppo/src/invariants.rs crates/ppo/src/statemachine.rs
+
+crates/ppo/src/lib.rs:
+crates/ppo/src/differential.rs:
+crates/ppo/src/event.rs:
+crates/ppo/src/index.rs:
+crates/ppo/src/invariants.rs:
+crates/ppo/src/statemachine.rs:

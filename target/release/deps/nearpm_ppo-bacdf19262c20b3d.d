@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/nearpm_ppo-bacdf19262c20b3d.d: crates/ppo/src/lib.rs crates/ppo/src/event.rs crates/ppo/src/index.rs crates/ppo/src/invariants.rs crates/ppo/src/statemachine.rs
+
+/root/repo/target/release/deps/libnearpm_ppo-bacdf19262c20b3d.rlib: crates/ppo/src/lib.rs crates/ppo/src/event.rs crates/ppo/src/index.rs crates/ppo/src/invariants.rs crates/ppo/src/statemachine.rs
+
+/root/repo/target/release/deps/libnearpm_ppo-bacdf19262c20b3d.rmeta: crates/ppo/src/lib.rs crates/ppo/src/event.rs crates/ppo/src/index.rs crates/ppo/src/invariants.rs crates/ppo/src/statemachine.rs
+
+crates/ppo/src/lib.rs:
+crates/ppo/src/event.rs:
+crates/ppo/src/index.rs:
+crates/ppo/src/invariants.rs:
+crates/ppo/src/statemachine.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/nearpm_sim-b045103a32611935.d: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/resource.rs crates/sim/src/schedule.rs crates/sim/src/stats.rs crates/sim/src/task.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libnearpm_sim-b045103a32611935.rlib: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/resource.rs crates/sim/src/schedule.rs crates/sim/src/stats.rs crates/sim/src/task.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libnearpm_sim-b045103a32611935.rmeta: crates/sim/src/lib.rs crates/sim/src/latency.rs crates/sim/src/resource.rs crates/sim/src/schedule.rs crates/sim/src/stats.rs crates/sim/src/task.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/latency.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/schedule.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/task.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nearpm_workloads-32e4a2988d1a3f10.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/runner.rs
+
+/root/repo/target/release/deps/nearpm_workloads-32e4a2988d1a3f10: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/runner.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/runner.rs:

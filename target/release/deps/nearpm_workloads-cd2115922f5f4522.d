@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/nearpm_workloads-cd2115922f5f4522.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/runner.rs
+
+/root/repo/target/release/deps/libnearpm_workloads-cd2115922f5f4522.rlib: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/runner.rs
+
+/root/repo/target/release/deps/libnearpm_workloads-cd2115922f5f4522.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/runner.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ppo_check-c2c1d91cfcb2bc11.d: crates/bench/benches/ppo_check.rs
+
+/root/repo/target/release/deps/ppo_check-c2c1d91cfcb2bc11: crates/bench/benches/ppo_check.rs
+
+crates/bench/benches/ppo_check.rs:

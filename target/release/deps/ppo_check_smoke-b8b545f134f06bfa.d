@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ppo_check_smoke-b8b545f134f06bfa.d: crates/bench/src/bin/ppo_check_smoke.rs
+
+/root/repo/target/release/deps/ppo_check_smoke-b8b545f134f06bfa: crates/bench/src/bin/ppo_check_smoke.rs
+
+crates/bench/src/bin/ppo_check_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ppo_check_smoke-bf60f3b67f09993b.d: crates/bench/src/bin/ppo_check_smoke.rs
+
+/root/repo/target/release/deps/ppo_check_smoke-bf60f3b67f09993b: crates/bench/src/bin/ppo_check_smoke.rs
+
+crates/bench/src/bin/ppo_check_smoke.rs:

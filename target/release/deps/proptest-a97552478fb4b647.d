@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-a97552478fb4b647.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-a97552478fb4b647: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

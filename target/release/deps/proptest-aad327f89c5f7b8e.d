@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-aad327f89c5f7b8e.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-aad327f89c5f7b8e.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-aad327f89c5f7b8e.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table01_primitives-7c8651156e51c008.d: crates/bench/src/bin/table01_primitives.rs
+
+/root/repo/target/release/deps/table01_primitives-7c8651156e51c008: crates/bench/src/bin/table01_primitives.rs
+
+crates/bench/src/bin/table01_primitives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table01_primitives-cfbc8687d644ac88.d: crates/bench/src/bin/table01_primitives.rs
+
+/root/repo/target/release/deps/table01_primitives-cfbc8687d644ac88: crates/bench/src/bin/table01_primitives.rs
+
+crates/bench/src/bin/table01_primitives.rs:

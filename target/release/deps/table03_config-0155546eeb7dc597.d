@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table03_config-0155546eeb7dc597.d: crates/bench/src/bin/table03_config.rs
+
+/root/repo/target/release/deps/table03_config-0155546eeb7dc597: crates/bench/src/bin/table03_config.rs
+
+crates/bench/src/bin/table03_config.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table03_config-dac32b8a86a8c72b.d: crates/bench/src/bin/table03_config.rs
+
+/root/repo/target/release/deps/table03_config-dac32b8a86a8c72b: crates/bench/src/bin/table03_config.rs
+
+crates/bench/src/bin/table03_config.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transactions-04f0095195f977c9.d: crates/bench/benches/transactions.rs
+
+/root/repo/target/release/deps/transactions-04f0095195f977c9: crates/bench/benches/transactions.rs
+
+crates/bench/benches/transactions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/crash_recovery-b472a1a2ce5123bc.d: examples/crash_recovery.rs
+
+/root/repo/target/release/examples/crash_recovery-b472a1a2ce5123bc: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/evaluate_modes-75b922b2e28dc739.d: examples/evaluate_modes.rs
+
+/root/repo/target/release/examples/evaluate_modes-75b922b2e28dc739: examples/evaluate_modes.rs
+
+examples/evaluate_modes.rs:

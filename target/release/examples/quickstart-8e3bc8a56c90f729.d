@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8e3bc8a56c90f729.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8e3bc8a56c90f729: examples/quickstart.rs
+
+examples/quickstart.rs:
