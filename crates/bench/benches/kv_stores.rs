@@ -1,9 +1,26 @@
 //! Criterion bench of the crash-consistent key-value structures.
+//!
+//! The YCSB write-burst benchmarks compare per-key transactions against
+//! [`PersistentHashMap::put_batch`], which folds a whole burst into one
+//! transaction (one undo-log transaction id, one commit) — the per-request
+//! batching the paper's Memcached/Redis integrations perform.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nearpm_core::{NearPmSystem, SystemConfig};
 use nearpm_kv::{PersistentHashMap, VALUE_SIZE};
 use nearpm_pmdk::ObjPool;
+use nearpm_workloads::{YcsbGenerator, YcsbOp};
+
+/// One YCSB 100 %-write burst: the keys and values of `ops` requests.
+fn ycsb_burst(ops: usize, seed: u64) -> Vec<(u64, Vec<u8>)> {
+    let mut gen = YcsbGenerator::write_only(96, VALUE_SIZE as u64, seed);
+    (0..ops)
+        .map(|_| match gen.next_op() {
+            YcsbOp::Update { key, .. } => (key, vec![key as u8; VALUE_SIZE]),
+            YcsbOp::Read { key } => (key, vec![key as u8; VALUE_SIZE]),
+        })
+        .collect()
+}
 
 fn bench_kv(c: &mut Criterion) {
     c.bench_function("hashmap_put_32", |b| {
@@ -15,6 +32,34 @@ fn bench_kv(c: &mut Criterion) {
                 map.put(&mut sys, &mut pool, k, &[k as u8; VALUE_SIZE])
                     .unwrap();
             }
+            sys.report().makespan
+        })
+    });
+
+    // YCSB write burst, one transaction per key.
+    c.bench_function("ycsb_burst_32_per_key_put", |b| {
+        let burst = ycsb_burst(32, 9);
+        b.iter(|| {
+            let mut sys = NearPmSystem::new(SystemConfig::nearpm_md().with_capacity(32 << 20));
+            let mut pool = ObjPool::create(&mut sys, "kv", 16 << 20).unwrap();
+            let mut map = PersistentHashMap::create(&mut sys, &mut pool, 256).unwrap();
+            for (k, v) in &burst {
+                map.put(&mut sys, &mut pool, *k, v).unwrap();
+            }
+            sys.report().makespan
+        })
+    });
+
+    // The same burst folded into one transaction via put_batch.
+    c.bench_function("ycsb_burst_32_put_batch", |b| {
+        let burst = ycsb_burst(32, 9);
+        b.iter(|| {
+            let mut sys = NearPmSystem::new(SystemConfig::nearpm_md().with_capacity(32 << 20));
+            let mut pool = ObjPool::create(&mut sys, "kv", 16 << 20).unwrap();
+            let mut map = PersistentHashMap::create(&mut sys, &mut pool, 256).unwrap();
+            let entries: Vec<(u64, &[u8])> =
+                burst.iter().map(|(k, v)| (*k, v.as_slice())).collect();
+            map.put_batch(&mut sys, &mut pool, &entries).unwrap();
             sys.report().makespan
         })
     });

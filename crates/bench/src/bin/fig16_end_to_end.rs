@@ -4,10 +4,11 @@
 //! Paper reference averages: SD 1.29/1.15/1.28, MD SW-sync 1.21/1.14/1.23,
 //! MD 1.35/1.22/1.33 for logging/checkpointing/shadow paging.
 
-use nearpm_bench::{gmean, header, mechanisms, run_one, workloads, DEFAULT_OPS};
+use nearpm_bench::{gmean, header, mechanisms, ops_from_args, run_one, workloads, DEFAULT_OPS};
 use nearpm_core::ExecMode;
 
 fn main() {
+    let ops = ops_from_args(DEFAULT_OPS);
     let paper: [[f64; 3]; 3] = [[1.29, 1.21, 1.35], [1.15, 1.14, 1.22], [1.28, 1.23, 1.33]];
     for (mi, m) in mechanisms().into_iter().enumerate() {
         header(
@@ -18,10 +19,10 @@ fn main() {
         let mut sync_all = Vec::new();
         let mut md_all = Vec::new();
         for w in workloads() {
-            let base = run_one(w, m, ExecMode::CpuBaseline, DEFAULT_OPS, 1);
-            let sd = run_one(w, m, ExecMode::NearPmSd, DEFAULT_OPS, 1).speedup_over(&base);
-            let sync = run_one(w, m, ExecMode::NearPmMdSync, DEFAULT_OPS, 1).speedup_over(&base);
-            let md = run_one(w, m, ExecMode::NearPmMd, DEFAULT_OPS, 1).speedup_over(&base);
+            let base = run_one(w, m, ExecMode::CpuBaseline, ops, 1);
+            let sd = run_one(w, m, ExecMode::NearPmSd, ops, 1).speedup_over(&base);
+            let sync = run_one(w, m, ExecMode::NearPmMdSync, ops, 1).speedup_over(&base);
+            let md = run_one(w, m, ExecMode::NearPmMd, ops, 1).speedup_over(&base);
             println!("{}\t{:.3}\t{:.3}\t{:.3}", w.name(), sd, sync, md);
             sd_all.push(sd);
             sync_all.push(sync);

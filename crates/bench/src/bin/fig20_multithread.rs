@@ -4,12 +4,17 @@
 //! Paper reference: NearPM stays above 1.0x but its advantage shrinks as the
 //! thread count grows because the prototype has only four units per device.
 
-use nearpm_bench::{header, run_custom};
+use nearpm_bench::{header, ops_from_args, run_custom};
 use nearpm_cc::Mechanism;
 use nearpm_core::ExecMode;
 use nearpm_workloads::Workload;
 
+/// Default operations *per thread* (raised from the pre-timeline 24 now that
+/// checking and schedule analysis are ~linear); override with `--ops N`.
+const DEFAULT_OPS_PER_THREAD: usize = 96;
+
 fn main() {
+    let ops_per_thread = ops_from_args(DEFAULT_OPS_PER_THREAD);
     for m in [
         Mechanism::Logging,
         Mechanism::Checkpointing,
@@ -21,7 +26,7 @@ fn main() {
         );
         for w in [Workload::Memcached, Workload::Redis] {
             for threads in [1usize, 2, 4, 8, 16] {
-                let ops = 24 * threads;
+                let ops = ops_per_thread * threads;
                 let base = run_custom(w, m, ExecMode::CpuBaseline, ops, threads, 4, 1);
                 let md = run_custom(w, m, ExecMode::NearPmMd, ops, threads, 4, 1);
                 // Equal work, so normalized throughput = inverse runtime ratio.

@@ -17,9 +17,31 @@ use nearpm_core::{ExecMode, RunReport};
 use nearpm_sim::stats::geomean;
 use nearpm_workloads::{RunOptions, Runner, Workload};
 
-/// Default number of operations per workload run (kept modest so every figure
-/// regenerates in seconds; increase for tighter statistics).
-pub const DEFAULT_OPS: usize = 48;
+/// Default number of operations per workload run. Raised toward paper scale
+/// now that trace checking and schedule analysis are ~linear; every figure
+/// still regenerates in seconds. Override per run with `--ops N`.
+pub const DEFAULT_OPS: usize = 256;
+
+/// Parses `--ops N` (or `--ops=N`) from the process arguments, falling back
+/// to `default`. Figure binaries use this so sweeps can be re-run at paper
+/// scale (or quickly, in CI smoke mode) without recompiling.
+pub fn ops_from_args(default: usize) -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--ops" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+            eprintln!("--ops expects a positive integer; using {default}");
+        } else if let Some(v) = a.strip_prefix("--ops=") {
+            if let Ok(n) = v.parse() {
+                return n;
+            }
+            eprintln!("--ops expects a positive integer; using {default}");
+        }
+    }
+    default
+}
 
 /// Runs one workload/mechanism/mode combination.
 pub fn run_one(w: Workload, m: Mechanism, mode: ExecMode, ops: usize, seed: u64) -> RunReport {

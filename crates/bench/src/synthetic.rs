@@ -1,13 +1,18 @@
-//! Synthetic PPO traces at evaluation scale.
+//! Synthetic PPO traces and task graphs at evaluation scale.
 //!
 //! The checker benchmarks need traces with the *shape* of a fig16 end-to-end
 //! run (per-transaction offload → NDP read → NDP log write/persist → CPU
 //! update/persist, with occasional multi-device syncs and a crash/recovery
 //! tail) but with a controllable event count, so that the indexed checkers
-//! can be compared against the naive oracles at 100k+ events. Generation is
-//! fully deterministic — no RNG — so benchmark runs are reproducible.
+//! can be compared against the naive oracles at 100k+ events. The scheduler
+//! benchmarks similarly need task graphs with the shape of a fig18 run
+//! (offloaded undo-log transactions overlapping CPU work across two devices)
+//! at a controllable task count. Generation is fully deterministic — no RNG
+//! — so benchmark runs are reproducible.
 
 use nearpm_ppo::{Agent, EventKind, Interval, Sharing, Trace};
+use nearpm_sim::schedule::oracle;
+use nearpm_sim::{Region, Resource, Schedule, SimDuration, SimTime, TaskGraph};
 
 /// Shape of a synthetic undo-log trace.
 #[derive(Debug, Clone, Copy)]
@@ -138,6 +143,186 @@ pub fn synthetic_undo_log_trace(spec: SyntheticTraceSpec) -> Trace {
         );
     }
     t
+}
+
+/// Builds a deterministic task graph with the shape of a fig18 NearPM MD
+/// run: per transaction, CPU compute overlaps an offloaded undo-log creation
+/// (dispatch → metadata → DMA copy on a unit of the owning device), followed
+/// by the in-place CPU update/persist; every fourth transaction commits with
+/// a log reset. Copy sizes alternate between small (64 B) and large (16 kB)
+/// so unit assignment matters. Stops once at least `target_tasks` tasks
+/// exist.
+pub fn synthetic_fig18_graph(target_tasks: usize) -> TaskGraph {
+    const DEVICES: usize = 2;
+    const UNITS: usize = 4;
+    let ns = SimDuration::from_ns;
+    let mut g = TaskGraph::new();
+    let mut txn = 0u64;
+    let mut cpu_tail = None;
+    while g.len() < target_tasks {
+        let device = (txn as usize) % DEVICES;
+        let unit = Resource::NdpUnit {
+            device,
+            unit: ((txn / DEVICES as u64) as usize) % UNITS,
+        };
+        let deps: Vec<_> = cpu_tail.into_iter().collect();
+        let compute = g.add(
+            "app-compute",
+            Resource::Cpu(0),
+            ns(600.0 + (txn % 7) as f64 * 90.0),
+            Region::Application,
+            &deps,
+        );
+        let issue = g.add(
+            "cmd-issue",
+            Resource::Cpu(0),
+            ns(60.0),
+            Region::CcOffload,
+            &[compute],
+        );
+        let dispatch = g.add(
+            "ndp-dispatch",
+            Resource::Dispatcher(device),
+            ns(25.0),
+            Region::CcOffload,
+            &[issue],
+        );
+        let meta = g.add(
+            "ndp-metadata",
+            unit,
+            ns(30.0),
+            Region::CcMetadata,
+            &[dispatch],
+        );
+        // Mixed copy sizes: mostly small log copies, every third a large one.
+        let copy_ns = if txn.is_multiple_of(3) { 2_000.0 } else { 64.0 };
+        let copy = g.add(
+            "ndp-copy",
+            unit,
+            ns(copy_ns),
+            Region::CcDataMovement,
+            &[meta],
+        );
+        let update = g.add(
+            "cpu-update",
+            Resource::Cpu(0),
+            ns(110.0),
+            Region::AppPersist,
+            &[copy],
+        );
+        let persist = g.add(
+            "cpu-persist",
+            Resource::Cpu(0),
+            ns(140.0),
+            Region::AppPersist,
+            &[update],
+        );
+        cpu_tail = Some(persist);
+        if txn % 4 == 3 {
+            let reset = g.add(
+                "ndp-log-reset",
+                unit,
+                ns(40.0),
+                Region::CcLogReset,
+                &[persist],
+            );
+            let _ = reset;
+        }
+        txn += 1;
+    }
+    g
+}
+
+/// The schedule-analysis battery a figure regeneration performs: makespan,
+/// critical path, CPU/NDP busy and overlap, every region's busy time, and
+/// per-resource utilization, busy-until, idle gaps, and windowed busy time.
+/// Answered from the merged busy-interval [`Timeline`](nearpm_sim::Timeline)
+/// built once by `Schedule::compute`. Returns a picosecond checksum so
+/// benchmark loops cannot be optimized away.
+pub fn timeline_schedule_analysis(graph: &TaskGraph) -> u64 {
+    let s = Schedule::compute(graph);
+    let tl = s.timeline();
+    let horizon = tl.horizon();
+    let mut acc = s.makespan().as_ps() + s.critical_path().as_ps();
+    acc += s.cpu_busy().as_ps() + s.ndp_busy().as_ps() + s.cpu_ndp_overlap().as_ps();
+    for r in Region::all() {
+        acc += s.region_time(r).as_ps();
+    }
+    for resource in analysis_resources() {
+        acc += s.resource_time(resource).as_ps();
+        acc += tl.busy_until(resource).as_ps();
+        acc += (tl.utilization(resource) * 1e6) as u64;
+        if let Some(set) = tl.resource(resource) {
+            acc += set.longest_idle_gap(horizon).as_ps();
+            for (from, to) in analysis_windows(horizon) {
+                acc += set.covered_in(from, to).as_ps();
+            }
+        }
+    }
+    for (from, to) in analysis_windows(horizon) {
+        acc += tl.overlap().covered_in(from, to).as_ps();
+    }
+    acc
+}
+
+/// The same battery answered by the retained pre-timeline implementation:
+/// timings re-derived with the original recurrence, then every query a
+/// rescan of the task list with per-query sort/merge.
+pub fn rescanning_schedule_analysis(graph: &TaskGraph) -> u64 {
+    let timings = oracle::compute_timings(graph);
+    let horizon = SimTime::ZERO + oracle::makespan(&timings);
+    let mut acc = oracle::makespan(&timings).as_ps() + oracle::critical_path(graph).as_ps();
+    acc += oracle::cpu_busy(graph, &timings).as_ps()
+        + oracle::ndp_busy(graph, &timings).as_ps()
+        + oracle::cpu_ndp_overlap(graph, &timings).as_ps();
+    for r in Region::all() {
+        acc += oracle::region_time(graph, r).as_ps();
+    }
+    for resource in analysis_resources() {
+        let busy = oracle::resource_time(graph, resource);
+        acc += busy.as_ps();
+        acc += oracle::busy_until(graph, &timings, resource).as_ps();
+        acc += (busy.ratio(horizon.since(SimTime::ZERO)) * 1e6) as u64;
+        if !busy.is_zero() {
+            acc += oracle::resource_idle_gaps(graph, &timings, resource, horizon)
+                .into_iter()
+                .map(|(s, e)| (e - s).as_ps())
+                .max()
+                .unwrap_or(0);
+            for (from, to) in analysis_windows(horizon) {
+                acc += oracle::resource_busy_in_window(graph, &timings, resource, from, to).as_ps();
+            }
+        }
+    }
+    for (from, to) in analysis_windows(horizon) {
+        acc += oracle::overlap_in_window(graph, &timings, from, to).as_ps();
+    }
+    acc
+}
+
+/// Resources the analysis battery inspects (the fig18 topology).
+fn analysis_resources() -> Vec<Resource> {
+    let mut out = vec![Resource::Cpu(0), Resource::ControlPath];
+    for device in 0..2 {
+        out.push(Resource::Dispatcher(device));
+        for unit in 0..4 {
+            out.push(Resource::NdpUnit { device, unit });
+        }
+    }
+    out
+}
+
+/// Sixty-four deterministic query windows spanning the schedule horizon
+/// (the per-window utilization sampling a figure sweep performs).
+fn analysis_windows(horizon: SimTime) -> Vec<(SimTime, SimTime)> {
+    let total = horizon.as_ps().max(64);
+    (0..64)
+        .map(|i| {
+            let from = total * i / 64;
+            let to = total * (i + 8).min(64) / 64;
+            (SimTime::from_ps(from), SimTime::from_ps(to))
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! System configuration: execution modes and platform parameters.
 
+use nearpm_device::DispatchPolicy;
 use nearpm_sim::{LatencyModel, Topology};
 
 /// Which of the paper's four evaluated configurations to run (Section 8.1).
@@ -72,6 +73,8 @@ pub struct SystemConfig {
     pub cpu_threads: usize,
     /// Latency/bandwidth model.
     pub latency: LatencyModel,
+    /// Unit-assignment policy of every device's dispatcher.
+    pub dispatch: DispatchPolicy,
 }
 
 impl SystemConfig {
@@ -87,6 +90,7 @@ impl SystemConfig {
             interleave_granularity: 4096,
             cpu_threads: 1,
             latency: LatencyModel::default(),
+            dispatch: DispatchPolicy::default(),
         }
     }
 
@@ -136,6 +140,13 @@ impl SystemConfig {
     /// Overrides the latency model.
     pub fn with_latency(mut self, latency: LatencyModel) -> Self {
         self.latency = latency;
+        self
+    }
+
+    /// Overrides the unit-assignment policy (earliest-available by default;
+    /// round-robin retained for regression comparisons).
+    pub fn with_dispatch(mut self, dispatch: DispatchPolicy) -> Self {
+        self.dispatch = dispatch;
         self
     }
 

@@ -21,7 +21,7 @@ use nearpm_pm::{
     AddrRange, CpuCache, InterleaveConfig, PhysAddr, PmSpace, PmTraffic, PoolId, PoolRegistry,
     VirtAddr,
 };
-use nearpm_ppo::{check_all, Agent, EventKind, Interval, PpoViolation, ProcId, Sharing, Trace};
+use nearpm_ppo::{Agent, EventKind, Interval, PpoViolation, ProcId, Sharing, Trace};
 use nearpm_sim::{LatencyModel, Region, Resource, Schedule, SimDuration, TaskGraph, TaskId};
 
 use crate::config::{ExecMode, SystemConfig};
@@ -70,6 +70,10 @@ pub struct RunReport {
     pub ndp_requests: u64,
     /// Aggregate PM traffic.
     pub pm_traffic: PmTraffic,
+    /// Per NDP-unit utilization `((device, unit), busy/makespan)`, read off
+    /// the schedule's merged busy-interval timeline. Balanced values indicate
+    /// earliest-available dispatch is spreading work across units.
+    pub ndp_unit_utilization: Vec<((usize, usize), f64)>,
 }
 
 impl RunReport {
@@ -115,7 +119,6 @@ pub struct NearPmSystem {
     next_txn: u64,
     crashed: bool,
     recovering: bool,
-    next_device_rr: usize,
     /// Reusable staging buffer for CPU-driven copies (avoids a heap
     /// allocation per `cpu_copy`).
     scratch: Vec<u8>,
@@ -136,6 +139,7 @@ impl NearPmSystem {
                     id,
                     units: config.units_per_device,
                     fifo_depth: config.fifo_depth,
+                    dispatch: config.dispatch,
                 })
             })
             .collect();
@@ -152,7 +156,6 @@ impl NearPmSystem {
             next_txn: 0,
             crashed: false,
             recovering: false,
-            next_device_rr: 0,
             scratch: Vec::new(),
             config,
         }
@@ -332,6 +335,7 @@ impl NearPmSystem {
         };
         let sharing = self.classify(addr, len as u64);
         self.trace.record(
+            &self.graph,
             Agent::Cpu,
             kind,
             Interval::new(addr.raw(), len as u64),
@@ -360,6 +364,7 @@ impl NearPmSystem {
         let task = self.push_cpu_task(thread, "cpu-write", duration, region, &deps);
         let sharing = self.classify(addr, data.len() as u64);
         self.trace.record(
+            &self.graph,
             Agent::Cpu,
             EventKind::Write,
             Interval::new(addr.raw(), data.len() as u64),
@@ -389,6 +394,7 @@ impl NearPmSystem {
         let task = self.push_cpu_task(thread, "cpu-persist", duration, region, &[]);
         let sharing = self.classify(addr, len);
         self.trace.record(
+            &self.graph,
             Agent::Cpu,
             EventKind::Persist,
             Interval::new(addr.raw(), len),
@@ -440,6 +446,7 @@ impl NearPmSystem {
         let src_sharing = self.classify(src, len);
         let dst_sharing = self.classify(dst, len);
         self.trace.record(
+            &self.graph,
             Agent::Cpu,
             EventKind::Read,
             Interval::new(src.raw(), len),
@@ -449,6 +456,7 @@ impl NearPmSystem {
             Some(task),
         );
         self.trace.record(
+            &self.graph,
             Agent::Cpu,
             EventKind::Write,
             Interval::new(dst.raw(), len),
@@ -458,6 +466,7 @@ impl NearPmSystem {
             Some(task),
         );
         self.trace.record(
+            &self.graph,
             Agent::Cpu,
             EventKind::Persist,
             Interval::new(dst.raw(), len),
@@ -511,9 +520,13 @@ impl NearPmSystem {
                 self.space.device_of(phys) % self.devices.len()
             }
             None => {
-                let d = self.next_device_rr % self.devices.len();
-                self.next_device_rr += 1;
-                d
+                // No operand pins the request to a device: send it to the
+                // device whose dispatcher frees first (deterministic ties
+                // toward the lowest index), mirroring the units'
+                // earliest-available policy.
+                (0..self.devices.len())
+                    .min_by_key(|&d| (self.graph.resource_available(Resource::Dispatcher(d)), d))
+                    .expect("checked non-empty above")
             }
         };
 
@@ -527,6 +540,7 @@ impl NearPmSystem {
         );
         let proc = self.trace.new_proc();
         self.trace.record(
+            &self.graph,
             Agent::Cpu,
             EventKind::Offload,
             Interval::new(0, 0),
@@ -561,6 +575,7 @@ impl NearPmSystem {
         for (v, _p, len) in &exec.reads {
             let sharing = self.classify(*v, *len);
             self.trace.record(
+                &self.graph,
                 Agent::Ndp(device),
                 EventKind::Read,
                 Interval::new(v.raw(), *len),
@@ -573,6 +588,7 @@ impl NearPmSystem {
         for (v, _p, len) in &exec.writes {
             let sharing = self.classify(*v, *len);
             self.trace.record(
+                &self.graph,
                 Agent::Ndp(device),
                 EventKind::Write,
                 Interval::new(v.raw(), *len),
@@ -582,6 +598,7 @@ impl NearPmSystem {
                 Some(exec.finish),
             );
             self.trace.record(
+                &self.graph,
                 Agent::Ndp(device),
                 EventKind::Persist,
                 Interval::new(v.raw(), *len),
@@ -624,6 +641,7 @@ impl NearPmSystem {
         let sync = self.trace.new_sync();
         for d in devices {
             self.trace.record(
+                &self.graph,
                 Agent::Ndp(d),
                 EventKind::Sync,
                 Interval::new(0, 0),
@@ -659,6 +677,7 @@ impl NearPmSystem {
         let sync = self.trace.new_sync();
         for d in devices {
             self.trace.record(
+                &self.graph,
                 Agent::Ndp(d),
                 EventKind::Sync,
                 Interval::new(0, 0),
@@ -692,6 +711,7 @@ impl NearPmSystem {
         self.cache.crash();
         let marker = self.cpu_tail.iter().flatten().copied().max();
         self.trace.record(
+            &self.graph,
             Agent::Cpu,
             EventKind::Failure,
             Interval::new(0, 0),
@@ -728,23 +748,24 @@ impl NearPmSystem {
     // Reporting
     // ------------------------------------------------------------------
 
-    /// Schedules the accumulated task graph, resolves the PPO trace, and
-    /// produces the run report.
-    pub fn report(&self) -> RunReport {
+    /// Schedules the accumulated task graph and produces the run report.
+    /// Trace events already carry their (eager) timestamps; the cached
+    /// checker index folds in only the events recorded since the last
+    /// report, so repeated reporting on a growing run stays incremental.
+    pub fn report(&mut self) -> RunReport {
         let schedule = Schedule::compute(&self.graph);
-        let trace = self.trace.resolve(&schedule);
-        self.build_report(&schedule, &trace)
+        self.build_report(&schedule)
     }
 
-    /// Like [`NearPmSystem::report`] but also returns the resolved trace for
-    /// further inspection.
-    pub fn report_with_trace(&self) -> (RunReport, Trace) {
+    /// Like [`NearPmSystem::report`] but also returns a copy of the trace
+    /// for further inspection.
+    pub fn report_with_trace(&mut self) -> (RunReport, Trace) {
         let schedule = Schedule::compute(&self.graph);
-        let trace = self.trace.resolve(&schedule);
-        (self.build_report(&schedule, &trace), trace)
+        let report = self.build_report(&schedule);
+        (report, self.trace.trace().clone())
     }
 
-    fn build_report(&self, schedule: &Schedule, trace: &Trace) -> RunReport {
+    fn build_report(&mut self, schedule: &Schedule) -> RunReport {
         let mut region_time = HashMap::new();
         for r in Region::all() {
             region_time.insert(r.name(), schedule.region_time(r));
@@ -752,6 +773,17 @@ impl NearPmSystem {
         let (ndp_bytes_moved, ndp_requests) = self.devices.iter().fold((0, 0), |(b, r), d| {
             (b + d.stats().bytes_moved, r + d.stats().requests)
         });
+        let timeline = schedule.timeline();
+        let mut ndp_unit_utilization = Vec::new();
+        for dev in &self.devices {
+            for unit in 0..dev.unit_count() {
+                let resource = Resource::NdpUnit {
+                    device: dev.id(),
+                    unit,
+                };
+                ndp_unit_utilization.push(((dev.id(), unit), timeline.utilization(resource)));
+            }
+        }
         RunReport {
             mode: self.config.mode,
             makespan: schedule.makespan(),
@@ -760,11 +792,12 @@ impl NearPmSystem {
             region_time,
             cpu_ndp_overlap: schedule.cpu_ndp_overlap(),
             overlap_fraction: schedule.overlap_fraction(),
-            ppo_violations: check_all(trace),
-            trace_events: trace.len(),
+            ppo_violations: self.trace.check(),
+            trace_events: self.trace.len(),
             ndp_bytes_moved,
             ndp_requests,
             pm_traffic: self.space.traffic(),
+            ndp_unit_utilization,
         }
     }
 

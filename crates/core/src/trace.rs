@@ -1,75 +1,66 @@
-//! Deferred PPO trace construction.
+//! Incremental PPO trace construction and cached checking.
 //!
-//! Functional effects are applied while the task graph is being built, but
-//! event *timestamps* only exist once the graph has been scheduled. The
-//! [`TraceBuilder`] therefore records events against [`TaskId`]s and resolves
-//! them into a [`nearpm_ppo::Trace`] after scheduling, so the PPO checkers
-//! validate the ordering the timing model actually produced.
+//! Functional effects are applied while the task graph is being built. Since
+//! the graph maintains every task's start/finish time incrementally (see
+//! `nearpm_sim::TaskGraph`), trace events can be timestamped **eagerly** at
+//! record time — the finish time of the task they are tied to — instead of
+//! being resolved in a separate pass after scheduling. The [`TraceBuilder`]
+//! therefore owns a concrete [`nearpm_ppo::Trace`] that only ever grows, and
+//! a cached [`IncrementalTraceIndex`] that folds in exactly the events
+//! appended since the last check. Multi-`report()` runs (the fig18–20
+//! sweeps) stop rebuilding the checker index from scratch each time.
 
-use nearpm_ppo::{Agent, EventKind, Interval, ProcId, Sharing, SyncId, Trace};
-use nearpm_sim::{Schedule, TaskId};
+use nearpm_ppo::{
+    check_all_cached, Agent, EventKind, IncrementalTraceIndex, Interval, PpoViolation, ProcId,
+    Sharing, SyncId, Trace,
+};
+use nearpm_sim::{TaskGraph, TaskId};
 
-/// A trace event whose timestamp is the finish time of a scheduled task.
-#[derive(Debug, Clone)]
-struct PendingEvent {
-    agent: Agent,
-    kind: EventKind,
-    interval: Interval,
-    sharing: Sharing,
-    proc: Option<ProcId>,
-    sync: Option<SyncId>,
-    task: Option<TaskId>,
-}
-
-/// Accumulates PPO events during graph construction.
+/// Accumulates PPO events during graph construction and checks them against
+/// a cached incremental index.
 #[derive(Debug, Clone)]
 pub struct TraceBuilder {
-    devices: usize,
-    pending: Vec<PendingEvent>,
-    next_proc: u64,
-    next_sync: u64,
+    trace: Trace,
+    checker: IncrementalTraceIndex,
 }
 
 impl TraceBuilder {
     /// Creates a builder for a system with `devices` NearPM devices.
     pub fn new(devices: usize) -> Self {
         TraceBuilder {
-            devices,
-            pending: Vec::new(),
-            next_proc: 0,
-            next_sync: 0,
+            trace: Trace::new(devices),
+            checker: IncrementalTraceIndex::new(),
         }
     }
 
     /// Allocates a fresh NDP-procedure id.
     pub fn new_proc(&mut self) -> ProcId {
-        let id = ProcId(self.next_proc);
-        self.next_proc += 1;
-        id
+        self.trace.new_proc()
     }
 
     /// Allocates a fresh synchronization-event id.
     pub fn new_sync(&mut self) -> SyncId {
-        let id = SyncId(self.next_sync);
-        self.next_sync += 1;
-        id
+        self.trace.new_sync()
     }
 
-    /// Number of pending events.
+    /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.trace.len()
     }
 
     /// True if no events have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.trace.is_empty()
     }
 
-    /// Records an event tied to `task`'s finish time (or to time zero when
-    /// `task` is `None`, used for the failure marker).
+    /// Records an event timestamped at `task`'s finish time, read from the
+    /// graph's incrementally maintained schedule (or at the end of time when
+    /// `task` is `None`, used for the failure marker of a crash with no
+    /// preceding CPU work).
     #[allow(clippy::too_many_arguments)]
     pub fn record(
         &mut self,
+        graph: &TaskGraph,
         agent: Agent,
         kind: EventKind,
         interval: Interval,
@@ -78,40 +69,42 @@ impl TraceBuilder {
         sync: Option<SyncId>,
         task: Option<TaskId>,
     ) {
-        self.pending.push(PendingEvent {
-            agent,
-            kind,
-            interval,
-            sharing,
-            proc,
-            sync,
-            task,
-        });
+        let ts = task
+            .map(|t| graph.task_finish(t).as_ps())
+            .unwrap_or(u64::MAX);
+        self.trace
+            .record(agent, kind, interval, sharing, proc, sync, ts);
     }
 
-    /// Resolves the pending events into a concrete trace using the schedule's
-    /// task finish times. Events are emitted in recording order, which is the
-    /// per-agent program order by construction.
-    pub fn resolve(&self, schedule: &Schedule) -> Trace {
-        let mut trace = Trace::new(self.devices);
-        for e in &self.pending {
-            let ts = e
-                .task
-                .map(|t| schedule.timing(t).finish.as_ps())
-                .unwrap_or(u64::MAX);
-            trace.record(e.agent, e.kind, e.interval, e.sharing, e.proc, e.sync, ts);
-        }
-        trace
+    /// The accumulated trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Runs the PPO checkers, folding only the events recorded since the
+    /// previous call into the cached index.
+    pub fn check(&mut self) -> Vec<PpoViolation> {
+        check_all_cached(&self.trace, &mut self.checker)
+    }
+
+    /// Number of events already folded into the cached checker index.
+    pub fn indexed_events(&self) -> usize {
+        self.checker.consumed()
+    }
+
+    /// Clears the trace and invalidates the cached checker index.
+    pub fn reset(&mut self) {
+        self.trace.clear();
+        self.checker.reset();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nearpm_sim::{LatencyModel, Region, Resource, TaskGraph};
+    use nearpm_sim::{LatencyModel, Region, Resource, Schedule};
 
-    #[test]
-    fn events_resolve_to_task_finish_times() {
+    fn two_task_graph() -> (TaskGraph, TaskId, TaskId) {
         let model = LatencyModel::default();
         let mut graph = TaskGraph::new();
         let a = graph.add(
@@ -128,10 +121,16 @@ mod tests {
             Region::CcDataMovement,
             &[a],
         );
+        (graph, a, b)
+    }
 
+    #[test]
+    fn events_carry_task_finish_times() {
+        let (graph, a, b) = two_task_graph();
         let mut tb = TraceBuilder::new(1);
         let p = tb.new_proc();
         tb.record(
+            &graph,
             Agent::Cpu,
             EventKind::Offload,
             Interval::new(0, 0),
@@ -141,6 +140,7 @@ mod tests {
             Some(a),
         );
         tb.record(
+            &graph,
             Agent::Ndp(0),
             EventKind::Persist,
             Interval::new(0x100, 64),
@@ -151,10 +151,10 @@ mod tests {
         );
         assert_eq!(tb.len(), 2);
 
-        let schedule = nearpm_sim::Schedule::compute(&graph);
-        let trace = tb.resolve(&schedule);
-        assert_eq!(trace.len(), 2);
-        let events = trace.events();
+        // The eager timestamps equal what a full scheduling pass assigns:
+        // incremental timing is prefix-stable.
+        let schedule = Schedule::compute(&graph);
+        let events = tb.trace().events();
         assert_eq!(events[0].timestamp_ps, schedule.timing(a).finish.as_ps());
         assert_eq!(events[1].timestamp_ps, schedule.timing(b).finish.as_ps());
         assert!(events[0].timestamp_ps < events[1].timestamp_ps);
@@ -165,6 +165,7 @@ mod tests {
         let graph = TaskGraph::new();
         let mut tb = TraceBuilder::new(1);
         tb.record(
+            &graph,
             Agent::Cpu,
             EventKind::Failure,
             Interval::new(0, 0),
@@ -173,9 +174,41 @@ mod tests {
             None,
             None,
         );
-        let schedule = nearpm_sim::Schedule::compute(&graph);
-        let trace = tb.resolve(&schedule);
-        assert_eq!(trace.failure_time(), Some(u64::MAX));
+        assert_eq!(tb.trace().failure_time(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn check_folds_events_incrementally_and_reset_invalidates() {
+        let (graph, a, b) = two_task_graph();
+        let mut tb = TraceBuilder::new(1);
+        let p = tb.new_proc();
+        tb.record(
+            &graph,
+            Agent::Cpu,
+            EventKind::Offload,
+            Interval::new(0, 0),
+            Sharing::Shared,
+            Some(p),
+            None,
+            Some(a),
+        );
+        assert!(tb.check().is_empty());
+        assert_eq!(tb.indexed_events(), 1);
+        tb.record(
+            &graph,
+            Agent::Ndp(0),
+            EventKind::Persist,
+            Interval::new(0x100, 64),
+            Sharing::NdpManaged,
+            Some(p),
+            None,
+            Some(b),
+        );
+        assert!(tb.check().is_empty());
+        assert_eq!(tb.indexed_events(), 2);
+        tb.reset();
+        assert!(tb.is_empty());
+        assert_eq!(tb.indexed_events(), 0);
     }
 
     #[test]

@@ -27,6 +27,20 @@ use crate::metadata::LogEntryHeader;
 use crate::request::{NearPmOp, NearPmRequest, RequestId, ThreadId};
 use crate::unit::{NearPmUnit, UnitStats};
 
+/// How the dispatcher assigns decoded requests to execution units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchPolicy {
+    /// Pick the unit whose busy-interval timeline frees first (ties broken
+    /// by unit index, so dispatch stays deterministic). With mixed-size
+    /// primitives this keeps long DMA copies from queueing behind each
+    /// other while sibling units idle.
+    #[default]
+    EarliestAvailable,
+    /// Blind round-robin over the units (the pre-timeline policy, retained
+    /// for regression comparisons and the dispatch benchmarks).
+    RoundRobin,
+}
+
 /// Static configuration of one NearPM device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeviceConfig {
@@ -36,16 +50,26 @@ pub struct DeviceConfig {
     pub units: usize,
     /// Request-FIFO depth (32 in the prototype).
     pub fifo_depth: usize,
+    /// Unit-assignment policy.
+    pub dispatch: DispatchPolicy,
 }
 
 impl DeviceConfig {
-    /// Prototype configuration for device `id`: 4 units, 32-entry FIFO.
+    /// Prototype configuration for device `id`: 4 units, 32-entry FIFO,
+    /// earliest-available dispatch.
     pub fn prototype(id: usize) -> Self {
         DeviceConfig {
             id,
             units: 4,
             fifo_depth: crate::fifo::DEFAULT_FIFO_DEPTH,
+            dispatch: DispatchPolicy::default(),
         }
+    }
+
+    /// Overrides the unit-assignment policy.
+    pub fn with_dispatch(mut self, dispatch: DispatchPolicy) -> Self {
+        self.dispatch = dispatch;
+        self
     }
 }
 
@@ -306,10 +330,21 @@ impl NearPmDevice {
             &dispatch_deps,
         );
 
-        // Step 6a: hand the request to the next unit (round-robin; the
-        // scheduler accounts for unit contention).
-        let unit_index = self.next_unit % self.units.len();
-        self.next_unit = self.next_unit.wrapping_add(1);
+        // Step 6a: hand the request to a unit. Earliest-available dispatch
+        // reads each unit's busy-until time from the incrementally
+        // maintained schedule and picks the one that frees first (ties break
+        // toward the lowest index, so assignment is deterministic);
+        // round-robin is retained as the legacy comparison policy.
+        let unit_index = match self.config.dispatch {
+            DispatchPolicy::EarliestAvailable => (0..self.units.len())
+                .min_by_key(|&u| (self.units[u].busy_until(graph), u))
+                .expect("a device has at least one unit"),
+            DispatchPolicy::RoundRobin => {
+                let u = self.next_unit % self.units.len();
+                self.next_unit = self.next_unit.wrapping_add(1);
+                u
+            }
+        };
 
         let finish = {
             let unit = &mut self.units[unit_index];
@@ -631,9 +666,9 @@ mod tests {
     }
 
     #[test]
-    fn requests_round_robin_across_units() {
+    fn earliest_available_dispatch_spreads_requests_across_units() {
         let (mut dev, mut space, mut graph, model) = setup();
-        let mut units_used = std::collections::HashSet::new();
+        let mut units_used = Vec::new();
         for i in 0..4 {
             let exec = dev
                 .submit(
@@ -644,9 +679,105 @@ mod tests {
                     &[],
                 )
                 .unwrap();
-            units_used.insert(exec.unit);
+            units_used.push(exec.unit);
         }
-        assert_eq!(units_used.len(), 4);
+        // Each request occupies a unit, so the next one picks the next idle
+        // unit; ties break toward the lowest index, making the order
+        // deterministic.
+        assert_eq!(units_used, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn earliest_available_reuses_the_unit_that_frees_first() {
+        let (mut dev, mut space, mut graph, model) = setup();
+        // One huge copy on unit 0, three tiny ones on units 1-3.
+        space.write(PhysAddr(0), &[1; 64 << 10]);
+        let shadow = |src: u64, dst: u64, len: u64| {
+            NearPmRequest::new(
+                PoolId(0),
+                ThreadId(0),
+                NearPmOp::ShadowCopy {
+                    src: VirtAddr(0x1000_0000 + src),
+                    dst: VirtAddr(0x1000_0000 + dst),
+                    len,
+                },
+            )
+        };
+        let big = dev
+            .submit(
+                shadow(0, 0x8_0000, 64 << 10),
+                &mut space,
+                &mut graph,
+                &model,
+                &[],
+            )
+            .unwrap();
+        assert_eq!(big.unit, 0);
+        for i in 0..3u64 {
+            let small = dev
+                .submit(
+                    shadow(i * 0x100, 0x4_0000 + i * 0x100, 64),
+                    &mut space,
+                    &mut graph,
+                    &model,
+                    &[],
+                )
+                .unwrap();
+            assert_eq!(small.unit, i as usize + 1);
+        }
+        // Unit 0 is still grinding through the 64 kB DMA; the next request
+        // lands on whichever small-copy unit freed first, not back on unit 0.
+        let next = dev
+            .submit(
+                shadow(0x1000, 0x5_0000, 64),
+                &mut space,
+                &mut graph,
+                &model,
+                &[],
+            )
+            .unwrap();
+        assert_eq!(
+            next.unit, 1,
+            "unit 1 frees first; round-robin would have picked unit 0"
+        );
+    }
+
+    /// Satellite regression: on a mixed-size primitive workload,
+    /// earliest-available dispatch must strictly beat blind round-robin on
+    /// makespan (round-robin ties long DMA copies to one unit while the
+    /// others idle).
+    #[test]
+    fn earliest_available_beats_round_robin_makespan_on_mixed_sizes() {
+        let run = |policy: DispatchPolicy| {
+            let mut dev = NearPmDevice::new(DeviceConfig::prototype(0).with_dispatch(policy));
+            let mut space = PmSpace::single(4 << 20);
+            dev.register_pool(PoolId(0), VirtAddr(0x1000_0000), PhysAddr(0), 4 << 20);
+            let mut graph = TaskGraph::new();
+            let model = LatencyModel::default();
+            // Alternating long (16 kB) and short (64 B) copies: round-robin
+            // pins every other long copy onto the same two units.
+            for i in 0..12u64 {
+                let len = if i % 2 == 0 { 16 << 10 } else { 64 };
+                let req = NearPmRequest::new(
+                    PoolId(0),
+                    ThreadId(0),
+                    NearPmOp::ShadowCopy {
+                        src: VirtAddr(0x1000_0000 + i * 0x2_0000),
+                        dst: VirtAddr(0x1000_0000 + i * 0x2_0000 + 0x1_0000),
+                        len,
+                    },
+                );
+                dev.submit(req, &mut space, &mut graph, &model, &[])
+                    .unwrap();
+            }
+            Schedule::compute(&graph).makespan()
+        };
+        let earliest = run(DispatchPolicy::EarliestAvailable);
+        let round_robin = run(DispatchPolicy::RoundRobin);
+        assert!(
+            earliest < round_robin,
+            "earliest-available ({earliest}) must strictly beat round-robin ({round_robin})"
+        );
     }
 
     #[test]

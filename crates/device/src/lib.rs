@@ -30,7 +30,8 @@ pub mod unit;
 
 pub use address_map::{AddressMappingTable, TranslateError};
 pub use device::{
-    DeviceConfig, DeviceError, DevicePersistentState, DeviceStats, ExecutedRequest, NearPmDevice,
+    DeviceConfig, DeviceError, DevicePersistentState, DeviceStats, DispatchPolicy, ExecutedRequest,
+    NearPmDevice,
 };
 pub use fifo::{FifoFull, RequestFifo, DEFAULT_FIFO_DEPTH};
 pub use inflight::{InFlightEntry, InFlightTable};

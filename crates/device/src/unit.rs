@@ -12,7 +12,7 @@
 //! [`Resource::NdpUnit`] slot.
 
 use nearpm_pm::{PhysAddr, PmSpace};
-use nearpm_sim::{LatencyModel, Region, Resource, TaskGraph, TaskId};
+use nearpm_sim::{LatencyModel, Region, Resource, SimTime, TaskGraph, TaskId};
 
 use crate::metadata::{LogEntryHeader, LOG_ENTRY_HEADER_LEN};
 
@@ -58,6 +58,14 @@ impl NearPmUnit {
     /// Unit statistics.
     pub fn stats(&self) -> UnitStats {
         self.stats
+    }
+
+    /// Time at which this unit finishes its last scheduled micro-operation
+    /// (time zero if it has none). Read from the graph's incrementally
+    /// maintained schedule; this is the availability signal
+    /// earliest-available dispatch ranks units by.
+    pub fn busy_until(&self, graph: &TaskGraph) -> SimTime {
+        graph.resource_available(self.resource())
     }
 
     /// Executes a bulk copy: functionally moves the bytes, and emits a DMA

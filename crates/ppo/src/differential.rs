@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::event::{Agent, EventKind, Interval, ProcId, Sharing, SyncId, Trace};
+use crate::index::IncrementalTraceIndex;
 use crate::invariants::{self, oracle};
 
 /// Shape parameters of one random trace.
@@ -135,6 +136,20 @@ fn assert_checkers_agree(t: &Trace, seed: u64) {
         oracle::relaxed_persist_count(t),
         "relaxed persist count diverged (seed {seed})"
     );
+    // The cached incremental index must agree when fed the whole trace at
+    // once...
+    let mut cache = IncrementalTraceIndex::new();
+    assert_eq!(
+        invariants::check_all_cached(t, &mut cache),
+        oracle::check_all(t),
+        "cached check_all diverged (seed {seed})"
+    );
+    // ...and when re-checked without new events (fully cached path).
+    assert_eq!(
+        invariants::check_all_cached(t, &mut cache),
+        oracle::check_all(t),
+        "re-checked cached check_all diverged (seed {seed})"
+    );
 }
 
 #[test]
@@ -203,6 +218,105 @@ fn indexed_checkers_match_oracles_on_dense_overlap_traces() {
         let t = random_trace(&mut rng, &shape);
         assert_checkers_agree(&t, seed);
     }
+}
+
+#[test]
+fn incrementally_extended_index_matches_full_rebuild_at_every_prefix() {
+    // Replay random traces into a second trace in random-sized batches,
+    // checking with the cached incremental index after every batch and
+    // comparing against a from-scratch check of the same prefix. This
+    // exercises failure events arriving in later batches than the writes
+    // they bound, level collapses in the logarithmic index, and the
+    // no-new-events fast path.
+    for seed in 3_000..3_030u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shape = TraceShape {
+            events: rng.gen_range(20usize..150),
+            devices: rng.gen_range(1usize..3),
+            bases: rng.gen_range(2u64..8),
+            procs: rng.gen_range(1u64..5),
+            offload_prob: 0.7,
+            failure_prob: 0.6,
+        };
+        let t = random_trace(&mut rng, &shape);
+        let mut replay = Trace::new(shape.devices);
+        let mut cache = IncrementalTraceIndex::new();
+        let mut i = 0;
+        while i < t.len() {
+            let batch = rng.gen_range(1usize..12).min(t.len() - i);
+            for e in &t.events()[i..i + batch] {
+                replay.record(
+                    e.agent,
+                    e.kind,
+                    e.interval,
+                    e.sharing,
+                    e.proc,
+                    e.sync,
+                    e.timestamp_ps,
+                );
+            }
+            i += batch;
+            assert_eq!(
+                invariants::check_all_cached(&replay, &mut cache),
+                invariants::check_all(&replay),
+                "prefix of {i} events diverged (seed {seed})"
+            );
+        }
+        assert_eq!(cache.consumed(), t.len());
+    }
+}
+
+#[test]
+fn cached_index_detects_trace_reset() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let shape = TraceShape {
+        events: 60,
+        devices: 2,
+        bases: 4,
+        procs: 3,
+        offload_prob: 0.7,
+        failure_prob: 0.8,
+    };
+    let t = random_trace(&mut rng, &shape);
+    let mut replay = t.clone();
+    let mut cache = IncrementalTraceIndex::new();
+    assert_eq!(
+        invariants::check_all_cached(&replay, &mut cache),
+        invariants::check_all(&t)
+    );
+    let consumed_before_reset = cache.consumed();
+    // Reset the trace and regrow it *past* its previous length with
+    // different events before the next check: the generation bump must make
+    // the cache rebuild — a length check alone would keep the stale prefix.
+    replay.clear();
+    assert!(replay.is_empty());
+    let t2 = random_trace(
+        &mut StdRng::seed_from_u64(8),
+        &TraceShape {
+            events: shape.events * 2,
+            ..shape
+        },
+    );
+    assert!(t2.len() > consumed_before_reset);
+    for e in t2.events() {
+        replay.record(
+            e.agent,
+            e.kind,
+            e.interval,
+            e.sharing,
+            e.proc,
+            e.sync,
+            e.timestamp_ps,
+        );
+    }
+    assert_eq!(
+        invariants::check_all_cached(&replay, &mut cache),
+        invariants::check_all(&replay)
+    );
+    // An empty cleared trace also resets the cache.
+    replay.clear();
+    invariants::check_all_cached(&replay, &mut cache);
+    assert_eq!(cache.consumed(), 0);
 }
 
 #[test]

@@ -156,18 +156,39 @@ pub struct Trace {
     next_sync: u64,
     program_order_cpu: u64,
     program_order_ndp: Vec<u64>,
+    /// Timestamp of the first recorded failure event (cached so
+    /// `failure_time` is O(1) instead of a scan).
+    first_failure: Option<u64>,
+    /// Bumped by [`Trace::clear`] so cached indexes can detect a reset even
+    /// when the trace has regrown past its previous length.
+    generation: u64,
 }
 
 impl Trace {
     /// Creates an empty trace for a system with `devices` NearPM devices.
     pub fn new(devices: usize) -> Self {
         Trace {
-            events: Vec::new(),
-            next_proc: 0,
-            next_sync: 0,
-            program_order_cpu: 0,
             program_order_ndp: vec![0; devices],
+            ..Trace::default()
         }
+    }
+
+    /// Clears all events and counters, returning the trace to its freshly
+    /// constructed state and advancing its generation. Any cached index
+    /// built over the trace is invalidated (see
+    /// `IncrementalTraceIndex::extend_from`, which detects the generation
+    /// change and rebuilds).
+    pub fn clear(&mut self) {
+        let devices = self.program_order_ndp.len();
+        let generation = self.generation.wrapping_add(1);
+        *self = Trace::new(devices);
+        self.generation = generation;
+    }
+
+    /// Reset generation: starts at zero and advances on every
+    /// [`Trace::clear`].
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of recorded events.
@@ -231,6 +252,9 @@ impl Trace {
         timestamp_ps: u64,
     ) -> &PpoEvent {
         let program_order = self.next_po(agent);
+        if kind == EventKind::Failure && self.first_failure.is_none() {
+            self.first_failure = Some(timestamp_ps);
+        }
         self.events.push(PpoEvent {
             agent,
             kind,
@@ -279,12 +303,9 @@ impl Trace {
         self.events.iter().filter(|e| e.agent == agent).collect()
     }
 
-    /// The timestamp of the failure event, if one was recorded.
+    /// The timestamp of the first failure event, if one was recorded.
     pub fn failure_time(&self) -> Option<u64> {
-        self.events
-            .iter()
-            .find(|e| e.kind == EventKind::Failure)
-            .map(|e| e.timestamp_ps)
+        self.first_failure
     }
 }
 

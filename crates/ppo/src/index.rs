@@ -121,6 +121,12 @@ impl IntervalIndex {
         self.items.len()
     }
 
+    /// Consumes the index, returning its (start-sorted) items. Used by the
+    /// incremental index when collapsing levels.
+    fn take_items(self) -> Vec<Item> {
+        self.items
+    }
+
     /// True if nothing is indexed.
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()
@@ -235,11 +241,295 @@ impl IntervalIndex {
     }
 }
 
+/// An interval index that supports batched appends: a logarithmic collection
+/// of static [`IntervalIndex`] levels (the classic decomposable-search-
+/// problem construction). Appending a batch collapses every level no larger
+/// than the batch into it, so level sizes grow geometrically, insertion is
+/// amortized O(log n) per item, and a query fans out over at most O(log n)
+/// levels.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalIntervalIndex {
+    levels: Vec<IntervalIndex>,
+}
+
+impl IncrementalIntervalIndex {
+    /// Appends a batch of items, collapsing smaller levels into it.
+    fn insert_batch(&mut self, mut items: Vec<Item>) {
+        items.retain(|it| it.end > it.start);
+        if items.is_empty() {
+            return;
+        }
+        while let Some(last) = self.levels.last() {
+            if last.len() <= items.len() {
+                let level = self.levels.pop().expect("checked non-empty");
+                items.extend(level.take_items());
+            } else {
+                break;
+            }
+        }
+        self.levels.push(IntervalIndex::build(items));
+    }
+
+    /// Total number of indexed intervals across all levels.
+    pub fn len(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Number of static levels currently held (O(log n)).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Calls `f` with the event id of every indexed interval overlapping
+    /// `query`, fanning out over the levels (no cross-level order).
+    pub fn for_each_overlap<F: FnMut(u32)>(&self, query: Interval, mut f: F) {
+        for level in &self.levels {
+            level.for_each_overlap(query, &mut f);
+        }
+    }
+
+    /// True if any indexed interval overlaps `query`.
+    pub fn any_overlap(&self, query: Interval) -> bool {
+        self.levels.iter().any(|l| l.any_overlap(query))
+    }
+
+    /// Minimum value over all indexed intervals overlapping `query`.
+    pub fn min_value_overlapping(&self, query: Interval) -> Option<u64> {
+        self.levels
+            .iter()
+            .filter_map(|l| l.min_value_overlapping(query))
+            .min()
+    }
+}
+
 /// Per-NDP-agent view used by the synchronization checker.
 #[derive(Debug, Clone, Default)]
 pub struct AgentIndex {
     /// All persists of this agent, valued by timestamp.
     pub persists: IntervalIndex,
+}
+
+/// The index queries the PPO invariant checkers need, abstracted over the
+/// build-once [`TraceIndex`] and the append-friendly
+/// [`IncrementalTraceIndex`].
+pub trait PpoIndexQueries {
+    /// CPU program-order index of the offload event of `proc`, if recorded.
+    fn offload_po(&self, proc: ProcId) -> Option<u64>;
+    /// Timestamp of the first failure event, if any.
+    fn failure_ts(&self) -> Option<u64>;
+    /// Earliest timestamp at which some persist by `agent` overlapping
+    /// `interval` completed.
+    fn earliest_persist_by(&self, agent: Agent, interval: Interval) -> Option<u64>;
+    /// Calls `f` (in trace order) with every *shared* CPU access in `events`
+    /// whose kind is comparable to an NDP access of kind `ndp_kind` and
+    /// whose interval overlaps `interval`.
+    fn for_each_comparable_cpu_access<F: FnMut(&PpoEvent)>(
+        &self,
+        events: &[PpoEvent],
+        ndp_kind: EventKind,
+        interval: Interval,
+        f: F,
+    );
+    /// True if any write with a timestamp no later than the failure overlaps
+    /// `interval`.
+    fn written_before_failure(&self, interval: Interval) -> bool;
+    /// True if any persist with a timestamp no later than the failure
+    /// overlaps `interval`.
+    fn persisted_before_failure(&self, interval: Interval) -> bool;
+}
+
+/// An incrementally extendable [`TraceIndex`] equivalent.
+///
+/// The system trace grows monotonically between `report()` calls; rebuilding
+/// the whole index for every report makes multi-report sweeps (fig18–20)
+/// quadratic in the total event count. This structure consumes only the
+/// events appended since the last `extend_from` call, maintaining every
+/// per-category index as an [`IncrementalIntervalIndex`]. The
+/// before-failure existence queries are answered from *timestamp-valued*
+/// indexes over all writes/persists (`min overlapping timestamp <= failure`),
+/// which — unlike the static index's pre-filtered variant — stays correct
+/// when the failure event arrives in a later batch than the writes it
+/// bounds.
+///
+/// If the underlying trace was reset (`Trace::clear` bumps a generation
+/// counter, and a shrink is caught directly), the cache detects it and
+/// rebuilds from scratch.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalTraceIndex {
+    consumed: usize,
+    /// Generation of the trace the cached state was built from.
+    generation: u64,
+    offload_po: HashMap<ProcId, u64>,
+    cpu_shared_reads: IncrementalIntervalIndex,
+    cpu_shared_writes: IncrementalIntervalIndex,
+    cpu_shared_persists: IncrementalIntervalIndex,
+    agents: HashMap<Agent, IncrementalIntervalIndex>,
+    failure_ts: Option<u64>,
+    /// All writes / persists (any agent), valued by timestamp.
+    all_writes: IncrementalIntervalIndex,
+    all_persists: IncrementalIntervalIndex,
+}
+
+impl IncrementalTraceIndex {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        IncrementalTraceIndex::default()
+    }
+
+    /// Number of trace events already folded into the index.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Drops all cached state (used when the trace it mirrors is reset).
+    pub fn reset(&mut self) {
+        *self = IncrementalTraceIndex::default();
+    }
+
+    /// Folds the events appended to `trace` since the last call into the
+    /// index. Detects a trace reset (shrink) and rebuilds from scratch.
+    pub fn extend_from(&mut self, trace: &Trace) {
+        // A shrink or a generation change means the trace was reset since
+        // the cache last saw it (the generation catches a trace cleared and
+        // regrown past its previous length).
+        if trace.len() < self.consumed || trace.generation() != self.generation {
+            self.reset();
+            self.generation = trace.generation();
+        }
+        let events = trace.events();
+        if self.consumed == events.len() {
+            return;
+        }
+
+        let mut cpu_reads = Vec::new();
+        let mut cpu_writes = Vec::new();
+        let mut cpu_persists = Vec::new();
+        let mut agent_persists: HashMap<Agent, Vec<Item>> = HashMap::new();
+        let mut writes = Vec::new();
+        let mut persists = Vec::new();
+
+        for (i, e) in events.iter().enumerate().skip(self.consumed) {
+            let id = i as u32;
+            let item = Item {
+                start: e.interval.start,
+                end: e.interval.end(),
+                value: e.timestamp_ps,
+                id,
+            };
+            match e.kind {
+                EventKind::Offload if e.agent == Agent::Cpu => {
+                    if let Some(p) = e.proc {
+                        self.offload_po.entry(p).or_insert(e.program_order);
+                    }
+                }
+                EventKind::Failure if self.failure_ts.is_none() => {
+                    self.failure_ts = Some(e.timestamp_ps);
+                }
+                EventKind::Read | EventKind::Write | EventKind::Persist => {
+                    if e.agent == Agent::Cpu {
+                        if e.sharing == crate::event::Sharing::Shared {
+                            match e.kind {
+                                EventKind::Read => cpu_reads.push(item),
+                                EventKind::Write => cpu_writes.push(item),
+                                EventKind::Persist => cpu_persists.push(item),
+                                _ => unreachable!(),
+                            }
+                        }
+                    } else if e.kind == EventKind::Persist {
+                        agent_persists.entry(e.agent).or_default().push(item);
+                    }
+                    match e.kind {
+                        EventKind::Write => writes.push(item),
+                        EventKind::Persist => persists.push(item),
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        self.cpu_shared_reads.insert_batch(cpu_reads);
+        self.cpu_shared_writes.insert_batch(cpu_writes);
+        self.cpu_shared_persists.insert_batch(cpu_persists);
+        for (agent, items) in agent_persists {
+            self.agents.entry(agent).or_default().insert_batch(items);
+        }
+        self.all_writes.insert_batch(writes);
+        self.all_persists.insert_batch(persists);
+        self.consumed = events.len();
+    }
+}
+
+impl PpoIndexQueries for IncrementalTraceIndex {
+    fn offload_po(&self, proc: ProcId) -> Option<u64> {
+        self.offload_po.get(&proc).copied()
+    }
+
+    fn failure_ts(&self) -> Option<u64> {
+        self.failure_ts
+    }
+
+    fn earliest_persist_by(&self, agent: Agent, interval: Interval) -> Option<u64> {
+        self.agents
+            .get(&agent)
+            .and_then(|a| a.min_value_overlapping(interval))
+    }
+
+    fn for_each_comparable_cpu_access<F: FnMut(&PpoEvent)>(
+        &self,
+        events: &[PpoEvent],
+        ndp_kind: EventKind,
+        interval: Interval,
+        mut f: F,
+    ) {
+        let mut ids = Vec::new();
+        match ndp_kind {
+            EventKind::Persist => {
+                self.cpu_shared_persists
+                    .for_each_overlap(interval, |id| ids.push(id));
+            }
+            EventKind::Write => {
+                self.cpu_shared_writes
+                    .for_each_overlap(interval, |id| ids.push(id));
+                self.cpu_shared_reads
+                    .for_each_overlap(interval, |id| ids.push(id));
+            }
+            EventKind::Read => {
+                self.cpu_shared_writes
+                    .for_each_overlap(interval, |id| ids.push(id));
+            }
+            _ => {}
+        }
+        ids.sort_unstable();
+        for id in ids {
+            f(&events[id as usize]);
+        }
+    }
+
+    fn written_before_failure(&self, interval: Interval) -> bool {
+        match self.failure_ts {
+            Some(f) => self
+                .all_writes
+                .min_value_overlapping(interval)
+                .is_some_and(|ts| ts <= f),
+            None => false,
+        }
+    }
+
+    fn persisted_before_failure(&self, interval: Interval) -> bool {
+        match self.failure_ts {
+            Some(f) => self
+                .all_persists
+                .min_value_overlapping(interval)
+                .is_some_and(|ts| ts <= f),
+            None => false,
+        }
+    }
 }
 
 /// The one-pass index over a [`Trace`] that the PPO checkers query.
@@ -411,6 +701,38 @@ impl<'a> TraceIndex<'a> {
     /// overlaps `interval`.
     pub fn persisted_before_failure(&self, interval: Interval) -> bool {
         self.persists_before_failure.any_overlap(interval)
+    }
+}
+
+impl PpoIndexQueries for TraceIndex<'_> {
+    fn offload_po(&self, proc: ProcId) -> Option<u64> {
+        TraceIndex::offload_po(self, proc)
+    }
+
+    fn failure_ts(&self) -> Option<u64> {
+        TraceIndex::failure_ts(self)
+    }
+
+    fn earliest_persist_by(&self, agent: Agent, interval: Interval) -> Option<u64> {
+        TraceIndex::earliest_persist_by(self, agent, interval)
+    }
+
+    fn for_each_comparable_cpu_access<F: FnMut(&PpoEvent)>(
+        &self,
+        _events: &[PpoEvent],
+        ndp_kind: EventKind,
+        interval: Interval,
+        f: F,
+    ) {
+        TraceIndex::for_each_comparable_cpu_access(self, ndp_kind, interval, f)
+    }
+
+    fn written_before_failure(&self, interval: Interval) -> bool {
+        TraceIndex::written_before_failure(self, interval)
+    }
+
+    fn persisted_before_failure(&self, interval: Interval) -> bool {
+        TraceIndex::persisted_before_failure(self, interval)
     }
 }
 

@@ -21,7 +21,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::ops::Bound;
 
 use crate::event::{Agent, EventKind, Interval, ProcId, Sharing, Trace};
-use crate::index::TraceIndex;
+use crate::index::{IncrementalTraceIndex, PpoIndexQueries, TraceIndex};
 
 /// A detected violation of a PPO invariant.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,6 +115,18 @@ pub fn check_all_indexed(idx: &TraceIndex<'_>) -> Vec<PpoViolation> {
     v
 }
 
+/// [`check_all`] against a cached [`IncrementalTraceIndex`]: only the events
+/// appended to `trace` since the previous call are folded into the index, so
+/// repeated checking of a growing trace (multi-`report()` sweeps) costs
+/// O(new events · log n) of index maintenance instead of a full rebuild.
+pub fn check_all_cached(trace: &Trace, cache: &mut IncrementalTraceIndex) -> Vec<PpoViolation> {
+    cache.extend_from(trace);
+    let mut v = check_cpu_ndp_ordering_with(trace, cache);
+    v.extend(check_sync_persistence_with(trace, cache));
+    v.extend(check_recovery_reads_with(trace, cache));
+    v
+}
+
 /// Invariants 1 and 2: ordering between CPU and NDP accesses to shared
 /// addresses must follow program order around the offload point.
 pub fn check_cpu_ndp_ordering(trace: &Trace) -> Vec<PpoViolation> {
@@ -124,8 +136,14 @@ pub fn check_cpu_ndp_ordering(trace: &Trace) -> Vec<PpoViolation> {
 /// Indexed implementation of [`check_cpu_ndp_ordering`]: one pass over the
 /// NDP accesses, each resolved against the per-kind CPU interval indexes.
 pub fn check_cpu_ndp_ordering_indexed(idx: &TraceIndex<'_>) -> Vec<PpoViolation> {
+    check_cpu_ndp_ordering_with(idx.trace(), idx)
+}
+
+/// [`check_cpu_ndp_ordering`] against any index implementation.
+fn check_cpu_ndp_ordering_with<I: PpoIndexQueries>(trace: &Trace, idx: &I) -> Vec<PpoViolation> {
+    let events = trace.events();
     let mut violations = Vec::new();
-    for ndp in idx.trace().events().iter().filter(|e| {
+    for ndp in events.iter().filter(|e| {
         e.agent.is_ndp()
             && e.sharing == Sharing::Shared
             && matches!(
@@ -142,7 +160,7 @@ pub fn check_cpu_ndp_ordering_indexed(idx: &TraceIndex<'_>) -> Vec<PpoViolation>
             violations.push(PpoViolation::MissingOffload { proc });
             continue;
         };
-        idx.for_each_comparable_cpu_access(ndp.kind, ndp.interval, |cpu| {
+        idx.for_each_comparable_cpu_access(events, ndp.kind, ndp.interval, |cpu| {
             let cpu_before_offload = cpu.program_order < off_po;
             let ok = if cpu_before_offload {
                 cpu.timestamp_ps <= ndp.timestamp_ps
@@ -180,8 +198,13 @@ pub fn check_sync_persistence(trace: &Trace) -> Vec<PpoViolation> {
 /// covering persist lands after the sync — an O(log n + violations) range
 /// read instead of a rescan of every prior write.
 pub fn check_sync_persistence_indexed(idx: &TraceIndex<'_>) -> Vec<PpoViolation> {
+    check_sync_persistence_with(idx.trace(), idx)
+}
+
+/// [`check_sync_persistence`] against any index implementation.
+fn check_sync_persistence_with<I: PpoIndexQueries>(trace: &Trace, idx: &I) -> Vec<PpoViolation> {
     let mut violations = Vec::new();
-    let events = idx.trace().events();
+    let events = trace.events();
     // Writes seen so far per agent, keyed by (earliest covering persist
     // timestamp, event index).
     let mut pending: HashMap<Agent, BTreeSet<(u64, u32)>> = HashMap::new();
@@ -230,12 +253,16 @@ pub fn check_recovery_reads(trace: &Trace) -> Vec<PpoViolation> {
 /// Indexed implementation of [`check_recovery_reads`]: each recovery read is
 /// two existence queries against the failure-window write/persist indexes.
 pub fn check_recovery_reads_indexed(idx: &TraceIndex<'_>) -> Vec<PpoViolation> {
+    check_recovery_reads_with(idx.trace(), idx)
+}
+
+/// [`check_recovery_reads`] against any index implementation.
+fn check_recovery_reads_with<I: PpoIndexQueries>(trace: &Trace, idx: &I) -> Vec<PpoViolation> {
     let mut violations = Vec::new();
     if idx.failure_ts().is_none() {
         return violations;
     }
-    for r in idx
-        .trace()
+    for r in trace
         .events()
         .iter()
         .filter(|e| e.kind == EventKind::RecoveryRead && e.interval.len > 0)

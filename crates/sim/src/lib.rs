@@ -70,7 +70,7 @@ pub mod time;
 
 pub use latency::{LatencyModel, CACHE_LINE, PM_PAGE};
 pub use resource::{Resource, Topology};
-pub use schedule::{Schedule, TaskTiming};
+pub use schedule::{IntervalSet, Schedule, TaskTiming, Timeline};
 pub use stats::Summary;
 pub use task::{Region, Task, TaskGraph, TaskId};
 pub use time::{SimDuration, SimTime};

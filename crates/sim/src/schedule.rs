@@ -1,15 +1,38 @@
-//! List scheduler and schedule analysis.
+//! List scheduler and schedule analysis over merged busy-interval timelines.
 //!
 //! The scheduler assigns start and finish times to every task in a
 //! [`TaskGraph`]: a task starts at the later of (a) the finish time of its
 //! last dependency and (b) the time its resource becomes free. Tasks are
 //! processed in insertion order, which corresponds to program order on each
-//! resource, so the schedule is deterministic.
+//! resource, so the schedule is deterministic. The graph maintains these
+//! times incrementally as tasks are added, so [`Schedule::compute`] is a
+//! single aggregation pass, not a re-derivation.
 //!
 //! The resulting [`Schedule`] exposes the quantities the paper reports:
 //! makespan (end-to-end time), per-region busy time (Figure 1 breakdowns),
 //! per-resource busy time, and the CPU/NDP overlap used for the
 //! parallelizable-fraction analysis (Figure 18).
+//!
+//! ## The timeline
+//!
+//! All wall-clock analyses are answered by a [`Timeline`] built once per
+//! `compute`: per-resource **merged busy intervals** (already sorted because
+//! every resource serializes its tasks) with prefix sums of covered time,
+//! plus union timelines for the CPU side and the NDP side and their
+//! intersection. On top of this structure
+//!
+//! * totals (`cpu_busy`, `ndp_busy`, `cpu_ndp_overlap`, per-resource busy
+//!   time, utilization) are O(1) reads of precomputed sums,
+//! * windowed queries (`covered_in`, `contains`) are O(log n) binary
+//!   searches against the prefix sums, and
+//! * idle-gap analyses enumerate the complement of a merged interval set.
+//!
+//! The pre-timeline implementation — rescanning the task list and re-merging
+//! intervals for every query — is preserved verbatim in [`oracle`]
+//! (compiled under `cfg(test)` or the `oracle` feature). Randomized
+//! differential tests assert both produce identical timings, overlap,
+//! region, and makespan answers; the `schedule_compute` bench quantifies the
+//! speedup at fig18 scale.
 
 use std::collections::HashMap;
 
@@ -33,6 +56,285 @@ impl TaskTiming {
     }
 }
 
+/// A merged set of disjoint, sorted busy intervals with prefix sums of the
+/// covered time. All queries are O(log n) or better.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalSet {
+    /// Disjoint intervals sorted by start; no two touch (`end < next start`).
+    intervals: Vec<(SimTime, SimTime)>,
+    /// `prefix[i]` = total covered time of `intervals[..i]`, in ps.
+    prefix: Vec<u64>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        IntervalSet::default()
+    }
+
+    /// Builds a set from arbitrary (possibly overlapping, unsorted)
+    /// intervals. Zero-length intervals are dropped.
+    pub fn from_intervals(mut intervals: Vec<(SimTime, SimTime)>) -> Self {
+        intervals.retain(|(s, e)| e > s);
+        intervals.sort_unstable_by_key(|(s, _)| *s);
+        Self::merge_sorted(intervals)
+    }
+
+    /// Builds a set from intervals already sorted by start and pairwise
+    /// non-overlapping (the shape a serialized resource produces); touching
+    /// intervals are coalesced.
+    fn from_sorted_disjoint(intervals: Vec<(SimTime, SimTime)>) -> Self {
+        debug_assert!(intervals.windows(2).all(|w| w[0].1 <= w[1].0));
+        Self::merge_sorted(intervals)
+    }
+
+    fn merge_sorted(intervals: Vec<(SimTime, SimTime)>) -> Self {
+        let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(intervals.len());
+        for (s, e) in intervals {
+            if e <= s {
+                continue;
+            }
+            match merged.last_mut() {
+                Some((_, last_end)) if s <= *last_end => {
+                    if e > *last_end {
+                        *last_end = e;
+                    }
+                }
+                _ => merged.push((s, e)),
+            }
+        }
+        let mut prefix = Vec::with_capacity(merged.len() + 1);
+        let mut acc = 0u64;
+        prefix.push(0);
+        for (s, e) in &merged {
+            acc += (*e - *s).as_ps();
+            prefix.push(acc);
+        }
+        IntervalSet {
+            intervals: merged,
+            prefix,
+        }
+    }
+
+    /// The merged intervals, sorted by start.
+    pub fn intervals(&self) -> &[(SimTime, SimTime)] {
+        &self.intervals
+    }
+
+    /// Number of merged intervals.
+    pub fn count(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// True if nothing is covered.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Total covered time — O(1) from the precomputed prefix sums.
+    pub fn total(&self) -> SimDuration {
+        SimDuration::from_ps(*self.prefix.last().unwrap_or(&0))
+    }
+
+    /// End of the last busy interval (`None` if the set is empty).
+    pub fn end(&self) -> Option<SimTime> {
+        self.intervals.last().map(|&(_, e)| e)
+    }
+
+    /// True if instant `t` falls inside a busy interval — O(log n).
+    pub fn contains(&self, t: SimTime) -> bool {
+        let k = self.intervals.partition_point(|&(s, _)| s <= t);
+        k > 0 && self.intervals[k - 1].1 > t
+    }
+
+    /// Covered time in `[0, t)` — O(log n) via the prefix sums.
+    pub fn covered_before(&self, t: SimTime) -> SimDuration {
+        let k = self.intervals.partition_point(|&(s, _)| s < t);
+        let mut ps = self.prefix[k];
+        if k > 0 {
+            let (_, end) = self.intervals[k - 1];
+            if end > t {
+                ps -= (end - t).as_ps();
+            }
+        }
+        SimDuration::from_ps(ps)
+    }
+
+    /// Covered time in `[from, to)` — O(log n).
+    pub fn covered_in(&self, from: SimTime, to: SimTime) -> SimDuration {
+        self.covered_before(to)
+            .saturating_sub(self.covered_before(from))
+    }
+
+    /// Intersection with another set — linear sweep over both interval
+    /// lists, producing a new merged set.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let a = &self.intervals;
+        let b = &other.intervals;
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            let (as_, ae) = a[i];
+            let (bs, be) = b[j];
+            let start = as_.max(bs);
+            let end = ae.min(be);
+            if end > start {
+                out.push((start, end));
+            }
+            if ae <= be {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet::from_sorted_disjoint(out)
+    }
+
+    /// Idle gaps in `[0, horizon)`: the maximal sub-intervals not covered by
+    /// any busy interval.
+    pub fn idle_gaps(&self, horizon: SimTime) -> Vec<(SimTime, SimTime)> {
+        let mut gaps = Vec::new();
+        let mut cursor = SimTime::ZERO;
+        for &(s, e) in &self.intervals {
+            if s >= horizon {
+                break;
+            }
+            if s > cursor {
+                gaps.push((cursor, s.min(horizon)));
+            }
+            cursor = cursor.max(e);
+        }
+        if cursor < horizon {
+            gaps.push((cursor, horizon));
+        }
+        gaps
+    }
+
+    /// Length of the longest idle gap in `[0, horizon)`.
+    pub fn longest_idle_gap(&self, horizon: SimTime) -> SimDuration {
+        self.idle_gaps(horizon)
+            .into_iter()
+            .map(|(s, e)| e - s)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Total idle time in `[0, horizon)`.
+    pub fn idle_before(&self, horizon: SimTime) -> SimDuration {
+        horizon
+            .since(SimTime::ZERO)
+            .saturating_sub(self.covered_before(horizon))
+    }
+}
+
+/// The merged busy-interval timeline of one schedule: per-resource merged
+/// busy intervals plus the CPU-side and NDP-side union timelines and their
+/// intersection, all with prefix sums.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Sorted by resource for binary-search lookup.
+    per_resource: Vec<(Resource, IntervalSet)>,
+    cpu: IntervalSet,
+    ndp: IntervalSet,
+    overlap: IntervalSet,
+    horizon: SimTime,
+}
+
+impl Timeline {
+    /// Builds the timeline from per-resource busy intervals (each list in
+    /// task insertion order, which on a serialized resource is sorted and
+    /// disjoint).
+    fn build(per_resource_raw: Vec<(Resource, Vec<(SimTime, SimTime)>)>) -> Timeline {
+        let mut cpu_all = Vec::new();
+        let mut ndp_all = Vec::new();
+        let mut per_resource: Vec<(Resource, IntervalSet)> = per_resource_raw
+            .into_iter()
+            .map(|(r, intervals)| {
+                if r.is_cpu() {
+                    cpu_all.extend_from_slice(&intervals);
+                } else if r.is_ndp() {
+                    ndp_all.extend_from_slice(&intervals);
+                }
+                (r, IntervalSet::from_sorted_disjoint(intervals))
+            })
+            .collect();
+        per_resource.sort_by_key(|(r, _)| *r);
+        let cpu = IntervalSet::from_intervals(cpu_all);
+        let ndp = IntervalSet::from_intervals(ndp_all);
+        let overlap = cpu.intersect(&ndp);
+        let horizon = per_resource
+            .iter()
+            .filter_map(|(_, set)| set.end())
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        Timeline {
+            per_resource,
+            cpu,
+            ndp,
+            overlap,
+            horizon,
+        }
+    }
+
+    /// The merged busy intervals of one resource (`None` if it never ran a
+    /// non-zero-length task).
+    pub fn resource(&self, resource: Resource) -> Option<&IntervalSet> {
+        self.per_resource
+            .binary_search_by_key(&resource, |(r, _)| *r)
+            .ok()
+            .map(|i| &self.per_resource[i].1)
+    }
+
+    /// Iterates over every resource with busy time, in `Resource` order.
+    pub fn resources(&self) -> impl Iterator<Item = (Resource, &IntervalSet)> {
+        self.per_resource.iter().map(|(r, set)| (*r, set))
+    }
+
+    /// Union timeline of all CPU threads.
+    pub fn cpu(&self) -> &IntervalSet {
+        &self.cpu
+    }
+
+    /// Union timeline of all NDP resources (units and dispatchers).
+    pub fn ndp(&self) -> &IntervalSet {
+        &self.ndp
+    }
+
+    /// Intersection of the CPU and NDP union timelines.
+    pub fn overlap(&self) -> &IntervalSet {
+        &self.overlap
+    }
+
+    /// Finish time of the latest busy interval (equals the makespan end).
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Fraction of the schedule horizon during which `resource` was busy.
+    pub fn utilization(&self, resource: Resource) -> f64 {
+        match self.resource(resource) {
+            Some(set) => set.total().ratio(self.horizon.since(SimTime::ZERO)),
+            None => 0.0,
+        }
+    }
+
+    /// Time at which `resource` runs its last task to completion (time zero
+    /// if it is never used).
+    pub fn busy_until(&self, resource: Resource) -> SimTime {
+        self.resource(resource)
+            .and_then(|set| set.end())
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total idle time of `resource` within the schedule horizon.
+    pub fn idle_time(&self, resource: Resource) -> SimDuration {
+        match self.resource(resource) {
+            Some(set) => set.idle_before(self.horizon),
+            None => self.horizon.since(SimTime::ZERO),
+        }
+    }
+}
+
 /// The result of scheduling a task graph.
 #[derive(Debug, Clone)]
 pub struct Schedule {
@@ -40,42 +342,29 @@ pub struct Schedule {
     makespan: SimDuration,
     region_busy: HashMap<Region, SimDuration>,
     resource_busy: HashMap<Resource, SimDuration>,
-    cpu_busy: SimDuration,
-    ndp_busy: SimDuration,
-    overlap: SimDuration,
     critical_path: SimDuration,
+    timeline: Timeline,
 }
 
 impl Schedule {
     /// Schedules `graph` with the list-scheduling policy described in the
-    /// module documentation.
+    /// module documentation. Start/finish times are read from the graph's
+    /// incrementally maintained schedule; this pass only aggregates them and
+    /// builds the merged busy-interval [`Timeline`].
     pub fn compute(graph: &TaskGraph) -> Schedule {
         let mut timings: Vec<TaskTiming> = Vec::with_capacity(graph.len());
-        let mut resource_free: HashMap<Resource, SimTime> = HashMap::new();
         let mut region_busy: HashMap<Region, SimDuration> = HashMap::new();
         let mut resource_busy: HashMap<Resource, SimDuration> = HashMap::new();
         // Longest dependency chain ending at each task (critical path).
         let mut chain: Vec<SimDuration> = Vec::with_capacity(graph.len());
+        // Per-resource busy intervals in insertion order (sorted + disjoint
+        // because each resource serializes its tasks).
+        let mut per_resource: HashMap<Resource, Vec<(SimTime, SimTime)>> = HashMap::new();
 
         let mut makespan = SimDuration::ZERO;
-        let mut cpu_intervals: Vec<(SimTime, SimTime)> = Vec::new();
-        let mut ndp_intervals: Vec<(SimTime, SimTime)> = Vec::new();
-
         for task in graph.tasks() {
-            let dep_ready = task
-                .deps
-                .iter()
-                .map(|d| timings[d.index()].finish)
-                .max()
-                .unwrap_or(SimTime::ZERO);
-            let free = resource_free
-                .get(&task.resource)
-                .copied()
-                .unwrap_or(SimTime::ZERO);
-            let start = dep_ready.max(free);
-            let finish = start + task.duration;
-
-            resource_free.insert(task.resource, finish);
+            let start = graph.task_start(task.id);
+            let finish = graph.task_finish(task.id);
             *region_busy.entry(task.region).or_insert(SimDuration::ZERO) += task.duration;
             *resource_busy
                 .entry(task.resource)
@@ -93,29 +382,24 @@ impl Schedule {
                 makespan = finish.since(SimTime::ZERO);
             }
             if !task.duration.is_zero() {
-                if task.resource.is_cpu() {
-                    cpu_intervals.push((start, finish));
-                } else if task.resource.is_ndp() {
-                    ndp_intervals.push((start, finish));
-                }
+                per_resource
+                    .entry(task.resource)
+                    .or_default()
+                    .push((start, finish));
             }
             timings.push(TaskTiming { start, finish });
         }
 
-        let cpu_busy = merged_length(&mut cpu_intervals);
-        let ndp_busy = merged_length(&mut ndp_intervals);
-        let overlap = intersection_length(&cpu_intervals, &ndp_intervals);
         let critical_path = chain.iter().copied().max().unwrap_or(SimDuration::ZERO);
+        let timeline = Timeline::build(per_resource.into_iter().collect());
 
         Schedule {
             timings,
             makespan,
             region_busy,
             resource_busy,
-            cpu_busy,
-            ndp_busy,
-            overlap,
             critical_path,
+            timeline,
         }
     }
 
@@ -127,6 +411,11 @@ impl Schedule {
     /// End-to-end simulated time (completion of the last task).
     pub fn makespan(&self) -> SimDuration {
         self.makespan
+    }
+
+    /// The merged busy-interval timeline of this schedule.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
     }
 
     /// Total busy time attributed to a region (summed across resources, so it
@@ -163,23 +452,23 @@ impl Schedule {
 
     /// Wall-clock time during which at least one CPU thread was busy.
     pub fn cpu_busy(&self) -> SimDuration {
-        self.cpu_busy
+        self.timeline.cpu().total()
     }
 
     /// Wall-clock time during which at least one NearPM resource was busy.
     pub fn ndp_busy(&self) -> SimDuration {
-        self.ndp_busy
+        self.timeline.ndp().total()
     }
 
     /// Wall-clock time during which the CPU and a NearPM resource were busy
     /// simultaneously — the "parallelizable fraction" numerator of Figure 18.
     pub fn cpu_ndp_overlap(&self) -> SimDuration {
-        self.overlap
+        self.timeline.overlap().total()
     }
 
     /// Fraction of the makespan during which CPU and NDP overlap.
     pub fn overlap_fraction(&self) -> f64 {
-        self.overlap.ratio(self.makespan)
+        self.cpu_ndp_overlap().ratio(self.makespan)
     }
 
     /// Length of the longest dependency chain (lower bound on makespan with
@@ -198,48 +487,237 @@ impl Schedule {
     }
 }
 
-/// Sorts and merges intervals in place, returning their total covered length.
-fn merged_length(intervals: &mut Vec<(SimTime, SimTime)>) -> SimDuration {
-    if intervals.is_empty() {
-        return SimDuration::ZERO;
-    }
-    intervals.sort_by_key(|(s, _)| *s);
-    let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(intervals.len());
-    for &(s, e) in intervals.iter() {
-        match merged.last_mut() {
-            Some((_, last_end)) if s <= *last_end => {
-                if e > *last_end {
-                    *last_end = e;
-                }
-            }
-            _ => merged.push((s, e)),
-        }
-    }
-    let total = merged.iter().map(|(s, e)| *e - *s).sum();
-    *intervals = merged;
-    total
-}
+/// The pre-timeline rescanning analyses, kept verbatim as reference oracles.
+///
+/// Every function re-derives its answer from the raw task list: timings via
+/// the original scheduling recurrence, busy/overlap figures by collecting and
+/// re-merging intervals per call, windowed queries by clipping and re-merging
+/// per call. They exist so differential tests and the `schedule_compute`
+/// bench can compare the timeline implementation against the original
+/// semantics. Compiled under `cfg(test)` or the `oracle` cargo feature.
+#[cfg(any(test, feature = "oracle"))]
+pub mod oracle {
+    use super::*;
 
-/// Total length of the intersection of two sets of *merged, sorted* intervals.
-fn intersection_length(a: &[(SimTime, SimTime)], b: &[(SimTime, SimTime)]) -> SimDuration {
-    let mut i = 0;
-    let mut j = 0;
-    let mut total = SimDuration::ZERO;
-    while i < a.len() && j < b.len() {
-        let (as_, ae) = a[i];
-        let (bs, be) = b[j];
-        let start = as_.max(bs);
-        let end = ae.min(be);
-        if end > start {
-            total += end - start;
+    /// Recomputes every task's timing with the original scheduling
+    /// recurrence (independent of the graph's incremental bookkeeping).
+    pub fn compute_timings(graph: &TaskGraph) -> Vec<TaskTiming> {
+        let mut timings: Vec<TaskTiming> = Vec::with_capacity(graph.len());
+        let mut resource_free: HashMap<Resource, SimTime> = HashMap::new();
+        for task in graph.tasks() {
+            let dep_ready = task
+                .deps
+                .iter()
+                .map(|d| timings[d.index()].finish)
+                .max()
+                .unwrap_or(SimTime::ZERO);
+            let free = resource_free
+                .get(&task.resource)
+                .copied()
+                .unwrap_or(SimTime::ZERO);
+            let start = dep_ready.max(free);
+            let finish = start + task.duration;
+            resource_free.insert(task.resource, finish);
+            timings.push(TaskTiming { start, finish });
         }
-        if ae <= be {
-            i += 1;
-        } else {
-            j += 1;
-        }
+        timings
     }
-    total
+
+    /// Sorts and merges intervals in place, returning their total covered
+    /// length (the original per-query helper).
+    pub fn merged_length(intervals: &mut Vec<(SimTime, SimTime)>) -> SimDuration {
+        if intervals.is_empty() {
+            return SimDuration::ZERO;
+        }
+        intervals.sort_by_key(|(s, _)| *s);
+        let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(intervals.len());
+        for &(s, e) in intervals.iter() {
+            match merged.last_mut() {
+                Some((_, last_end)) if s <= *last_end => {
+                    if e > *last_end {
+                        *last_end = e;
+                    }
+                }
+                _ => merged.push((s, e)),
+            }
+        }
+        let total = merged.iter().map(|(s, e)| *e - *s).sum();
+        *intervals = merged;
+        total
+    }
+
+    /// Total length of the intersection of two sets of *merged, sorted*
+    /// intervals.
+    pub fn intersection_length(a: &[(SimTime, SimTime)], b: &[(SimTime, SimTime)]) -> SimDuration {
+        let mut i = 0;
+        let mut j = 0;
+        let mut total = SimDuration::ZERO;
+        while i < a.len() && j < b.len() {
+            let (as_, ae) = a[i];
+            let (bs, be) = b[j];
+            let start = as_.max(bs);
+            let end = ae.min(be);
+            if end > start {
+                total += end - start;
+            }
+            if ae <= be {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        total
+    }
+
+    fn collect<F: Fn(Resource) -> bool>(
+        graph: &TaskGraph,
+        timings: &[TaskTiming],
+        keep: F,
+    ) -> Vec<(SimTime, SimTime)> {
+        graph
+            .tasks()
+            .iter()
+            .filter(|t| !t.duration.is_zero() && keep(t.resource))
+            .map(|t| (timings[t.id.index()].start, timings[t.id.index()].finish))
+            .collect()
+    }
+
+    /// Makespan: rescan for the latest finish.
+    pub fn makespan(timings: &[TaskTiming]) -> SimDuration {
+        timings
+            .iter()
+            .map(|t| t.finish.since(SimTime::ZERO))
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// CPU busy time: rescan the task list, sort, merge.
+    pub fn cpu_busy(graph: &TaskGraph, timings: &[TaskTiming]) -> SimDuration {
+        let mut v = collect(graph, timings, |r| r.is_cpu());
+        merged_length(&mut v)
+    }
+
+    /// NDP busy time: rescan the task list, sort, merge.
+    pub fn ndp_busy(graph: &TaskGraph, timings: &[TaskTiming]) -> SimDuration {
+        let mut v = collect(graph, timings, |r| r.is_ndp());
+        merged_length(&mut v)
+    }
+
+    /// CPU/NDP overlap: rescan and re-merge both sides, then intersect.
+    pub fn cpu_ndp_overlap(graph: &TaskGraph, timings: &[TaskTiming]) -> SimDuration {
+        let mut cpu = collect(graph, timings, |r| r.is_cpu());
+        let mut ndp = collect(graph, timings, |r| r.is_ndp());
+        merged_length(&mut cpu);
+        merged_length(&mut ndp);
+        intersection_length(&cpu, &ndp)
+    }
+
+    /// Per-region busy time: rescan the task list.
+    pub fn region_time(graph: &TaskGraph, region: Region) -> SimDuration {
+        graph
+            .tasks()
+            .iter()
+            .filter(|t| t.region == region)
+            .map(|t| t.duration)
+            .sum()
+    }
+
+    /// Per-resource busy time: rescan the task list.
+    pub fn resource_time(graph: &TaskGraph, resource: Resource) -> SimDuration {
+        graph
+            .tasks()
+            .iter()
+            .filter(|t| t.resource == resource)
+            .map(|t| t.duration)
+            .sum()
+    }
+
+    /// Critical path: rescan with the chain recurrence.
+    pub fn critical_path(graph: &TaskGraph) -> SimDuration {
+        let mut chain: Vec<SimDuration> = Vec::with_capacity(graph.len());
+        for task in graph.tasks() {
+            let dep_chain = task
+                .deps
+                .iter()
+                .map(|d| chain[d.index()])
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            chain.push(dep_chain + task.duration);
+        }
+        chain.into_iter().max().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Busy time of one resource inside `[from, to)`: rescan, clip, merge.
+    pub fn resource_busy_in_window(
+        graph: &TaskGraph,
+        timings: &[TaskTiming],
+        resource: Resource,
+        from: SimTime,
+        to: SimTime,
+    ) -> SimDuration {
+        let mut v: Vec<(SimTime, SimTime)> = collect(graph, timings, |r| r == resource)
+            .into_iter()
+            .map(|(s, e)| (s.max(from), e.min(to)))
+            .filter(|(s, e)| e > s)
+            .collect();
+        merged_length(&mut v)
+    }
+
+    /// CPU/NDP overlap inside `[from, to)`: rescan and re-merge both sides.
+    pub fn overlap_in_window(
+        graph: &TaskGraph,
+        timings: &[TaskTiming],
+        from: SimTime,
+        to: SimTime,
+    ) -> SimDuration {
+        let clip = |v: Vec<(SimTime, SimTime)>| -> Vec<(SimTime, SimTime)> {
+            v.into_iter()
+                .map(|(s, e)| (s.max(from), e.min(to)))
+                .filter(|(s, e)| e > s)
+                .collect()
+        };
+        let mut cpu = clip(collect(graph, timings, |r| r.is_cpu()));
+        let mut ndp = clip(collect(graph, timings, |r| r.is_ndp()));
+        merged_length(&mut cpu);
+        merged_length(&mut ndp);
+        intersection_length(&cpu, &ndp)
+    }
+
+    /// Finish time of the last non-zero-length task on `resource`: rescan.
+    pub fn busy_until(graph: &TaskGraph, timings: &[TaskTiming], resource: Resource) -> SimTime {
+        collect(graph, timings, |r| r == resource)
+            .into_iter()
+            .map(|(_, e)| e)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Idle gaps of one resource in `[0, horizon)`: rescan and walk the
+    /// complement.
+    pub fn resource_idle_gaps(
+        graph: &TaskGraph,
+        timings: &[TaskTiming],
+        resource: Resource,
+        horizon: SimTime,
+    ) -> Vec<(SimTime, SimTime)> {
+        let mut busy = collect(graph, timings, |r| r == resource);
+        merged_length(&mut busy);
+        let mut gaps = Vec::new();
+        let mut cursor = SimTime::ZERO;
+        for (s, e) in busy {
+            if s >= horizon {
+                break;
+            }
+            if s > cursor {
+                gaps.push((cursor, s.min(horizon)));
+            }
+            cursor = cursor.max(e);
+        }
+        if cursor < horizon {
+            gaps.push((cursor, horizon));
+        }
+        gaps
+    }
 }
 
 #[cfg(test)]
@@ -352,28 +830,213 @@ mod tests {
         assert_eq!(s.makespan(), SimDuration::ZERO);
         assert_eq!(s.critical_path(), SimDuration::ZERO);
         assert_eq!(s.cpu_busy(), SimDuration::ZERO);
+        assert!(s.timeline().cpu().is_empty());
+        assert_eq!(s.timeline().horizon(), SimTime::ZERO);
     }
 
     #[test]
-    fn interval_merging_handles_overlaps() {
-        let mut v = vec![
+    fn interval_set_merges_and_sums() {
+        let set = IntervalSet::from_intervals(vec![
             (SimTime::from_ns(0.0), SimTime::from_ns(10.0)),
             (SimTime::from_ns(5.0), SimTime::from_ns(15.0)),
             (SimTime::from_ns(20.0), SimTime::from_ns(25.0)),
-        ];
-        let len = merged_length(&mut v);
-        assert!((len.as_ns() - 20.0).abs() < 1e-9);
-        assert_eq!(v.len(), 2);
+        ]);
+        assert!((set.total().as_ns() - 20.0).abs() < 1e-9);
+        assert_eq!(set.count(), 2);
+        assert!(set.contains(SimTime::from_ns(7.0)));
+        assert!(!set.contains(SimTime::from_ns(17.0)));
+        assert!((set.covered_before(SimTime::from_ns(12.0)).as_ns() - 12.0).abs() < 1e-9);
+        assert!(
+            (set.covered_in(SimTime::from_ns(10.0), SimTime::from_ns(22.0))
+                .as_ns()
+                - 7.0)
+                .abs()
+                < 1e-9
+        );
+        assert_eq!(set.end(), Some(SimTime::from_ns(25.0)));
     }
 
     #[test]
-    fn interval_intersection() {
-        let a = vec![(SimTime::from_ns(0.0), SimTime::from_ns(10.0))];
-        let b = vec![
+    fn interval_set_intersection() {
+        let a = IntervalSet::from_intervals(vec![(SimTime::from_ns(0.0), SimTime::from_ns(10.0))]);
+        let b = IntervalSet::from_intervals(vec![
             (SimTime::from_ns(5.0), SimTime::from_ns(7.0)),
             (SimTime::from_ns(9.0), SimTime::from_ns(20.0)),
+        ]);
+        let both = a.intersect(&b);
+        assert!((both.total().as_ns() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_set_idle_gaps() {
+        let set = IntervalSet::from_intervals(vec![
+            (SimTime::from_ns(10.0), SimTime::from_ns(20.0)),
+            (SimTime::from_ns(30.0), SimTime::from_ns(40.0)),
+        ]);
+        let gaps = set.idle_gaps(SimTime::from_ns(50.0));
+        assert_eq!(
+            gaps,
+            vec![
+                (SimTime::ZERO, SimTime::from_ns(10.0)),
+                (SimTime::from_ns(20.0), SimTime::from_ns(30.0)),
+                (SimTime::from_ns(40.0), SimTime::from_ns(50.0)),
+            ]
+        );
+        assert!((set.longest_idle_gap(SimTime::from_ns(50.0)).as_ns() - 10.0).abs() < 1e-9);
+        assert!((set.idle_before(SimTime::from_ns(50.0)).as_ns() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_per_resource_queries() {
+        let mut g = TaskGraph::new();
+        let a = g.add("a", UNIT0, ns(40.0), Region::CcDataMovement, &[]);
+        let _b = g.add("b", UNIT1, ns(10.0), Region::CcDataMovement, &[]);
+        let _c = g.add("c", UNIT0, ns(20.0), Region::CcDataMovement, &[a]);
+        let _d = g.add("d", CPU, ns(30.0), Region::Application, &[]);
+        let s = Schedule::compute(&g);
+        let tl = s.timeline();
+        assert_eq!(tl.busy_until(UNIT0), SimTime::from_ns(60.0));
+        assert_eq!(tl.busy_until(UNIT1), SimTime::from_ns(10.0));
+        assert_eq!(tl.horizon(), SimTime::from_ns(60.0));
+        assert!((tl.utilization(UNIT0) - 1.0).abs() < 1e-9);
+        assert!((tl.utilization(UNIT1) - 10.0 / 60.0).abs() < 1e-9);
+        assert!((tl.idle_time(UNIT1).as_ns() - 50.0).abs() < 1e-9);
+        // Adjacent busy intervals on UNIT0 coalesce into one.
+        assert_eq!(tl.resource(UNIT0).unwrap().count(), 1);
+        // Unused resource.
+        assert!(tl.resource(Resource::Cpu(7)).is_none());
+        assert_eq!(tl.busy_until(Resource::Cpu(7)), SimTime::ZERO);
+        assert!((tl.utilization(Resource::Cpu(7))).abs() < 1e-9);
+    }
+
+    /// Builds a random task graph over a mixed CPU/NDP topology.
+    fn random_graph(rng: &mut impl rand::Rng, tasks: usize) -> TaskGraph {
+        let resources = [
+            Resource::Cpu(0),
+            Resource::Cpu(1),
+            Resource::NdpUnit { device: 0, unit: 0 },
+            Resource::NdpUnit { device: 0, unit: 1 },
+            Resource::NdpUnit { device: 1, unit: 0 },
+            Resource::Dispatcher(0),
+            Resource::ControlPath,
         ];
-        let len = intersection_length(&a, &b);
-        assert!((len.as_ns() - 3.0).abs() < 1e-9);
+        let regions = Region::all();
+        let mut g = TaskGraph::new();
+        for i in 0..tasks {
+            let resource = resources[rng.gen_range(0..resources.len())];
+            let region = regions[rng.gen_range(0..regions.len())];
+            // Mix zero-length barriers in.
+            let duration = if rng.gen_range(0..8) == 0 {
+                SimDuration::ZERO
+            } else {
+                SimDuration::from_ps(rng.gen_range(1..5_000))
+            };
+            let mut deps = Vec::new();
+            if i > 0 {
+                for _ in 0..rng.gen_range(0..3usize) {
+                    deps.push(TaskId(rng.gen_range(0..i)));
+                }
+                deps.sort_unstable();
+                deps.dedup();
+            }
+            g.add("t", resource, duration, region, &deps);
+        }
+        g
+    }
+
+    #[test]
+    fn differential_timeline_vs_rescanning_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for round in 0..40 {
+            let tasks = rng.gen_range(0..120);
+            let g = random_graph(&mut rng, tasks);
+            let s = Schedule::compute(&g);
+            let oracle_timings = oracle::compute_timings(&g);
+
+            // Incremental timings match the original recurrence exactly.
+            for (i, t) in oracle_timings.iter().enumerate() {
+                assert_eq!(s.timing(TaskId(i)), *t, "round {round} task {i}");
+            }
+
+            // Aggregate answers match the per-query rescans.
+            assert_eq!(s.makespan(), oracle::makespan(&oracle_timings));
+            assert_eq!(s.cpu_busy(), oracle::cpu_busy(&g, &oracle_timings));
+            assert_eq!(s.ndp_busy(), oracle::ndp_busy(&g, &oracle_timings));
+            assert_eq!(
+                s.cpu_ndp_overlap(),
+                oracle::cpu_ndp_overlap(&g, &oracle_timings)
+            );
+            assert_eq!(s.critical_path(), oracle::critical_path(&g));
+            for r in Region::all() {
+                assert_eq!(s.region_time(r), oracle::region_time(&g, r));
+            }
+
+            // Per-resource totals, windows, and idle gaps.
+            let horizon = s.timeline().horizon();
+            for resource in [
+                Resource::Cpu(0),
+                Resource::Cpu(1),
+                Resource::NdpUnit { device: 0, unit: 0 },
+                Resource::Dispatcher(0),
+            ] {
+                assert_eq!(
+                    s.resource_time(resource),
+                    oracle::resource_time(&g, resource)
+                );
+                let set_total = s
+                    .timeline()
+                    .resource(resource)
+                    .map(|set| set.total())
+                    .unwrap_or(SimDuration::ZERO);
+                assert_eq!(
+                    set_total,
+                    oracle::resource_busy_in_window(
+                        &g,
+                        &oracle_timings,
+                        resource,
+                        SimTime::ZERO,
+                        SimTime::from_ps(u64::MAX),
+                    )
+                );
+                let gaps = s
+                    .timeline()
+                    .resource(resource)
+                    .map(|set| set.idle_gaps(horizon))
+                    .unwrap_or_else(|| {
+                        if horizon > SimTime::ZERO {
+                            vec![(SimTime::ZERO, horizon)]
+                        } else {
+                            Vec::new()
+                        }
+                    });
+                assert_eq!(
+                    gaps,
+                    oracle::resource_idle_gaps(&g, &oracle_timings, resource, horizon)
+                );
+                for _ in 0..4 {
+                    let a = SimTime::from_ps(rng.gen_range(0..6_000 * 120));
+                    let b = a + SimDuration::from_ps(rng.gen_range(0..10_000));
+                    let timeline_win = s
+                        .timeline()
+                        .resource(resource)
+                        .map(|set| set.covered_in(a, b))
+                        .unwrap_or(SimDuration::ZERO);
+                    assert_eq!(
+                        timeline_win,
+                        oracle::resource_busy_in_window(&g, &oracle_timings, resource, a, b)
+                    );
+                }
+            }
+            for _ in 0..6 {
+                let a = SimTime::from_ps(rng.gen_range(0..6_000 * 120));
+                let b = a + SimDuration::from_ps(rng.gen_range(0..10_000));
+                assert_eq!(
+                    s.timeline().overlap().covered_in(a, b),
+                    oracle::overlap_in_window(&g, &oracle_timings, a, b)
+                );
+            }
+        }
     }
 }

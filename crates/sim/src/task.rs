@@ -7,8 +7,10 @@
 //! [`crate::schedule`] then derives start/finish times, overlap, and region
 //! breakdowns from it.
 
+use std::collections::HashMap;
+
 use crate::resource::Resource;
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a task within one [`TaskGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -106,15 +108,29 @@ pub struct Task {
 /// Tasks are appended in program order; dependencies may only reference
 /// previously added tasks, which makes cycles impossible by construction and
 /// lets the scheduler process tasks in insertion order.
+///
+/// Because the list scheduler processes tasks in exactly this order, a task's
+/// start and finish time are fully determined the moment it is added: the
+/// graph maintains them **incrementally** (`start = max(dep finishes,
+/// resource free time)`). This is what lets the device model dispatch
+/// requests to the earliest-available unit *while the graph is being built*,
+/// and lets trace events be timestamped eagerly instead of after a separate
+/// scheduling pass.
 #[derive(Debug, Default, Clone)]
 pub struct TaskGraph {
     tasks: Vec<Task>,
+    /// Incremental start time of each task (same index as `tasks`).
+    starts: Vec<SimTime>,
+    /// Incremental finish time of each task.
+    finishes: Vec<SimTime>,
+    /// Time each resource becomes free (max finish among its tasks).
+    resource_free: HashMap<Resource, SimTime>,
 }
 
 impl TaskGraph {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        TaskGraph { tasks: Vec::new() }
+        TaskGraph::default()
     }
 
     /// Number of tasks in the graph.
@@ -150,6 +166,21 @@ impl TaskGraph {
                 id
             );
         }
+        let dep_ready = deps
+            .iter()
+            .map(|d| self.finishes[d.0])
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let free = self
+            .resource_free
+            .get(&resource)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        let start = dep_ready.max(free);
+        let finish = start + duration;
+        self.starts.push(start);
+        self.finishes.push(finish);
+        self.resource_free.insert(resource, finish);
         self.tasks.push(Task {
             id,
             label,
@@ -159,6 +190,36 @@ impl TaskGraph {
             region,
         });
         id
+    }
+
+    /// Scheduled start time of a task (list-scheduling semantics, maintained
+    /// incrementally as tasks are added).
+    pub fn task_start(&self, id: TaskId) -> SimTime {
+        self.starts[id.0]
+    }
+
+    /// Scheduled finish time of a task.
+    pub fn task_finish(&self, id: TaskId) -> SimTime {
+        self.finishes[id.0]
+    }
+
+    /// The time at which `resource` becomes free: the finish time of the last
+    /// task bound to it, or time zero if it has none. This is the signal the
+    /// device dispatcher uses to pick the earliest-available unit.
+    pub fn resource_available(&self, resource: Resource) -> SimTime {
+        self.resource_free
+            .get(&resource)
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Finish time of the latest-finishing task (the schedule horizon).
+    pub fn horizon(&self) -> SimTime {
+        self.resource_free
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Adds a zero-length barrier task on `resource` depending on `deps`.
@@ -202,14 +263,7 @@ impl TaskGraph {
             if t.deps.is_empty() {
                 deps.extend_from_slice(join);
             }
-            self.tasks.push(Task {
-                id: TaskId(t.id.0 + offset),
-                label: t.label,
-                resource: t.resource,
-                duration: t.duration,
-                deps,
-                region: t.region,
-            });
+            self.add(t.label, t.resource, t.duration, t.region, &deps);
         }
         offset
     }
