@@ -1,5 +1,7 @@
 //! Figure 19: end-to-end speedup as the number of NearPM units per device
-//! varies (1, 2, 4).
+//! varies (1, 2, 4), plus the dispatch-quality columns: the min/max per-unit
+//! utilization across the sweep's NearPM MD runs (balanced values mean
+//! earliest-available dispatch is spreading work across the units).
 //!
 //! Paper reference: speedup increases with more units.
 
@@ -10,10 +12,12 @@ use nearpm_core::ExecMode;
 fn main() {
     header(
         "Figure 19: sensitivity to NearPM unit count (logging, NearPM MD)",
-        &["units", "avg_speedup_x"],
+        &["units", "avg_speedup_x", "util_min", "util_max"],
     );
     for units in [1usize, 2, 4] {
         let mut speedups = Vec::new();
+        let mut util_min = f64::INFINITY;
+        let mut util_max = 0.0f64;
         for w in workloads() {
             let base = run_one(w, Mechanism::Logging, ExecMode::CpuBaseline, DEFAULT_OPS, 1);
             let r = run_custom(
@@ -25,9 +29,19 @@ fn main() {
                 units,
                 1,
             );
+            for &(_, util) in &r.ndp_unit_utilization {
+                util_min = util_min.min(util);
+                util_max = util_max.max(util);
+            }
             speedups.push(r.speedup_over(&base));
         }
-        println!("{}\t{:.3}", units, gmean(&speedups));
+        println!(
+            "{}\t{:.3}\t{:.3}\t{:.3}",
+            units,
+            gmean(&speedups),
+            util_min,
+            util_max
+        );
     }
     println!("(paper: average speedup grows monotonically from 1 to 4 units)");
 }

@@ -3,6 +3,8 @@
 //!
 //! Paper reference: NearPM stays above 1.0x but its advantage shrinks as the
 //! thread count grows because the prototype has only four units per device.
+//! The stall column reports the backpressure the request FIFOs exerted on
+//! the hosts (total stall time across devices).
 
 use nearpm_bench::{header, ops_from_args, run_custom};
 use nearpm_cc::Mechanism;
@@ -22,7 +24,13 @@ fn main() {
     ] {
         header(
             &format!("Figure 20: multithreaded throughput, {}", m.label()),
-            &["workload", "threads", "norm_throughput_x"],
+            &[
+                "workload",
+                "threads",
+                "norm_throughput_x",
+                "fifo_hw",
+                "stall_us",
+            ],
         );
         for w in [Workload::Memcached, Workload::Redis] {
             for threads in [1usize, 2, 4, 8, 16] {
@@ -30,8 +38,15 @@ fn main() {
                 let base = run_custom(w, m, ExecMode::CpuBaseline, ops, threads, 4, 1);
                 let md = run_custom(w, m, ExecMode::NearPmMd, ops, threads, 4, 1);
                 // Equal work, so normalized throughput = inverse runtime ratio.
-                let norm = base.makespan.as_ns() / md.makespan.as_ns();
-                println!("{}\t{}\t{:.3}", w.name(), threads, norm);
+                let norm = base.makespan.ratio(md.makespan);
+                println!(
+                    "{}\t{}\t{:.3}\t{}\t{:.2}",
+                    w.name(),
+                    threads,
+                    norm,
+                    md.fifo_high_watermark,
+                    md.fifo_stall_time.as_us()
+                );
             }
         }
     }

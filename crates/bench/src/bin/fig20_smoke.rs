@@ -1,0 +1,52 @@
+//! CI smoke gate for the fig20 multithread fidelity claim: a reduced sweep
+//! of the Figure 20 configurations must keep NearPM MD **at or above 1.0x**
+//! normalized throughput at every thread count for both workloads under all
+//! three mechanisms — the paper's claim, and the regression the per-unit
+//! front-end pipelining fixed (a single-stage dispatcher front-end drops to
+//! ~0.2-0.8x at 8-16 threads).
+//!
+//! Exits non-zero (failing the CI step) on any violation. `--ops N` overrides
+//! the per-thread operation count (default 32, reduced from the figure's 96
+//! to keep the gate fast).
+
+use nearpm_bench::{ops_from_args, run_custom};
+use nearpm_cc::Mechanism;
+use nearpm_core::ExecMode;
+use nearpm_workloads::Workload;
+
+const DEFAULT_OPS_PER_THREAD: usize = 32;
+/// The paper's fig20 claim: normalized throughput never drops below 1.0x.
+const BAR: f64 = 1.0;
+
+fn main() {
+    let ops_per_thread = ops_from_args(DEFAULT_OPS_PER_THREAD);
+    let mut failures = 0usize;
+    println!("fig20 smoke: {BAR}x bar, {ops_per_thread} ops/thread");
+    for m in Mechanism::all() {
+        for w in [Workload::Memcached, Workload::Redis] {
+            for threads in [1usize, 2, 4, 8, 16] {
+                let ops = ops_per_thread * threads;
+                let base = run_custom(w, m, ExecMode::CpuBaseline, ops, threads, 4, 1);
+                let md = run_custom(w, m, ExecMode::NearPmMd, ops, threads, 4, 1);
+                let norm = base.makespan.ratio(md.makespan);
+                let ok = norm >= BAR;
+                println!(
+                    "  {:<14} {:<10} {:>2} threads: {:.3}x {}",
+                    m.label(),
+                    w.name(),
+                    threads,
+                    norm,
+                    if ok { "ok" } else { "BELOW BAR" }
+                );
+                if !ok {
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("fig20 smoke FAILED: {failures} configurations below {BAR}x");
+        std::process::exit(1);
+    }
+    println!("fig20 smoke passed: all configurations at or above {BAR}x");
+}

@@ -26,18 +26,32 @@ pub const DEFAULT_OPS: usize = 256;
 /// to `default`. Figure binaries use this so sweeps can be re-run at paper
 /// scale (or quickly, in CI smoke mode) without recompiling.
 pub fn ops_from_args(default: usize) -> usize {
-    let mut args = std::env::args().skip(1);
+    parse_ops(std::env::args().skip(1), default)
+}
+
+/// Parses `--ops N` / `--ops=N` from an argument stream.
+///
+/// Zero is rejected like any other invalid value (with a warning and the
+/// default): a zero-op run has a zero makespan, which used to make fig20's
+/// `makespan/makespan` ratio silently report 0.0 instead of a measurement.
+pub fn parse_ops<I: Iterator<Item = String>>(mut args: I, default: usize) -> usize {
     while let Some(a) = args.next() {
-        if a == "--ops" {
-            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
-                return n;
+        let value = if a == "--ops" {
+            match args.next() {
+                Some(v) => v,
+                None => {
+                    eprintln!("--ops expects a positive integer; using {default}");
+                    continue;
+                }
             }
-            eprintln!("--ops expects a positive integer; using {default}");
         } else if let Some(v) = a.strip_prefix("--ops=") {
-            if let Ok(n) = v.parse() {
-                return n;
-            }
-            eprintln!("--ops expects a positive integer; using {default}");
+            v.to_string()
+        } else {
+            continue;
+        };
+        match value.parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => eprintln!("--ops expects a positive integer, got {value:?}; using {default}"),
         }
     }
     default
@@ -90,4 +104,33 @@ pub fn mechanisms() -> [Mechanism; 3] {
 /// All workloads in figure order.
 pub fn workloads() -> [Workload; 9] {
     Workload::all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_ops;
+
+    fn args(list: &[&str]) -> impl Iterator<Item = String> {
+        list.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn parse_ops_accepts_both_forms() {
+        assert_eq!(parse_ops(args(&["--ops", "128"]), 48), 128);
+        assert_eq!(parse_ops(args(&["--ops=96"]), 48), 96);
+        assert_eq!(parse_ops(args(&["--seed", "1", "--ops", "7"]), 48), 7);
+        assert_eq!(parse_ops(args(&[]), 48), 48);
+    }
+
+    #[test]
+    fn parse_ops_rejects_zero_and_garbage() {
+        assert_eq!(parse_ops(args(&["--ops", "0"]), 48), 48);
+        assert_eq!(parse_ops(args(&["--ops=0"]), 48), 48);
+        assert_eq!(parse_ops(args(&["--ops", "banana"]), 48), 48);
+        assert_eq!(parse_ops(args(&["--ops=-3"]), 48), 48);
+        assert_eq!(parse_ops(args(&["--ops"]), 48), 48);
+    }
 }

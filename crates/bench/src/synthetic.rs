@@ -147,11 +147,14 @@ pub fn synthetic_undo_log_trace(spec: SyntheticTraceSpec) -> Trace {
 
 /// Builds a deterministic task graph with the shape of a fig18 NearPM MD
 /// run: per transaction, CPU compute overlaps an offloaded undo-log creation
-/// (dispatch → metadata → DMA copy on a unit of the owning device), followed
-/// by the in-place CPU update/persist; every fourth transaction commits with
-/// a log reset. Copy sizes alternate between small (64 B) and large (16 kB)
-/// so unit assignment matters. Stops once at least `target_tasks` tasks
-/// exist.
+/// through the pipelined device front-end (decode on the shared dispatcher →
+/// issue on the unit's issue queue → metadata → DMA copy on the unit),
+/// followed by the in-place CPU update/persist; every fourth transaction
+/// commits with a log reset. Copy sizes alternate between small (64 B) and
+/// large (16 kB) so unit assignment matters. Built with in-order `add` (one
+/// producer thread, so insertion order equals arrival order), keeping the
+/// graph inside `schedule::oracle`'s contract. Stops once at least
+/// `target_tasks` tasks exist.
 pub fn synthetic_fig18_graph(target_tasks: usize) -> TaskGraph {
     const DEVICES: usize = 2;
     const UNITS: usize = 4;
@@ -161,9 +164,14 @@ pub fn synthetic_fig18_graph(target_tasks: usize) -> TaskGraph {
     let mut cpu_tail = None;
     while g.len() < target_tasks {
         let device = (txn as usize) % DEVICES;
+        let unit_index = ((txn / DEVICES as u64) as usize) % UNITS;
         let unit = Resource::NdpUnit {
             device,
-            unit: ((txn / DEVICES as u64) as usize) % UNITS,
+            unit: unit_index,
+        };
+        let issue_queue = Resource::IssueQueue {
+            device,
+            unit: unit_index,
         };
         let deps: Vec<_> = cpu_tail.into_iter().collect();
         let compute = g.add(
@@ -173,27 +181,28 @@ pub fn synthetic_fig18_graph(target_tasks: usize) -> TaskGraph {
             Region::Application,
             &deps,
         );
-        let issue = g.add(
+        let cmd = g.add(
             "cmd-issue",
             Resource::Cpu(0),
             ns(60.0),
             Region::CcOffload,
             &[compute],
         );
-        let dispatch = g.add(
-            "ndp-dispatch",
+        let decode = g.add(
+            "ndp-decode",
             Resource::Dispatcher(device),
-            ns(25.0),
+            ns(8.0),
             Region::CcOffload,
-            &[issue],
+            &[cmd],
         );
-        let meta = g.add(
-            "ndp-metadata",
-            unit,
-            ns(30.0),
-            Region::CcMetadata,
-            &[dispatch],
+        let issue = g.add(
+            "ndp-issue",
+            issue_queue,
+            ns(17.0),
+            Region::CcOffload,
+            &[decode],
         );
+        let meta = g.add("ndp-metadata", unit, ns(30.0), Region::CcMetadata, &[issue]);
         // Mixed copy sizes: mostly small log copies, every third a large one.
         let copy_ns = if txn.is_multiple_of(3) { 2_000.0 } else { 64.0 };
         let copy = g.add(
@@ -306,6 +315,7 @@ fn analysis_resources() -> Vec<Resource> {
     for device in 0..2 {
         out.push(Resource::Dispatcher(device));
         for unit in 0..4 {
+            out.push(Resource::IssueQueue { device, unit });
             out.push(Resource::NdpUnit { device, unit });
         }
     }

@@ -137,6 +137,13 @@ impl SystemConfig {
         self
     }
 
+    /// Overrides the request-FIFO depth of every device (backpressure
+    /// studies; 32 in the prototype).
+    pub fn with_fifo_depth(mut self, depth: usize) -> Self {
+        self.fifo_depth = depth.max(1);
+        self
+    }
+
     /// Overrides the latency model.
     pub fn with_latency(mut self, latency: LatencyModel) -> Self {
         self.latency = latency;

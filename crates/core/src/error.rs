@@ -21,6 +21,11 @@ pub enum SystemError {
         /// Pool whose arena is exhausted.
         pool: nearpm_pm::PoolId,
     },
+    /// A fixed-capacity persistent map has no free slot for a new key.
+    MapFull {
+        /// Bucket capacity of the exhausted map.
+        buckets: u64,
+    },
 }
 
 impl std::fmt::Display for SystemError {
@@ -31,6 +36,9 @@ impl std::fmt::Display for SystemError {
             SystemError::Crashed => write!(f, "system is crashed; run recovery first"),
             SystemError::NoDevices => write!(f, "operation requires NearPM devices"),
             SystemError::LogArenaFull { pool } => write!(f, "log arena exhausted for {pool}"),
+            SystemError::MapFull { buckets } => {
+                write!(f, "persistent hash map is full ({buckets} buckets)")
+            }
         }
     }
 }
@@ -66,6 +74,8 @@ mod tests {
             pool: nearpm_pm::PoolId(1),
         };
         assert!(e.to_string().contains("pool1"));
+        let e = SystemError::MapFull { buckets: 8 };
+        assert!(e.to_string().contains("8 buckets"));
         let e: SystemError = PoolError::Unmapped(nearpm_pm::VirtAddr(0)).into();
         assert!(matches!(e, SystemError::Pool(_)));
         let e: SystemError = DeviceError::FifoFull.into();

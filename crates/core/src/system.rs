@@ -74,10 +74,20 @@ pub struct RunReport {
     /// the schedule's merged busy-interval timeline. Balanced values indicate
     /// earliest-available dispatch is spreading work across units.
     pub ndp_unit_utilization: Vec<((usize, usize), f64)>,
+    /// Highest request-FIFO occupancy observed on any device, modeled from
+    /// the task graph's in-flight front-end window (a request occupies its
+    /// slot from arrival until its issue stage hands it to a unit).
+    pub fifo_high_watermark: usize,
+    /// Total time hosts spent stalled at a full request FIFO, summed over
+    /// devices — the backpressure the front-end exerted on the control path.
+    pub fifo_stall_time: SimDuration,
+    /// Number of requests that stalled at a full FIFO, summed over devices.
+    pub fifo_stalls: u64,
 }
 
 impl RunReport {
     /// Crash-consistency share of total busy time (Figure 1a).
+    /// [`f64::NAN`] for an empty run (no busy time at all).
     pub fn cc_fraction(&self) -> f64 {
         let total = self.app_time + self.cc_time;
         self.cc_time.ratio(total)
@@ -93,12 +103,15 @@ impl RunReport {
     }
 
     /// Speedup of this run relative to `baseline` on end-to-end time.
+    /// [`f64::NAN`] when this run is empty (a speedup over a zero makespan
+    /// is undefined, not a 0x slowdown).
     pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
         baseline.makespan.ratio(self.makespan)
     }
 
     /// Speedup of this run relative to `baseline` within the code regions
-    /// that maintain crash consistency (Figure 15).
+    /// that maintain crash consistency (Figure 15). [`f64::NAN`] when this
+    /// run spent no elapsed time on crash consistency.
     pub fn cc_speedup_over(&self, baseline: &RunReport) -> f64 {
         baseline.cc_elapsed().ratio(self.cc_elapsed())
     }
@@ -497,6 +510,12 @@ impl NearPmSystem {
     /// Offloads a crash-consistency primitive to the device owning its
     /// payload, optionally adding extra ordering dependencies (used by the
     /// delayed-synchronization commit path).
+    ///
+    /// `extra_deps` are **device-side** ordering constraints: the command is
+    /// posted over the control path immediately (the CPU does not wait), and
+    /// the device defers the request's issue stage until they complete —
+    /// the paper's delayed sync keeps synchronization off the CPU's critical
+    /// path by letting the near-memory handler do the waiting.
     pub fn offload(
         &mut self,
         thread: usize,
@@ -530,13 +549,14 @@ impl NearPmSystem {
             }
         };
 
-        // Command issue on the CPU (posted MMIO write over the control path).
+        // Command issue on the CPU (posted MMIO write over the control path;
+        // device-side ordering deps do not hold the CPU up).
         let issue = self.push_cpu_task(
             thread,
             "cmd-issue",
             self.config.latency.cmd_issue(),
             Region::CcOffload,
-            extra_deps,
+            &[],
         );
         let proc = self.trace.new_proc();
         self.trace.record(
@@ -562,16 +582,19 @@ impl NearPmSystem {
         let request = NearPmRequest::new(pool, ThreadId(thread as u32), op);
         let exec = {
             let dev = &mut self.devices[device];
-            dev.submit(
+            dev.submit_ordered(
                 request,
                 &mut self.space,
                 &mut self.graph,
                 &self.config.latency,
                 &[issue],
+                extra_deps,
             )?
         };
 
-        // Record the device-side accesses in the PPO trace.
+        // Record the device-side accesses in the PPO trace. Reads are
+        // timestamped at the issue stage (where operand translation and the
+        // conflict check complete), writes/persists at the final task.
         for (v, _p, len) in &exec.reads {
             let sharing = self.classify(*v, *len);
             self.trace.record(
@@ -582,7 +605,7 @@ impl NearPmSystem {
                 sharing,
                 Some(proc),
                 None,
-                Some(exec.dispatch),
+                Some(exec.issue),
             );
         }
         for (v, _p, len) in &exec.writes {
@@ -667,9 +690,24 @@ impl NearPmSystem {
         devices.sort_unstable();
         devices.dedup();
         let anchor = devices.first().copied().unwrap_or(0);
-        let task = self.graph.add(
+        // The completion exchange runs near memory on the anchor device's
+        // front-end — on the earliest-available issue queue, NOT on the
+        // shared dispatcher: a sync waiting for unit work would otherwise
+        // head-of-line block every later request's decode behind it, which
+        // is exactly the fig20 multithread collapse.
+        let units = self.devices[anchor].unit_count().max(1);
+        // `min_by_key` keeps the first minimum, so ties break toward the
+        // lowest unit index and the choice stays deterministic.
+        let sync_resource = (0..units)
+            .map(|unit| Resource::IssueQueue {
+                device: anchor,
+                unit,
+            })
+            .min_by_key(|r| self.graph.resource_available(*r))
+            .expect("a device has at least one unit");
+        let task = self.graph.add_arrival_ordered(
             "md-sync",
-            Resource::Dispatcher(anchor),
+            sync_resource,
             self.config.latency.notify(),
             Region::CcSync,
             &deps,
@@ -784,6 +822,16 @@ impl NearPmSystem {
                 ndp_unit_utilization.push(((dev.id(), unit), timeline.utilization(resource)));
             }
         }
+        let (fifo_high_watermark, fifo_stall_time, fifo_stalls) =
+            self.devices
+                .iter()
+                .fold((0, SimDuration::ZERO, 0), |(hw, stall, n), d| {
+                    (
+                        hw.max(d.fifo_high_watermark()),
+                        stall + d.fifo_stall_time(),
+                        n + d.fifo_stalls(),
+                    )
+                });
         RunReport {
             mode: self.config.mode,
             makespan: schedule.makespan(),
@@ -798,12 +846,21 @@ impl NearPmSystem {
             ndp_requests,
             pm_traffic: self.space.traffic(),
             ndp_unit_utilization,
+            fifo_high_watermark,
+            fifo_stall_time,
+            fifo_stalls,
         }
     }
 
     /// Number of tasks in the timing graph (diagnostics).
     pub fn task_count(&self) -> usize {
         self.graph.len()
+    }
+
+    /// Read-only access to the timing graph (diagnostics: per-resource busy
+    /// time, bottleneck analysis of a finished run).
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
     }
 }
 
@@ -960,6 +1017,73 @@ mod tests {
             // The sync task exists in the graph.
             assert!(sync_task.index() < sys.task_count());
         }
+    }
+
+    /// A burst of offloads deeper than the FIFO must surface backpressure in
+    /// the run report: the modeled occupancy saturates at the depth and the
+    /// overflowing requests accumulate stall time.
+    #[test]
+    fn report_surfaces_fifo_backpressure_under_bursts() {
+        let mut sys = NearPmSystem::new(
+            SystemConfig::nearpm_sd()
+                .with_capacity(4 << 20)
+                .with_fifo_depth(2),
+        );
+        let pool = sys.create_pool("p", 1 << 20).unwrap();
+        let log_area = sys.alloc(pool, 64 << 10, 4096).unwrap();
+        sys.register_ndp_managed(AddrRange::new(log_area, 64 << 10));
+        let obj = sys.alloc(pool, 4096, 64).unwrap();
+        let txn = sys.next_txn_id();
+        // Eight commands burst from the same thread into the SAME log slot:
+        // the write-write conflicts chain each request's issue stage behind
+        // the previous execution, so the front-end backs up into the FIFO
+        // (depth 2) faster than the ~260 ns command-issue spacing drains it.
+        for _ in 0..8u64 {
+            sys.offload(
+                0,
+                pool,
+                NearPmOp::UndoLogCreate {
+                    src: obj,
+                    len: 64,
+                    log_meta: log_area,
+                    log_data: log_area.offset(64),
+                    txn_id: txn,
+                },
+                &[],
+            )
+            .unwrap();
+        }
+        let report = sys.report();
+        assert_eq!(report.fifo_high_watermark, 2);
+        assert!(report.fifo_stalls > 0);
+        assert!(report.fifo_stall_time > SimDuration::ZERO);
+        assert!(report.ppo_violations.is_empty());
+
+        // The prototype's 32-deep FIFO absorbs the same burst without stalls.
+        let mut easy = NearPmSystem::new(SystemConfig::nearpm_sd().with_capacity(4 << 20));
+        let pool = easy.create_pool("p", 1 << 20).unwrap();
+        let log_area = easy.alloc(pool, 64 << 10, 4096).unwrap();
+        easy.register_ndp_managed(AddrRange::new(log_area, 64 << 10));
+        let obj = easy.alloc(pool, 4096, 64).unwrap();
+        let txn = easy.next_txn_id();
+        for _ in 0..8u64 {
+            easy.offload(
+                0,
+                pool,
+                NearPmOp::UndoLogCreate {
+                    src: obj,
+                    len: 64,
+                    log_meta: log_area,
+                    log_data: log_area.offset(64),
+                    txn_id: txn,
+                },
+                &[],
+            )
+            .unwrap();
+        }
+        let easy_report = easy.report();
+        assert_eq!(easy_report.fifo_stalls, 0);
+        assert!(easy_report.fifo_high_watermark <= 8);
     }
 
     #[test]

@@ -18,13 +18,12 @@
 use std::collections::HashMap;
 
 use nearpm_pm::{PhysAddr, PmSpace, PoolId, VirtAddr};
-use nearpm_sim::{LatencyModel, Region, Resource, TaskGraph, TaskId};
+use nearpm_sim::{LatencyModel, Region, Resource, SimDuration, SimTime, TaskGraph, TaskId};
 
 use crate::address_map::{AddressMappingTable, TranslateError};
 use crate::fifo::{FifoFull, RequestFifo};
 use crate::inflight::{InFlightEntry, InFlightTable};
-use crate::metadata::LogEntryHeader;
-use crate::request::{NearPmOp, NearPmRequest, RequestId, ThreadId};
+use crate::request::{MicroOp, NearPmRequest, RequestId, ThreadId};
 use crate::unit::{NearPmUnit, UnitStats};
 
 /// How the dispatcher assigns decoded requests to execution units.
@@ -114,8 +113,13 @@ pub struct ExecutedRequest {
     pub device: usize,
     /// Unit that executed it.
     pub unit: usize,
-    /// Dispatcher task (decode + translate + conflict check).
+    /// Decode task on the shared dispatcher (the dispatcher frees when it
+    /// retires). Under the single-stage oracle front-end this is the whole
+    /// monolithic dispatch stage.
     pub dispatch: TaskId,
+    /// Issue task on the unit's issue queue (operand translation + conflict
+    /// check). Equals `dispatch` under the single-stage oracle front-end.
+    pub issue: TaskId,
     /// Final task of the execution; later work that must order after this
     /// request depends on it.
     pub finish: TaskId,
@@ -204,6 +208,22 @@ impl NearPmDevice {
         self.fifo.len()
     }
 
+    /// Maximum FIFO occupancy observed (modeled from the task graph's
+    /// in-flight decode window).
+    pub fn fifo_high_watermark(&self) -> usize {
+        self.fifo.high_watermark()
+    }
+
+    /// Total time hosts stalled at this device's full FIFO.
+    pub fn fifo_stall_time(&self) -> SimDuration {
+        self.fifo.stall_time()
+    }
+
+    /// Number of requests that stalled at this device's full FIFO.
+    pub fn fifo_stalls(&self) -> u64 {
+        self.fifo.stalls()
+    }
+
     /// The dispatcher's scheduling resource.
     pub fn dispatcher_resource(&self) -> Resource {
         Resource::Dispatcher(self.config.id)
@@ -252,9 +272,27 @@ impl NearPmDevice {
         model: &LatencyModel,
         issue_deps: &[TaskId],
     ) -> Result<ExecutedRequest, DeviceError> {
+        self.submit_ordered(request, space, graph, model, issue_deps, &[])
+    }
+
+    /// Like [`NearPmDevice::submit`], with additional **device-side**
+    /// ordering dependencies: the command is posted (and decoded) without
+    /// waiting for them, but its issue stage — and so its execution — orders
+    /// after every task in `order_deps`. This is how the delayed
+    /// multi-device synchronization defers a commit's log deletion until the
+    /// near-memory handlers agree, without stalling the control path.
+    pub fn submit_ordered(
+        &mut self,
+        request: NearPmRequest,
+        space: &mut PmSpace,
+        graph: &mut TaskGraph,
+        model: &LatencyModel,
+        issue_deps: &[TaskId],
+        order_deps: &[TaskId],
+    ) -> Result<ExecutedRequest, DeviceError> {
         self.enqueue(request)?;
-        self.process_one(space, graph, model, issue_deps)
-            .expect("request was just enqueued")
+        let (id, request) = self.fifo.pop().expect("request was just enqueued");
+        self.execute(id, request, space, graph, model, issue_deps, order_deps)
     }
 
     /// Pops and executes the oldest queued request (steps 2a–8a).
@@ -266,7 +304,7 @@ impl NearPmDevice {
         issue_deps: &[TaskId],
     ) -> Option<Result<ExecutedRequest, DeviceError>> {
         let (id, request) = self.fifo.pop()?;
-        Some(self.execute(id, request, space, graph, model, issue_deps))
+        Some(self.execute(id, request, space, graph, model, issue_deps, &[]))
     }
 
     /// Executes every queued request in FIFO order (used by recovery replay).
@@ -284,16 +322,20 @@ impl NearPmDevice {
         out
     }
 
-    fn execute(
+    /// Translates the request's operand ranges (steps 2a/3a, functional
+    /// half: effects are applied immediately, timing is modeled by the
+    /// front-end stages).
+    #[allow(clippy::type_complexity)]
+    fn translate_ranges(
         &mut self,
-        id: RequestId,
-        request: NearPmRequest,
-        space: &mut PmSpace,
-        graph: &mut TaskGraph,
-        model: &LatencyModel,
-        issue_deps: &[TaskId],
-    ) -> Result<ExecutedRequest, DeviceError> {
-        // Step 2a/3a: decode and translate operands.
+        request: &NearPmRequest,
+    ) -> Result<
+        (
+            Vec<(VirtAddr, PhysAddr, u64)>,
+            Vec<(VirtAddr, PhysAddr, u64)>,
+        ),
+        DeviceError,
+    > {
         let mut reads = Vec::new();
         let mut writes = Vec::new();
         for (v, len) in request.op.read_ranges() {
@@ -304,13 +346,21 @@ impl NearPmDevice {
             let p = self.map.translate(request.pool, request.thread, v)?;
             writes.push((v, p, len));
         }
+        Ok((reads, writes))
+    }
 
-        // Step 4a: conflict check against in-flight accesses.
+    /// Step 4a: conflict check against in-flight accesses. Returns the
+    /// finish tasks the request must order after, sorted and deduplicated.
+    fn conflict_check(
+        &mut self,
+        reads: &[(VirtAddr, PhysAddr, u64)],
+        writes: &[(VirtAddr, PhysAddr, u64)],
+    ) -> Vec<TaskId> {
         let mut conflict_deps: Vec<TaskId> = Vec::new();
-        for (_, p, len) in &reads {
+        for (_, p, len) in reads {
             conflict_deps.extend(self.inflight.conflicts(*p, *len, false));
         }
-        for (_, p, len) in &writes {
+        for (_, p, len) in writes {
             conflict_deps.extend(self.inflight.conflicts(*p, *len, true));
         }
         conflict_deps.sort_unstable();
@@ -318,10 +368,210 @@ impl NearPmDevice {
         if !conflict_deps.is_empty() {
             self.stats.conflicts += 1;
         }
+        conflict_deps
+    }
 
-        // Dispatcher occupancy: decode/translate/conflict-check time.
+    /// Runs the decoded micro-op program on one unit, chaining each micro-op
+    /// after the previous one starting from `first_dep`. Returns the final
+    /// task of the execution.
+    fn run_program(
+        &mut self,
+        unit_index: usize,
+        program: &[MicroOp],
+        space: &mut PmSpace,
+        graph: &mut TaskGraph,
+        model: &LatencyModel,
+        first_dep: TaskId,
+    ) -> TaskId {
+        let unit = &mut self.units[unit_index];
+        let mut last = first_dep;
+        for op in program {
+            last = unit.execute_micro(space, graph, model, op, &[last]);
+        }
+        unit.complete_request();
+        last
+    }
+
+    /// Tracks the request's accesses in the in-flight table until the host
+    /// releases them (at transaction commit), and accounts the statistics.
+    fn track_request(
+        &mut self,
+        id: RequestId,
+        request: &NearPmRequest,
+        reads: &[(VirtAddr, PhysAddr, u64)],
+        writes: &[(VirtAddr, PhysAddr, u64)],
+        finish: TaskId,
+    ) -> u64 {
+        for (_, p, len) in reads {
+            self.inflight.insert(InFlightEntry {
+                request: id,
+                start: *p,
+                len: *len,
+                is_write: false,
+                completes_at: finish,
+            });
+        }
+        for (_, p, len) in writes {
+            self.inflight.insert(InFlightEntry {
+                request: id,
+                start: *p,
+                len: *len,
+                is_write: true,
+                completes_at: finish,
+            });
+        }
+        let bytes = request.op.bytes_moved();
+        self.stats.requests += 1;
+        self.stats.bytes_moved += bytes;
+        *self.stats.by_op.entry(request.op.mnemonic()).or_insert(0) += 1;
+        bytes
+    }
+
+    /// Executes one request through the pipelined front-end:
+    ///
+    /// 1. **FIFO admission** — the request occupies a FIFO slot from its
+    ///    arrival over the control path until the front-end hands it to a
+    ///    unit; a full FIFO stalls the host until the oldest blocking entry
+    ///    frees a slot (real backpressure, surfaced via the FIFO's stall
+    ///    statistics).
+    /// 2. **Decode** on the shared dispatcher — a short stage that pops the
+    ///    FIFO and decodes the command word; the dispatcher frees as soon as
+    ///    it retires, so it no longer serializes the whole front-end.
+    /// 3. **Issue** on the chosen unit's issue queue — operand translation
+    ///    and the in-flight conflict check; a conflicting request waits here,
+    ///    overlapping with decode and execution of requests on sibling units
+    ///    instead of blocking them behind the dispatcher.
+    /// 4. **Execution** of the decoded micro-op program on the unit.
+    ///
+    /// The decode and issue stages are scheduled in **arrival order** on
+    /// their resources ([`TaskGraph::add_arrival_ordered`]): the graph is
+    /// built in program order, thread by thread, so a command posted late in
+    /// one thread's transaction must not head-of-line block other threads'
+    /// earlier-arriving commands on the nearly idle front-end.
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
+        &mut self,
+        id: RequestId,
+        request: NearPmRequest,
+        space: &mut PmSpace,
+        graph: &mut TaskGraph,
+        model: &LatencyModel,
+        issue_deps: &[TaskId],
+        order_deps: &[TaskId],
+    ) -> Result<ExecutedRequest, DeviceError> {
+        let (reads, writes) = self.translate_ranges(&request)?;
+        let program = request
+            .op
+            .decode(|v| self.map.translate(request.pool, request.thread, v))?;
+        let conflict_deps = self.conflict_check(&reads, &writes);
+
+        // FIFO admission at the time the command lands on the control path.
+        let arrival = issue_deps
+            .iter()
+            .map(|d| graph.task_finish(*d))
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let admission = self.fifo.admit(arrival);
+        let mut decode_deps = issue_deps.to_vec();
+        decode_deps.extend(admission.slot_dep);
+        decode_deps.sort_unstable();
+        decode_deps.dedup();
+        let decode = graph.add_arrival_ordered(
+            "ndp-decode",
+            self.dispatcher_resource(),
+            model.ndp_decode(),
+            Region::CcOffload,
+            &decode_deps,
+        );
+
+        // Step 6a: hand the request to a unit. Earliest-available dispatch
+        // ranks units by when both the unit and its issue queue free (read
+        // from the incrementally maintained schedule; ties break toward the
+        // lowest index, so assignment stays deterministic); round-robin is
+        // retained as the legacy comparison policy.
+        let unit_index = match self.config.dispatch {
+            DispatchPolicy::EarliestAvailable => (0..self.units.len())
+                .min_by_key(|&u| {
+                    let unit_free = self.units[u].busy_until(graph);
+                    let queue_free = graph.resource_available(self.units[u].issue_queue());
+                    (unit_free.max(queue_free), u)
+                })
+                .expect("a device has at least one unit"),
+            DispatchPolicy::RoundRobin => {
+                let u = self.next_unit % self.units.len();
+                self.next_unit = self.next_unit.wrapping_add(1);
+                u
+            }
+        };
+
+        let mut issue_stage_deps = vec![decode];
+        issue_stage_deps.extend_from_slice(&conflict_deps);
+        issue_stage_deps.extend_from_slice(order_deps);
+        issue_stage_deps.sort_unstable();
+        issue_stage_deps.dedup();
+        let issue = graph.add_arrival_ordered(
+            "ndp-issue",
+            self.units[unit_index].issue_queue(),
+            model.ndp_issue(),
+            Region::CcOffload,
+            &issue_stage_deps,
+        );
+        // The request's FIFO slot frees when the front-end hands it to the
+        // unit (a conflict wait at the issue queue backs the FIFO up).
+        self.fifo
+            .record_front_end(issue, arrival, graph.task_finish(issue));
+
+        let finish = self.run_program(unit_index, &program, space, graph, model, issue);
+        let bytes = self.track_request(id, &request, &reads, &writes, finish);
+
+        Ok(ExecutedRequest {
+            request: id,
+            device: self.config.id,
+            unit: unit_index,
+            dispatch: decode,
+            issue,
+            finish,
+            bytes_moved: bytes,
+            reads,
+            writes,
+        })
+    }
+
+    /// Enqueues and executes a request through the **single-stage** front-end
+    /// that predates the pipelined decode/issue split: one monolithic
+    /// `ndp-dispatch` task on the shared dispatcher carries decode, operand
+    /// translation, and the conflict wait, and the FIFO drains instantly
+    /// (no modeled backpressure).
+    ///
+    /// Retained as the differential oracle (mirroring `schedule::oracle` and
+    /// `invariants::oracle`): it drives the same decoded micro-op program
+    /// through the same units, so its functional effects are identical to
+    /// [`NearPmDevice::submit`]'s by construction — only the modeled
+    /// front-end overlap differs.
+    #[cfg(any(test, feature = "oracle"))]
+    pub fn submit_single_stage(
+        &mut self,
+        request: NearPmRequest,
+        space: &mut PmSpace,
+        graph: &mut TaskGraph,
+        model: &LatencyModel,
+        issue_deps: &[TaskId],
+    ) -> Result<ExecutedRequest, DeviceError> {
+        self.enqueue(request)?;
+        let (id, request) = self.fifo.pop().expect("request was just enqueued");
+
+        let (reads, writes) = self.translate_ranges(&request)?;
+        let program = request
+            .op
+            .decode(|v| self.map.translate(request.pool, request.thread, v))?;
+        let conflict_deps = self.conflict_check(&reads, &writes);
+
+        // The monolithic dispatch stage: the dispatcher is held through
+        // decode, translation, and the conflict wait.
         let mut dispatch_deps = issue_deps.to_vec();
         dispatch_deps.extend_from_slice(&conflict_deps);
+        dispatch_deps.sort_unstable();
+        dispatch_deps.dedup();
         let dispatch = graph.add(
             "ndp-dispatch",
             self.dispatcher_resource(),
@@ -330,11 +580,7 @@ impl NearPmDevice {
             &dispatch_deps,
         );
 
-        // Step 6a: hand the request to a unit. Earliest-available dispatch
-        // reads each unit's busy-until time from the incrementally
-        // maintained schedule and picks the one that frees first (ties break
-        // toward the lowest index, so assignment is deterministic);
-        // round-robin is retained as the legacy comparison policy.
+        // The pre-pipelining unit choice ranked by unit availability alone.
         let unit_index = match self.config.dispatch {
             DispatchPolicy::EarliestAvailable => (0..self.units.len())
                 .min_by_key(|&u| (self.units[u].busy_until(graph), u))
@@ -346,135 +592,15 @@ impl NearPmDevice {
             }
         };
 
-        let finish = {
-            let unit = &mut self.units[unit_index];
-            let mut last = dispatch;
-            match &request.op {
-                NearPmOp::UndoLogCreate {
-                    src,
-                    len,
-                    log_meta,
-                    log_data,
-                    txn_id,
-                } => {
-                    let src_p = self.map.translate(request.pool, request.thread, *src)?;
-                    let meta_p = self
-                        .map
-                        .translate(request.pool, request.thread, *log_meta)?;
-                    let data_p = self
-                        .map
-                        .translate(request.pool, request.thread, *log_data)?;
-                    let header = LogEntryHeader::active(*src, *len, *txn_id);
-                    last = unit.write_header(space, graph, model, meta_p, &header, &[last]);
-                    last = unit.copy(
-                        space,
-                        graph,
-                        model,
-                        src_p,
-                        data_p,
-                        *len,
-                        Region::CcDataMovement,
-                        &[last],
-                    );
-                }
-                NearPmOp::ApplyRedoLog { log_data, dst, len } => {
-                    let src_p = self
-                        .map
-                        .translate(request.pool, request.thread, *log_data)?;
-                    let dst_p = self.map.translate(request.pool, request.thread, *dst)?;
-                    last = unit.copy(
-                        space,
-                        graph,
-                        model,
-                        src_p,
-                        dst_p,
-                        *len,
-                        Region::CcDataMovement,
-                        &[last],
-                    );
-                }
-                NearPmOp::CommitLog { entries, .. } => {
-                    for entry in entries {
-                        let p = self.map.translate(request.pool, request.thread, *entry)?;
-                        last = unit.reset_header(space, graph, model, p, &[last]);
-                    }
-                }
-                NearPmOp::CheckpointCreate {
-                    src,
-                    len,
-                    ckpt_meta,
-                    ckpt_data,
-                    epoch,
-                } => {
-                    let src_p = self.map.translate(request.pool, request.thread, *src)?;
-                    let meta_p = self
-                        .map
-                        .translate(request.pool, request.thread, *ckpt_meta)?;
-                    let data_p = self
-                        .map
-                        .translate(request.pool, request.thread, *ckpt_data)?;
-                    let header = LogEntryHeader::active(*src, *len, *epoch);
-                    last = unit.write_header(space, graph, model, meta_p, &header, &[last]);
-                    last = unit.copy(
-                        space,
-                        graph,
-                        model,
-                        src_p,
-                        data_p,
-                        *len,
-                        Region::CcDataMovement,
-                        &[last],
-                    );
-                }
-                NearPmOp::ShadowCopy { src, dst, len } => {
-                    let src_p = self.map.translate(request.pool, request.thread, *src)?;
-                    let dst_p = self.map.translate(request.pool, request.thread, *dst)?;
-                    last = unit.copy(
-                        space,
-                        graph,
-                        model,
-                        src_p,
-                        dst_p,
-                        *len,
-                        Region::CcDataMovement,
-                        &[last],
-                    );
-                }
-            }
-            unit.complete_request();
-            last
-        };
-
-        // Track the request's accesses until the host releases them (commit).
-        for (_, p, len) in &reads {
-            self.inflight.insert(InFlightEntry {
-                request: id,
-                start: *p,
-                len: *len,
-                is_write: false,
-                completes_at: finish,
-            });
-        }
-        for (_, p, len) in &writes {
-            self.inflight.insert(InFlightEntry {
-                request: id,
-                start: *p,
-                len: *len,
-                is_write: true,
-                completes_at: finish,
-            });
-        }
-
-        let bytes = request.op.bytes_moved();
-        self.stats.requests += 1;
-        self.stats.bytes_moved += bytes;
-        *self.stats.by_op.entry(request.op.mnemonic()).or_insert(0) += 1;
+        let finish = self.run_program(unit_index, &program, space, graph, model, dispatch);
+        let bytes = self.track_request(id, &request, &reads, &writes, finish);
 
         Ok(ExecutedRequest {
             request: id,
             device: self.config.id,
             unit: unit_index,
             dispatch,
+            issue: dispatch,
             finish,
             bytes_moved: bytes,
             reads,
@@ -528,6 +654,8 @@ impl NearPmDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metadata::LogEntryHeader;
+    use crate::request::NearPmOp;
     use nearpm_sim::Schedule;
 
     fn setup() -> (NearPmDevice, PmSpace, TaskGraph, LatencyModel) {
@@ -777,6 +905,185 @@ mod tests {
         assert!(
             earliest < round_robin,
             "earliest-available ({earliest}) must strictly beat round-robin ({round_robin})"
+        );
+    }
+
+    /// A conflicting request must wait for the in-flight access it conflicts
+    /// with — but on its unit's issue queue, not on the shared dispatcher:
+    /// decode retires (and the dispatcher frees) while the conflict is still
+    /// pending.
+    #[test]
+    fn conflict_wait_blocks_the_issue_stage_not_the_dispatcher() {
+        let (mut dev, mut space, mut graph, model) = setup();
+        space.write(PhysAddr(0), &[4; 16 << 10]);
+        let shadow = |src: u64, dst: u64| {
+            NearPmRequest::new(
+                PoolId(0),
+                ThreadId(0),
+                NearPmOp::ShadowCopy {
+                    src: VirtAddr(0x1000_0000 + src),
+                    dst: VirtAddr(0x1000_0000 + dst),
+                    len: 16 << 10,
+                },
+            )
+        };
+        let a = dev
+            .submit(shadow(0, 0x8_0000), &mut space, &mut graph, &model, &[])
+            .unwrap();
+        // B reads A's destination: a read-after-write conflict.
+        let b = dev
+            .submit(
+                shadow(0x8_0000, 0x4_0000),
+                &mut space,
+                &mut graph,
+                &model,
+                &[],
+            )
+            .unwrap();
+        let s = Schedule::compute(&graph);
+        let a_finish = s.timing(a.finish).finish;
+        // Decode (and the dispatcher) retires long before A's DMA finishes…
+        assert!(
+            s.timing(b.dispatch).finish < a_finish,
+            "decode must not wait for the conflicting request"
+        );
+        // …while the issue stage (and so the execution) orders after it.
+        assert!(
+            s.timing(b.issue).finish >= a_finish,
+            "the conflict wait must gate the issue stage"
+        );
+        assert_eq!(dev.stats().conflicts, 1);
+    }
+
+    /// The pipelined front-end holds the dispatcher only for the short decode
+    /// stage; translation/conflict checking occupies the per-unit issue
+    /// queue.
+    #[test]
+    fn dispatcher_frees_after_decode() {
+        let (mut dev, mut space, mut graph, model) = setup();
+        space.write(PhysAddr(0x100), &[1; 64]);
+        let exec = dev
+            .submit(
+                undolog_req(0x100, 64, 0x8000, 1),
+                &mut space,
+                &mut graph,
+                &model,
+                &[],
+            )
+            .unwrap();
+        let s = Schedule::compute(&graph);
+        assert_eq!(
+            s.resource_time(dev.dispatcher_resource()),
+            model.ndp_decode()
+        );
+        assert_eq!(
+            s.resource_time(Resource::IssueQueue {
+                device: 0,
+                unit: exec.unit,
+            }),
+            model.ndp_issue()
+        );
+        // Total front-end work matches the single-stage model exactly.
+        assert_eq!(model.ndp_decode() + model.ndp_issue(), model.ndp_dispatch());
+    }
+
+    /// A burst deeper than the FIFO stalls the host: the modeled occupancy
+    /// saturates at the depth and the overflowing requests' decodes order
+    /// after the decode whose retirement frees their slot.
+    #[test]
+    fn fifo_backpressure_stalls_bursts_deeper_than_the_depth() {
+        let config = DeviceConfig {
+            id: 0,
+            units: 4,
+            fifo_depth: 2,
+            dispatch: DispatchPolicy::default(),
+        };
+        let mut dev = NearPmDevice::new(config);
+        let mut space = PmSpace::single(1 << 20);
+        dev.register_pool(PoolId(0), VirtAddr(0x1000_0000), PhysAddr(0), 1 << 20);
+        let mut graph = TaskGraph::new();
+        let model = LatencyModel::default();
+        let mut execs = Vec::new();
+        for i in 0..5u64 {
+            let exec = dev
+                .submit(
+                    undolog_req(0x1000 + i * 0x100, 64, 0x8000 + i * 0x200, i),
+                    &mut space,
+                    &mut graph,
+                    &model,
+                    &[],
+                )
+                .unwrap();
+            execs.push(exec);
+        }
+        assert_eq!(dev.fifo_high_watermark(), 2);
+        assert_eq!(dev.fifo_stalls(), 3, "requests 3-5 all found the FIFO full");
+        assert!(dev.fifo_stall_time() > nearpm_sim::SimDuration::ZERO);
+        let s = Schedule::compute(&graph);
+        // Request 2 (0-based) waits for request 0's decode to retire.
+        assert!(s.timing(execs[2].dispatch).start >= s.timing(execs[0].dispatch).finish);
+    }
+
+    /// Differential oracle: the pipelined and single-stage front-ends drive
+    /// the same decoded micro-op programs, so their PM images and statistics
+    /// are identical; pipelining only shortens the modeled makespan (the
+    /// dispatcher stops serializing translation and conflict waits).
+    #[test]
+    fn pipelined_front_end_matches_single_stage_oracle_functionally() {
+        let run = |pipelined: bool| {
+            let mut dev = NearPmDevice::new(DeviceConfig::prototype(0));
+            let mut space = PmSpace::single(1 << 20);
+            dev.register_pool(PoolId(0), VirtAddr(0x1000_0000), PhysAddr(0), 1 << 20);
+            let mut graph = TaskGraph::new();
+            let model = LatencyModel::default();
+            space.write(PhysAddr(0), &[0xA5; 64 << 10]);
+
+            // A mixed stream: log creations, an overlapping (conflicting)
+            // shadow copy, and a commit that resets the first two entries.
+            let requests = vec![
+                undolog_req(0x100, 128, 0x8000, 1),
+                undolog_req(0x300, 4096, 0x9000, 1),
+                NearPmRequest::new(
+                    PoolId(0),
+                    ThreadId(0),
+                    NearPmOp::ShadowCopy {
+                        src: VirtAddr(0x1000_8000 + 64), // reads the first log's data
+                        dst: VirtAddr(0x1004_0000),
+                        len: 128,
+                    },
+                ),
+                NearPmRequest::new(
+                    PoolId(0),
+                    ThreadId(0),
+                    NearPmOp::CommitLog {
+                        entries: vec![VirtAddr(0x1000_8000), VirtAddr(0x1000_9000)],
+                        txn_id: 1,
+                    },
+                ),
+            ];
+            for req in requests {
+                if pipelined {
+                    dev.submit(req, &mut space, &mut graph, &model, &[])
+                        .unwrap();
+                } else {
+                    dev.submit_single_stage(req, &mut space, &mut graph, &model, &[])
+                        .unwrap();
+                }
+            }
+            let image = space.read_vec(PhysAddr(0), 1 << 20);
+            let makespan = Schedule::compute(&graph).makespan();
+            (image, dev.stats().clone(), makespan)
+        };
+        let (pipe_image, pipe_stats, pipe_makespan) = run(true);
+        let (oracle_image, oracle_stats, oracle_makespan) = run(false);
+        assert_eq!(pipe_image, oracle_image, "PM images must be identical");
+        assert_eq!(pipe_stats.requests, oracle_stats.requests);
+        assert_eq!(pipe_stats.bytes_moved, oracle_stats.bytes_moved);
+        assert_eq!(pipe_stats.conflicts, oracle_stats.conflicts);
+        assert_eq!(pipe_stats.by_op, oracle_stats.by_op);
+        assert!(
+            pipe_makespan <= oracle_makespan,
+            "pipelining must not slow the device down: {pipe_makespan} vs {oracle_makespan}"
         );
     }
 

@@ -4,6 +4,21 @@
 //! in the prototype, Table 3) that is part of the persistence domain: on a
 //! failure its contents are written back to a reserved PM location by the
 //! residual-capacitance mechanism and replayed during recovery.
+//!
+//! Besides the *physical* queue (used by the recovery path, which really
+//! enqueues requests before replaying them), the FIFO maintains a *modeled
+//! occupancy window* for timing: an entry occupies its slot from the
+//! request's arrival over the control path until the front-end hands the
+//! request to a unit — its issue stage retires in the task graph. A
+//! conflicting request waiting at its issue queue therefore backs the FIFO
+//! up, and when the window is as deep as the FIFO, a newly arriving request
+//! stalls the host until the oldest blocking front-end stage retires — real
+//! backpressure, surfaced as stall time and a high-watermark instead of the
+//! queue being drained instantly.
+
+use std::collections::VecDeque;
+
+use nearpm_sim::{SimDuration, SimTime, TaskId};
 
 use crate::request::{NearPmRequest, RequestId};
 
@@ -22,25 +37,57 @@ impl std::fmt::Display for FifoFull {
 
 impl std::error::Error for FifoFull {}
 
+/// Modeled admission of one request into the FIFO, returned by
+/// [`RequestFifo::admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FifoAdmission {
+    /// Front-end (issue) task whose retirement frees the slot this request
+    /// needs. `None` when a slot is free at arrival; otherwise the request's
+    /// decode must order after this task (backpressure on the host).
+    pub slot_dep: Option<TaskId>,
+    /// How long the host stalls at the full FIFO before the slot frees.
+    pub stalled: SimDuration,
+}
+
 /// Bounded request FIFO.
 #[derive(Debug, Clone)]
 pub struct RequestFifo {
     depth: usize,
-    entries: std::collections::VecDeque<(RequestId, NearPmRequest)>,
+    entries: VecDeque<(RequestId, NearPmRequest)>,
     next_id: u64,
     accepted: u64,
     high_watermark: usize,
+    /// Modeled occupancy window: `(issue task, arrival, front-end retire
+    /// time)` of admitted requests, sorted by retire time. Entries are kept
+    /// past their retirement for [`WINDOW_GC_SLACK`]: admissions arrive
+    /// slightly out of simulated-time order (the task graph is built thread
+    /// by thread while the threads' clocks drift apart), so an entry may
+    /// still determine the occupancy seen by a straggler arrival after a
+    /// later one was already admitted.
+    window: Vec<(TaskId, SimTime, SimTime)>,
+    stall_time: SimDuration,
+    stalls: u64,
 }
+
+/// How far behind the newest arrival an entry's retirement must lie before
+/// it is garbage-collected from the occupancy window. Thread-clock skew in
+/// the multithreaded sweeps measures in tens of microseconds; 1 ms of slack
+/// keeps every entry any realistic straggler arrival could observe.
+const WINDOW_GC_SLACK: SimDuration = SimDuration::from_ps(1_000_000_000);
 
 impl RequestFifo {
     /// Creates a FIFO of the given depth.
     pub fn new(depth: usize) -> Self {
+        assert!(depth >= 1, "a FIFO needs at least one slot");
         RequestFifo {
             depth,
-            entries: std::collections::VecDeque::with_capacity(depth),
+            entries: VecDeque::with_capacity(depth),
             next_id: 0,
             accepted: 0,
             high_watermark: 0,
+            window: Vec::new(),
+            stall_time: SimDuration::ZERO,
+            stalls: 0,
         }
     }
 
@@ -69,9 +116,74 @@ impl RequestFifo {
         self.accepted
     }
 
-    /// Maximum occupancy observed.
+    /// Maximum occupancy observed (modeled occupancy for submitted requests,
+    /// physical occupancy for pre-queued recovery replays).
     pub fn high_watermark(&self) -> usize {
         self.high_watermark
+    }
+
+    /// Total time hosts spent stalled at the full FIFO (modeled occupancy).
+    pub fn stall_time(&self) -> SimDuration {
+        self.stall_time
+    }
+
+    /// Number of requests that stalled at the full FIFO.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Models the admission of a request arriving over the control path at
+    /// `arrival`. An entry occupies a slot at that instant if it was admitted
+    /// no later (`entry arrival <= arrival`) and its front-end stage has not
+    /// yet retired (`retire > arrival`) — counting is non-destructive, so an
+    /// out-of-order earlier arrival still sees the entries that occupied the
+    /// FIFO at *its* time. If the occupancy fills the FIFO, the request
+    /// stalls the host until the oldest blocking entry retires and its own
+    /// decode must order after that task. Call
+    /// [`RequestFifo::record_front_end`] with the request's issue task once
+    /// it exists.
+    pub fn admit(&mut self, arrival: SimTime) -> FifoAdmission {
+        // Garbage-collect only entries retired so far in the past that no
+        // straggler arrival can still observe them.
+        let floor = SimTime::from_ps(arrival.as_ps().saturating_sub(WINDOW_GC_SLACK.as_ps()));
+        let collectable = self.window.partition_point(|&(_, _, r)| r <= floor);
+        self.window.drain(..collectable);
+
+        // Live entries at `arrival`, in retire order (the window's order).
+        let first_unretired = self.window.partition_point(|&(_, _, r)| r <= arrival);
+        let live: Vec<usize> = (first_unretired..self.window.len())
+            .filter(|&i| self.window[i].1 <= arrival)
+            .collect();
+        let admission = if live.len() >= self.depth {
+            // The FIFO is full until enough entries retire; the slot this
+            // request takes frees when entry `len - depth` (0-based, in
+            // retire order) leaves.
+            let (slot_dep, _, frees_at) = self.window[live[live.len() - self.depth]];
+            let stalled = frees_at.since(arrival);
+            self.stall_time += stalled;
+            self.stalls += 1;
+            FifoAdmission {
+                slot_dep: Some(slot_dep),
+                stalled,
+            }
+        } else {
+            FifoAdmission::default()
+        };
+        // Occupancy including this request, capped at the physical depth (a
+        // stalled request waits on the control path, not in the FIFO).
+        let occupancy = (live.len() + 1).min(self.depth);
+        self.high_watermark = self.high_watermark.max(occupancy);
+        admission
+    }
+
+    /// Records the front-end completion of the most recently admitted
+    /// request: it arrived at `arrival` and its FIFO slot frees when `task`
+    /// (the issue stage) retires and the request moves to a unit. Kept
+    /// sorted by retire time (front-end stages are served in arrival order,
+    /// which may differ from admission order).
+    pub fn record_front_end(&mut self, task: TaskId, arrival: SimTime, retires_at: SimTime) {
+        let pos = self.window.partition_point(|&(_, _, r)| r <= retires_at);
+        self.window.insert(pos, (task, arrival, retires_at));
     }
 
     /// Enqueues a request, assigning it a [`RequestId`].
@@ -231,5 +343,101 @@ mod tests {
     fn default_depth_matches_prototype() {
         let f = RequestFifo::default();
         assert_eq!(f.depth(), 32);
+    }
+
+    #[test]
+    fn modeled_admission_stalls_when_the_window_fills() {
+        use nearpm_sim::{Region, Resource, SimTime, TaskGraph};
+        let ns = SimDuration::from_ns;
+        let mut g = TaskGraph::new();
+        let mut f = RequestFifo::new(2);
+        let iq = Resource::IssueQueue { device: 0, unit: 0 };
+
+        // Three requests arrive simultaneously; their front-end stages
+        // serialize and retire at 10/20/30 ns.
+        assert_eq!(f.admit(SimTime::ZERO), FifoAdmission::default());
+        let d0 = g.add("ndp-issue", iq, ns(10.0), Region::CcOffload, &[]);
+        f.record_front_end(d0, SimTime::ZERO, g.task_finish(d0));
+        assert_eq!(f.admit(SimTime::ZERO), FifoAdmission::default());
+        let d1 = g.add("ndp-issue", iq, ns(10.0), Region::CcOffload, &[]);
+        f.record_front_end(d1, SimTime::ZERO, g.task_finish(d1));
+
+        // The third arrival finds both slots occupied: it must wait for the
+        // oldest outstanding entry and report the stall.
+        let a = f.admit(SimTime::ZERO);
+        assert_eq!(a.slot_dep, Some(d0));
+        assert_eq!(a.stalled, ns(10.0));
+        let d2 = g.add("ndp-issue", iq, ns(10.0), Region::CcOffload, &[d0]);
+        f.record_front_end(d2, SimTime::ZERO, g.task_finish(d2));
+
+        assert_eq!(f.high_watermark(), 2, "occupancy is capped at the depth");
+        assert_eq!(f.stalls(), 1);
+        assert_eq!(f.stall_time(), ns(10.0));
+
+        // A request arriving after every entry retired admits cleanly.
+        assert_eq!(f.admit(SimTime::from_ns(100.0)), FifoAdmission::default());
+        assert_eq!(f.stalls(), 1);
+    }
+
+    #[test]
+    fn modeled_admission_excludes_retired_entries() {
+        use nearpm_sim::{Region, Resource, SimTime, TaskGraph};
+        let ns = SimDuration::from_ns;
+        let mut g = TaskGraph::new();
+        let mut f = RequestFifo::new(4);
+        let iq = Resource::IssueQueue { device: 0, unit: 0 };
+        for _ in 0..3 {
+            f.admit(SimTime::ZERO);
+            let d = g.add("ndp-issue", iq, ns(10.0), Region::CcOffload, &[]);
+            f.record_front_end(d, SimTime::ZERO, g.task_finish(d));
+        }
+        // Arriving at 15 ns: the first entry (retired at 10 ns) no longer
+        // occupies a slot, so occupancy is 2 + the new request.
+        assert_eq!(f.admit(SimTime::from_ns(15.0)), FifoAdmission::default());
+        assert_eq!(f.high_watermark(), 3);
+        assert_eq!(f.stall_time(), SimDuration::ZERO);
+    }
+
+    /// Admissions reach the FIFO in task-graph build order, which is not
+    /// simulated-time order: a straggler arrival must still see the entries
+    /// that occupied the FIFO at *its* time, even after a later arrival was
+    /// admitted (counting is non-destructive), and entries that had not
+    /// arrived yet must not count against it.
+    #[test]
+    fn out_of_order_arrivals_see_historical_occupancy() {
+        use nearpm_sim::{Region, Resource, SimTime, TaskGraph};
+        let mut g = TaskGraph::new();
+        let mut f = RequestFifo::new(1);
+        let iq = Resource::IssueQueue { device: 0, unit: 0 };
+        // Entry A occupies the single slot from 0 to 2 us (conflict wait).
+        f.admit(SimTime::ZERO);
+        let a = g.add(
+            "ndp-issue",
+            iq,
+            SimDuration::from_us(2.0),
+            Region::CcOffload,
+            &[],
+        );
+        f.record_front_end(a, SimTime::ZERO, g.task_finish(a));
+        // A later-submitted request arriving at 10 us finds the FIFO empty…
+        assert_eq!(
+            f.admit(SimTime::from_ns(10_000.0)),
+            FifoAdmission::default()
+        );
+        let b = g.add(
+            "ndp-issue",
+            iq,
+            SimDuration::from_us(1.0),
+            Region::CcOffload,
+            &[],
+        );
+        f.record_front_end(b, SimTime::from_ns(10_000.0), g.task_finish(b));
+        // …but a straggler arriving at 1 us (submitted afterwards) was
+        // inside A's residency: it must stall until A retires at 2 us, and
+        // B — which had not arrived by 1 us — must not count against it.
+        let s = f.admit(SimTime::from_ns(1_000.0));
+        assert_eq!(s.slot_dep, Some(a));
+        assert_eq!(s.stalled, SimDuration::from_us(1.0));
+        assert_eq!(f.stalls(), 1);
     }
 }

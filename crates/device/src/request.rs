@@ -9,6 +9,8 @@
 
 use nearpm_pm::{PhysAddr, PoolId, VirtAddr};
 
+use crate::metadata::LogEntryHeader;
+
 /// Identifier of an application thread, used to select the per-thread log
 /// region and to index the address-mapping table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
@@ -149,6 +151,92 @@ impl NearPmOp {
             NearPmOp::ShadowCopy { dst, len, .. } => vec![(*dst, *len)],
         }
     }
+
+    /// Decodes the operation into the physical micro-op program a NearPM
+    /// unit executes, translating every operand through `translate`.
+    ///
+    /// Both the pipelined front-end and the single-stage differential oracle
+    /// run the *same* decoded program, which is what guarantees their
+    /// functional effects are identical — only the timing of the front-end
+    /// stages differs.
+    pub fn decode<E>(
+        &self,
+        mut translate: impl FnMut(VirtAddr) -> Result<PhysAddr, E>,
+    ) -> Result<Vec<MicroOp>, E> {
+        Ok(match self {
+            NearPmOp::UndoLogCreate {
+                src,
+                len,
+                log_meta,
+                log_data,
+                txn_id,
+            } => {
+                let src_p = translate(*src)?;
+                let meta_p = translate(*log_meta)?;
+                let data_p = translate(*log_data)?;
+                vec![
+                    MicroOp::WriteHeader {
+                        dst: meta_p,
+                        header: LogEntryHeader::active(*src, *len, *txn_id),
+                    },
+                    MicroOp::Copy {
+                        src: src_p,
+                        dst: data_p,
+                        len: *len,
+                    },
+                ]
+            }
+            NearPmOp::ApplyRedoLog { log_data, dst, len } => {
+                let src_p = translate(*log_data)?;
+                let dst_p = translate(*dst)?;
+                vec![MicroOp::Copy {
+                    src: src_p,
+                    dst: dst_p,
+                    len: *len,
+                }]
+            }
+            NearPmOp::CommitLog { entries, .. } => {
+                let mut ops = Vec::with_capacity(entries.len());
+                for entry in entries {
+                    ops.push(MicroOp::ResetHeader {
+                        dst: translate(*entry)?,
+                    });
+                }
+                ops
+            }
+            NearPmOp::CheckpointCreate {
+                src,
+                len,
+                ckpt_meta,
+                ckpt_data,
+                epoch,
+            } => {
+                let src_p = translate(*src)?;
+                let meta_p = translate(*ckpt_meta)?;
+                let data_p = translate(*ckpt_data)?;
+                vec![
+                    MicroOp::WriteHeader {
+                        dst: meta_p,
+                        header: LogEntryHeader::active(*src, *len, *epoch),
+                    },
+                    MicroOp::Copy {
+                        src: src_p,
+                        dst: data_p,
+                        len: *len,
+                    },
+                ]
+            }
+            NearPmOp::ShadowCopy { src, dst, len } => {
+                let src_p = translate(*src)?;
+                let dst_p = translate(*dst)?;
+                vec![MicroOp::Copy {
+                    src: src_p,
+                    dst: dst_p,
+                    len: *len,
+                }]
+            }
+        })
+    }
 }
 
 /// A request as issued by the host over the control path.
@@ -185,6 +273,8 @@ pub enum MicroOp {
     WriteHeader {
         /// Physical destination of the header.
         dst: PhysAddr,
+        /// Header contents generated by the metadata generator.
+        header: LogEntryHeader,
     },
     /// Reset (invalidate) the header at `dst`.
     ResetHeader {
@@ -241,6 +331,52 @@ mod tests {
         };
         assert_eq!(shadow.read_ranges(), vec![(v(0x2000), 4096)]);
         assert_eq!(shadow.write_ranges(), vec![(v(0x3000), 4096)]);
+    }
+
+    #[test]
+    fn decode_produces_the_micro_op_program() {
+        // Identity-ish translation: virtual 0x1000_0000 + x -> physical x.
+        let xlate = |a: VirtAddr| -> Result<PhysAddr, ()> { Ok(PhysAddr(a.raw() & 0xFFFF)) };
+        let op = NearPmOp::UndoLogCreate {
+            src: v(0x1000_0100),
+            len: 128,
+            log_meta: v(0x1000_8000),
+            log_data: v(0x1000_8040),
+            txn_id: 9,
+        };
+        let prog = op.decode(xlate).unwrap();
+        assert_eq!(
+            prog,
+            vec![
+                MicroOp::WriteHeader {
+                    dst: PhysAddr(0x8000),
+                    header: LogEntryHeader::active(v(0x1000_0100), 128, 9),
+                },
+                MicroOp::Copy {
+                    src: PhysAddr(0x100),
+                    dst: PhysAddr(0x8040),
+                    len: 128,
+                },
+            ]
+        );
+        let commit = NearPmOp::CommitLog {
+            entries: vec![v(0x1000_8000), v(0x1000_8100)],
+            txn_id: 9,
+        };
+        assert_eq!(
+            commit.decode(xlate).unwrap(),
+            vec![
+                MicroOp::ResetHeader {
+                    dst: PhysAddr(0x8000)
+                },
+                MicroOp::ResetHeader {
+                    dst: PhysAddr(0x8100)
+                },
+            ]
+        );
+        // Translation failures surface instead of producing a partial program.
+        let fail = |_: VirtAddr| -> Result<PhysAddr, &'static str> { Err("unmapped") };
+        assert_eq!(op.decode(fail), Err("unmapped"));
     }
 
     #[test]

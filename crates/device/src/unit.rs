@@ -15,6 +15,7 @@ use nearpm_pm::{PhysAddr, PmSpace};
 use nearpm_sim::{LatencyModel, Region, Resource, SimTime, TaskGraph, TaskId};
 
 use crate::metadata::{LogEntryHeader, LOG_ENTRY_HEADER_LEN};
+use crate::request::MicroOp;
 
 /// Statistics of one NearPM unit.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,6 +56,15 @@ impl NearPmUnit {
         }
     }
 
+    /// The issue queue feeding this unit (the translate/conflict-check stage
+    /// of the pipelined front-end runs here).
+    pub fn issue_queue(&self) -> Resource {
+        Resource::IssueQueue {
+            device: self.device,
+            unit: self.index,
+        }
+    }
+
     /// Unit statistics.
     pub fn stats(&self) -> UnitStats {
         self.stats
@@ -84,7 +94,7 @@ impl NearPmUnit {
     ) -> TaskId {
         space.copy(src, dst, len as usize);
         self.stats.bytes_copied += len;
-        graph.add(
+        graph.add_arrival_ordered(
             "ndp-copy",
             self.resource(),
             model.ndp_copy(len),
@@ -105,7 +115,7 @@ impl NearPmUnit {
     ) -> TaskId {
         space.write(dst, &header.encode());
         self.stats.headers_written += 1;
-        graph.add(
+        graph.add_arrival_ordered(
             "ndp-metadata",
             self.resource(),
             model.ndp_metadata(),
@@ -125,13 +135,42 @@ impl NearPmUnit {
     ) -> TaskId {
         space.write(dst, &LogEntryHeader::reset_image());
         self.stats.headers_reset += 1;
-        graph.add(
+        graph.add_arrival_ordered(
             "ndp-log-reset",
             self.resource(),
             model.ndp_log_reset(),
             Region::CcLogReset,
             deps,
         )
+    }
+
+    /// Executes one decoded micro-operation, returning its task. This is the
+    /// single functional core both device front-ends drive, so their PM
+    /// effects are identical by construction.
+    pub fn execute_micro(
+        &mut self,
+        space: &mut PmSpace,
+        graph: &mut TaskGraph,
+        model: &LatencyModel,
+        op: &MicroOp,
+        deps: &[TaskId],
+    ) -> TaskId {
+        match op {
+            MicroOp::Copy { src, dst, len } => self.copy(
+                space,
+                graph,
+                model,
+                *src,
+                *dst,
+                *len,
+                Region::CcDataMovement,
+                deps,
+            ),
+            MicroOp::WriteHeader { dst, header } => {
+                self.write_header(space, graph, model, *dst, header, deps)
+            }
+            MicroOp::ResetHeader { dst } => self.reset_header(space, graph, model, *dst, deps),
+        }
     }
 
     /// Reads a header back (used by the hardware recovery procedure).

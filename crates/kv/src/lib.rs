@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 
-use nearpm_core::{NearPmSystem, Result, VirtAddr};
+use nearpm_core::{NearPmSystem, Result, SystemError, VirtAddr};
 use nearpm_pmdk::ObjPool;
 
 /// Size of a stored value in bytes (the paper's workloads use 64 B values).
@@ -87,7 +87,9 @@ impl PersistentHashMap {
 
     /// Inserts or updates `key` with `value` failure-atomically (one
     /// transaction per key; use [`PersistentHashMap::put_batch`] to fold a
-    /// write burst into a single transaction).
+    /// write burst into a single transaction). Returns
+    /// [`SystemError::MapFull`] when probing finds no slot for a new key;
+    /// the map is left untouched.
     pub fn put(
         &mut self,
         sys: &mut NearPmSystem,
@@ -110,6 +112,10 @@ impl PersistentHashMap {
     /// command per device instead of one per key). This is the shape of the
     /// paper's Memcached/Redis integrations, which batch a YCSB write burst
     /// per request into one NearPM transaction.
+    ///
+    /// Returns [`SystemError::MapFull`] when any entry of the burst finds no
+    /// slot. Slots are resolved before the transaction opens, so a full map
+    /// rejects the whole burst without writing anything.
     pub fn put_batch(
         &mut self,
         sys: &mut NearPmSystem,
@@ -152,7 +158,12 @@ impl PersistentHashMap {
                 }
             }
             let Some((addr, is_new)) = slot else {
-                panic!("hash map is full ({} buckets)", self.buckets);
+                // Probing exhausted every bucket before any slot was logged:
+                // the map state is untouched, so the caller can recover (drop
+                // entries, grow into a new map, …).
+                return Err(SystemError::MapFull {
+                    buckets: self.buckets,
+                });
             };
             claimed.insert(addr, *key);
             writes.push((addr, encode_slot(*key, value), is_new));
@@ -184,7 +195,9 @@ impl PersistentHashMap {
                 existing_entry => return Ok((addr, existing_entry.is_none())),
             }
         }
-        panic!("hash map is full ({} buckets)", self.buckets);
+        Err(SystemError::MapFull {
+            buckets: self.buckets,
+        })
     }
 
     /// Looks up `key`.
@@ -439,6 +452,43 @@ mod tests {
             "batched {} vs per-key {}",
             batched.makespan,
             per_key.makespan
+        );
+    }
+
+    #[test]
+    fn full_map_returns_typed_error_instead_of_panicking() {
+        let (mut sys, mut pool) = setup();
+        let mut map = PersistentHashMap::create(&mut sys, &mut pool, 4).unwrap();
+        for k in 0..4u64 {
+            map.put(&mut sys, &mut pool, k, &[k as u8; VALUE_SIZE])
+                .unwrap();
+        }
+        assert_eq!(map.len(), 4);
+        // A fifth distinct key has no slot: typed error, map untouched.
+        let err = map
+            .put(&mut sys, &mut pool, 99, &[9; VALUE_SIZE])
+            .unwrap_err();
+        assert_eq!(err, SystemError::MapFull { buckets: 4 });
+        assert_eq!(map.len(), 4);
+        // Updates of existing keys still succeed on a full map.
+        map.put(&mut sys, &mut pool, 2, &[0xAB; VALUE_SIZE])
+            .unwrap();
+        assert_eq!(
+            map.get(&mut sys, &mut pool, 2).unwrap(),
+            Some(vec![0xAB; VALUE_SIZE])
+        );
+        // A burst containing any non-fitting key is rejected wholesale:
+        // slots resolve before the transaction opens, so nothing is written.
+        let update = vec![0xCD; VALUE_SIZE];
+        let err = map
+            .put_batch(&mut sys, &mut pool, &[(1, &update), (77, &update)])
+            .unwrap_err();
+        assert_eq!(err, SystemError::MapFull { buckets: 4 });
+        assert_eq!(map.len(), 4);
+        assert_eq!(
+            map.get(&mut sys, &mut pool, 1).unwrap(),
+            Some(vec![1u8; VALUE_SIZE]),
+            "a rejected burst must not write any of its entries"
         );
     }
 

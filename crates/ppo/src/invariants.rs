@@ -182,9 +182,20 @@ fn check_cpu_ndp_ordering_with<I: PpoIndexQueries>(trace: &Trace, idx: &I) -> Ve
     violations
 }
 
-/// Invariant 3: every NDP write issued (in program order) before a
-/// synchronization event on the same device must have persisted no later
-/// than the synchronization completes.
+/// Invariant 3: every NDP write that precedes a synchronization event on
+/// the same device **both** in trace (program) order **and** in simulated
+/// time must have persisted no later than the synchronization completes.
+///
+/// The temporal condition exists because, with multiple application
+/// threads, the trace is recorded in program order — thread by thread — so
+/// a write recorded earlier in the trace may execute (and legitimately
+/// persist) after a sync that covers a different thread's transaction; a
+/// sync never guarantees work that had not happened yet. The program-order
+/// condition is kept as well, so a temporally-earlier write recorded
+/// *after* the sync is not checked against it — a deliberate
+/// under-approximation that avoids false positives; the precise form would
+/// scope each sync to the procedures whose handles participate in it (see
+/// the ROADMAP's proc-scoped sync candidate).
 pub fn check_sync_persistence(trace: &Trace) -> Vec<PpoViolation> {
     check_sync_persistence_indexed(&TraceIndex::new(trace))
 }
@@ -231,6 +242,11 @@ fn check_sync_persistence_with<I: PpoIndexQueries>(trace: &Trace, idx: &I) -> Ve
                     failing.sort_unstable();
                     for id in failing {
                         let w = &events[id as usize];
+                        // Writes that happen after the sync (in time) are not
+                        // covered by it, wherever they sit in the trace.
+                        if w.timestamp_ps > e.timestamp_ps {
+                            continue;
+                        }
                         violations.push(PpoViolation::UnpersistedBeforeSync {
                             agent: w.agent,
                             interval: w.interval,
@@ -437,6 +453,9 @@ pub mod oracle {
                     && e.kind == EventKind::Write
                     && e.interval.len > 0
                     && e.program_order < sync.program_order
+                    // Temporal, not trace-positional: a write that happens
+                    // after the sync is not covered by it.
+                    && e.timestamp_ps <= sync.timestamp_ps
             }) {
                 // Find a persist of the same agent covering (overlapping) the
                 // write interval, no later than the sync.

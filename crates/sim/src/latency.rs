@@ -60,8 +60,21 @@ pub struct LatencyModel {
     /// Clock frequency of a NearPM unit (MHz).
     pub ndp_unit_mhz: f64,
     /// Cycles spent by the dispatcher to decode, translate, and conflict-check
-    /// one request.
+    /// one request when the front-end runs as a single monolithic stage (the
+    /// pre-pipelining model, retained for the differential oracle). The
+    /// pipelined front-end splits the same work into
+    /// [`LatencyModel::ndp_decode_cycles`] + [`LatencyModel::ndp_issue_cycles`].
     pub ndp_dispatch_cycles: u64,
+    /// Cycles the shared dispatcher holds a request: pop from the FIFO and
+    /// decode the command word. The dispatcher frees as soon as this stage
+    /// retires.
+    pub ndp_decode_cycles: u64,
+    /// Cycles the per-unit issue queue spends translating the operands and
+    /// checking the in-flight access table, overlapping with execution on the
+    /// other units. `ndp_decode_cycles + ndp_issue_cycles ==
+    /// ndp_dispatch_cycles`, so the pipelined and single-stage front-ends do
+    /// the same total work and differ only in the modeled overlap.
+    pub ndp_issue_cycles: u64,
     /// Cycles spent by the metadata generator per log/checkpoint entry.
     pub ndp_metadata_cycles: u64,
     /// Cycles spent resetting (deleting) one log entry near memory.
@@ -104,6 +117,8 @@ impl Default for LatencyModel {
             ndp_cmd_issue_ns: 260.0,
             ndp_unit_mhz: 300.0,
             ndp_dispatch_cycles: 12,
+            ndp_decode_cycles: 4,
+            ndp_issue_cycles: 8,
             ndp_metadata_cycles: 24,
             ndp_log_reset_cycles: 16,
             ndp_dma_setup_cycles: 20,
@@ -185,9 +200,22 @@ impl LatencyModel {
     }
 
     /// Time for the dispatcher to accept, translate, and conflict-check one
-    /// request.
+    /// request as a single monolithic front-end stage (the differential
+    /// oracle's model).
     pub fn ndp_dispatch(&self) -> SimDuration {
         self.ndp_cycles(self.ndp_dispatch_cycles)
+    }
+
+    /// Time the shared dispatcher holds a request in the pipelined front-end
+    /// (FIFO pop + command decode).
+    pub fn ndp_decode(&self) -> SimDuration {
+        self.ndp_cycles(self.ndp_decode_cycles)
+    }
+
+    /// Time the per-unit issue queue spends on operand translation and the
+    /// in-flight conflict check in the pipelined front-end.
+    pub fn ndp_issue(&self) -> SimDuration {
+        self.ndp_cycles(self.ndp_issue_cycles)
     }
 
     /// Cost on the CPU of issuing one NearPM command (posted MMIO write over
@@ -298,6 +326,20 @@ mod tests {
         assert!(m.ndp_dispatch() > SimDuration::ZERO);
         assert!(m.ndp_metadata() > SimDuration::ZERO);
         assert!(m.ndp_log_reset() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn pipelined_front_end_preserves_total_dispatch_work() {
+        // The decode + issue split re-stages the monolithic dispatch; the
+        // cycle budget (and so the duration sum) must be identical, so the
+        // pipelined and single-stage front-ends differ only in overlap.
+        let m = LatencyModel::default();
+        assert_eq!(
+            m.ndp_decode_cycles + m.ndp_issue_cycles,
+            m.ndp_dispatch_cycles
+        );
+        assert_eq!(m.ndp_decode() + m.ndp_issue(), m.ndp_dispatch());
+        assert!(m.ndp_decode() < m.ndp_issue());
     }
 
     #[test]

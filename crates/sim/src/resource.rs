@@ -20,17 +20,32 @@ pub enum Resource {
         /// Unit index within the device.
         unit: usize,
     },
-    /// The dispatcher front-end of a NearPM device (decode, translation,
-    /// conflict checks are serialized per device).
+    /// The dispatcher front-end of a NearPM device. Only the short *decode*
+    /// stage serializes here; translation and conflict checks run on the
+    /// per-unit issue queues so the dispatcher frees as soon as decode
+    /// retires.
     Dispatcher(usize),
+    /// The issue queue feeding one NearPM execution unit: the decoded
+    /// request's translate/conflict-check stage runs here, overlapping with
+    /// the execution of requests on sibling units.
+    IssueQueue {
+        /// Device the queue belongs to.
+        device: usize,
+        /// Unit the queue feeds.
+        unit: usize,
+    },
     /// The memory-mapped control path between the host and the devices.
     ControlPath,
 }
 
 impl Resource {
-    /// True if this resource belongs to a NearPM device (unit or dispatcher).
+    /// True if this resource belongs to a NearPM device (unit, dispatcher,
+    /// or issue queue).
     pub fn is_ndp(&self) -> bool {
-        matches!(self, Resource::NdpUnit { .. } | Resource::Dispatcher(_))
+        matches!(
+            self,
+            Resource::NdpUnit { .. } | Resource::Dispatcher(_) | Resource::IssueQueue { .. }
+        )
     }
 
     /// True if this resource is a CPU hardware thread.
@@ -41,7 +56,9 @@ impl Resource {
     /// Device index for device-local resources.
     pub fn device(&self) -> Option<usize> {
         match self {
-            Resource::NdpUnit { device, .. } | Resource::Dispatcher(device) => Some(*device),
+            Resource::NdpUnit { device, .. }
+            | Resource::IssueQueue { device, .. }
+            | Resource::Dispatcher(device) => Some(*device),
             _ => None,
         }
     }
@@ -52,6 +69,7 @@ impl fmt::Display for Resource {
         match self {
             Resource::Cpu(i) => write!(f, "cpu{i}"),
             Resource::NdpUnit { device, unit } => write!(f, "dev{device}.unit{unit}"),
+            Resource::IssueQueue { device, unit } => write!(f, "dev{device}.iq{unit}"),
             Resource::Dispatcher(d) => write!(f, "dev{d}.dispatcher"),
             Resource::ControlPath => write!(f, "control-path"),
         }
@@ -114,6 +132,7 @@ impl Topology {
         for d in 0..self.devices {
             out.push(Resource::Dispatcher(d));
             for u in 0..self.units_per_device {
+                out.push(Resource::IssueQueue { device: d, unit: u });
                 out.push(Resource::NdpUnit { device: d, unit: u });
             }
         }
@@ -136,8 +155,14 @@ mod tests {
         assert!(!Resource::Cpu(0).is_ndp());
         assert!(Resource::NdpUnit { device: 1, unit: 2 }.is_ndp());
         assert!(Resource::Dispatcher(0).is_ndp());
+        assert!(Resource::IssueQueue { device: 0, unit: 1 }.is_ndp());
+        assert!(!Resource::IssueQueue { device: 0, unit: 1 }.is_cpu());
         assert!(!Resource::ControlPath.is_ndp());
         assert_eq!(Resource::NdpUnit { device: 1, unit: 2 }.device(), Some(1));
+        assert_eq!(
+            Resource::IssueQueue { device: 1, unit: 2 }.device(),
+            Some(1)
+        );
         assert_eq!(Resource::Dispatcher(3).device(), Some(3));
         assert_eq!(Resource::Cpu(0).device(), None);
         assert_eq!(Resource::ControlPath.device(), None);
@@ -166,13 +191,19 @@ mod tests {
     fn resource_enumeration_counts() {
         let t = Topology::with_devices(2, 2, 4);
         let rs = t.resources();
-        // 2 CPUs + control path + 2 dispatchers + 8 units.
-        assert_eq!(rs.len(), 13);
+        // 2 CPUs + control path + 2 dispatchers + 8 issue queues + 8 units.
+        assert_eq!(rs.len(), 21);
         let units = rs
             .iter()
             .filter(|r| matches!(r, Resource::NdpUnit { .. }))
             .count();
         assert_eq!(units, 8);
+        // One issue queue per unit.
+        let queues = rs
+            .iter()
+            .filter(|r| matches!(r, Resource::IssueQueue { .. }))
+            .count();
+        assert_eq!(queues, units);
     }
 
     #[test]
@@ -183,6 +214,10 @@ mod tests {
             "dev1.unit0"
         );
         assert_eq!(Resource::Dispatcher(0).to_string(), "dev0.dispatcher");
+        assert_eq!(
+            Resource::IssueQueue { device: 1, unit: 3 }.to_string(),
+            "dev1.iq3"
+        );
         assert_eq!(Resource::ControlPath.to_string(), "control-path");
     }
 }

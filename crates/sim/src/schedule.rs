@@ -242,8 +242,9 @@ pub struct Timeline {
 
 impl Timeline {
     /// Builds the timeline from per-resource busy intervals (each list in
-    /// task insertion order, which on a serialized resource is sorted and
-    /// disjoint).
+    /// task insertion order: sorted and disjoint on an in-order serialized
+    /// resource, possibly out of order on an arrival-ordered front-end
+    /// resource, whose gap-filled intervals are sorted here first).
     fn build(per_resource_raw: Vec<(Resource, Vec<(SimTime, SimTime)>)>) -> Timeline {
         let mut cpu_all = Vec::new();
         let mut ndp_all = Vec::new();
@@ -255,7 +256,12 @@ impl Timeline {
                 } else if r.is_ndp() {
                     ndp_all.extend_from_slice(&intervals);
                 }
-                (r, IntervalSet::from_sorted_disjoint(intervals))
+                let in_insertion_order = intervals.windows(2).all(|w| w[0].1 <= w[1].0);
+                if in_insertion_order {
+                    (r, IntervalSet::from_sorted_disjoint(intervals))
+                } else {
+                    (r, IntervalSet::from_intervals(intervals))
+                }
             })
             .collect();
         per_resource.sort_by_key(|(r, _)| *r);
@@ -311,7 +317,11 @@ impl Timeline {
     }
 
     /// Fraction of the schedule horizon during which `resource` was busy.
+    /// Zero for an empty timeline (guarding the undefined 0/0 case).
     pub fn utilization(&self, resource: Resource) -> f64 {
+        if self.horizon == SimTime::ZERO {
+            return 0.0;
+        }
         match self.resource(resource) {
             Some(set) => set.total().ratio(self.horizon.since(SimTime::ZERO)),
             None => 0.0,
@@ -466,8 +476,12 @@ impl Schedule {
         self.timeline.overlap().total()
     }
 
-    /// Fraction of the makespan during which CPU and NDP overlap.
+    /// Fraction of the makespan during which CPU and NDP overlap. Zero for
+    /// an empty schedule (guarding the undefined 0/0 case).
     pub fn overlap_fraction(&self) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
         self.cpu_ndp_overlap().ratio(self.makespan)
     }
 
@@ -477,12 +491,20 @@ impl Schedule {
         self.critical_path
     }
 
-    /// Per-region breakdown as fractions of total busy time.
+    /// Per-region breakdown as fractions of total busy time. All-zero for an
+    /// empty schedule (guarding the undefined 0/0 case).
     pub fn region_breakdown(&self) -> Vec<(Region, f64)> {
         let total: SimDuration = Region::all().into_iter().map(|r| self.region_time(r)).sum();
         Region::all()
             .into_iter()
-            .map(|r| (r, self.region_time(r).ratio(total)))
+            .map(|r| {
+                let frac = if total.is_zero() {
+                    0.0
+                } else {
+                    self.region_time(r).ratio(total)
+                };
+                (r, frac)
+            })
             .collect()
     }
 }
@@ -495,6 +517,12 @@ impl Schedule {
 /// per call. They exist so differential tests and the `schedule_compute`
 /// bench can compare the timeline implementation against the original
 /// semantics. Compiled under `cfg(test)` or the `oracle` cargo feature.
+///
+/// [`oracle::compute_timings`] re-derives timings with the *in-order*
+/// recurrence, so it reproduces graphs built with [`TaskGraph::add`] only;
+/// graphs containing arrival-ordered tasks
+/// ([`TaskGraph::add_arrival_ordered`]) are outside its contract — for
+/// those, the graph's incrementally maintained timings are authoritative.
 #[cfg(any(test, feature = "oracle"))]
 pub mod oracle {
     use super::*;
@@ -909,6 +937,45 @@ mod tests {
         assert!((tl.utilization(Resource::Cpu(7))).abs() < 1e-9);
     }
 
+    /// The pipelined front-end shape: decode on the dispatcher, issue on the
+    /// per-unit queue, execution on the unit. All three stages are NDP
+    /// resources, so the issue queue's busy time must count toward the NDP
+    /// union (and the overlap) identically under the timeline and the
+    /// rescanning oracle.
+    #[test]
+    fn issue_queue_counts_as_ndp_in_timeline_and_oracle() {
+        let iq = Resource::IssueQueue { device: 0, unit: 0 };
+        let mut g = TaskGraph::new();
+        let compute = g.add("app-compute", CPU, ns(100.0), Region::Application, &[]);
+        let decode = g.add(
+            "ndp-decode",
+            Resource::Dispatcher(0),
+            ns(10.0),
+            Region::CcOffload,
+            &[],
+        );
+        let issue = g.add("ndp-issue", iq, ns(25.0), Region::CcOffload, &[decode]);
+        let copy = g.add(
+            "ndp-copy",
+            UNIT0,
+            ns(40.0),
+            Region::CcDataMovement,
+            &[issue],
+        );
+        let _ = (compute, copy);
+        let s = Schedule::compute(&g);
+        // Dispatcher (10) + issue queue (25) + unit (40) merge into one
+        // contiguous NDP busy window.
+        assert!((s.ndp_busy().as_ns() - 75.0).abs() < 1e-9);
+        assert!((s.resource_time(iq).as_ns() - 25.0).abs() < 1e-9);
+        // The CPU compute covers the whole NDP window: full overlap.
+        assert!((s.cpu_ndp_overlap().as_ns() - 75.0).abs() < 1e-9);
+        let timings = oracle::compute_timings(&g);
+        assert_eq!(s.ndp_busy(), oracle::ndp_busy(&g, &timings));
+        assert_eq!(s.cpu_ndp_overlap(), oracle::cpu_ndp_overlap(&g, &timings));
+        assert_eq!(s.resource_time(iq), oracle::resource_time(&g, iq));
+    }
+
     /// Builds a random task graph over a mixed CPU/NDP topology.
     fn random_graph(rng: &mut impl rand::Rng, tasks: usize) -> TaskGraph {
         let resources = [
@@ -917,6 +984,8 @@ mod tests {
             Resource::NdpUnit { device: 0, unit: 0 },
             Resource::NdpUnit { device: 0, unit: 1 },
             Resource::NdpUnit { device: 1, unit: 0 },
+            Resource::IssueQueue { device: 0, unit: 0 },
+            Resource::IssueQueue { device: 0, unit: 1 },
             Resource::Dispatcher(0),
             Resource::ControlPath,
         ];
@@ -979,6 +1048,7 @@ mod tests {
                 Resource::Cpu(0),
                 Resource::Cpu(1),
                 Resource::NdpUnit { device: 0, unit: 0 },
+                Resource::IssueQueue { device: 0, unit: 0 },
                 Resource::Dispatcher(0),
             ] {
                 assert_eq!(

@@ -125,6 +125,13 @@ pub struct TaskGraph {
     finishes: Vec<SimTime>,
     /// Time each resource becomes free (max finish among its tasks).
     resource_free: HashMap<Resource, SimTime>,
+    /// Busy intervals (sorted by start, disjoint) of resources scheduled in
+    /// *arrival order* via [`TaskGraph::add_arrival_ordered`].
+    arrival_busy: HashMap<Resource, Vec<(SimTime, SimTime)>>,
+    /// Scheduling discipline each resource was first used with (`true` =
+    /// arrival-ordered). Mixing disciplines on one resource would silently
+    /// schedule overlapping tasks, so it is rejected.
+    arrival_ordered: HashMap<Resource, bool>,
 }
 
 impl TaskGraph {
@@ -143,12 +150,35 @@ impl TaskGraph {
         self.tasks.is_empty()
     }
 
+    /// Asserts one scheduling discipline per resource. Zero-duration tasks
+    /// (barriers) are exempt: they reserve no busy interval, so they cannot
+    /// overlap anything.
+    fn claim_discipline(&mut self, resource: Resource, arrival_ordered: bool, label: &str) {
+        let claimed = self
+            .arrival_ordered
+            .entry(resource)
+            .or_insert(arrival_ordered);
+        assert!(
+            *claimed == arrival_ordered,
+            "task {label:?} schedules {resource} {}-ordered, but the resource is already \
+             {}-ordered; mixing disciplines on one resource would overlap tasks",
+            if arrival_ordered {
+                "arrival"
+            } else {
+                "insertion"
+            },
+            if *claimed { "arrival" } else { "insertion" },
+        );
+    }
+
     /// Adds a task and returns its id.
     ///
     /// # Panics
     ///
-    /// Panics if any dependency refers to a task that has not been added yet;
-    /// this indicates a bug in the code building the graph.
+    /// Panics if any dependency refers to a task that has not been added yet,
+    /// or if `resource` already carries arrival-ordered tasks
+    /// ([`TaskGraph::add_arrival_ordered`]); both indicate a bug in the code
+    /// building the graph.
     pub fn add(
         &mut self,
         label: &'static str,
@@ -166,6 +196,9 @@ impl TaskGraph {
                 id
             );
         }
+        if !duration.is_zero() {
+            self.claim_discipline(resource, false, label);
+        }
         let dep_ready = deps
             .iter()
             .map(|d| self.finishes[d.0])
@@ -181,6 +214,82 @@ impl TaskGraph {
         self.starts.push(start);
         self.finishes.push(finish);
         self.resource_free.insert(resource, finish);
+        self.tasks.push(Task {
+            id,
+            label,
+            resource,
+            duration,
+            deps: deps.to_vec(),
+            region,
+        });
+        id
+    }
+
+    /// Adds a task on a resource that serves requests in **arrival order**
+    /// rather than insertion order: the task starts at the earliest gap of
+    /// `resource` at or after its dependencies are ready, instead of after
+    /// every previously inserted task on the resource.
+    ///
+    /// This models FIFO front-end hardware (the NearPM dispatcher and issue
+    /// queues) fed by concurrently executing threads. The graph is built in
+    /// *program* order — one thread's whole transaction is appended before
+    /// the next thread's — so a command posted late in one transaction is
+    /// inserted *before* other threads' commands that arrive earlier in
+    /// simulated time. In-order list scheduling would make those earlier
+    /// arrivals queue behind it (head-of-line blocking on a nearly idle
+    /// resource, the fig20 multithread collapse); arrival-ordered scheduling
+    /// lets the resource serve them in the gaps, exactly as the hardware
+    /// would, while still never overlapping two tasks on the resource.
+    ///
+    /// [`TaskGraph::add`] and this method must not be mixed on the same
+    /// resource — in-order tasks do not see the arrival-ordered busy
+    /// intervals, so mixing would silently overlap tasks. The graph enforces
+    /// this: the first non-zero-duration task on a resource claims its
+    /// discipline, and the other adder panics afterwards.
+    pub fn add_arrival_ordered(
+        &mut self,
+        label: &'static str,
+        resource: Resource,
+        duration: SimDuration,
+        region: Region,
+        deps: &[TaskId],
+    ) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        for d in deps {
+            assert!(
+                d.0 < id.0,
+                "task dependency {:?} does not precede task {:?}",
+                d,
+                id
+            );
+        }
+        if !duration.is_zero() {
+            self.claim_discipline(resource, true, label);
+        }
+        let dep_ready = deps
+            .iter()
+            .map(|d| self.finishes[d.0])
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let busy = self.arrival_busy.entry(resource).or_default();
+        // Earliest gap at or after `dep_ready` that fits `duration`.
+        let mut start = dep_ready;
+        let mut i = busy.partition_point(|&(_, end)| end <= start);
+        while let Some(&(next_start, next_end)) = busy.get(i) {
+            if start + duration <= next_start {
+                break;
+            }
+            start = next_end;
+            i += 1;
+        }
+        let finish = start + duration;
+        if !duration.is_zero() {
+            busy.insert(i, (start, finish));
+        }
+        self.starts.push(start);
+        self.finishes.push(finish);
+        let free = self.resource_free.entry(resource).or_insert(SimTime::ZERO);
+        *free = (*free).max(finish);
         self.tasks.push(Task {
             id,
             label,
@@ -256,7 +365,22 @@ impl TaskGraph {
 
     /// Appends another graph, offsetting its task ids, and making its first
     /// tasks additionally depend on `join`. Returns the id offset applied.
+    ///
+    /// Tasks are replayed through the in-order [`TaskGraph::add`], so the
+    /// source graph must not contain arrival-ordered tasks
+    /// ([`TaskGraph::add_arrival_ordered`]) — replaying those in-order would
+    /// silently re-derive different timings and claim the wrong discipline
+    /// for their resources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` contains arrival-ordered tasks.
     pub fn append(&mut self, other: &TaskGraph, join: &[TaskId]) -> usize {
+        assert!(
+            other.arrival_ordered.values().all(|&ao| !ao),
+            "append replays tasks with in-order scheduling, but the source graph \
+             contains arrival-ordered tasks"
+        );
         let offset = self.tasks.len();
         for t in &other.tasks {
             let mut deps: Vec<TaskId> = t.deps.iter().map(|d| TaskId(d.0 + offset)).collect();
@@ -325,6 +449,82 @@ mod tests {
             }
             assert!(!r.name().is_empty());
         }
+    }
+
+    #[test]
+    fn arrival_ordered_tasks_fill_gaps_instead_of_queueing() {
+        let disp = Resource::Dispatcher(0);
+        let mut g = TaskGraph::new();
+        // A command posted late in one thread's transaction…
+        let late_issue = g.add(
+            "cmd-issue",
+            Resource::Cpu(0),
+            ns(100.0),
+            Region::CcOffload,
+            &[],
+        );
+        let a = g.add_arrival_ordered(
+            "ndp-decode",
+            disp,
+            ns(10.0),
+            Region::CcOffload,
+            &[late_issue],
+        );
+        assert_eq!(g.task_start(a), SimTime::from_ns(100.0));
+        // …must not delay another thread's command that arrives at time 0:
+        // it decodes in the gap before the late arrival.
+        let b = g.add_arrival_ordered("ndp-decode", disp, ns(10.0), Region::CcOffload, &[]);
+        assert_eq!(g.task_start(b), SimTime::ZERO);
+        // A task too long for the gap skips past it.
+        let c = g.add_arrival_ordered("ndp-decode", disp, ns(150.0), Region::CcOffload, &[]);
+        assert_eq!(g.task_start(c), SimTime::from_ns(110.0));
+        // A task that fits the remaining gap exactly uses it.
+        let d = g.add_arrival_ordered("ndp-decode", disp, ns(90.0), Region::CcOffload, &[]);
+        assert_eq!(g.task_start(d), SimTime::from_ns(10.0));
+        // The resource frees at the max finish over all tasks.
+        assert_eq!(g.resource_available(disp), SimTime::from_ns(260.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "mixing disciplines")]
+    fn mixing_scheduling_disciplines_on_one_resource_panics() {
+        let disp = Resource::Dispatcher(0);
+        let mut g = TaskGraph::new();
+        g.add_arrival_ordered("ndp-decode", disp, ns(10.0), Region::CcOffload, &[]);
+        // The same resource cannot also be scheduled in insertion order —
+        // the in-order add would not see the arrival-ordered busy intervals.
+        g.add("ndp-dispatch", disp, ns(10.0), Region::CcOffload, &[]);
+    }
+
+    #[test]
+    fn zero_duration_barriers_are_exempt_from_discipline_claims() {
+        let disp = Resource::Dispatcher(0);
+        let mut g = TaskGraph::new();
+        let a = g.add_arrival_ordered("ndp-decode", disp, ns(10.0), Region::CcOffload, &[]);
+        // A zero-length join on the same resource reserves nothing and is
+        // allowed from either adder.
+        let b = g.barrier("join", disp, &[a]);
+        assert_eq!(g.task_start(b), g.task_finish(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival-ordered tasks")]
+    fn append_rejects_arrival_ordered_source_graphs() {
+        let disp = Resource::Dispatcher(0);
+        let mut src = TaskGraph::new();
+        src.add_arrival_ordered("ndp-decode", disp, ns(10.0), Region::CcOffload, &[]);
+        let mut dst = TaskGraph::new();
+        dst.append(&src, &[]);
+    }
+
+    #[test]
+    fn arrival_ordered_zero_duration_reserves_nothing() {
+        let disp = Resource::Dispatcher(0);
+        let mut g = TaskGraph::new();
+        let a = g.add_arrival_ordered("marker", disp, SimDuration::ZERO, Region::CcSync, &[]);
+        let b = g.add_arrival_ordered("decode", disp, ns(10.0), Region::CcOffload, &[]);
+        assert_eq!(g.task_start(a), SimTime::ZERO);
+        assert_eq!(g.task_start(b), SimTime::ZERO);
     }
 
     #[test]

@@ -148,10 +148,16 @@ impl SimDuration {
         SimDuration(self.0.min(other.0))
     }
 
-    /// Ratio of this duration to `other` (`NaN`-free: returns 0 when `other` is zero).
+    /// Ratio of this duration to `other`.
+    ///
+    /// A zero `other` makes the ratio undefined and returns [`f64::NAN`].
+    /// (It used to return `0.0`, which made speedups over an empty run look
+    /// like a catastrophic slowdown instead of a degenerate measurement.)
+    /// Callers that prefer a defined value for the degenerate case — e.g.
+    /// utilization of an empty schedule — must guard explicitly.
     pub fn ratio(self, other: SimDuration) -> f64 {
         if other.0 == 0 {
-            0.0
+            f64::NAN
         } else {
             self.0 as f64 / other.0 as f64
         }
@@ -306,7 +312,16 @@ mod tests {
         assert!(((a * 3).as_ns() - 30.0).abs() < 1e-9);
         assert!(((a / 2).as_ns() - 5.0).abs() < 1e-9);
         assert!((a.ratio(b) - 2.5).abs() < 1e-9);
-        assert_eq!(b.ratio(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn ratio_with_zero_denominator_is_nan() {
+        // An empty run has a zero makespan; a speedup against it is
+        // undefined, not 0x (which would read as an infinite slowdown).
+        let b = SimDuration::from_ns(4.0);
+        assert!(b.ratio(SimDuration::ZERO).is_nan());
+        assert!(SimDuration::ZERO.ratio(SimDuration::ZERO).is_nan());
+        assert_eq!(SimDuration::ZERO.ratio(b), 0.0);
     }
 
     #[test]

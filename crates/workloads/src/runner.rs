@@ -502,6 +502,39 @@ mod tests {
         assert!(report.makespan.as_ns() > 0.0);
     }
 
+    /// fig20 regression (the paper's multithread claim): NearPM MD must stay
+    /// at or above the equal-thread CPU baseline's throughput at 8 and 16
+    /// threads. With the single-stage front-end this dropped to ~0.2-0.5x —
+    /// the dispatcher serialized decode, conflict waits, and sync behind one
+    /// resource. The full mechanism/workload matrix runs in the release-mode
+    /// `fig20_smoke` CI gate; this in-tree test covers the worst regressing
+    /// combination at reduced ops.
+    #[test]
+    fn fig20_shape_normalized_throughput_at_scale() {
+        for threads in [8usize, 16] {
+            let ops = 16 * threads;
+            let base = Runner::new(
+                Workload::Memcached,
+                RunOptions::new(ExecMode::CpuBaseline, Mechanism::Logging, ops)
+                    .with_threads(threads),
+            )
+            .run()
+            .unwrap();
+            let md = Runner::new(
+                Workload::Memcached,
+                RunOptions::new(ExecMode::NearPmMd, Mechanism::Logging, ops).with_threads(threads),
+            )
+            .run()
+            .unwrap();
+            let norm = base.makespan.ratio(md.makespan);
+            assert!(
+                norm >= 1.0,
+                "memcached/logging at {threads} threads: {norm:.3}x normalized throughput"
+            );
+            assert!(md.ppo_violations.is_empty());
+        }
+    }
+
     #[test]
     fn deterministic_given_seed() {
         let a = Runner::new(
