@@ -1,0 +1,73 @@
+//! CI smoke gate for the fig19 unit-scaling claim: with the devices loaded
+//! by concurrent closed-loop clients, the average NearPM MD speedup over the
+//! equal-client CPU baseline must grow **strictly** from 1 to 2 to 4 units
+//! per device — the paper's Figure 19 shape, which the seed reproduction
+//! missed (a single closed-loop client never contends the units, so its
+//! sweep was flat at 1.736x everywhere).
+//!
+//! Two assertions over the same `nearpm_bench::fig19_sweep` the figure
+//! binary prints (shared code, so the gate cannot desynchronize from the
+//! figure):
+//!
+//! 1. the combined average speedup (gmean over all workloads and the 1/4/8
+//!    client counts) is strictly increasing across 1 → 2 → 4 units, with no
+//!    PPO violations anywhere;
+//! 2. the single-client seed-reproduction point has not regressed: at 1 unit
+//!    and 256 ops the single-client average stays at or above the seed's
+//!    1.736x.
+//!
+//! Exits non-zero (failing the CI step) on any violation. `--ops N`
+//! overrides the per-client operation count of the multi-client sweep
+//! (default 32, matching the figure).
+
+use nearpm_bench::{fig19_single_client_avg, fig19_sweep, ops_from_args};
+
+const DEFAULT_OPS_PER_CLIENT: usize = 32;
+/// The seed's flat single-client speedup; the 1-unit single-client point
+/// must never drop below it.
+const SEED_SINGLE_CLIENT_BAR: f64 = 1.736;
+/// Operation count of the seed's single-client figure (its `DEFAULT_OPS`).
+const SEED_OPS: usize = 256;
+
+fn main() {
+    let ops = ops_from_args(DEFAULT_OPS_PER_CLIENT);
+    let mut failures = 0usize;
+    println!("fig19 smoke: strict unit-scaling growth, {ops} ops/client");
+
+    let points = fig19_sweep(ops);
+    for (i, point) in points.iter().enumerate() {
+        let increasing = i == 0 || point.combined > points[i - 1].combined;
+        let clean = point.violations == 0;
+        println!(
+            "  {} unit(s): avg {:.4}x {}{}",
+            point.units,
+            point.combined,
+            if increasing { "ok" } else { "NOT INCREASING" },
+            if clean {
+                String::new()
+            } else {
+                format!(" ({} PPO VIOLATIONS)", point.violations)
+            }
+        );
+        if !increasing || !clean {
+            failures += 1;
+        }
+    }
+
+    // Seed-reproduction anchor: single client, 1 unit, the seed's op count.
+    let single_avg = fig19_single_client_avg(SEED_OPS, 1);
+    let ok = single_avg >= SEED_SINGLE_CLIENT_BAR;
+    println!(
+        "  single-client anchor at 1 unit: avg {single_avg:.4}x (bar {SEED_SINGLE_CLIENT_BAR}x) {}",
+        if ok { "ok" } else { "BELOW SEED" }
+    );
+    if !ok {
+        failures += 1;
+    }
+
+    if failures > 0 {
+        eprintln!("fig19 smoke FAILED: {failures} violations");
+        std::process::exit(1);
+    }
+    println!("fig19 smoke passed: unit scaling grows strictly and the seed point held");
+}

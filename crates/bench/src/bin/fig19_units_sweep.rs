@@ -1,47 +1,49 @@
 //! Figure 19: end-to-end speedup as the number of NearPM units per device
-//! varies (1, 2, 4), plus the dispatch-quality columns: the min/max per-unit
-//! utilization across the sweep's NearPM MD runs (balanced values mean
-//! earliest-available dispatch is spreading work across the units).
+//! varies (1, 2, 4), driven by the shared multi-client closed-loop harness.
+//!
+//! One closed-loop client never keeps more than ~one request in flight, so a
+//! single-client sweep cannot distinguish unit counts (the seed reproduction
+//! was flat at 1.736x for every unit count). The paper's growing curve needs
+//! the units to be *contended*: this sweep therefore loads the devices with
+//! 1/4/8 concurrent clients per configuration (the same machinery as fig20),
+//! and reports the per-client-count average speedup over an equal-client CPU
+//! baseline, the combined average (the figure's headline curve), and the
+//! min/max per-unit utilization across the NearPM MD runs.
+//!
+//! The sweep itself lives in `nearpm_bench::fig19_sweep`, shared with the
+//! `fig19_smoke` CI gate.
 //!
 //! Paper reference: speedup increases with more units.
 
-use nearpm_bench::{gmean, header, run_custom, run_one, workloads, DEFAULT_OPS};
-use nearpm_cc::Mechanism;
-use nearpm_core::ExecMode;
+use nearpm_bench::{fig19_sweep, header, ops_from_args, FIG19_CLIENTS};
+
+/// Operations per client (so heavier client counts do proportionally more
+/// total work, as in fig20); override with `--ops N`.
+const DEFAULT_OPS_PER_CLIENT: usize = 32;
 
 fn main() {
+    let ops = ops_from_args(DEFAULT_OPS_PER_CLIENT);
+    let mut columns = vec!["units".to_string()];
+    for c in FIG19_CLIENTS {
+        columns.push(format!("c{c}_x"));
+    }
+    columns.extend(["avg_x", "util_min", "util_max"].map(String::from));
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
     header(
-        "Figure 19: sensitivity to NearPM unit count (logging, NearPM MD)",
-        &["units", "avg_speedup_x", "util_min", "util_max"],
+        "Figure 19: sensitivity to NearPM unit count (logging, NearPM MD, multi-client)",
+        &column_refs,
     );
-    for units in [1usize, 2, 4] {
-        let mut speedups = Vec::new();
-        let mut util_min = f64::INFINITY;
-        let mut util_max = 0.0f64;
-        for w in workloads() {
-            let base = run_one(w, Mechanism::Logging, ExecMode::CpuBaseline, DEFAULT_OPS, 1);
-            let r = run_custom(
-                w,
-                Mechanism::Logging,
-                ExecMode::NearPmMd,
-                DEFAULT_OPS,
-                1,
-                units,
-                1,
-            );
-            for &(_, util) in &r.ndp_unit_utilization {
-                util_min = util_min.min(util);
-                util_max = util_max.max(util);
-            }
-            speedups.push(r.speedup_over(&base));
+
+    for point in fig19_sweep(ops) {
+        let mut row = format!("{}", point.units);
+        for s in &point.per_clients {
+            row.push_str(&format!("\t{s:.3}"));
         }
-        println!(
-            "{}\t{:.3}\t{:.3}\t{:.3}",
-            units,
-            gmean(&speedups),
-            util_min,
-            util_max
-        );
+        row.push_str(&format!(
+            "\t{:.3}\t{:.3}\t{:.3}",
+            point.combined, point.util_min, point.util_max
+        ));
+        println!("{row}");
     }
     println!("(paper: average speedup grows monotonically from 1 to 4 units)");
 }

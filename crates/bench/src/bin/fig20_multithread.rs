@@ -1,15 +1,16 @@
 //! Figure 20: multithreaded throughput of memcached and redis (NearPM MD)
-//! normalized to an equal-thread CPU baseline, 1-16 threads.
+//! normalized to an equal-thread CPU baseline, 1-16 threads, driven by the
+//! shared multi-client closed-loop harness.
 //!
 //! Paper reference: NearPM stays above 1.0x but its advantage shrinks as the
 //! thread count grows because the prototype has only four units per device.
 //! The stall column reports the backpressure the request FIFOs exerted on
 //! the hosts (total stall time across devices).
 
-use nearpm_bench::{header, ops_from_args, run_custom};
+use nearpm_bench::{header, ops_from_args};
 use nearpm_cc::Mechanism;
 use nearpm_core::ExecMode;
-use nearpm_workloads::Workload;
+use nearpm_workloads::{MultiClientHarness, Workload};
 
 /// Default operations *per thread* (raised from the pre-timeline 24 now that
 /// checking and schedule analysis are ~linear); override with `--ops N`.
@@ -34,18 +35,18 @@ fn main() {
         );
         for w in [Workload::Memcached, Workload::Redis] {
             for threads in [1usize, 2, 4, 8, 16] {
-                let ops = ops_per_thread * threads;
-                let base = run_custom(w, m, ExecMode::CpuBaseline, ops, threads, 4, 1);
-                let md = run_custom(w, m, ExecMode::NearPmMd, ops, threads, 4, 1);
-                // Equal work, so normalized throughput = inverse runtime ratio.
-                let norm = base.makespan.ratio(md.makespan);
+                let cmp = MultiClientHarness::new(w, m)
+                    .with_clients(threads)
+                    .with_ops_per_client(ops_per_thread)
+                    .compare(ExecMode::NearPmMd)
+                    .expect("workload run failed");
                 println!(
                     "{}\t{}\t{:.3}\t{}\t{:.2}",
                     w.name(),
                     threads,
-                    norm,
-                    md.fifo_high_watermark,
-                    md.fifo_stall_time.as_us()
+                    cmp.speedup(),
+                    cmp.nearpm.fifo_high_watermark,
+                    cmp.nearpm.fifo_stall_time.as_us()
                 );
             }
         }

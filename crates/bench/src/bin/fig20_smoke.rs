@@ -9,10 +9,10 @@
 //! the per-thread operation count (default 32, reduced from the figure's 96
 //! to keep the gate fast).
 
-use nearpm_bench::{ops_from_args, run_custom};
+use nearpm_bench::ops_from_args;
 use nearpm_cc::Mechanism;
 use nearpm_core::ExecMode;
-use nearpm_workloads::Workload;
+use nearpm_workloads::{MultiClientHarness, Workload};
 
 const DEFAULT_OPS_PER_THREAD: usize = 32;
 /// The paper's fig20 claim: normalized throughput never drops below 1.0x.
@@ -25,10 +25,12 @@ fn main() {
     for m in Mechanism::all() {
         for w in [Workload::Memcached, Workload::Redis] {
             for threads in [1usize, 2, 4, 8, 16] {
-                let ops = ops_per_thread * threads;
-                let base = run_custom(w, m, ExecMode::CpuBaseline, ops, threads, 4, 1);
-                let md = run_custom(w, m, ExecMode::NearPmMd, ops, threads, 4, 1);
-                let norm = base.makespan.ratio(md.makespan);
+                let cmp = MultiClientHarness::new(w, m)
+                    .with_clients(threads)
+                    .with_ops_per_client(ops_per_thread)
+                    .compare(ExecMode::NearPmMd)
+                    .expect("workload run failed");
+                let norm = cmp.speedup();
                 let ok = norm >= BAR;
                 println!(
                     "  {:<14} {:<10} {:>2} threads: {:.3}x {}",

@@ -15,7 +15,7 @@ pub mod synthetic;
 use nearpm_cc::Mechanism;
 use nearpm_core::{ExecMode, RunReport};
 use nearpm_sim::stats::geomean;
-use nearpm_workloads::{RunOptions, Runner, Workload};
+use nearpm_workloads::{MultiClientHarness, RunOptions, Runner, Workload};
 
 /// Default number of operations per workload run. Raised toward paper scale
 /// now that trace checking and schedule analysis are ~linear; every figure
@@ -104,6 +104,110 @@ pub fn mechanisms() -> [Mechanism; 3] {
 /// All workloads in figure order.
 pub fn workloads() -> [Workload; 9] {
     Workload::all()
+}
+
+/// Client counts of the fig19 units×clients sweep (and its smoke gate). One
+/// closed-loop client cannot contend the units; the heavier points are what
+/// let the unit count matter.
+pub const FIG19_CLIENTS: [usize; 3] = [1, 4, 8];
+
+/// Unit counts of the fig19 sweep, in the paper's order.
+pub const FIG19_UNITS: [usize; 3] = [1, 2, 4];
+
+/// One unit-count row of the fig19 units×clients sweep.
+#[derive(Debug, Clone)]
+pub struct Fig19Point {
+    /// NearPM units per device of this row.
+    pub units: usize,
+    /// Per-client-count average speedup (gmean over all workloads), indexed
+    /// like [`FIG19_CLIENTS`].
+    pub per_clients: Vec<f64>,
+    /// Combined average over workloads × client counts (the figure's
+    /// headline curve, and what the smoke gate requires to grow strictly).
+    pub combined: f64,
+    /// Lowest per-unit utilization seen across the row's NearPM MD runs.
+    pub util_min: f64,
+    /// Highest per-unit utilization seen across the row's NearPM MD runs.
+    pub util_max: f64,
+    /// Total PPO violations across the row's NearPM MD runs (must be 0).
+    pub violations: usize,
+}
+
+/// The fig19 units×clients sweep (logging, NearPM MD vs an equal-client CPU
+/// baseline): one [`Fig19Point`] per entry of [`FIG19_UNITS`]. Shared by the
+/// `fig19_units_sweep` figure binary and the `fig19_smoke` CI gate so the
+/// gate can never desynchronize from the published figure.
+pub fn fig19_sweep(ops_per_client: usize) -> Vec<Fig19Point> {
+    // The equal-client baseline is independent of the unit count: one
+    // baseline per (workload, clients) point serves the whole unit sweep.
+    let baselines: Vec<Vec<RunReport>> = workloads()
+        .iter()
+        .map(|&w| {
+            FIG19_CLIENTS
+                .iter()
+                .map(|&c| {
+                    MultiClientHarness::new(w, Mechanism::Logging)
+                        .with_clients(c)
+                        .with_ops_per_client(ops_per_client)
+                        .baseline()
+                        .expect("baseline run failed")
+                })
+                .collect()
+        })
+        .collect();
+    FIG19_UNITS
+        .iter()
+        .map(|&units| {
+            let mut per_clients: Vec<Vec<f64>> = vec![Vec::new(); FIG19_CLIENTS.len()];
+            let mut util_min = f64::INFINITY;
+            let mut util_max = 0.0f64;
+            let mut violations = 0usize;
+            for (wi, &w) in workloads().iter().enumerate() {
+                for (ci, &clients) in FIG19_CLIENTS.iter().enumerate() {
+                    let md = MultiClientHarness::new(w, Mechanism::Logging)
+                        .with_clients(clients)
+                        .with_ops_per_client(ops_per_client)
+                        .with_units(units)
+                        .run_mode(ExecMode::NearPmMd)
+                        .expect("NearPM MD run failed");
+                    for &(_, util) in &md.ndp_unit_utilization {
+                        util_min = util_min.min(util);
+                        util_max = util_max.max(util);
+                    }
+                    violations += md.ppo_violations.len();
+                    per_clients[ci].push(md.speedup_over(&baselines[wi][ci]));
+                }
+            }
+            let all: Vec<f64> = per_clients.iter().flatten().copied().collect();
+            Fig19Point {
+                units,
+                per_clients: per_clients.iter().map(|s| gmean(s)).collect(),
+                combined: gmean(&all),
+                util_min,
+                util_max,
+                violations,
+            }
+        })
+        .collect()
+}
+
+/// Average single-client NearPM MD speedup over the CPU baseline (gmean over
+/// all workloads) at `units` units — the seed-reproduction anchor of the
+/// fig19 smoke gate.
+pub fn fig19_single_client_avg(ops: usize, units: usize) -> f64 {
+    let speedups: Vec<f64> = workloads()
+        .iter()
+        .map(|&w| {
+            let h = MultiClientHarness::new(w, Mechanism::Logging).with_ops_per_client(ops);
+            let base = h.baseline().expect("baseline run failed");
+            let md = h
+                .with_units(units)
+                .run_mode(ExecMode::NearPmMd)
+                .expect("NearPM MD run failed");
+            md.speedup_over(&base)
+        })
+        .collect();
+    gmean(&speedups)
 }
 
 #[cfg(test)]

@@ -12,12 +12,20 @@
 //! * **NearPM MD SW-sync** — two devices; the CPU polls both before commit.
 //! * **NearPM MD** — two devices; cross-device synchronization is delayed and
 //!   handled near memory, keeping it off the CPU's critical path.
+//!
+//! Both mechanisms are built on the split-phase [`OffloadBatch`] pipeline:
+//! every offload of a transaction phase (all log creates, all redo applies)
+//! is posted into the group **before** the first completion point, and the
+//! mode-specific commit synchronization takes the whole group at once — in
+//! NearPM MD its barrier is threaded into the `CommitLog` reset commands as a
+//! device-side ordering dependency (Figure 12: log deletion orders after the
+//! cross-device sync without the CPU waiting).
 
 use nearpm_core::{
-    ExecMode, NearPmOp, NearPmSystem, OffloadHandle, PoolId, Region, Result, VirtAddr,
+    ExecMode, NearPmOp, NearPmSystem, OffloadBatch, PoolId, Region, Result, VirtAddr,
 };
 use nearpm_device::{EntryState, LogEntryHeader};
-use nearpm_sim::PM_PAGE;
+use nearpm_sim::{TaskId, PM_PAGE};
 
 use crate::arena::{LogArena, LogSlot};
 
@@ -29,7 +37,6 @@ struct ActiveEntry {
     slot: LogSlot,
     target: VirtAddr,
     len: u64,
-    handle: Option<OffloadHandle>,
 }
 
 /// Undo-logging transactions.
@@ -39,6 +46,10 @@ pub struct UndoLog {
     thread: usize,
     arena: LogArena,
     active: Vec<ActiveEntry>,
+    /// The transaction's in-flight log creates, posted split-phase: every
+    /// `log_range` offload joins the group, and commit synchronizes/releases
+    /// the group as a whole.
+    batch: OffloadBatch,
     txn: Option<u64>,
     committed_txns: u64,
 }
@@ -56,6 +67,7 @@ impl UndoLog {
             thread,
             arena: LogArena::new(sys, pool, pages_per_device)?,
             active: Vec::new(),
+            batch: OffloadBatch::new(),
             txn: None,
             committed_txns: 0,
         })
@@ -90,8 +102,12 @@ impl UndoLog {
         }
         for (start, chunk, device) in chunks {
             let slot = self.arena.acquire(device)?;
-            let handle = if sys.mode().uses_ndp() {
-                Some(sys.offload(
+            if sys.mode().uses_ndp() {
+                // Split-phase posting: the log create joins the txn's batch
+                // without materializing any wait — every logged range of the
+                // transaction is in flight together.
+                sys.offload_into(
+                    &mut self.batch,
                     self.thread,
                     self.pool,
                     NearPmOp::UndoLogCreate {
@@ -102,7 +118,7 @@ impl UndoLog {
                         txn_id: txn,
                     },
                     &[],
-                )?)
+                )?;
             } else {
                 // CPU baseline: generate metadata, copy old data, persist.
                 let latency = sys.latency().clone();
@@ -116,13 +132,11 @@ impl UndoLog {
                 sys.cpu_write(self.thread, slot.meta, &header.encode(), Region::CcMetadata)?;
                 sys.cpu_persist(self.thread, slot.meta, 64, Region::CcMetadata)?;
                 sys.cpu_copy(self.thread, start, slot.data, chunk, Region::CcDataMovement)?;
-                None
-            };
+            }
             self.active.push(ActiveEntry {
                 slot,
                 target: start,
                 len: chunk,
-                handle,
             });
         }
         Ok(())
@@ -135,14 +149,10 @@ impl UndoLog {
     }
 
     /// Commits the transaction: ensures all log entries are durable (mode-
-    /// specific synchronization), deletes the logs, and recycles the slots.
+    /// specific synchronization over the whole posted group), deletes the
+    /// logs, and recycles the slots.
     pub fn commit(&mut self, sys: &mut NearPmSystem) -> Result<()> {
         let _txn = self.txn.take().expect("commit without begin");
-        let handles: Vec<&OffloadHandle> = self
-            .active
-            .iter()
-            .filter_map(|e| e.handle.as_ref())
-            .collect();
 
         match sys.mode() {
             ExecMode::CpuBaseline => {
@@ -167,32 +177,22 @@ impl UndoLog {
                 self.offload_commit(sys, &[])?;
             }
             ExecMode::NearPmMdSync => {
-                // CPU-polling software synchronization before the commit.
-                if !handles.is_empty() {
-                    sys.sw_sync(self.thread, &handles)?;
-                }
+                // CPU-polling software synchronization before the commit; the
+                // commit commands issue after it on the CPU, so no device-side
+                // dependency is needed.
+                sys.sw_sync_batch(self.thread, &self.batch)?;
                 self.offload_commit(sys, &[])?;
             }
             ExecMode::NearPmMd => {
-                // Delayed near-memory synchronization; log deletion depends on
-                // it but the CPU does not wait.
-                let barrier = if !handles.is_empty() {
-                    Some(sys.delayed_sync(&handles)?)
-                } else {
-                    None
-                };
-                let deps: Vec<nearpm_sim::TaskId> = barrier.into_iter().collect();
+                // Delayed near-memory synchronization over the group; log
+                // deletion depends on it but the CPU does not wait.
+                let barrier = sys.delayed_sync_batch(&self.batch)?;
+                let deps: Vec<TaskId> = barrier.into_iter().collect();
                 self.offload_commit(sys, &deps)?;
             }
         }
 
-        let handles: Vec<OffloadHandle> = self
-            .active
-            .iter()
-            .filter_map(|e| e.handle.clone())
-            .collect();
-        let refs: Vec<&OffloadHandle> = handles.iter().collect();
-        sys.release(&refs);
+        sys.release_batch(&mut self.batch);
         for e in self.active.drain(..) {
             self.arena.release(e.slot);
         }
@@ -200,11 +200,7 @@ impl UndoLog {
         Ok(())
     }
 
-    fn offload_commit(
-        &mut self,
-        sys: &mut NearPmSystem,
-        deps: &[nearpm_sim::TaskId],
-    ) -> Result<()> {
+    fn offload_commit(&mut self, sys: &mut NearPmSystem, deps: &[TaskId]) -> Result<()> {
         let txn = self.committed_txns;
         // Group entries by device, one commit command per device (the memory
         // controller duplicates commands for objects spanning devices).
@@ -271,10 +267,12 @@ impl UndoLog {
                 }
             }
         }
-        // Any slots that belonged to the interrupted transaction are free again.
+        // Any slots that belonged to the interrupted transaction are free
+        // again; the batch's handles died with the crashed transaction.
         for e in self.active.drain(..) {
             self.arena.release(e.slot);
         }
+        self.batch.clear();
         self.txn = None;
         sys.finish_recovery();
         Ok(rolled_back)
@@ -289,6 +287,9 @@ pub struct RedoLog {
     thread: usize,
     arena: LogArena,
     staged: Vec<ActiveEntry>,
+    /// The commit phase's in-flight `ApplyRedoLog` offloads, posted
+    /// split-phase before the mode-specific synchronization.
+    batch: OffloadBatch,
     txn: Option<u64>,
     committed_txns: u64,
 }
@@ -306,6 +307,7 @@ impl RedoLog {
             thread,
             arena: LogArena::new(sys, pool, pages_per_device)?,
             staged: Vec::new(),
+            batch: OffloadBatch::new(),
             txn: None,
             committed_txns: 0,
         })
@@ -355,7 +357,6 @@ impl RedoLog {
             slot,
             target: addr,
             len: data.len() as u64,
-            handle: None,
         });
         Ok(())
     }
@@ -363,12 +364,19 @@ impl RedoLog {
     /// Commits: applies every staged entry to its home location
     /// (`NearPM_applylog` or a CPU copy), synchronizes according to the mode,
     /// and resets the log.
+    ///
+    /// Split-phase structure: **all** applies are posted into the batch
+    /// before the synchronization point, and in NearPM MD the delayed-sync
+    /// barrier is threaded into the `CommitLog` reset commands as a
+    /// device-side ordering dependency, so the log reset is ordered after the
+    /// cross-device sync exactly as Figure 12 requires (previously the
+    /// barrier was computed but not passed, leaving the reset unordered).
     pub fn commit(&mut self, sys: &mut NearPmSystem) -> Result<()> {
         let _txn = self.txn.take().expect("commit without begin");
-        let mut handles: Vec<OffloadHandle> = Vec::new();
         if sys.mode().uses_ndp() {
-            for e in &mut self.staged {
-                let h = sys.offload(
+            for e in &self.staged {
+                sys.offload_into(
+                    &mut self.batch,
                     self.thread,
                     self.pool,
                     NearPmOp::ApplyRedoLog {
@@ -378,8 +386,6 @@ impl RedoLog {
                     },
                     &[],
                 )?;
-                e.handle = Some(h.clone());
-                handles.push(h);
             }
         } else {
             for e in &self.staged {
@@ -393,22 +399,21 @@ impl RedoLog {
             }
         }
 
-        let refs: Vec<&OffloadHandle> = handles.iter().collect();
+        let mut reset_deps: Vec<TaskId> = Vec::new();
         match sys.mode() {
             ExecMode::CpuBaseline | ExecMode::NearPmSd => {}
             ExecMode::NearPmMdSync => {
-                if !refs.is_empty() {
-                    sys.sw_sync(self.thread, &refs)?;
-                }
+                // The CPU polls the devices; the reset commands issue after
+                // the poll on the CPU, so no device-side dependency is needed.
+                sys.sw_sync_batch(self.thread, &self.batch)?;
             }
             ExecMode::NearPmMd => {
-                if !refs.is_empty() {
-                    sys.delayed_sync(&refs)?;
-                }
+                // The near-memory barrier the log reset must order after.
+                reset_deps.extend(sys.delayed_sync_batch(&self.batch)?);
             }
         }
 
-        // Reset the log entries.
+        // Reset the log entries, ordered after the delayed sync (if any).
         if sys.mode().uses_ndp() {
             let devices: Vec<usize> = {
                 let mut d: Vec<usize> = self.staged.iter().map(|e| e.slot.device).collect();
@@ -430,7 +435,7 @@ impl RedoLog {
                         entries,
                         txn_id: self.committed_txns,
                     },
-                    &[],
+                    &reset_deps,
                 )?;
             }
         } else {
@@ -452,7 +457,7 @@ impl RedoLog {
             }
         }
 
-        sys.release(&refs);
+        sys.release_batch(&mut self.batch);
         for e in self.staged.drain(..) {
             self.arena.release(e.slot);
         }
@@ -482,6 +487,7 @@ impl RedoLog {
         for e in self.staged.drain(..) {
             self.arena.release(e.slot);
         }
+        self.batch.clear();
         self.txn = None;
         sys.finish_recovery();
         Ok(discarded)
@@ -596,6 +602,104 @@ mod tests {
             );
             assert!(sys.report().ppo_violations.is_empty(), "mode {:?}", mode);
         }
+    }
+
+    /// ROADMAP-flagged bugfix regression: in NearPM MD the `CommitLog` reset
+    /// commands must be ordered **after** the delayed-sync barrier on the
+    /// device side (Figure 12). Before the fix, `RedoLog::commit` computed
+    /// the barrier but posted the resets with no dependency, so a reset
+    /// could start while the cross-device sync was still in flight.
+    #[test]
+    fn redo_md_commit_orders_log_reset_after_delayed_sync() {
+        let (mut sys, pool, obj) = setup(ExecMode::NearPmMd);
+        let mut redo = RedoLog::new(&mut sys, pool, 0, 8).unwrap();
+        redo.begin(&mut sys).unwrap();
+        // Two staged updates on different devices force a cross-device sync.
+        redo.stage(&mut sys, obj, &[0x42; 64]).unwrap();
+        redo.stage(&mut sys, obj.offset(4096), &[0x43; 64]).unwrap();
+        redo.commit(&mut sys).unwrap();
+
+        let graph = sys.graph();
+        let sync_finish = graph
+            .tasks()
+            .iter()
+            .filter(|t| t.label == "md-sync")
+            .map(|t| graph.task_finish(t.id))
+            .max()
+            .expect("MD commit must post a delayed sync");
+        let resets: Vec<_> = graph
+            .tasks()
+            .iter()
+            .filter(|t| t.label == "ndp-log-reset")
+            .map(|t| t.id)
+            .collect();
+        assert!(!resets.is_empty(), "commit must reset the log entries");
+        for id in resets {
+            assert!(
+                graph.task_start(id) >= sync_finish,
+                "log reset starts before the delayed-sync barrier completes"
+            );
+        }
+        assert!(sys.report().ppo_violations.is_empty());
+    }
+
+    /// Redo-specific recovery: a crash **between the delayed sync and the
+    /// commit's log reset** leaves every staged entry `Active` while the
+    /// applies have already reached the home locations. Recovery must keep
+    /// the applied values (redo entries are idempotent to discard once
+    /// applied), reset the entries, and leave the log usable.
+    #[test]
+    fn redo_crash_between_delayed_sync_and_commit_recovers() {
+        let (mut sys, pool, obj) = setup(ExecMode::NearPmMd);
+        let mut redo = RedoLog::new(&mut sys, pool, 0, 8).unwrap();
+        redo.begin(&mut sys).unwrap();
+        redo.stage(&mut sys, obj, &[0x42; 64]).unwrap();
+        redo.stage(&mut sys, obj.offset(4096), &[0x43; 64]).unwrap();
+
+        // Drive the commit path manually up to (and including) the delayed
+        // sync, then crash before the CommitLog resets are posted.
+        let staged: Vec<(VirtAddr, VirtAddr, u64)> = redo
+            .staged
+            .iter()
+            .map(|e| (e.slot.data, e.target, e.len))
+            .collect();
+        let mut batch = OffloadBatch::new();
+        for (log_data, dst, len) in staged {
+            sys.offload_into(
+                &mut batch,
+                0,
+                pool,
+                NearPmOp::ApplyRedoLog { log_data, dst, len },
+                &[],
+            )
+            .unwrap();
+        }
+        sys.delayed_sync_batch(&batch).unwrap().unwrap();
+        sys.crash();
+
+        // The applies reached the persistence domain before the failure.
+        sys.begin_recovery();
+        assert_eq!(sys.persistent_read(obj, 64).unwrap(), vec![0x42; 64]);
+        sys.finish_recovery();
+
+        // Both entries were still Active (the reset never ran): recovery
+        // resets them without touching the applied home locations.
+        let discarded = redo.recover(&mut sys).unwrap();
+        assert_eq!(discarded, 2);
+        assert_eq!(sys.persistent_read(obj, 64).unwrap(), vec![0x42; 64]);
+        assert_eq!(
+            sys.persistent_read(obj.offset(4096), 64).unwrap(),
+            vec![0x43; 64]
+        );
+        // Idempotent: a second recovery pass finds nothing Active.
+        assert_eq!(redo.recover(&mut sys).unwrap(), 0);
+
+        // The log is fully usable for the next transaction.
+        redo.begin(&mut sys).unwrap();
+        redo.stage(&mut sys, obj, &[0x55; 64]).unwrap();
+        redo.commit(&mut sys).unwrap();
+        assert_eq!(sys.persistent_read(obj, 64).unwrap(), vec![0x55; 64]);
+        assert!(sys.report().ppo_violations.is_empty());
     }
 
     #[test]

@@ -10,10 +10,10 @@
 //!   atomically switches a page-table entry at commit; recovery needs no data
 //!   movement because the page table always references a complete page.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use nearpm_core::{
-    ExecMode, NearPmOp, NearPmSystem, OffloadHandle, PoolId, Region, Result, VirtAddr,
+    ExecMode, NearPmOp, NearPmSystem, OffloadBatch, PoolId, Region, Result, VirtAddr,
 };
 use nearpm_device::{EntryState, LogEntryHeader};
 use nearpm_sim::PM_PAGE;
@@ -28,7 +28,10 @@ pub struct Checkpoint {
     arena: LogArena,
     epoch: u64,
     /// Pages checkpointed in the current epoch: page base → slot.
-    snapshots: HashMap<u64, (LogSlot, Option<OffloadHandle>)>,
+    snapshots: HashMap<u64, LogSlot>,
+    /// The epoch's in-flight snapshot offloads, posted split-phase; the
+    /// epoch boundary synchronizes and releases the group as a whole.
+    batch: OffloadBatch,
     epochs_completed: u64,
 }
 
@@ -46,6 +49,7 @@ impl Checkpoint {
             arena: LogArena::new(sys, pool, pages_per_device)?,
             epoch: 0,
             snapshots: HashMap::new(),
+            batch: OffloadBatch::new(),
             epochs_completed: 0,
         })
     }
@@ -83,8 +87,11 @@ impl Checkpoint {
         )?;
         let device = sys.device_of(page)?;
         let slot = self.arena.acquire(device)?;
-        let handle = if sys.mode().uses_ndp() {
-            Some(sys.offload(
+        if sys.mode().uses_ndp() {
+            // Split-phase posting: the snapshot joins the epoch's batch
+            // without materializing a wait.
+            sys.offload_into(
+                &mut self.batch,
                 self.thread,
                 self.pool,
                 NearPmOp::CheckpointCreate {
@@ -95,7 +102,7 @@ impl Checkpoint {
                     epoch: self.epoch,
                 },
                 &[],
-            )?)
+            )?;
         } else {
             let header = LogEntryHeader::active(page, PM_PAGE, self.epoch);
             sys.cpu_write(self.thread, slot.meta, &header.encode(), Region::CcMetadata)?;
@@ -107,9 +114,18 @@ impl Checkpoint {
                 PM_PAGE,
                 Region::CcDataMovement,
             )?;
-            None
-        };
-        self.snapshots.insert(page.raw(), (slot, handle));
+        }
+        self.snapshots.insert(page.raw(), slot);
+        Ok(())
+    }
+
+    /// Split-phase form of [`Checkpoint::touch`] over several addresses: the
+    /// first-touch snapshot of every page is posted into the epoch's batch
+    /// back to back, before any of them is waited on.
+    pub fn touch_many(&mut self, sys: &mut NearPmSystem, addrs: &[VirtAddr]) -> Result<()> {
+        for addr in addrs {
+            self.touch(sys, *addr)?;
+        }
         Ok(())
     }
 
@@ -124,29 +140,20 @@ impl Checkpoint {
     }
 
     /// Ends the current epoch: the snapshots become obsolete and their slots
-    /// are recycled. Mode-specific synchronization mirrors the logging paths.
+    /// are recycled. Mode-specific synchronization takes the whole epoch's
+    /// posted group at once, mirroring the logging paths.
     pub fn advance_epoch(&mut self, sys: &mut NearPmSystem) -> Result<()> {
-        let handles: Vec<OffloadHandle> = self
-            .snapshots
-            .values()
-            .filter_map(|(_, h)| h.clone())
-            .collect();
-        let refs: Vec<&OffloadHandle> = handles.iter().collect();
         match sys.mode() {
             ExecMode::CpuBaseline | ExecMode::NearPmSd => {}
             ExecMode::NearPmMdSync => {
-                if !refs.is_empty() {
-                    sys.sw_sync(self.thread, &refs)?;
-                }
+                sys.sw_sync_batch(self.thread, &self.batch)?;
             }
             ExecMode::NearPmMd => {
-                if !refs.is_empty() {
-                    sys.delayed_sync(&refs)?;
-                }
+                sys.delayed_sync_batch(&self.batch)?;
             }
         }
-        sys.release(&refs);
-        for (_page, (slot, _h)) in self.snapshots.drain() {
+        sys.release_batch(&mut self.batch);
+        for (_page, slot) in self.snapshots.drain() {
             self.arena.release(slot);
         }
         self.epoch += 1;
@@ -180,9 +187,10 @@ impl Checkpoint {
                 }
             }
         }
-        for (_page, (slot, _h)) in self.snapshots.drain() {
+        for (_page, slot) in self.snapshots.drain() {
             self.arena.release(slot);
         }
+        self.batch.clear();
         sys.finish_recovery();
         Ok(restored)
     }
@@ -269,6 +277,14 @@ impl ShadowPaging {
     /// Updates `data` at `offset` inside logical page `idx` crash-consistently:
     /// shadow-copy the page, apply the update to the shadow, persist it, and
     /// switch the page-table entry.
+    ///
+    /// This is the **serial** one-site-at-a-time path — each update runs
+    /// fault → copy → write → sync → switch to completion before the next
+    /// begins. It is retained as the differential oracle for the split-phase
+    /// [`ShadowPaging::update_many`] pipeline (same pattern as
+    /// `schedule::oracle` and `submit_single_stage`): both produce
+    /// byte-identical PM images by construction, only the modeled overlap
+    /// differs.
     pub fn update(
         &mut self,
         sys: &mut NearPmSystem,
@@ -353,6 +369,148 @@ impl ShadowPaging {
         });
         self.entries[idx] = shadow;
         self.switches += 1;
+        Ok(())
+    }
+
+    /// Split-phase (post-all / complete-later) form of
+    /// [`ShadowPaging::update`] over several update sites — the pipelined
+    /// transaction path.
+    ///
+    /// The sites are partitioned into rounds of **distinct** logical pages
+    /// (a second update of the same page must copy the already-switched
+    /// version, so it waits for the next round). Within a round:
+    ///
+    /// 1. every page's fault handling + shadow copy is posted back to back,
+    ///    so all of the round's copies are in flight together;
+    /// 2. the new values land in the shadows (each write is ordered after
+    ///    its own copy by the in-flight conflict check, overlapping with the
+    ///    sibling copies);
+    /// 3. **one** mode-specific synchronization covers the whole group;
+    /// 4. the page-table entries switch.
+    ///
+    /// For a single site this produces exactly the serial path's task graph.
+    pub fn update_many<D: AsRef<[u8]>>(
+        &mut self,
+        sys: &mut NearPmSystem,
+        sites: &[(usize, u64, D)],
+    ) -> Result<()> {
+        let mut order: Vec<usize> = (0..sites.len()).collect();
+        while !order.is_empty() {
+            let mut round = Vec::new();
+            let mut later = Vec::new();
+            let mut seen = HashSet::new();
+            for i in order {
+                if seen.insert(sites[i].0) {
+                    round.push(i);
+                } else {
+                    later.push(i);
+                }
+            }
+            self.update_round(sys, sites, &round)?;
+            order = later;
+        }
+        Ok(())
+    }
+
+    /// One round of [`ShadowPaging::update_many`]: `round` indexes sites
+    /// with pairwise-distinct logical pages.
+    fn update_round<D: AsRef<[u8]>>(
+        &mut self,
+        sys: &mut NearPmSystem,
+        sites: &[(usize, u64, D)],
+        round: &[usize],
+    ) -> Result<()> {
+        let latency = sys.latency().clone();
+        let mut batch = OffloadBatch::with_capacity(round.len());
+        let mut slots: Vec<LogSlot> = Vec::with_capacity(round.len());
+
+        // Phase 1: fault handling + shadow copy per page, all posted before
+        // any wait is materialized.
+        for &i in round {
+            let (idx, offset, ref data) = sites[i];
+            let data = data.as_ref();
+            assert!(
+                offset + data.len() as u64 <= PM_PAGE,
+                "update crosses page boundary"
+            );
+            let old_page = self.entries[idx];
+            let device = sys.device_of(old_page)?;
+            let slot = self.arena.acquire(device)?;
+            sys.cpu_overhead(
+                self.thread,
+                "page-fault",
+                latency.cpu_page_fault_ns,
+                Region::CcPageFault,
+            )?;
+            if sys.mode().uses_ndp() {
+                sys.offload_into(
+                    &mut batch,
+                    self.thread,
+                    self.pool,
+                    NearPmOp::ShadowCopy {
+                        src: old_page,
+                        dst: slot.data,
+                        len: PM_PAGE,
+                    },
+                    &[],
+                )?;
+            } else {
+                sys.cpu_copy(
+                    self.thread,
+                    old_page,
+                    slot.data,
+                    PM_PAGE,
+                    Region::CcDataMovement,
+                )?;
+            }
+            slots.push(slot);
+        }
+
+        // Phase 2: the new values land in the shadow pages (the conflict
+        // with each in-flight shadow copy orders them correctly).
+        for (k, &i) in round.iter().enumerate() {
+            let (_, offset, ref data) = sites[i];
+            sys.cpu_write_persist(
+                self.thread,
+                slots[k].data.offset(offset),
+                data.as_ref(),
+                Region::AppPersist,
+            )?;
+        }
+
+        // Phase 3: one mode-specific synchronization over the whole group
+        // before any page switch.
+        match sys.mode() {
+            ExecMode::NearPmMdSync => {
+                sys.sw_sync_batch(self.thread, &batch)?;
+            }
+            ExecMode::NearPmMd => {
+                sys.delayed_sync_batch(&batch)?;
+            }
+            _ => {}
+        }
+
+        // Phase 4: switch the page-table entries (8-byte atomic persists);
+        // the old pages become the spares for later updates.
+        for (k, &i) in round.iter().enumerate() {
+            let (idx, _, _) = sites[i];
+            let shadow = slots[k].data;
+            sys.cpu_write_persist(
+                self.thread,
+                self.table.offset(idx as u64 * 8),
+                &shadow.raw().to_le_bytes(),
+                Region::CcCommit,
+            )?;
+            let old_page = self.entries[idx];
+            self.arena.release(LogSlot {
+                meta: slots[k].meta,
+                data: old_page,
+                device: slots[k].device,
+            });
+            self.entries[idx] = shadow;
+            self.switches += 1;
+        }
+        sys.release_batch(&mut batch);
         Ok(())
     }
 
@@ -492,6 +650,67 @@ mod tests {
             "page table must still reference the old page"
         );
         assert_eq!(sys.persistent_read(mapping[0], 32).unwrap(), vec![7u8; 32]);
+    }
+
+    /// Differential oracle: the split-phase `update_many` pipeline and the
+    /// serial one-site-at-a-time `update` path must produce byte-identical
+    /// logical page contents and equal switch counts in every mode — even
+    /// when the site list revisits the same logical page (which the
+    /// pipelined path must chain across rounds, not collapse). Only the
+    /// modeled overlap may differ.
+    #[test]
+    fn shadow_update_many_matches_serial_oracle_with_duplicate_pages() {
+        for mode in ExecMode::all() {
+            let run = |pipelined: bool| {
+                let (mut sys, pool) = setup(mode);
+                let mut shadow = ShadowPaging::new(&mut sys, pool, 0, 4, 16).unwrap();
+                for i in 0..4 {
+                    let page = shadow.entries[i];
+                    sys.cpu_write_persist(
+                        0,
+                        page,
+                        &vec![i as u8 + 1; PM_PAGE as usize],
+                        Region::AppPersist,
+                    )
+                    .unwrap();
+                }
+                // Page 0 is updated three times (twice at overlapping
+                // offsets): the pipelined path must preserve per-page order.
+                let sites: Vec<(usize, u64, Vec<u8>)> = vec![
+                    (0, 64, vec![0xA1; 32]),
+                    (2, 0, vec![0xB2; 64]),
+                    (0, 128, vec![0xC3; 32]),
+                    (3, 256, vec![0xD4; 16]),
+                    (0, 64, vec![0xE5; 16]),
+                ];
+                if pipelined {
+                    shadow.update_many(&mut sys, &sites).unwrap();
+                } else {
+                    for (idx, offset, data) in &sites {
+                        shadow.update(&mut sys, *idx, *offset, data).unwrap();
+                    }
+                }
+                let report = sys.report();
+                assert!(report.ppo_violations.is_empty(), "mode {mode:?}");
+                let mut pages = Vec::new();
+                for i in 0..4 {
+                    pages.push(shadow.read(&mut sys, i, 0, PM_PAGE as usize).unwrap());
+                }
+                (pages, shadow.switches(), report.makespan)
+            };
+            let (pipe_pages, pipe_switches, pipe_makespan) = run(true);
+            let (serial_pages, serial_switches, serial_makespan) = run(false);
+            assert_eq!(
+                pipe_pages, serial_pages,
+                "mode {mode:?}: logical page contents diverged"
+            );
+            assert_eq!(pipe_switches, serial_switches, "mode {mode:?}");
+            assert!(
+                pipe_makespan <= serial_makespan,
+                "mode {mode:?}: pipelining must not slow the txn down \
+                 ({pipe_makespan} vs {serial_makespan})"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Split-phase (post-all / complete-later) offload groups.
+//!
+//! A crash-consistency transaction typically issues several independent
+//! NearPM primitives per phase — one undo-log creation per logged range, one
+//! shadow copy per touched page — and only *then* needs a completion point
+//! (the mode-specific commit synchronization). [`OffloadBatch`] is the
+//! handle-group that makes this split-phase structure explicit: every
+//! offload of a phase is posted into the batch **before the first
+//! dependency or wait is materialized**, and the synchronization primitives
+//! ([`NearPmSystem::wait_for_batch`], [`NearPmSystem::sw_sync_batch`],
+//! [`NearPmSystem::delayed_sync_batch`]) take the whole group at once.
+//!
+//! The batch is purely a host-side grouping: each posted command still
+//! crosses the control path individually (one posted MMIO write per
+//! command), so the device-side task structure of a batch of N offloads is
+//! identical to N individually posted offloads. What the group changes is
+//! the *shape of the transaction code built on it*: mechanisms stop
+//! interleaving offload posting with CPU bookkeeping and waits, so all of a
+//! phase's device work is in flight together and overlaps across units and
+//! devices.
+
+use crate::system::OffloadHandle;
+
+/// A group of in-flight offloaded procedures, posted together in one
+/// split-phase transaction phase and synchronized/released as a unit.
+#[derive(Debug, Default)]
+pub struct OffloadBatch {
+    handles: Vec<OffloadHandle>,
+}
+
+impl OffloadBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        OffloadBatch {
+            handles: Vec::new(),
+        }
+    }
+
+    /// Creates an empty batch with room for `n` handles.
+    pub fn with_capacity(n: usize) -> Self {
+        OffloadBatch {
+            handles: Vec::with_capacity(n),
+        }
+    }
+
+    /// Adds an in-flight offload to the group.
+    pub fn push(&mut self, handle: OffloadHandle) {
+        self.handles.push(handle);
+    }
+
+    /// Number of offloads in the group.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// True if no offloads have been posted into the group.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// The grouped handles, in posting order.
+    pub fn handles(&self) -> &[OffloadHandle] {
+        &self.handles
+    }
+
+    /// Borrowed view of the group as the slice-of-references shape the
+    /// slice-based synchronization primitives take.
+    pub fn refs(&self) -> Vec<&OffloadHandle> {
+        self.handles.iter().collect()
+    }
+
+    /// The devices the group's offloads executed on, sorted and deduplicated.
+    pub fn devices(&self) -> Vec<usize> {
+        let mut d: Vec<usize> = self.handles.iter().map(|h| h.device).collect();
+        d.sort_unstable();
+        d.dedup();
+        d
+    }
+
+    /// Total payload bytes moved by the group's offloads.
+    pub fn bytes(&self) -> u64 {
+        self.handles.iter().map(|h| h.bytes).sum()
+    }
+
+    /// Forgets the grouped handles (after the owning transaction released
+    /// them), leaving the batch ready for the next phase.
+    pub fn clear(&mut self) {
+        self.handles.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecMode, NearPmSystem, SystemConfig};
+    use nearpm_device::NearPmOp;
+    use nearpm_pm::AddrRange;
+    use nearpm_sim::Region;
+
+    #[test]
+    fn batch_groups_posted_offloads_by_device() {
+        let mut sys =
+            NearPmSystem::new(SystemConfig::for_mode(ExecMode::NearPmMd).with_capacity(8 << 20));
+        let pool = sys.create_pool("p", 4 << 20).unwrap();
+        let obj = sys.alloc(pool, 8192, 4096).unwrap();
+        let log_area = sys.alloc(pool, 32768, 4096).unwrap();
+        sys.register_ndp_managed(AddrRange::new(log_area, 32768));
+        sys.cpu_write_persist(0, obj, &[1; 128], Region::AppPersist)
+            .unwrap();
+
+        let mut batch = OffloadBatch::with_capacity(2);
+        assert!(batch.is_empty());
+        let txn = sys.next_txn_id();
+        // The 8 kB object spans both interleaved devices; one log create per
+        // device-local span lands the batch on both devices.
+        for (i, (addr, len, _dev)) in sys.device_spans(obj, 8192).unwrap().into_iter().enumerate() {
+            let slot = log_area.offset(i as u64 * 4096);
+            sys.offload_into(
+                &mut batch,
+                0,
+                pool,
+                NearPmOp::UndoLogCreate {
+                    src: addr,
+                    len: len.min(2048),
+                    log_meta: slot,
+                    log_data: slot.offset(64),
+                    txn_id: txn,
+                },
+                &[],
+            )
+            .unwrap();
+        }
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.devices(), vec![0, 1]);
+        assert_eq!(batch.bytes(), 4096);
+        assert_eq!(batch.refs().len(), 2);
+
+        // The whole group synchronizes and releases as a unit.
+        let barrier = sys.delayed_sync_batch(&batch).unwrap();
+        assert!(barrier.is_some());
+        sys.release_batch(&mut batch);
+        assert!(batch.is_empty());
+        let report = sys.report();
+        assert!(report.ppo_violations.is_empty());
+        assert_eq!(report.ndp_requests, 2);
+    }
+
+    #[test]
+    fn empty_batch_sync_is_a_no_op() {
+        let mut sys =
+            NearPmSystem::new(SystemConfig::for_mode(ExecMode::NearPmMd).with_capacity(4 << 20));
+        let batch = OffloadBatch::new();
+        assert_eq!(sys.wait_for_batch(0, &batch).unwrap(), None);
+        assert_eq!(sys.sw_sync_batch(0, &batch).unwrap(), None);
+        assert_eq!(sys.delayed_sync_batch(&batch).unwrap(), None);
+        assert_eq!(
+            sys.task_count(),
+            0,
+            "no task may be added for an empty group"
+        );
+    }
+}

@@ -28,11 +28,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod error;
 pub mod system;
 pub mod trace;
 
+pub use batch::OffloadBatch;
 pub use config::{ExecMode, SystemConfig};
 pub use error::{Result, SystemError};
 pub use system::{NearPmSystem, OffloadHandle, RunReport};

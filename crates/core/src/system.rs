@@ -24,6 +24,7 @@ use nearpm_pm::{
 use nearpm_ppo::{Agent, EventKind, Interval, PpoViolation, ProcId, Sharing, Trace};
 use nearpm_sim::{LatencyModel, Region, Resource, Schedule, SimDuration, TaskGraph, TaskId};
 
+use crate::batch::OffloadBatch;
 use crate::config::{ExecMode, SystemConfig};
 use crate::error::{Result, SystemError};
 use crate::trace::TraceBuilder;
@@ -127,6 +128,11 @@ pub struct NearPmSystem {
     devices: Vec<NearPmDevice>,
     graph: TaskGraph,
     cpu_tail: Vec<Option<TaskId>>,
+    /// Per-thread pending FIFO backpressure: when a thread's last offload
+    /// found a full request FIFO, the front-end task whose retirement frees
+    /// its slot. The thread's next CPU task orders after it — a full FIFO
+    /// blocks the host's control path, not just the device's decode.
+    fifo_stall: Vec<Option<TaskId>>,
     trace: TraceBuilder,
     ndp_managed: Vec<AddrRange>,
     next_txn: u64,
@@ -159,6 +165,7 @@ impl NearPmSystem {
         let trace = TraceBuilder::new(config.devices.max(1));
         NearPmSystem {
             cpu_tail: vec![None; config.cpu_threads],
+            fifo_stall: vec![None; config.cpu_threads],
             devices,
             space,
             pools,
@@ -298,9 +305,15 @@ impl NearPmSystem {
         extra_deps: &[TaskId],
     ) -> TaskId {
         let thread = thread % self.config.cpu_threads;
-        let mut deps: Vec<TaskId> = Vec::with_capacity(extra_deps.len() + 1);
+        let mut deps: Vec<TaskId> = Vec::with_capacity(extra_deps.len() + 2);
         if let Some(tail) = self.cpu_tail[thread] {
             deps.push(tail);
+        }
+        if let Some(stall) = self.fifo_stall[thread].take() {
+            // The thread stalled at a full request FIFO while posting its
+            // previous command; it resumes when the blocking front-end stage
+            // retires and frees the slot.
+            deps.push(stall);
         }
         deps.extend_from_slice(extra_deps);
         deps.sort_unstable();
@@ -591,6 +604,11 @@ impl NearPmSystem {
                 extra_deps,
             )?
         };
+        if exec.stall_dep.is_some() {
+            // The command found the FIFO full: the posting thread is blocked
+            // on the control path until the slot frees.
+            self.fifo_stall[thread % self.config.cpu_threads] = exec.stall_dep;
+        }
 
         // Record the device-side accesses in the PPO trace. Reads are
         // timestamped at the issue stage (where operand translation and the
@@ -639,6 +657,26 @@ impl NearPmSystem {
             finish: exec.finish,
             bytes: exec.bytes_moved,
         })
+    }
+
+    /// Posts an offload and records its handle in `batch`, returning a copy
+    /// of the handle. This is the split-phase posting primitive: a
+    /// transaction phase posts every one of its offloads into the batch
+    /// first, and only then materializes a completion point over the whole
+    /// group ([`NearPmSystem::wait_for_batch`] /
+    /// [`NearPmSystem::sw_sync_batch`] /
+    /// [`NearPmSystem::delayed_sync_batch`]).
+    pub fn offload_into(
+        &mut self,
+        batch: &mut OffloadBatch,
+        thread: usize,
+        pool: PoolId,
+        op: NearPmOp,
+        extra_deps: &[TaskId],
+    ) -> Result<OffloadHandle> {
+        let handle = self.offload(thread, pool, op, extra_deps)?;
+        batch.push(handle.clone());
+        Ok(handle)
     }
 
     /// CPU waits for the completion of offloaded procedures (completion
@@ -740,6 +778,54 @@ impl NearPmSystem {
     }
 
     // ------------------------------------------------------------------
+    // Split-phase groups: synchronization over a whole OffloadBatch
+    // ------------------------------------------------------------------
+
+    /// [`NearPmSystem::wait_for`] over a whole posted group. Returns `None`
+    /// without adding any task when the group is empty (a phase that posted
+    /// nothing needs no completion point).
+    pub fn wait_for_batch(
+        &mut self,
+        thread: usize,
+        batch: &OffloadBatch,
+    ) -> Result<Option<TaskId>> {
+        if batch.is_empty() {
+            return Ok(None);
+        }
+        self.wait_for(thread, &batch.refs()).map(Some)
+    }
+
+    /// [`NearPmSystem::sw_sync`] over a whole posted group (`None` when
+    /// empty).
+    pub fn sw_sync_batch(&mut self, thread: usize, batch: &OffloadBatch) -> Result<Option<TaskId>> {
+        if batch.is_empty() {
+            return Ok(None);
+        }
+        self.sw_sync(thread, &batch.refs()).map(Some)
+    }
+
+    /// [`NearPmSystem::delayed_sync`] over a whole posted group (`None` when
+    /// empty). The returned barrier task is what the commit phase's log
+    /// deletion / page switch must order after.
+    pub fn delayed_sync_batch(&mut self, batch: &OffloadBatch) -> Result<Option<TaskId>> {
+        if batch.is_empty() {
+            return Ok(None);
+        }
+        self.delayed_sync(&batch.refs()).map(Some)
+    }
+
+    /// Releases the in-flight ordering records of a whole posted group and
+    /// clears it, leaving the batch ready for the next transaction.
+    pub fn release_batch(&mut self, batch: &mut OffloadBatch) {
+        for h in batch.handles() {
+            if let Some(dev) = self.devices.get_mut(h.device) {
+                dev.release_request(h.request);
+            }
+        }
+        batch.clear();
+    }
+
+    // ------------------------------------------------------------------
     // Crash and recovery
     // ------------------------------------------------------------------
 
@@ -780,6 +866,19 @@ impl NearPmSystem {
     pub fn persistent_read(&mut self, addr: VirtAddr, len: usize) -> Result<Vec<u8>> {
         let phys = self.pools.translate(addr)?;
         Ok(self.space.read_vec(phys, len))
+    }
+
+    /// Borrow of one backing device's full media image (diagnostics and the
+    /// pipelined-vs-serial differential tests, which assert byte equality of
+    /// the whole persistent image).
+    pub fn device_media(&self, device: usize) -> &[u8] {
+        self.space.device_contents(device)
+    }
+
+    /// Number of backing media devices (≥ 1 even in the CPU baseline, where
+    /// the PM is still interleaved storage without NearPM logic).
+    pub fn media_count(&self) -> usize {
+        self.space.interleave().devices
     }
 
     // ------------------------------------------------------------------
@@ -1084,6 +1183,56 @@ mod tests {
         let easy_report = easy.report();
         assert_eq!(easy_report.fifo_stalls, 0);
         assert!(easy_report.fifo_high_watermark <= 8);
+    }
+
+    /// Backpressure must reach the host: when a thread's command finds the
+    /// request FIFO full, the thread's next CPU task may start only after
+    /// the front-end stage that frees the slot retires. With a deep FIFO the
+    /// same program's trailing CPU task starts strictly earlier.
+    #[test]
+    fn full_fifo_blocks_the_posting_thread() {
+        let run = |depth: usize| {
+            let mut sys = NearPmSystem::new(
+                SystemConfig::nearpm_sd()
+                    .with_capacity(4 << 20)
+                    .with_fifo_depth(depth),
+            );
+            let pool = sys.create_pool("p", 1 << 20).unwrap();
+            let log_area = sys.alloc(pool, 64 << 10, 4096).unwrap();
+            sys.register_ndp_managed(AddrRange::new(log_area, 64 << 10));
+            let obj = sys.alloc(pool, 4096, 64).unwrap();
+            let txn = sys.next_txn_id();
+            // Conflicting burst into one slot: each request's issue stage
+            // chains behind the previous execution, backing up the FIFO.
+            for _ in 0..8u64 {
+                sys.offload(
+                    0,
+                    pool,
+                    NearPmOp::UndoLogCreate {
+                        src: obj,
+                        len: 64,
+                        log_meta: log_area,
+                        log_data: log_area.offset(64),
+                        txn_id: txn,
+                    },
+                    &[],
+                )
+                .unwrap();
+            }
+            let after = sys.cpu_compute(0, 10.0).unwrap();
+            let start = sys.graph().task_start(after);
+            (sys.report(), start)
+        };
+        let (shallow_report, shallow_start) = run(2);
+        let (deep_report, deep_start) = run(32);
+        assert!(shallow_report.fifo_stalls > 0);
+        assert_eq!(deep_report.fifo_stalls, 0);
+        assert!(
+            shallow_start > deep_start,
+            "the stalled thread's next task must start later \
+             ({shallow_start} vs {deep_start})"
+        );
+        assert!(shallow_report.ppo_violations.is_empty());
     }
 
     #[test]

@@ -123,6 +123,11 @@ pub struct ExecutedRequest {
     /// Final task of the execution; later work that must order after this
     /// request depends on it.
     pub finish: TaskId,
+    /// When the request arrived at a **full** FIFO: the front-end task whose
+    /// retirement freed its slot. The host's control path is blocked until
+    /// then — the submitter must order the posting thread's subsequent work
+    /// after this task (backpressure on the host, not just on the decode).
+    pub stall_dep: Option<TaskId>,
     /// Payload bytes moved.
     pub bytes_moved: u64,
     /// Virtual/physical ranges read by the request.
@@ -531,6 +536,7 @@ impl NearPmDevice {
             dispatch: decode,
             issue,
             finish,
+            stall_dep: admission.slot_dep,
             bytes_moved: bytes,
             reads,
             writes,
@@ -602,6 +608,7 @@ impl NearPmDevice {
             dispatch,
             issue: dispatch,
             finish,
+            stall_dep: None,
             bytes_moved: bytes,
             reads,
             writes,
@@ -1084,6 +1091,52 @@ mod tests {
         assert!(
             pipe_makespan <= oracle_makespan,
             "pipelining must not slow the device down: {pipe_makespan} vs {oracle_makespan}"
+        );
+    }
+
+    /// fig19-shaped regression: a burst of independent log creations posted
+    /// back to back (the split-phase transaction pipeline's posting pattern)
+    /// must finish strictly faster as units are added — 1 → 2 → 4 units.
+    /// With a single contended unit the requests serialize; sibling units
+    /// absorb the overlap.
+    #[test]
+    fn unit_scaling_shrinks_batched_burst_makespan() {
+        let run = |units: usize| {
+            let config = DeviceConfig {
+                id: 0,
+                units,
+                fifo_depth: crate::fifo::DEFAULT_FIFO_DEPTH,
+                dispatch: DispatchPolicy::default(),
+            };
+            let mut dev = NearPmDevice::new(config);
+            let mut space = PmSpace::single(4 << 20);
+            dev.register_pool(PoolId(0), VirtAddr(0x1000_0000), PhysAddr(0), 4 << 20);
+            let mut graph = TaskGraph::new();
+            let model = LatencyModel::default();
+            for i in 0..12u64 {
+                // Disjoint sources and log slots: no conflicts, pure
+                // capacity scaling.
+                dev.submit(
+                    undolog_req(0x1000 + i * 0x2000, 1024, 0x10_0000 + i * 0x1000, i),
+                    &mut space,
+                    &mut graph,
+                    &model,
+                    &[],
+                )
+                .unwrap();
+            }
+            Schedule::compute(&graph).makespan()
+        };
+        let one = run(1);
+        let two = run(2);
+        let four = run(4);
+        assert!(
+            two < one,
+            "2 units must beat 1 on a batched burst ({two} vs {one})"
+        );
+        assert!(
+            four < two,
+            "4 units must beat 2 on a batched burst ({four} vs {two})"
         );
     }
 

@@ -18,4 +18,7 @@ pub mod gen;
 pub mod runner;
 
 pub use gen::{TatpGenerator, TatpTxn, TpccGenerator, TpccTxn, YcsbGenerator, YcsbOp, Zipfian};
-pub use runner::{run, RunOptions, Runner, Workload, WorkloadSpec};
+pub use runner::{
+    run, HarnessComparison, MultiClientHarness, RunOptions, Runner, TxnPipeline, Workload,
+    WorkloadSpec,
+};

@@ -130,6 +130,31 @@ impl WorkloadSpec {
     }
 }
 
+/// Which transaction pipeline drives the crash-consistency mechanisms.
+///
+/// The selection only changes mechanisms whose per-site flow interleaves
+/// CPU work and waits with the posting — today that is shadow paging
+/// (`ShadowPaging::update_many` vs per-site `update`). Logging and
+/// checkpointing post their offload groups split-phase under both settings
+/// (their per-txn/per-epoch batches never wait mid-phase), so the pipelined
+/// and oracle runs are identical there by construction; the differential
+/// tests cover them as an invariance check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TxnPipeline {
+    /// Split-phase (post-all / complete-later): every offload of an
+    /// operation's phase is posted before the first wait — shadow paging
+    /// batches all of an operation's page copies through
+    /// `ShadowPaging::update_many`.
+    #[default]
+    SplitPhase,
+    /// Serial oracle: one update site at a time, each driven to completion
+    /// before the next (the pre-pipelining behavior). Retained for
+    /// differential testing — both pipelines produce byte-identical PM
+    /// images and equal PPO violation lists; only the modeled overlap
+    /// differs.
+    SerialOracle,
+}
+
 /// Options of one workload run.
 #[derive(Debug, Clone)]
 pub struct RunOptions {
@@ -143,6 +168,12 @@ pub struct RunOptions {
     pub threads: usize,
     /// NearPM units per device (Figure 19 sweep).
     pub units_per_device: usize,
+    /// Request-FIFO depth per device; `None` keeps the prototype's 32
+    /// (Figure 21 sweep).
+    pub fifo_depth: Option<usize>,
+    /// Transaction pipeline (split-phase by default; serial oracle for
+    /// differential tests).
+    pub pipeline: TxnPipeline,
     /// RNG seed.
     pub seed: u64,
 }
@@ -155,6 +186,8 @@ impl Default for RunOptions {
             operations: 64,
             threads: 1,
             units_per_device: 4,
+            fifo_depth: None,
+            pipeline: TxnPipeline::SplitPhase,
             seed: 1,
         }
     }
@@ -180,6 +213,18 @@ impl RunOptions {
     /// Overrides the per-device unit count.
     pub fn with_units(mut self, units: usize) -> Self {
         self.units_per_device = units.max(1);
+        self
+    }
+
+    /// Overrides the request-FIFO depth of every device.
+    pub fn with_fifo_depth(mut self, depth: usize) -> Self {
+        self.fifo_depth = Some(depth.max(1));
+        self
+    }
+
+    /// Overrides the transaction pipeline.
+    pub fn with_pipeline(mut self, pipeline: TxnPipeline) -> Self {
+        self.pipeline = pipeline;
         self
     }
 
@@ -236,10 +281,13 @@ impl Runner {
     pub fn run_with_system(&self) -> Result<(RunReport, NearPmSystem)> {
         let o = &self.options;
         let capacity: u64 = 96 << 20;
-        let config = SystemConfig::for_mode(o.mode)
+        let mut config = SystemConfig::for_mode(o.mode)
             .with_units(o.units_per_device)
             .with_cpu_threads(o.threads)
             .with_capacity(capacity);
+        if let Some(depth) = o.fifo_depth {
+            config = config.with_fifo_depth(depth);
+        }
         let mut sys = NearPmSystem::new(config);
 
         // Redis shares one pool among all threads; Memcached and the rest use
@@ -344,9 +392,13 @@ impl Runner {
                 undo.commit(sys)?;
             }
             ThreadMechanism::Checkpointing(ckpt) => {
-                for (addr, _len) in &update_sites {
-                    ckpt.touch(sys, *addr)?;
-                }
+                // Checkpoint snapshots already post split-phase (no wait
+                // until the epoch boundary), so both pipelines drive the
+                // identical task graph here; the pipeline option only
+                // restructures mechanisms with per-site waits (shadow
+                // paging below).
+                let addrs: Vec<VirtAddr> = update_sites.iter().map(|(addr, _)| *addr).collect();
+                ckpt.touch_many(sys, &addrs)?;
                 sys.cpu_compute(thread, compute_ns)?;
                 for (addr, len) in &update_sites {
                     let val = vec![state.rng.gen::<u8>(); *len as usize];
@@ -359,11 +411,25 @@ impl Runner {
             }
             ThreadMechanism::Shadow(shadow) => {
                 sys.cpu_compute(thread, compute_ns)?;
-                for (addr, len) in &update_sites {
-                    let page_idx = (addr.raw() as usize / 64) % state.pages;
-                    let offset = (addr.raw() % (PM_PAGE - len)) & !63;
-                    let val = vec![state.rng.gen::<u8>(); *len as usize];
-                    shadow.update(sys, page_idx, offset, &val)?;
+                let sites: Vec<(usize, u64, Vec<u8>)> = update_sites
+                    .iter()
+                    .map(|(addr, len)| {
+                        let page_idx = (addr.raw() as usize / 64) % state.pages;
+                        let offset = (addr.raw() % (PM_PAGE - len)) & !63;
+                        (page_idx, offset, vec![state.rng.gen::<u8>(); *len as usize])
+                    })
+                    .collect();
+                match self.options.pipeline {
+                    TxnPipeline::SplitPhase => {
+                        // All of the operation's page copies in flight
+                        // together, one synchronization per round.
+                        shadow.update_many(sys, &sites)?;
+                    }
+                    TxnPipeline::SerialOracle => {
+                        for (page_idx, offset, val) in &sites {
+                            shadow.update(sys, *page_idx, *offset, val)?;
+                        }
+                    }
                 }
             }
         }
@@ -441,6 +507,132 @@ pub fn run(
     operations: usize,
 ) -> Result<RunReport> {
     Runner::new(workload, RunOptions::new(mode, mechanism, operations)).run()
+}
+
+/// Reusable multi-client closed-loop driving, extracted from the hand-rolled
+/// fig20 sweep so every figure can load the devices the same way.
+///
+/// `clients` closed-loop clients (one per CPU thread) each execute
+/// `ops_per_client` operations of the workload through the shared [`Runner`];
+/// NearPM runs are compared against an **equal-client** CPU baseline, so a
+/// comparison's speedup is also its normalized throughput (equal work on both
+/// sides). The unit-count and FIFO-depth knobs make this the engine of the
+/// fig19 units×clients sweep and the fig21 FIFO-depth sweep as well.
+#[derive(Debug, Clone)]
+pub struct MultiClientHarness {
+    workload: Workload,
+    mechanism: Mechanism,
+    clients: usize,
+    ops_per_client: usize,
+    units_per_device: usize,
+    fifo_depth: Option<usize>,
+    pipeline: TxnPipeline,
+    seed: u64,
+}
+
+/// A NearPM run and the equal-client CPU baseline it is measured against.
+#[derive(Debug, Clone)]
+pub struct HarnessComparison {
+    /// Equal-client CPU-baseline report.
+    pub baseline: RunReport,
+    /// The NearPM-mode report.
+    pub nearpm: RunReport,
+}
+
+impl HarnessComparison {
+    /// End-to-end speedup of the NearPM run over the equal-client baseline.
+    /// Both sides execute identical work, so this is also the normalized
+    /// throughput figure 20 reports.
+    pub fn speedup(&self) -> f64 {
+        self.nearpm.speedup_over(&self.baseline)
+    }
+}
+
+impl MultiClientHarness {
+    /// Harness for one workload/mechanism pair: 1 client, 32 ops/client,
+    /// prototype units (4) and FIFO depth (32), seed 1.
+    pub fn new(workload: Workload, mechanism: Mechanism) -> Self {
+        MultiClientHarness {
+            workload,
+            mechanism,
+            clients: 1,
+            ops_per_client: 32,
+            units_per_device: 4,
+            fifo_depth: None,
+            pipeline: TxnPipeline::default(),
+            seed: 1,
+        }
+    }
+
+    /// Number of concurrent closed-loop clients.
+    pub fn with_clients(mut self, clients: usize) -> Self {
+        self.clients = clients.max(1);
+        self
+    }
+
+    /// Operations each client executes.
+    pub fn with_ops_per_client(mut self, ops: usize) -> Self {
+        self.ops_per_client = ops.max(1);
+        self
+    }
+
+    /// NearPM units per device (fig19 sweep).
+    pub fn with_units(mut self, units: usize) -> Self {
+        self.units_per_device = units.max(1);
+        self
+    }
+
+    /// Request-FIFO depth per device (fig21 sweep).
+    pub fn with_fifo_depth(mut self, depth: usize) -> Self {
+        self.fifo_depth = Some(depth.max(1));
+        self
+    }
+
+    /// Transaction pipeline (split-phase by default).
+    pub fn with_pipeline(mut self, pipeline: TxnPipeline) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The run options this harness drives `mode` with.
+    pub fn options(&self, mode: ExecMode) -> RunOptions {
+        let mut o = RunOptions::new(mode, self.mechanism, self.ops_per_client * self.clients)
+            .with_threads(self.clients)
+            .with_units(self.units_per_device)
+            .with_pipeline(self.pipeline)
+            .with_seed(self.seed);
+        if let Some(depth) = self.fifo_depth {
+            o = o.with_fifo_depth(depth);
+        }
+        o
+    }
+
+    /// Runs the workload under `mode` with this harness's client load.
+    pub fn run_mode(&self, mode: ExecMode) -> Result<RunReport> {
+        Runner::new(self.workload, self.options(mode)).run()
+    }
+
+    /// Runs the equal-client CPU baseline. The baseline is independent of
+    /// the unit-count and FIFO-depth knobs, so sweeps over those reuse one
+    /// baseline per (workload, mechanism, clients) point.
+    pub fn baseline(&self) -> Result<RunReport> {
+        self.run_mode(ExecMode::CpuBaseline)
+    }
+
+    /// Runs `mode` and the equal-client baseline, pairing them for
+    /// normalized-throughput / speedup reporting.
+    pub fn compare(&self, mode: ExecMode) -> Result<HarnessComparison> {
+        Ok(HarnessComparison {
+            baseline: self.baseline()?,
+            nearpm: self.run_mode(mode)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -533,6 +725,57 @@ mod tests {
             );
             assert!(md.ppo_violations.is_empty());
         }
+    }
+
+    /// The harness must drive exactly the run the hand-rolled option builder
+    /// drives: same options → same deterministic report.
+    #[test]
+    fn harness_matches_hand_rolled_options() {
+        let harness = MultiClientHarness::new(Workload::Memcached, Mechanism::Logging)
+            .with_clients(4)
+            .with_ops_per_client(8)
+            .with_units(2)
+            .with_seed(3);
+        let by_harness = harness.run_mode(ExecMode::NearPmMd).unwrap();
+        let by_hand = Runner::new(
+            Workload::Memcached,
+            RunOptions::new(ExecMode::NearPmMd, Mechanism::Logging, 32)
+                .with_threads(4)
+                .with_units(2)
+                .with_seed(3),
+        )
+        .run()
+        .unwrap();
+        assert_eq!(by_harness.makespan, by_hand.makespan);
+        assert_eq!(by_harness.ndp_bytes_moved, by_hand.ndp_bytes_moved);
+    }
+
+    #[test]
+    fn harness_comparison_reports_speedup_over_equal_client_baseline() {
+        let cmp = MultiClientHarness::new(Workload::Memcached, Mechanism::Logging)
+            .with_clients(4)
+            .with_ops_per_client(8)
+            .compare(ExecMode::NearPmMd)
+            .unwrap();
+        assert!(cmp.baseline.makespan.as_ns() > 0.0);
+        assert!(cmp.nearpm.ppo_violations.is_empty());
+        assert!(cmp.speedup() > 0.0);
+        // Equal work on both sides: speedup is the normalized throughput.
+        assert!((cmp.speedup() - cmp.baseline.makespan.ratio(cmp.nearpm.makespan)).abs() < 1e-12);
+    }
+
+    /// The FIFO-depth override must reach the device model: occupancy is
+    /// capped at the configured depth, and a contended shallow FIFO stalls.
+    #[test]
+    fn fifo_depth_override_reaches_the_devices() {
+        let report = MultiClientHarness::new(Workload::Memcached, Mechanism::Logging)
+            .with_clients(8)
+            .with_ops_per_client(8)
+            .with_fifo_depth(2)
+            .run_mode(ExecMode::NearPmMd)
+            .unwrap();
+        assert!(report.fifo_high_watermark <= 2);
+        assert!(report.ppo_violations.is_empty());
     }
 
     #[test]
