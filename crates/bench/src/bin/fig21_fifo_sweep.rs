@@ -10,6 +10,20 @@
 //! observed occupancy and stalls: shallow FIFOs serialize the hosts against
 //! the front-end, deep FIFOs absorb the bursts until the units themselves
 //! saturate.
+//!
+//! The `metaops` rows drive the synthetic short-device-program workload
+//! (pure metadata ops: 64 B updates behind ~150 ns of compute over a small
+//! working set), whose command rate per byte of device work is the highest
+//! we model. The long unit programs of memcached/redis made the FIFO
+//! pressure look like a side effect of DMA time; metadata ops reach the
+//! same near-full natural occupancy (high watermark ≈ 16 at 16 threads)
+//! with an order of magnitude less data movement, so the depth-4/8 knee in
+//! the occupancy and stall columns is unambiguously the *control path*:
+//! commands pile up behind in-flight commit resets (whose issue stages hold
+//! their slots while the delayed sync completes), not behind the DMA
+//! engines. Stall *time* stays small at every depth — a stalled post only
+//! waits for the oldest front-end stage to retire — which is itself the
+//! figure's finding: the prototype's depth of 32 has generous headroom.
 
 use nearpm_bench::{header, ops_from_args};
 use nearpm_cc::Mechanism;
@@ -40,7 +54,7 @@ fn main() {
                 "stalls",
             ],
         );
-        for w in [Workload::Memcached, Workload::Redis] {
+        for w in [Workload::Memcached, Workload::Redis, Workload::MetaOps] {
             // The CPU baseline has no request FIFO: one baseline serves the
             // whole depth sweep.
             let harness = MultiClientHarness::new(w, m)

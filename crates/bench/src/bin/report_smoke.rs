@@ -1,0 +1,100 @@
+//! Multi-sample observe-path smoke test: incremental `report()`/`sample()`
+//! vs the O(n) oracle recompute path, on a live 120k-event run.
+//!
+//! Drives the fig20-shaped 16-thread system (`drive_fig20_system`) until its
+//! PPO trace holds ≥120k events, sampling the run 128 times along the way.
+//! At every sampling point it takes the report **both** ways:
+//!
+//! * `NearPmSystem::sample()` — the incremental path: the graph's
+//!   aggregates/timeline are already maintained, the cached checker folds
+//!   only the events since the previous sample;
+//! * `NearPmSystem::report_oracle()` — the retained recompute path: full
+//!   re-aggregation of the task list plus a from-scratch trace check.
+//!
+//! Every pair of reports must be equal (field for field, including the
+//! violation lists), and the summed incremental sampling time must beat the
+//! summed recompute time by ≥10x — without incrementality a periodically
+//! self-sampling run is quadratic in its length, which is exactly what this
+//! gate guards against. Exits nonzero on any mismatch or a missed speedup.
+//!
+//! Run with: `cargo run --release -p nearpm-bench --bin report_smoke`
+
+use std::time::{Duration, Instant};
+
+use nearpm_bench::synthetic::drive_fig20_system;
+
+const THREADS: usize = 16;
+const TARGET_EVENTS: usize = 120_000;
+/// Continuous self-monitoring cadence: one sample every ~940 events. The
+/// incremental side's total cost is ~independent of the cadence (every event
+/// is folded exactly once no matter how often the run samples); the oracle
+/// recompute pays the full O(n) per sample, so its cost scales with it.
+const SAMPLES: usize = 128;
+const REQUIRED_SPEEDUP: f64 = 10.0;
+
+fn main() {
+    println!("== incremental report smoke test (fig20 shape, {TARGET_EVENTS} events) ==");
+    let build_start = Instant::now();
+    let mut incremental_time = Duration::ZERO;
+    let mut oracle_time = Duration::ZERO;
+    let mut samples_taken = 0usize;
+    let mut next_sample_at = TARGET_EVENTS / SAMPLES;
+    let mut last_makespan = 0.0f64;
+
+    let mut sys = drive_fig20_system(THREADS, TARGET_EVENTS, |sys, _txn| {
+        if sys.trace_events() < next_sample_at {
+            return;
+        }
+        next_sample_at += TARGET_EVENTS / SAMPLES;
+
+        let t0 = Instant::now();
+        let sample = sys.sample();
+        incremental_time += t0.elapsed();
+
+        let t1 = Instant::now();
+        let oracle = sys.report_oracle();
+        oracle_time += t1.elapsed();
+
+        assert_eq!(
+            sample, oracle,
+            "incremental sample diverged from the oracle recompute at sample {samples_taken}"
+        );
+        assert!(
+            sample.ppo_violations.is_empty(),
+            "the fig20-shaped run must verify clean"
+        );
+        assert!(
+            sample.makespan.as_us() >= last_makespan,
+            "mid-run makespan series must be monotone"
+        );
+        last_makespan = sample.makespan.as_us();
+        samples_taken += 1;
+    });
+    println!(
+        "run: {} events, {} tasks, {samples_taken} samples (built in {:?})",
+        sys.trace_events(),
+        sys.task_count(),
+        build_start.elapsed()
+    );
+    assert!(sys.trace_events() >= TARGET_EVENTS);
+    assert!(samples_taken >= SAMPLES / 2, "sampling cadence broken");
+
+    // Final end-of-run report, also both ways.
+    let t1 = Instant::now();
+    let final_oracle = sys.report_oracle();
+    oracle_time += t1.elapsed();
+    let t0 = Instant::now();
+    let final_report = sys.report();
+    incremental_time += t0.elapsed();
+    assert_eq!(final_report, final_oracle, "final report diverged");
+
+    println!("incremental sampling: {incremental_time:?} total over {samples_taken} samples");
+    println!("oracle recompute:     {oracle_time:?} total");
+    let speedup = oracle_time.as_secs_f64() / incremental_time.as_secs_f64().max(1e-9);
+    println!("speedup: {speedup:.1}x (required: ≥{REQUIRED_SPEEDUP:.0}x)");
+    if speedup < REQUIRED_SPEEDUP {
+        eprintln!("FAIL: speedup below target");
+        std::process::exit(1);
+    }
+    println!("OK: identical reports at every sampling point, ≥{REQUIRED_SPEEDUP:.0}x speedup");
+}

@@ -10,6 +10,7 @@
 //! at a controllable task count. Generation is fully deterministic — no RNG
 //! — so benchmark runs are reproducible.
 
+use nearpm_core::{AddrRange, ExecMode, NearPmOp, NearPmSystem, SystemConfig};
 use nearpm_ppo::{Agent, EventKind, Interval, Sharing, Trace};
 use nearpm_sim::schedule::oracle;
 use nearpm_sim::{Region, Resource, Schedule, SimDuration, SimTime, TaskGraph};
@@ -240,6 +241,79 @@ pub fn synthetic_fig18_graph(target_tasks: usize) -> TaskGraph {
         txn += 1;
     }
     g
+}
+
+/// Builds and drives a **live** fig20-shaped NearPM MD run: `threads`
+/// closed-loop clients round-robin over undo-log-style transactions
+/// (compute → offloaded log create → in-place update/persist, a delayed
+/// multi-device sync every third transaction) until the PPO trace holds at
+/// least `target_events` events. `observe(&mut sys, txn_index)` runs after
+/// every transaction — the hook the `report_smoke` gate samples from.
+/// Fully deterministic (no RNG), and every transaction releases its handle,
+/// so the in-flight table stays bounded at any scale.
+pub fn drive_fig20_system(
+    threads: usize,
+    target_events: usize,
+    mut observe: impl FnMut(&mut NearPmSystem, usize),
+) -> NearPmSystem {
+    // Working-set sizing follows the fig20 workloads (hundreds of objects
+    // per client): accesses rotate over enough distinct ranges that interval
+    // overlap stays sparse, as it is in the real runs.
+    const OBJS_PER_THREAD: u64 = 32;
+    const OBJ_SIZE: u64 = 1024;
+    const SLOTS_PER_THREAD: u64 = 16;
+    let mut sys = NearPmSystem::new(
+        SystemConfig::for_mode(ExecMode::NearPmMd)
+            .with_cpu_threads(threads)
+            .with_capacity(64 << 20),
+    );
+    let pool = sys.create_pool("fig20-shape", 32 << 20).expect("pool");
+    let mut objs = Vec::with_capacity(threads);
+    let mut logs = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        objs.push(
+            sys.alloc(pool, OBJS_PER_THREAD * OBJ_SIZE, 64)
+                .expect("obj arena"),
+        );
+        let log = sys
+            .alloc(pool, SLOTS_PER_THREAD * 4096, 4096)
+            .expect("log area");
+        sys.register_ndp_managed(AddrRange::new(log, SLOTS_PER_THREAD * 4096));
+        logs.push(log);
+    }
+
+    let mut txn = 0usize;
+    while sys.trace_events() < target_events {
+        let t = txn % threads;
+        let obj = objs[t].offset(((txn as u64 / 3) % OBJS_PER_THREAD) * OBJ_SIZE);
+        let slot = logs[t].offset((txn as u64 % SLOTS_PER_THREAD) * 4096);
+        sys.cpu_compute(t, 300.0 + (txn % 7) as f64 * 45.0)
+            .expect("compute");
+        let id = sys.next_txn_id();
+        let handle = sys
+            .offload(
+                t,
+                pool,
+                NearPmOp::UndoLogCreate {
+                    src: obj,
+                    len: 256,
+                    log_meta: slot,
+                    log_data: slot.offset(64),
+                    txn_id: id,
+                },
+                &[],
+            )
+            .expect("offload");
+        sys.cpu_write_persist(t, obj, &[txn as u8; 256], Region::AppPersist)
+            .expect("update");
+        if txn % 3 == 2 {
+            sys.delayed_sync(&[&handle]).expect("sync");
+        }
+        sys.release(&[&handle]);
+        txn += 1;
+        observe(&mut sys, txn);
+    }
+    sys
 }
 
 /// The schedule-analysis battery a figure regeneration performs: makespan,

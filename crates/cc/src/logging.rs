@@ -50,6 +50,11 @@ pub struct UndoLog {
     /// `log_range` offload joins the group, and commit synchronizes/releases
     /// the group as a whole.
     batch: OffloadBatch,
+    /// The `CommitLog` offloads posted at commit. Their handles used to be
+    /// dropped, so their in-flight records accumulated for the whole run;
+    /// the next transaction's `begin` now releases every commit whose
+    /// device-side execution has retired, bounding the in-flight table.
+    commit_batch: OffloadBatch,
     txn: Option<u64>,
     committed_txns: u64,
 }
@@ -68,6 +73,7 @@ impl UndoLog {
             arena: LogArena::new(sys, pool, pages_per_device)?,
             active: Vec::new(),
             batch: OffloadBatch::new(),
+            commit_batch: OffloadBatch::new(),
             txn: None,
             committed_txns: 0,
         })
@@ -78,9 +84,13 @@ impl UndoLog {
         self.committed_txns
     }
 
-    /// Begins a transaction.
+    /// Begins a transaction, first releasing the in-flight records of every
+    /// previous commit whose device-side execution has retired (the
+    /// commit-handle release that bounds the in-flight table over long
+    /// runs).
     pub fn begin(&mut self, sys: &mut NearPmSystem) -> Result<u64> {
         assert!(self.txn.is_none(), "transaction already open");
+        sys.release_batch_retired(&mut self.commit_batch);
         let id = sys.next_txn_id();
         self.txn = Some(id);
         Ok(id)
@@ -220,7 +230,8 @@ impl UndoLog {
             if entries.is_empty() {
                 continue;
             }
-            sys.offload(
+            sys.offload_into(
+                &mut self.commit_batch,
                 self.thread,
                 self.pool,
                 NearPmOp::CommitLog {
@@ -268,11 +279,13 @@ impl UndoLog {
             }
         }
         // Any slots that belonged to the interrupted transaction are free
-        // again; the batch's handles died with the crashed transaction.
+        // again; the batch's handles died with the crashed transaction, and
+        // the previous commits' ordering records are moot after a restart.
         for e in self.active.drain(..) {
             self.arena.release(e.slot);
         }
         self.batch.clear();
+        sys.release_batch(&mut self.commit_batch);
         self.txn = None;
         sys.finish_recovery();
         Ok(rolled_back)
@@ -290,6 +303,9 @@ pub struct RedoLog {
     /// The commit phase's in-flight `ApplyRedoLog` offloads, posted
     /// split-phase before the mode-specific synchronization.
     batch: OffloadBatch,
+    /// The `CommitLog` reset offloads posted at commit, released (once
+    /// retired) at the next transaction's begin — see [`UndoLog`].
+    commit_batch: OffloadBatch,
     txn: Option<u64>,
     committed_txns: u64,
 }
@@ -308,6 +324,7 @@ impl RedoLog {
             arena: LogArena::new(sys, pool, pages_per_device)?,
             staged: Vec::new(),
             batch: OffloadBatch::new(),
+            commit_batch: OffloadBatch::new(),
             txn: None,
             committed_txns: 0,
         })
@@ -318,9 +335,11 @@ impl RedoLog {
         self.committed_txns
     }
 
-    /// Begins a transaction.
+    /// Begins a transaction, first releasing the in-flight records of every
+    /// previous commit whose device-side execution has retired.
     pub fn begin(&mut self, sys: &mut NearPmSystem) -> Result<u64> {
         assert!(self.txn.is_none(), "transaction already open");
+        sys.release_batch_retired(&mut self.commit_batch);
         let id = sys.next_txn_id();
         self.txn = Some(id);
         Ok(id)
@@ -428,7 +447,8 @@ impl RedoLog {
                     .filter(|e| e.slot.device == dev)
                     .map(|e| e.slot.meta)
                     .collect();
-                sys.offload(
+                sys.offload_into(
+                    &mut self.commit_batch,
                     self.thread,
                     self.pool,
                     NearPmOp::CommitLog {
@@ -488,6 +508,7 @@ impl RedoLog {
             self.arena.release(e.slot);
         }
         self.batch.clear();
+        sys.release_batch(&mut self.commit_batch);
         self.txn = None;
         sys.finish_recovery();
         Ok(discarded)
@@ -713,6 +734,83 @@ mod tests {
         assert_eq!(discarded, 1);
         // Home location unchanged.
         assert_eq!(sys.persistent_read(obj, 64).unwrap(), vec![0xAB; 64]);
+    }
+
+    /// ROADMAP commit-handle release: the `CommitLog` offloads posted by
+    /// `UndoLog::commit` / `RedoLog::commit` used to drop their handles, so
+    /// one in-flight record per commit per device accumulated for the whole
+    /// run. With the retired-release at the next `begin`, a long run's
+    /// in-flight table stays bounded by the work genuinely in flight.
+    #[test]
+    fn commit_records_are_released_and_inflight_table_stays_bounded() {
+        const TXNS: u64 = 64;
+        for mode in [ExecMode::NearPmSd, ExecMode::NearPmMd] {
+            let (mut sys, pool, obj) = setup(mode);
+            let mut undo = UndoLog::new(&mut sys, pool, 0, 8).unwrap();
+            let mut peak = 0usize;
+            for i in 0..TXNS {
+                undo.begin(&mut sys).unwrap();
+                let site = obj.offset((i % 2) * 4096);
+                undo.log_range(&mut sys, site, 256).unwrap();
+                undo.update(&mut sys, site, &[i as u8; 256]).unwrap();
+                undo.commit(&mut sys).unwrap();
+                peak = peak.max(sys.inflight_records());
+            }
+            assert!(
+                peak <= 16,
+                "{mode:?}: in-flight table peaked at {peak} records over {TXNS} txns \
+                 — commit handles are leaking again"
+            );
+            assert!(sys.report().ppo_violations.is_empty(), "mode {mode:?}");
+
+            let mut redo = RedoLog::new(&mut sys, pool, 0, 8).unwrap();
+            let mut peak = 0usize;
+            for i in 0..TXNS {
+                redo.begin(&mut sys).unwrap();
+                redo.stage(&mut sys, obj.offset((i % 2) * 4096), &[i as u8; 64])
+                    .unwrap();
+                redo.commit(&mut sys).unwrap();
+                peak = peak.max(sys.inflight_records());
+            }
+            assert!(
+                peak <= 16,
+                "{mode:?}: redo in-flight table peaked at {peak} records over {TXNS} txns"
+            );
+            assert!(sys.report().ppo_violations.is_empty(), "mode {mode:?}");
+        }
+    }
+
+    /// The retirement bar is the minimum over threads that have issued
+    /// work: configured-but-idle CPU threads must not pin it at time zero
+    /// and silently defeat the release (the table would leak exactly as
+    /// before the fix).
+    #[test]
+    fn idle_threads_do_not_block_commit_record_release() {
+        let mut sys = NearPmSystem::new(
+            SystemConfig::for_mode(ExecMode::NearPmMd)
+                .with_cpu_threads(4)
+                .with_capacity(16 << 20),
+        );
+        let pool = sys.create_pool("idle-threads", 8 << 20).unwrap();
+        let obj = sys.alloc(pool, 8192, 4096).unwrap();
+        sys.cpu_write_persist(0, obj, &vec![0xAB; 8192], Region::AppPersist)
+            .unwrap();
+        // Only thread 0 ever runs transactions; threads 1-3 stay idle.
+        let mut undo = UndoLog::new(&mut sys, pool, 0, 8).unwrap();
+        let mut peak = 0usize;
+        for i in 0..64u64 {
+            undo.begin(&mut sys).unwrap();
+            let site = obj.offset((i % 2) * 4096);
+            undo.log_range(&mut sys, site, 256).unwrap();
+            undo.update(&mut sys, site, &[i as u8; 256]).unwrap();
+            undo.commit(&mut sys).unwrap();
+            peak = peak.max(sys.inflight_records());
+        }
+        assert!(
+            peak <= 16,
+            "idle threads pinned the retirement bar: in-flight table peaked at {peak}"
+        );
+        assert!(sys.report().ppo_violations.is_empty());
     }
 
     #[test]

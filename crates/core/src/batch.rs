@@ -82,6 +82,13 @@ impl OffloadBatch {
         self.handles.iter().map(|h| h.bytes).sum()
     }
 
+    /// Retains only the handles `keep` approves of, dropping the rest (the
+    /// retired-release path walks the group and keeps what is still in
+    /// flight).
+    pub fn retain(&mut self, keep: impl FnMut(&OffloadHandle) -> bool) {
+        self.handles.retain(keep);
+    }
+
     /// Forgets the grouped handles (after the owning transaction released
     /// them), leaving the batch ready for the next phase.
     pub fn clear(&mut self) {

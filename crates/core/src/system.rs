@@ -22,7 +22,7 @@ use nearpm_pm::{
     VirtAddr,
 };
 use nearpm_ppo::{Agent, EventKind, Interval, PpoViolation, ProcId, Sharing, Trace};
-use nearpm_sim::{LatencyModel, Region, Resource, Schedule, SimDuration, TaskGraph, TaskId};
+use nearpm_sim::{LatencyModel, Region, Resource, SimDuration, SimTime, TaskGraph, TaskId};
 
 use crate::batch::OffloadBatch;
 use crate::config::{ExecMode, SystemConfig};
@@ -45,7 +45,11 @@ pub struct OffloadHandle {
 }
 
 /// Summary of one simulated run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field (region map order-independently), which
+/// is how the differential tests assert the incremental report path and the
+/// oracle recompute produce byte-equal reports.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Execution mode of the run.
     pub mode: ExecMode,
@@ -699,20 +703,33 @@ impl NearPmSystem {
         devices.dedup();
         let duration = self.config.latency.cpu_poll() * devices.len().max(1) as u64;
         let task = self.push_cpu_task(thread, "sw-sync", duration, Region::CcSync, &deps);
+        self.record_sync_events(handles, task);
+        Ok(task)
+    }
+
+    /// Records the trace side of a synchronization point: one **proc-scoped**
+    /// `Sync` event per participating (device, procedure) pair, so Invariant
+    /// 3 guarantees exactly the procedures whose handles took part — a sync
+    /// never vouches for unrelated late work, and a participating
+    /// procedure's late write can no longer hide behind the unscoped
+    /// temporal under-approximation.
+    fn record_sync_events(&mut self, handles: &[&OffloadHandle], task: TaskId) {
+        let mut pairs: Vec<(usize, ProcId)> = handles.iter().map(|h| (h.device, h.proc)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
         let sync = self.trace.new_sync();
-        for d in devices {
+        for (device, proc) in pairs {
             self.trace.record(
                 &self.graph,
-                Agent::Ndp(d),
+                Agent::Ndp(device),
                 EventKind::Sync,
                 Interval::new(0, 0),
                 Sharing::NdpManaged,
-                None,
+                Some(proc),
                 Some(sync),
                 Some(task),
             );
         }
-        Ok(task)
     }
 
     /// Delayed near-memory synchronization: the multi-device handlers
@@ -750,19 +767,7 @@ impl NearPmSystem {
             Region::CcSync,
             &deps,
         );
-        let sync = self.trace.new_sync();
-        for d in devices {
-            self.trace.record(
-                &self.graph,
-                Agent::Ndp(d),
-                EventKind::Sync,
-                Interval::new(0, 0),
-                Sharing::NdpManaged,
-                None,
-                Some(sync),
-                Some(task),
-            );
-        }
+        self.record_sync_events(handles, task);
         Ok(task)
     }
 
@@ -825,6 +830,55 @@ impl NearPmSystem {
         batch.clear();
     }
 
+    /// Releases the handles in `batch` whose device-side execution has
+    /// **retired** — finished no later than every thread's current point in
+    /// simulated time — keeping the rest grouped for a later call. Returns
+    /// how many were released.
+    ///
+    /// This is the commit-handle release path: the `CommitLog` offloads a
+    /// transaction posts at commit used to be dropped without ever being
+    /// released, so their in-flight records accumulated for the whole run.
+    /// Releasing at the *next* transaction's begin bounds the table — and
+    /// restricting the release to handles that finished no later than the
+    /// **minimum over every active thread's** clock keeps the modeled
+    /// timing bit-identical: any future consumer of an in-flight record's
+    /// conflict dependency (a CPU access of an active thread, or a device
+    /// stage reached through some thread's command-issue task) starts at or
+    /// after its thread's current time, which is at or after that minimum,
+    /// so dropping the record can never move a start time. Threads that
+    /// have never issued a task are excluded from the bar — counting them
+    /// would pin it at time zero and silently defeat the release in
+    /// configurations with idle threads; the corner this concedes (a thread
+    /// issuing its *first* task later, at an earlier simulated time, that
+    /// conflicts with a released commit record) cannot arise for the
+    /// per-thread log arenas the commit batches cover. A still-executing
+    /// commit (e.g. one held up by a delayed multi-device sync) keeps its
+    /// records until a later begin observes its retirement.
+    pub fn release_batch_retired(&mut self, batch: &mut OffloadBatch) -> usize {
+        let now = self
+            .cpu_tail
+            .iter()
+            .flatten()
+            .map(|&t| self.graph.task_finish(t))
+            .min()
+            .unwrap_or(SimTime::ZERO);
+        let graph = &self.graph;
+        let devices = &mut self.devices;
+        let mut released = 0;
+        batch.retain(|h| {
+            if graph.task_finish(h.finish) <= now {
+                if let Some(dev) = devices.get_mut(h.device) {
+                    dev.release_request(h.request);
+                }
+                released += 1;
+                false
+            } else {
+                true
+            }
+        });
+        released
+    }
+
     // ------------------------------------------------------------------
     // Crash and recovery
     // ------------------------------------------------------------------
@@ -885,42 +939,47 @@ impl NearPmSystem {
     // Reporting
     // ------------------------------------------------------------------
 
-    /// Schedules the accumulated task graph and produces the run report.
-    /// Trace events already carry their (eager) timestamps; the cached
-    /// checker index folds in only the events recorded since the last
-    /// report, so repeated reporting on a growing run stays incremental.
+    /// Produces the run report from the system's **incrementally
+    /// maintained** observability state. The task graph keeps its region and
+    /// resource busy sums, makespan, and merged busy-interval timeline up to
+    /// date as tasks are added; trace events carry eager timestamps; and the
+    /// cached violation-level checker folds in only the events recorded
+    /// since the last report. A report after k new events therefore does
+    /// O(k · log n) work — no full re-aggregation, no trace re-walk — which
+    /// is what makes continuous mid-run sampling
+    /// ([`NearPmSystem::sample`]) affordable. The retained O(n) recompute
+    /// path is [`NearPmSystem::report_oracle`].
     pub fn report(&mut self) -> RunReport {
-        let schedule = Schedule::compute(&self.graph);
-        self.build_report(&schedule)
+        self.build_report()
+    }
+
+    /// A cheap periodic [`RunReport`] snapshot taken **mid-run**: identical
+    /// content to [`NearPmSystem::report`] (the whole report path is
+    /// incremental now), named separately so call sites self-document that
+    /// the run continues afterwards. Sampling never perturbs the simulated
+    /// timeline — it only advances the cached checker — so a sampled run's
+    /// final report is byte-identical to an unsampled one's.
+    pub fn sample(&mut self) -> RunReport {
+        self.build_report()
     }
 
     /// Like [`NearPmSystem::report`] but also returns a copy of the trace
     /// for further inspection.
     pub fn report_with_trace(&mut self) -> (RunReport, Trace) {
-        let schedule = Schedule::compute(&self.graph);
-        let report = self.build_report(&schedule);
+        let report = self.build_report();
         (report, self.trace.trace().clone())
     }
 
-    fn build_report(&mut self, schedule: &Schedule) -> RunReport {
-        let mut region_time = HashMap::new();
-        for r in Region::all() {
-            region_time.insert(r.name(), schedule.region_time(r));
-        }
+    /// The report fields read straight from live device/media counters —
+    /// identical in the incremental and oracle assembly paths by
+    /// construction, extracted so a future field cannot desynchronize the
+    /// two report shapes. Returns `(ndp_bytes_moved, ndp_requests,
+    /// fifo_high_watermark, fifo_stall_time, fifo_stalls)`.
+    #[allow(clippy::type_complexity)]
+    fn device_report_fields(&self) -> (u64, u64, usize, SimDuration, u64) {
         let (ndp_bytes_moved, ndp_requests) = self.devices.iter().fold((0, 0), |(b, r), d| {
             (b + d.stats().bytes_moved, r + d.stats().requests)
         });
-        let timeline = schedule.timeline();
-        let mut ndp_unit_utilization = Vec::new();
-        for dev in &self.devices {
-            for unit in 0..dev.unit_count() {
-                let resource = Resource::NdpUnit {
-                    device: dev.id(),
-                    unit,
-                };
-                ndp_unit_utilization.push(((dev.id(), unit), timeline.utilization(resource)));
-            }
-        }
         let (fifo_high_watermark, fifo_stall_time, fifo_stalls) =
             self.devices
                 .iter()
@@ -931,14 +990,63 @@ impl NearPmSystem {
                         n + d.fifo_stalls(),
                     )
                 });
+        (
+            ndp_bytes_moved,
+            ndp_requests,
+            fifo_high_watermark,
+            fifo_stall_time,
+            fifo_stalls,
+        )
+    }
+
+    /// Per-unit utilization read off `timeline` (shared by both assembly
+    /// paths; they differ only in which timeline they pass).
+    fn unit_utilization(&self, timeline: &nearpm_sim::Timeline) -> Vec<((usize, usize), f64)> {
+        let mut out = Vec::new();
+        for dev in &self.devices {
+            for unit in 0..dev.unit_count() {
+                let resource = Resource::NdpUnit {
+                    device: dev.id(),
+                    unit,
+                };
+                out.push(((dev.id(), unit), timeline.utilization(resource)));
+            }
+        }
+        out
+    }
+
+    fn build_report(&mut self) -> RunReport {
+        let mut region_time = HashMap::new();
+        let mut app_time = SimDuration::ZERO;
+        let mut cc_time = SimDuration::ZERO;
+        for r in Region::all() {
+            let t = self.graph.region_work(r);
+            if r.is_crash_consistency() {
+                cc_time += t;
+            } else {
+                app_time += t;
+            }
+            region_time.insert(r.name(), t);
+        }
+        let makespan = self.graph.makespan();
+        let timeline = self.graph.timeline();
+        let cpu_ndp_overlap = timeline.overlap().total();
+        let overlap_fraction = if makespan.is_zero() {
+            0.0
+        } else {
+            cpu_ndp_overlap.ratio(makespan)
+        };
+        let ndp_unit_utilization = self.unit_utilization(timeline);
+        let (ndp_bytes_moved, ndp_requests, fifo_high_watermark, fifo_stall_time, fifo_stalls) =
+            self.device_report_fields();
         RunReport {
             mode: self.config.mode,
-            makespan: schedule.makespan(),
-            app_time: schedule.application_time(),
-            cc_time: schedule.crash_consistency_time(),
+            makespan,
+            app_time,
+            cc_time,
             region_time,
-            cpu_ndp_overlap: schedule.cpu_ndp_overlap(),
-            overlap_fraction: schedule.overlap_fraction(),
+            cpu_ndp_overlap,
+            overlap_fraction,
             ppo_violations: self.trace.check(),
             trace_events: self.trace.len(),
             ndp_bytes_moved,
@@ -949,6 +1057,69 @@ impl NearPmSystem {
             fifo_stall_time,
             fifo_stalls,
         }
+    }
+
+    /// The retained O(n)-per-call recompute path: re-aggregates the whole
+    /// task list into a fresh schedule/timeline
+    /// (`nearpm_sim::schedule::oracle::aggregate`) and re-checks the whole
+    /// trace against a freshly built index (`nearpm_ppo::check_all`).
+    /// Differential tests assert the result equals [`NearPmSystem::report`]
+    /// at every prefix of a run; the `report_smoke` gate and the
+    /// `report_incremental` bench measure the incremental path against it.
+    /// Unlike `report`, this does not advance any cached state.
+    #[cfg(any(test, feature = "oracle"))]
+    pub fn report_oracle(&self) -> RunReport {
+        let schedule = nearpm_sim::schedule::oracle::aggregate(&self.graph);
+        let mut region_time = HashMap::new();
+        for r in Region::all() {
+            region_time.insert(r.name(), schedule.region_time(r));
+        }
+        let ndp_unit_utilization = self.unit_utilization(schedule.timeline());
+        let (ndp_bytes_moved, ndp_requests, fifo_high_watermark, fifo_stall_time, fifo_stalls) =
+            self.device_report_fields();
+        RunReport {
+            mode: self.config.mode,
+            makespan: schedule.makespan(),
+            app_time: schedule.application_time(),
+            cc_time: schedule.crash_consistency_time(),
+            region_time,
+            cpu_ndp_overlap: schedule.cpu_ndp_overlap(),
+            overlap_fraction: schedule.overlap_fraction(),
+            ppo_violations: nearpm_ppo::check_all(self.trace.trace()),
+            trace_events: self.trace.len(),
+            ndp_bytes_moved,
+            ndp_requests,
+            pm_traffic: self.space.traffic(),
+            ndp_unit_utilization,
+            fifo_high_watermark,
+            fifo_stall_time,
+            fifo_stalls,
+        }
+    }
+
+    /// Total in-flight access records across all devices (diagnostics; the
+    /// commit-handle release tests assert this stays bounded over long
+    /// runs).
+    pub fn inflight_records(&self) -> usize {
+        self.devices.iter().map(|d| d.inflight_len()).sum()
+    }
+
+    /// Highest modeled request-FIFO occupancy any device reached within the
+    /// simulated-time window `[from, to)` — the per-window FIFO series the
+    /// `fig_timeline` figure plots next to NDP utilization.
+    pub fn fifo_occupancy_in(&self, from: SimTime, to: SimTime) -> usize {
+        self.devices
+            .iter()
+            .map(|d| d.fifo_occupancy_in(from, to))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of PPO trace events recorded so far (diagnostics; lets
+    /// sampling drivers pace themselves by event count without paying for a
+    /// report).
+    pub fn trace_events(&self) -> usize {
+        self.trace.len()
     }
 
     /// Number of tasks in the timing graph (diagnostics).

@@ -11,17 +11,17 @@
 //! sweeps) stop rebuilding the checker index from scratch each time.
 
 use nearpm_ppo::{
-    check_all_cached, Agent, EventKind, IncrementalTraceIndex, Interval, PpoViolation, ProcId,
+    check_all_cached, Agent, EventKind, IncrementalChecker, Interval, PpoViolation, ProcId,
     Sharing, SyncId, Trace,
 };
 use nearpm_sim::{TaskGraph, TaskId};
 
 /// Accumulates PPO events during graph construction and checks them against
-/// a cached incremental index.
+/// a cached violation-level incremental checker.
 #[derive(Debug, Clone)]
 pub struct TraceBuilder {
     trace: Trace,
-    checker: IncrementalTraceIndex,
+    checker: IncrementalChecker,
 }
 
 impl TraceBuilder {
@@ -29,7 +29,7 @@ impl TraceBuilder {
     pub fn new(devices: usize) -> Self {
         TraceBuilder {
             trace: Trace::new(devices),
-            checker: IncrementalTraceIndex::new(),
+            checker: IncrementalChecker::new(),
         }
     }
 
@@ -82,12 +82,13 @@ impl TraceBuilder {
     }
 
     /// Runs the PPO checkers, folding only the events recorded since the
-    /// previous call into the cached index.
+    /// previous call into the cached incremental checker — repeated clean
+    /// checks of a growing trace cost O(new events · log n) end to end.
     pub fn check(&mut self) -> Vec<PpoViolation> {
         check_all_cached(&self.trace, &mut self.checker)
     }
 
-    /// Number of events already folded into the cached checker index.
+    /// Number of events already folded into the cached checker.
     pub fn indexed_events(&self) -> usize {
         self.checker.consumed()
     }

@@ -229,6 +229,12 @@ impl NearPmDevice {
         self.fifo.stalls()
     }
 
+    /// Highest modeled FIFO occupancy within the simulated-time window
+    /// `[from, to)` (post-run per-window analysis).
+    pub fn fifo_occupancy_in(&self, from: SimTime, to: SimTime) -> usize {
+        self.fifo.occupancy_in(from, to)
+    }
+
     /// The dispatcher's scheduling resource.
     pub fn dispatcher_resource(&self) -> Resource {
         Resource::Dispatcher(self.config.id)

@@ -65,6 +65,11 @@ pub struct RequestFifo {
     /// still determine the occupancy seen by a straggler arrival after a
     /// later one was already admitted.
     window: Vec<(TaskId, SimTime, SimTime)>,
+    /// Full `(arrival, retire)` residency history of every admitted request
+    /// — unlike `window`, never garbage-collected, so post-run analyses can
+    /// ask "how full was the FIFO during `[from, to)`" for any window of the
+    /// run (`fig_timeline`'s occupancy series).
+    history: Vec<(SimTime, SimTime)>,
     stall_time: SimDuration,
     stalls: u64,
 }
@@ -86,6 +91,7 @@ impl RequestFifo {
             accepted: 0,
             high_watermark: 0,
             window: Vec::new(),
+            history: Vec::new(),
             stall_time: SimDuration::ZERO,
             stalls: 0,
         }
@@ -184,6 +190,37 @@ impl RequestFifo {
     pub fn record_front_end(&mut self, task: TaskId, arrival: SimTime, retires_at: SimTime) {
         let pos = self.window.partition_point(|&(_, _, r)| r <= retires_at);
         self.window.insert(pos, (task, arrival, retires_at));
+        self.history.push((arrival, retires_at));
+    }
+
+    /// Highest modeled occupancy reached within the simulated-time window
+    /// `[from, to)`: a line sweep over the full residency history, capped at
+    /// the physical depth (a stalled request waits on the control path, not
+    /// in the FIFO). O(H log H) in the *total* admitted requests — a
+    /// post-run analysis query, not a hot path; see the ROADMAP candidate
+    /// for a prefix structure if sampling ever wants a live column.
+    pub fn occupancy_in(&self, from: SimTime, to: SimTime) -> usize {
+        if to <= from {
+            return 0;
+        }
+        let mut edges: Vec<(SimTime, i32)> = Vec::new();
+        for &(arrival, retire) in &self.history {
+            if arrival < to && retire > from {
+                edges.push((arrival.max(from), 1));
+                edges.push((retire.min(to), -1));
+            }
+        }
+        // Retirements sort before arrivals at the same instant, matching the
+        // admission model (an entry whose retire time equals an arrival no
+        // longer occupies its slot at that arrival).
+        edges.sort_unstable_by_key(|&(t, delta)| (t, delta));
+        let mut live = 0i32;
+        let mut max = 0i32;
+        for (_, delta) in edges {
+            live += delta;
+            max = max.max(live);
+        }
+        (max.max(0) as usize).min(self.depth)
     }
 
     /// Enqueues a request, assigning it a [`RequestId`].

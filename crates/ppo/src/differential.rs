@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::event::{Agent, EventKind, Interval, ProcId, Sharing, SyncId, Trace};
+use crate::incremental::IncrementalChecker;
 use crate::index::IncrementalTraceIndex;
 use crate::invariants::{self, oracle};
 
@@ -140,15 +141,28 @@ fn assert_checkers_agree(t: &Trace, seed: u64) {
     // once...
     let mut cache = IncrementalTraceIndex::new();
     assert_eq!(
-        invariants::check_all_cached(t, &mut cache),
+        invariants::check_all_with_index_cache(t, &mut cache),
         oracle::check_all(t),
-        "cached check_all diverged (seed {seed})"
+        "index-cached check_all diverged (seed {seed})"
     );
     // ...and when re-checked without new events (fully cached path).
     assert_eq!(
-        invariants::check_all_cached(t, &mut cache),
+        invariants::check_all_with_index_cache(t, &mut cache),
         oracle::check_all(t),
-        "re-checked cached check_all diverged (seed {seed})"
+        "re-checked index-cached check_all diverged (seed {seed})"
+    );
+    // The violation-level incremental checker must agree as well, whole
+    // trace at once and on the no-new-events fast path.
+    let mut checker = IncrementalChecker::new();
+    assert_eq!(
+        invariants::check_all_cached(t, &mut checker),
+        oracle::check_all(t),
+        "incremental checker diverged (seed {seed})"
+    );
+    assert_eq!(
+        invariants::check_all_cached(t, &mut checker),
+        oracle::check_all(t),
+        "re-checked incremental checker diverged (seed {seed})"
     );
 }
 
@@ -241,6 +255,7 @@ fn incrementally_extended_index_matches_full_rebuild_at_every_prefix() {
         let t = random_trace(&mut rng, &shape);
         let mut replay = Trace::new(shape.devices);
         let mut cache = IncrementalTraceIndex::new();
+        let mut checker = IncrementalChecker::new();
         let mut i = 0;
         while i < t.len() {
             let batch = rng.gen_range(1usize..12).min(t.len() - i);
@@ -256,13 +271,30 @@ fn incrementally_extended_index_matches_full_rebuild_at_every_prefix() {
                 );
             }
             i += batch;
+            let full = invariants::check_all(&replay);
             assert_eq!(
-                invariants::check_all_cached(&replay, &mut cache),
-                invariants::check_all(&replay),
-                "prefix of {i} events diverged (seed {seed})"
+                invariants::check_all_with_index_cache(&replay, &mut cache),
+                full,
+                "index-cache prefix of {i} events diverged (seed {seed})"
+            );
+            // The violation-level checker must equal a from-scratch check at
+            // *every* prefix: late offloads un-parking MissingOffload
+            // verdicts, late CPU accesses violating old NDP events, late
+            // persists clearing old sync violations, and failure events
+            // arriving after the writes/reads they judge all land here.
+            assert_eq!(
+                invariants::check_all_cached(&replay, &mut checker),
+                full,
+                "incremental-checker prefix of {i} events diverged (seed {seed})"
+            );
+            assert_eq!(
+                full,
+                oracle::check_all(&replay),
+                "oracle prefix (seed {seed})"
             );
         }
         assert_eq!(cache.consumed(), t.len());
+        assert_eq!(checker.consumed(), t.len());
     }
 }
 
@@ -280,8 +312,13 @@ fn cached_index_detects_trace_reset() {
     let t = random_trace(&mut rng, &shape);
     let mut replay = t.clone();
     let mut cache = IncrementalTraceIndex::new();
+    let mut checker = IncrementalChecker::new();
     assert_eq!(
-        invariants::check_all_cached(&replay, &mut cache),
+        invariants::check_all_with_index_cache(&replay, &mut cache),
+        invariants::check_all(&t)
+    );
+    assert_eq!(
+        invariants::check_all_cached(&replay, &mut checker),
         invariants::check_all(&t)
     );
     let consumed_before_reset = cache.consumed();
@@ -310,13 +347,19 @@ fn cached_index_detects_trace_reset() {
         );
     }
     assert_eq!(
-        invariants::check_all_cached(&replay, &mut cache),
+        invariants::check_all_with_index_cache(&replay, &mut cache),
         invariants::check_all(&replay)
     );
-    // An empty cleared trace also resets the cache.
+    assert_eq!(
+        invariants::check_all_cached(&replay, &mut checker),
+        invariants::check_all(&replay)
+    );
+    // An empty cleared trace also resets the caches.
     replay.clear();
-    invariants::check_all_cached(&replay, &mut cache);
+    invariants::check_all_with_index_cache(&replay, &mut cache);
     assert_eq!(cache.consumed(), 0);
+    assert!(invariants::check_all_cached(&replay, &mut checker).is_empty());
+    assert_eq!(checker.consumed(), 0);
 }
 
 #[test]

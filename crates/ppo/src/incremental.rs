@@ -1,0 +1,468 @@
+//! Violation-level incremental PPO checking.
+//!
+//! The cached index of PR 2 ([`IncrementalTraceIndex`]) made *index
+//! maintenance* incremental, but every `check` still re-walked all NDP
+//! accesses, all writes, and all recovery reads — a clean re-check of a
+//! grown trace cost O(n log n) even when only a handful of events were new.
+//! [`IncrementalChecker`] closes the loop: it tracks which **pairs** each
+//! invariant has already compared and folds only the events appended since
+//! the previous check, in both directions:
+//!
+//! * **Invariants 1/2 (shared-address ordering)** — a new NDP access is
+//!   compared against every comparable CPU access via the cached CPU
+//!   interval indexes, and a new CPU access is compared against every
+//!   *older* NDP access via mirrored NDP-side indexes (a late CPU access
+//!   can violate an old NDP event). NDP accesses whose procedure has no
+//!   offload yet are parked with a `MissingOffload` verdict and re-checked
+//!   in full if the offload arrives in a later batch.
+//! * **Invariant 3 (persist-before-sync)** — writes are parked per agent,
+//!   keyed by the earliest timestamp a persist of that agent covered them
+//!   *as of the batch that parked them*. Keys are upper bounds (the true
+//!   earliest persist only decreases as later batches add persists), so a
+//!   sync's range read over-approximates its candidate set; each
+//!   candidate's true key is re-derived from the full persist index at sync
+//!   time and the parked key lowered in place. This lazy revalidation
+//!   amortizes — keys only decrease — where an eager walk of every write a
+//!   new persist covers would be quadratic under log-slot reuse. A persist
+//!   arriving in a later batch then only has to retroactively clear the
+//!   *standing violations* it satisfies, and those are scanned directly
+//!   (violation lists are tiny — empty on clean runs).
+//! * **Invariant 4 (recovery reads)** — each recovery read holds a current
+//!   verdict; a new write or persist timestamped before the failure
+//!   re-evaluates exactly the overlapping reads (found via a recovery-read
+//!   interval index), and a failure event arriving late re-evaluates all of
+//!   them once.
+//!
+//! Violations are held in ordered maps keyed the way the oracles emit them
+//! — (NDP event, CPU event) for ordering, (sync, write) for
+//! synchronization, read index for recovery — so [`IncrementalChecker::check`]
+//! returns a list **exactly equal** to `check_all` / `invariants::oracle`
+//! over the current trace, at every prefix, for O(new events · log n) work
+//! per call. Differential tests replay random traces in random batch sizes
+//! and assert equality at every prefix; trace resets are detected via the
+//! trace's generation counter exactly like the index cache.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::ops::Bound;
+
+use crate::event::{Agent, EventKind, PpoEvent, ProcId, Sharing, Trace};
+use crate::index::{IncrementalIntervalIndex, IncrementalTraceIndex, PpoIndexQueries};
+use crate::invariants::PpoViolation;
+
+/// Key of a compared pair: the two event indices whose order matches the
+/// oracle's reporting order. `MissingOffload` entries use a zero second
+/// component (they are the only entry for their NDP event while parked).
+type PairKey = (u32, u32);
+
+/// Incremental whole-trace PPO checker: `check` folds only the events
+/// appended since the previous call and returns the same violation list a
+/// from-scratch [`crate::check_all`] would.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalChecker {
+    /// The cached per-category interval indexes (CPU shared accesses,
+    /// per-agent persists, all writes/persists, offload table, failure).
+    index: IncrementalTraceIndex,
+    /// Events already folded into the checker.
+    consumed: usize,
+    /// Trace generation the state was built from (reset detection).
+    generation: u64,
+
+    // --- Invariants 1/2 ---
+    /// Shared NDP accesses mirrored per kind, so a new CPU access can find
+    /// the older NDP events it is comparable with.
+    ndp_shared_reads: IncrementalIntervalIndex,
+    ndp_shared_writes: IncrementalIntervalIndex,
+    ndp_shared_persists: IncrementalIntervalIndex,
+    /// Shared NDP accesses whose procedure has no offload event yet, by
+    /// procedure (re-checked in full when the offload arrives).
+    parked_no_offload: HashMap<ProcId, Vec<u32>>,
+    /// Membership view of `parked_no_offload` for O(1) skip tests.
+    parked_events: HashSet<u32>,
+    /// Ordering verdicts, keyed (NDP event, CPU event).
+    ordering: BTreeMap<PairKey, PpoViolation>,
+
+    // --- Invariant 3 ---
+    /// Writes seen so far per agent, keyed by (**upper bound** of the
+    /// earliest covering persist timestamp, event index). A key is exact as
+    /// of the batch that parked or last revalidated its write; later
+    /// persists only lower the true value, so a sync's range read
+    /// over-approximates its candidates and lazily tightens them.
+    parked_writes: HashMap<Agent, BTreeSet<(u64, u32)>>,
+    /// Sync verdicts, keyed (sync event, write event).
+    sync_violations: BTreeMap<PairKey, PpoViolation>,
+
+    // --- Invariant 4 ---
+    /// Interval index over recovery reads (id-valued), so a late
+    /// write/persist re-evaluates exactly the reads it overlaps.
+    recovery_idx: IncrementalIntervalIndex,
+    /// All recovery-read event indices, in trace order.
+    recovery_reads: Vec<u32>,
+    /// Recovery verdicts, keyed by read index.
+    recovery_violations: BTreeMap<u32, PpoViolation>,
+}
+
+impl IncrementalChecker {
+    /// Creates an empty checker.
+    pub fn new() -> Self {
+        IncrementalChecker::default()
+    }
+
+    /// Number of trace events already folded into the checker.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Drops all cached state (used when the trace it mirrors is reset).
+    pub fn reset(&mut self) {
+        *self = IncrementalChecker::default();
+    }
+
+    /// Runs all invariant checkers over `trace`, folding only the events
+    /// appended since the previous call, and returns the full violation
+    /// list for the *current* trace — element-for-element equal to
+    /// [`crate::check_all`]. Detects a trace reset (shrink or generation
+    /// change) and rebuilds from scratch.
+    pub fn check(&mut self, trace: &Trace) -> Vec<PpoViolation> {
+        if trace.len() < self.consumed || trace.generation() != self.generation {
+            self.reset();
+            self.generation = trace.generation();
+        }
+        if self.consumed < trace.len() {
+            let lo = self.consumed;
+            self.fold(trace, lo);
+            self.consumed = trace.len();
+        }
+        self.ordering
+            .values()
+            .chain(self.sync_violations.values())
+            .chain(self.recovery_violations.values())
+            .cloned()
+            .collect()
+    }
+
+    /// Folds `trace.events()[lo..]` into every invariant's state.
+    fn fold(&mut self, trace: &Trace, lo: usize) {
+        let events = trace.events();
+        let failure_before = self.index.failure_ts();
+
+        // Procedures whose *first* offload event arrives in this batch:
+        // their parked accesses become checkable below.
+        let mut gained: Vec<ProcId> = Vec::new();
+        for e in &events[lo..] {
+            if e.kind == EventKind::Offload && e.agent == Agent::Cpu {
+                if let Some(p) = e.proc {
+                    if self.index.offload_po(p).is_none() && !gained.contains(&p) {
+                        gained.push(p);
+                    }
+                }
+            }
+        }
+
+        // Step A — new CPU shared accesses against the *pre-batch* NDP-side
+        // indexes (pairs old-NDP × new-CPU; pairs where both events are new
+        // are produced exactly once, in step D). Parked NDP events are
+        // skipped: they are either re-checked in full in step C (offload
+        // arrived) or stay MissingOffload, matching the oracle.
+        for (i, e) in events.iter().enumerate().skip(lo) {
+            if e.agent != Agent::Cpu || e.sharing != Sharing::Shared || e.interval.len == 0 {
+                continue;
+            }
+            let mut ids: Vec<u32> = Vec::new();
+            match e.kind {
+                EventKind::Persist => self
+                    .ndp_shared_persists
+                    .for_each_overlap(e.interval, |id| ids.push(id)),
+                EventKind::Write => {
+                    self.ndp_shared_writes
+                        .for_each_overlap(e.interval, |id| ids.push(id));
+                    self.ndp_shared_reads
+                        .for_each_overlap(e.interval, |id| ids.push(id));
+                }
+                EventKind::Read => self
+                    .ndp_shared_writes
+                    .for_each_overlap(e.interval, |id| ids.push(id)),
+                _ => continue,
+            }
+            for ndp_id in ids {
+                if self.parked_events.contains(&ndp_id) {
+                    continue;
+                }
+                self.evaluate_pair(events, ndp_id, i as u32);
+            }
+        }
+
+        // Step B — fold the batch into every index.
+        self.index.extend_from(trace);
+        let mut ndp_reads = Vec::new();
+        let mut ndp_writes = Vec::new();
+        let mut ndp_persists = Vec::new();
+        let mut recovery_new = Vec::new();
+        for (i, e) in events.iter().enumerate().skip(lo) {
+            let id = i as u32;
+            if e.interval.len == 0 {
+                continue;
+            }
+            let entry = (e.interval, e.timestamp_ps, id);
+            if e.agent.is_ndp() && e.sharing == Sharing::Shared {
+                match e.kind {
+                    EventKind::Read => ndp_reads.push(entry),
+                    EventKind::Write => ndp_writes.push(entry),
+                    EventKind::Persist => ndp_persists.push(entry),
+                    _ => {}
+                }
+            }
+            if e.kind == EventKind::RecoveryRead {
+                recovery_new.push(entry);
+                self.recovery_reads.push(id);
+            }
+        }
+        self.ndp_shared_reads.extend_items(ndp_reads);
+        self.ndp_shared_writes.extend_items(ndp_writes);
+        self.ndp_shared_persists.extend_items(ndp_persists);
+        self.recovery_idx.extend_items(recovery_new);
+
+        // Step C — procedures that gained their offload: drop the
+        // MissingOffload verdicts and re-check the parked accesses against
+        // the *full* (post-fold) CPU indexes.
+        for p in &gained {
+            let Some(list) = self.parked_no_offload.remove(p) else {
+                continue;
+            };
+            for ndp_id in list {
+                self.parked_events.remove(&ndp_id);
+                self.ordering.remove(&(ndp_id, 0));
+                self.check_ndp_event(events, ndp_id);
+            }
+        }
+
+        // Step D — new NDP shared accesses against the full CPU indexes.
+        for (i, e) in events.iter().enumerate().skip(lo) {
+            if !e.agent.is_ndp() || e.sharing != Sharing::Shared || e.interval.len == 0 {
+                continue;
+            }
+            if !matches!(
+                e.kind,
+                EventKind::Read | EventKind::Write | EventKind::Persist
+            ) {
+                continue;
+            }
+            self.check_ndp_event(events, i as u32);
+        }
+
+        // Step E — Invariant 3, sequentially through the batch (the parked
+        // set must respect trace order around each sync). A write parks with
+        // the post-fold whole-trace earliest-persist key, so within-batch
+        // persist placement is already accounted; persists from *later*
+        // batches can only lower a key, which syncs discover lazily.
+        for (i, e) in events.iter().enumerate().skip(lo) {
+            if !e.agent.is_ndp() {
+                continue;
+            }
+            match e.kind {
+                EventKind::Write if e.interval.len > 0 => {
+                    let key = self
+                        .index
+                        .earliest_persist_by(e.agent, e.interval)
+                        .unwrap_or(u64::MAX);
+                    self.parked_writes
+                        .entry(e.agent)
+                        .or_default()
+                        .insert((key, i as u32));
+                }
+                EventKind::Persist if e.interval.len > 0 => {
+                    // The only standing state a later persist can invalidate
+                    // is a recorded violation it retroactively satisfies
+                    // (same agent, overlapping the write, timestamped no
+                    // later than the sync). Violation lists are tiny — empty
+                    // on clean runs — so a direct scan beats indexing every
+                    // write ever made against every future persist.
+                    if self.sync_violations.is_empty() {
+                        continue;
+                    }
+                    let cleared: Vec<PairKey> = self
+                        .sync_violations
+                        .iter()
+                        .filter_map(|(&key, v)| match v {
+                            PpoViolation::UnpersistedBeforeSync {
+                                agent,
+                                interval,
+                                sync_ts,
+                            } if *agent == e.agent
+                                && e.timestamp_ps <= *sync_ts
+                                && interval.overlaps(&e.interval) =>
+                            {
+                                Some(key)
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    for key in cleared {
+                        self.sync_violations.remove(&key);
+                    }
+                }
+                EventKind::Sync => {
+                    let Some(parked) = self.parked_writes.get_mut(&e.agent) else {
+                        continue;
+                    };
+                    // Upper-bound keys over-approximate: every write whose
+                    // stored key lands after the sync is a candidate, and
+                    // its true key is re-derived from the full persist index
+                    // (lowering the stored key in place — keys only
+                    // decrease, so this revalidation amortizes).
+                    let candidates: Vec<(u64, u32)> = parked
+                        .range((
+                            Bound::Excluded((e.timestamp_ps, u32::MAX)),
+                            Bound::Unbounded,
+                        ))
+                        .copied()
+                        .collect();
+                    let mut failing: Vec<u32> = Vec::new();
+                    for (stored, w) in candidates {
+                        let wev = &events[w as usize];
+                        let true_key = self
+                            .index
+                            .earliest_persist_by(e.agent, wev.interval)
+                            .unwrap_or(u64::MAX);
+                        if true_key < stored {
+                            parked.remove(&(stored, w));
+                            parked.insert((true_key, w));
+                        }
+                        if true_key <= e.timestamp_ps {
+                            continue;
+                        }
+                        let in_scope = match e.proc {
+                            Some(p) => wev.proc == Some(p),
+                            None => wev.timestamp_ps <= e.timestamp_ps,
+                        };
+                        if in_scope {
+                            failing.push(w);
+                        }
+                    }
+                    failing.sort_unstable();
+                    for w in failing {
+                        let wev = &events[w as usize];
+                        self.sync_violations.insert(
+                            (i as u32, w),
+                            PpoViolation::UnpersistedBeforeSync {
+                                agent: wev.agent,
+                                interval: wev.interval,
+                                sync_ts: e.timestamp_ps,
+                            },
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Step F — Invariant 4.
+        let Some(failure) = self.index.failure_ts() else {
+            return; // no failure yet: recovery reads hold no verdicts
+        };
+        if failure_before.is_none() {
+            // The failure became visible in this batch: every recovery read
+            // (old and new) gets its verdict from the full indexes once.
+            let all = self.recovery_reads.clone();
+            for r in all {
+                self.evaluate_recovery(events, r);
+            }
+        } else {
+            for (i, e) in events.iter().enumerate().skip(lo) {
+                match e.kind {
+                    EventKind::RecoveryRead if e.interval.len > 0 => {
+                        self.evaluate_recovery(events, i as u32);
+                    }
+                    EventKind::Write | EventKind::Persist
+                        if e.interval.len > 0 && e.timestamp_ps <= failure =>
+                    {
+                        // A pre-failure write can create a verdict on an old
+                        // read; a pre-failure persist can clear one.
+                        let mut hits = Vec::new();
+                        self.recovery_idx
+                            .for_each_overlap(e.interval, |r| hits.push(r));
+                        for r in hits {
+                            self.evaluate_recovery(events, r);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Evaluates one NDP shared access against the full CPU indexes, or
+    /// parks it with a `MissingOffload` verdict if its procedure has no
+    /// offload event yet.
+    fn check_ndp_event(&mut self, events: &[PpoEvent], ndp_id: u32) {
+        let ndp = &events[ndp_id as usize];
+        let Some(proc) = ndp.proc else {
+            return; // no procedure: the oracle skips it entirely
+        };
+        if self.index.offload_po(proc).is_none() {
+            self.parked_no_offload.entry(proc).or_default().push(ndp_id);
+            self.parked_events.insert(ndp_id);
+            self.ordering
+                .insert((ndp_id, 0), PpoViolation::MissingOffload { proc });
+            return;
+        }
+        let mut ids = Vec::new();
+        self.index
+            .for_each_comparable_cpu_id(ndp.kind, ndp.interval, |id| ids.push(id));
+        for cpu_id in ids {
+            self.evaluate_pair(events, ndp_id, cpu_id);
+        }
+    }
+
+    /// Evaluates one (NDP access, CPU access) pair and records the verdict.
+    /// Every input to the verdict is immutable once both events exist (the
+    /// offload table keeps the *first* offload per procedure), so a pair is
+    /// evaluated exactly once across the checker's lifetime.
+    fn evaluate_pair(&mut self, events: &[PpoEvent], ndp_id: u32, cpu_id: u32) {
+        let ndp = &events[ndp_id as usize];
+        let cpu = &events[cpu_id as usize];
+        let Some(proc) = ndp.proc else {
+            return;
+        };
+        let Some(off_po) = self.index.offload_po(proc) else {
+            return;
+        };
+        let cpu_before_offload = cpu.program_order < off_po;
+        let ok = if cpu_before_offload {
+            cpu.timestamp_ps <= ndp.timestamp_ps
+        } else {
+            ndp.timestamp_ps <= cpu.timestamp_ps
+        };
+        if !ok {
+            self.ordering.insert(
+                (ndp_id, cpu_id),
+                PpoViolation::SharedOrderViolation {
+                    proc,
+                    cpu_interval: cpu.interval,
+                    ndp_interval: ndp.interval,
+                    cpu_ts: cpu.timestamp_ps,
+                    ndp_ts: ndp.timestamp_ps,
+                    cpu_before_offload,
+                },
+            );
+        }
+    }
+
+    /// Re-derives one recovery read's verdict from the full write/persist
+    /// indexes (idempotent: inserts or removes as the verdict dictates).
+    fn evaluate_recovery(&mut self, events: &[PpoEvent], r: u32) {
+        let e = &events[r as usize];
+        let violating = self.index.written_before_failure(e.interval)
+            && !self.index.persisted_before_failure(e.interval);
+        if violating {
+            self.recovery_violations.insert(
+                r,
+                PpoViolation::RecoveryReadUnpersisted {
+                    agent: e.agent,
+                    interval: e.interval,
+                },
+            );
+        } else {
+            self.recovery_violations.remove(&r);
+        }
+    }
+}

@@ -270,6 +270,22 @@ impl IncrementalIntervalIndex {
         self.levels.push(IntervalIndex::build(items));
     }
 
+    /// Appends a batch of `(interval, value, event-id)` entries (used by the
+    /// incremental checker for its NDP-side and recovery-read indexes).
+    pub(crate) fn extend_items(&mut self, entries: Vec<(Interval, u64, u32)>) {
+        self.insert_batch(
+            entries
+                .into_iter()
+                .map(|(iv, value, id)| Item {
+                    start: iv.start,
+                    end: iv.end(),
+                    value,
+                    id,
+                })
+                .collect(),
+        );
+    }
+
     /// Total number of indexed intervals across all levels.
     pub fn len(&self) -> usize {
         self.levels.iter().map(|l| l.len()).sum()
@@ -463,6 +479,29 @@ impl IncrementalTraceIndex {
         self.all_persists.insert_batch(persists);
         self.consumed = events.len();
     }
+
+    /// Calls `f` with the event **index** of every shared CPU access whose
+    /// kind is comparable to an NDP access of kind `ndp_kind` and whose
+    /// interval overlaps `interval` (no cross-level order — callers that
+    /// need trace order sort). The incremental checker keys its violation
+    /// pairs by event index, which the trait's event-reference callback does
+    /// not expose.
+    pub(crate) fn for_each_comparable_cpu_id<F: FnMut(u32)>(
+        &self,
+        ndp_kind: EventKind,
+        interval: Interval,
+        mut f: F,
+    ) {
+        match ndp_kind {
+            EventKind::Persist => self.cpu_shared_persists.for_each_overlap(interval, &mut f),
+            EventKind::Write => {
+                self.cpu_shared_writes.for_each_overlap(interval, &mut f);
+                self.cpu_shared_reads.for_each_overlap(interval, &mut f);
+            }
+            EventKind::Read => self.cpu_shared_writes.for_each_overlap(interval, &mut f),
+            _ => {}
+        }
+    }
 }
 
 impl PpoIndexQueries for IncrementalTraceIndex {
@@ -487,24 +526,10 @@ impl PpoIndexQueries for IncrementalTraceIndex {
         interval: Interval,
         mut f: F,
     ) {
+        // One comparability dispatch for both entry points: collect ids via
+        // the id-level walk, then resolve to events in trace order.
         let mut ids = Vec::new();
-        match ndp_kind {
-            EventKind::Persist => {
-                self.cpu_shared_persists
-                    .for_each_overlap(interval, |id| ids.push(id));
-            }
-            EventKind::Write => {
-                self.cpu_shared_writes
-                    .for_each_overlap(interval, |id| ids.push(id));
-                self.cpu_shared_reads
-                    .for_each_overlap(interval, |id| ids.push(id));
-            }
-            EventKind::Read => {
-                self.cpu_shared_writes
-                    .for_each_overlap(interval, |id| ids.push(id));
-            }
-            _ => {}
-        }
+        self.for_each_comparable_cpu_id(ndp_kind, interval, |id| ids.push(id));
         ids.sort_unstable();
         for id in ids {
             f(&events[id as usize]);

@@ -21,6 +21,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::ops::Bound;
 
 use crate::event::{Agent, EventKind, Interval, ProcId, Sharing, Trace};
+use crate::incremental::IncrementalChecker;
 use crate::index::{IncrementalTraceIndex, PpoIndexQueries, TraceIndex};
 
 /// A detected violation of a PPO invariant.
@@ -115,11 +116,26 @@ pub fn check_all_indexed(idx: &TraceIndex<'_>) -> Vec<PpoViolation> {
     v
 }
 
-/// [`check_all`] against a cached [`IncrementalTraceIndex`]: only the events
-/// appended to `trace` since the previous call are folded into the index, so
-/// repeated checking of a growing trace (multi-`report()` sweeps) costs
-/// O(new events · log n) of index maintenance instead of a full rebuild.
-pub fn check_all_cached(trace: &Trace, cache: &mut IncrementalTraceIndex) -> Vec<PpoViolation> {
+/// [`check_all`] against a cached [`IncrementalChecker`]: only the events
+/// appended to `trace` since the previous call are folded — the checker
+/// tracks which (event × event) pairs every invariant already compared, in
+/// both directions — so a repeated clean check of a growing trace
+/// (multi-`report()`/`sample()` sweeps) costs O(new events · log n) end to
+/// end instead of a full re-walk over a cached index.
+pub fn check_all_cached(trace: &Trace, cache: &mut IncrementalChecker) -> Vec<PpoViolation> {
+    cache.check(trace)
+}
+
+/// [`check_all`] against a cached [`IncrementalTraceIndex`] — the PR 2
+/// path: the *index* is extended incrementally but every checker still
+/// re-walks the full trace per call. Retained as the index-layer
+/// differential baseline and the oracle-side recompute the `report_smoke`
+/// gate and `report_incremental` bench measure the violation-level
+/// incremental checker against.
+pub fn check_all_with_index_cache(
+    trace: &Trace,
+    cache: &mut IncrementalTraceIndex,
+) -> Vec<PpoViolation> {
     cache.extend_from(trace);
     let mut v = check_cpu_ndp_ordering_with(trace, cache);
     v.extend(check_sync_persistence_with(trace, cache));
@@ -182,20 +198,26 @@ fn check_cpu_ndp_ordering_with<I: PpoIndexQueries>(trace: &Trace, idx: &I) -> Ve
     violations
 }
 
-/// Invariant 3: every NDP write that precedes a synchronization event on
-/// the same device **both** in trace (program) order **and** in simulated
-/// time must have persisted no later than the synchronization completes.
+/// Invariant 3: writes covered by a synchronization event on the same
+/// device must have persisted no later than the synchronization completes.
 ///
-/// The temporal condition exists because, with multiple application
-/// threads, the trace is recorded in program order — thread by thread — so
-/// a write recorded earlier in the trace may execute (and legitimately
-/// persist) after a sync that covers a different thread's transaction; a
-/// sync never guarantees work that had not happened yet. The program-order
-/// condition is kept as well, so a temporally-earlier write recorded
-/// *after* the sync is not checked against it — a deliberate
-/// under-approximation that avoids false positives; the precise form would
-/// scope each sync to the procedures whose handles participate in it (see
-/// the ROADMAP's proc-scoped sync candidate).
+/// Which writes a sync covers depends on whether the sync event names a
+/// procedure:
+///
+/// * **Proc-scoped sync** (`sync.proc == Some(p)`) — the sync guarantees
+///   exactly the writes of procedure `p` recorded before it, *regardless of
+///   their recorded timestamps*: the procedure's handles participated in
+///   the synchronization, so a p-write that persists only after the sync
+///   completes is a genuine violation (a "late write" the old temporal rule
+///   silently cleared), while another procedure's late write is simply out
+///   of scope (no false positive). The system records one sync event per
+///   participating (device, procedure) pair.
+/// * **Unscoped sync** (`sync.proc == None`) — the legacy conservative
+///   form: every prior-in-trace write of the agent whose timestamp is no
+///   later than the sync. The temporal condition is the deliberate
+///   under-approximation that avoids false positives when multiple
+///   application threads interleave in the trace — a sync never guarantees
+///   work that had not happened yet.
 pub fn check_sync_persistence(trace: &Trace) -> Vec<PpoViolation> {
     check_sync_persistence_indexed(&TraceIndex::new(trace))
 }
@@ -242,9 +264,16 @@ fn check_sync_persistence_with<I: PpoIndexQueries>(trace: &Trace, idx: &I) -> Ve
                     failing.sort_unstable();
                     for id in failing {
                         let w = &events[id as usize];
-                        // Writes that happen after the sync (in time) are not
-                        // covered by it, wherever they sit in the trace.
-                        if w.timestamp_ps > e.timestamp_ps {
+                        let in_scope = match e.proc {
+                            // Proc-scoped sync: exactly the procedure's
+                            // writes, wherever their timestamps landed.
+                            Some(p) => w.proc == Some(p),
+                            // Unscoped sync: writes that happen after it (in
+                            // time) are not covered, wherever they sit in
+                            // the trace.
+                            None => w.timestamp_ps <= e.timestamp_ps,
+                        };
+                        if !in_scope {
                             continue;
                         }
                         violations.push(PpoViolation::UnpersistedBeforeSync {
@@ -453,9 +482,14 @@ pub mod oracle {
                     && e.kind == EventKind::Write
                     && e.interval.len > 0
                     && e.program_order < sync.program_order
-                    // Temporal, not trace-positional: a write that happens
-                    // after the sync is not covered by it.
-                    && e.timestamp_ps <= sync.timestamp_ps
+                    && match sync.proc {
+                        // Proc-scoped sync: exactly the procedure's writes,
+                        // regardless of recorded timestamps.
+                        Some(p) => e.proc == Some(p),
+                        // Unscoped sync — temporal, not trace-positional: a
+                        // write that happens after the sync is not covered.
+                        None => e.timestamp_ps <= sync.timestamp_ps,
+                    }
             }) {
                 // Find a persist of the same agent covering (overlapping) the
                 // write interval, no later than the sync.
@@ -832,6 +866,134 @@ mod tests {
             200,
         );
         assert!(check_sync_persistence(&t2).is_empty());
+    }
+
+    /// ROADMAP proc-scoped sync regression: a sync that names its procedure
+    /// guarantees exactly that procedure's writes. A participating write
+    /// whose timestamp lands *after* the sync (a late write the old temporal
+    /// rule silently cleared) is correctly flagged, while another
+    /// procedure's late write recorded before the sync does not false-
+    /// positive — and an unscoped sync keeps the legacy temporal behavior.
+    #[test]
+    fn proc_scoped_sync_flags_late_participating_write_only() {
+        let lay = |proc_for_sync: Option<ProcId>| -> (Trace, ProcId, ProcId) {
+            let mut t = Trace::new(1);
+            let p1 = t.new_proc();
+            let p2 = t.new_proc();
+            let s = t.new_sync();
+            let log1 = Interval::new(0x8000, 64);
+            let log2 = Interval::new(0x9000, 64);
+            // An *unrelated* procedure's late write (ts 400 > sync ts 300),
+            // recorded before the sync and never persisted.
+            t.record(
+                Agent::Ndp(0),
+                EventKind::Write,
+                log2,
+                Sharing::NdpManaged,
+                Some(p2),
+                None,
+                400,
+            );
+            // The participating procedure's write is also late (ts 500) and
+            // never persisted: its handle took part in the sync, so the
+            // sync's completion claims it persisted — a genuine violation.
+            t.record(
+                Agent::Ndp(0),
+                EventKind::Write,
+                log1,
+                Sharing::NdpManaged,
+                Some(p1),
+                None,
+                500,
+            );
+            t.record(
+                Agent::Ndp(0),
+                EventKind::Sync,
+                Interval::new(0, 0),
+                Sharing::NdpManaged,
+                proc_for_sync,
+                Some(s),
+                300,
+            );
+            (t, p1, p2)
+        };
+
+        // Proc-scoped sync: exactly the participating procedure's late
+        // write is flagged; the unrelated write is out of scope.
+        let (t, _p1, _p2) = lay(Some(ProcId(0)));
+        let violations = check_sync_persistence(&t);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(matches!(
+            violations[0],
+            PpoViolation::UnpersistedBeforeSync {
+                interval: Interval { start: 0x8000, .. },
+                ..
+            }
+        ));
+        assert_eq!(violations, oracle::check_sync_persistence(&t));
+        // The incremental checker agrees, including when the sync arrives in
+        // a later batch than the writes.
+        let mut checker = crate::incremental::IncrementalChecker::new();
+        let mut replay = Trace::new(1);
+        for (i, e) in t.events().iter().enumerate() {
+            replay.record(
+                e.agent,
+                e.kind,
+                e.interval,
+                e.sharing,
+                e.proc,
+                e.sync,
+                e.timestamp_ps,
+            );
+            assert_eq!(
+                check_all_cached(&replay, &mut checker),
+                check_all(&replay),
+                "prefix {i}"
+            );
+        }
+
+        // Unscoped sync: the legacy temporal under-approximation clears
+        // both late writes (they had not happened yet at sync time).
+        let (t, _, _) = lay(None);
+        assert!(check_sync_persistence(&t).is_empty());
+        assert_eq!(oracle::check_sync_persistence(&t), Vec::new());
+
+        // A persisted participating write satisfies the proc-scoped sync
+        // even when its persist is recorded after the sync in the trace but
+        // timestamped before it.
+        let mut t2 = Trace::new(1);
+        let p1 = t2.new_proc();
+        let s2 = t2.new_sync();
+        let log = Interval::new(0x8000, 64);
+        t2.record(
+            Agent::Ndp(0),
+            EventKind::Write,
+            log,
+            Sharing::NdpManaged,
+            Some(p1),
+            None,
+            100,
+        );
+        t2.record(
+            Agent::Ndp(0),
+            EventKind::Sync,
+            Interval::new(0, 0),
+            Sharing::NdpManaged,
+            Some(p1),
+            Some(s2),
+            300,
+        );
+        t2.record(
+            Agent::Ndp(0),
+            EventKind::Persist,
+            log,
+            Sharing::NdpManaged,
+            Some(p1),
+            None,
+            200,
+        );
+        assert!(check_sync_persistence(&t2).is_empty());
+        assert_eq!(oracle::check_sync_persistence(&t2), Vec::new());
     }
 
     #[test]

@@ -58,6 +58,15 @@ impl TaskTiming {
 
 /// A merged set of disjoint, sorted busy intervals with prefix sums of the
 /// covered time. All queries are O(log n) or better.
+///
+/// Besides batch construction ([`IntervalSet::from_intervals`]), the set
+/// supports **incremental insertion** ([`IntervalSet::insert`]): one interval
+/// is merged in place (coalescing with anything it overlaps or touches) and
+/// the prefix sums are rebuilt from the first modified index only. Busy
+/// intervals are produced in roughly increasing simulated time, so insertion
+/// streams are append-mostly and pay O(1) amortized per insert; this is what
+/// lets the task graph maintain its timeline while it is being built instead
+/// of re-merging everything per `report()`.
 #[derive(Debug, Clone, Default)]
 pub struct IntervalSet {
     /// Disjoint intervals sorted by start; no two touch (`end < next start`).
@@ -116,6 +125,64 @@ impl IntervalSet {
         }
     }
 
+    /// Inserts one interval, coalescing it with every existing interval it
+    /// overlaps or touches (the same rule batch construction applies).
+    /// Prefix sums are rebuilt from the first modified index, so an
+    /// append-mostly insertion stream costs O(1) amortized per insert.
+    pub fn insert(&mut self, start: SimTime, end: SimTime) {
+        self.insert_with(start, end, None);
+    }
+
+    /// [`IntervalSet::insert`] that additionally appends to `newly` the
+    /// sub-intervals of `[start, end)` that were **not** previously covered —
+    /// the coverage delta a union timeline feeds into the incremental
+    /// CPU/NDP-overlap maintenance.
+    pub(crate) fn insert_with(
+        &mut self,
+        start: SimTime,
+        end: SimTime,
+        mut newly: Option<&mut Vec<(SimTime, SimTime)>>,
+    ) {
+        if end <= start {
+            return;
+        }
+        if self.prefix.is_empty() {
+            // A default-constructed set has no sentinel prefix entry yet.
+            self.prefix.push(0);
+        }
+        // First interval whose end reaches `start` (touching coalesces).
+        let i = self.intervals.partition_point(|&(_, e)| e < start);
+        let mut j = i;
+        let mut merged = (start, end);
+        let mut cursor = start;
+        while j < self.intervals.len() && self.intervals[j].0 <= end {
+            let (cs, ce) = self.intervals[j];
+            if let Some(out) = newly.as_deref_mut() {
+                if cs > cursor && cursor < end {
+                    out.push((cursor, cs.min(end)));
+                }
+            }
+            cursor = cursor.max(ce);
+            merged.0 = merged.0.min(cs);
+            merged.1 = merged.1.max(ce);
+            j += 1;
+        }
+        if let Some(out) = newly {
+            if cursor < end {
+                out.push((cursor, end));
+            }
+        }
+        self.intervals.splice(i..j, std::iter::once(merged));
+        // `intervals[..i]` (and so `prefix[..=i]`) are untouched: rebuild the
+        // suffix only.
+        self.prefix.truncate(i + 1);
+        let mut acc = self.prefix[i];
+        for &(s, e) in &self.intervals[i..] {
+            acc += (e - s).as_ps();
+            self.prefix.push(acc);
+        }
+    }
+
     /// The merged intervals, sorted by start.
     pub fn intervals(&self) -> &[(SimTime, SimTime)] {
         &self.intervals
@@ -150,7 +217,8 @@ impl IntervalSet {
     /// Covered time in `[0, t)` — O(log n) via the prefix sums.
     pub fn covered_before(&self, t: SimTime) -> SimDuration {
         let k = self.intervals.partition_point(|&(s, _)| s < t);
-        let mut ps = self.prefix[k];
+        // `get` keeps a default-constructed (never-inserted) set queryable.
+        let mut ps = self.prefix.get(k).copied().unwrap_or(0);
         if k > 0 {
             let (_, end) = self.intervals[k - 1];
             if end > t {
@@ -230,6 +298,14 @@ impl IntervalSet {
 /// The merged busy-interval timeline of one schedule: per-resource merged
 /// busy intervals plus the CPU-side and NDP-side union timelines and their
 /// intersection, all with prefix sums.
+///
+/// The timeline is **incrementally mergeable**: [`Timeline::record`] folds a
+/// single busy interval into the per-resource set, the CPU/NDP union of its
+/// side, and — via the union's coverage delta intersected with the other
+/// side — the overlap set. The task graph calls it as tasks are added, so a
+/// `report()` reads a fully maintained timeline instead of re-merging all
+/// intervals. [`Timeline::build`] (the batch construction) is retained for
+/// the oracle aggregation pass.
 #[derive(Debug, Clone, Default)]
 pub struct Timeline {
     /// Sorted by resource for binary-search lookup.
@@ -238,13 +314,73 @@ pub struct Timeline {
     ndp: IntervalSet,
     overlap: IntervalSet,
     horizon: SimTime,
+    /// Reusable coverage-delta buffer for [`Timeline::record`].
+    scratch: Vec<(SimTime, SimTime)>,
 }
 
 impl Timeline {
+    /// Folds one busy interval into the timeline: the resource's merged set,
+    /// the CPU/NDP union of the resource's side, and the overlap set (the
+    /// union's newly covered sub-intervals intersected with the other side —
+    /// every point of the final intersection is counted exactly once, at the
+    /// later of its two union arrivals). Zero-length intervals record
+    /// nothing, mirroring the batch construction's filter.
+    pub fn record(&mut self, resource: Resource, start: SimTime, finish: SimTime) {
+        if finish <= start {
+            return;
+        }
+        self.horizon = self.horizon.max(finish);
+        let idx = match self
+            .per_resource
+            .binary_search_by_key(&resource, |(r, _)| *r)
+        {
+            Ok(i) => i,
+            Err(i) => {
+                self.per_resource
+                    .insert(i, (resource, IntervalSet::empty()));
+                i
+            }
+        };
+        self.per_resource[idx].1.insert(start, finish);
+        let mut fresh = std::mem::take(&mut self.scratch);
+        fresh.clear();
+        if resource.is_cpu() {
+            self.cpu.insert_with(start, finish, Some(&mut fresh));
+            for &(s, e) in &fresh {
+                Self::fold_intersection(&self.ndp, s, e, &mut self.overlap);
+            }
+        } else if resource.is_ndp() {
+            self.ndp.insert_with(start, finish, Some(&mut fresh));
+            for &(s, e) in &fresh {
+                Self::fold_intersection(&self.cpu, s, e, &mut self.overlap);
+            }
+        }
+        self.scratch = fresh;
+    }
+
+    /// Inserts `[s, e) ∩ other` into `overlap`. `[s, e)` is a coverage delta
+    /// of the opposite union, so the pieces are disjoint from everything the
+    /// overlap already holds (insert only coalesces touching neighbors).
+    fn fold_intersection(other: &IntervalSet, s: SimTime, e: SimTime, overlap: &mut IntervalSet) {
+        let from = other.intervals.partition_point(|&(_, oe)| oe <= s);
+        for &(os, oe) in &other.intervals[from..] {
+            if os >= e {
+                break;
+            }
+            let a = os.max(s);
+            let b = oe.min(e);
+            if b > a {
+                overlap.insert(a, b);
+            }
+        }
+    }
     /// Builds the timeline from per-resource busy intervals (each list in
     /// task insertion order: sorted and disjoint on an in-order serialized
     /// resource, possibly out of order on an arrival-ordered front-end
-    /// resource, whose gap-filled intervals are sorted here first).
+    /// resource, whose gap-filled intervals are sorted here first). Batch
+    /// construction is only used by [`oracle::aggregate`] now; the live
+    /// timeline is maintained via [`Timeline::record`].
+    #[cfg(any(test, feature = "oracle"))]
     fn build(per_resource_raw: Vec<(Resource, Vec<(SimTime, SimTime)>)>) -> Timeline {
         let mut cpu_all = Vec::new();
         let mut ndp_all = Vec::new();
@@ -279,6 +415,7 @@ impl Timeline {
             ndp,
             overlap,
             horizon,
+            scratch: Vec::new(),
         }
     }
 
@@ -357,59 +494,24 @@ pub struct Schedule {
 }
 
 impl Schedule {
-    /// Schedules `graph` with the list-scheduling policy described in the
-    /// module documentation. Start/finish times are read from the graph's
-    /// incrementally maintained schedule; this pass only aggregates them and
-    /// builds the merged busy-interval [`Timeline`].
+    /// Snapshots `graph`'s **incrementally maintained** schedule state.
+    ///
+    /// The graph keeps every aggregate up to date as tasks are added —
+    /// timings, per-region and per-resource busy sums, makespan, critical
+    /// path, and the merged busy-interval [`Timeline`] — so this is a plain
+    /// copy, not a re-derivation. The original full aggregation pass (one
+    /// scan over the task list rebuilding everything) moved to
+    /// [`oracle::aggregate`] next to the pre-timeline rescanners;
+    /// differential tests assert the snapshot and the re-aggregation agree
+    /// at every prefix of a growing graph.
     pub fn compute(graph: &TaskGraph) -> Schedule {
-        let mut timings: Vec<TaskTiming> = Vec::with_capacity(graph.len());
-        let mut region_busy: HashMap<Region, SimDuration> = HashMap::new();
-        let mut resource_busy: HashMap<Resource, SimDuration> = HashMap::new();
-        // Longest dependency chain ending at each task (critical path).
-        let mut chain: Vec<SimDuration> = Vec::with_capacity(graph.len());
-        // Per-resource busy intervals in insertion order (sorted + disjoint
-        // because each resource serializes its tasks).
-        let mut per_resource: HashMap<Resource, Vec<(SimTime, SimTime)>> = HashMap::new();
-
-        let mut makespan = SimDuration::ZERO;
-        for task in graph.tasks() {
-            let start = graph.task_start(task.id);
-            let finish = graph.task_finish(task.id);
-            *region_busy.entry(task.region).or_insert(SimDuration::ZERO) += task.duration;
-            *resource_busy
-                .entry(task.resource)
-                .or_insert(SimDuration::ZERO) += task.duration;
-
-            let dep_chain = task
-                .deps
-                .iter()
-                .map(|d| chain[d.index()])
-                .max()
-                .unwrap_or(SimDuration::ZERO);
-            chain.push(dep_chain + task.duration);
-
-            if finish.since(SimTime::ZERO) > makespan {
-                makespan = finish.since(SimTime::ZERO);
-            }
-            if !task.duration.is_zero() {
-                per_resource
-                    .entry(task.resource)
-                    .or_default()
-                    .push((start, finish));
-            }
-            timings.push(TaskTiming { start, finish });
-        }
-
-        let critical_path = chain.iter().copied().max().unwrap_or(SimDuration::ZERO);
-        let timeline = Timeline::build(per_resource.into_iter().collect());
-
         Schedule {
-            timings,
-            makespan,
-            region_busy,
-            resource_busy,
-            critical_path,
-            timeline,
+            timings: graph.timings(),
+            makespan: graph.makespan(),
+            region_busy: graph.region_busy_map().clone(),
+            resource_busy: graph.resource_busy_map().clone(),
+            critical_path: graph.critical_path(),
+            timeline: graph.timeline().clone(),
         }
     }
 
@@ -526,6 +628,65 @@ impl Schedule {
 #[cfg(any(test, feature = "oracle"))]
 pub mod oracle {
     use super::*;
+
+    /// The full aggregation pass that used to be `Schedule::compute`: one
+    /// scan over the task list re-deriving every aggregate (region/resource
+    /// busy sums, makespan, critical path) and re-merging all busy intervals
+    /// into a fresh [`Timeline`]. Timings are read from the graph (they are
+    /// authoritative for arrival-ordered tasks); everything downstream is
+    /// rebuilt from scratch. This is the O(n)-per-report recompute path the
+    /// incremental snapshot is measured against.
+    pub fn aggregate(graph: &TaskGraph) -> Schedule {
+        let mut timings: Vec<TaskTiming> = Vec::with_capacity(graph.len());
+        let mut region_busy: HashMap<Region, SimDuration> = HashMap::new();
+        let mut resource_busy: HashMap<Resource, SimDuration> = HashMap::new();
+        // Longest dependency chain ending at each task (critical path).
+        let mut chain: Vec<SimDuration> = Vec::with_capacity(graph.len());
+        // Per-resource busy intervals in insertion order (sorted + disjoint
+        // on an in-order serialized resource).
+        let mut per_resource: HashMap<Resource, Vec<(SimTime, SimTime)>> = HashMap::new();
+
+        let mut makespan = SimDuration::ZERO;
+        for task in graph.tasks() {
+            let start = graph.task_start(task.id);
+            let finish = graph.task_finish(task.id);
+            *region_busy.entry(task.region).or_insert(SimDuration::ZERO) += task.duration;
+            *resource_busy
+                .entry(task.resource)
+                .or_insert(SimDuration::ZERO) += task.duration;
+
+            let dep_chain = task
+                .deps
+                .iter()
+                .map(|d| chain[d.index()])
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            chain.push(dep_chain + task.duration);
+
+            if finish.since(SimTime::ZERO) > makespan {
+                makespan = finish.since(SimTime::ZERO);
+            }
+            if !task.duration.is_zero() {
+                per_resource
+                    .entry(task.resource)
+                    .or_default()
+                    .push((start, finish));
+            }
+            timings.push(TaskTiming { start, finish });
+        }
+
+        let critical_path = chain.iter().copied().max().unwrap_or(SimDuration::ZERO);
+        let timeline = Timeline::build(per_resource.into_iter().collect());
+
+        Schedule {
+            timings,
+            makespan,
+            region_busy,
+            resource_busy,
+            critical_path,
+            timeline,
+        }
+    }
 
     /// Recomputes every task's timing with the original scheduling
     /// recurrence (independent of the graph's incremental bookkeeping).
@@ -1011,6 +1172,139 @@ mod tests {
             g.add("t", resource, duration, region, &deps);
         }
         g
+    }
+
+    /// Incremental insertion must be indistinguishable from batch
+    /// construction: same merged intervals, same prefix sums, same coverage
+    /// deltas as a naive membership recomputation.
+    #[test]
+    fn incremental_insert_matches_batch_construction() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        for _round in 0..60 {
+            let n = rng.gen_range(0usize..60);
+            let mut incremental = IntervalSet::empty();
+            let mut all: Vec<(SimTime, SimTime)> = Vec::new();
+            for _ in 0..n {
+                let s = SimTime::from_ps(rng.gen_range(0u64..2_000));
+                let e = s + SimDuration::from_ps(rng.gen_range(0u64..300));
+                let mut fresh = Vec::new();
+                incremental.insert_with(s, e, Some(&mut fresh));
+                // The coverage delta equals [s, e) minus what was covered.
+                let before = IntervalSet::from_intervals(all.clone());
+                let expected: u64 = e
+                    .since(s)
+                    .as_ps()
+                    .saturating_sub(before.covered_in(s, e).as_ps());
+                let got: u64 = fresh.iter().map(|&(a, b)| b.since(a).as_ps()).sum();
+                assert_eq!(got, expected, "coverage delta for [{s}, {e})");
+                for w in fresh.windows(2) {
+                    assert!(w[0].1 <= w[1].0, "delta pieces must be disjoint+sorted");
+                }
+                all.push((s, e));
+                let batch = IntervalSet::from_intervals(all.clone());
+                assert_eq!(incremental.intervals(), batch.intervals());
+                assert_eq!(incremental.total(), batch.total());
+                let probe = SimTime::from_ps(rng.gen_range(0u64..2_500));
+                assert_eq!(
+                    incremental.covered_before(probe),
+                    batch.covered_before(probe)
+                );
+            }
+        }
+    }
+
+    /// Prefix replay: after **every** added task (in-order and
+    /// arrival-ordered alike), the O(1) snapshot (`Schedule::compute`) must
+    /// agree with the full re-aggregation pass (`oracle::aggregate`) on
+    /// timings, totals, and the merged timeline down to the exact interval
+    /// lists.
+    #[test]
+    fn prefix_replay_snapshot_matches_oracle_aggregation() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let in_order: [Resource; 4] = [
+            Resource::Cpu(0),
+            Resource::Cpu(1),
+            Resource::NdpUnit { device: 0, unit: 0 },
+            Resource::NdpUnit { device: 1, unit: 1 },
+        ];
+        let arrival: [Resource; 3] = [
+            Resource::Dispatcher(0),
+            Resource::IssueQueue { device: 0, unit: 0 },
+            Resource::IssueQueue { device: 0, unit: 1 },
+        ];
+        let regions = Region::all();
+        let mut rng = StdRng::seed_from_u64(77);
+        for _round in 0..15 {
+            let mut g = TaskGraph::new();
+            let tasks = rng.gen_range(1usize..90);
+            for i in 0..tasks {
+                let region = regions[rng.gen_range(0..regions.len())];
+                let duration = if rng.gen_range(0..8) == 0 {
+                    SimDuration::ZERO
+                } else {
+                    SimDuration::from_ps(rng.gen_range(1..4_000))
+                };
+                let mut deps = Vec::new();
+                if i > 0 {
+                    for _ in 0..rng.gen_range(0..3usize) {
+                        deps.push(TaskId(rng.gen_range(0..i)));
+                    }
+                    deps.sort_unstable();
+                    deps.dedup();
+                }
+                if rng.gen_bool(0.35) {
+                    let r = arrival[rng.gen_range(0..arrival.len())];
+                    g.add_arrival_ordered("t", r, duration, region, &deps);
+                } else {
+                    let r = in_order[rng.gen_range(0..in_order.len())];
+                    g.add("t", r, duration, region, &deps);
+                }
+                if rng.gen_range(0..4) != 0 && i != tasks - 1 {
+                    continue;
+                }
+                let snap = Schedule::compute(&g);
+                let full = oracle::aggregate(&g);
+                for t in 0..g.len() {
+                    assert_eq!(snap.timing(TaskId(t)), full.timing(TaskId(t)));
+                }
+                assert_eq!(snap.makespan(), full.makespan());
+                assert_eq!(snap.critical_path(), full.critical_path());
+                assert_eq!(snap.cpu_busy(), full.cpu_busy());
+                assert_eq!(snap.ndp_busy(), full.ndp_busy());
+                assert_eq!(snap.cpu_ndp_overlap(), full.cpu_ndp_overlap());
+                for r in Region::all() {
+                    assert_eq!(snap.region_time(r), full.region_time(r));
+                }
+                assert_eq!(snap.timeline().horizon(), full.timeline().horizon());
+                assert_eq!(
+                    snap.timeline().cpu().intervals(),
+                    full.timeline().cpu().intervals()
+                );
+                assert_eq!(
+                    snap.timeline().ndp().intervals(),
+                    full.timeline().ndp().intervals()
+                );
+                assert_eq!(
+                    snap.timeline().overlap().intervals(),
+                    full.timeline().overlap().intervals()
+                );
+                for (res, set) in full.timeline().resources() {
+                    let live = snap
+                        .timeline()
+                        .resource(res)
+                        .unwrap_or_else(|| panic!("{res} missing from the live timeline"));
+                    assert_eq!(live.intervals(), set.intervals(), "{res}");
+                    assert_eq!(live.total(), set.total(), "{res}");
+                }
+                assert_eq!(
+                    snap.timeline().resources().count(),
+                    full.timeline().resources().count()
+                );
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use crate::resource::Resource;
+use crate::schedule::{TaskTiming, Timeline};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a task within one [`TaskGraph`].
@@ -132,6 +133,22 @@ pub struct TaskGraph {
     /// arrival-ordered). Mixing disciplines on one resource would silently
     /// schedule overlapping tasks, so it is rejected.
     arrival_ordered: HashMap<Resource, bool>,
+    /// Incremental per-region busy sums (every task's duration, including
+    /// zero-length barriers, which contribute nothing but create the entry —
+    /// matching the oracle aggregation exactly).
+    region_busy: HashMap<Region, SimDuration>,
+    /// Incremental per-resource busy sums.
+    resource_busy: HashMap<Resource, SimDuration>,
+    /// Latest task finish (the makespan end), including zero-length tasks.
+    max_finish: SimTime,
+    /// Longest dependency chain ending at each task (same index as `tasks`).
+    chain: Vec<SimDuration>,
+    /// Running maximum of `chain` (the critical path).
+    critical_path: SimDuration,
+    /// Sum of all task durations (serial work).
+    total_work: SimDuration,
+    /// Incrementally merged busy-interval timeline of the schedule so far.
+    timeline: Timeline,
 }
 
 impl TaskGraph {
@@ -148,6 +165,39 @@ impl TaskGraph {
     /// True if the graph has no tasks.
     pub fn is_empty(&self) -> bool {
         self.tasks.is_empty()
+    }
+
+    /// Folds one just-scheduled task into the incrementally maintained
+    /// aggregates: region/resource busy sums, makespan, critical-path chain,
+    /// total work, and the merged busy-interval [`Timeline`]. Called by both
+    /// adders, so `Schedule::compute` is a snapshot rather than a rescan.
+    fn account(
+        &mut self,
+        resource: Resource,
+        duration: SimDuration,
+        region: Region,
+        deps: &[TaskId],
+        start: SimTime,
+        finish: SimTime,
+    ) {
+        *self.region_busy.entry(region).or_insert(SimDuration::ZERO) += duration;
+        *self
+            .resource_busy
+            .entry(resource)
+            .or_insert(SimDuration::ZERO) += duration;
+        self.max_finish = self.max_finish.max(finish);
+        let dep_chain = deps
+            .iter()
+            .map(|d| self.chain[d.0])
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let chain = dep_chain + duration;
+        self.critical_path = self.critical_path.max(chain);
+        self.chain.push(chain);
+        self.total_work += duration;
+        if !duration.is_zero() {
+            self.timeline.record(resource, start, finish);
+        }
     }
 
     /// Asserts one scheduling discipline per resource. Zero-duration tasks
@@ -214,6 +264,7 @@ impl TaskGraph {
         self.starts.push(start);
         self.finishes.push(finish);
         self.resource_free.insert(resource, finish);
+        self.account(resource, duration, region, deps, start, finish);
         self.tasks.push(Task {
             id,
             label,
@@ -290,6 +341,7 @@ impl TaskGraph {
         self.finishes.push(finish);
         let free = self.resource_free.entry(resource).or_insert(SimTime::ZERO);
         *free = (*free).max(finish);
+        self.account(resource, duration, region, deps, start, finish);
         self.tasks.push(Task {
             id,
             label,
@@ -349,18 +401,63 @@ impl TaskGraph {
         &self.tasks[id.0]
     }
 
-    /// Sum of the durations of all tasks (serial work).
+    /// Sum of the durations of all tasks (serial work) — O(1), maintained as
+    /// tasks are added.
     pub fn total_work(&self) -> SimDuration {
-        self.tasks.iter().map(|t| t.duration).sum()
+        self.total_work
     }
 
-    /// Sum of the durations of tasks in a given region.
+    /// Sum of the durations of tasks in a given region — O(1), maintained as
+    /// tasks are added.
     pub fn region_work(&self, region: Region) -> SimDuration {
-        self.tasks
+        self.region_busy
+            .get(&region)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Sum of the durations of tasks bound to one resource — O(1).
+    pub fn resource_work(&self, resource: Resource) -> SimDuration {
+        self.resource_busy
+            .get(&resource)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// End-to-end simulated time of the schedule so far (latest task finish,
+    /// including zero-length barriers) — O(1).
+    pub fn makespan(&self) -> SimDuration {
+        self.max_finish.since(SimTime::ZERO)
+    }
+
+    /// Length of the longest dependency chain so far — O(1).
+    pub fn critical_path(&self) -> SimDuration {
+        self.critical_path
+    }
+
+    /// The incrementally merged busy-interval timeline of the schedule so
+    /// far. Totals are O(1) reads; windowed queries are O(log n).
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Copies out every task's timing (used by the `Schedule` snapshot).
+    pub(crate) fn timings(&self) -> Vec<TaskTiming> {
+        self.starts
             .iter()
-            .filter(|t| t.region == region)
-            .map(|t| t.duration)
-            .sum()
+            .zip(&self.finishes)
+            .map(|(&start, &finish)| TaskTiming { start, finish })
+            .collect()
+    }
+
+    /// The incremental per-region busy sums (snapshot support).
+    pub(crate) fn region_busy_map(&self) -> &HashMap<Region, SimDuration> {
+        &self.region_busy
+    }
+
+    /// The incremental per-resource busy sums (snapshot support).
+    pub(crate) fn resource_busy_map(&self) -> &HashMap<Resource, SimDuration> {
+        &self.resource_busy
     }
 
     /// Appends another graph, offsetting its task ids, and making its first

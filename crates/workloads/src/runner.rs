@@ -39,6 +39,15 @@ pub enum Workload {
     Redis,
     /// PmemKV (B+-tree backend), pmemkv-bench input.
     Pmemkv,
+    /// Synthetic metadata-ops stream (beyond the paper): tiny 64 B updates
+    /// with minimal compute, so each offloaded primitive's device program is
+    /// dominated by metadata generation rather than DMA. The command rate
+    /// per unit of device work is the highest of any workload, which makes
+    /// the request-FIFO depth the binding resource — the fig21 sweep uses it
+    /// to expose the control path's depth-4/8 knee that the long unit
+    /// programs of memcached/redis hide. Not part of [`Workload::all`] (it
+    /// is not one of the paper's nine Table 4 workloads).
+    MetaOps,
 }
 
 impl Workload {
@@ -69,6 +78,7 @@ impl Workload {
             Workload::Memcached => "memcached",
             Workload::Redis => "redis",
             Workload::Pmemkv => "pmemkv",
+            Workload::MetaOps => "metaops",
         }
     }
 
@@ -87,6 +97,12 @@ impl Workload {
             Workload::Memcached => WorkloadSpec::new(self, 1700.0, &[(1, 1024), (1, 64)], 2048),
             Workload::Redis => WorkloadSpec::new(self, 1900.0, &[(1, 512), (2, 64)], 2048),
             Workload::Pmemkv => WorkloadSpec::new(self, 1100.0, &[(1, 512), (1, 256)], 4096),
+            // Pure metadata ops: one 64 B update behind ~150 ns of compute over a
+            // small (512-object) working set.
+            // The device program is a header write plus a single-cache-line
+            // copy, so commands arrive much faster than units drain work
+            // elsewhere — the FIFO, not the units, is what saturates.
+            Workload::MetaOps => WorkloadSpec::new(self, 150.0, &[(1, 64)], 512),
         }
     }
 }
@@ -279,6 +295,34 @@ impl Runner {
     /// Runs the workload, returning both the report and the system (for
     /// tests that want to inspect the persistent image afterwards).
     pub fn run_with_system(&self) -> Result<(RunReport, NearPmSystem)> {
+        self.run_with_system_observed(|_, _| {})
+    }
+
+    /// Runs the workload, sampling a mid-run [`RunReport`] every
+    /// `sample_every` operations via [`NearPmSystem::sample`] — the in-run
+    /// time-series driving. Sampling is pure observation (it only advances
+    /// the cached checker), so the final report is identical to an
+    /// unsampled run's; a differential test pins this.
+    pub fn run_sampled(
+        &self,
+        sample_every: usize,
+    ) -> Result<(Vec<RunReport>, RunReport, NearPmSystem)> {
+        let every = sample_every.max(1);
+        let mut samples = Vec::new();
+        let (report, sys) = self.run_with_system_observed(|sys, done| {
+            if done % every == 0 {
+                samples.push(sys.sample());
+            }
+        })?;
+        Ok((samples, report, sys))
+    }
+
+    /// [`Runner::run_with_system`] with an observation hook called after
+    /// every completed operation (`observe(&mut sys, ops_done)`).
+    pub fn run_with_system_observed(
+        &self,
+        mut observe: impl FnMut(&mut NearPmSystem, usize),
+    ) -> Result<(RunReport, NearPmSystem)> {
         let o = &self.options;
         let capacity: u64 = 96 << 20;
         let mut config = SystemConfig::for_mode(o.mode)
@@ -352,6 +396,7 @@ impl Runner {
         for op in 0..o.operations {
             let t = op % o.threads;
             self.run_one_op(&mut sys, &mut threads[t], t)?;
+            observe(&mut sys, op + 1);
         }
 
         // Close out open epochs so checkpointing work is fully accounted.
