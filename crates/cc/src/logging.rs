@@ -643,14 +643,12 @@ mod tests {
         let graph = sys.graph();
         let sync_finish = graph
             .tasks()
-            .iter()
             .filter(|t| t.label == "md-sync")
             .map(|t| graph.task_finish(t.id))
             .max()
             .expect("MD commit must post a delayed sync");
         let resets: Vec<_> = graph
             .tasks()
-            .iter()
             .filter(|t| t.label == "ndp-log-reset")
             .map(|t| t.id)
             .collect();

@@ -67,6 +67,11 @@ pub struct RunReport {
     pub overlap_fraction: f64,
     /// PPO violations detected in the trace (must be empty).
     pub ppo_violations: Vec<PpoViolation>,
+    /// Number of NDP persists to NDP-managed addresses that PPO allowed to
+    /// be delayed past CPU program order (Invariant 2's relaxation) — the
+    /// "relaxed persists" share that quantifies how much ordering freedom
+    /// the partitioned model granted this run.
+    pub relaxed_persists: usize,
     /// Number of trace events.
     pub trace_events: usize,
     /// Bytes moved by NearPM devices.
@@ -1048,6 +1053,7 @@ impl NearPmSystem {
             cpu_ndp_overlap,
             overlap_fraction,
             ppo_violations: self.trace.check(),
+            relaxed_persists: self.trace.relaxed_persist_count(),
             trace_events: self.trace.len(),
             ndp_bytes_moved,
             ndp_requests,
@@ -1086,6 +1092,7 @@ impl NearPmSystem {
             cpu_ndp_overlap: schedule.cpu_ndp_overlap(),
             overlap_fraction: schedule.overlap_fraction(),
             ppo_violations: nearpm_ppo::check_all(self.trace.trace()),
+            relaxed_persists: nearpm_ppo::relaxed_persist_count(self.trace.trace()),
             trace_events: self.trace.len(),
             ndp_bytes_moved,
             ndp_requests,

@@ -93,6 +93,15 @@ impl TraceBuilder {
         self.checker.consumed()
     }
 
+    /// Number of NDP persists to NDP-managed addresses that PPO allowed to
+    /// be delayed past CPU program order (Invariant 2's relaxation),
+    /// maintained incrementally alongside the cached checker — the same
+    /// answer as `nearpm_ppo::relaxed_persist_count` without rescanning the
+    /// trace.
+    pub fn relaxed_persist_count(&mut self) -> usize {
+        self.checker.relaxed_persist_count(&self.trace)
+    }
+
     /// Clears the trace and invalidates the cached checker index.
     pub fn reset(&mut self) {
         self.trace.clear();
@@ -103,7 +112,7 @@ impl TraceBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nearpm_sim::{LatencyModel, Region, Resource, Schedule};
+    use nearpm_sim::{LatencyModel, Region, Resource};
 
     fn two_task_graph() -> (TaskGraph, TaskId, TaskId) {
         let model = LatencyModel::default();
@@ -152,12 +161,11 @@ mod tests {
         );
         assert_eq!(tb.len(), 2);
 
-        // The eager timestamps equal what a full scheduling pass assigns:
-        // incremental timing is prefix-stable.
-        let schedule = Schedule::compute(&graph);
+        // The eager timestamps equal the graph's incrementally maintained
+        // finish times: incremental timing is prefix-stable.
         let events = tb.trace().events();
-        assert_eq!(events[0].timestamp_ps, schedule.timing(a).finish.as_ps());
-        assert_eq!(events[1].timestamp_ps, schedule.timing(b).finish.as_ps());
+        assert_eq!(events[0].timestamp_ps, graph.task_finish(a).as_ps());
+        assert_eq!(events[1].timestamp_ps, graph.task_finish(b).as_ps());
         assert!(events[0].timestamp_ps < events[1].timestamp_ps);
     }
 

@@ -717,8 +717,7 @@ mod tests {
         assert_eq!(dev.stats().requests, 1);
         assert_eq!(dev.stats().by_op["undolog_create"], 1);
         // Timing: the request occupies a dispatcher and a unit.
-        let s = Schedule::compute(&graph);
-        assert!(s.timing(exec.finish).finish > s.timing(exec.dispatch).start);
+        assert!(graph.task_finish(exec.finish) > graph.task_start(exec.dispatch));
     }
 
     #[test]
@@ -953,16 +952,15 @@ mod tests {
                 &[],
             )
             .unwrap();
-        let s = Schedule::compute(&graph);
-        let a_finish = s.timing(a.finish).finish;
+        let a_finish = graph.task_finish(a.finish);
         // Decode (and the dispatcher) retires long before A's DMA finishes…
         assert!(
-            s.timing(b.dispatch).finish < a_finish,
+            graph.task_finish(b.dispatch) < a_finish,
             "decode must not wait for the conflicting request"
         );
         // …while the issue stage (and so the execution) orders after it.
         assert!(
-            s.timing(b.issue).finish >= a_finish,
+            graph.task_finish(b.issue) >= a_finish,
             "the conflict wait must gate the issue stage"
         );
         assert_eq!(dev.stats().conflicts, 1);
@@ -1032,9 +1030,8 @@ mod tests {
         assert_eq!(dev.fifo_high_watermark(), 2);
         assert_eq!(dev.fifo_stalls(), 3, "requests 3-5 all found the FIFO full");
         assert!(dev.fifo_stall_time() > nearpm_sim::SimDuration::ZERO);
-        let s = Schedule::compute(&graph);
         // Request 2 (0-based) waits for request 0's decode to retire.
-        assert!(s.timing(execs[2].dispatch).start >= s.timing(execs[0].dispatch).finish);
+        assert!(graph.task_start(execs[2].dispatch) >= graph.task_finish(execs[0].dispatch));
     }
 
     /// Differential oracle: the pipelined and single-stage front-ends drive

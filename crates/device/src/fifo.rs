@@ -16,6 +16,7 @@
 //! backpressure, surfaced as stall time and a high-watermark instead of the
 //! queue being drained instantly.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
 use nearpm_sim::{SimDuration, SimTime, TaskId};
@@ -70,8 +71,112 @@ pub struct RequestFifo {
     /// ask "how full was the FIFO during `[from, to)`" for any window of the
     /// run (`fig_timeline`'s occupancy series).
     history: Vec<(SimTime, SimTime)>,
+    /// Lazily (re)built prefix/range-max structure over `history` answering
+    /// [`RequestFifo::occupancy_in`] in O(log m). Interior mutability keeps
+    /// the query `&self` (the whole report path is read-only); the cell is
+    /// invalidated whenever `history` grows.
+    occupancy_index: RefCell<OccupancyIndex>,
     stall_time: SimDuration,
     stalls: u64,
+}
+
+/// Sorted event list plus running-occupancy range-max tree over the full
+/// residency history.
+///
+/// The occupancy step function `f(t) = #{entries: arrival <= t < retire}`
+/// only changes at arrival/retirement instants. The index stores every
+/// instant sorted by `(time, delta)` — retirements before arrivals at the
+/// same instant, the admission model's tie rule — the running occupancy
+/// after each event, and a flat max segment tree over those running values.
+/// `max f(t) over [from, to)` is then `f(from)` (two binary searches over
+/// the sorted arrival/retire instants) joined with the range max of the
+/// running values at events strictly inside `(from, to)`: the maximum is
+/// always attained either at `from` or at an arrival event, and ties'
+/// intermediate running values never exceed the step function's value at
+/// either side of the instant, so the answer is exact.
+#[derive(Debug, Clone, Default)]
+struct OccupancyIndex {
+    /// History length this index was built from (`history.len()` at build
+    /// time; a shorter value marks the index stale).
+    built_len: usize,
+    /// Every arrival instant, sorted (ps).
+    arrivals: Vec<u64>,
+    /// Every retirement instant, sorted (ps).
+    retires: Vec<u64>,
+    /// All events sorted by `(time, delta)`; retirements (`-1`) order before
+    /// arrivals (`+1`) at the same instant.
+    events: Vec<(u64, i32)>,
+    /// Flat max segment tree of size `2 * events.len()`; leaf `i` holds the
+    /// running occupancy after `events[i]`.
+    tree: Vec<i32>,
+}
+
+impl OccupancyIndex {
+    fn rebuild(&mut self, history: &[(SimTime, SimTime)]) {
+        self.arrivals = history.iter().map(|&(a, _)| a.as_ps()).collect();
+        self.arrivals.sort_unstable();
+        self.retires = history.iter().map(|&(_, r)| r.as_ps()).collect();
+        self.retires.sort_unstable();
+        let mut events: Vec<(u64, i32)> = Vec::with_capacity(2 * history.len());
+        for &(a, r) in history {
+            events.push((a.as_ps(), 1));
+            events.push((r.as_ps(), -1));
+        }
+        events.sort_unstable_by_key(|&(t, d)| (t, d));
+        let n = events.len();
+        let mut tree = vec![i32::MIN; 2 * n];
+        let mut live = 0i32;
+        for (i, &(_, d)) in events.iter().enumerate() {
+            live += d;
+            tree[n + i] = live;
+        }
+        for i in (1..n).rev() {
+            tree[i] = tree[2 * i].max(tree[2 * i + 1]);
+        }
+        self.events = events;
+        self.tree = tree;
+        self.built_len = history.len();
+    }
+
+    /// Max of the running occupancy over event indices `[l, r)`.
+    fn range_max(&self, mut l: usize, mut r: usize) -> i32 {
+        let n = self.events.len();
+        l += n;
+        r += n;
+        let mut m = i32::MIN;
+        while l < r {
+            if l & 1 == 1 {
+                m = m.max(self.tree[l]);
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                m = m.max(self.tree[r]);
+            }
+            l >>= 1;
+            r >>= 1;
+        }
+        m
+    }
+
+    /// `max f(t) for t in [from, to)` — O(log m).
+    fn max_occupancy_in(&self, from: u64, to: u64) -> i32 {
+        // f(from): entries that arrived no later than `from` and whose
+        // front-end stage had not yet retired (`retire > from`, matching the
+        // sweep's retire-before-arrive tie rule).
+        let at_from = self.arrivals.partition_point(|&a| a <= from) as i32
+            - self.retires.partition_point(|&r| r <= from) as i32;
+        // The occupancy only rises at arrivals, so the window max beyond
+        // `from` lives at an event strictly inside `(from, to)`.
+        let l = self.events.partition_point(|&(t, _)| t <= from);
+        let r = self.events.partition_point(|&(t, _)| t < to);
+        let inside = if l < r {
+            self.range_max(l, r)
+        } else {
+            i32::MIN
+        };
+        at_from.max(inside)
+    }
 }
 
 /// How far behind the newest arrival an entry's retirement must lie before
@@ -92,6 +197,7 @@ impl RequestFifo {
             high_watermark: 0,
             window: Vec::new(),
             history: Vec::new(),
+            occupancy_index: RefCell::new(OccupancyIndex::default()),
             stall_time: SimDuration::ZERO,
             stalls: 0,
         }
@@ -194,12 +300,30 @@ impl RequestFifo {
     }
 
     /// Highest modeled occupancy reached within the simulated-time window
-    /// `[from, to)`: a line sweep over the full residency history, capped at
-    /// the physical depth (a stalled request waits on the control path, not
-    /// in the FIFO). O(H log H) in the *total* admitted requests — a
-    /// post-run analysis query, not a hot path; see the ROADMAP candidate
-    /// for a prefix structure if sampling ever wants a live column.
+    /// `[from, to)`, capped at the physical depth (a stalled request waits
+    /// on the control path, not in the FIFO).
+    ///
+    /// Answered from a prefix/range-max structure over the full residency
+    /// history ([`OccupancyIndex`]): O(log m) per window after a lazy O(m
+    /// log m) build amortized over all queries since the history last grew.
+    /// The original O(m log m)-per-window line sweep is preserved as
+    /// [`RequestFifo::occupancy_in_sweep`], the differential oracle.
     pub fn occupancy_in(&self, from: SimTime, to: SimTime) -> usize {
+        if to <= from {
+            return 0;
+        }
+        let mut index = self.occupancy_index.borrow_mut();
+        if index.built_len != self.history.len() {
+            index.rebuild(&self.history);
+        }
+        let max = index.max_occupancy_in(from.as_ps(), to.as_ps());
+        (max.max(0) as usize).min(self.depth)
+    }
+
+    /// The original per-window line sweep over the residency history —
+    /// O(m log m) per call. Kept as the reference oracle the indexed
+    /// [`RequestFifo::occupancy_in`] is differentially tested against.
+    pub fn occupancy_in_sweep(&self, from: SimTime, to: SimTime) -> usize {
         if to <= from {
             return 0;
         }
@@ -476,5 +600,60 @@ mod tests {
         assert_eq!(s.slot_dep, Some(a));
         assert_eq!(s.stalled, SimDuration::from_us(1.0));
         assert_eq!(f.stalls(), 1);
+    }
+
+    /// The indexed `occupancy_in` must agree with the original per-window
+    /// line sweep on randomized residency histories — including interleaved
+    /// queries and appends (the lazy index rebuilds when the history grows),
+    /// zero-length residencies, coincident arrival/retire instants (the
+    /// retire-before-arrive tie rule), windows outside the history, and the
+    /// depth cap.
+    #[test]
+    fn indexed_occupancy_matches_sweep_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for round in 0..40 {
+            let depth = rng.gen_range(1usize..6);
+            let mut f = RequestFifo::new(depth);
+            let entries = rng.gen_range(0usize..120);
+            for _ in 0..entries {
+                let arrival = rng.gen_range(0u64..3_000);
+                // Bias toward short residencies and allow coincident
+                // instants (retire == another entry's arrival).
+                let len = rng.gen_range(0u64..400);
+                f.history
+                    .push((SimTime::from_ps(arrival), SimTime::from_ps(arrival + len)));
+                // Interleave queries with appends so the lazy rebuild path
+                // (index stale after every push) is exercised too.
+                if rng.gen_range(0..8) == 0 {
+                    let from = SimTime::from_ps(rng.gen_range(0u64..4_000));
+                    let to = SimTime::from_ps(rng.gen_range(0u64..4_000));
+                    assert_eq!(
+                        f.occupancy_in(from, to),
+                        f.occupancy_in_sweep(from, to),
+                        "round {round} mid-build window [{from}, {to})"
+                    );
+                }
+            }
+            for _ in 0..60 {
+                let from = SimTime::from_ps(rng.gen_range(0u64..4_000));
+                let to = SimTime::from_ps(rng.gen_range(0u64..4_000));
+                assert_eq!(
+                    f.occupancy_in(from, to),
+                    f.occupancy_in_sweep(from, to),
+                    "round {round} window [{from}, {to})"
+                );
+            }
+            // Degenerate and boundary windows.
+            let zero = SimTime::ZERO;
+            let far = SimTime::from_ps(1 << 40);
+            assert_eq!(f.occupancy_in(far, zero), 0);
+            assert_eq!(
+                f.occupancy_in(zero, far),
+                f.occupancy_in_sweep(zero, far),
+                "round {round} full-history window"
+            );
+        }
     }
 }

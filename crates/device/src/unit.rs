@@ -189,7 +189,6 @@ impl NearPmUnit {
 mod tests {
     use super::*;
     use nearpm_pm::VirtAddr;
-    use nearpm_sim::Schedule;
 
     #[test]
     fn copy_moves_bytes_and_emits_task() {
@@ -211,8 +210,7 @@ mod tests {
         );
         assert_eq!(space.read_vec(PhysAddr(0x4000), 128), vec![7; 128]);
         assert_eq!(unit.stats().bytes_copied, 128);
-        let schedule = Schedule::compute(&graph);
-        assert!(schedule.timing(t).finish.as_ns() > 0.0);
+        assert!(graph.task_finish(t).as_ns() > 0.0);
         assert_eq!(unit.resource(), Resource::NdpUnit { device: 0, unit: 1 });
     }
 

@@ -137,6 +137,16 @@ fn assert_checkers_agree(t: &Trace, seed: u64) {
         oracle::relaxed_persist_count(t),
         "relaxed persist count diverged (seed {seed})"
     );
+    // The parallel checker must produce the *identical* violation list (same
+    // contents, same order) at every worker count, including the degenerate
+    // single-worker pool.
+    for workers in [1, 2, 4] {
+        assert_eq!(
+            invariants::check_all_parallel(t, workers),
+            oracle::check_all(t),
+            "parallel check_all diverged (seed {seed}, workers {workers})"
+        );
+    }
     // The cached incremental index must agree when fed the whole trace at
     // once...
     let mut cache = IncrementalTraceIndex::new();
@@ -291,6 +301,14 @@ fn incrementally_extended_index_matches_full_rebuild_at_every_prefix() {
                 full,
                 oracle::check_all(&replay),
                 "oracle prefix (seed {seed})"
+            );
+            // The incrementally maintained relaxed-persist count must match
+            // the two-pass recompute at every prefix (late CPU accesses
+            // lowering the threshold retroactively count old persists here).
+            assert_eq!(
+                checker.relaxed_persist_count(&replay),
+                invariants::relaxed_persist_count(&replay),
+                "relaxed-count prefix of {i} events diverged (seed {seed})"
             );
         }
         assert_eq!(cache.consumed(), t.len());

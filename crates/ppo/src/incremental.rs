@@ -99,6 +99,19 @@ pub struct IncrementalChecker {
     recovery_reads: Vec<u32>,
     /// Recovery verdicts, keyed by read index.
     recovery_violations: BTreeMap<u32, PpoViolation>,
+
+    // --- Relaxed-persist counter ---
+    /// Earliest timestamp of a CPU read/write with program order > 0 — the
+    /// threshold [`crate::relaxed_persist_count`] compares every NDP-managed
+    /// persist against. Only ever decreases as events are folded.
+    rpc_min_cpu_ts: Option<u64>,
+    /// Multiset of NDP-managed NDP persist timestamps, so a decrease of the
+    /// threshold can count exactly the persists that newly pass it (each
+    /// persist crosses the threshold at most once over the checker's
+    /// lifetime, so maintenance is amortized O(log n) per event).
+    rpc_persists: BTreeMap<u64, u32>,
+    /// Current relaxed-persist count for the folded prefix.
+    rpc_count: usize,
 }
 
 impl IncrementalChecker {
@@ -123,6 +136,29 @@ impl IncrementalChecker {
     /// [`crate::check_all`]. Detects a trace reset (shrink or generation
     /// change) and rebuilds from scratch.
     pub fn check(&mut self, trace: &Trace) -> Vec<PpoViolation> {
+        self.sync_with(trace);
+        self.ordering
+            .values()
+            .chain(self.sync_violations.values())
+            .chain(self.recovery_violations.values())
+            .cloned()
+            .collect()
+    }
+
+    /// The trace's relaxed-persist count — NDP persists to NDP-managed
+    /// addresses delayed past the earliest CPU access — maintained
+    /// incrementally alongside the invariant state: equal to
+    /// [`crate::relaxed_persist_count`] over the current trace, for O(new
+    /// events · log n) work per call instead of a full O(n) recompute.
+    pub fn relaxed_persist_count(&mut self, trace: &Trace) -> usize {
+        self.sync_with(trace);
+        self.rpc_count
+    }
+
+    /// Detects a trace reset and folds the events appended since the
+    /// previous call (shared gate of [`IncrementalChecker::check`] and
+    /// [`IncrementalChecker::relaxed_persist_count`]).
+    fn sync_with(&mut self, trace: &Trace) {
         if trace.len() < self.consumed || trace.generation() != self.generation {
             self.reset();
             self.generation = trace.generation();
@@ -132,12 +168,6 @@ impl IncrementalChecker {
             self.fold(trace, lo);
             self.consumed = trace.len();
         }
-        self.ordering
-            .values()
-            .chain(self.sync_violations.values())
-            .chain(self.recovery_violations.values())
-            .cloned()
-            .collect()
     }
 
     /// Folds `trace.events()[lo..]` into every invariant's state.
@@ -145,13 +175,53 @@ impl IncrementalChecker {
         let events = trace.events();
         let failure_before = self.index.failure_ts();
 
+        // Relaxed-persist counter: lower the CPU-access threshold first
+        // (counting the already-indexed persists the lowered threshold newly
+        // passes), then count the batch's NDP-managed persists against the
+        // new threshold — together that reproduces the whole-trace count.
+        let old_min = self.rpc_min_cpu_ts;
+        let mut new_min = old_min;
+        for e in &events[lo..] {
+            if e.agent == Agent::Cpu
+                && matches!(e.kind, EventKind::Write | EventKind::Read)
+                && e.program_order > 0
+                && new_min.is_none_or(|m| e.timestamp_ps < m)
+            {
+                new_min = Some(e.timestamp_ps);
+            }
+        }
+        if new_min != old_min {
+            let nm = new_min.expect("threshold only appears or decreases");
+            let upper = match old_min {
+                Some(om) => Bound::Included(om),
+                None => Bound::Unbounded,
+            };
+            self.rpc_count += self
+                .rpc_persists
+                .range((Bound::Excluded(nm), upper))
+                .map(|(_, &mult)| mult as usize)
+                .sum::<usize>();
+            self.rpc_min_cpu_ts = new_min;
+        }
+        for e in &events[lo..] {
+            if e.agent.is_ndp() && e.kind == EventKind::Persist && e.sharing == Sharing::NdpManaged
+            {
+                *self.rpc_persists.entry(e.timestamp_ps).or_insert(0) += 1;
+                if self.rpc_min_cpu_ts.is_some_and(|m| m < e.timestamp_ps) {
+                    self.rpc_count += 1;
+                }
+            }
+        }
+
         // Procedures whose *first* offload event arrives in this batch:
-        // their parked accesses become checkable below.
+        // their parked accesses become checkable below. Dedup through a set
+        // — a million-offload batch makes `Vec::contains` quadratic.
         let mut gained: Vec<ProcId> = Vec::new();
+        let mut gained_set: HashSet<ProcId> = HashSet::new();
         for e in &events[lo..] {
             if e.kind == EventKind::Offload && e.agent == Agent::Cpu {
                 if let Some(p) = e.proc {
-                    if self.index.offload_po(p).is_none() && !gained.contains(&p) {
+                    if self.index.offload_po(p).is_none() && gained_set.insert(p) {
                         gained.push(p);
                     }
                 }
@@ -393,23 +463,52 @@ impl IncrementalChecker {
     /// Evaluates one NDP shared access against the full CPU indexes, or
     /// parks it with a `MissingOffload` verdict if its procedure has no
     /// offload event yet.
+    ///
+    /// The pair loop is the fold's hottest code — on dense traces one NDP
+    /// access can be comparable with hundreds of CPU accesses — so the
+    /// per-event facts (the NDP event itself, its procedure's offload
+    /// program order) are resolved once up front and the verdicts stream
+    /// straight out of the index walk, instead of paying an offload-table
+    /// hash lookup and an extra `events` fetch per pair the way
+    /// [`IncrementalChecker::evaluate_pair`] does.
     fn check_ndp_event(&mut self, events: &[PpoEvent], ndp_id: u32) {
         let ndp = &events[ndp_id as usize];
         let Some(proc) = ndp.proc else {
             return; // no procedure: the oracle skips it entirely
         };
-        if self.index.offload_po(proc).is_none() {
+        let Some(off_po) = self.index.offload_po(proc) else {
             self.parked_no_offload.entry(proc).or_default().push(ndp_id);
             self.parked_events.insert(ndp_id);
             self.ordering
                 .insert((ndp_id, 0), PpoViolation::MissingOffload { proc });
             return;
-        }
-        let mut ids = Vec::new();
+        };
+        let mut violating: Vec<(u32, PpoViolation)> = Vec::new();
         self.index
-            .for_each_comparable_cpu_id(ndp.kind, ndp.interval, |id| ids.push(id));
-        for cpu_id in ids {
-            self.evaluate_pair(events, ndp_id, cpu_id);
+            .for_each_comparable_cpu_id(ndp.kind, ndp.interval, |cpu_id| {
+                let cpu = &events[cpu_id as usize];
+                let cpu_before_offload = cpu.program_order < off_po;
+                let ok = if cpu_before_offload {
+                    cpu.timestamp_ps <= ndp.timestamp_ps
+                } else {
+                    ndp.timestamp_ps <= cpu.timestamp_ps
+                };
+                if !ok {
+                    violating.push((
+                        cpu_id,
+                        PpoViolation::SharedOrderViolation {
+                            proc,
+                            cpu_interval: cpu.interval,
+                            ndp_interval: ndp.interval,
+                            cpu_ts: cpu.timestamp_ps,
+                            ndp_ts: ndp.timestamp_ps,
+                            cpu_before_offload,
+                        },
+                    ));
+                }
+            });
+        for (cpu_id, v) in violating {
+            self.ordering.insert((ndp_id, cpu_id), v);
         }
     }
 

@@ -28,6 +28,7 @@
 use std::collections::HashMap;
 
 use crate::event::{Agent, EventKind, Interval, PpoEvent, ProcId, Trace};
+use crate::pool::WorkerPool;
 
 /// One indexed interval with an attached value (usually a timestamp) and the
 /// index of the originating event in the trace.
@@ -252,15 +253,29 @@ pub struct IncrementalIntervalIndex {
     levels: Vec<IntervalIndex>,
 }
 
+/// Geometric separation enforced between adjacent levels: a trailing level
+/// is merged into an incoming batch unless it is more than `MERGE_RATIO`
+/// times larger. Ratio-1 (the textbook construction) keeps sizes merely
+/// strictly decreasing, which let long-lived sampling runs accumulate ~17
+/// levels by 120k events — and the level count is a direct multiplier on
+/// every query. Ratio-4 caps the stack at ⌈log₄ n⌉+1 levels (≤ 11 at 1M
+/// items) while keeping insertion amortized: each merge grows an item's
+/// level by ≥ 1 + 1/MERGE_RATIO, so an item is rebuilt O(log n) times.
+const MERGE_RATIO: usize = 4;
+
 impl IncrementalIntervalIndex {
-    /// Appends a batch of items, collapsing smaller levels into it.
+    /// Appends a batch of items, collapsing levels into it under the
+    /// logarithmic-merge discipline: every trailing level no larger than
+    /// `MERGE_RATIO` times the accumulated batch is absorbed, so the
+    /// remaining levels stay geometrically separated and the level count is
+    /// bounded by log base `MERGE_RATIO` of the total size.
     fn insert_batch(&mut self, mut items: Vec<Item>) {
         items.retain(|it| it.end > it.start);
         if items.is_empty() {
             return;
         }
         while let Some(last) = self.levels.last() {
-            if last.len() <= items.len() {
+            if last.len() <= items.len().saturating_mul(MERGE_RATIO) {
                 let level = self.levels.pop().expect("checked non-empty");
                 items.extend(level.take_items());
             } else {
@@ -579,6 +594,19 @@ pub struct TraceIndex<'a> {
 impl<'a> TraceIndex<'a> {
     /// Builds the index in one pass over the trace (plus sorts).
     pub fn new(trace: &'a Trace) -> Self {
+        Self::build_with(trace, &WorkerPool::new(1))
+    }
+
+    /// [`TraceIndex::new`] with the per-category and per-agent
+    /// [`IntervalIndex`] constructions (the O(n log n) sorts that dominate
+    /// the build) run as independent jobs on `pool`. The categorization pass
+    /// stays serial and each index is built from the same item list in the
+    /// same order, so the resulting index is identical to the serial build.
+    pub fn new_parallel(trace: &'a Trace, pool: &WorkerPool) -> Self {
+        Self::build_with(trace, pool)
+    }
+
+    fn build_with(trace: &'a Trace, pool: &WorkerPool) -> Self {
         let events = trace.events();
         let failure_ts = trace.failure_time();
 
@@ -631,26 +659,45 @@ impl<'a> TraceIndex<'a> {
             }
         }
 
+        // Every IntervalIndex::build below is independent; hand them to the
+        // pool as one job list (fixed slots first, then the per-agent persist
+        // indexes in agent order) and unpack in the same order.
+        let mut agent_keys: Vec<Agent> = agent_persists.keys().copied().collect();
+        agent_keys.sort_unstable();
+        let mut inputs: Vec<Vec<Item>> = vec![
+            cpu_reads,
+            cpu_writes,
+            cpu_persists,
+            writes_pre,
+            persists_pre,
+        ];
+        for a in &agent_keys {
+            inputs.push(agent_persists.remove(a).expect("key from this map"));
+        }
+        let mut built = pool
+            .scoped_map(
+                inputs
+                    .into_iter()
+                    .map(|items| move || IntervalIndex::build(items))
+                    .collect(),
+            )
+            .into_iter();
+        let mut next = || built.next().expect("one index per job");
+        let (cpu_shared_reads, cpu_shared_writes, cpu_shared_persists) = (next(), next(), next());
+        let (writes_before_failure, persists_before_failure) = (next(), next());
         TraceIndex {
             trace,
             offload_po,
-            cpu_shared_reads: IntervalIndex::build(cpu_reads),
-            cpu_shared_writes: IntervalIndex::build(cpu_writes),
-            cpu_shared_persists: IntervalIndex::build(cpu_persists),
-            agents: agent_persists
+            cpu_shared_reads,
+            cpu_shared_writes,
+            cpu_shared_persists,
+            agents: agent_keys
                 .into_iter()
-                .map(|(a, items)| {
-                    (
-                        a,
-                        AgentIndex {
-                            persists: IntervalIndex::build(items),
-                        },
-                    )
-                })
+                .map(|a| (a, AgentIndex { persists: next() }))
                 .collect(),
             failure_ts,
-            writes_before_failure: IntervalIndex::build(writes_pre),
-            persists_before_failure: IntervalIndex::build(persists_pre),
+            writes_before_failure,
+            persists_before_failure,
         }
     }
 
@@ -849,6 +896,103 @@ mod tests {
         let idx = index_of(&[(10, 0, 5)]);
         assert!(idx.is_empty());
         assert!(!idx.any_overlap(iv(0, 100)));
+    }
+
+    /// The logarithmic-merge discipline keeps the level count bounded by
+    /// log base `MERGE_RATIO` even under the worst case for the old ratio-1
+    /// rule: a long stream of tiny batches. Queries must stay exact.
+    #[test]
+    fn incremental_levels_stay_compact_under_small_batches() {
+        let mut inc = IncrementalIntervalIndex::default();
+        let mut naive: Vec<(u64, u64, u64)> = Vec::new();
+        let n: usize = 2000;
+        for i in 0..n as u64 {
+            let (start, len, value) = (i * 7 % 509, 1 + i % 37, 1000 + i);
+            inc.extend_items(vec![(iv(start, len), value, i as u32)]);
+            naive.push((start, len, value));
+        }
+        assert_eq!(inc.len(), n);
+        // ⌈log₄ 2000⌉ + 1 = 7; the old discipline reached ~log₂ 2000 = 11.
+        let bound = {
+            let mut levels = 0usize;
+            let mut size = 1usize;
+            while size < n {
+                size *= MERGE_RATIO;
+                levels += 1;
+            }
+            levels + 1
+        };
+        assert!(
+            inc.level_count() <= bound,
+            "{} levels exceeds the log₄ bound {bound}",
+            inc.level_count()
+        );
+        for q in 0..120u64 {
+            let query = iv(q * 5 % 520, 1 + q % 50);
+            let mut got = Vec::new();
+            inc.for_each_overlap(query, |id| got.push(id));
+            got.sort_unstable();
+            let want: Vec<u32> = naive
+                .iter()
+                .enumerate()
+                .filter(|(_, &(s, l, _))| iv(s, l).overlaps(&query))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(got, want, "query {query:?}");
+            assert_eq!(inc.any_overlap(query), !want.is_empty());
+            let want_min = naive
+                .iter()
+                .filter(|&&(s, l, _)| iv(s, l).overlaps(&query))
+                .map(|&(_, _, v)| v)
+                .min();
+            assert_eq!(inc.min_value_overlapping(query), want_min);
+        }
+    }
+
+    #[test]
+    fn parallel_trace_index_build_matches_serial() {
+        use crate::pool::WorkerPool;
+        let mut t = Trace::new(3);
+        for i in 0..400u64 {
+            let agent = match i % 4 {
+                0 => Agent::Cpu,
+                a => Agent::Ndp(a as usize - 1),
+            };
+            let kind = match i % 3 {
+                0 => EventKind::Write,
+                1 => EventKind::Persist,
+                _ => EventKind::Read,
+            };
+            let sharing = if i % 2 == 0 {
+                Sharing::Shared
+            } else {
+                Sharing::NdpManaged
+            };
+            t.record(agent, kind, iv(i * 13 % 997, 8), sharing, None, None, i * 3);
+        }
+        let serial = TraceIndex::new(&t);
+        for workers in [1, 2, 4] {
+            let par = TraceIndex::new_parallel(&t, &WorkerPool::new(workers));
+            for q in 0..60u64 {
+                let query = iv(q * 17 % 1000, 16);
+                let collect = |idx: &TraceIndex<'_>, kind: EventKind| {
+                    let mut ids = Vec::new();
+                    idx.for_each_comparable_cpu_access(kind, query, |e| {
+                        ids.push((e.timestamp_ps, e.interval))
+                    });
+                    ids
+                };
+                for kind in [EventKind::Read, EventKind::Write, EventKind::Persist] {
+                    assert_eq!(collect(&serial, kind), collect(&par, kind));
+                }
+                for a in [Agent::Ndp(0), Agent::Ndp(1), Agent::Ndp(2)] {
+                    assert_eq!(
+                        serial.earliest_persist_by(a, query),
+                        par.earliest_persist_by(a, query)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::ops::Bound;
 use crate::event::{Agent, EventKind, Interval, ProcId, Sharing, Trace};
 use crate::incremental::IncrementalChecker;
 use crate::index::{IncrementalTraceIndex, PpoIndexQueries, TraceIndex};
+use crate::pool::WorkerPool;
 
 /// A detected violation of a PPO invariant.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,6 +115,34 @@ pub fn check_all_indexed(idx: &TraceIndex<'_>) -> Vec<PpoViolation> {
     v.extend(check_sync_persistence_indexed(idx));
     v.extend(check_recovery_reads_indexed(idx));
     v
+}
+
+/// [`check_all`] on a scoped worker pool: the per-category/per-agent index
+/// builds run in parallel ([`TraceIndex::new_parallel`]), then the invariant
+/// passes — Invariants 1/2 (ordering, including `MissingOffload`),
+/// Invariant 3 (persist-before-sync), Invariant 4 (recovery reads) — run as
+/// independent jobs. Each pass is internally unchanged and the pool returns
+/// outputs in job order, so the concatenated list is **element-for-element
+/// equal** to [`check_all`] at every worker count (including 1, where this
+/// degrades to the serial path on the calling thread). The serial checker is
+/// retained as the differential oracle.
+pub fn check_all_parallel(trace: &Trace, workers: usize) -> Vec<PpoViolation> {
+    let pool = WorkerPool::new(workers);
+    let idx = TraceIndex::new_parallel(trace, &pool);
+    check_all_indexed_parallel(&idx, &pool)
+}
+
+/// [`check_all_parallel`] against a pre-built index: the three invariant
+/// passes run as pool jobs, concatenated in the serial order
+/// (ordering ++ sync ++ recovery).
+pub fn check_all_indexed_parallel(idx: &TraceIndex<'_>, pool: &WorkerPool) -> Vec<PpoViolation> {
+    type Pass<'j> = Box<dyn FnOnce() -> Vec<PpoViolation> + Send + 'j>;
+    let passes: Vec<Pass<'_>> = vec![
+        Box::new(|| check_cpu_ndp_ordering_indexed(idx)),
+        Box::new(|| check_sync_persistence_indexed(idx)),
+        Box::new(|| check_recovery_reads_indexed(idx)),
+    ];
+    pool.scoped_map(passes).into_iter().flatten().collect()
 }
 
 /// [`check_all`] against a cached [`IncrementalChecker`]: only the events

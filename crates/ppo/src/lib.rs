@@ -53,6 +53,7 @@ pub mod event;
 pub mod incremental;
 pub mod index;
 pub mod invariants;
+pub mod pool;
 pub mod statemachine;
 
 pub use event::{Agent, EventKind, Interval, PpoEvent, ProcId, Sharing, SyncId, Trace};
@@ -61,9 +62,10 @@ pub use index::{
     IncrementalIntervalIndex, IncrementalTraceIndex, IntervalIndex, PpoIndexQueries, TraceIndex,
 };
 pub use invariants::{
-    check_all, check_all_cached, check_all_indexed, check_all_with_index_cache,
-    check_cpu_ndp_ordering, check_cpu_ndp_ordering_indexed, check_recovery_reads,
-    check_recovery_reads_indexed, check_sync_persistence, check_sync_persistence_indexed,
-    relaxed_persist_count, PpoViolation,
+    check_all, check_all_cached, check_all_indexed, check_all_indexed_parallel, check_all_parallel,
+    check_all_with_index_cache, check_cpu_ndp_ordering, check_cpu_ndp_ordering_indexed,
+    check_recovery_reads, check_recovery_reads_indexed, check_sync_persistence,
+    check_sync_persistence_indexed, relaxed_persist_count, PpoViolation,
 };
+pub use pool::WorkerPool;
 pub use statemachine::{MultiDeviceSync, SyncError, SyncInput, SyncState, SyncStateMachine};

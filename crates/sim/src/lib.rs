@@ -10,8 +10,9 @@
 //! * [`Resource`] / [`Topology`] — the exclusive execution resources of the
 //!   platform: CPU threads, NearPM units, per-device dispatchers, and the
 //!   host↔device control path.
-//! * [`TaskGraph`] / [`Task`] / [`Region`] — the task-DAG representation that
-//!   every crash-consistency operation and application step is lowered to.
+//! * [`TaskGraph`] / [`TaskRef`] / [`Region`] — the task-DAG representation
+//!   (a struct-of-arrays arena) that every crash-consistency operation and
+//!   application step is lowered to.
 //! * [`Schedule`] — the deterministic list scheduler and its analysis
 //!   (makespan, per-region breakdown, CPU/NDP overlap, critical path).
 //! * [`stats`] — mean / standard deviation / geometric-mean summaries used by
@@ -72,5 +73,5 @@ pub use latency::{LatencyModel, CACHE_LINE, PM_PAGE};
 pub use resource::{Resource, Topology};
 pub use schedule::{IntervalSet, Schedule, TaskTiming, Timeline};
 pub use stats::Summary;
-pub use task::{Region, Task, TaskGraph, TaskId};
+pub use task::{Region, TaskGraph, TaskId, TaskRef};
 pub use time::{SimDuration, SimTime};

@@ -37,7 +37,7 @@
 use std::collections::HashMap;
 
 use crate::resource::Resource;
-use crate::task::{Region, TaskGraph, TaskId};
+use crate::task::{Region, TaskGraph};
 use crate::time::{SimDuration, SimTime};
 
 /// Start/finish assignment for one task.
@@ -485,7 +485,6 @@ impl Timeline {
 /// The result of scheduling a task graph.
 #[derive(Debug, Clone)]
 pub struct Schedule {
-    timings: Vec<TaskTiming>,
     makespan: SimDuration,
     region_busy: HashMap<Region, SimDuration>,
     resource_busy: HashMap<Resource, SimDuration>,
@@ -497,27 +496,24 @@ impl Schedule {
     /// Snapshots `graph`'s **incrementally maintained** schedule state.
     ///
     /// The graph keeps every aggregate up to date as tasks are added —
-    /// timings, per-region and per-resource busy sums, makespan, critical
-    /// path, and the merged busy-interval [`Timeline`] — so this is a plain
-    /// copy, not a re-derivation. The original full aggregation pass (one
-    /// scan over the task list rebuilding everything) moved to
-    /// [`oracle::aggregate`] next to the pre-timeline rescanners;
-    /// differential tests assert the snapshot and the re-aggregation agree
-    /// at every prefix of a growing graph.
+    /// per-region and per-resource busy sums, makespan, critical path, and
+    /// the merged busy-interval [`Timeline`] — so this is a plain copy, not
+    /// a re-derivation. The snapshot is **timings-free**: it no longer
+    /// copies the per-task start/finish vectors (an O(n) allocation per
+    /// snapshot at million-task scale); per-task timings stay with the graph
+    /// ([`TaskGraph::task_start`] / [`TaskGraph::task_finish`]). The
+    /// original full aggregation pass (one scan over the task list
+    /// rebuilding everything) moved to [`oracle::aggregate`] next to the
+    /// pre-timeline rescanners; differential tests assert the snapshot and
+    /// the re-aggregation agree at every prefix of a growing graph.
     pub fn compute(graph: &TaskGraph) -> Schedule {
         Schedule {
-            timings: graph.timings(),
             makespan: graph.makespan(),
             region_busy: graph.region_busy_map().clone(),
             resource_busy: graph.resource_busy_map().clone(),
             critical_path: graph.critical_path(),
             timeline: graph.timeline().clone(),
         }
-    }
-
-    /// Timing of a specific task.
-    pub fn timing(&self, id: TaskId) -> TaskTiming {
-        self.timings[id.index()]
     }
 
     /// End-to-end simulated time (completion of the last task).
@@ -637,7 +633,6 @@ pub mod oracle {
     /// rebuilt from scratch. This is the O(n)-per-report recompute path the
     /// incremental snapshot is measured against.
     pub fn aggregate(graph: &TaskGraph) -> Schedule {
-        let mut timings: Vec<TaskTiming> = Vec::with_capacity(graph.len());
         let mut region_busy: HashMap<Region, SimDuration> = HashMap::new();
         let mut resource_busy: HashMap<Resource, SimDuration> = HashMap::new();
         // Longest dependency chain ending at each task (critical path).
@@ -672,14 +667,12 @@ pub mod oracle {
                     .or_default()
                     .push((start, finish));
             }
-            timings.push(TaskTiming { start, finish });
         }
 
         let critical_path = chain.iter().copied().max().unwrap_or(SimDuration::ZERO);
         let timeline = Timeline::build(per_resource.into_iter().collect());
 
         Schedule {
-            timings,
             makespan,
             region_busy,
             resource_busy,
@@ -765,7 +758,6 @@ pub mod oracle {
     ) -> Vec<(SimTime, SimTime)> {
         graph
             .tasks()
-            .iter()
             .filter(|t| !t.duration.is_zero() && keep(t.resource))
             .map(|t| (timings[t.id.index()].start, timings[t.id.index()].finish))
             .collect()
@@ -805,7 +797,6 @@ pub mod oracle {
     pub fn region_time(graph: &TaskGraph, region: Region) -> SimDuration {
         graph
             .tasks()
-            .iter()
             .filter(|t| t.region == region)
             .map(|t| t.duration)
             .sum()
@@ -815,7 +806,6 @@ pub mod oracle {
     pub fn resource_time(graph: &TaskGraph, resource: Resource) -> SimDuration {
         graph
             .tasks()
-            .iter()
             .filter(|t| t.resource == resource)
             .map(|t| t.duration)
             .sum()
@@ -913,7 +903,7 @@ pub mod oracle {
 mod tests {
     use super::*;
     use crate::resource::Resource;
-    use crate::task::{Region, TaskGraph};
+    use crate::task::{Region, TaskGraph, TaskId};
     use crate::time::SimDuration;
 
     fn ns(x: f64) -> SimDuration {
@@ -978,7 +968,7 @@ mod tests {
         let n = g.add("ndp-log", UNIT0, ns(50.0), Region::CcDataMovement, &[]);
         let u = g.add("cpu-update", CPU, ns(10.0), Region::AppPersist, &[n]);
         let s = Schedule::compute(&g);
-        assert!((s.timing(u).start.as_ns() - 50.0).abs() < 1e-9);
+        assert!((g.task_start(u).as_ns() - 50.0).abs() < 1e-9);
         assert!((s.makespan().as_ns() - 60.0).abs() < 1e-9);
         assert_eq!(s.cpu_ndp_overlap(), SimDuration::ZERO);
     }
@@ -991,7 +981,7 @@ mod tests {
         let j = g.barrier("join", CPU, &[a, b]);
         let c = g.add("commit", CPU, ns(10.0), Region::CcCommit, &[j]);
         let s = Schedule::compute(&g);
-        assert!((s.timing(c).start.as_ns() - 70.0).abs() < 1e-9);
+        assert!((g.task_start(c).as_ns() - 70.0).abs() < 1e-9);
         assert!((s.makespan().as_ns() - 80.0).abs() < 1e-9);
     }
 
@@ -1267,9 +1257,6 @@ mod tests {
                 }
                 let snap = Schedule::compute(&g);
                 let full = oracle::aggregate(&g);
-                for t in 0..g.len() {
-                    assert_eq!(snap.timing(TaskId(t)), full.timing(TaskId(t)));
-                }
                 assert_eq!(snap.makespan(), full.makespan());
                 assert_eq!(snap.critical_path(), full.critical_path());
                 assert_eq!(snap.cpu_busy(), full.cpu_busy());
@@ -1320,7 +1307,8 @@ mod tests {
 
             // Incremental timings match the original recurrence exactly.
             for (i, t) in oracle_timings.iter().enumerate() {
-                assert_eq!(s.timing(TaskId(i)), *t, "round {round} task {i}");
+                assert_eq!(g.task_start(TaskId(i)), t.start, "round {round} task {i}");
+                assert_eq!(g.task_finish(TaskId(i)), t.finish, "round {round} task {i}");
             }
 
             // Aggregate answers match the per-query rescans.

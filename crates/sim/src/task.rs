@@ -2,15 +2,26 @@
 //!
 //! Every operation in the system — an application compute burst, a CPU
 //! in-place persist, a NearPM DMA copy, a synchronization wait — is lowered
-//! to a [`Task`] bound to one [`Resource`] with an explicit dependency list.
+//! to a task bound to one [`Resource`] with an explicit dependency list.
 //! A [`TaskGraph`] accumulates these tasks; the scheduler in
 //! [`crate::schedule`] then derives start/finish times, overlap, and region
 //! breakdowns from it.
+//!
+//! ## Storage layout
+//!
+//! Tasks live in a **struct-of-arrays arena**: one parallel vector per field
+//! (label, resource, duration, region) plus a single flat dependency pool
+//! indexed by per-task offsets. `add` touches each field array once and
+//! appends the dependency slice to the shared pool, so building a
+//! million-task graph performs no per-task heap allocation (the old layout
+//! allocated one `Vec<TaskId>` per task) and the hot scheduling fields stay
+//! densely packed. [`TaskRef`] is the borrowed per-task view the accessors
+//! hand out.
 
 use std::collections::HashMap;
 
 use crate::resource::Resource;
-use crate::schedule::{TaskTiming, Timeline};
+use crate::schedule::Timeline;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a task within one [`TaskGraph`].
@@ -87,9 +98,13 @@ impl Region {
     }
 }
 
-/// A unit of work bound to a single resource.
-#[derive(Debug, Clone)]
-pub struct Task {
+/// Borrowed view of one task in the graph's struct-of-arrays arena.
+///
+/// The graph stores task fields in parallel vectors and dependency lists in
+/// one flat pool; this view stitches a single task back together without
+/// copying (the `deps` slice borrows the pool directly).
+#[derive(Debug, Clone, Copy)]
+pub struct TaskRef<'a> {
     /// Identifier within the owning graph.
     pub id: TaskId,
     /// Short human-readable label (used in traces and debugging).
@@ -99,7 +114,7 @@ pub struct Task {
     /// Execution time once started.
     pub duration: SimDuration,
     /// Tasks that must finish before this one starts.
-    pub deps: Vec<TaskId>,
+    pub deps: &'a [TaskId],
     /// Accounting category.
     pub region: Region,
 }
@@ -119,8 +134,22 @@ pub struct Task {
 /// scheduling pass.
 #[derive(Debug, Default, Clone)]
 pub struct TaskGraph {
-    tasks: Vec<Task>,
-    /// Incremental start time of each task (same index as `tasks`).
+    /// Per-task labels (struct-of-arrays arena, one entry per task).
+    labels: Vec<&'static str>,
+    /// Per-task executing resource.
+    resources: Vec<Resource>,
+    /// Per-task execution time.
+    durations: Vec<SimDuration>,
+    /// Per-task accounting category.
+    regions: Vec<Region>,
+    /// Start offset of each task's dependency slice in [`TaskGraph::dep_pool`]
+    /// (the slice ends at the next task's offset, or at the pool's end for
+    /// the last task).
+    dep_offsets: Vec<u32>,
+    /// Flat dependency arena: every task's dependency list, concatenated in
+    /// insertion order.
+    dep_pool: Vec<TaskId>,
+    /// Incremental start time of each task (same index as the field arrays).
     starts: Vec<SimTime>,
     /// Incremental finish time of each task.
     finishes: Vec<SimTime>,
@@ -159,12 +188,41 @@ impl TaskGraph {
 
     /// Number of tasks in the graph.
     pub fn len(&self) -> usize {
-        self.tasks.len()
+        self.labels.len()
     }
 
     /// True if the graph has no tasks.
     pub fn is_empty(&self) -> bool {
-        self.tasks.is_empty()
+        self.labels.is_empty()
+    }
+
+    /// The dependency slice of task `i` inside the flat arena.
+    fn deps_of(&self, i: usize) -> &[TaskId] {
+        let start = self.dep_offsets[i] as usize;
+        let end = self
+            .dep_offsets
+            .get(i + 1)
+            .map_or(self.dep_pool.len(), |&o| o as usize);
+        &self.dep_pool[start..end]
+    }
+
+    /// Appends one task's fields to the arena (the SoA equivalent of the old
+    /// `tasks.push(Task { .. })`).
+    fn push_task(
+        &mut self,
+        label: &'static str,
+        resource: Resource,
+        duration: SimDuration,
+        region: Region,
+        deps: &[TaskId],
+    ) {
+        debug_assert!(self.dep_pool.len() + deps.len() <= u32::MAX as usize);
+        self.dep_offsets.push(self.dep_pool.len() as u32);
+        self.dep_pool.extend_from_slice(deps);
+        self.labels.push(label);
+        self.resources.push(resource);
+        self.durations.push(duration);
+        self.regions.push(region);
     }
 
     /// Folds one just-scheduled task into the incrementally maintained
@@ -237,7 +295,7 @@ impl TaskGraph {
         region: Region,
         deps: &[TaskId],
     ) -> TaskId {
-        let id = TaskId(self.tasks.len());
+        let id = TaskId(self.len());
         for d in deps {
             assert!(
                 d.0 < id.0,
@@ -265,14 +323,7 @@ impl TaskGraph {
         self.finishes.push(finish);
         self.resource_free.insert(resource, finish);
         self.account(resource, duration, region, deps, start, finish);
-        self.tasks.push(Task {
-            id,
-            label,
-            resource,
-            duration,
-            deps: deps.to_vec(),
-            region,
-        });
+        self.push_task(label, resource, duration, region, deps);
         id
     }
 
@@ -305,7 +356,7 @@ impl TaskGraph {
         region: Region,
         deps: &[TaskId],
     ) -> TaskId {
-        let id = TaskId(self.tasks.len());
+        let id = TaskId(self.len());
         for d in deps {
             assert!(
                 d.0 < id.0,
@@ -342,14 +393,7 @@ impl TaskGraph {
         let free = self.resource_free.entry(resource).or_insert(SimTime::ZERO);
         *free = (*free).max(finish);
         self.account(resource, duration, region, deps, start, finish);
-        self.tasks.push(Task {
-            id,
-            label,
-            resource,
-            duration,
-            deps: deps.to_vec(),
-            region,
-        });
+        self.push_task(label, resource, duration, region, deps);
         id
     }
 
@@ -391,14 +435,23 @@ impl TaskGraph {
         self.add(label, resource, SimDuration::ZERO, Region::CcSync, deps)
     }
 
-    /// Read-only access to the tasks in insertion order.
-    pub fn tasks(&self) -> &[Task] {
-        &self.tasks
+    /// Iterates over the tasks in insertion order, as borrowed views into
+    /// the struct-of-arrays arena.
+    pub fn tasks(&self) -> impl ExactSizeIterator<Item = TaskRef<'_>> + '_ {
+        (0..self.len()).map(move |i| self.task(TaskId(i)))
     }
 
-    /// Access one task.
-    pub fn task(&self, id: TaskId) -> &Task {
-        &self.tasks[id.0]
+    /// Access one task (a borrowed view; no per-task allocation).
+    pub fn task(&self, id: TaskId) -> TaskRef<'_> {
+        let i = id.0;
+        TaskRef {
+            id,
+            label: self.labels[i],
+            resource: self.resources[i],
+            duration: self.durations[i],
+            deps: self.deps_of(i),
+            region: self.regions[i],
+        }
     }
 
     /// Sum of the durations of all tasks (serial work) — O(1), maintained as
@@ -441,15 +494,6 @@ impl TaskGraph {
         &self.timeline
     }
 
-    /// Copies out every task's timing (used by the `Schedule` snapshot).
-    pub(crate) fn timings(&self) -> Vec<TaskTiming> {
-        self.starts
-            .iter()
-            .zip(&self.finishes)
-            .map(|(&start, &finish)| TaskTiming { start, finish })
-            .collect()
-    }
-
     /// The incremental per-region busy sums (snapshot support).
     pub(crate) fn region_busy_map(&self) -> &HashMap<Region, SimDuration> {
         &self.region_busy
@@ -478,13 +522,22 @@ impl TaskGraph {
             "append replays tasks with in-order scheduling, but the source graph \
              contains arrival-ordered tasks"
         );
-        let offset = self.tasks.len();
-        for t in &other.tasks {
-            let mut deps: Vec<TaskId> = t.deps.iter().map(|d| TaskId(d.0 + offset)).collect();
-            if t.deps.is_empty() {
+        let offset = self.len();
+        let mut deps: Vec<TaskId> = Vec::new();
+        for i in 0..other.len() {
+            let src_deps = other.deps_of(i);
+            deps.clear();
+            deps.extend(src_deps.iter().map(|d| TaskId(d.0 + offset)));
+            if src_deps.is_empty() {
                 deps.extend_from_slice(join);
             }
-            self.add(t.label, t.resource, t.duration, t.region, &deps);
+            self.add(
+                other.labels[i],
+                other.resources[i],
+                other.durations[i],
+                other.regions[i],
+                &deps,
+            );
         }
         offset
     }
@@ -506,11 +559,32 @@ mod tests {
         let a = g.add("a", Resource::Cpu(0), ns(10.0), Region::Application, &[]);
         let b = g.add("b", Resource::Cpu(0), ns(5.0), Region::CcDataMovement, &[a]);
         assert_eq!(g.len(), 2);
-        assert_eq!(g.task(b).deps, vec![a]);
+        assert_eq!(g.task(b).deps, &[a][..]);
         assert!((g.total_work().as_ns() - 15.0).abs() < 1e-9);
         assert!((g.region_work(Region::Application).as_ns() - 10.0).abs() < 1e-9);
         assert!((g.region_work(Region::CcDataMovement).as_ns() - 5.0).abs() < 1e-9);
         assert!(g.region_work(Region::CcSync).is_zero());
+    }
+
+    #[test]
+    fn soa_arena_round_trips_every_field() {
+        let mut g = TaskGraph::new();
+        let a = g.add("a", Resource::Cpu(0), ns(1.0), Region::Application, &[]);
+        let b = g.add("b", Resource::Cpu(1), ns(2.0), Region::CcMetadata, &[a]);
+        let c = g.add("c", Resource::Cpu(0), ns(3.0), Region::CcCommit, &[a, b]);
+        let views: Vec<_> = g.tasks().collect();
+        assert_eq!(views.len(), 3);
+        for (i, t) in views.iter().enumerate() {
+            assert_eq!(t.id, TaskId(i));
+        }
+        assert!(views[0].deps.is_empty());
+        assert_eq!(views[1].deps, &[a][..]);
+        assert_eq!(views[2].deps, &[a, b][..]);
+        assert_eq!(views[2].label, "c");
+        assert_eq!(views[2].resource, Resource::Cpu(0));
+        assert_eq!(views[2].region, Region::CcCommit);
+        assert_eq!(views[2].duration, ns(3.0));
+        assert_eq!(g.task(c).deps, &[a, b][..]);
     }
 
     #[test]
@@ -637,8 +711,8 @@ mod tests {
         assert_eq!(offset, 1);
         assert_eq!(base.len(), 3);
         // The appended root now depends on `a`.
-        assert_eq!(base.task(TaskId(1)).deps, vec![a]);
+        assert_eq!(base.task(TaskId(1)).deps, &[a][..]);
         // The appended second task depends on the offset first task.
-        assert_eq!(base.task(TaskId(2)).deps, vec![TaskId(1)]);
+        assert_eq!(base.task(TaskId(2)).deps, &[TaskId(1)][..]);
     }
 }
