@@ -45,6 +45,15 @@ pub struct UndoLog {
     pool: PoolId,
     thread: usize,
     arena: LogArena,
+    /// Persistent commit-marker slot (64 bytes, [`LogEntryHeader`] format).
+    /// Commit persists the marker **after** the home updates and log entries
+    /// are durable and **before** the entry resets; recovery reads it to
+    /// tell a mid-reset commit (complete the resets, keep the new values)
+    /// from an uncommitted transaction (roll back). Without it a crash
+    /// between two reset commands left some entries reset and some Active,
+    /// and recovery rolled back only the Active ones — a torn image mixing
+    /// old and new data.
+    marker: VirtAddr,
     active: Vec<ActiveEntry>,
     /// The transaction's in-flight log creates, posted split-phase: every
     /// `log_range` offload joins the group, and commit synchronizes/releases
@@ -71,6 +80,7 @@ impl UndoLog {
             pool,
             thread,
             arena: LogArena::new(sys, pool, pages_per_device)?,
+            marker: sys.alloc(pool, 64, 64)?,
             active: Vec::new(),
             batch: OffloadBatch::new(),
             commit_batch: OffloadBatch::new(),
@@ -130,7 +140,13 @@ impl UndoLog {
                     &[],
                 )?;
             } else {
-                // CPU baseline: generate metadata, copy old data, persist.
+                // CPU baseline: generate metadata, copy old data, then
+                // persist the header. The data copy comes FIRST: the header
+                // flipping to `Active` is what makes recovery trust the
+                // slot, so persisting it before the old data lands would
+                // let a crash between the two roll garbage back into the
+                // home location. (The NDP path is a single functionally
+                // atomic request and has no such window.)
                 let latency = sys.latency().clone();
                 sys.cpu_overhead(
                     self.thread,
@@ -138,10 +154,10 @@ impl UndoLog {
                     latency.cpu_metadata_ns,
                     Region::CcMetadata,
                 )?;
+                sys.cpu_copy(self.thread, start, slot.data, chunk, Region::CcDataMovement)?;
                 let header = LogEntryHeader::active(start, chunk, txn);
                 sys.cpu_write(self.thread, slot.meta, &header.encode(), Region::CcMetadata)?;
                 sys.cpu_persist(self.thread, slot.meta, 64, Region::CcMetadata)?;
-                sys.cpu_copy(self.thread, start, slot.data, chunk, Region::CcDataMovement)?;
             }
             self.active.push(ActiveEntry {
                 slot,
@@ -159,11 +175,45 @@ impl UndoLog {
     }
 
     /// Commits the transaction: ensures all log entries are durable (mode-
-    /// specific synchronization over the whole posted group), deletes the
-    /// logs, and recycles the slots.
+    /// specific synchronization over the whole posted group), persists the
+    /// commit marker, deletes the logs, and clears the marker.
+    ///
+    /// Marker protocol (the torn-commit fix): once the marker carrying this
+    /// transaction's id is durable, the transaction is committed — a crash
+    /// anywhere among the entry resets recovers by *completing* the resets.
+    /// Before the marker, a crash rolls the transaction back. Either way the
+    /// image is all-old or all-new, never a mix.
     pub fn commit(&mut self, sys: &mut NearPmSystem) -> Result<()> {
-        let _txn = self.txn.take().expect("commit without begin");
+        let txn = self.txn.take().expect("commit without begin");
 
+        // Phase 1: mode-specific synchronization — every log entry (and the
+        // in-place updates, persisted as they happened) is durable.
+        let mut reset_deps: Vec<TaskId> = Vec::new();
+        match sys.mode() {
+            ExecMode::CpuBaseline | ExecMode::NearPmSd => {}
+            ExecMode::NearPmMdSync => {
+                // CPU-polling software synchronization before the commit; the
+                // commit commands issue after it on the CPU, so no device-side
+                // dependency is needed.
+                sys.sw_sync_batch(self.thread, &self.batch)?;
+            }
+            ExecMode::NearPmMd => {
+                // Delayed near-memory synchronization over the group; log
+                // deletion depends on it but the CPU does not wait.
+                reset_deps.extend(sys.delayed_sync_batch(&self.batch)?);
+            }
+        }
+
+        // Phase 2: persist the commit marker (point of no return).
+        let marker = LogEntryHeader::active(VirtAddr(0), 0, txn);
+        sys.cpu_write_persist(
+            self.thread,
+            self.marker,
+            &marker.encode(),
+            Region::CcMetadata,
+        )?;
+
+        // Phase 3: reset the log entries.
         match sys.mode() {
             ExecMode::CpuBaseline => {
                 let latency = sys.latency().clone();
@@ -183,24 +233,16 @@ impl UndoLog {
                     sys.cpu_persist(self.thread, e.slot.meta, 64, Region::CcLogReset)?;
                 }
             }
-            ExecMode::NearPmSd => {
-                self.offload_commit(sys, &[])?;
-            }
-            ExecMode::NearPmMdSync => {
-                // CPU-polling software synchronization before the commit; the
-                // commit commands issue after it on the CPU, so no device-side
-                // dependency is needed.
-                sys.sw_sync_batch(self.thread, &self.batch)?;
-                self.offload_commit(sys, &[])?;
-            }
-            ExecMode::NearPmMd => {
-                // Delayed near-memory synchronization over the group; log
-                // deletion depends on it but the CPU does not wait.
-                let barrier = sys.delayed_sync_batch(&self.batch)?;
-                let deps: Vec<TaskId> = barrier.into_iter().collect();
-                self.offload_commit(sys, &deps)?;
-            }
+            _ => self.offload_commit(sys, &reset_deps)?,
         }
+
+        // Phase 4: clear the marker — the commit is fully retired.
+        sys.cpu_write_persist(
+            self.thread,
+            self.marker,
+            &LogEntryHeader::reset_image(),
+            Region::CcLogReset,
+        )?;
 
         sys.release_batch(&mut self.batch);
         for e in self.active.drain(..) {
@@ -244,39 +286,60 @@ impl UndoLog {
         Ok(())
     }
 
-    /// Recovery: rolls back every uncommitted (still `Active`) log entry by
-    /// copying the logged old data back to its home location. Returns the
-    /// number of entries rolled back.
+    /// Recovery: reads the commit marker first. Entries of a transaction
+    /// whose marker was durable at the crash were *committing* — their home
+    /// locations already hold the new values, so recovery completes the
+    /// interrupted resets. Every other `Active` entry is rolled back by
+    /// copying the logged old data to its home location. Returns the number
+    /// of entries rolled back.
     pub fn recover(&mut self, sys: &mut NearPmSystem) -> Result<usize> {
-        sys.begin_recovery();
+        sys.begin_recovery()?;
+        let committing = LogEntryHeader::decode(&sys.persistent_read(self.marker, 64)?)
+            .filter(|h| h.state == EntryState::Active)
+            .map(|h| h.txn_id);
         let mut rolled_back = 0;
         for (meta, data, _dev) in self.arena.scan_list().to_vec() {
             let header_bytes = sys.persistent_read(meta, 64)?;
             if let Some(header) = LogEntryHeader::decode(&header_bytes) {
                 if header.state == EntryState::Active {
-                    let old = sys.persistent_read(data, header.len as usize)?;
-                    sys.cpu_read(
-                        self.thread,
-                        data,
-                        header.len as usize,
-                        Region::CcDataMovement,
-                    )?;
-                    sys.cpu_write_persist(
-                        self.thread,
-                        header.target,
-                        &old,
-                        Region::CcDataMovement,
-                    )?;
-                    // Reset the entry so recovery is idempotent.
+                    if committing != Some(header.txn_id) {
+                        let old = sys.persistent_read(data, header.len as usize)?;
+                        sys.cpu_read(
+                            self.thread,
+                            data,
+                            header.len as usize,
+                            Region::CcDataMovement,
+                        )?;
+                        sys.cpu_write_persist(
+                            self.thread,
+                            header.target,
+                            &old,
+                            Region::CcDataMovement,
+                        )?;
+                        rolled_back += 1;
+                    }
+                    // Reset the entry (completing the commit for marked
+                    // transactions) so recovery is idempotent either way.
                     sys.cpu_write_persist(
                         self.thread,
                         meta,
                         &LogEntryHeader::reset_image(),
                         Region::CcLogReset,
                     )?;
-                    rolled_back += 1;
                 }
             }
+        }
+        // Clear the marker last: once every entry of the marked transaction
+        // is reset, the commit is retired. (A crash between the resets and
+        // this clear leaves a marker with no matching entries — the next
+        // recovery pass finds nothing Active and just clears it again.)
+        if committing.is_some() {
+            sys.cpu_write_persist(
+                self.thread,
+                self.marker,
+                &LogEntryHeader::reset_image(),
+                Region::CcLogReset,
+            )?;
         }
         // Any slots that belonged to the interrupted transaction are free
         // again; the batch's handles died with the crashed transaction, and
@@ -299,6 +362,13 @@ pub struct RedoLog {
     pool: PoolId,
     thread: usize,
     arena: LogArena,
+    /// Persistent commit-marker slot ([`LogEntryHeader`] format). Redo
+    /// commit persists the marker **before** the first apply touches a home
+    /// location: once durable, recovery rolls the transaction *forward* by
+    /// re-applying the staged entries (idempotent — the log holds the full
+    /// new data). Without it a crash mid-applies left homes partially
+    /// updated while recovery discarded the log — a torn image.
+    marker: VirtAddr,
     staged: Vec<ActiveEntry>,
     /// The commit phase's in-flight `ApplyRedoLog` offloads, posted
     /// split-phase before the mode-specific synchronization.
@@ -322,6 +392,7 @@ impl RedoLog {
             pool,
             thread,
             arena: LogArena::new(sys, pool, pages_per_device)?,
+            marker: sys.alloc(pool, 64, 64)?,
             staged: Vec::new(),
             batch: OffloadBatch::new(),
             commit_batch: OffloadBatch::new(),
@@ -391,7 +462,21 @@ impl RedoLog {
     /// cross-device sync exactly as Figure 12 requires (previously the
     /// barrier was computed but not passed, leaving the reset unordered).
     pub fn commit(&mut self, sys: &mut NearPmSystem) -> Result<()> {
-        let _txn = self.txn.take().expect("commit without begin");
+        let txn = self.txn.take().expect("commit without begin");
+
+        // Commit marker FIRST (the torn-applies fix): every staged entry is
+        // already durable, so once the marker is durable the transaction is
+        // committed — a crash anywhere among the applies or resets recovers
+        // by re-applying the log (idempotent). Before the marker, no home
+        // location has been touched and recovery discards the log.
+        let marker = LogEntryHeader::active(VirtAddr(0), 0, txn);
+        sys.cpu_write_persist(
+            self.thread,
+            self.marker,
+            &marker.encode(),
+            Region::CcMetadata,
+        )?;
+
         if sys.mode().uses_ndp() {
             for e in &self.staged {
                 sys.offload_into(
@@ -477,6 +562,14 @@ impl RedoLog {
             }
         }
 
+        // Clear the marker — the commit is fully retired.
+        sys.cpu_write_persist(
+            self.thread,
+            self.marker,
+            &LogEntryHeader::reset_image(),
+            Region::CcLogReset,
+        )?;
+
         sys.release_batch(&mut self.batch);
         for e in self.staged.drain(..) {
             self.arena.release(e.slot);
@@ -485,24 +578,55 @@ impl RedoLog {
         Ok(())
     }
 
-    /// Recovery: staged-but-uncommitted entries are simply discarded (their
-    /// home locations were never touched); returns how many were discarded.
+    /// Recovery: reads the commit marker first. Entries of a transaction
+    /// whose marker was durable at the crash are rolled **forward** — the
+    /// staged new data is re-applied to the home locations (idempotent) and
+    /// the entries reset. Every other `Active` entry is discarded (its home
+    /// location was never touched). Returns how many entries were processed
+    /// (discarded or rolled forward).
     pub fn recover(&mut self, sys: &mut NearPmSystem) -> Result<usize> {
-        sys.begin_recovery();
-        let mut discarded = 0;
-        for (meta, _data, _dev) in self.arena.scan_list().to_vec() {
+        sys.begin_recovery()?;
+        let committing = LogEntryHeader::decode(&sys.persistent_read(self.marker, 64)?)
+            .filter(|h| h.state == EntryState::Active)
+            .map(|h| h.txn_id);
+        let mut processed = 0;
+        for (meta, data, _dev) in self.arena.scan_list().to_vec() {
             let header_bytes = sys.persistent_read(meta, 64)?;
             if let Some(header) = LogEntryHeader::decode(&header_bytes) {
                 if header.state == EntryState::Active {
+                    if committing == Some(header.txn_id) {
+                        // Roll forward: the log holds the full new data.
+                        let new = sys.persistent_read(data, header.len as usize)?;
+                        sys.cpu_read(
+                            self.thread,
+                            data,
+                            header.len as usize,
+                            Region::CcDataMovement,
+                        )?;
+                        sys.cpu_write_persist(
+                            self.thread,
+                            header.target,
+                            &new,
+                            Region::CcDataMovement,
+                        )?;
+                    }
                     sys.cpu_write_persist(
                         self.thread,
                         meta,
                         &LogEntryHeader::reset_image(),
                         Region::CcLogReset,
                     )?;
-                    discarded += 1;
+                    processed += 1;
                 }
             }
+        }
+        if committing.is_some() {
+            sys.cpu_write_persist(
+                self.thread,
+                self.marker,
+                &LogEntryHeader::reset_image(),
+                Region::CcLogReset,
+            )?;
         }
         for e in self.staged.drain(..) {
             self.arena.release(e.slot);
@@ -511,7 +635,7 @@ impl RedoLog {
         sys.release_batch(&mut self.commit_batch);
         self.txn = None;
         sys.finish_recovery();
-        Ok(discarded)
+        Ok(processed)
     }
 }
 
@@ -696,10 +820,9 @@ mod tests {
         sys.delayed_sync_batch(&batch).unwrap().unwrap();
         sys.crash();
 
-        // The applies reached the persistence domain before the failure.
-        sys.begin_recovery();
+        // The applies reached the persistence domain before the failure
+        // (persistent_read works while crashed — it is what recovery sees).
         assert_eq!(sys.persistent_read(obj, 64).unwrap(), vec![0x42; 64]);
-        sys.finish_recovery();
 
         // Both entries were still Active (the reset never ran): recovery
         // resets them without touching the applied home locations.
@@ -710,7 +833,8 @@ mod tests {
             sys.persistent_read(obj.offset(4096), 64).unwrap(),
             vec![0x43; 64]
         );
-        // Idempotent: a second recovery pass finds nothing Active.
+        // Idempotent: recovery after a second crash finds nothing Active.
+        sys.crash();
         assert_eq!(redo.recover(&mut sys).unwrap(), 0);
 
         // The log is fully usable for the next transaction.

@@ -104,9 +104,11 @@ impl Checkpoint {
                 &[],
             )?;
         } else {
-            let header = LogEntryHeader::active(page, PM_PAGE, self.epoch);
-            sys.cpu_write(self.thread, slot.meta, &header.encode(), Region::CcMetadata)?;
-            sys.cpu_persist(self.thread, slot.meta, 64, Region::CcMetadata)?;
+            // Data first, then the header: the `Active` header is what makes
+            // recovery restore the slot, so persisting it before the page
+            // contents land would let a crash between the two restore
+            // garbage over the home page. (The NDP path is one functionally
+            // atomic request.)
             sys.cpu_copy(
                 self.thread,
                 page,
@@ -114,6 +116,9 @@ impl Checkpoint {
                 PM_PAGE,
                 Region::CcDataMovement,
             )?;
+            let header = LogEntryHeader::active(page, PM_PAGE, self.epoch);
+            sys.cpu_write(self.thread, slot.meta, &header.encode(), Region::CcMetadata)?;
+            sys.cpu_persist(self.thread, slot.meta, 64, Region::CcMetadata)?;
         }
         self.snapshots.insert(page.raw(), slot);
         Ok(())
@@ -161,10 +166,14 @@ impl Checkpoint {
         Ok(())
     }
 
-    /// Recovery: restores every page snapshotted in the interrupted epoch.
+    /// Recovery: restores every page snapshotted in the interrupted epoch,
+    /// resetting each entry's header once its page is restored so a second
+    /// pass finds nothing to do (idempotence). The restore-then-reset order
+    /// is crash-safe: a crash between the two leaves the header `Active` and
+    /// the next pass restores the same snapshot again — a no-op.
     /// Returns the number of pages restored.
     pub fn recover(&mut self, sys: &mut NearPmSystem) -> Result<usize> {
-        sys.begin_recovery();
+        sys.begin_recovery()?;
         let mut restored = 0;
         for (meta, data, _dev) in self.arena.scan_list().to_vec() {
             let header_bytes = sys.persistent_read(meta, 64)?;
@@ -182,6 +191,12 @@ impl Checkpoint {
                         header.target,
                         &snapshot,
                         Region::CcDataMovement,
+                    )?;
+                    sys.cpu_write_persist(
+                        self.thread,
+                        meta,
+                        &LogEntryHeader::reset_image(),
+                        Region::CcLogReset,
                     )?;
                     restored += 1;
                 }
@@ -517,7 +532,7 @@ impl ShadowPaging {
     /// Recovery: re-reads the persistent page table; every entry references a
     /// complete page by construction. Returns the recovered mapping.
     pub fn recover(&mut self, sys: &mut NearPmSystem) -> Result<Vec<VirtAddr>> {
-        sys.begin_recovery();
+        sys.begin_recovery()?;
         let mut mapping = Vec::with_capacity(self.entries.len());
         for i in 0..self.entries.len() {
             let bytes = sys.persistent_read(self.table.offset(i as u64 * 8), 8)?;

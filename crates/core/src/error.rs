@@ -13,6 +13,9 @@ pub enum SystemError {
     /// An operation was attempted while the system is in the crashed state
     /// (before recovery was started).
     Crashed,
+    /// Recovery was requested but the system is running normally — there is
+    /// nothing to recover from.
+    NotCrashed,
     /// The operation requires NearPM devices but the system is configured as
     /// the CPU-only baseline.
     NoDevices,
@@ -34,6 +37,9 @@ impl std::fmt::Display for SystemError {
             SystemError::Pool(e) => write!(f, "pool error: {e}"),
             SystemError::Device(e) => write!(f, "device error: {e}"),
             SystemError::Crashed => write!(f, "system is crashed; run recovery first"),
+            SystemError::NotCrashed => {
+                write!(f, "system is not crashed; there is nothing to recover")
+            }
             SystemError::NoDevices => write!(f, "operation requires NearPM devices"),
             SystemError::LogArenaFull { pool } => write!(f, "log arena exhausted for {pool}"),
             SystemError::MapFull { buckets } => {
@@ -68,6 +74,8 @@ mod tests {
     fn display_variants() {
         let e = SystemError::Crashed;
         assert!(e.to_string().contains("crashed"));
+        let e = SystemError::NotCrashed;
+        assert!(e.to_string().contains("not crashed"));
         let e = SystemError::NoDevices;
         assert!(e.to_string().contains("NearPM devices"));
         let e = SystemError::LogArenaFull {

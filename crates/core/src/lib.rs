@@ -30,12 +30,14 @@
 
 pub mod batch;
 pub mod config;
+pub mod crashplan;
 pub mod error;
 pub mod system;
 pub mod trace;
 
 pub use batch::OffloadBatch;
 pub use config::{ExecMode, SystemConfig};
+pub use crashplan::{BoundaryKind, CrashPlan};
 pub use error::{Result, SystemError};
 pub use system::{NearPmSystem, OffloadHandle, RunReport};
 pub use trace::TraceBuilder;

@@ -26,6 +26,7 @@ use nearpm_sim::{LatencyModel, Region, Resource, SimDuration, SimTime, TaskGraph
 
 use crate::batch::OffloadBatch;
 use crate::config::{ExecMode, SystemConfig};
+use crate::crashplan::{BoundaryKind, CrashPlan};
 use crate::error::{Result, SystemError};
 use crate::trace::TraceBuilder;
 
@@ -147,6 +148,9 @@ pub struct NearPmSystem {
     next_txn: u64,
     crashed: bool,
     recovering: bool,
+    /// Armed fault-injection plan: counts crash boundaries and fires
+    /// [`NearPmSystem::crash`] at the configured one.
+    crash_plan: Option<CrashPlan>,
     /// Reusable staging buffer for CPU-driven copies (avoids a heap
     /// allocation per `cpu_copy`).
     scratch: Vec<u8>,
@@ -185,6 +189,7 @@ impl NearPmSystem {
             next_txn: 0,
             crashed: false,
             recovering: false,
+            crash_plan: None,
             scratch: Vec::new(),
             config,
         }
@@ -438,6 +443,7 @@ impl NearPmSystem {
             None,
             Some(task),
         );
+        self.note_boundary(BoundaryKind::Persist);
         Ok(task)
     }
 
@@ -510,6 +516,7 @@ impl NearPmSystem {
             None,
             Some(task),
         );
+        self.note_boundary(BoundaryKind::Persist);
         Ok(task)
     }
 
@@ -659,6 +666,8 @@ impl NearPmSystem {
             );
         }
 
+        self.note_boundary(BoundaryKind::Offload);
+
         Ok(OffloadHandle {
             proc,
             device,
@@ -694,7 +703,9 @@ impl NearPmSystem {
         self.check_not_crashed()?;
         let deps: Vec<TaskId> = handles.iter().map(|h| h.finish).collect();
         let duration = self.config.latency.notify();
-        Ok(self.push_cpu_task(thread, "wait-ndp", duration, Region::CcSync, &deps))
+        let task = self.push_cpu_task(thread, "wait-ndp", duration, Region::CcSync, &deps);
+        self.note_boundary(BoundaryKind::Sync);
+        Ok(task)
     }
 
     /// Software (CPU-polling) synchronization across devices: the CPU polls a
@@ -709,6 +720,7 @@ impl NearPmSystem {
         let duration = self.config.latency.cpu_poll() * devices.len().max(1) as u64;
         let task = self.push_cpu_task(thread, "sw-sync", duration, Region::CcSync, &deps);
         self.record_sync_events(handles, task);
+        self.note_boundary(BoundaryKind::Sync);
         Ok(task)
     }
 
@@ -773,6 +785,7 @@ impl NearPmSystem {
             &deps,
         );
         self.record_sync_events(handles, task);
+        self.note_boundary(BoundaryKind::Sync);
         Ok(task)
     }
 
@@ -784,6 +797,9 @@ impl NearPmSystem {
             if let Some(dev) = self.devices.get_mut(h.device) {
                 dev.release_request(h.request);
             }
+        }
+        if !handles.is_empty() {
+            self.note_boundary(BoundaryKind::CommitRetire);
         }
     }
 
@@ -827,12 +843,16 @@ impl NearPmSystem {
     /// Releases the in-flight ordering records of a whole posted group and
     /// clears it, leaving the batch ready for the next transaction.
     pub fn release_batch(&mut self, batch: &mut OffloadBatch) {
+        let emptied = !batch.is_empty();
         for h in batch.handles() {
             if let Some(dev) = self.devices.get_mut(h.device) {
                 dev.release_request(h.request);
             }
         }
         batch.clear();
+        if emptied {
+            self.note_boundary(BoundaryKind::CommitRetire);
+        }
     }
 
     /// Releases the handles in `batch` whose device-side execution has
@@ -881,6 +901,9 @@ impl NearPmSystem {
                 true
             }
         });
+        if released > 0 {
+            self.note_boundary(BoundaryKind::CommitRetire);
+        }
         released
     }
 
@@ -888,10 +911,59 @@ impl NearPmSystem {
     // Crash and recovery
     // ------------------------------------------------------------------
 
-    /// Injects a failure: all volatile CPU state (dirty cache lines) is lost;
-    /// the PM media and the devices' persistence-domain structures survive.
+    /// Records one crash boundary and fires the armed [`CrashPlan`] when it
+    /// matches. Called as the **last** action of every boundary primitive:
+    /// the primitive's full effect (media mutation, trace events) is already
+    /// applied when the crash hits, so the triggering call still returns
+    /// `Ok` and every subsequent operation fails with
+    /// [`SystemError::Crashed`].
+    fn note_boundary(&mut self, kind: BoundaryKind) {
+        if self.crashed {
+            return;
+        }
+        if let Some(plan) = self.crash_plan.as_mut() {
+            if plan.note(kind) {
+                self.crash();
+            }
+        }
+    }
+
+    /// Arms a fault-injection plan. Boundaries are counted from this point
+    /// on, so arming *after* setup (pool creation, mkfs-style
+    /// initialization) scopes the plan to the workload proper. Arm
+    /// [`CrashPlan::count_only`] to enumerate a run's boundaries without
+    /// crashing.
+    pub fn arm_crash_plan(&mut self, plan: CrashPlan) {
+        self.crash_plan = Some(plan);
+    }
+
+    /// Disarms and returns the current plan (its counters and fired flag
+    /// intact), leaving the system free of fault injection.
+    pub fn disarm_crash_plan(&mut self) -> Option<CrashPlan> {
+        self.crash_plan.take()
+    }
+
+    /// The armed plan, if any (inspect counters without disarming).
+    pub fn crash_plan(&self) -> Option<&CrashPlan> {
+        self.crash_plan.as_ref()
+    }
+
+    /// Injects a failure: **all** volatile state is lost — dirty CPU cache
+    /// lines, every device's queued FIFO requests and in-flight access
+    /// table, and pending host-side FIFO-stall dependencies. The PM media
+    /// survives. Idempotent: crashing an already-crashed system changes
+    /// nothing.
     pub fn crash(&mut self) {
+        if self.crashed {
+            return;
+        }
         self.cache.crash();
+        for dev in &mut self.devices {
+            dev.crash();
+        }
+        for stall in &mut self.fifo_stall {
+            *stall = None;
+        }
         let marker = self.cpu_tail.iter().flatten().copied().max();
         self.trace.record(
             &self.graph,
@@ -910,9 +982,18 @@ impl NearPmSystem {
     /// Begins recovery after a crash: the system becomes usable again and
     /// subsequent CPU reads are recorded as recovery reads until
     /// [`NearPmSystem::finish_recovery`] is called.
-    pub fn begin_recovery(&mut self) {
+    ///
+    /// Returns [`SystemError::NotCrashed`] when the system is running
+    /// normally — recovery on a healthy system is a caller bug, not a
+    /// silent no-op. Calling it again *while already recovering* is allowed
+    /// (recovery code may be re-entered after a crash during recovery).
+    pub fn begin_recovery(&mut self) -> Result<()> {
+        if !self.crashed && !self.recovering {
+            return Err(SystemError::NotCrashed);
+        }
         self.crashed = false;
         self.recovering = true;
+        Ok(())
     }
 
     /// Marks recovery complete; subsequent reads are ordinary reads again.
@@ -925,6 +1006,25 @@ impl NearPmSystem {
     pub fn persistent_read(&mut self, addr: VirtAddr, len: usize) -> Result<Vec<u8>> {
         let phys = self.pools.translate(addr)?;
         Ok(self.space.read_vec(phys, len))
+    }
+
+    /// Starts recording every media mutation (see
+    /// [`nearpm_pm::PmSpace::enable_write_log`]). Call right after
+    /// construction so the log is a complete history of the image.
+    pub fn enable_media_write_log(&mut self) {
+        self.space.enable_write_log();
+    }
+
+    /// Number of recorded media mutations (0 when logging is off).
+    pub fn media_write_log_len(&self) -> usize {
+        self.space.write_log_len()
+    }
+
+    /// Differential replay check: true iff replaying the recorded media
+    /// write log onto a fresh zeroed space reproduces the current persistent
+    /// image byte for byte. False when logging was never enabled.
+    pub fn verify_write_log_replay(&self) -> bool {
+        self.space.replay_matches()
     }
 
     /// Borrow of one backing device's full media image (diagnostics and the
@@ -1161,9 +1261,157 @@ mod tests {
         sys.crash();
         assert!(sys.is_crashed());
         assert!(sys.cpu_read(0, a, 16, Region::Application).is_err());
-        sys.begin_recovery();
+        sys.begin_recovery().unwrap();
         assert_eq!(sys.persistent_read(a, 16).unwrap(), vec![1; 16]);
         assert_eq!(sys.persistent_read(b, 16).unwrap(), vec![0; 16]);
+    }
+
+    #[test]
+    fn recovery_on_a_healthy_system_is_a_typed_error() {
+        let mut sys = NearPmSystem::new(small_config(ExecMode::CpuBaseline));
+        assert_eq!(sys.begin_recovery().unwrap_err(), SystemError::NotCrashed);
+        // Mid-recovery re-entry is allowed (crash during recovery).
+        sys.crash();
+        sys.begin_recovery().unwrap();
+        sys.begin_recovery().unwrap();
+        sys.finish_recovery();
+        assert_eq!(sys.begin_recovery().unwrap_err(), SystemError::NotCrashed);
+    }
+
+    #[test]
+    fn operations_mid_crash_return_crashed_not_panic() {
+        let mut sys = NearPmSystem::new(small_config(ExecMode::NearPmSd));
+        let pool = sys.create_pool("p", 1 << 20).unwrap();
+        let a = sys.alloc(pool, 4096, 4096).unwrap();
+        sys.crash();
+        assert_eq!(
+            sys.cpu_write(0, a, &[1; 8], Region::AppPersist)
+                .unwrap_err(),
+            SystemError::Crashed
+        );
+        assert_eq!(
+            sys.cpu_persist(0, a, 8, Region::AppPersist).unwrap_err(),
+            SystemError::Crashed
+        );
+        assert_eq!(
+            sys.cpu_copy(0, a, a.offset(2048), 64, Region::CcDataMovement)
+                .unwrap_err(),
+            SystemError::Crashed
+        );
+        assert_eq!(
+            sys.offload(
+                0,
+                pool,
+                NearPmOp::ShadowCopy {
+                    src: a,
+                    dst: a.offset(2048),
+                    len: 64,
+                },
+                &[],
+            )
+            .unwrap_err(),
+            SystemError::Crashed
+        );
+        assert_eq!(sys.cpu_compute(0, 1.0).unwrap_err(), SystemError::Crashed);
+        // persistent_read intentionally works while crashed (recovery code
+        // inspects the image before begin_recovery).
+        assert!(sys.persistent_read(a, 8).is_ok());
+    }
+
+    #[test]
+    fn crash_plan_fires_at_the_requested_persist() {
+        let mut sys = NearPmSystem::new(small_config(ExecMode::CpuBaseline));
+        let pool = sys.create_pool("p", 1 << 20).unwrap();
+        let a = sys.alloc(pool, 4096, 64).unwrap();
+        sys.arm_crash_plan(CrashPlan::at_persist(1));
+        // Persist #0: survives. Persist #1: the crash fires after the full
+        // effect applied, so the call itself still returns Ok.
+        sys.cpu_write_persist(0, a, &[1; 8], Region::AppPersist)
+            .unwrap();
+        assert!(!sys.is_crashed());
+        sys.cpu_write_persist(0, a.offset(64), &[2; 8], Region::AppPersist)
+            .unwrap();
+        assert!(sys.is_crashed());
+        let plan = sys.disarm_crash_plan().unwrap();
+        assert!(plan.fired());
+        assert_eq!(plan.observed_of(BoundaryKind::Persist), 2);
+        // Both persists hit the media before the crash.
+        assert_eq!(sys.persistent_read(a, 8).unwrap(), vec![1; 8]);
+        assert_eq!(sys.persistent_read(a.offset(64), 8).unwrap(), vec![2; 8]);
+    }
+
+    #[test]
+    fn crash_drops_device_fifo_and_inflight_state() {
+        let mut sys = NearPmSystem::new(
+            SystemConfig::nearpm_sd()
+                .with_capacity(4 << 20)
+                .with_fifo_depth(2),
+        );
+        let pool = sys.create_pool("p", 1 << 20).unwrap();
+        let log_area = sys.alloc(pool, 64 << 10, 4096).unwrap();
+        sys.register_ndp_managed(AddrRange::new(log_area, 64 << 10));
+        let obj = sys.alloc(pool, 4096, 64).unwrap();
+        let txn = sys.next_txn_id();
+        // Conflicting burst: backs the FIFO up and accumulates in-flight
+        // records that are never released.
+        for _ in 0..8u64 {
+            sys.offload(
+                0,
+                pool,
+                NearPmOp::UndoLogCreate {
+                    src: obj,
+                    len: 64,
+                    log_meta: log_area,
+                    log_data: log_area.offset(64),
+                    txn_id: txn,
+                },
+                &[],
+            )
+            .unwrap();
+        }
+        assert!(sys.inflight_records() > 0);
+        sys.crash();
+        assert_eq!(
+            sys.inflight_records(),
+            0,
+            "in-flight tables are volatile and must not survive a crash"
+        );
+        // Post-recovery accesses see no stale conflict dependencies.
+        sys.begin_recovery().unwrap();
+        sys.finish_recovery();
+        sys.cpu_write_persist(0, obj, &[9; 8], Region::AppPersist)
+            .unwrap();
+        assert_eq!(sys.persistent_read(obj, 8).unwrap(), vec![9; 8]);
+    }
+
+    #[test]
+    fn media_write_log_replay_matches_after_a_run() {
+        let mut sys = NearPmSystem::new(small_config(ExecMode::NearPmSd));
+        sys.enable_media_write_log();
+        let pool = sys.create_pool("p", 1 << 20).unwrap();
+        let obj = sys.alloc(pool, 4096, 64).unwrap();
+        let log_area = sys.alloc(pool, 4096, 4096).unwrap();
+        sys.register_ndp_managed(AddrRange::new(log_area, 4096));
+        sys.cpu_write_persist(0, obj, &[7; 64], Region::AppPersist)
+            .unwrap();
+        let txn = sys.next_txn_id();
+        sys.offload(
+            0,
+            pool,
+            NearPmOp::UndoLogCreate {
+                src: obj,
+                len: 64,
+                log_meta: log_area,
+                log_data: log_area.offset(64),
+                txn_id: txn,
+            },
+            &[],
+        )
+        .unwrap();
+        sys.cpu_write_persist(0, obj, &[9; 64], Region::AppPersist)
+            .unwrap();
+        assert!(sys.media_write_log_len() > 0);
+        assert!(sys.verify_write_log_replay());
     }
 
     #[test]

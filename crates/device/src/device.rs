@@ -644,6 +644,18 @@ impl NearPmDevice {
         self.inflight.len()
     }
 
+    /// Drops every piece of volatile front-end state on a power failure:
+    /// queued FIFO requests and the in-flight access table. The functional
+    /// effect of already-posted offloads is not rolled back — media mutations
+    /// apply at post time and live in the persistence domain — but nothing
+    /// queued or tracked in device SRAM survives. (A battery-backed
+    /// configuration would instead use [`NearPmDevice::crash_snapshot`] /
+    /// [`NearPmDevice::restore`].)
+    pub fn crash(&mut self) {
+        self.fifo.clear();
+        self.inflight.clear();
+    }
+
     /// Captures the persistence-domain image of the front-end.
     pub fn crash_snapshot(&self) -> DevicePersistentState {
         DevicePersistentState {

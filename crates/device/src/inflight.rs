@@ -172,6 +172,17 @@ impl InFlightTable {
         deps
     }
 
+    /// Drops every tracked access. The in-flight table is volatile device
+    /// state: on a power failure nothing in it survives, so a crash clears it
+    /// wholesale rather than releasing request by request.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.pages.clear();
+        self.by_request.clear();
+        self.live = 0;
+    }
+
     /// Snapshot of the in-flight entries (persistence-domain image).
     pub fn snapshot(&self) -> Vec<InFlightEntry> {
         self.slots.iter().flatten().copied().collect()

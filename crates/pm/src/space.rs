@@ -28,6 +28,12 @@ pub struct PmSpace {
     media: Vec<PmMedia>,
     interleave: InterleaveConfig,
     capacity: u64,
+    /// Opt-in media write log: every mutation since
+    /// [`PmSpace::enable_write_log`] as `(addr, bytes)`, in order. Replaying
+    /// it onto a fresh zeroed space of the same geometry must reproduce the
+    /// current image — the crash-point explorer's differential check that
+    /// the persisted image is exactly the recorded mutation history.
+    write_log: Option<Vec<(PhysAddr, Vec<u8>)>>,
 }
 
 impl PmSpace {
@@ -42,6 +48,7 @@ impl PmSpace {
             media,
             interleave,
             capacity,
+            write_log: None,
         }
     }
 
@@ -106,6 +113,9 @@ impl PmSpace {
             "PM space write out of bounds at {addr} len {}",
             data.len()
         );
+        if let Some(log) = &mut self.write_log {
+            log.push((addr, data.to_vec()));
+        }
         let mut cursor = 0usize;
         for span in self.interleave.split(addr, data.len() as u64) {
             let len = span.len as usize;
@@ -132,8 +142,12 @@ impl PmSpace {
         );
         // Overlapping ranges need the source buffered before any chunk is
         // written (a later chunk may re-read bytes an earlier chunk already
-        // overwrote); the hot paths only ever copy disjoint ranges.
-        if src.raw() < dst.raw() + len as u64 && dst.raw() < src.raw() + len as u64 {
+        // overwrote); the hot paths only ever copy disjoint ranges. The
+        // buffered path also serves write logging, which needs the moved
+        // bytes materialized to record them.
+        if self.write_log.is_some()
+            || (src.raw() < dst.raw() + len as u64 && dst.raw() < src.raw() + len as u64)
+        {
             let data = self.read_vec(src, len);
             self.write(dst, &data);
             return;
@@ -180,6 +194,9 @@ impl PmSpace {
             addr.raw() + len as u64 <= self.capacity,
             "PM space fill out of bounds at {addr} len {len}"
         );
+        if let Some(log) = &mut self.write_log {
+            log.push((addr, vec![value; len]));
+        }
         for span in self.interleave.split(addr, len as u64) {
             self.media[span.device].fill(span.local_offset as usize, span.len as usize, value);
         }
@@ -226,6 +243,55 @@ impl PmSpace {
     /// Hot paths should use [`PmSpace::device_contents`] instead.
     pub fn snapshot(&self) -> Vec<Vec<u8>> {
         self.media.iter().map(|m| m.contents().to_vec()).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Media write log (deterministic replay)
+    // ------------------------------------------------------------------
+
+    /// Starts recording every media mutation. Enable this immediately after
+    /// construction (while the space is still zeroed) so the log is a
+    /// complete mutation history of the image.
+    pub fn enable_write_log(&mut self) {
+        if self.write_log.is_none() {
+            self.write_log = Some(Vec::new());
+        }
+    }
+
+    /// True when the write log is recording.
+    pub fn write_log_enabled(&self) -> bool {
+        self.write_log.is_some()
+    }
+
+    /// Number of recorded mutations (0 when the log is disabled).
+    pub fn write_log_len(&self) -> usize {
+        self.write_log.as_ref().map_or(0, |l| l.len())
+    }
+
+    /// Replays the recorded mutation history onto a fresh zeroed space of
+    /// the same geometry and returns the resulting per-device images.
+    /// `None` when the log was never enabled.
+    pub fn replay_write_log(&self) -> Option<Vec<Vec<u8>>> {
+        let log = self.write_log.as_ref()?;
+        let mut fresh = PmSpace::new(self.capacity, self.interleave);
+        for (addr, data) in log {
+            fresh.write(*addr, data);
+        }
+        Some(fresh.snapshot())
+    }
+
+    /// Differential replay check: true iff replaying the write log onto a
+    /// fresh space reproduces the current image byte for byte. False when
+    /// the log is disabled (there is nothing to verify against).
+    pub fn replay_matches(&self) -> bool {
+        match self.replay_write_log() {
+            Some(replayed) => self
+                .media
+                .iter()
+                .zip(replayed.iter())
+                .all(|(m, r)| m.contents() == r.as_slice()),
+            None => false,
+        }
     }
 }
 
@@ -308,6 +374,32 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.len(), 1);
         assert_eq!(&snap[0][10..13], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn write_log_replay_reproduces_the_image() {
+        let mut s = PmSpace::new(1 << 16, InterleaveConfig::new(2, 4096));
+        s.enable_write_log();
+        assert!(s.write_log_enabled());
+        let data: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+        s.write(PhysAddr(1024), &data);
+        s.fill(PhysAddr(0), 512, 0x5A);
+        s.copy(PhysAddr(1024), PhysAddr(20000), 6000);
+        // Overlapping copy exercises the buffered path too.
+        s.copy(PhysAddr(1024), PhysAddr(3072), 8192);
+        assert!(s.write_log_len() >= 4);
+        let replayed = s.replay_write_log().unwrap();
+        assert_eq!(replayed, s.snapshot());
+        assert!(s.replay_matches());
+    }
+
+    #[test]
+    fn write_log_disabled_has_no_replay() {
+        let mut s = PmSpace::single(4096);
+        s.write(PhysAddr(0), &[1, 2, 3]);
+        assert_eq!(s.write_log_len(), 0);
+        assert!(s.replay_write_log().is_none());
+        assert!(!s.replay_matches());
     }
 
     #[test]

@@ -14,9 +14,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crashpoint;
 pub mod gen;
 pub mod runner;
 
+pub use crashpoint::{
+    explore, explore_matrix, CcMech, ExplorationReport, ExplorerConfig, PipelineMode,
+};
 pub use gen::{TatpGenerator, TatpTxn, TpccGenerator, TpccTxn, YcsbGenerator, YcsbOp, Zipfian};
 pub use runner::{
     run, HarnessComparison, MultiClientHarness, RunOptions, Runner, TxnPipeline, Workload,

@@ -1,8 +1,10 @@
-//! Crash-recovery demo: a transaction is interrupted by a power failure on a
-//! two-device (NearPM MD) system; recovery rolls the partial update back.
+//! Crash-recovery demo: a transaction on a two-device (NearPM MD) system is
+//! interrupted by a deterministic fault-injection plan — the crash fires at
+//! a chosen persist boundary instead of a hand-placed `crash()` call —
+//! and recovery rolls the partial update back.
 
 use nearpm::cc::UndoLog;
-use nearpm::core::{NearPmSystem, Region, SystemConfig};
+use nearpm::core::{CrashPlan, NearPmSystem, Region, SystemConfig, SystemError};
 
 fn main() {
     let mut sys = NearPmSystem::new(SystemConfig::nearpm_md().with_capacity(32 << 20));
@@ -13,14 +15,30 @@ fn main() {
         .unwrap();
 
     let mut undo = UndoLog::new(&mut sys, pool, 0, 16).unwrap();
-    undo.begin(&mut sys).unwrap();
-    undo.log_range(&mut sys, record, 8192).unwrap();
-    undo.update(&mut sys, record, &vec![0xBB; 8192]).unwrap();
 
-    // Power failure before commit: the in-place update must not survive.
-    println!("simulating a failure before commit ...");
-    sys.crash();
+    // Arm a crash plan: the power failure fires at the transaction's first
+    // persist boundary — the in-place update itself, after the undo logs
+    // are posted but before the commit marker becomes durable.
+    sys.arm_crash_plan(CrashPlan::at_persist(0));
 
+    let txn = undo.begin(&mut sys).and_then(|_| {
+        undo.log_range(&mut sys, record, 8192)?;
+        undo.update(&mut sys, record, &vec![0xBB; 8192])?;
+        undo.commit(&mut sys)
+    });
+    match txn {
+        Err(SystemError::Crashed) => println!("power failed mid-transaction, as planned"),
+        Ok(()) if sys.is_crashed() => println!("power failed at the final boundary"),
+        other => panic!("the crash plan should have fired: {other:?}"),
+    }
+    let plan = sys.disarm_crash_plan().unwrap();
+    println!(
+        "crash injected at persist #0 ({} boundaries seen before the lights went out)",
+        plan.observed_total()
+    );
+
+    // Recovery on a healthy system is a typed error, not a silent no-op.
+    // (This system *is* crashed, so recovery proceeds.)
     let rolled_back = undo.recover(&mut sys).unwrap();
     println!("recovery rolled back {rolled_back} log entries");
     let recovered = sys.persistent_read(record, 8192).unwrap();

@@ -1,0 +1,53 @@
+//! Exhaustive crash-point matrix: every boundary of every mechanism ×
+//! pipeline shape × device configuration recovers with all three explorer
+//! invariants (committed-prefix image, PPO-clean trace, idempotent second
+//! recovery). The deeper release-mode sweep runs in CI as
+//! `crash_matrix_smoke`; this keeps a 1-unit version in the tier-1 suite.
+
+use nearpm::core::ExecMode;
+use nearpm::workloads::{explore, CcMech, ExplorerConfig, PipelineMode};
+
+fn assert_cell(mech: CcMech) {
+    for pipeline in PipelineMode::ALL {
+        for mode in [ExecMode::NearPmSd, ExecMode::NearPmMd] {
+            let cfg = ExplorerConfig {
+                mech,
+                pipeline,
+                mode,
+                units: 1,
+                prune: false,
+            };
+            let r = explore(&cfg).unwrap();
+            assert!(
+                r.ok(),
+                "{mech}/{pipeline}/{}: {:?}",
+                mode.label(),
+                r.failures
+            );
+            assert!(r.boundaries > 0, "{mech}/{pipeline}: no boundaries found");
+            assert_eq!(r.explored, r.boundaries);
+            assert_eq!(r.verified, r.boundaries);
+            assert!(r.classes > 0 && r.classes <= r.boundaries);
+        }
+    }
+}
+
+#[test]
+fn undo_log_matrix_recovers_at_every_boundary() {
+    assert_cell(CcMech::UndoLog);
+}
+
+#[test]
+fn redo_log_matrix_recovers_at_every_boundary() {
+    assert_cell(CcMech::RedoLog);
+}
+
+#[test]
+fn checkpoint_matrix_recovers_at_every_boundary() {
+    assert_cell(CcMech::Checkpoint);
+}
+
+#[test]
+fn shadow_paging_matrix_recovers_at_every_boundary() {
+    assert_cell(CcMech::ShadowPaging);
+}

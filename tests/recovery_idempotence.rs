@@ -1,0 +1,267 @@
+//! Property tests of recovery idempotence: for random crash points —
+//! including crashes *during recovery itself* — a completed recovery pass
+//! leaves the image in a legal committed-prefix state, and a second pass
+//! finds nothing to do and changes nothing.
+
+use nearpm::cc::{Checkpoint, RedoLog, ShadowPaging, UndoLog};
+use nearpm::core::{
+    CrashPlan, ExecMode, NearPmSystem, Region, SystemConfig, SystemError, VirtAddr,
+};
+use proptest::prelude::*;
+
+const LEN: usize = 4096;
+
+fn system(mode: ExecMode) -> NearPmSystem {
+    NearPmSystem::new(SystemConfig::for_mode(mode).with_capacity(32 << 20))
+}
+
+/// The image after `u` committed single-site units: `0xA5` initially, then
+/// the unit index + 1 as the fill byte.
+fn expected(u: usize) -> Vec<u8> {
+    if u == 0 {
+        vec![0xA5; LEN]
+    } else {
+        vec![u as u8; LEN]
+    }
+}
+
+fn prop_image_is_committed_prefix(image: &[u8], u_ok: usize, units: usize) -> bool {
+    let hi = (u_ok + 1).min(units);
+    (u_ok..=hi).any(|u| image == expected(u).as_slice())
+}
+
+/// Runs `units` redo transactions with a crash armed at boundary `pick % B`
+/// (enumerated first), returning the system, the log, and the certain
+/// committed-unit count.
+fn redo_run_until_crash(
+    mode: ExecMode,
+    units: usize,
+    pick: u64,
+) -> (NearPmSystem, RedoLog, VirtAddr, usize) {
+    // Counting pass.
+    let mut sys = system(mode);
+    let pool = sys.create_pool("p", 16 << 20).unwrap();
+    let obj = sys.alloc(pool, LEN as u64, LEN as u64).unwrap();
+    sys.cpu_write_persist(0, obj, &[0xA5; LEN], Region::AppPersist)
+        .unwrap();
+    let mut redo = RedoLog::new(&mut sys, pool, 0, 8).unwrap();
+    sys.arm_crash_plan(CrashPlan::count_only());
+    for u in 0..units {
+        redo.begin(&mut sys).unwrap();
+        redo.stage(&mut sys, obj, &vec![(u + 1) as u8; LEN])
+            .unwrap();
+        redo.commit(&mut sys).unwrap();
+    }
+    let boundaries = sys.disarm_crash_plan().unwrap().observed_total();
+
+    // Crashing pass.
+    let mut sys = system(mode);
+    let pool = sys.create_pool("p", 16 << 20).unwrap();
+    let obj = sys.alloc(pool, LEN as u64, LEN as u64).unwrap();
+    sys.cpu_write_persist(0, obj, &[0xA5; LEN], Region::AppPersist)
+        .unwrap();
+    let mut redo = RedoLog::new(&mut sys, pool, 0, 8).unwrap();
+    sys.arm_crash_plan(CrashPlan::at_boundary(pick % boundaries));
+    let mut u_ok = 0;
+    for u in 0..units {
+        let r = redo
+            .begin(&mut sys)
+            .and_then(|_| redo.stage(&mut sys, obj, &vec![(u + 1) as u8; LEN]))
+            .and_then(|_| redo.commit(&mut sys));
+        match r {
+            Ok(()) => {
+                u_ok = u + 1;
+                if sys.is_crashed() {
+                    break;
+                }
+            }
+            Err(SystemError::Crashed) => break,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(sys.is_crashed(), "plan must fire within the enumerated run");
+    (sys, redo, obj, u_ok)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Redo logging: recovery from any boundary is idempotent and lands on
+    /// a committed prefix.
+    #[test]
+    fn redo_recovery_is_idempotent(units in 1usize..4, pick in 0u64..10_000, md in 0usize..2) {
+        let mode = if md == 1 { ExecMode::NearPmMd } else { ExecMode::NearPmSd };
+        let (mut sys, mut redo, obj, u_ok) = redo_run_until_crash(mode, units, pick);
+        redo.recover(&mut sys).unwrap();
+        let image = sys.persistent_read(obj, LEN).unwrap();
+        prop_assert!(prop_image_is_committed_prefix(&image, u_ok, units));
+        sys.crash();
+        prop_assert_eq!(redo.recover(&mut sys).unwrap(), 0);
+        prop_assert_eq!(sys.persistent_read(obj, LEN).unwrap(), image);
+    }
+
+    /// Redo logging survives a crash in the middle of recovery: the re-run
+    /// completes the roll-forward/discard and is itself idempotent.
+    #[test]
+    fn redo_recovery_survives_crash_during_recovery(
+        units in 1usize..3,
+        pick in 0u64..10_000,
+        k in 0u64..6,
+    ) {
+        let (mut sys, mut redo, obj, u_ok) = redo_run_until_crash(ExecMode::NearPmMd, units, pick);
+        sys.arm_crash_plan(CrashPlan::at_persist(k));
+        match redo.recover(&mut sys) {
+            Ok(_) => {}
+            Err(SystemError::Crashed) => {
+                // Recovery was cut down mid-flight; a second attempt must
+                // finish the job from the persistent state alone.
+                redo.recover(&mut sys).unwrap();
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        sys.disarm_crash_plan();
+        let image = sys.persistent_read(obj, LEN).unwrap();
+        prop_assert!(prop_image_is_committed_prefix(&image, u_ok, units));
+        sys.crash();
+        prop_assert_eq!(redo.recover(&mut sys).unwrap(), 0);
+        prop_assert_eq!(sys.persistent_read(obj, LEN).unwrap(), image);
+    }
+
+    /// Checkpointing: recovery from a crash mid-epoch rolls the epoch back,
+    /// idempotently.
+    #[test]
+    fn checkpoint_recovery_is_idempotent(epochs in 1usize..4, cut in 0usize..2) {
+        let mut sys = system(ExecMode::NearPmMd);
+        let pool = sys.create_pool("p", 16 << 20).unwrap();
+        let page = sys.alloc(pool, LEN as u64, LEN as u64).unwrap();
+        sys.cpu_write_persist(0, page, &[0xA5; LEN], Region::AppPersist).unwrap();
+        let mut ck = Checkpoint::new(&mut sys, pool, 0, 8).unwrap();
+        for e in 0..epochs {
+            ck.touch(&mut sys, page).unwrap();
+            ck.update(&mut sys, page, &vec![(e + 1) as u8; LEN]).unwrap();
+            ck.advance_epoch(&mut sys).unwrap();
+        }
+        // Optionally leave a half-done epoch behind before the crash.
+        if cut == 1 {
+            ck.touch(&mut sys, page).unwrap();
+            ck.update(&mut sys, page, &[0xEE; LEN]).unwrap();
+        }
+        sys.crash();
+        let restored = ck.recover(&mut sys).unwrap();
+        prop_assert_eq!(restored, cut);
+        let image = sys.persistent_read(page, LEN).unwrap();
+        prop_assert_eq!(image.clone(), expected(epochs));
+        sys.crash();
+        prop_assert_eq!(ck.recover(&mut sys).unwrap(), 0);
+        prop_assert_eq!(sys.persistent_read(page, LEN).unwrap(), image);
+    }
+
+    /// Checkpointing survives a crash during the recovery restore: the
+    /// restore-then-reset order re-restores the same snapshot on the next
+    /// pass — a no-op.
+    #[test]
+    fn checkpoint_recovery_survives_crash_during_recovery(k in 0u64..4) {
+        let mut sys = system(ExecMode::NearPmSd);
+        let pool = sys.create_pool("p", 16 << 20).unwrap();
+        let page = sys.alloc(pool, LEN as u64, LEN as u64).unwrap();
+        sys.cpu_write_persist(0, page, &[0xA5; LEN], Region::AppPersist).unwrap();
+        let mut ck = Checkpoint::new(&mut sys, pool, 0, 8).unwrap();
+        ck.touch(&mut sys, page).unwrap();
+        ck.update(&mut sys, page, &[0xEE; LEN]).unwrap();
+        sys.crash();
+        sys.arm_crash_plan(CrashPlan::at_persist(k));
+        match ck.recover(&mut sys) {
+            Ok(_) => {}
+            Err(SystemError::Crashed) => {
+                ck.recover(&mut sys).unwrap();
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        sys.disarm_crash_plan();
+        let image = sys.persistent_read(page, LEN).unwrap();
+        prop_assert_eq!(image.clone(), vec![0xA5; LEN]);
+        sys.crash();
+        prop_assert_eq!(ck.recover(&mut sys).unwrap(), 0);
+        prop_assert_eq!(sys.persistent_read(page, LEN).unwrap(), image);
+    }
+
+    /// Shadow paging: the persistent page table is consistent at every
+    /// boundary, and recovery (re-reading it) is trivially idempotent.
+    #[test]
+    fn shadow_recovery_is_idempotent(updates in 1usize..4, pick in 0u64..10_000) {
+        // Counting pass.
+        let mut sys = system(ExecMode::NearPmMd);
+        let pool = sys.create_pool("p", 16 << 20).unwrap();
+        let mut sp = ShadowPaging::new(&mut sys, pool, 0, 1, 8).unwrap();
+        let p0 = sp.page_addr(&mut sys, 0).unwrap();
+        sys.cpu_write_persist(0, p0, &[0xA5; LEN], Region::AppPersist).unwrap();
+        sys.arm_crash_plan(CrashPlan::count_only());
+        for u in 0..updates {
+            sp.update(&mut sys, 0, 0, &[(u + 1) as u8; 64]).unwrap();
+        }
+        let boundaries = sys.disarm_crash_plan().unwrap().observed_total();
+
+        // Crashing pass.
+        let mut sys = system(ExecMode::NearPmMd);
+        let pool = sys.create_pool("p", 16 << 20).unwrap();
+        let mut sp = ShadowPaging::new(&mut sys, pool, 0, 1, 8).unwrap();
+        let p0 = sp.page_addr(&mut sys, 0).unwrap();
+        sys.cpu_write_persist(0, p0, &[0xA5; LEN], Region::AppPersist).unwrap();
+        sys.arm_crash_plan(CrashPlan::at_boundary(pick % boundaries));
+        let mut u_ok = 0;
+        for u in 0..updates {
+            match sp.update(&mut sys, 0, 0, &[(u + 1) as u8; 64]) {
+                Ok(()) => {
+                    u_ok = u + 1;
+                    if sys.is_crashed() {
+                        break;
+                    }
+                }
+                Err(SystemError::Crashed) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        prop_assert!(sys.is_crashed());
+        let mapping = sp.recover(&mut sys).unwrap();
+        let head = sys.persistent_read(mapping[0], 64).unwrap();
+        let hi = (u_ok + 1).min(updates);
+        prop_assert!((u_ok..=hi).any(|u| {
+            let byte = if u == 0 { 0xA5 } else { u as u8 };
+            head == vec![byte; 64]
+        }));
+        sys.crash();
+        let mapping2 = sp.recover(&mut sys).unwrap();
+        prop_assert_eq!(mapping, mapping2);
+        prop_assert_eq!(sys.persistent_read(mapping2[0], 64).unwrap(), head);
+    }
+
+    /// Undo logging survives a crash during the recovery rollback: home
+    /// writes and header resets re-run idempotently.
+    #[test]
+    fn undo_recovery_survives_crash_during_recovery(k in 0u64..6, md in 0usize..2) {
+        let mode = if md == 1 { ExecMode::NearPmMd } else { ExecMode::NearPmSd };
+        let mut sys = system(mode);
+        let pool = sys.create_pool("p", 16 << 20).unwrap();
+        let obj = sys.alloc(pool, LEN as u64, LEN as u64).unwrap();
+        sys.cpu_write_persist(0, obj, &[0xA5; LEN], Region::AppPersist).unwrap();
+        let mut undo = UndoLog::new(&mut sys, pool, 0, 8).unwrap();
+        undo.begin(&mut sys).unwrap();
+        undo.log_range(&mut sys, obj, LEN as u64).unwrap();
+        undo.update(&mut sys, obj, &[0xEE; LEN]).unwrap();
+        sys.crash();
+        sys.arm_crash_plan(CrashPlan::at_persist(k));
+        match undo.recover(&mut sys) {
+            Ok(_) => {}
+            Err(SystemError::Crashed) => {
+                undo.recover(&mut sys).unwrap();
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        sys.disarm_crash_plan();
+        let image = sys.persistent_read(obj, LEN).unwrap();
+        prop_assert_eq!(image.clone(), vec![0xA5; LEN]);
+        sys.crash();
+        prop_assert_eq!(undo.recover(&mut sys).unwrap(), 0);
+        prop_assert_eq!(sys.persistent_read(obj, LEN).unwrap(), image);
+    }
+}
