@@ -54,6 +54,28 @@ impl Checkpoint {
         })
     }
 
+    /// Re-creates a checkpoint manager over an existing persistent image
+    /// after a process restart: same allocation sequence as
+    /// [`Checkpoint::new`] (arena and marker land at the same addresses, and
+    /// the constructor writes nothing, so it also works on a still-crashed
+    /// system) with the epoch counter restored to `epoch`. The counter is
+    /// volatile in this model — a restarted process must be told which epoch
+    /// was in flight (in a real deployment it would live in persistent
+    /// metadata) so [`Checkpoint::recover`] restores that epoch's snapshots
+    /// and not a committed predecessor's.
+    pub fn reattach(
+        sys: &mut NearPmSystem,
+        pool: PoolId,
+        thread: usize,
+        pages_per_device: usize,
+        epoch: u64,
+    ) -> Result<Self> {
+        let mut ck = Self::new(sys, pool, thread, pages_per_device)?;
+        ck.epoch = epoch;
+        ck.epochs_completed = epoch;
+        Ok(ck)
+    }
+
     /// Current epoch number.
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -223,6 +245,14 @@ pub struct ShadowPaging {
     table: VirtAddr,
     /// Cached copy of the table (the persistent copy is authoritative).
     entries: Vec<VirtAddr>,
+    /// Per-logical-page bound spare: acquired from the arena on the page's
+    /// first update and owned by that page forever after — every switch
+    /// makes the old home page the new spare, so each logical page
+    /// flip-flops between two fixed physical pages. No slot ever returns to
+    /// the shared free list, which keeps shadow placement deterministic and
+    /// identical between the serial and pipelined paths (raw-media
+    /// differentials are exact, not just logical-page ones).
+    spares: Vec<Option<LogSlot>>,
     switches: u64,
 }
 
@@ -254,8 +284,54 @@ impl ShadowPaging {
             arena: LogArena::new(sys, pool, spare_pages_per_device)?,
             table,
             entries,
+            spares: vec![None; pages],
             switches: 0,
         })
+    }
+
+    /// Re-creates a shadow-paging manager over an existing persistent image
+    /// after a process restart: performs the same allocation sequence as
+    /// [`ShadowPaging::new`] (so the table, initial pages, and arena land at
+    /// the same addresses) but writes nothing — the system may still be in
+    /// the crashed state, and the persistent page table is authoritative.
+    /// Callers must run [`ShadowPaging::recover`] before reading pages; the
+    /// cached entries are stale until then.
+    pub fn reattach(
+        sys: &mut NearPmSystem,
+        pool: PoolId,
+        thread: usize,
+        pages: usize,
+        spare_pages_per_device: usize,
+    ) -> Result<Self> {
+        let table = sys.alloc(pool, (pages as u64) * 8, 64)?;
+        let mut entries = Vec::with_capacity(pages);
+        for _ in 0..pages {
+            entries.push(sys.alloc(pool, PM_PAGE, PM_PAGE)?);
+        }
+        Ok(ShadowPaging {
+            pool,
+            thread,
+            arena: LogArena::new(sys, pool, spare_pages_per_device)?,
+            table,
+            entries,
+            spares: vec![None; pages],
+            switches: 0,
+        })
+    }
+
+    /// Returns the shadow slot for logical page `idx`, binding a fresh spare
+    /// from the arena (on the page's home device) the first time the page is
+    /// updated. The first update of each page acquires in site order on both
+    /// the serial and pipelined paths, so the binding — and therefore the
+    /// raw media layout — is identical between them.
+    fn shadow_slot(&mut self, sys: &mut NearPmSystem, idx: usize) -> Result<LogSlot> {
+        if let Some(slot) = self.spares[idx] {
+            return Ok(slot);
+        }
+        let device = sys.device_of(self.entries[idx])?;
+        let slot = self.arena.acquire(device)?;
+        self.spares[idx] = Some(slot);
+        Ok(slot)
     }
 
     /// Number of logical pages.
@@ -312,8 +388,7 @@ impl ShadowPaging {
             "update crosses page boundary"
         );
         let old_page = self.entries[idx];
-        let device = sys.device_of(old_page)?;
-        let slot = self.arena.acquire(device)?;
+        let slot = self.shadow_slot(sys, idx)?;
         let shadow = slot.data;
 
         // 1. Copy the existing page to the shadow (NearPM_shadowcpy or CPU,
@@ -376,8 +451,10 @@ impl ShadowPaging {
         if let Some(h) = &handle {
             sys.release(&[h]);
         }
-        // The old page becomes the spare for the next update of this slot.
-        self.arena.release(LogSlot {
+        // The old home page becomes this logical page's bound spare: the
+        // pair flip-flops for the lifetime of the mechanism instead of
+        // cycling through the shared free list.
+        self.spares[idx] = Some(LogSlot {
             meta: slot.meta,
             data: old_page,
             device: slot.device,
@@ -449,8 +526,7 @@ impl ShadowPaging {
                 "update crosses page boundary"
             );
             let old_page = self.entries[idx];
-            let device = sys.device_of(old_page)?;
-            let slot = self.arena.acquire(device)?;
+            let slot = self.shadow_slot(sys, idx)?;
             sys.cpu_overhead(
                 self.thread,
                 "page-fault",
@@ -517,7 +593,7 @@ impl ShadowPaging {
                 Region::CcCommit,
             )?;
             let old_page = self.entries[idx];
-            self.arena.release(LogSlot {
+            self.spares[idx] = Some(LogSlot {
                 meta: slots[k].meta,
                 data: old_page,
                 device: slots[k].device,

@@ -1,6 +1,7 @@
 //! System configuration: execution modes and platform parameters.
 
 use nearpm_device::DispatchPolicy;
+use nearpm_pm::MediaConfig;
 use nearpm_sim::{LatencyModel, Topology};
 
 /// Which of the paper's four evaluated configurations to run (Section 8.1).
@@ -75,6 +76,9 @@ pub struct SystemConfig {
     pub latency: LatencyModel,
     /// Unit-assignment policy of every device's dispatcher.
     pub dispatch: DispatchPolicy,
+    /// Storage engine backing the PM media (heap by default; file-backed
+    /// for durable, process-restartable runs; sparse for huge geometries).
+    pub media: MediaConfig,
 }
 
 impl SystemConfig {
@@ -91,6 +95,7 @@ impl SystemConfig {
             cpu_threads: 1,
             latency: LatencyModel::default(),
             dispatch: DispatchPolicy::default(),
+            media: MediaConfig::default(),
         }
     }
 
@@ -154,6 +159,12 @@ impl SystemConfig {
     /// round-robin retained for regression comparisons).
     pub fn with_dispatch(mut self, dispatch: DispatchPolicy) -> Self {
         self.dispatch = dispatch;
+        self
+    }
+
+    /// Overrides the media storage engine (heap by default).
+    pub fn with_media(mut self, media: MediaConfig) -> Self {
+        self.media = media;
         self
     }
 

@@ -29,6 +29,14 @@ pub enum SystemError {
         /// Bucket capacity of the exhausted map.
         buckets: u64,
     },
+    /// The media backend failed to create, open, persist, or validate a
+    /// device image (I/O failure, missing file, manifest mismatch). The
+    /// underlying cause is flattened to a message so the error stays
+    /// cloneable and comparable.
+    Media {
+        /// What went wrong, including any I/O error text.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SystemError {
@@ -45,6 +53,7 @@ impl std::fmt::Display for SystemError {
             SystemError::MapFull { buckets } => {
                 write!(f, "persistent hash map is full ({buckets} buckets)")
             }
+            SystemError::Media { message } => write!(f, "media error: {message}"),
         }
     }
 }
@@ -60,6 +69,14 @@ impl From<PoolError> for SystemError {
 impl From<DeviceError> for SystemError {
     fn from(e: DeviceError) -> Self {
         SystemError::Device(e)
+    }
+}
+
+impl From<nearpm_pm::MediaError> for SystemError {
+    fn from(e: nearpm_pm::MediaError) -> Self {
+        SystemError::Media {
+            message: e.to_string(),
+        }
     }
 }
 

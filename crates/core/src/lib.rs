@@ -39,11 +39,11 @@ pub use batch::OffloadBatch;
 pub use config::{ExecMode, SystemConfig};
 pub use crashplan::{BoundaryKind, CrashPlan};
 pub use error::{Result, SystemError};
-pub use system::{NearPmSystem, OffloadHandle, RunReport};
+pub use system::{NearPmSystem, OffloadHandle, RunReport, MANIFEST_NAME};
 pub use trace::TraceBuilder;
 
 // Re-export the types callers need to drive the system.
 pub use nearpm_device::{DispatchPolicy, NearPmOp, ThreadId};
-pub use nearpm_pm::{AddrRange, PhysAddr, PoolId, VirtAddr};
+pub use nearpm_pm::{AddrRange, MediaConfig, MediaKind, PhysAddr, PoolId, VirtAddr};
 pub use nearpm_ppo::Sharing;
 pub use nearpm_sim::{LatencyModel, Region, SimDuration};

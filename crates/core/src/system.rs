@@ -18,8 +18,8 @@ use std::collections::HashMap;
 
 use nearpm_device::{DeviceConfig, NearPmDevice, NearPmOp, NearPmRequest, RequestId, ThreadId};
 use nearpm_pm::{
-    AddrRange, CpuCache, InterleaveConfig, PhysAddr, PmSpace, PmTraffic, PoolId, PoolRegistry,
-    VirtAddr,
+    AddrRange, CpuCache, InterleaveConfig, MediaConfig, MediaError, PhysAddr, PmSpace, PmTraffic,
+    PoolId, PoolRegistry, VirtAddr,
 };
 use nearpm_ppo::{Agent, EventKind, Interval, PpoViolation, ProcId, Sharing, Trace};
 use nearpm_sim::{LatencyModel, Region, Resource, SimDuration, SimTime, TaskGraph, TaskId};
@@ -29,6 +29,55 @@ use crate::config::{ExecMode, SystemConfig};
 use crate::crashplan::{BoundaryKind, CrashPlan};
 use crate::error::{Result, SystemError};
 use crate::trace::TraceBuilder;
+
+/// File name of the geometry manifest written by
+/// [`NearPmSystem::persist_to`] next to the per-device image files.
+pub const MANIFEST_NAME: &str = "manifest.nearpm";
+
+/// Parsed contents of a media manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MediaManifest {
+    capacity: u64,
+    devices: usize,
+    granularity: u64,
+}
+
+impl MediaManifest {
+    fn parse(text: &str) -> std::result::Result<Self, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("nearpm-media-manifest v1") => {}
+            other => return Err(format!("unsupported manifest header {other:?}")),
+        }
+        let (mut capacity, mut devices, mut granularity) = (None, None, None);
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed manifest line {line:?}"))?;
+            match key {
+                "capacity" => capacity = Some(parse_u64(key, value)?),
+                "devices" => devices = Some(parse_u64(key, value)? as usize),
+                "granularity" => granularity = Some(parse_u64(key, value)?),
+                _ => {} // unknown keys are ignored for forward compatibility
+            }
+        }
+        Ok(MediaManifest {
+            capacity: capacity.ok_or("manifest missing capacity")?,
+            devices: devices.ok_or("manifest missing devices")?,
+            granularity: granularity.ok_or("manifest missing granularity")?,
+        })
+    }
+}
+
+fn parse_u64(key: &str, value: &str) -> std::result::Result<u64, String> {
+    value
+        .parse()
+        .map_err(|e| format!("manifest {key} {value:?}: {e}"))
+}
 
 /// Handle to an offloaded NearPM procedure.
 #[derive(Debug, Clone)]
@@ -158,12 +207,28 @@ pub struct NearPmSystem {
 
 impl NearPmSystem {
     /// Builds a system from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured media backend cannot be created (heap media
+    /// never fails); use [`NearPmSystem::try_new`] to handle backend errors.
     pub fn new(config: SystemConfig) -> Self {
+        Self::try_new(config).expect("media backend construction failed")
+    }
+
+    /// Builds a system from a configuration, surfacing media-backend
+    /// construction failures as [`SystemError::Media`].
+    pub fn try_new(config: SystemConfig) -> Result<Self> {
         let devices_for_interleave = config.devices.max(1);
-        let space = PmSpace::new(
+        let space = PmSpace::with_media(
             config.pm_capacity,
             InterleaveConfig::new(devices_for_interleave, config.interleave_granularity),
-        );
+            &config.media,
+        )?;
+        Self::with_space(config, space)
+    }
+
+    fn with_space(config: SystemConfig, space: PmSpace) -> Result<Self> {
         let pools = PoolRegistry::new(config.pm_capacity);
         let devices = (0..config.devices)
             .map(|id| {
@@ -176,7 +241,7 @@ impl NearPmSystem {
             })
             .collect();
         let trace = TraceBuilder::new(config.devices.max(1));
-        NearPmSystem {
+        Ok(NearPmSystem {
             cpu_tail: vec![None; config.cpu_threads],
             fifo_stall: vec![None; config.cpu_threads],
             devices,
@@ -192,7 +257,7 @@ impl NearPmSystem {
             crash_plan: None,
             scratch: Vec::new(),
             config,
-        }
+        })
     }
 
     /// The system configuration.
@@ -1015,9 +1080,21 @@ impl NearPmSystem {
         self.space.enable_write_log();
     }
 
+    /// Starts recording media mutations with a payload-byte cap (see
+    /// [`nearpm_pm::PmSpace::enable_write_log_with_limit`]).
+    pub fn enable_media_write_log_with_limit(&mut self, max_bytes: u64) {
+        self.space.enable_write_log_with_limit(max_bytes);
+    }
+
     /// Number of recorded media mutations (0 when logging is off).
     pub fn media_write_log_len(&self) -> usize {
         self.space.write_log_len()
+    }
+
+    /// The typed overflow error, if the bounded media write log exceeded
+    /// its byte limit.
+    pub fn media_write_log_overflow(&self) -> Option<nearpm_pm::WriteLogOverflow> {
+        self.space.write_log_overflow()
     }
 
     /// Differential replay check: true iff replaying the recorded media
@@ -1038,6 +1115,127 @@ impl NearPmSystem {
     /// the PM is still interleaved storage without NearPM logic).
     pub fn media_count(&self) -> usize {
         self.space.interleave().devices
+    }
+
+    /// Owned copy of one backing device's full media image; works for every
+    /// storage engine (unlike [`NearPmSystem::device_media`], which needs a
+    /// contiguous in-RAM image) and does not perturb traffic statistics.
+    pub fn device_image(&self, device: usize) -> Vec<u8> {
+        self.space.device_image(device)
+    }
+
+    /// The storage engine backing the PM media.
+    pub fn media_kind(&self) -> nearpm_pm::MediaKind {
+        self.space.media_kind()
+    }
+
+    /// RAM currently held resident by the media backends (0 for file-backed
+    /// devices, whose images live in their files).
+    pub fn media_resident_bytes(&self) -> usize {
+        self.space.resident_bytes()
+    }
+
+    /// Flushes every media backend to durable storage (fsync for
+    /// file-backed devices; no-op for volatile engines).
+    pub fn sync_media(&mut self) -> Result<()> {
+        Ok(self.space.sync_all()?)
+    }
+
+    // ------------------------------------------------------------------
+    // Restartable runs: persist / reopen
+    // ------------------------------------------------------------------
+
+    /// Writes the device geometry manifest and every device's full media
+    /// image into `dir`, so a fresh process can attach with
+    /// [`NearPmSystem::reopen_from`]. Works from any storage engine (a
+    /// heap-backed run can be checkpointed to disk); for a file-backed
+    /// space whose images already live in `dir` the image bytes are simply
+    /// rewritten in place. Only the *persistence domain* is saved —
+    /// volatile state (dirty cache lines, device FIFOs) is deliberately
+    /// not, exactly as a real power failure would leave things.
+    pub fn persist_to(&mut self, dir: &std::path::Path) -> Result<()> {
+        use std::io::Write;
+        std::fs::create_dir_all(dir)
+            .map_err(|e| MediaError::io(format!("create image dir {}", dir.display()), e))?;
+        let devices = self.space.interleave().devices;
+        let file_cfg = MediaConfig::File {
+            dir: dir.to_path_buf(),
+        };
+        let in_place = self.space.media_config() == &file_cfg;
+        for d in 0..devices {
+            if in_place {
+                continue; // the files already hold the image
+            }
+            let path = dir.join(MediaConfig::device_file_name(d));
+            let image = self.space.device_image(d);
+            std::fs::write(&path, &image)
+                .map_err(|e| MediaError::io(format!("write image {}", path.display()), e))?;
+        }
+        self.space.sync_all()?;
+        // The manifest is written last: its presence marks a complete image.
+        let manifest = dir.join(MANIFEST_NAME);
+        let mut f = std::fs::File::create(&manifest)
+            .map_err(|e| MediaError::io(format!("create manifest {}", manifest.display()), e))?;
+        write!(
+            f,
+            "nearpm-media-manifest v1\ncapacity {}\ndevices {}\ngranularity {}\n",
+            self.config.pm_capacity, devices, self.config.interleave_granularity,
+        )
+        .and_then(|()| f.sync_all())
+        .map_err(|e| MediaError::io(format!("write manifest {}", manifest.display()), e))?;
+        Ok(())
+    }
+
+    /// Attaches a fresh system to the media images a previous process left
+    /// in `dir` (written by [`NearPmSystem::persist_to`], or by a
+    /// file-backed run that died). The manifest's geometry must match
+    /// `config`; the images are opened file-backed without zeroing.
+    ///
+    /// The reopened system starts in the **crashed** state with a recorded
+    /// failure event, mirroring [`NearPmSystem::crash`]: whatever volatile
+    /// state the previous process had is gone, and callers must run their
+    /// recovery path (`begin_recovery` → mechanism recovery →
+    /// `finish_recovery`) before normal operation — the same protocol the
+    /// in-process crash-point explorer proves invariants against.
+    pub fn reopen_from(mut config: SystemConfig, dir: &std::path::Path) -> Result<Self> {
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let text = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| MediaError::io(format!("read manifest {}", manifest_path.display()), e))?;
+        let manifest = MediaManifest::parse(&text)
+            .map_err(|msg| MediaError::msg(format!("{}: {msg}", manifest_path.display())))?;
+        let devices_for_interleave = config.devices.max(1);
+        if manifest.capacity != config.pm_capacity
+            || manifest.devices != devices_for_interleave
+            || manifest.granularity != config.interleave_granularity
+        {
+            return Err(SystemError::Media {
+                message: format!(
+                    "manifest geometry mismatch: image has capacity={} devices={} \
+                     granularity={}, config wants capacity={} devices={} granularity={}",
+                    manifest.capacity,
+                    manifest.devices,
+                    manifest.granularity,
+                    config.pm_capacity,
+                    devices_for_interleave,
+                    config.interleave_granularity
+                ),
+            });
+        }
+        let media = MediaConfig::File {
+            dir: dir.to_path_buf(),
+        };
+        let space = PmSpace::reopen(
+            config.pm_capacity,
+            InterleaveConfig::new(devices_for_interleave, config.interleave_granularity),
+            &media,
+        )?;
+        config.media = media;
+        let mut sys = Self::with_space(config, space)?;
+        // The previous process's volatile state is gone; surface that as a
+        // crash so recovery-protocol checks behave exactly as after an
+        // in-process failure.
+        sys.crash();
+        Ok(sys)
     }
 
     // ------------------------------------------------------------------
@@ -1688,5 +1886,131 @@ mod tests {
         let base_report = base.report();
         assert!((base_report.speedup_over(&base_report) - 1.0).abs() < 1e-9);
         assert!((base_report.cc_speedup_over(&base_report) - 1.0).abs() < 1e-9);
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("nearpm-sys-test-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn manifest_parses_and_rejects_garbage() {
+        let m = MediaManifest::parse(
+            "nearpm-media-manifest v1\ncapacity 100\ndevices 2\ngranularity 4096\n",
+        )
+        .unwrap();
+        assert_eq!(
+            m,
+            MediaManifest {
+                capacity: 100,
+                devices: 2,
+                granularity: 4096
+            }
+        );
+        assert!(MediaManifest::parse("not a manifest").is_err());
+        assert!(MediaManifest::parse("nearpm-media-manifest v1\ncapacity 100\n").is_err());
+        assert!(MediaManifest::parse(
+            "nearpm-media-manifest v1\ncapacity x\ndevices 2\ngranularity 4096"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn persist_and_reopen_restores_the_image_as_crashed() {
+        let dir = temp_dir("persist");
+        let cfg = small_config(ExecMode::NearPmMd);
+        let mut sys = NearPmSystem::new(cfg.clone());
+        let pool = sys.create_pool("p", 1 << 20).unwrap();
+        let a = sys.alloc(pool, 4096, 64).unwrap();
+        sys.cpu_write_persist(0, a, &[7; 128], Region::AppPersist)
+            .unwrap();
+        sys.persist_to(&dir).unwrap();
+        let images: Vec<_> = (0..sys.media_count())
+            .map(|d| sys.device_image(d))
+            .collect();
+        drop(sys);
+
+        let mut reopened = NearPmSystem::reopen_from(cfg.clone(), &dir).unwrap();
+        assert_eq!(reopened.media_kind(), nearpm_pm::MediaKind::File);
+        // The reopened system starts crashed, with the image intact.
+        assert!(reopened.is_crashed());
+        for (d, img) in images.iter().enumerate() {
+            assert_eq!(&reopened.device_image(d), img, "device {d}");
+        }
+        // The recovery protocol works exactly as after an in-process crash.
+        reopened.create_pool("p", 1 << 20).unwrap();
+        assert_eq!(reopened.persistent_read(a, 128).unwrap(), vec![7; 128]);
+        reopened.begin_recovery().unwrap();
+        reopened.finish_recovery();
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_rejects_geometry_mismatch_and_missing_manifest() {
+        let dir = temp_dir("mismatch");
+        let cfg = small_config(ExecMode::NearPmMd);
+        let missing = NearPmSystem::reopen_from(cfg.clone(), &dir).unwrap_err();
+        assert!(matches!(missing, SystemError::Media { .. }), "{missing}");
+        let mut sys = NearPmSystem::new(cfg.clone());
+        sys.persist_to(&dir).unwrap();
+        let err = NearPmSystem::reopen_from(cfg.clone().with_capacity(8 << 20), &dir).unwrap_err();
+        match err {
+            SystemError::Media { message } => {
+                assert!(message.contains("geometry mismatch"), "{message}")
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        drop(sys);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_backed_system_is_durable_without_persist_to() {
+        // A file-backed run's media writes land in the files as they happen;
+        // persist_to only adds the manifest. This is the property the
+        // kill-at-boundary restart harness relies on.
+        let dir = temp_dir("durable");
+        let cfg =
+            small_config(ExecMode::NearPmSd).with_media(MediaConfig::File { dir: dir.clone() });
+        let mut sys = NearPmSystem::new(cfg.clone());
+        let pool = sys.create_pool("p", 1 << 20).unwrap();
+        let a = sys.alloc(pool, 4096, 64).unwrap();
+        sys.cpu_write_persist(0, a, &[0xCD; 64], Region::AppPersist)
+            .unwrap();
+        sys.persist_to(&dir).unwrap();
+        let phys_image = sys.device_image(0);
+        drop(sys); // no clean shutdown of the media beyond the manifest
+
+        let reopened = NearPmSystem::reopen_from(cfg, &dir).unwrap();
+        assert_eq!(reopened.device_image(0), phys_image);
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn try_new_surfaces_backend_failures() {
+        // A file path that cannot be created (parent is a file, not a dir).
+        let bogus = temp_dir("not-a-dir-file");
+        std::fs::write(&bogus, b"x").unwrap();
+        let cfg = small_config(ExecMode::CpuBaseline).with_media(MediaConfig::File {
+            dir: bogus.join("sub"),
+        });
+        let err = NearPmSystem::try_new(cfg).unwrap_err();
+        assert!(matches!(err, SystemError::Media { .. }), "{err}");
+        std::fs::remove_file(&bogus).unwrap();
+    }
+
+    #[test]
+    fn media_accessors_report_backend_state() {
+        let mut sys =
+            NearPmSystem::new(small_config(ExecMode::NearPmMd).with_media(MediaConfig::Sparse));
+        assert_eq!(sys.media_kind(), nearpm_pm::MediaKind::Sparse);
+        assert_eq!(sys.media_resident_bytes(), 0);
+        let pool = sys.create_pool("p", 1 << 20).unwrap();
+        let a = sys.alloc(pool, 4096, 64).unwrap();
+        sys.cpu_write_persist(0, a, &[1; 64], Region::AppPersist)
+            .unwrap();
+        assert!(sys.media_resident_bytes() > 0);
+        sys.sync_media().unwrap();
     }
 }

@@ -27,7 +27,7 @@ pub struct InterleaveConfig {
 }
 
 /// A physical address range mapped onto one device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DeviceSpan {
     /// Device index.
     pub device: usize,
@@ -37,6 +37,154 @@ pub struct DeviceSpan {
     pub len: u64,
     /// Physical address where the span starts (global address space).
     pub phys: PhysAddr,
+}
+
+/// A small vector that keeps up to `N` elements inline and only allocates
+/// when a range genuinely crosses more devices.
+///
+/// [`InterleaveConfig::split`] and [`InterleaveConfig::devices_of`] sit on
+/// the simulator's hottest paths (every cache-line write-back and DMA copy
+/// splits a range); the overwhelmingly common case is one or two spans, so
+/// returning a `Vec` made every media access pay a heap allocation. Derefs
+/// to a slice, so callers index, iterate, and compare as before.
+#[derive(Debug, Clone)]
+pub struct InlineVec<T, const N: usize> {
+    inline: [T; N],
+    len: usize,
+    spill: Vec<T>,
+}
+
+/// Inline-capacity span list returned by [`InterleaveConfig::split`].
+pub type SpanVec = InlineVec<DeviceSpan, 2>;
+/// Inline-capacity device list returned by [`InterleaveConfig::devices_of`].
+pub type DeviceList = InlineVec<usize, 2>;
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        InlineVec {
+            inline: [T::default(); N],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends an element, spilling to the heap past `N` elements.
+    pub fn push(&mut self, value: T) {
+        if !self.spill.is_empty() {
+            self.spill.push(value);
+        } else if self.len < N {
+            self.inline[self.len] = value;
+            self.len += 1;
+        } else {
+            self.spill.reserve(N + 1);
+            self.spill.extend_from_slice(&self.inline[..self.len]);
+            self.spill.push(value);
+            self.len = 0;
+        }
+    }
+
+    /// View of the elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spill.is_empty() {
+            &mut self.inline[..self.len]
+        } else {
+            &mut self.spill
+        }
+    }
+
+    /// Copies the elements into a plain `Vec`.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::DerefMut for InlineVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<Vec<T>> for InlineVec<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize, const M: usize> PartialEq<[T; M]>
+    for InlineVec<T, N>
+{
+    fn eq(&self, other: &[T; M]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+/// Consuming iterator over an [`InlineVec`].
+pub struct InlineVecIter<T, const N: usize> {
+    vec: InlineVec<T, N>,
+    pos: usize,
+}
+
+impl<T: Copy + Default, const N: usize> Iterator for InlineVecIter<T, N> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        let slice = self.vec.as_slice();
+        if self.pos < slice.len() {
+            let v = slice[self.pos];
+            self.pos += 1;
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.vec.as_slice().len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl<T: Copy + Default, const N: usize> IntoIterator for InlineVec<T, N> {
+    type Item = T;
+    type IntoIter = InlineVecIter<T, N>;
+    fn into_iter(self) -> Self::IntoIter {
+        InlineVecIter { vec: self, pos: 0 }
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
 }
 
 impl InterleaveConfig {
@@ -78,45 +226,46 @@ impl InterleaveConfig {
     }
 
     /// Splits a physical range into per-device contiguous spans, in address
-    /// order.
-    pub fn split(&self, start: PhysAddr, len: u64) -> Vec<DeviceSpan> {
-        let mut spans = Vec::new();
+    /// order. Adjacent blocks that land contiguously on the same device are
+    /// merged as they are produced (always true for a single device), so the
+    /// common one- or two-span result stays inline with no heap allocation.
+    pub fn split(&self, start: PhysAddr, len: u64) -> SpanVec {
+        let mut spans = SpanVec::new();
         let mut addr = start.raw();
         let end = start.raw() + len;
         while addr < end {
             let block_end = (addr / self.granularity + 1) * self.granularity;
             let span_end = block_end.min(end);
             let phys = PhysAddr(addr);
-            spans.push(DeviceSpan {
+            let s = DeviceSpan {
                 device: self.device_of(phys),
                 local_offset: self.local_offset(phys),
                 len: span_end - addr,
                 phys,
-            });
-            addr = span_end;
-        }
-        // Merge adjacent spans that land contiguously on the same device
-        // (always true for a single device).
-        let mut merged: Vec<DeviceSpan> = Vec::with_capacity(spans.len());
-        for s in spans {
-            match merged.last_mut() {
+            };
+            match spans.last_mut() {
                 Some(prev)
                     if prev.device == s.device
                         && prev.local_offset + prev.len == s.local_offset =>
                 {
                     prev.len += s.len;
                 }
-                _ => merged.push(s),
+                _ => spans.push(s),
             }
+            addr = span_end;
         }
-        merged
+        spans
     }
 
     /// The set of devices touched by a physical range (sorted, deduplicated).
-    pub fn devices_of(&self, start: PhysAddr, len: u64) -> Vec<usize> {
-        let mut devs: Vec<usize> = self.split(start, len).iter().map(|s| s.device).collect();
+    pub fn devices_of(&self, start: PhysAddr, len: u64) -> DeviceList {
+        let mut devs = DeviceList::new();
+        for s in &self.split(start, len) {
+            if !devs.contains(&s.device) {
+                devs.push(s.device);
+            }
+        }
         devs.sort_unstable();
-        devs.dedup();
         devs
     }
 }
@@ -195,6 +344,30 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn zero_devices_rejected() {
         InterleaveConfig::new(0, 4096);
+    }
+
+    #[test]
+    fn inline_vec_spills_past_capacity() {
+        let mut v: InlineVec<usize, 2> = InlineVec::new();
+        v.push(1);
+        v.push(2);
+        assert_eq!(v.as_slice(), &[1, 2]);
+        v.push(3); // spills
+        v.push(4);
+        assert_eq!(v.as_slice(), &[1, 2, 3, 4]);
+        assert_eq!(v.to_vec(), vec![1, 2, 3, 4]);
+        assert_eq!(v.clone().into_iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn split_spills_for_many_devices() {
+        // 4 devices, a range touching all of them twice: 8 unmerged spans.
+        let c = InterleaveConfig::new(4, 4096);
+        let spans = c.split(PhysAddr(0), 4096 * 8);
+        assert_eq!(spans.len(), 8);
+        let total: u64 = spans.iter().map(|s| s.len).sum();
+        assert_eq!(total, 4096 * 8);
+        assert_eq!(c.devices_of(PhysAddr(0), 4096 * 8), vec![0, 1, 2, 3]);
     }
 
     #[test]

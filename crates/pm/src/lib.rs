@@ -54,7 +54,12 @@ pub mod space;
 pub use addr::{AddrRange, PhysAddr, PoolId, VirtAddr};
 pub use alloc::{AllocError, FreeListAllocator};
 pub use cache::{CacheStats, CpuCache, LINE};
-pub use interleave::{DeviceSpan, InterleaveConfig, DEFAULT_INTERLEAVE};
-pub use media::PmMedia;
+pub use interleave::{
+    DeviceList, DeviceSpan, InlineVec, InterleaveConfig, SpanVec, DEFAULT_INTERLEAVE,
+};
+pub use media::{
+    FileMedia, HeapMedia, MediaBackend, MediaConfig, MediaError, MediaKind, PmMedia, SparseMedia,
+    SPARSE_PAGE,
+};
 pub use pool::{Pool, PoolError, PoolRegistry, POOL_VIRT_BASE, POOL_VIRT_SPACING};
-pub use space::{PmSpace, PmTraffic};
+pub use space::{PmSpace, PmTraffic, WriteLogOverflow};

@@ -6,8 +6,8 @@
 //! each block.
 
 use crate::addr::PhysAddr;
-use crate::interleave::InterleaveConfig;
-use crate::media::PmMedia;
+use crate::interleave::{DeviceList, InterleaveConfig};
+use crate::media::{MediaConfig, MediaError, MediaKind, PmMedia};
 
 /// Aggregate PM traffic statistics across all devices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -22,34 +22,156 @@ pub struct PmTraffic {
     pub bytes_read: u64,
 }
 
+/// Typed error recording that the opt-in write log exceeded its configured
+/// byte limit. The log's entries are dropped when this happens (the memory
+/// is reclaimed); the error stays queryable via
+/// [`PmSpace::write_log_overflow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteLogOverflow {
+    /// The configured payload-byte limit.
+    pub limit: u64,
+    /// Payload bytes the log would have held at the overflowing record.
+    pub attempted: u64,
+}
+
+impl std::fmt::Display for WriteLogOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PM write log overflowed: {} payload bytes exceed the {}-byte limit",
+            self.attempted, self.limit
+        )
+    }
+}
+
+impl std::error::Error for WriteLogOverflow {}
+
+/// Opt-in media write log: every mutation since [`PmSpace::enable_write_log`]
+/// as `(addr, bytes)`, in order. Replaying it onto a fresh zeroed space of
+/// the same geometry must reproduce the current image — the crash-point
+/// explorer's differential check that the persisted image is exactly the
+/// recorded mutation history.
+///
+/// Consecutive entries that extend the previous address range (streaming
+/// writes) or overwrite exactly the previous range (idempotent retries) are
+/// coalesced in place, and total payload bytes can be capped; past the cap
+/// the log drops its entries and records a [`WriteLogOverflow`] instead of
+/// growing without bound.
+#[derive(Debug, Clone)]
+struct WriteLog {
+    entries: Vec<(PhysAddr, Vec<u8>)>,
+    bytes: u64,
+    limit: Option<u64>,
+    overflow: Option<WriteLogOverflow>,
+    coalesced: u64,
+}
+
+impl WriteLog {
+    fn new(limit: Option<u64>) -> Self {
+        WriteLog {
+            entries: Vec::new(),
+            bytes: 0,
+            limit,
+            overflow: None,
+            coalesced: 0,
+        }
+    }
+
+    fn record(&mut self, addr: PhysAddr, data: &[u8]) {
+        if self.overflow.is_some() || data.is_empty() {
+            return;
+        }
+        let fits = !self.would_overflow(data.len() as u64);
+        if let Some((prev_addr, prev_data)) = self.entries.last_mut() {
+            if prev_addr.raw() + prev_data.len() as u64 == addr.raw() {
+                // Streaming append: extend the previous entry in place.
+                if fits {
+                    prev_data.extend_from_slice(data);
+                    self.bytes += data.len() as u64;
+                    self.coalesced += 1;
+                    return;
+                }
+            } else if *prev_addr == addr && prev_data.len() == data.len() {
+                // Same-range overwrite: only the last value matters.
+                prev_data.copy_from_slice(data);
+                self.coalesced += 1;
+                return;
+            }
+        }
+        if self.would_overflow(data.len() as u64) {
+            self.overflow = Some(WriteLogOverflow {
+                limit: self.limit.unwrap_or(u64::MAX),
+                attempted: self.bytes + data.len() as u64,
+            });
+            self.entries = Vec::new();
+            self.bytes = 0;
+            return;
+        }
+        self.entries.push((addr, data.to_vec()));
+        self.bytes += data.len() as u64;
+    }
+
+    fn would_overflow(&self, extra: u64) -> bool {
+        self.limit.is_some_and(|limit| self.bytes + extra > limit)
+    }
+}
+
 /// The emulated physical PM space of the machine.
 #[derive(Debug, Clone)]
 pub struct PmSpace {
     media: Vec<PmMedia>,
     interleave: InterleaveConfig,
     capacity: u64,
-    /// Opt-in media write log: every mutation since
-    /// [`PmSpace::enable_write_log`] as `(addr, bytes)`, in order. Replaying
-    /// it onto a fresh zeroed space of the same geometry must reproduce the
-    /// current image — the crash-point explorer's differential check that
-    /// the persisted image is exactly the recorded mutation history.
-    write_log: Option<Vec<(PhysAddr, Vec<u8>)>>,
+    media_config: MediaConfig,
+    write_log: Option<WriteLog>,
 }
 
 impl PmSpace {
-    /// Creates a PM space of `capacity` bytes spread over the devices
-    /// described by `interleave`.
+    /// Creates a heap-backed PM space of `capacity` bytes spread over the
+    /// devices described by `interleave`.
     pub fn new(capacity: u64, interleave: InterleaveConfig) -> Self {
+        PmSpace::with_media(capacity, interleave, &MediaConfig::Heap)
+            .expect("heap media cannot fail")
+    }
+
+    /// Creates a PM space with the storage engine selected by `config`.
+    pub fn with_media(
+        capacity: u64,
+        interleave: InterleaveConfig,
+        config: &MediaConfig,
+    ) -> Result<Self, MediaError> {
         let per_device = interleave.per_device_capacity(capacity) as usize;
         let media = (0..interleave.devices)
-            .map(|_| PmMedia::new(per_device))
-            .collect();
-        PmSpace {
+            .map(|d| config.create_device(d, per_device))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PmSpace {
             media,
             interleave,
             capacity,
+            media_config: config.clone(),
             write_log: None,
-        }
+        })
+    }
+
+    /// Reopens a PM space over existing device images without zeroing them
+    /// (meaningful for [`MediaConfig::File`]; a fresh process attaches to
+    /// the image a crashed run left behind).
+    pub fn reopen(
+        capacity: u64,
+        interleave: InterleaveConfig,
+        config: &MediaConfig,
+    ) -> Result<Self, MediaError> {
+        let per_device = interleave.per_device_capacity(capacity) as usize;
+        let media = (0..interleave.devices)
+            .map(|d| config.reopen_device(d, per_device))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PmSpace {
+            media,
+            interleave,
+            capacity,
+            media_config: config.clone(),
+            write_log: None,
+        })
     }
 
     /// Single-device space (the common unit-test configuration).
@@ -78,8 +200,32 @@ impl PmSpace {
     }
 
     /// The devices touched by the physical range.
-    pub fn devices_of(&self, addr: PhysAddr, len: u64) -> Vec<usize> {
+    pub fn devices_of(&self, addr: PhysAddr, len: u64) -> DeviceList {
         self.interleave.devices_of(addr, len)
+    }
+
+    /// The storage engine backing the devices.
+    pub fn media_kind(&self) -> MediaKind {
+        self.media_config.kind()
+    }
+
+    /// The media configuration this space was built with.
+    pub fn media_config(&self) -> &MediaConfig {
+        &self.media_config
+    }
+
+    /// Total RAM currently held resident by the device backends.
+    pub fn resident_bytes(&self) -> usize {
+        self.media.iter().map(|m| m.resident_bytes()).sum()
+    }
+
+    /// Flushes every device backend to durable storage (no-op for volatile
+    /// engines).
+    pub fn sync_all(&mut self) -> Result<(), MediaError> {
+        for m in &mut self.media {
+            m.sync()?;
+        }
+        Ok(())
     }
 
     /// Reads `buf.len()` bytes starting at physical address `addr`.
@@ -114,7 +260,7 @@ impl PmSpace {
             data.len()
         );
         if let Some(log) = &mut self.write_log {
-            log.push((addr, data.to_vec()));
+            log.record(addr, data);
         }
         let mut cursor = 0usize;
         for span in self.interleave.split(addr, data.len() as u64) {
@@ -195,7 +341,7 @@ impl PmSpace {
             "PM space fill out of bounds at {addr} len {len}"
         );
         if let Some(log) = &mut self.write_log {
-            log.push((addr, vec![value; len]));
+            log.record(addr, &vec![value; len]);
         }
         for span in self.interleave.split(addr, len as u64) {
             self.media[span.device].fill(span.local_offset as usize, span.len as usize, value);
@@ -234,27 +380,73 @@ impl PmSpace {
 
     /// Borrowed view of one device's full persistent image — the zero-copy
     /// alternative to [`PmSpace::snapshot`] when a read-only look suffices.
+    ///
+    /// # Panics
+    ///
+    /// Panics for storage engines that do not keep the image contiguously
+    /// in RAM; backend-agnostic callers use [`PmSpace::device_image`] or
+    /// [`PmSpace::peek`].
     pub fn device_contents(&self, device: usize) -> &[u8] {
         self.media[device].contents()
+    }
+
+    /// Owned copy of one device's full persistent image; works for every
+    /// storage engine and does not touch the traffic statistics.
+    pub fn device_image(&self, device: usize) -> Vec<u8> {
+        self.media[device].image()
+    }
+
+    /// Reads `buf.len()` bytes at `addr` without touching the traffic
+    /// statistics — for recovery checks and differential oracles that must
+    /// not perturb accounting.
+    pub fn peek(&self, addr: PhysAddr, buf: &mut [u8]) {
+        assert!(
+            addr.raw() + buf.len() as u64 <= self.capacity,
+            "PM space read out of bounds at {addr} len {}",
+            buf.len()
+        );
+        let mut cursor = 0usize;
+        for span in self.interleave.split(addr, buf.len() as u64) {
+            let len = span.len as usize;
+            self.media[span.device]
+                .peek(span.local_offset as usize, &mut buf[cursor..cursor + len]);
+            cursor += len;
+        }
+    }
+
+    /// Stat-free read of `len` bytes at `addr` into a new vector.
+    pub fn peek_vec(&self, addr: PhysAddr, len: usize) -> Vec<u8> {
+        let mut v = vec![0; len];
+        self.peek(addr, &mut v);
+        v
     }
 
     /// Snapshot of the full persistent image (used by crash-equivalence
     /// checks in tests; cloning multi-megabyte spaces is acceptable there).
     /// Hot paths should use [`PmSpace::device_contents`] instead.
     pub fn snapshot(&self) -> Vec<Vec<u8>> {
-        self.media.iter().map(|m| m.contents().to_vec()).collect()
+        self.media.iter().map(|m| m.image()).collect()
     }
 
     // ------------------------------------------------------------------
     // Media write log (deterministic replay)
     // ------------------------------------------------------------------
 
-    /// Starts recording every media mutation. Enable this immediately after
-    /// construction (while the space is still zeroed) so the log is a
-    /// complete mutation history of the image.
+    /// Starts recording every media mutation with no byte limit. Enable
+    /// this immediately after construction (while the space is still
+    /// zeroed) so the log is a complete mutation history of the image.
     pub fn enable_write_log(&mut self) {
         if self.write_log.is_none() {
-            self.write_log = Some(Vec::new());
+            self.write_log = Some(WriteLog::new(None));
+        }
+    }
+
+    /// Starts recording with a payload-byte cap. When coalesced payload
+    /// bytes would exceed `max_bytes`, the log drops its entries and
+    /// records a [`WriteLogOverflow`] instead of growing without bound.
+    pub fn enable_write_log_with_limit(&mut self, max_bytes: u64) {
+        if self.write_log.is_none() {
+            self.write_log = Some(WriteLog::new(Some(max_bytes)));
         }
     }
 
@@ -263,18 +455,38 @@ impl PmSpace {
         self.write_log.is_some()
     }
 
-    /// Number of recorded mutations (0 when the log is disabled).
+    /// Number of recorded mutations after coalescing (0 when the log is
+    /// disabled or has overflowed).
     pub fn write_log_len(&self) -> usize {
-        self.write_log.as_ref().map_or(0, |l| l.len())
+        self.write_log.as_ref().map_or(0, |l| l.entries.len())
     }
 
-    /// Replays the recorded mutation history onto a fresh zeroed space of
-    /// the same geometry and returns the resulting per-device images.
-    /// `None` when the log was never enabled.
+    /// Payload bytes currently held by the log.
+    pub fn write_log_bytes(&self) -> u64 {
+        self.write_log.as_ref().map_or(0, |l| l.bytes)
+    }
+
+    /// Number of mutations absorbed into an existing entry by coalescing.
+    pub fn write_log_coalesced(&self) -> u64 {
+        self.write_log.as_ref().map_or(0, |l| l.coalesced)
+    }
+
+    /// The typed overflow error, if the log exceeded its byte limit.
+    pub fn write_log_overflow(&self) -> Option<WriteLogOverflow> {
+        self.write_log.as_ref().and_then(|l| l.overflow)
+    }
+
+    /// Replays the recorded mutation history onto a fresh zeroed heap space
+    /// of the same geometry and returns the resulting per-device images.
+    /// `None` when the log was never enabled or has overflowed (the
+    /// history is incomplete).
     pub fn replay_write_log(&self) -> Option<Vec<Vec<u8>>> {
         let log = self.write_log.as_ref()?;
+        if log.overflow.is_some() {
+            return None;
+        }
         let mut fresh = PmSpace::new(self.capacity, self.interleave);
-        for (addr, data) in log {
+        for (addr, data) in &log.entries {
             fresh.write(*addr, data);
         }
         Some(fresh.snapshot())
@@ -282,14 +494,15 @@ impl PmSpace {
 
     /// Differential replay check: true iff replaying the write log onto a
     /// fresh space reproduces the current image byte for byte. False when
-    /// the log is disabled (there is nothing to verify against).
+    /// the log is disabled or overflowed (there is nothing to verify
+    /// against).
     pub fn replay_matches(&self) -> bool {
         match self.replay_write_log() {
             Some(replayed) => self
                 .media
                 .iter()
                 .zip(replayed.iter())
-                .all(|(m, r)| m.contents() == r.as_slice()),
+                .all(|(m, r)| m.image() == *r),
             None => false,
         }
     }
@@ -400,6 +613,89 @@ mod tests {
         assert_eq!(s.write_log_len(), 0);
         assert!(s.replay_write_log().is_none());
         assert!(!s.replay_matches());
+    }
+
+    #[test]
+    fn write_log_coalesces_streaming_and_overwrites() {
+        let mut s = PmSpace::single(1 << 16);
+        s.enable_write_log();
+        // Streaming: three adjacent writes coalesce to one entry.
+        s.write(PhysAddr(0), &[1; 64]);
+        s.write(PhysAddr(64), &[2; 64]);
+        s.write(PhysAddr(128), &[3; 64]);
+        assert_eq!(s.write_log_len(), 1);
+        assert_eq!(s.write_log_bytes(), 192);
+        // Same-range overwrite: replaced in place, not appended.
+        s.write(PhysAddr(0), &[9; 192]);
+        assert_eq!(s.write_log_len(), 1);
+        assert_eq!(s.write_log_coalesced(), 3);
+        assert!(s.replay_matches());
+    }
+
+    #[test]
+    fn bounded_write_log_overflows_with_typed_error() {
+        let mut s = PmSpace::single(1 << 16);
+        s.enable_write_log_with_limit(100);
+        s.write(PhysAddr(0), &[1; 64]);
+        assert!(s.write_log_overflow().is_none());
+        s.write(PhysAddr(1000), &[2; 64]); // 128 > 100 → overflow
+        let err = s.write_log_overflow().expect("must overflow");
+        assert_eq!(err.limit, 100);
+        assert_eq!(err.attempted, 128);
+        assert!(err.to_string().contains("100-byte limit"), "{err}");
+        // Entries are dropped; replay is unavailable but writes still land.
+        assert_eq!(s.write_log_len(), 0);
+        assert!(s.replay_write_log().is_none());
+        assert!(!s.replay_matches());
+        assert_eq!(s.read_vec(PhysAddr(1000), 2), vec![2, 2]);
+    }
+
+    #[test]
+    fn peek_reads_without_stats() {
+        let mut s = PmSpace::new(1 << 16, InterleaveConfig::new(2, 4096));
+        let data: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+        s.write(PhysAddr(1024), &data);
+        let before = s.traffic();
+        assert_eq!(s.peek_vec(PhysAddr(1024), 8192), data);
+        assert_eq!(s.traffic(), before);
+        assert_eq!(s.device_image(0).len(), s.device_contents(0).len());
+    }
+
+    #[test]
+    fn with_media_backends_match_heap() {
+        let dir = std::env::temp_dir().join(format!("nearpm-space-test-{}", std::process::id()));
+        let geometries = [MediaConfig::Sparse, MediaConfig::File { dir: dir.clone() }];
+        let il = InterleaveConfig::new(3, 4096);
+        let mut heap = PmSpace::new(1 << 16, il);
+        let data: Vec<u8> = (0..20000u32).map(|i| (i % 249) as u8).collect();
+        heap.write(PhysAddr(100), &data);
+        heap.fill(PhysAddr(40000), 5000, 0x3C);
+        heap.copy(PhysAddr(100), PhysAddr(30000), 9000);
+        for cfg in &geometries {
+            let mut other = PmSpace::with_media(1 << 16, il, cfg).unwrap();
+            other.write(PhysAddr(100), &data);
+            other.fill(PhysAddr(40000), 5000, 0x3C);
+            other.copy(PhysAddr(100), PhysAddr(30000), 9000);
+            assert_eq!(heap.snapshot(), other.snapshot(), "{:?}", cfg.kind());
+            assert_eq!(heap.traffic(), other.traffic(), "{:?}", cfg.kind());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_space_reopens_with_image_intact() {
+        let dir = std::env::temp_dir().join(format!("nearpm-reopen-test-{}", std::process::id()));
+        let cfg = MediaConfig::File { dir: dir.clone() };
+        let il = InterleaveConfig::new(2, 4096);
+        {
+            let mut s = PmSpace::with_media(1 << 16, il, &cfg).unwrap();
+            s.write(PhysAddr(5000), b"survives the process");
+            s.sync_all().unwrap();
+        }
+        let s = PmSpace::reopen(1 << 16, il, &cfg).unwrap();
+        assert_eq!(s.peek_vec(PhysAddr(5000), 20), b"survives the process");
+        drop(s);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

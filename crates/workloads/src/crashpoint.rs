@@ -36,8 +36,8 @@
 
 use nearpm_cc::{Checkpoint, RedoLog, ShadowPaging, UndoLog};
 use nearpm_core::{
-    BoundaryKind, CrashPlan, ExecMode, NearPmSystem, Region, Result, SystemConfig, SystemError,
-    VirtAddr,
+    BoundaryKind, CrashPlan, ExecMode, MediaConfig, NearPmSystem, Region, Result, SystemConfig,
+    SystemError, VirtAddr,
 };
 use std::collections::HashSet;
 use std::fmt;
@@ -136,6 +136,10 @@ pub struct ExplorerConfig {
     /// When true, boundaries whose equivalence class was already verified
     /// skip the invariant checks (the class representative proved them).
     pub prune: bool,
+    /// Media storage engine every replayed system uses (heap by default).
+    /// Sequential replays with a file backend can share one directory:
+    /// creating a device truncates its file, so each replay starts clean.
+    pub media: MediaConfig,
 }
 
 impl ExplorerConfig {
@@ -147,7 +151,14 @@ impl ExplorerConfig {
             mode,
             units: 3,
             prune: false,
+            media: MediaConfig::Heap,
         }
+    }
+
+    /// Overrides the media storage engine.
+    pub fn with_media(mut self, media: MediaConfig) -> Self {
+        self.media = media;
+        self
     }
 }
 
@@ -224,16 +235,18 @@ impl fmt::Display for ExplorationReport {
 }
 
 /// What a mechanism's `recover()` reports, normalized across mechanisms.
-struct RecoveryOutcome {
+pub(crate) struct RecoveryOutcome {
     /// Entries rolled back / forward / restored (0 for shadow paging).
-    work: u64,
+    pub(crate) work: u64,
     /// Shadow paging's recovered page-table mapping.
-    mapping: Option<Vec<VirtAddr>>,
+    pub(crate) mapping: Option<Vec<VirtAddr>>,
 }
 
 /// One system + mechanism instance replaying the deterministic workload.
-struct Driver {
-    sys: NearPmSystem,
+/// Shared with the restart-recovery harness (`crate::restart`), which runs
+/// the same workload in a child process over a file-backed image.
+pub(crate) struct Driver {
+    pub(crate) sys: NearPmSystem,
     pipeline: PipelineMode,
     state: State,
 }
@@ -258,13 +271,17 @@ enum State {
 
 /// Fill byte for unit `u`, site `s` — distinct per (unit, site) so torn
 /// images are unambiguous.
-fn fill_byte(u: usize, s: usize) -> u8 {
+pub(crate) fn fill_byte(u: usize, s: usize) -> u8 {
     (1 + 2 * u + s) as u8
 }
 
 impl Driver {
-    fn new(cfg: &ExplorerConfig, with_write_log: bool) -> Result<Driver> {
-        let mut sys = NearPmSystem::new(SystemConfig::for_mode(cfg.mode).with_capacity(32 << 20));
+    pub(crate) fn new(cfg: &ExplorerConfig, with_write_log: bool) -> Result<Driver> {
+        let mut sys = NearPmSystem::try_new(
+            SystemConfig::for_mode(cfg.mode)
+                .with_capacity(32 << 20)
+                .with_media(cfg.media.clone()),
+        )?;
         if with_write_log {
             sys.enable_media_write_log();
         }
@@ -310,8 +327,60 @@ impl Driver {
         })
     }
 
+    /// Re-creates a driver over a reopened — and still crashed — system
+    /// image: the same pool and allocation sequence as [`Driver::new`] (so
+    /// every object, marker, table, and arena slot lands at the address the
+    /// crashed process used) but without any of the initial-image writes;
+    /// the persistent image is authoritative. `units_committed` restores
+    /// the checkpoint epoch counter (one unit per epoch), the only piece of
+    /// mechanism state this model keeps volatile.
+    pub(crate) fn reattach(
+        cfg: &ExplorerConfig,
+        mut sys: NearPmSystem,
+        units_committed: usize,
+    ) -> Result<Driver> {
+        let pool = sys.create_pool("crashpoint", 16 << 20)?;
+        let state = match cfg.mech {
+            CcMech::UndoLog | CcMech::RedoLog => {
+                let obj = sys.alloc(pool, APP_LEN as u64, PAGE as u64)?;
+                match cfg.mech {
+                    CcMech::UndoLog => State::Undo {
+                        log: UndoLog::new(&mut sys, pool, 0, ARENA_PAGES)?,
+                        obj,
+                    },
+                    _ => State::Redo {
+                        log: RedoLog::new(&mut sys, pool, 0, ARENA_PAGES)?,
+                        obj,
+                    },
+                }
+            }
+            CcMech::Checkpoint => {
+                let p0 = sys.alloc(pool, PAGE as u64, PAGE as u64)?;
+                let p1 = sys.alloc(pool, PAGE as u64, PAGE as u64)?;
+                State::Ckpt {
+                    ck: Checkpoint::reattach(
+                        &mut sys,
+                        pool,
+                        0,
+                        ARENA_PAGES,
+                        units_committed as u64,
+                    )?,
+                    pages: [p0, p1],
+                }
+            }
+            CcMech::ShadowPaging => State::Shadow {
+                sp: Box::new(ShadowPaging::reattach(&mut sys, pool, 0, 2, ARENA_PAGES)?),
+            },
+        };
+        Ok(Driver {
+            sys,
+            pipeline: cfg.pipeline,
+            state,
+        })
+    }
+
     /// Runs committed unit `u`: one transaction / epoch / page-update step.
-    fn run_unit(&mut self, u: usize) -> Result<()> {
+    pub(crate) fn run_unit(&mut self, u: usize) -> Result<()> {
         let sys = &mut self.sys;
         match &mut self.state {
             State::Undo { log, obj } => {
@@ -381,7 +450,7 @@ impl Driver {
     /// The application image: the home object, the checkpointed pages, or
     /// the logical pages behind the persistent shadow page table. Read
     /// directly off the media, so it is valid while crashed.
-    fn app_image(&mut self) -> Result<Vec<u8>> {
+    pub(crate) fn app_image(&mut self) -> Result<Vec<u8>> {
         let sys = &mut self.sys;
         match &mut self.state {
             State::Undo { obj, .. } | State::Redo { obj, .. } => sys.persistent_read(*obj, APP_LEN),
@@ -402,7 +471,7 @@ impl Driver {
     }
 
     /// Runs the mechanism's recovery and normalizes the result.
-    fn recover(&mut self) -> Result<RecoveryOutcome> {
+    pub(crate) fn recover(&mut self) -> Result<RecoveryOutcome> {
         let sys = &mut self.sys;
         Ok(match &mut self.state {
             State::Undo { log, .. } => RecoveryOutcome {
@@ -430,7 +499,7 @@ impl Driver {
     /// paging only — the per-site intermediate after the first of the in-
     /// flight unit's two page switches (page switches commit per page, not
     /// per unit).
-    fn legal_images(&self, oracle: &[Vec<u8>], u_ok: usize) -> Vec<Vec<u8>> {
+    pub(crate) fn legal_images(&self, oracle: &[Vec<u8>], u_ok: usize) -> Vec<Vec<u8>> {
         let mut legal = vec![oracle[u_ok].clone()];
         if u_ok + 1 < oracle.len() {
             if matches!(self.state, State::Shadow { .. })
@@ -448,11 +517,11 @@ impl Driver {
     }
 }
 
-/// FNV-1a over every backing device's full media image.
-fn media_hash(sys: &NearPmSystem) -> u64 {
+/// FNV-1a over every backing device's full media image (any backend).
+pub(crate) fn media_hash(sys: &NearPmSystem) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for d in 0..sys.media_count() {
-        for &b in sys.device_media(d) {
+        for &b in &sys.device_image(d) {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
@@ -625,6 +694,7 @@ pub fn explore_matrix(
                     mode,
                     units,
                     prune,
+                    media: MediaConfig::Heap,
                 };
                 reports.push(explore(&cfg)?);
             }
@@ -644,6 +714,7 @@ mod tests {
             mode,
             units: 2,
             prune: false,
+            media: MediaConfig::Heap,
         };
         explore(&cfg).unwrap()
     }
@@ -695,6 +766,30 @@ mod tests {
         assert_eq!(r.by_kind[1], 0);
     }
 
+    /// A file-backed cell must explore the same boundary space and verify
+    /// every point exactly like the heap cell: the media engine is
+    /// orthogonal to the crash-consistency protocol. All replays share one
+    /// directory — creating a device truncates its file, so each replay
+    /// starts clean.
+    #[test]
+    fn file_media_cell_matches_heap_cell() {
+        let dir =
+            std::env::temp_dir().join(format!("nearpm-crashpoint-file-{}", std::process::id()));
+        let mut heap_cfg =
+            ExplorerConfig::new(CcMech::UndoLog, PipelineMode::Serial, ExecMode::NearPmMd);
+        heap_cfg.units = 2;
+        let file_cfg = heap_cfg
+            .clone()
+            .with_media(MediaConfig::File { dir: dir.clone() });
+        let heap = explore(&heap_cfg).unwrap();
+        let file = explore(&file_cfg).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(file.ok(), "failures: {:?}", file.failures);
+        assert_eq!(file.boundaries, heap.boundaries);
+        assert_eq!(file.verified, heap.verified);
+        assert_eq!(file.classes, heap.classes);
+    }
+
     #[test]
     fn pruning_skips_duplicate_classes_but_explores_everything() {
         let cfg = ExplorerConfig {
@@ -703,6 +798,7 @@ mod tests {
             mode: ExecMode::NearPmMd,
             units: 2,
             prune: true,
+            media: MediaConfig::Heap,
         };
         let r = explore(&cfg).unwrap();
         assert!(r.ok(), "failures: {:?}", r.failures);

@@ -16,12 +16,17 @@
 
 pub mod crashpoint;
 pub mod gen;
+pub mod restart;
 pub mod runner;
 
 pub use crashpoint::{
     explore, explore_matrix, CcMech, ExplorationReport, ExplorerConfig, PipelineMode,
 };
 pub use gen::{TatpGenerator, TatpTxn, TpccGenerator, TpccTxn, YcsbGenerator, YcsbOp, Zipfian};
+pub use restart::{
+    child_main, count_boundaries, drop_and_reopen, verify_restarted_recovery, RestartOutcome,
+    RestartSpec, CHILD_ENV,
+};
 pub use runner::{
     run, HarnessComparison, MultiClientHarness, RunOptions, Runner, TxnPipeline, Workload,
     WorkloadSpec,

@@ -11,7 +11,9 @@
 //! derived.
 
 use nearpm_cc::{Checkpoint, Mechanism, ShadowPaging, UndoLog};
-use nearpm_core::{ExecMode, NearPmSystem, PoolId, Result, RunReport, SystemConfig, VirtAddr};
+use nearpm_core::{
+    ExecMode, MediaConfig, NearPmSystem, PoolId, Result, RunReport, SystemConfig, VirtAddr,
+};
 use nearpm_sim::PM_PAGE;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -192,6 +194,8 @@ pub struct RunOptions {
     pub pipeline: TxnPipeline,
     /// RNG seed.
     pub seed: u64,
+    /// Storage engine backing the PM media (heap by default).
+    pub media: MediaConfig,
 }
 
 impl Default for RunOptions {
@@ -205,6 +209,7 @@ impl Default for RunOptions {
             fifo_depth: None,
             pipeline: TxnPipeline::SplitPhase,
             seed: 1,
+            media: MediaConfig::default(),
         }
     }
 }
@@ -247,6 +252,12 @@ impl RunOptions {
     /// Overrides the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Overrides the media storage engine (heap by default).
+    pub fn with_media(mut self, media: MediaConfig) -> Self {
+        self.media = media;
         self
     }
 }
@@ -328,11 +339,12 @@ impl Runner {
         let mut config = SystemConfig::for_mode(o.mode)
             .with_units(o.units_per_device)
             .with_cpu_threads(o.threads)
-            .with_capacity(capacity);
+            .with_capacity(capacity)
+            .with_media(o.media.clone());
         if let Some(depth) = o.fifo_depth {
             config = config.with_fifo_depth(depth);
         }
-        let mut sys = NearPmSystem::new(config);
+        let mut sys = NearPmSystem::try_new(config)?;
 
         // Redis shares one pool among all threads; Memcached and the rest use
         // one pool per thread (Section 8.3.1).
@@ -365,13 +377,21 @@ impl Runner {
                 Mechanism::Checkpointing => {
                     ThreadMechanism::Checkpointing(Checkpoint::new(&mut sys, pool, t, arena_pages)?)
                 }
-                Mechanism::ShadowPaging => ThreadMechanism::Shadow(ShadowPaging::new(
-                    &mut sys,
-                    pool,
-                    t,
-                    (per_thread_objects / 8).clamp(4, 32),
-                    arena_pages,
-                )?),
+                Mechanism::ShadowPaging => {
+                    let pages = (per_thread_objects / 8).clamp(4, 32);
+                    // Each logical page permanently binds one spare on its
+                    // home device (flip-flop placement), so the arena must
+                    // hold at least `pages` slots per device even when every
+                    // page lands on the same one (the baseline's single
+                    // virtual device).
+                    ThreadMechanism::Shadow(ShadowPaging::new(
+                        &mut sys,
+                        pool,
+                        t,
+                        pages,
+                        arena_pages.max(pages),
+                    )?)
+                }
             };
             let seed = o.seed ^ (t as u64).wrapping_mul(0x9E37_79B9);
             threads.push(ThreadState {
@@ -573,6 +593,7 @@ pub struct MultiClientHarness {
     fifo_depth: Option<usize>,
     pipeline: TxnPipeline,
     seed: u64,
+    media: MediaConfig,
 }
 
 /// A NearPM run and the equal-client CPU baseline it is measured against.
@@ -606,6 +627,7 @@ impl MultiClientHarness {
             fifo_depth: None,
             pipeline: TxnPipeline::default(),
             seed: 1,
+            media: MediaConfig::default(),
         }
     }
 
@@ -645,13 +667,20 @@ impl MultiClientHarness {
         self
     }
 
+    /// Media storage engine (heap by default).
+    pub fn with_media(mut self, media: MediaConfig) -> Self {
+        self.media = media;
+        self
+    }
+
     /// The run options this harness drives `mode` with.
     pub fn options(&self, mode: ExecMode) -> RunOptions {
         let mut o = RunOptions::new(mode, self.mechanism, self.ops_per_client * self.clients)
             .with_threads(self.clients)
             .with_units(self.units_per_device)
             .with_pipeline(self.pipeline)
-            .with_seed(self.seed);
+            .with_seed(self.seed)
+            .with_media(self.media.clone());
         if let Some(depth) = self.fifo_depth {
             o = o.with_fifo_depth(depth);
         }

@@ -5,6 +5,7 @@
 //! `crash_matrix_smoke`; this keeps a 1-unit version in the tier-1 suite.
 
 use nearpm::core::ExecMode;
+use nearpm::pm::MediaConfig;
 use nearpm::workloads::{explore, CcMech, ExplorerConfig, PipelineMode};
 
 fn assert_cell(mech: CcMech) {
@@ -16,6 +17,7 @@ fn assert_cell(mech: CcMech) {
                 mode,
                 units: 1,
                 prune: false,
+                media: MediaConfig::Heap,
             };
             let r = explore(&cfg).unwrap();
             assert!(

@@ -46,26 +46,21 @@ fn pipelined_and_serial_oracle_agree_across_mechanisms_and_modes() {
                 pipe_report.ppo_violations, serial_report.ppo_violations,
                 "{mechanism:?}/{mode:?}: violation lists diverged"
             );
-            // Raw media equality holds wherever the physical allocation
-            // sequence is pipeline-independent (logging and checkpointing
-            // acquire/release their slots in identical order on both
-            // paths). Shadow paging recycles each old page as a future
-            // spare at a different point (the serial oracle frees it before
-            // the next site's acquire; the batched round must not, for
-            // crash safety), so its *physical* placement legitimately
-            // differs while the logical page contents stay byte-identical —
-            // proven by `shadow_update_many_matches_serial_oracle_with_
-            // duplicate_pages` at the mechanism level.
-            if mechanism != Mechanism::ShadowPaging {
-                let pipe_images = media_images(&pipe_sys);
-                let serial_images = media_images(&serial_sys);
-                assert_eq!(pipe_images.len(), serial_images.len());
-                for (d, (p, s)) in pipe_images.iter().zip(&serial_images).enumerate() {
-                    assert!(
-                        p == s,
-                        "{mechanism:?}/{mode:?}: PM image of device {d} diverged"
-                    );
-                }
+            // Raw media equality holds for every mechanism: logging and
+            // checkpointing acquire/release their slots in identical order
+            // on both paths, and shadow paging binds one spare per logical
+            // page (flip-flop placement) so the first update of each page
+            // acquires in the same order serially and pipelined — physical
+            // placement is pipeline-independent, no logical-page fallback
+            // needed.
+            let pipe_images = media_images(&pipe_sys);
+            let serial_images = media_images(&serial_sys);
+            assert_eq!(pipe_images.len(), serial_images.len());
+            for (d, (p, s)) in pipe_images.iter().zip(&serial_images).enumerate() {
+                assert!(
+                    p == s,
+                    "{mechanism:?}/{mode:?}: PM image of device {d} diverged"
+                );
             }
             // Identical work on both paths.
             assert!(pipe_report.trace_events > 0);
