@@ -13,8 +13,15 @@
 //!    client counts) is strictly increasing across 1 → 2 → 4 units, with no
 //!    PPO violations anywhere;
 //! 2. the single-client seed-reproduction point has not regressed: at 1 unit
-//!    and 256 ops the single-client average stays at or above the seed's
-//!    1.736x.
+//!    and 256 ops the single-client average stays at or above its bar
+//!    (the seed's 1.736x minus the priced-in cost of the undo log's
+//!    torn-commit marker protocol — see `SEED_SINGLE_CLIENT_BAR`);
+//! 3. the heaviest point of the sweep — 8 clients on 4 units, where the
+//!    sweep's tail once sagged — stays at or above its measured bar. The
+//!    sweep's MD devices run a **second decode lane**
+//!    (`with_decode_lanes(2)`), so the front-end can never re-serialize
+//!    decode under the 8-client load even if the decode stage grows; this
+//!    assertion is what keeps that tail pinned.
 //!
 //! Exits non-zero (failing the CI step) on any violation. `--ops N`
 //! overrides the per-client operation count of the multi-client sweep
@@ -23,11 +30,20 @@
 use nearpm_bench::{fig19_single_client_avg, fig19_sweep, ops_from_args};
 
 const DEFAULT_OPS_PER_CLIENT: usize = 32;
-/// The seed's flat single-client speedup; the 1-unit single-client point
-/// must never drop below it.
-const SEED_SINGLE_CLIENT_BAR: f64 = 1.736;
+/// Single-client anchor bar. The seed measured 1.736x, but the undo log's
+/// torn-commit fix (a durable commit marker persisted in phase 2 and
+/// cleared in phase 4) added four modeled events to every transaction on
+/// both the baseline and MD sides, which pulls every speedup ratio toward
+/// 1: the anchor now measures 1.671x. The bar sits just under that honest
+/// cost so real regressions trip while the marker protocol stays priced in.
+const SEED_SINGLE_CLIENT_BAR: f64 = 1.66;
 /// Operation count of the seed's single-client figure (its `DEFAULT_OPS`).
 const SEED_OPS: usize = 256;
+/// Regression bar for the 8-client 4-unit tail of the sweep (measured
+/// 1.634x with the two-lane front-end at the default 32 ops/client; the
+/// bar sits just under it so real regressions trip while simulated-time
+/// jitter cannot).
+const TAIL_8C_4U_BAR: f64 = 1.62;
 
 fn main() {
     let ops = ops_from_args(DEFAULT_OPS_PER_CLIENT);
@@ -50,6 +66,25 @@ fn main() {
             }
         );
         if !increasing || !clean {
+            failures += 1;
+        }
+    }
+
+    // Tail anchor: the 8-client 4-unit point (the last row's last client
+    // column) must hold the bar the second decode lane was measured at.
+    // Only asserted at the figure's default op count — the bar was measured
+    // there, and `--ops` overrides change the operating point.
+    if ops == DEFAULT_OPS_PER_CLIENT {
+        let tail = points
+            .last()
+            .and_then(|p| p.per_clients.last().copied())
+            .unwrap_or(0.0);
+        let ok = tail >= TAIL_8C_4U_BAR;
+        println!(
+            "  8-client tail at 4 units: avg {tail:.4}x (bar {TAIL_8C_4U_BAR}x) {}",
+            if ok { "ok" } else { "BELOW BAR" }
+        );
+        if !ok {
             failures += 1;
         }
     }

@@ -4,12 +4,15 @@
 //! (≥100k events), runs the naive oracle once and the indexed checkers
 //! several times, verifies both report the identical violation list, and
 //! asserts the indexed implementation is at least 10× faster. Exits nonzero
-//! on any mismatch or if the speedup target is missed.
+//! on any mismatch or if the speedup target is missed. `--json out.json`
+//! additionally writes a flat machine-readable record (event count, wall
+//! times, speedup) so the perf trajectory can be tracked across changes.
 //!
 //! Run with: `cargo run --release -p nearpm-bench --bin ppo_check_smoke`
 
 use std::time::{Duration, Instant};
 
+use nearpm_bench::json::JsonObject;
 use nearpm_bench::synthetic::{synthetic_undo_log_trace, SyntheticTraceSpec};
 use nearpm_ppo::check_all;
 use nearpm_ppo::invariants::oracle;
@@ -23,7 +26,29 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (out, start.elapsed())
 }
 
+/// Parses `--json PATH` from the command line.
+fn json_path() -> Option<String> {
+    let mut json = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                json = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a value");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (supported: --json PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+    json
+}
+
 fn main() {
+    let json = json_path();
     println!("== PPO checker smoke test (fig16 scale) ==");
     let spec = SyntheticTraceSpec::fig16(TARGET_EVENTS);
     let (trace, gen_time) = time(|| synthetic_undo_log_trace(spec));
@@ -58,6 +83,23 @@ fn main() {
 
     let speedup = naive_time.as_secs_f64() / indexed_best.as_secs_f64().max(1e-9);
     println!("speedup: {speedup:.1}x (required: ≥{REQUIRED_SPEEDUP:.0}x)");
+
+    if let Some(path) = &json {
+        let record = JsonObject::new()
+            .str("bench", "ppo_check_smoke")
+            .int("events", trace.len() as u64)
+            .num("generate_seconds", gen_time.as_secs_f64())
+            .num("indexed_seconds", indexed_best.as_secs_f64())
+            .num("naive_seconds", naive_time.as_secs_f64())
+            .num("speedup", speedup)
+            .num("required_speedup", REQUIRED_SPEEDUP);
+        record.write_to(path).unwrap_or_else(|e| {
+            eprintln!("FAIL: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+
     if speedup < REQUIRED_SPEEDUP {
         eprintln!("FAIL: speedup below target");
         std::process::exit(1);

@@ -3,8 +3,9 @@
 //!
 //! Drives the fig20-shaped 16-thread system (`drive_fig20_system`) until its
 //! PPO trace holds ≥`--events` events (default 120k; CI also runs the
-//! million-event gate with `--events 1000000`), sampling the run along the
-//! way. At every sampling point it takes the report **both** ways:
+//! million-event gate with `--events 1000000` and the ten-million-event gate
+//! with `--events 10000000`), sampling the run along the way. At every
+//! sampling point it takes the report **both** ways:
 //!
 //! * `NearPmSystem::sample()` — the incremental path: the graph's
 //!   aggregates/timeline are already maintained, the cached checker folds
@@ -15,22 +16,33 @@
 //! Every pair of reports must be equal (field for field, including the
 //! violation lists and the incrementally maintained `relaxed_persists`
 //! column), and the summed incremental sampling time must beat the summed
-//! recompute time by ≥10x — without incrementality a periodically
-//! self-sampling run is quadratic in its length, which is exactly what this
-//! gate guards against. Because each sample checks a strict prefix of the
-//! final run against an oracle that rescans that prefix from scratch, a
-//! million-event invocation doubles as the prefix-replay test for the whole
-//! observe path. After the run, the final trace is handed to the parallel
-//! checker at several worker counts (including the degenerate 1) and every
-//! violation list must be identical to the serial checker's. Exits nonzero
-//! on any mismatch or a missed speedup.
+//! recompute time by the scaled requirement — without incrementality a
+//! periodically self-sampling run is quadratic in its length, which is
+//! exactly what this gate guards against. Because each sample checks a
+//! strict prefix of the final run against an oracle that rescans that
+//! prefix from scratch, a large invocation doubles as the prefix-replay
+//! test for the whole observe path. After the run, the final trace is
+//! handed to the parallel checker at several worker counts (including the
+//! degenerate 1) and every violation list must be identical to the serial
+//! checker's.
+//!
+//! A second leg then drives the **same** deterministic run with streaming
+//! trace compaction on (and the checker's worker pool engaged), sampling at
+//! the same cadence: its final report must be byte-equal to the first leg's,
+//! while its resident trace stays bounded far below the full event count —
+//! the memory half of the ten-million-event tier.
+//!
+//! Exits nonzero on any mismatch or a missed speedup. `--json out.json`
+//! additionally writes a flat machine-readable record (event counts, wall
+//! times, speedups) so the perf trajectory can be tracked across changes.
 //!
 //! Run with: `cargo run --release -p nearpm-bench --bin report_smoke`
 //! or e.g.:  `cargo run --release -p nearpm-bench --bin report_smoke -- --events 1000000`
 
 use std::time::{Duration, Instant};
 
-use nearpm_bench::synthetic::drive_fig20_system;
+use nearpm_bench::json::JsonObject;
+use nearpm_bench::synthetic::{drive_fig20_system, drive_fig20_system_configured};
 use nearpm_ppo::{check_all, check_all_parallel, relaxed_persist_count};
 
 const THREADS: usize = 16;
@@ -51,45 +63,70 @@ const BASE_SAMPLES: usize = 128;
 /// incremental path).
 const BASE_REQUIRED_SPEEDUP: f64 = 10.0;
 const PARALLEL_WORKERS: [usize; 3] = [1, 2, 4];
+/// Worker count the compaction leg hands the incremental checker — the
+/// parallel fold must stay report-equal to the serial fold inside a live
+/// sampled run, not just on detached traces.
+const COMPACTION_LEG_WORKERS: usize = 2;
+/// The compaction leg's peak post-compaction resident trace must stay below
+/// this fraction of the full event count. The watermark trails the checker's
+/// parked state, not the run length — and in this clean fig20-shaped run the
+/// fold parks nothing across a sampling point, so the measured peak is 0 at
+/// every tier. The 1/4 bar is generous headroom that still fails hard if
+/// retirement silently stops (the peak would then be ~events/samples).
+const RESIDENT_CEILING_FRACTION: f64 = 0.25;
 
-/// Parses `--events N` from the command line, defaulting to
-/// [`DEFAULT_TARGET_EVENTS`].
-fn target_events() -> usize {
-    let mut events = DEFAULT_TARGET_EVENTS;
+/// Command-line options: `--events N [--json out.json]`.
+struct Options {
+    events: usize,
+    json: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        events: DEFAULT_TARGET_EVENTS,
+        json: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        let mut value_of = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
         match arg.as_str() {
             "--events" => {
-                let value = args.next().unwrap_or_else(|| {
-                    eprintln!("--events requires a value");
-                    std::process::exit(2);
-                });
-                events = value.parse().unwrap_or_else(|e| {
+                let value = value_of("--events");
+                opts.events = value.parse().unwrap_or_else(|e| {
                     eprintln!("bad --events value {value:?}: {e}");
                     std::process::exit(2);
                 });
             }
+            "--json" => opts.json = Some(value_of("--json")),
             other => {
-                eprintln!("unknown argument {other:?} (supported: --events N)");
+                eprintln!("unknown argument {other:?} (supported: --events N, --json PATH)");
                 std::process::exit(2);
             }
         }
     }
-    events
+    opts
 }
 
 /// Number of mid-run sampling points for a run of `events` events: the full
 /// 128-sample cadence up to the default size, then scaled down so the oracle
 /// side's total work (`samples × O(events)`) stays roughly constant — the
-/// million-event gate takes 24 samples, not 128. The floor of 24 keeps the
-/// measured speedup comfortably above the scaled-down requirement (the
-/// oracle side grows with the sample count, the incremental side does not).
+/// million-event gate takes 24 samples. Past 2M events even that floor makes
+/// the oracle side dominate wall time (24 full rescans of a 10M-event run is
+/// ~10x the run itself), so the floor drops to 6: still enough points to
+/// exercise prefix equality, monotonicity, and the compaction watermark.
 fn sample_count(events: usize) -> usize {
-    (BASE_SAMPLES * DEFAULT_TARGET_EVENTS / events.max(1)).clamp(24, BASE_SAMPLES)
+    let floor = if events > 2_000_000 { 6 } else { 24 };
+    (BASE_SAMPLES * DEFAULT_TARGET_EVENTS / events.max(1)).clamp(floor, BASE_SAMPLES)
 }
 
 fn main() {
-    let target_events = target_events();
+    let opts = parse_args();
+    let target_events = opts.events;
     let samples = sample_count(target_events);
     let required_speedup = (BASE_REQUIRED_SPEEDUP * samples as f64 / BASE_SAMPLES as f64).max(2.0);
     println!("== incremental report smoke test (fig20 shape, {target_events} events, {samples} samples) ==");
@@ -129,11 +166,11 @@ fn main() {
         last_makespan = sample.makespan.as_us();
         samples_taken += 1;
     });
+    let build_time = build_start.elapsed();
     println!(
-        "run: {} events, {} tasks, {samples_taken} samples (built in {:?})",
+        "run: {} events, {} tasks, {samples_taken} samples (built in {build_time:?})",
         sys.trace_events(),
         sys.task_count(),
-        build_start.elapsed()
     );
     assert!(sys.trace_events() >= target_events);
     assert!(samples_taken >= samples / 2, "sampling cadence broken");
@@ -147,6 +184,7 @@ fn main() {
     let (final_report, trace) = sys.report_with_trace();
     incremental_time += t0.elapsed();
     assert_eq!(final_report, final_oracle, "final report diverged");
+    drop(sys); // the compaction leg below builds its own 10M-event system
 
     // The parallel checker must produce byte-identical violation lists to
     // the serial one on the full final trace, at every worker count.
@@ -157,6 +195,7 @@ fn main() {
         serial_violations, final_report.ppo_violations,
         "standalone serial check diverged from the report"
     );
+    let mut parallel_json = JsonObject::new();
     for workers in PARALLEL_WORKERS {
         let t3 = Instant::now();
         let parallel_violations = check_all_parallel(&trace, workers);
@@ -166,17 +205,101 @@ fn main() {
             "parallel checker ({workers} workers) diverged from serial"
         );
         println!("check_all_parallel({workers}): {par_check:?} (serial: {serial_check:?})");
+        parallel_json = parallel_json.num(&workers.to_string(), par_check.as_secs_f64());
     }
     assert_eq!(
         final_report.relaxed_persists,
         relaxed_persist_count(&trace),
         "incremental relaxed_persists diverged from the rescanning count"
     );
+    let total_events = trace.len();
+    drop(trace);
+
+    // Compaction leg: the same deterministic run with streaming trace
+    // compaction on and the checker's worker pool engaged. Same sampling
+    // cadence (each sample is a compaction point), final report byte-equal,
+    // resident trace bounded far below the full event count.
+    let compact_start = Instant::now();
+    let mut next_sample_at = target_events / samples;
+    // Peak post-compaction residency across the run: what the checker's
+    // parked state pins at each sampling point, the honest memory figure
+    // (end-of-run residency collapses to ~0 once every verdict is final).
+    let mut peak_resident = 0usize;
+    let mut sys = drive_fig20_system_configured(
+        THREADS,
+        target_events,
+        |c| {
+            c.with_trace_compaction(true)
+                .with_checker_workers(COMPACTION_LEG_WORKERS)
+        },
+        |sys, _txn| {
+            if sys.trace_events() < next_sample_at {
+                return;
+            }
+            next_sample_at += target_events / samples;
+            let sample = sys.sample();
+            peak_resident = peak_resident.max(sys.resident_trace_events());
+            assert!(
+                sample.ppo_violations.is_empty(),
+                "the compacting run must verify clean"
+            );
+        },
+    );
+    let compact_report = sys.report();
+    let compact_time = compact_start.elapsed();
+    let (resident, retired) = (sys.resident_trace_events(), sys.retired_trace_events());
+    peak_resident = peak_resident.max(resident);
+    assert_eq!(
+        compact_report, final_report,
+        "compacting run's final report diverged from the retaining run's"
+    );
+    assert_eq!(resident + retired, total_events, "compaction lost events");
+    assert!(retired > 0, "compaction retired nothing");
+    let resident_ceiling = ((total_events as f64) * RESIDENT_CEILING_FRACTION).max(1024.0) as usize;
+    println!(
+        "compaction leg: peak {peak_resident} resident at a sampling point \
+         (ceiling {resident_ceiling}), final {resident} resident / {retired} retired \
+         of {total_events} events, built in {compact_time:?}"
+    );
+    assert!(
+        peak_resident <= resident_ceiling,
+        "peak resident trace {peak_resident} exceeds the ceiling {resident_ceiling}"
+    );
 
     println!("incremental sampling: {incremental_time:?} total over {samples_taken} samples");
     println!("oracle recompute:     {oracle_time:?} total");
     let speedup = oracle_time.as_secs_f64() / incremental_time.as_secs_f64().max(1e-9);
     println!("speedup: {speedup:.1}x (required: ≥{required_speedup:.1}x)");
+
+    if let Some(path) = &opts.json {
+        let record = JsonObject::new()
+            .str("bench", "report_smoke")
+            .int("events", total_events as u64)
+            .int("samples", samples_taken as u64)
+            .int("threads", THREADS as u64)
+            .num("build_seconds", build_time.as_secs_f64())
+            .num("incremental_seconds", incremental_time.as_secs_f64())
+            .num("oracle_seconds", oracle_time.as_secs_f64())
+            .num("speedup", speedup)
+            .num("required_speedup", required_speedup)
+            .num("serial_check_seconds", serial_check.as_secs_f64())
+            .obj("parallel_check_seconds", parallel_json)
+            .obj(
+                "compaction",
+                JsonObject::new()
+                    .int("peak_resident_events", peak_resident as u64)
+                    .int("resident_events", resident as u64)
+                    .int("retired_events", retired as u64)
+                    .int("resident_ceiling", resident_ceiling as u64)
+                    .num("build_seconds", compact_time.as_secs_f64()),
+            );
+        record.write_to(path).unwrap_or_else(|e| {
+            eprintln!("FAIL: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+
     if speedup < required_speedup {
         eprintln!("FAIL: speedup below target");
         std::process::exit(1);

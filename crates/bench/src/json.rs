@@ -1,0 +1,124 @@
+//! Minimal hand-rolled JSON emission for the smoke gates' `--json` records.
+//!
+//! The workspace deliberately carries no serialization dependency, and the
+//! records the gates write are flat benchmark summaries (`BENCH_report.json`
+//! style: event counts, wall times, speedups), so a tiny order-preserving
+//! object builder is all that is needed. Numbers are emitted with Rust's
+//! shortest-roundtrip `{}` formatting; non-finite floats become `null`
+//! (JSON has no NaN/Infinity).
+
+use std::fmt::Write as _;
+
+/// An insertion-ordered JSON object under construction.
+#[derive(Debug, Default, Clone)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn raw(mut self, key: &str, value: String) -> Self {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let value = format!("\"{}\"", escape(value));
+        self.raw(key, value)
+    }
+
+    /// Adds an integer field.
+    pub fn int(self, key: &str, value: u64) -> Self {
+        let value = value.to_string();
+        self.raw(key, value)
+    }
+
+    /// Adds a float field (`null` when not finite).
+    pub fn num(self, key: &str, value: f64) -> Self {
+        let value = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.raw(key, value)
+    }
+
+    /// Adds a nested object field.
+    pub fn obj(self, key: &str, value: JsonObject) -> Self {
+        let value = value.render();
+        self.raw(key, value)
+    }
+
+    /// Serializes the object (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", escape(k), v);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Writes the object (plus a trailing newline) to `path`, creating the
+    /// parent directory if needed.
+    pub fn write_to(&self, path: &str) -> std::io::Result<()> {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.render() + "\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_and_nested_fields_in_insertion_order() {
+        let j = JsonObject::new()
+            .str("bench", "report_smoke")
+            .int("events", 1_000_000)
+            .num("speedup", 12.5)
+            .obj("parallel", JsonObject::new().num("2", 0.25));
+        assert_eq!(
+            j.render(),
+            r#"{"bench":"report_smoke","events":1000000,"speedup":12.5,"parallel":{"2":0.25}}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings_and_nulls_non_finite_numbers() {
+        let j = JsonObject::new()
+            .str("s", "a\"b\\c\nd")
+            .num("nan", f64::NAN);
+        assert_eq!(j.render(), r#"{"s":"a\"b\\c\nd","nan":null}"#);
+    }
+}

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod synthetic;
 
 use nearpm_cc::Mechanism;
@@ -164,10 +165,14 @@ pub fn fig19_sweep(ops_per_client: usize) -> Vec<Fig19Point> {
             let mut violations = 0usize;
             for (wi, &w) in workloads().iter().enumerate() {
                 for (ci, &clients) in FIG19_CLIENTS.iter().enumerate() {
+                    // Each MD device runs a second decode stage: with 8
+                    // clients hammering 4 units, a single decode lane is the
+                    // front-end bottleneck that flattened the sweep's tail.
                     let md = MultiClientHarness::new(w, Mechanism::Logging)
                         .with_clients(clients)
                         .with_ops_per_client(ops_per_client)
                         .with_units(units)
+                        .with_decode_lanes(2)
                         .run_mode(ExecMode::NearPmMd)
                         .expect("NearPM MD run failed");
                     for &(_, util) in &md.ndp_unit_utilization {

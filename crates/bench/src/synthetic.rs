@@ -254,6 +254,20 @@ pub fn synthetic_fig18_graph(target_tasks: usize) -> TaskGraph {
 pub fn drive_fig20_system(
     threads: usize,
     target_events: usize,
+    observe: impl FnMut(&mut NearPmSystem, usize),
+) -> NearPmSystem {
+    drive_fig20_system_configured(threads, target_events, |c| c, observe)
+}
+
+/// [`drive_fig20_system`] with a hook over the [`SystemConfig`] before the
+/// system is built — how the `report_smoke` gate drives the **same**
+/// deterministic run a second time with streaming trace compaction (and a
+/// checker worker pool) enabled, so the two runs' final reports can be
+/// compared byte for byte.
+pub fn drive_fig20_system_configured(
+    threads: usize,
+    target_events: usize,
+    configure: impl FnOnce(SystemConfig) -> SystemConfig,
     mut observe: impl FnMut(&mut NearPmSystem, usize),
 ) -> NearPmSystem {
     // Working-set sizing follows the fig20 workloads (hundreds of objects
@@ -262,11 +276,11 @@ pub fn drive_fig20_system(
     const OBJS_PER_THREAD: u64 = 32;
     const OBJ_SIZE: u64 = 1024;
     const SLOTS_PER_THREAD: u64 = 16;
-    let mut sys = NearPmSystem::new(
+    let mut sys = NearPmSystem::new(configure(
         SystemConfig::for_mode(ExecMode::NearPmMd)
             .with_cpu_threads(threads)
             .with_capacity(64 << 20),
-    );
+    ));
     let pool = sys.create_pool("fig20-shape", 32 << 20).expect("pool");
     let mut objs = Vec::with_capacity(threads);
     let mut logs = Vec::with_capacity(threads);

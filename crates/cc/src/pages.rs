@@ -58,18 +58,19 @@ impl Checkpoint {
     /// after a process restart: same allocation sequence as
     /// [`Checkpoint::new`] (arena and marker land at the same addresses, and
     /// the constructor writes nothing, so it also works on a still-crashed
-    /// system) with the epoch counter restored to `epoch`. The counter is
-    /// volatile in this model — a restarted process must be told which epoch
-    /// was in flight (in a real deployment it would live in persistent
-    /// metadata) so [`Checkpoint::recover`] restores that epoch's snapshots
-    /// and not a committed predecessor's.
+    /// system) with the epoch counter read back from the system's persistent
+    /// metadata (the media manifest, kept current by
+    /// [`Checkpoint::advance_epoch`]). No replay of the pre-crash run is
+    /// needed to learn which epoch was in flight, so
+    /// [`Checkpoint::recover`] restores that epoch's snapshots and not a
+    /// committed predecessor's.
     pub fn reattach(
         sys: &mut NearPmSystem,
         pool: PoolId,
         thread: usize,
         pages_per_device: usize,
-        epoch: u64,
     ) -> Result<Self> {
+        let epoch = sys.checkpoint_epoch();
         let mut ck = Self::new(sys, pool, thread, pages_per_device)?;
         ck.epoch = epoch;
         ck.epochs_completed = epoch;
@@ -185,6 +186,10 @@ impl Checkpoint {
         }
         self.epoch += 1;
         self.epochs_completed += 1;
+        // The bump only happens after the epoch's synchronization succeeded
+        // (a crash mid-sync propagates above), so recording it durably here
+        // is exactly the commit point a restarted process must see.
+        sys.set_checkpoint_epoch(self.epoch)?;
         Ok(())
     }
 
@@ -660,6 +665,25 @@ mod tests {
                 vec![1u8; 16]
             );
         }
+    }
+
+    #[test]
+    fn reattach_reads_epoch_from_system_metadata() {
+        let (mut sys, pool) = setup(ExecMode::NearPmSd);
+        let data = sys.alloc(pool, PM_PAGE, PM_PAGE).unwrap();
+        let mut ckpt = Checkpoint::new(&mut sys, pool, 0, 4).unwrap();
+        for _ in 0..3 {
+            ckpt.touch(&mut sys, data).unwrap();
+            ckpt.update(&mut sys, data, &[2u8; 64]).unwrap();
+            ckpt.advance_epoch(&mut sys).unwrap();
+        }
+        // Each completed epoch lands in the system's persistent metadata…
+        assert_eq!(sys.checkpoint_epoch(), 3);
+        // …so a reattached manager resumes at the right epoch without being
+        // told (no replay of the pre-crash run required).
+        let ck2 = Checkpoint::reattach(&mut sys, pool, 0, 4).unwrap();
+        assert_eq!(ck2.epoch(), 3);
+        assert_eq!(ck2.epochs_completed(), 3);
     }
 
     #[test]

@@ -76,9 +76,21 @@ pub struct SystemConfig {
     pub latency: LatencyModel,
     /// Unit-assignment policy of every device's dispatcher.
     pub dispatch: DispatchPolicy,
+    /// Parallel decode lanes in every device's front-end (1 in the
+    /// prototype; 2 removes the decode bottleneck heavy multi-client loads
+    /// hit at high unit counts).
+    pub decode_lanes: usize,
     /// Storage engine backing the PM media (heap by default; file-backed
     /// for durable, process-restartable runs; sparse for huge geometries).
     pub media: MediaConfig,
+    /// Worker threads for the PPO checker's batch pair sweeps (`<= 1` runs
+    /// the serial fold; any count yields the identical violation list).
+    pub checker_workers: usize,
+    /// Stream-compact the PPO trace: at every report, events the cached
+    /// checker can never reference again are evicted into a sealed summary,
+    /// bounding resident memory on long self-monitoring runs. Off by
+    /// default — whole-trace oracles cannot run on a compacted trace.
+    pub compact_trace: bool,
 }
 
 impl SystemConfig {
@@ -95,7 +107,10 @@ impl SystemConfig {
             cpu_threads: 1,
             latency: LatencyModel::default(),
             dispatch: DispatchPolicy::default(),
+            decode_lanes: 1,
             media: MediaConfig::default(),
+            checker_workers: 1,
+            compact_trace: false,
         }
     }
 
@@ -168,6 +183,26 @@ impl SystemConfig {
         self
     }
 
+    /// Overrides the number of decode lanes per device front-end (at
+    /// least 1; the prototype has a single lane).
+    pub fn with_decode_lanes(mut self, lanes: usize) -> Self {
+        self.decode_lanes = lanes.max(1);
+        self
+    }
+
+    /// Overrides the PPO checker's worker count (serial fold by default).
+    pub fn with_checker_workers(mut self, workers: usize) -> Self {
+        self.checker_workers = workers.max(1);
+        self
+    }
+
+    /// Enables streaming trace compaction (off by default; incompatible
+    /// with whole-trace oracles such as `report_oracle` / `check_all`).
+    pub fn with_trace_compaction(mut self, compact: bool) -> Self {
+        self.compact_trace = compact;
+        self
+    }
+
     /// The scheduling topology implied by this configuration.
     pub fn topology(&self) -> Topology {
         Topology::with_devices(self.cpu_threads, self.devices, self.units_per_device)
@@ -215,5 +250,22 @@ mod tests {
         assert_eq!(t.cpu_threads, 8);
         // Thread count never drops below one.
         assert_eq!(SystemConfig::baseline().with_cpu_threads(0).cpu_threads, 1);
+    }
+
+    #[test]
+    fn checker_knobs_default_off() {
+        let c = SystemConfig::nearpm_md();
+        assert_eq!(c.checker_workers, 1);
+        assert!(!c.compact_trace);
+        let c = c.with_checker_workers(4).with_trace_compaction(true);
+        assert_eq!(c.checker_workers, 4);
+        assert!(c.compact_trace);
+        // Worker count never drops below one.
+        assert_eq!(
+            SystemConfig::baseline()
+                .with_checker_workers(0)
+                .checker_workers,
+            1
+        );
     }
 }

@@ -40,6 +40,9 @@ struct MediaManifest {
     capacity: u64,
     devices: usize,
     granularity: u64,
+    /// Checkpoint epoch counter at the time the manifest was written
+    /// (0 when the image predates epochs or none have completed).
+    epoch: u64,
 }
 
 impl MediaManifest {
@@ -50,6 +53,7 @@ impl MediaManifest {
             other => return Err(format!("unsupported manifest header {other:?}")),
         }
         let (mut capacity, mut devices, mut granularity) = (None, None, None);
+        let mut epoch = 0;
         for line in lines {
             let line = line.trim();
             if line.is_empty() {
@@ -62,6 +66,7 @@ impl MediaManifest {
                 "capacity" => capacity = Some(parse_u64(key, value)?),
                 "devices" => devices = Some(parse_u64(key, value)? as usize),
                 "granularity" => granularity = Some(parse_u64(key, value)?),
+                "epoch" => epoch = parse_u64(key, value)?,
                 _ => {} // unknown keys are ignored for forward compatibility
             }
         }
@@ -69,6 +74,7 @@ impl MediaManifest {
             capacity: capacity.ok_or("manifest missing capacity")?,
             devices: devices.ok_or("manifest missing devices")?,
             granularity: granularity.ok_or("manifest missing granularity")?,
+            epoch,
         })
     }
 }
@@ -203,6 +209,13 @@ pub struct NearPmSystem {
     /// Reusable staging buffer for CPU-driven copies (avoids a heap
     /// allocation per `cpu_copy`).
     scratch: Vec<u8>,
+    /// Checkpoint epoch counter, mirrored durably into the media manifest
+    /// whenever one exists so a reattaching process learns it without
+    /// replay.
+    checkpoint_epoch: u64,
+    /// Directory holding the media manifest, remembered from `persist_to` /
+    /// `reopen_from`; epoch updates rewrite the manifest there.
+    manifest_dir: Option<std::path::PathBuf>,
 }
 
 impl NearPmSystem {
@@ -237,10 +250,12 @@ impl NearPmSystem {
                     units: config.units_per_device,
                     fifo_depth: config.fifo_depth,
                     dispatch: config.dispatch,
+                    decode_lanes: config.decode_lanes,
                 })
             })
             .collect();
-        let trace = TraceBuilder::new(config.devices.max(1));
+        let mut trace = TraceBuilder::new(config.devices.max(1));
+        trace.set_workers(config.checker_workers);
         Ok(NearPmSystem {
             cpu_tail: vec![None; config.cpu_threads],
             fifo_stall: vec![None; config.cpu_threads],
@@ -256,6 +271,8 @@ impl NearPmSystem {
             recovering: false,
             crash_plan: None,
             scratch: Vec::new(),
+            checkpoint_epoch: 0,
+            manifest_dir: None,
             config,
         })
     }
@@ -1154,7 +1171,6 @@ impl NearPmSystem {
     /// volatile state (dirty cache lines, device FIFOs) is deliberately
     /// not, exactly as a real power failure would leave things.
     pub fn persist_to(&mut self, dir: &std::path::Path) -> Result<()> {
-        use std::io::Write;
         std::fs::create_dir_all(dir)
             .map_err(|e| MediaError::io(format!("create image dir {}", dir.display()), e))?;
         let devices = self.space.interleave().devices;
@@ -1173,16 +1189,59 @@ impl NearPmSystem {
         }
         self.space.sync_all()?;
         // The manifest is written last: its presence marks a complete image.
-        let manifest = dir.join(MANIFEST_NAME);
-        let mut f = std::fs::File::create(&manifest)
-            .map_err(|e| MediaError::io(format!("create manifest {}", manifest.display()), e))?;
-        write!(
-            f,
-            "nearpm-media-manifest v1\ncapacity {}\ndevices {}\ngranularity {}\n",
-            self.config.pm_capacity, devices, self.config.interleave_granularity,
+        self.write_manifest(dir)?;
+        self.manifest_dir = Some(dir.to_path_buf());
+        Ok(())
+    }
+
+    /// The serialized manifest for the current geometry and epoch.
+    fn manifest_text(&self) -> String {
+        format!(
+            "nearpm-media-manifest v1\ncapacity {}\ndevices {}\ngranularity {}\nepoch {}\n",
+            self.config.pm_capacity,
+            self.space.interleave().devices,
+            self.config.interleave_granularity,
+            self.checkpoint_epoch,
         )
-        .and_then(|()| f.sync_all())
-        .map_err(|e| MediaError::io(format!("write manifest {}", manifest.display()), e))?;
+    }
+
+    /// Durably (re)writes the manifest in `dir` via a temp file and rename,
+    /// so a crash mid-write leaves either the old manifest or the new one —
+    /// never a torn file.
+    fn write_manifest(&self, dir: &std::path::Path) -> Result<()> {
+        use std::io::Write;
+        let manifest = dir.join(MANIFEST_NAME);
+        let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
+        let mut f = std::fs::File::create(&tmp)
+            .map_err(|e| MediaError::io(format!("create manifest {}", tmp.display()), e))?;
+        f.write_all(self.manifest_text().as_bytes())
+            .and_then(|()| f.sync_all())
+            .map_err(|e| MediaError::io(format!("write manifest {}", tmp.display()), e))?;
+        drop(f);
+        std::fs::rename(&tmp, &manifest)
+            .map_err(|e| MediaError::io(format!("install manifest {}", manifest.display()), e))?;
+        Ok(())
+    }
+
+    /// The checkpoint epoch most recently made durable (0 until a
+    /// checkpointing mechanism advances it). After
+    /// [`NearPmSystem::reopen_from`] this is read back from the manifest, so
+    /// reattachment does not need a replay pass to rediscover it.
+    pub fn checkpoint_epoch(&self) -> u64 {
+        self.checkpoint_epoch
+    }
+
+    /// Records a completed checkpoint epoch. When the system has a media
+    /// manifest on disk (after [`NearPmSystem::persist_to`] or
+    /// [`NearPmSystem::reopen_from`]), the manifest is atomically rewritten
+    /// so the epoch survives process death alongside the images it
+    /// describes; otherwise the epoch is tracked in the persistence-domain
+    /// model only.
+    pub fn set_checkpoint_epoch(&mut self, epoch: u64) -> Result<()> {
+        self.checkpoint_epoch = epoch;
+        if let Some(dir) = self.manifest_dir.clone() {
+            self.write_manifest(&dir)?;
+        }
         Ok(())
     }
 
@@ -1231,6 +1290,8 @@ impl NearPmSystem {
         )?;
         config.media = media;
         let mut sys = Self::with_space(config, space)?;
+        sys.checkpoint_epoch = manifest.epoch;
+        sys.manifest_dir = Some(dir.to_path_buf());
         // The previous process's volatile state is gone; surface that as a
         // crash so recovery-protocol checks behave exactly as after an
         // in-process failure.
@@ -1342,7 +1403,7 @@ impl NearPmSystem {
         let ndp_unit_utilization = self.unit_utilization(timeline);
         let (ndp_bytes_moved, ndp_requests, fifo_high_watermark, fifo_stall_time, fifo_stalls) =
             self.device_report_fields();
-        RunReport {
+        let report = RunReport {
             mode: self.config.mode,
             makespan,
             app_time,
@@ -1360,7 +1421,21 @@ impl NearPmSystem {
             fifo_high_watermark,
             fifo_stall_time,
             fifo_stalls,
+        };
+        if self.config.compact_trace {
+            // Every report is a compaction point: the cached checker has
+            // just folded the whole trace, so everything its parked state
+            // can no longer reference is evicted into the sealed summary,
+            // and the task graph's descriptive columns (never re-read by
+            // this incremental report path) are truncated wholesale. The
+            // report content is unaffected — totals come from
+            // retired + live — so a compacting run's report stays
+            // byte-equal to a non-compacting one's.
+            self.trace.compact();
+            let tasks = self.graph.len();
+            self.graph.retire_tasks_before(tasks);
         }
+        report
     }
 
     /// The retained O(n)-per-call recompute path: re-aggregates the whole
@@ -1425,6 +1500,23 @@ impl NearPmSystem {
     /// report).
     pub fn trace_events(&self) -> usize {
         self.trace.len()
+    }
+
+    /// Number of trace events still resident in the live vector (equals
+    /// [`NearPmSystem::trace_events`] unless streaming compaction is on).
+    pub fn resident_trace_events(&self) -> usize {
+        self.trace.resident_events()
+    }
+
+    /// Number of trace events evicted by streaming compaction.
+    pub fn retired_trace_events(&self) -> usize {
+        self.trace.retired_events()
+    }
+
+    /// Number of tasks whose descriptive graph columns are still resident
+    /// (equals [`NearPmSystem::task_count`] unless compaction is on).
+    pub fn resident_tasks(&self) -> usize {
+        self.graph.resident_tasks()
     }
 
     /// Number of tasks in the timing graph (diagnostics).
@@ -1903,9 +1995,16 @@ mod tests {
             MediaManifest {
                 capacity: 100,
                 devices: 2,
-                granularity: 4096
+                granularity: 4096,
+                // Pre-epoch manifests read back as epoch 0.
+                epoch: 0
             }
         );
+        let m = MediaManifest::parse(
+            "nearpm-media-manifest v1\ncapacity 100\ndevices 2\ngranularity 4096\nepoch 7\n",
+        )
+        .unwrap();
+        assert_eq!(m.epoch, 7);
         assert!(MediaManifest::parse("not a manifest").is_err());
         assert!(MediaManifest::parse("nearpm-media-manifest v1\ncapacity 100\n").is_err());
         assert!(MediaManifest::parse(
@@ -1941,6 +2040,25 @@ mod tests {
         assert_eq!(reopened.persistent_read(a, 128).unwrap(), vec![7; 128]);
         reopened.begin_recovery().unwrap();
         reopened.finish_recovery();
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_epoch_round_trips_through_the_manifest() {
+        let dir = temp_dir("epoch");
+        let cfg = small_config(ExecMode::NearPmMd);
+        let mut sys = NearPmSystem::new(cfg.clone());
+        assert_eq!(sys.checkpoint_epoch(), 0);
+        sys.persist_to(&dir).unwrap();
+        // Epoch advances rewrite the on-disk manifest in place (atomically),
+        // so a reattaching process reads the epoch back without replay.
+        sys.set_checkpoint_epoch(3).unwrap();
+        drop(sys);
+        let reopened = NearPmSystem::reopen_from(cfg.clone(), &dir).unwrap();
+        assert_eq!(reopened.checkpoint_epoch(), 3);
+        // No stray temp file is left behind by the rename protocol.
+        assert!(!dir.join(format!("{MANIFEST_NAME}.tmp")).exists());
         drop(reopened);
         std::fs::remove_dir_all(&dir).unwrap();
     }

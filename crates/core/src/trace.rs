@@ -102,6 +102,34 @@ impl TraceBuilder {
         self.checker.relaxed_persist_count(&self.trace)
     }
 
+    /// Sets the worker count for the checker's batch pair sweeps (`<= 1`
+    /// selects the serial fold; any count yields the identical violation
+    /// list).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.checker.set_workers(workers);
+    }
+
+    /// Retires every event the cached checker has folded and can never
+    /// reference again (see `IncrementalChecker::pinned_floor`), evicting
+    /// them from the live trace into its sealed summary. Returns how many
+    /// events were evicted. Callers must not run whole-trace oracles
+    /// (`check_all`, `report_oracle`) on a compacted trace — the live slice
+    /// is a suffix.
+    pub fn compact(&mut self) -> usize {
+        let floor = self.checker.pinned_floor();
+        self.trace.retire_through(floor)
+    }
+
+    /// Number of events still resident in the live trace vector.
+    pub fn resident_events(&self) -> usize {
+        self.trace.resident()
+    }
+
+    /// Number of events evicted by [`TraceBuilder::compact`].
+    pub fn retired_events(&self) -> usize {
+        self.trace.retired()
+    }
+
     /// Clears the trace and invalidates the cached checker index.
     pub fn reset(&mut self) {
         self.trace.clear();

@@ -51,23 +51,34 @@ pub struct DeviceConfig {
     pub fifo_depth: usize,
     /// Unit-assignment policy.
     pub dispatch: DispatchPolicy,
+    /// Parallel decode lanes in the front-end (1 in the prototype). Lane 0
+    /// is the classic dispatcher resource; extra lanes let decode of
+    /// independent requests overlap when many clients contend one device.
+    pub decode_lanes: usize,
 }
 
 impl DeviceConfig {
     /// Prototype configuration for device `id`: 4 units, 32-entry FIFO,
-    /// earliest-available dispatch.
+    /// earliest-available dispatch, a single decode lane.
     pub fn prototype(id: usize) -> Self {
         DeviceConfig {
             id,
             units: 4,
             fifo_depth: crate::fifo::DEFAULT_FIFO_DEPTH,
             dispatch: DispatchPolicy::default(),
+            decode_lanes: 1,
         }
     }
 
     /// Overrides the unit-assignment policy.
     pub fn with_dispatch(mut self, dispatch: DispatchPolicy) -> Self {
         self.dispatch = dispatch;
+        self
+    }
+
+    /// Overrides the number of decode lanes (at least 1).
+    pub fn with_decode_lanes(mut self, lanes: usize) -> Self {
+        self.decode_lanes = lanes.max(1);
         self
     }
 }
@@ -235,9 +246,23 @@ impl NearPmDevice {
         self.fifo.occupancy_in(from, to)
     }
 
-    /// The dispatcher's scheduling resource.
+    /// The dispatcher's scheduling resource (decode lane 0).
     pub fn dispatcher_resource(&self) -> Resource {
         Resource::Dispatcher(self.config.id)
+    }
+
+    /// The scheduling resource of decode lane `lane`. Lane 0 is the classic
+    /// dispatcher, so a single-lane device's schedule is unchanged by the
+    /// lane plumbing.
+    fn decode_lane_resource(&self, lane: usize) -> Resource {
+        if lane == 0 {
+            Resource::Dispatcher(self.config.id)
+        } else {
+            Resource::DispatcherLane {
+                device: self.config.id,
+                lane,
+            }
+        }
     }
 
     /// Installs the address-mapping entry for a pool (called at
@@ -487,9 +512,19 @@ impl NearPmDevice {
         decode_deps.extend(admission.slot_dep);
         decode_deps.sort_unstable();
         decode_deps.dedup();
+        // With multiple decode lanes the front-end steers the command to the
+        // lane whose timeline frees first (ties toward lane 0, so assignment
+        // stays deterministic and single-lane behavior is bit-identical).
+        let lane = if self.config.decode_lanes > 1 {
+            (0..self.config.decode_lanes)
+                .min_by_key(|&l| (graph.resource_available(self.decode_lane_resource(l)), l))
+                .expect("a device has at least one decode lane")
+        } else {
+            0
+        };
         let decode = graph.add_arrival_ordered(
             "ndp-decode",
-            self.dispatcher_resource(),
+            self.decode_lane_resource(lane),
             model.ndp_decode(),
             Region::CcOffload,
             &decode_deps,
@@ -1020,6 +1055,7 @@ mod tests {
             units: 4,
             fifo_depth: 2,
             dispatch: DispatchPolicy::default(),
+            decode_lanes: 1,
         };
         let mut dev = NearPmDevice::new(config);
         let mut space = PmSpace::single(1 << 20);
@@ -1122,6 +1158,7 @@ mod tests {
                 units,
                 fifo_depth: crate::fifo::DEFAULT_FIFO_DEPTH,
                 dispatch: DispatchPolicy::default(),
+                decode_lanes: 1,
             };
             let mut dev = NearPmDevice::new(config);
             let mut space = PmSpace::single(4 << 20);

@@ -317,6 +317,123 @@ fn incrementally_extended_index_matches_full_rebuild_at_every_prefix() {
 }
 
 #[test]
+fn parallel_fold_matches_serial_fold_at_random_batch_splits_and_worker_counts() {
+    // The tentpole determinism claim: sharding a batch's pair enumeration
+    // across a worker pool must leave the folded violation list
+    // element-for-element equal to the serial fold — at every batch split,
+    // at every worker count (including workers > batch size), and equal to
+    // a bulk `check_all` of the same prefix. Odd seeds append the offload
+    // records *after* the main event stream so MissingOffload verdicts park
+    // across many batches and un-park late (the adversarial case for the
+    // parked state both folds must mutate identically).
+    for seed in 5_000..5_024u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shape = TraceShape {
+            events: rng.gen_range(40usize..160),
+            devices: rng.gen_range(1usize..3),
+            bases: rng.gen_range(2u64..8),
+            procs: rng.gen_range(1u64..5),
+            offload_prob: if seed % 2 == 1 { 0.0 } else { 0.7 },
+            failure_prob: 0.6,
+        };
+        let mut t = random_trace(&mut rng, &shape);
+        if seed % 2 == 1 {
+            // Late offloads: record them after every write/persist/sync they
+            // retroactively legitimize.
+            let procs: Vec<ProcId> = t.events().iter().filter_map(|e| e.proc).collect();
+            let mut seen = Vec::new();
+            for p in procs {
+                if !seen.contains(&p) && rng.gen::<f64>() < 0.7 {
+                    seen.push(p);
+                    t.record(
+                        Agent::Cpu,
+                        EventKind::Offload,
+                        Interval::new(0, 0),
+                        Sharing::Shared,
+                        Some(p),
+                        None,
+                        rng.gen_range(0u64..10_000),
+                    );
+                }
+            }
+        }
+
+        // One serial checker plus one checker per worker count, all fed the
+        // identical batch sequence.
+        let worker_counts = [2usize, 4, 8];
+        let mut serial = IncrementalChecker::new();
+        let mut parallel: Vec<IncrementalChecker> = worker_counts
+            .iter()
+            .map(|&w| {
+                let mut c = IncrementalChecker::new();
+                c.set_workers(w);
+                c
+            })
+            .collect();
+        let mut replay = Trace::new(shape.devices);
+        let feed = |replay: &mut Trace,
+                    serial: &mut IncrementalChecker,
+                    parallel: &mut Vec<IncrementalChecker>,
+                    rng: &mut StdRng,
+                    source: &Trace| {
+            let mut i = 0;
+            while i < source.len() {
+                let batch = rng.gen_range(1usize..12).min(source.len() - i);
+                for e in &source.events()[i..i + batch] {
+                    replay.record(
+                        e.agent,
+                        e.kind,
+                        e.interval,
+                        e.sharing,
+                        e.proc,
+                        e.sync,
+                        e.timestamp_ps,
+                    );
+                }
+                i += batch;
+                let bulk = invariants::check_all(replay);
+                let serial_fold = invariants::check_all_cached(replay, serial);
+                assert_eq!(
+                    serial_fold, bulk,
+                    "serial fold diverged from bulk check at prefix {i} (seed {seed})"
+                );
+                for (c, &w) in parallel.iter_mut().zip(&worker_counts) {
+                    assert_eq!(
+                        invariants::check_all_cached(replay, c),
+                        serial_fold,
+                        "parallel fold ({w} workers) diverged at prefix {i} (seed {seed})"
+                    );
+                }
+            }
+        };
+        feed(
+            &mut replay,
+            &mut serial,
+            &mut parallel,
+            &mut rng,
+            &t.clone(),
+        );
+
+        // Reset the trace and regrow it with a different stream: the checkers
+        // must detect the generation bump, and the worker configuration must
+        // survive the rebuild.
+        replay.clear();
+        let t2 = random_trace(
+            &mut StdRng::seed_from_u64(seed ^ 0xACE),
+            &TraceShape {
+                events: shape.events / 2 + 10,
+                ..shape
+            },
+        );
+        feed(&mut replay, &mut serial, &mut parallel, &mut rng, &t2);
+        for (c, &w) in parallel.iter().zip(&worker_counts) {
+            assert_eq!(c.workers(), w, "worker count lost across reset");
+            assert_eq!(c.consumed(), replay.len());
+        }
+    }
+}
+
+#[test]
 fn cached_index_detects_trace_reset() {
     let mut rng = StdRng::seed_from_u64(7);
     let shape = TraceShape {

@@ -148,7 +148,69 @@ impl PpoEvent {
     }
 }
 
+/// Sealed summary of a retired trace prefix: per-kind event counts and
+/// aggregate byte volume, folded in as events are evicted by
+/// [`Trace::retire_through`]. The counts are exact — a compacting run's
+/// report totals are computed from `retired + live` and stay equal to a
+/// non-compacting run's.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetiredSummary {
+    /// Retired read events.
+    pub reads: usize,
+    /// Retired write events.
+    pub writes: usize,
+    /// Retired persist events.
+    pub persists: usize,
+    /// Retired offload events.
+    pub offloads: usize,
+    /// Retired procedure-completion events.
+    pub proc_completes: usize,
+    /// Retired synchronization events.
+    pub syncs: usize,
+    /// Retired failure events.
+    pub failures: usize,
+    /// Retired recovery-read events.
+    pub recovery_reads: usize,
+    /// Total bytes covered by retired events' intervals.
+    pub bytes: u64,
+}
+
+impl RetiredSummary {
+    /// Total number of retired events.
+    pub fn events(&self) -> usize {
+        self.reads
+            + self.writes
+            + self.persists
+            + self.offloads
+            + self.proc_completes
+            + self.syncs
+            + self.failures
+            + self.recovery_reads
+    }
+
+    fn absorb(&mut self, e: &PpoEvent) {
+        match e.kind {
+            EventKind::Read => self.reads += 1,
+            EventKind::Write => self.writes += 1,
+            EventKind::Persist => self.persists += 1,
+            EventKind::Offload => self.offloads += 1,
+            EventKind::ProcComplete => self.proc_completes += 1,
+            EventKind::Sync => self.syncs += 1,
+            EventKind::Failure => self.failures += 1,
+            EventKind::RecoveryRead => self.recovery_reads += 1,
+        }
+        self.bytes += e.interval.len;
+    }
+}
+
 /// An append-only trace of PPO events.
+///
+/// Long self-monitoring runs can **retire** a verified prefix
+/// ([`Trace::retire_through`]): retired events are evicted from the live
+/// vector into a sealed [`RetiredSummary`], bounding resident memory while
+/// [`Trace::len`] keeps counting every event ever recorded. Event indices
+/// (as used by the incremental checker) stay absolute; [`Trace::events`]
+/// returns the live suffix, offset by [`Trace::retired`].
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     events: Vec<PpoEvent>,
@@ -162,6 +224,10 @@ pub struct Trace {
     /// Bumped by [`Trace::clear`] so cached indexes can detect a reset even
     /// when the trace has regrown past its previous length.
     generation: u64,
+    /// Number of events evicted from the front of the live vector.
+    retired: usize,
+    /// Per-kind aggregates of the retired prefix.
+    retired_summary: RetiredSummary,
 }
 
 impl Trace {
@@ -191,19 +257,55 @@ impl Trace {
         self.generation
     }
 
-    /// Number of recorded events.
+    /// Total number of recorded events, including retired ones. This is the
+    /// absolute id space: event `i` of a run keeps id `i` forever, whether or
+    /// not it is still resident.
     pub fn len(&self) -> usize {
+        self.retired + self.events.len()
+    }
+
+    /// True if no event was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The live (non-retired) suffix of the trace, in recording order. The
+    /// first element has absolute id [`Trace::retired`], not 0.
+    pub fn events(&self) -> &[PpoEvent] {
+        &self.events
+    }
+
+    /// Number of events evicted from the front by [`Trace::retire_through`].
+    pub fn retired(&self) -> usize {
+        self.retired
+    }
+
+    /// Number of events still resident in the live vector.
+    pub fn resident(&self) -> usize {
         self.events.len()
     }
 
-    /// True if the trace is empty.
-    pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+    /// Aggregates of the retired prefix.
+    pub fn retired_summary(&self) -> &RetiredSummary {
+        &self.retired_summary
     }
 
-    /// All events in recording order.
-    pub fn events(&self) -> &[PpoEvent] {
-        &self.events
+    /// Evicts events with absolute id `< floor` from the live vector into the
+    /// sealed [`RetiredSummary`], returning how many were evicted. Callers
+    /// must guarantee no live consumer will dereference the evicted prefix
+    /// again — in this workspace that contract is enforced by
+    /// `IncrementalChecker::pinned_floor`, which never exceeds what the
+    /// checker's parked Invariant-3/4 state can still reference.
+    pub fn retire_through(&mut self, floor: usize) -> usize {
+        let evict = floor.saturating_sub(self.retired).min(self.events.len());
+        if evict == 0 {
+            return 0;
+        }
+        for e in self.events.drain(..evict) {
+            self.retired_summary.absorb(&e);
+        }
+        self.retired += evict;
+        evict
     }
 
     /// Allocates a fresh NDP-procedure id.
@@ -298,7 +400,9 @@ impl Trace {
         );
     }
 
-    /// Events issued by one agent, in program order.
+    /// Live events issued by one agent, in program order (retired events are
+    /// not included; the oracle checkers that use this are never run on
+    /// compacted traces).
     pub fn by_agent(&self, agent: Agent) -> Vec<&PpoEvent> {
         self.events.iter().filter(|e| e.agent == agent).collect()
     }
@@ -406,6 +510,52 @@ mod tests {
             999,
         );
         assert_eq!(t.failure_time(), Some(999));
+    }
+
+    #[test]
+    fn retirement_evicts_prefix_but_preserves_totals() {
+        let mut t = Trace::new(1);
+        let p = t.new_proc();
+        for i in 0..10u64 {
+            t.record_write_persist(
+                Agent::Ndp(0),
+                Interval::new(i * 64, 64),
+                Sharing::NdpManaged,
+                Some(p),
+                i * 10,
+            );
+        }
+        assert_eq!(t.len(), 20);
+        assert_eq!(t.retired(), 0);
+
+        // Retire the first 7 events (3.5 write/persist pairs).
+        assert_eq!(t.retire_through(7), 7);
+        assert_eq!(t.retired(), 7);
+        assert_eq!(t.resident(), 13);
+        assert_eq!(t.len(), 20);
+        assert!(!t.is_empty());
+        let s = *t.retired_summary();
+        assert_eq!(s.events(), 7);
+        assert_eq!(s.writes, 4);
+        assert_eq!(s.persists, 3);
+        assert_eq!(s.bytes, 7 * 64);
+        // Live suffix starts at absolute id 7 (a persist of interval 192..256).
+        assert_eq!(t.events()[0].kind, EventKind::Persist);
+        assert_eq!(t.events()[0].interval.start, 3 * 64);
+
+        // A lower or equal floor is a no-op; floors past the end clamp.
+        assert_eq!(t.retire_through(5), 0);
+        assert_eq!(t.retire_through(usize::MAX), 13);
+        assert_eq!(t.retired(), 20);
+        assert_eq!(t.resident(), 0);
+        assert_eq!(t.len(), 20);
+        assert_eq!(t.retired_summary().events(), 20);
+
+        // clear() resets retirement along with everything else.
+        t.clear();
+        assert_eq!(t.retired(), 0);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.retired_summary().events(), 0);
     }
 
     #[test]

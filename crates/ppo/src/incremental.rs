@@ -33,6 +33,29 @@
 //!   interval index), and a failure event arriving late re-evaluates all of
 //!   them once.
 //!
+//! Two properties of the fold matter for the 10M-event tier:
+//!
+//! * **The fold is self-contained.** Every fact a pair evaluation needs
+//!   travels with the indexed [`Item`] (interval, timestamp, CPU program
+//!   order or NDP procedure id in the `aux` word) or with the checker's own
+//!   parked bookkeeping ([`AccessFact`], [`WriteFact`], the recovery-read
+//!   fact list) — the fold never dereferences `trace.events()` for an event
+//!   older than the current batch. That removes the random event-array
+//!   fetch from the hottest loop *and* lets the trace retire verified
+//!   prefixes out from under the checker ([`crate::event::Trace::retire_through`]);
+//!   [`IncrementalChecker::pinned_floor`] reports the oldest event the
+//!   parked Invariant-3/4 state can still reference, i.e. how far the owner
+//!   may safely retire.
+//! * **The pair enumeration shards across workers.** The two batch-scoped
+//!   pair sweeps — new CPU accesses against the mirrored NDP indexes, and
+//!   (re-checked + new) NDP accesses against the full CPU indexes — are
+//!   partitioned into contiguous work-list chunks executed on a
+//!   [`WorkerPool`], with per-job outcome lists applied serially **in job
+//!   order**. Jobs only read index state frozen for the batch, so the
+//!   folded violation list is element-for-element equal to the serial fold
+//!   at every batch split and worker count; `workers <= 1` (the default)
+//!   runs the exact serial loops and remains the differential oracle.
+//!
 //! Violations are held in ordered maps keyed the way the oracles emit them
 //! — (NDP event, CPU event) for ordering, (sync, write) for
 //! synchronization, read index for recovery — so [`IncrementalChecker::check`]
@@ -45,14 +68,68 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::ops::Bound;
 
-use crate::event::{Agent, EventKind, PpoEvent, ProcId, Sharing, Trace};
-use crate::index::{IncrementalIntervalIndex, IncrementalTraceIndex, PpoIndexQueries};
+use crate::event::{Agent, EventKind, Interval, PpoEvent, ProcId, Sharing, Trace};
+use crate::index::{IncrementalIntervalIndex, IncrementalTraceIndex, Item, PpoIndexQueries};
 use crate::invariants::PpoViolation;
+use crate::pool::WorkerPool;
 
 /// Key of a compared pair: the two event indices whose order matches the
 /// oracle's reporting order. `MissingOffload` entries use a zero second
 /// component (they are the only entry for their NDP event while parked).
 type PairKey = (u32, u32);
+
+/// `aux` payload of the checker's NDP-side mirror items for an access with
+/// no procedure (the oracle skips such events entirely). Procedure ids are
+/// allocated sequentially from zero, so the sentinel is unreachable.
+const NO_PROC: u64 = u64::MAX;
+
+/// Self-contained facts about one shared NDP access, recorded when the
+/// access is parked (no offload yet) so a later re-check never has to fetch
+/// the event from the trace — which may have retired it.
+#[derive(Debug, Clone, Copy)]
+struct AccessFact {
+    kind: EventKind,
+    interval: Interval,
+    ts: u64,
+    proc: Option<ProcId>,
+}
+
+impl AccessFact {
+    fn of(e: &PpoEvent) -> Self {
+        AccessFact {
+            kind: e.kind,
+            interval: e.interval,
+            ts: e.timestamp_ps,
+            proc: e.proc,
+        }
+    }
+}
+
+/// Self-contained facts about one parked write (Invariant 3): everything a
+/// sync's candidate revalidation and violation report need.
+#[derive(Debug, Clone, Copy)]
+struct WriteFact {
+    interval: Interval,
+    proc: Option<ProcId>,
+    ts: u64,
+}
+
+/// Outcome of evaluating one NDP shared access against the CPU indexes —
+/// computed read-only (possibly on a worker thread), applied serially in
+/// work-list order so parallel folds mutate state in the serial order.
+enum NdpOutcome {
+    /// The access's procedure has no offload event yet: park it.
+    Park(ProcId),
+    /// Ordering verdicts against comparable CPU accesses (possibly empty).
+    Violations(Vec<(u32, PpoViolation)>),
+    /// The access has no procedure: the oracle skips it entirely.
+    Skip,
+}
+
+/// One entry of the Step-A work list: a new shared CPU access with the
+/// facts pair evaluation needs (event id, kind, interval, timestamp,
+/// program order).
+type CpuWork = (u32, EventKind, Interval, u64, u64);
 
 /// Incremental whole-trace PPO checker: `check` folds only the events
 /// appended since the previous call and returns the same violation list a
@@ -66,16 +143,22 @@ pub struct IncrementalChecker {
     consumed: usize,
     /// Trace generation the state was built from (reset detection).
     generation: u64,
+    /// Worker threads for the batch pair sweeps; `<= 1` runs the serial
+    /// fold. Survives [`IncrementalChecker::reset`] — it is configuration,
+    /// not trace state.
+    workers: usize,
 
     // --- Invariants 1/2 ---
     /// Shared NDP accesses mirrored per kind, so a new CPU access can find
-    /// the older NDP events it is comparable with.
+    /// the older NDP events it is comparable with. Items carry the NDP
+    /// procedure id in `aux` ([`NO_PROC`] when absent).
     ndp_shared_reads: IncrementalIntervalIndex,
     ndp_shared_writes: IncrementalIntervalIndex,
     ndp_shared_persists: IncrementalIntervalIndex,
     /// Shared NDP accesses whose procedure has no offload event yet, by
-    /// procedure (re-checked in full when the offload arrives).
-    parked_no_offload: HashMap<ProcId, Vec<u32>>,
+    /// procedure, with the facts needed to re-check them in full when the
+    /// offload arrives.
+    parked_no_offload: HashMap<ProcId, Vec<(u32, AccessFact)>>,
     /// Membership view of `parked_no_offload` for O(1) skip tests.
     parked_events: HashSet<u32>,
     /// Ordering verdicts, keyed (NDP event, CPU event).
@@ -87,7 +170,12 @@ pub struct IncrementalChecker {
     /// of the batch that parked or last revalidated its write; later
     /// persists only lower the true value, so a sync's range read
     /// over-approximates its candidates and lazily tightens them.
-    parked_writes: HashMap<Agent, BTreeSet<(u64, u32)>>,
+    parked_writes: HashMap<Agent, BTreeMap<(u64, u32), WriteFact>>,
+    /// Parked writes whose stored key is still `u64::MAX` (no covering
+    /// persist seen when last examined) — the Invariant-3 contribution to
+    /// [`IncrementalChecker::pinned_floor`], kept as a side set so the
+    /// floor is O(log n) instead of a scan of every parked write.
+    parked_unpersisted: BTreeSet<u32>,
     /// Sync verdicts, keyed (sync event, write event).
     sync_violations: BTreeMap<PairKey, PpoViolation>,
 
@@ -95,8 +183,9 @@ pub struct IncrementalChecker {
     /// Interval index over recovery reads (id-valued), so a late
     /// write/persist re-evaluates exactly the reads it overlaps.
     recovery_idx: IncrementalIntervalIndex,
-    /// All recovery-read event indices, in trace order.
-    recovery_reads: Vec<u32>,
+    /// All recovery-read events (id, interval, agent) in trace order — the
+    /// facts re-evaluation needs, id-sorted for binary search.
+    recovery_reads: Vec<(u32, Interval, Agent)>,
     /// Recovery verdicts, keyed by read index.
     recovery_violations: BTreeMap<u32, PpoViolation>,
 
@@ -115,7 +204,7 @@ pub struct IncrementalChecker {
 }
 
 impl IncrementalChecker {
-    /// Creates an empty checker.
+    /// Creates an empty checker (serial fold).
     pub fn new() -> Self {
         IncrementalChecker::default()
     }
@@ -125,9 +214,45 @@ impl IncrementalChecker {
         self.consumed
     }
 
-    /// Drops all cached state (used when the trace it mirrors is reset).
+    /// Sets the worker count for the batch pair sweeps. `workers <= 1`
+    /// selects the serial fold (the differential oracle); any count
+    /// produces the identical violation list.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers;
+    }
+
+    /// Worker threads the fold's pair sweeps run on (at least 1).
+    pub fn workers(&self) -> usize {
+        self.workers.max(1)
+    }
+
+    /// Drops all cached trace state (used when the trace it mirrors is
+    /// reset). The `workers` configuration survives.
     pub fn reset(&mut self) {
+        let workers = self.workers;
         *self = IncrementalChecker::default();
+        self.workers = workers;
+    }
+
+    /// The oldest event index the checker's parked Invariant-3/4 state can
+    /// still reference: the owner of the trace may retire events below this
+    /// floor ([`crate::event::Trace::retire_through`]) without the fold
+    /// ever touching them again. On clean runs — no accesses awaiting an
+    /// offload, no never-persisted parked writes, no recovery reads — the
+    /// floor equals [`IncrementalChecker::consumed`], so everything already
+    /// folded is evictable.
+    pub fn pinned_floor(&self) -> usize {
+        let mut floor = self.consumed;
+        if let Some(&id) = self.parked_events.iter().min() {
+            floor = floor.min(id as usize);
+        }
+        if let Some(&id) = self.parked_unpersisted.first() {
+            floor = floor.min(id as usize);
+        }
+        if let Some(&(id, _, _)) = self.recovery_reads.first() {
+            floor = floor.min(id as usize);
+        }
+        floor
     }
 
     /// Runs all invariant checkers over `trace`, folding only the events
@@ -170,10 +295,22 @@ impl IncrementalChecker {
         }
     }
 
-    /// Folds `trace.events()[lo..]` into every invariant's state.
+    /// Folds the events with absolute ids `lo..trace.len()` into every
+    /// invariant's state.
     fn fold(&mut self, trace: &Trace, lo: usize) {
+        let retired = trace.retired();
+        assert!(
+            lo >= retired,
+            "trace compacted past the checker watermark (retired {retired}, consumed {lo})"
+        );
         let events = trace.events();
+        // Offset of the first new event in the live slice; `retired + off`
+        // recovers an absolute id. New events are always resident (the
+        // pinned floor never exceeds `consumed`), old events are never
+        // dereferenced.
+        let base = lo - retired;
         let failure_before = self.index.failure_ts();
+        let pool = WorkerPool::new(self.workers.max(1));
 
         // Relaxed-persist counter: lower the CPU-access threshold first
         // (counting the already-indexed persists the lowered threshold newly
@@ -181,7 +318,7 @@ impl IncrementalChecker {
         // new threshold — together that reproduces the whole-trace count.
         let old_min = self.rpc_min_cpu_ts;
         let mut new_min = old_min;
-        for e in &events[lo..] {
+        for e in &events[base..] {
             if e.agent == Agent::Cpu
                 && matches!(e.kind, EventKind::Write | EventKind::Read)
                 && e.program_order > 0
@@ -203,7 +340,7 @@ impl IncrementalChecker {
                 .sum::<usize>();
             self.rpc_min_cpu_ts = new_min;
         }
-        for e in &events[lo..] {
+        for e in &events[base..] {
             if e.agent.is_ndp() && e.kind == EventKind::Persist && e.sharing == Sharing::NdpManaged
             {
                 *self.rpc_persists.entry(e.timestamp_ps).or_insert(0) += 1;
@@ -218,7 +355,7 @@ impl IncrementalChecker {
         // — a million-offload batch makes `Vec::contains` quadratic.
         let mut gained: Vec<ProcId> = Vec::new();
         let mut gained_set: HashSet<ProcId> = HashSet::new();
-        for e in &events[lo..] {
+        for e in &events[base..] {
             if e.kind == EventKind::Offload && e.agent == Agent::Cpu {
                 if let Some(p) = e.proc {
                     if self.index.offload_po(p).is_none() && gained_set.insert(p) {
@@ -232,81 +369,102 @@ impl IncrementalChecker {
         // indexes (pairs old-NDP × new-CPU; pairs where both events are new
         // are produced exactly once, in step D). Parked NDP events are
         // skipped: they are either re-checked in full in step C (offload
-        // arrived) or stay MissingOffload, matching the oracle.
-        for (i, e) in events.iter().enumerate().skip(lo) {
+        // arrived) or stay MissingOffload, matching the oracle. The work
+        // list is evaluated read-only (sharded over the pool when workers
+        // > 1) and the verdicts applied in work-list order.
+        let mut cpu_work: Vec<CpuWork> = Vec::new();
+        for (off, e) in events.iter().enumerate().skip(base) {
             if e.agent != Agent::Cpu || e.sharing != Sharing::Shared || e.interval.len == 0 {
                 continue;
             }
-            let mut ids: Vec<u32> = Vec::new();
-            match e.kind {
-                EventKind::Persist => self
-                    .ndp_shared_persists
-                    .for_each_overlap(e.interval, |id| ids.push(id)),
-                EventKind::Write => {
-                    self.ndp_shared_writes
-                        .for_each_overlap(e.interval, |id| ids.push(id));
-                    self.ndp_shared_reads
-                        .for_each_overlap(e.interval, |id| ids.push(id));
-                }
-                EventKind::Read => self
-                    .ndp_shared_writes
-                    .for_each_overlap(e.interval, |id| ids.push(id)),
-                _ => continue,
+            if !matches!(
+                e.kind,
+                EventKind::Read | EventKind::Write | EventKind::Persist
+            ) {
+                continue;
             }
-            for ndp_id in ids {
-                if self.parked_events.contains(&ndp_id) {
-                    continue;
-                }
-                self.evaluate_pair(events, ndp_id, i as u32);
+            cpu_work.push((
+                (retired + off) as u32,
+                e.kind,
+                e.interval,
+                e.timestamp_ps,
+                e.program_order,
+            ));
+        }
+        if !cpu_work.is_empty() {
+            let index = &self.index;
+            let reads = &self.ndp_shared_reads;
+            let writes = &self.ndp_shared_writes;
+            let persists = &self.ndp_shared_persists;
+            let parked = &self.parked_events;
+            let eval = move |chunk: &[CpuWork]| {
+                evaluate_cpu_chunk(index, reads, writes, persists, parked, chunk)
+            };
+            let verdicts = run_chunked(&pool, &cpu_work, eval);
+            for (key, v) in verdicts.into_iter().flatten() {
+                self.ordering.insert(key, v);
             }
         }
 
         // Step B — fold the batch into every index.
         self.index.extend_from(trace);
-        let mut ndp_reads = Vec::new();
-        let mut ndp_writes = Vec::new();
-        let mut ndp_persists = Vec::new();
-        let mut recovery_new = Vec::new();
-        for (i, e) in events.iter().enumerate().skip(lo) {
-            let id = i as u32;
+        let mut ndp_reads: Vec<Item> = Vec::new();
+        let mut ndp_writes: Vec<Item> = Vec::new();
+        let mut ndp_persists: Vec<Item> = Vec::new();
+        let mut recovery_new: Vec<Item> = Vec::new();
+        for (off, e) in events.iter().enumerate().skip(base) {
             if e.interval.len == 0 {
                 continue;
             }
-            let entry = (e.interval, e.timestamp_ps, id);
+            let id = (retired + off) as u32;
             if e.agent.is_ndp() && e.sharing == Sharing::Shared {
+                let item = Item {
+                    start: e.interval.start,
+                    end: e.interval.end(),
+                    value: e.timestamp_ps,
+                    aux: e.proc.map(|p| p.0).unwrap_or(NO_PROC),
+                    id,
+                };
                 match e.kind {
-                    EventKind::Read => ndp_reads.push(entry),
-                    EventKind::Write => ndp_writes.push(entry),
-                    EventKind::Persist => ndp_persists.push(entry),
+                    EventKind::Read => ndp_reads.push(item),
+                    EventKind::Write => ndp_writes.push(item),
+                    EventKind::Persist => ndp_persists.push(item),
                     _ => {}
                 }
             }
             if e.kind == EventKind::RecoveryRead {
-                recovery_new.push(entry);
-                self.recovery_reads.push(id);
+                recovery_new.push(Item {
+                    start: e.interval.start,
+                    end: e.interval.end(),
+                    value: e.timestamp_ps,
+                    aux: 0,
+                    id,
+                });
+                self.recovery_reads.push((id, e.interval, e.agent));
             }
         }
-        self.ndp_shared_reads.extend_items(ndp_reads);
-        self.ndp_shared_writes.extend_items(ndp_writes);
-        self.ndp_shared_persists.extend_items(ndp_persists);
-        self.recovery_idx.extend_items(recovery_new);
+        self.ndp_shared_reads.insert_batch(ndp_reads);
+        self.ndp_shared_writes.insert_batch(ndp_writes);
+        self.ndp_shared_persists.insert_batch(ndp_persists);
+        self.recovery_idx.insert_batch(recovery_new);
 
-        // Step C — procedures that gained their offload: drop the
-        // MissingOffload verdicts and re-check the parked accesses against
-        // the *full* (post-fold) CPU indexes.
+        // Steps C and D share one work list evaluated against the full
+        // (post-fold) CPU indexes, in the serial order: first the parked
+        // accesses of procedures that gained their offload (drop their
+        // MissingOffload verdicts now), then the batch's new NDP shared
+        // accesses in trace order.
+        let mut ndp_work: Vec<(u32, AccessFact)> = Vec::new();
         for p in &gained {
             let Some(list) = self.parked_no_offload.remove(p) else {
                 continue;
             };
-            for ndp_id in list {
+            for (ndp_id, fact) in list {
                 self.parked_events.remove(&ndp_id);
                 self.ordering.remove(&(ndp_id, 0));
-                self.check_ndp_event(events, ndp_id);
+                ndp_work.push((ndp_id, fact));
             }
         }
-
-        // Step D — new NDP shared accesses against the full CPU indexes.
-        for (i, e) in events.iter().enumerate().skip(lo) {
+        for (off, e) in events.iter().enumerate().skip(base) {
             if !e.agent.is_ndp() || e.sharing != Sharing::Shared || e.interval.len == 0 {
                 continue;
             }
@@ -316,7 +474,38 @@ impl IncrementalChecker {
             ) {
                 continue;
             }
-            self.check_ndp_event(events, i as u32);
+            ndp_work.push(((retired + off) as u32, AccessFact::of(e)));
+        }
+        if !ndp_work.is_empty() {
+            let index = &self.index;
+            let eval = move |chunk: &[(u32, AccessFact)]| {
+                chunk
+                    .iter()
+                    .map(|(_, fact)| evaluate_ndp_access(index, fact))
+                    .collect::<Vec<_>>()
+            };
+            let outcomes = run_chunked(&pool, &ndp_work, eval);
+            for ((ndp_id, fact), outcome) in
+                ndp_work.into_iter().zip(outcomes.into_iter().flatten())
+            {
+                match outcome {
+                    NdpOutcome::Skip => {}
+                    NdpOutcome::Park(proc) => {
+                        self.parked_no_offload
+                            .entry(proc)
+                            .or_default()
+                            .push((ndp_id, fact));
+                        self.parked_events.insert(ndp_id);
+                        self.ordering
+                            .insert((ndp_id, 0), PpoViolation::MissingOffload { proc });
+                    }
+                    NdpOutcome::Violations(vs) => {
+                        for (cpu_id, v) in vs {
+                            self.ordering.insert((ndp_id, cpu_id), v);
+                        }
+                    }
+                }
+            }
         }
 
         // Step E — Invariant 3, sequentially through the batch (the parked
@@ -324,20 +513,28 @@ impl IncrementalChecker {
         // the post-fold whole-trace earliest-persist key, so within-batch
         // persist placement is already accounted; persists from *later*
         // batches can only lower a key, which syncs discover lazily.
-        for (i, e) in events.iter().enumerate().skip(lo) {
+        for (off, e) in events.iter().enumerate().skip(base) {
             if !e.agent.is_ndp() {
                 continue;
             }
+            let id = (retired + off) as u32;
             match e.kind {
                 EventKind::Write if e.interval.len > 0 => {
                     let key = self
                         .index
                         .earliest_persist_by(e.agent, e.interval)
                         .unwrap_or(u64::MAX);
-                    self.parked_writes
-                        .entry(e.agent)
-                        .or_default()
-                        .insert((key, i as u32));
+                    if key == u64::MAX {
+                        self.parked_unpersisted.insert(id);
+                    }
+                    self.parked_writes.entry(e.agent).or_default().insert(
+                        (key, id),
+                        WriteFact {
+                            interval: e.interval,
+                            proc: e.proc,
+                            ts: e.timestamp_ps,
+                        },
+                    );
                 }
                 EventKind::Persist if e.interval.len > 0 => {
                     // The only standing state a later persist can invalidate
@@ -379,43 +576,44 @@ impl IncrementalChecker {
                     // its true key is re-derived from the full persist index
                     // (lowering the stored key in place — keys only
                     // decrease, so this revalidation amortizes).
-                    let candidates: Vec<(u64, u32)> = parked
+                    let candidates: Vec<((u64, u32), WriteFact)> = parked
                         .range((
                             Bound::Excluded((e.timestamp_ps, u32::MAX)),
                             Bound::Unbounded,
                         ))
-                        .copied()
+                        .map(|(&k, &v)| (k, v))
                         .collect();
-                    let mut failing: Vec<u32> = Vec::new();
-                    for (stored, w) in candidates {
-                        let wev = &events[w as usize];
+                    let mut failing: Vec<(u32, WriteFact)> = Vec::new();
+                    for ((stored, w), wf) in candidates {
                         let true_key = self
                             .index
-                            .earliest_persist_by(e.agent, wev.interval)
+                            .earliest_persist_by(e.agent, wf.interval)
                             .unwrap_or(u64::MAX);
                         if true_key < stored {
                             parked.remove(&(stored, w));
-                            parked.insert((true_key, w));
+                            parked.insert((true_key, w), wf);
+                            if stored == u64::MAX {
+                                self.parked_unpersisted.remove(&w);
+                            }
                         }
                         if true_key <= e.timestamp_ps {
                             continue;
                         }
                         let in_scope = match e.proc {
-                            Some(p) => wev.proc == Some(p),
-                            None => wev.timestamp_ps <= e.timestamp_ps,
+                            Some(p) => wf.proc == Some(p),
+                            None => wf.ts <= e.timestamp_ps,
                         };
                         if in_scope {
-                            failing.push(w);
+                            failing.push((w, wf));
                         }
                     }
-                    failing.sort_unstable();
-                    for w in failing {
-                        let wev = &events[w as usize];
+                    failing.sort_unstable_by_key(|&(w, _)| w);
+                    for (w, wf) in failing {
                         self.sync_violations.insert(
-                            (i as u32, w),
+                            (id, w),
                             PpoViolation::UnpersistedBeforeSync {
-                                agent: wev.agent,
-                                interval: wev.interval,
+                                agent: e.agent,
+                                interval: wf.interval,
                                 sync_ts: e.timestamp_ps,
                             },
                         );
@@ -433,25 +631,32 @@ impl IncrementalChecker {
             // The failure became visible in this batch: every recovery read
             // (old and new) gets its verdict from the full indexes once.
             let all = self.recovery_reads.clone();
-            for r in all {
-                self.evaluate_recovery(events, r);
+            for (r, interval, agent) in all {
+                self.evaluate_recovery(r, interval, agent);
             }
         } else {
-            for (i, e) in events.iter().enumerate().skip(lo) {
+            for (off, e) in events.iter().enumerate().skip(base) {
                 match e.kind {
                     EventKind::RecoveryRead if e.interval.len > 0 => {
-                        self.evaluate_recovery(events, i as u32);
+                        self.evaluate_recovery((retired + off) as u32, e.interval, e.agent);
                     }
                     EventKind::Write | EventKind::Persist
                         if e.interval.len > 0 && e.timestamp_ps <= failure =>
                     {
                         // A pre-failure write can create a verdict on an old
-                        // read; a pre-failure persist can clear one.
+                        // read; a pre-failure persist can clear one. The
+                        // read's facts come from the checker's own list —
+                        // the event may be older than the batch.
                         let mut hits = Vec::new();
                         self.recovery_idx
                             .for_each_overlap(e.interval, |r| hits.push(r));
                         for r in hits {
-                            self.evaluate_recovery(events, r);
+                            let pos = self
+                                .recovery_reads
+                                .binary_search_by_key(&r, |&(id, _, _)| id)
+                                .expect("indexed recovery read is tracked");
+                            let (rid, interval, agent) = self.recovery_reads[pos];
+                            self.evaluate_recovery(rid, interval, agent);
                         }
                     }
                     _ => {}
@@ -460,108 +665,131 @@ impl IncrementalChecker {
         }
     }
 
-    /// Evaluates one NDP shared access against the full CPU indexes, or
-    /// parks it with a `MissingOffload` verdict if its procedure has no
-    /// offload event yet.
-    ///
-    /// The pair loop is the fold's hottest code — on dense traces one NDP
-    /// access can be comparable with hundreds of CPU accesses — so the
-    /// per-event facts (the NDP event itself, its procedure's offload
-    /// program order) are resolved once up front and the verdicts stream
-    /// straight out of the index walk, instead of paying an offload-table
-    /// hash lookup and an extra `events` fetch per pair the way
-    /// [`IncrementalChecker::evaluate_pair`] does.
-    fn check_ndp_event(&mut self, events: &[PpoEvent], ndp_id: u32) {
-        let ndp = &events[ndp_id as usize];
-        let Some(proc) = ndp.proc else {
-            return; // no procedure: the oracle skips it entirely
-        };
-        let Some(off_po) = self.index.offload_po(proc) else {
-            self.parked_no_offload.entry(proc).or_default().push(ndp_id);
-            self.parked_events.insert(ndp_id);
-            self.ordering
-                .insert((ndp_id, 0), PpoViolation::MissingOffload { proc });
-            return;
-        };
-        let mut violating: Vec<(u32, PpoViolation)> = Vec::new();
-        self.index
-            .for_each_comparable_cpu_id(ndp.kind, ndp.interval, |cpu_id| {
-                let cpu = &events[cpu_id as usize];
-                let cpu_before_offload = cpu.program_order < off_po;
-                let ok = if cpu_before_offload {
-                    cpu.timestamp_ps <= ndp.timestamp_ps
-                } else {
-                    ndp.timestamp_ps <= cpu.timestamp_ps
-                };
-                if !ok {
-                    violating.push((
-                        cpu_id,
-                        PpoViolation::SharedOrderViolation {
-                            proc,
-                            cpu_interval: cpu.interval,
-                            ndp_interval: ndp.interval,
-                            cpu_ts: cpu.timestamp_ps,
-                            ndp_ts: ndp.timestamp_ps,
-                            cpu_before_offload,
-                        },
-                    ));
-                }
-            });
-        for (cpu_id, v) in violating {
-            self.ordering.insert((ndp_id, cpu_id), v);
-        }
-    }
-
-    /// Evaluates one (NDP access, CPU access) pair and records the verdict.
-    /// Every input to the verdict is immutable once both events exist (the
-    /// offload table keeps the *first* offload per procedure), so a pair is
-    /// evaluated exactly once across the checker's lifetime.
-    fn evaluate_pair(&mut self, events: &[PpoEvent], ndp_id: u32, cpu_id: u32) {
-        let ndp = &events[ndp_id as usize];
-        let cpu = &events[cpu_id as usize];
-        let Some(proc) = ndp.proc else {
-            return;
-        };
-        let Some(off_po) = self.index.offload_po(proc) else {
-            return;
-        };
-        let cpu_before_offload = cpu.program_order < off_po;
-        let ok = if cpu_before_offload {
-            cpu.timestamp_ps <= ndp.timestamp_ps
-        } else {
-            ndp.timestamp_ps <= cpu.timestamp_ps
-        };
-        if !ok {
-            self.ordering.insert(
-                (ndp_id, cpu_id),
-                PpoViolation::SharedOrderViolation {
-                    proc,
-                    cpu_interval: cpu.interval,
-                    ndp_interval: ndp.interval,
-                    cpu_ts: cpu.timestamp_ps,
-                    ndp_ts: ndp.timestamp_ps,
-                    cpu_before_offload,
-                },
-            );
-        }
-    }
-
     /// Re-derives one recovery read's verdict from the full write/persist
     /// indexes (idempotent: inserts or removes as the verdict dictates).
-    fn evaluate_recovery(&mut self, events: &[PpoEvent], r: u32) {
-        let e = &events[r as usize];
-        let violating = self.index.written_before_failure(e.interval)
-            && !self.index.persisted_before_failure(e.interval);
+    fn evaluate_recovery(&mut self, r: u32, interval: Interval, agent: Agent) {
+        let violating = self.index.written_before_failure(interval)
+            && !self.index.persisted_before_failure(interval);
         if violating {
-            self.recovery_violations.insert(
-                r,
-                PpoViolation::RecoveryReadUnpersisted {
-                    agent: e.agent,
-                    interval: e.interval,
-                },
-            );
+            self.recovery_violations
+                .insert(r, PpoViolation::RecoveryReadUnpersisted { agent, interval });
         } else {
             self.recovery_violations.remove(&r);
         }
     }
+}
+
+/// Shards `work` into up to `pool.workers()` contiguous chunks, evaluates
+/// them on the pool, and returns the per-chunk outputs **in work-list
+/// order** — concatenated they equal what one serial pass over `work` would
+/// produce. One worker (or a single-entry list) runs on the calling thread.
+fn run_chunked<T: Sync, R: Send, F>(pool: &WorkerPool, work: &[T], eval: F) -> Vec<R>
+where
+    F: Fn(&[T]) -> R + Send + Sync,
+{
+    let jobs = pool.workers().min(work.len());
+    if jobs <= 1 {
+        return vec![eval(work)];
+    }
+    let chunk = work.len().div_ceil(jobs);
+    let eval = &eval;
+    pool.scoped_map(work.chunks(chunk).map(|c| move || eval(c)).collect())
+}
+
+/// Evaluates a chunk of new shared CPU accesses against the mirrored
+/// NDP-side indexes (Step A), read-only: verdicts stream out of the item
+/// walk — interval, timestamp, and procedure id all travel with the
+/// [`Item`] — so no event is fetched from the trace.
+fn evaluate_cpu_chunk(
+    index: &IncrementalTraceIndex,
+    ndp_reads: &IncrementalIntervalIndex,
+    ndp_writes: &IncrementalIntervalIndex,
+    ndp_persists: &IncrementalIntervalIndex,
+    parked: &HashSet<u32>,
+    chunk: &[CpuWork],
+) -> Vec<(PairKey, PpoViolation)> {
+    let mut out = Vec::new();
+    for &(cpu_id, kind, interval, cpu_ts, cpu_po) in chunk {
+        let mut hits: Vec<Item> = Vec::new();
+        match kind {
+            EventKind::Persist => ndp_persists.for_each_overlap_item(interval, |it| hits.push(*it)),
+            EventKind::Write => {
+                ndp_writes.for_each_overlap_item(interval, |it| hits.push(*it));
+                ndp_reads.for_each_overlap_item(interval, |it| hits.push(*it));
+            }
+            EventKind::Read => ndp_writes.for_each_overlap_item(interval, |it| hits.push(*it)),
+            _ => {}
+        }
+        for it in hits {
+            if it.aux == NO_PROC || parked.contains(&it.id) {
+                continue;
+            }
+            let proc = ProcId(it.aux);
+            let Some(off_po) = index.offload_po(proc) else {
+                continue;
+            };
+            let cpu_before_offload = cpu_po < off_po;
+            let ok = if cpu_before_offload {
+                cpu_ts <= it.value
+            } else {
+                it.value <= cpu_ts
+            };
+            if !ok {
+                out.push((
+                    (it.id, cpu_id),
+                    PpoViolation::SharedOrderViolation {
+                        proc,
+                        cpu_interval: interval,
+                        ndp_interval: it.interval(),
+                        cpu_ts,
+                        ndp_ts: it.value,
+                        cpu_before_offload,
+                    },
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Evaluates one NDP shared access against the full CPU indexes (Steps C
+/// and D), read-only — the mutation the outcome implies is applied by the
+/// caller in work-list order.
+///
+/// The pair loop is the fold's hottest code — on dense traces one NDP
+/// access can be comparable with hundreds of CPU accesses — so the
+/// per-access facts (its procedure's offload program order, its timestamp)
+/// are resolved once up front and the verdicts stream straight out of the
+/// item walk, with the CPU side's interval, timestamp, and program order
+/// carried by the [`Item`] itself: no `events[]` fetch per pair.
+fn evaluate_ndp_access(index: &IncrementalTraceIndex, fact: &AccessFact) -> NdpOutcome {
+    let Some(proc) = fact.proc else {
+        return NdpOutcome::Skip;
+    };
+    let Some(off_po) = index.offload_po(proc) else {
+        return NdpOutcome::Park(proc);
+    };
+    let mut violating: Vec<(u32, PpoViolation)> = Vec::new();
+    index.for_each_comparable_cpu_item(fact.kind, fact.interval, |cpu| {
+        let cpu_before_offload = cpu.aux < off_po;
+        let ok = if cpu_before_offload {
+            cpu.value <= fact.ts
+        } else {
+            fact.ts <= cpu.value
+        };
+        if !ok {
+            violating.push((
+                cpu.id,
+                PpoViolation::SharedOrderViolation {
+                    proc,
+                    cpu_interval: cpu.interval(),
+                    ndp_interval: fact.interval,
+                    cpu_ts: cpu.value,
+                    ndp_ts: fact.ts,
+                    cpu_before_offload,
+                },
+            ));
+        }
+    });
+    NdpOutcome::Violations(violating)
 }

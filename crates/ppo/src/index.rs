@@ -30,14 +30,29 @@ use std::collections::HashMap;
 use crate::event::{Agent, EventKind, Interval, PpoEvent, ProcId, Trace};
 use crate::pool::WorkerPool;
 
-/// One indexed interval with an attached value (usually a timestamp) and the
-/// index of the originating event in the trace.
+/// One indexed interval with an attached value (usually a timestamp), an
+/// auxiliary payload, and the index of the originating event in the trace.
+///
+/// The `aux` word makes the index **self-contained** for the incremental
+/// checker: the CPU-side indexes carry the access's program order, the
+/// checker's NDP-side mirrors carry the procedure id — every fact a pair
+/// evaluation needs travels with the item, so old events never have to be
+/// re-fetched from the trace (which may have retired them under streaming
+/// compaction).
 #[derive(Debug, Clone, Copy)]
-struct Item {
-    start: u64,
-    end: u64,
-    value: u64,
-    id: u32,
+pub(crate) struct Item {
+    pub(crate) start: u64,
+    pub(crate) end: u64,
+    pub(crate) value: u64,
+    pub(crate) aux: u64,
+    pub(crate) id: u32,
+}
+
+impl Item {
+    /// The interval this item covers.
+    pub(crate) fn interval(&self) -> Interval {
+        Interval::new(self.start, self.end - self.start)
+    }
 }
 
 /// Static interval index over a subset of trace events.
@@ -143,6 +158,14 @@ impl IntervalIndex {
     /// `query`. Ids are produced in interval-start-sorted order, *not* trace
     /// order — callers that need trace order must collect and sort.
     pub fn for_each_overlap<F: FnMut(u32)>(&self, query: Interval, mut f: F) {
+        self.for_each_overlap_item(query, |it| f(it.id));
+    }
+
+    /// Calls `f` with every indexed [`Item`] overlapping `query` (same walk
+    /// as [`IntervalIndex::for_each_overlap`], but the full item — interval,
+    /// value, and aux payload — streams out, so the incremental checker can
+    /// evaluate pairs without re-fetching events from the trace).
+    pub(crate) fn for_each_overlap_item<F: FnMut(&Item)>(&self, query: Interval, mut f: F) {
         if query.len == 0 || self.items.is_empty() {
             return;
         }
@@ -153,7 +176,7 @@ impl IntervalIndex {
         self.walk_overlap(self.root.unwrap(), prefix, query.start, &mut f);
     }
 
-    fn walk_overlap<F: FnMut(u32)>(&self, node: usize, prefix: usize, qs: u64, f: &mut F) {
+    fn walk_overlap<F: FnMut(&Item)>(&self, node: usize, prefix: usize, qs: u64, f: &mut F) {
         let (lo, hi) = self.node_range[node];
         if lo >= prefix || self.node_max_end[node] <= qs {
             return;
@@ -166,7 +189,7 @@ impl IntervalIndex {
             None => {
                 for it in &self.items[lo..hi.min(prefix)] {
                     if it.end > qs {
-                        f(it.id);
+                        f(it);
                     }
                 }
             }
@@ -269,7 +292,7 @@ impl IncrementalIntervalIndex {
     /// `MERGE_RATIO` times the accumulated batch is absorbed, so the
     /// remaining levels stay geometrically separated and the level count is
     /// bounded by log base `MERGE_RATIO` of the total size.
-    fn insert_batch(&mut self, mut items: Vec<Item>) {
+    pub(crate) fn insert_batch(&mut self, mut items: Vec<Item>) {
         items.retain(|it| it.end > it.start);
         if items.is_empty() {
             return;
@@ -283,22 +306,6 @@ impl IncrementalIntervalIndex {
             }
         }
         self.levels.push(IntervalIndex::build(items));
-    }
-
-    /// Appends a batch of `(interval, value, event-id)` entries (used by the
-    /// incremental checker for its NDP-side and recovery-read indexes).
-    pub(crate) fn extend_items(&mut self, entries: Vec<(Interval, u64, u32)>) {
-        self.insert_batch(
-            entries
-                .into_iter()
-                .map(|(iv, value, id)| Item {
-                    start: iv.start,
-                    end: iv.end(),
-                    value,
-                    id,
-                })
-                .collect(),
-        );
     }
 
     /// Total number of indexed intervals across all levels.
@@ -321,6 +328,14 @@ impl IncrementalIntervalIndex {
     pub fn for_each_overlap<F: FnMut(u32)>(&self, query: Interval, mut f: F) {
         for level in &self.levels {
             level.for_each_overlap(query, &mut f);
+        }
+    }
+
+    /// Calls `f` with every indexed [`Item`] overlapping `query`, fanning
+    /// out over the levels (no cross-level order).
+    pub(crate) fn for_each_overlap_item<F: FnMut(&Item)>(&self, query: Interval, mut f: F) {
+        for level in &self.levels {
+            level.for_each_overlap_item(query, &mut f);
         }
     }
 
@@ -424,6 +439,12 @@ impl IncrementalTraceIndex {
 
     /// Folds the events appended to `trace` since the last call into the
     /// index. Detects a trace reset (shrink) and rebuilds from scratch.
+    ///
+    /// Event ids are **absolute** trace positions: on a compacting trace
+    /// (`Trace::retire_through`) the live slice is offset by
+    /// `Trace::retired`, and the index requires its own watermark to have
+    /// kept up — retiring events the index has not consumed yet would lose
+    /// them.
     pub fn extend_from(&mut self, trace: &Trace) {
         // A shrink or a generation change means the trace was reset since
         // the cache last saw it (the generation catches a trace cleared and
@@ -432,10 +453,16 @@ impl IncrementalTraceIndex {
             self.reset();
             self.generation = trace.generation();
         }
-        let events = trace.events();
-        if self.consumed == events.len() {
+        if self.consumed == trace.len() {
             return;
         }
+        let retired = trace.retired();
+        assert!(
+            self.consumed >= retired,
+            "trace compacted past the index watermark (retired {retired}, consumed {})",
+            self.consumed
+        );
+        let events = trace.events();
 
         let mut cpu_reads = Vec::new();
         let mut cpu_writes = Vec::new();
@@ -444,12 +471,13 @@ impl IncrementalTraceIndex {
         let mut writes = Vec::new();
         let mut persists = Vec::new();
 
-        for (i, e) in events.iter().enumerate().skip(self.consumed) {
-            let id = i as u32;
+        for (off, e) in events.iter().enumerate().skip(self.consumed - retired) {
+            let id = (retired + off) as u32;
             let item = Item {
                 start: e.interval.start,
                 end: e.interval.end(),
                 value: e.timestamp_ps,
+                aux: e.program_order,
                 id,
             };
             match e.kind {
@@ -492,7 +520,7 @@ impl IncrementalTraceIndex {
         }
         self.all_writes.insert_batch(writes);
         self.all_persists.insert_batch(persists);
-        self.consumed = events.len();
+        self.consumed = trace.len();
     }
 
     /// Calls `f` with the event **index** of every shared CPU access whose
@@ -507,13 +535,35 @@ impl IncrementalTraceIndex {
         interval: Interval,
         mut f: F,
     ) {
+        self.for_each_comparable_cpu_item(ndp_kind, interval, |it| f(it.id));
+    }
+
+    /// Item-level variant of
+    /// [`IncrementalTraceIndex::for_each_comparable_cpu_id`]: streams the
+    /// full [`Item`] — interval, timestamp (`value`), CPU program order
+    /// (`aux`) — so the incremental checker's pair evaluation needs no
+    /// `events[id]` fetch at all. That makes the checker independent of
+    /// retired trace prefixes *and* removes the random event-array access
+    /// from the hottest loop of the fold.
+    pub(crate) fn for_each_comparable_cpu_item<F: FnMut(&Item)>(
+        &self,
+        ndp_kind: EventKind,
+        interval: Interval,
+        mut f: F,
+    ) {
         match ndp_kind {
-            EventKind::Persist => self.cpu_shared_persists.for_each_overlap(interval, &mut f),
+            EventKind::Persist => self
+                .cpu_shared_persists
+                .for_each_overlap_item(interval, &mut f),
             EventKind::Write => {
-                self.cpu_shared_writes.for_each_overlap(interval, &mut f);
-                self.cpu_shared_reads.for_each_overlap(interval, &mut f);
+                self.cpu_shared_writes
+                    .for_each_overlap_item(interval, &mut f);
+                self.cpu_shared_reads
+                    .for_each_overlap_item(interval, &mut f);
             }
-            EventKind::Read => self.cpu_shared_writes.for_each_overlap(interval, &mut f),
+            EventKind::Read => self
+                .cpu_shared_writes
+                .for_each_overlap_item(interval, &mut f),
             _ => {}
         }
     }
@@ -624,6 +674,7 @@ impl<'a> TraceIndex<'a> {
                 start: e.interval.start,
                 end: e.interval.end(),
                 value: e.timestamp_ps,
+                aux: e.program_order,
                 id,
             };
             match e.kind {
@@ -826,6 +877,7 @@ mod tests {
                     start,
                     end: start + len,
                     value,
+                    aux: 0,
                     id: i as u32,
                 })
                 .collect(),
@@ -908,7 +960,13 @@ mod tests {
         let n: usize = 2000;
         for i in 0..n as u64 {
             let (start, len, value) = (i * 7 % 509, 1 + i % 37, 1000 + i);
-            inc.extend_items(vec![(iv(start, len), value, i as u32)]);
+            inc.insert_batch(vec![Item {
+                start,
+                end: start + len,
+                value,
+                aux: 0,
+                id: i as u32,
+            }]);
             naive.push((start, len, value));
         }
         assert_eq!(inc.len(), n);

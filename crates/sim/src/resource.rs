@@ -25,6 +25,15 @@ pub enum Resource {
     /// per-unit issue queues so the dispatcher frees as soon as decode
     /// retires.
     Dispatcher(usize),
+    /// An extra decode lane of a device whose front-end has more than one
+    /// decode stage (`lane >= 1`; lane 0 is the classic
+    /// [`Resource::Dispatcher`], so single-lane devices are untouched).
+    DispatcherLane {
+        /// Device the lane belongs to.
+        device: usize,
+        /// Lane index within the device's front-end (always `>= 1`).
+        lane: usize,
+    },
     /// The issue queue feeding one NearPM execution unit: the decoded
     /// request's translate/conflict-check stage runs here, overlapping with
     /// the execution of requests on sibling units.
@@ -44,7 +53,10 @@ impl Resource {
     pub fn is_ndp(&self) -> bool {
         matches!(
             self,
-            Resource::NdpUnit { .. } | Resource::Dispatcher(_) | Resource::IssueQueue { .. }
+            Resource::NdpUnit { .. }
+                | Resource::Dispatcher(_)
+                | Resource::DispatcherLane { .. }
+                | Resource::IssueQueue { .. }
         )
     }
 
@@ -58,6 +70,7 @@ impl Resource {
         match self {
             Resource::NdpUnit { device, .. }
             | Resource::IssueQueue { device, .. }
+            | Resource::DispatcherLane { device, .. }
             | Resource::Dispatcher(device) => Some(*device),
             _ => None,
         }
@@ -71,6 +84,9 @@ impl fmt::Display for Resource {
             Resource::NdpUnit { device, unit } => write!(f, "dev{device}.unit{unit}"),
             Resource::IssueQueue { device, unit } => write!(f, "dev{device}.iq{unit}"),
             Resource::Dispatcher(d) => write!(f, "dev{d}.dispatcher"),
+            Resource::DispatcherLane { device, lane } => {
+                write!(f, "dev{device}.dispatcher{lane}")
+            }
             Resource::ControlPath => write!(f, "control-path"),
         }
     }
@@ -155,6 +171,11 @@ mod tests {
         assert!(!Resource::Cpu(0).is_ndp());
         assert!(Resource::NdpUnit { device: 1, unit: 2 }.is_ndp());
         assert!(Resource::Dispatcher(0).is_ndp());
+        assert!(Resource::DispatcherLane { device: 0, lane: 1 }.is_ndp());
+        assert_eq!(
+            Resource::DispatcherLane { device: 2, lane: 1 }.device(),
+            Some(2)
+        );
         assert!(Resource::IssueQueue { device: 0, unit: 1 }.is_ndp());
         assert!(!Resource::IssueQueue { device: 0, unit: 1 }.is_cpu());
         assert!(!Resource::ControlPath.is_ndp());
@@ -214,6 +235,10 @@ mod tests {
             "dev1.unit0"
         );
         assert_eq!(Resource::Dispatcher(0).to_string(), "dev0.dispatcher");
+        assert_eq!(
+            Resource::DispatcherLane { device: 0, lane: 1 }.to_string(),
+            "dev0.dispatcher1"
+        );
         assert_eq!(
             Resource::IssueQueue { device: 1, unit: 3 }.to_string(),
             "dev1.iq3"

@@ -178,6 +178,15 @@ pub struct TaskGraph {
     total_work: SimDuration,
     /// Incrementally merged busy-interval timeline of the schedule so far.
     timeline: Timeline,
+    /// Number of leading tasks whose descriptive columns (labels, resources,
+    /// durations, regions, dependencies) were evicted by
+    /// [`TaskGraph::retire_tasks_before`]. The timing columns (`starts`,
+    /// `finishes`, `chain`) are kept in full — new tasks may depend on
+    /// arbitrarily old ones — so scheduling is unaffected.
+    retired: usize,
+    /// Dependency-pool entries dropped for retired tasks (`dep_offsets`
+    /// values stay absolute; subtract this on access).
+    dep_pool_base: usize,
 }
 
 impl TaskGraph {
@@ -186,23 +195,66 @@ impl TaskGraph {
         TaskGraph::default()
     }
 
-    /// Number of tasks in the graph.
+    /// Total number of tasks ever added, including retired ones — the
+    /// absolute [`TaskId`] space.
     pub fn len(&self) -> usize {
+        self.retired + self.labels.len()
+    }
+
+    /// True if no task was ever added.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of leading tasks whose descriptive columns were evicted.
+    pub fn retired_tasks(&self) -> usize {
+        self.retired
+    }
+
+    /// Number of tasks whose descriptive columns are still resident.
+    pub fn resident_tasks(&self) -> usize {
         self.labels.len()
     }
 
-    /// True if the graph has no tasks.
-    pub fn is_empty(&self) -> bool {
-        self.labels.is_empty()
+    /// Evicts the descriptive columns (labels, resources, durations,
+    /// regions, dependency lists) of tasks with id `< floor`, returning how
+    /// many were evicted. The timing columns survive in full, so
+    /// [`TaskGraph::task_finish`] / scheduling against old dependencies keep
+    /// working; [`TaskGraph::task`] and [`TaskGraph::tasks`] only cover the
+    /// live suffix afterwards, so whole-graph rescans
+    /// (`schedule::oracle::aggregate`, [`TaskGraph::append`]) must not be
+    /// used on a retired graph. All report aggregates are maintained
+    /// incrementally and stay exact.
+    pub fn retire_tasks_before(&mut self, floor: usize) -> usize {
+        let evict = floor.saturating_sub(self.retired).min(self.labels.len());
+        if evict == 0 {
+            return 0;
+        }
+        let pool_end = self.dep_pool_base + self.dep_pool.len();
+        let cut = self
+            .dep_offsets
+            .get(evict)
+            .map_or(pool_end, |&o| o as usize)
+            - self.dep_pool_base;
+        self.labels.drain(..evict);
+        self.resources.drain(..evict);
+        self.durations.drain(..evict);
+        self.regions.drain(..evict);
+        self.dep_offsets.drain(..evict);
+        self.dep_pool.drain(..cut);
+        self.dep_pool_base += cut;
+        self.retired += evict;
+        evict
     }
 
-    /// The dependency slice of task `i` inside the flat arena.
+    /// The dependency slice of task `i` (absolute id) inside the flat arena.
     fn deps_of(&self, i: usize) -> &[TaskId] {
-        let start = self.dep_offsets[i] as usize;
+        let rel = i - self.retired;
+        let start = self.dep_offsets[rel] as usize - self.dep_pool_base;
         let end = self
             .dep_offsets
-            .get(i + 1)
-            .map_or(self.dep_pool.len(), |&o| o as usize);
+            .get(rel + 1)
+            .map_or(self.dep_pool.len(), |&o| o as usize - self.dep_pool_base);
         &self.dep_pool[start..end]
     }
 
@@ -216,8 +268,9 @@ impl TaskGraph {
         region: Region,
         deps: &[TaskId],
     ) {
-        debug_assert!(self.dep_pool.len() + deps.len() <= u32::MAX as usize);
-        self.dep_offsets.push(self.dep_pool.len() as u32);
+        debug_assert!(self.dep_pool_base + self.dep_pool.len() + deps.len() <= u32::MAX as usize);
+        self.dep_offsets
+            .push((self.dep_pool_base + self.dep_pool.len()) as u32);
         self.dep_pool.extend_from_slice(deps);
         self.labels.push(label);
         self.resources.push(resource);
@@ -435,22 +488,33 @@ impl TaskGraph {
         self.add(label, resource, SimDuration::ZERO, Region::CcSync, deps)
     }
 
-    /// Iterates over the tasks in insertion order, as borrowed views into
-    /// the struct-of-arrays arena.
+    /// Iterates over the live (non-retired) tasks in insertion order, as
+    /// borrowed views into the struct-of-arrays arena.
     pub fn tasks(&self) -> impl ExactSizeIterator<Item = TaskRef<'_>> + '_ {
-        (0..self.len()).map(move |i| self.task(TaskId(i)))
+        (self.retired..self.len()).map(move |i| self.task(TaskId(i)))
     }
 
     /// Access one task (a borrowed view; no per-task allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task's descriptive columns were evicted by
+    /// [`TaskGraph::retire_tasks_before`].
     pub fn task(&self, id: TaskId) -> TaskRef<'_> {
         let i = id.0;
+        assert!(
+            i >= self.retired,
+            "task {i} was retired (watermark {})",
+            self.retired
+        );
+        let rel = i - self.retired;
         TaskRef {
             id,
-            label: self.labels[i],
-            resource: self.resources[i],
-            duration: self.durations[i],
+            label: self.labels[rel],
+            resource: self.resources[rel],
+            duration: self.durations[rel],
             deps: self.deps_of(i),
-            region: self.regions[i],
+            region: self.regions[rel],
         }
     }
 
@@ -515,12 +579,18 @@ impl TaskGraph {
     ///
     /// # Panics
     ///
-    /// Panics if `other` contains arrival-ordered tasks.
+    /// Panics if `other` contains arrival-ordered tasks or has retired its
+    /// task columns ([`TaskGraph::retire_tasks_before`]).
     pub fn append(&mut self, other: &TaskGraph, join: &[TaskId]) -> usize {
         assert!(
             other.arrival_ordered.values().all(|&ao| !ao),
             "append replays tasks with in-order scheduling, but the source graph \
              contains arrival-ordered tasks"
+        );
+        assert!(
+            other.retired == 0,
+            "append needs every source task, but {} were retired",
+            other.retired
         );
         let offset = self.len();
         let mut deps: Vec<TaskId> = Vec::new();
@@ -676,6 +746,47 @@ mod tests {
         // allowed from either adder.
         let b = g.barrier("join", disp, &[a]);
         assert_eq!(g.task_start(b), g.task_finish(a));
+    }
+
+    #[test]
+    fn retiring_task_columns_keeps_scheduling_and_aggregates_exact() {
+        let mut g = TaskGraph::new();
+        let a = g.add("a", Resource::Cpu(0), ns(10.0), Region::Application, &[]);
+        let b = g.add("b", Resource::Cpu(0), ns(5.0), Region::CcDataMovement, &[a]);
+        let c = g.add("c", Resource::Cpu(1), ns(2.0), Region::Application, &[a, b]);
+        let makespan = g.makespan();
+        let total = g.total_work();
+
+        assert_eq!(g.retire_tasks_before(2), 2);
+        assert_eq!(g.retired_tasks(), 2);
+        assert_eq!(g.resident_tasks(), 1);
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+        // Aggregates are incremental: untouched by retirement.
+        assert_eq!(g.makespan(), makespan);
+        assert_eq!(g.total_work(), total);
+        // Timing columns survive; new tasks may depend on retired ones.
+        assert_eq!(g.task_finish(a).as_ps(), 10_000);
+        let d = g.add("d", Resource::Cpu(1), ns(1.0), Region::Application, &[a, c]);
+        assert_eq!(g.task_start(d), g.task_finish(c));
+        // The live suffix is iterable and keeps absolute ids and deps.
+        let live: Vec<_> = g.tasks().map(|t| t.id).collect();
+        assert_eq!(live, vec![c, d]);
+        assert_eq!(g.task(c).deps, &[a, b][..]);
+        // Floors only move forward; stale floors are no-ops.
+        assert_eq!(g.retire_tasks_before(1), 0);
+        assert_eq!(g.retire_tasks_before(usize::MAX), 2);
+        assert_eq!(g.resident_tasks(), 0);
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "was retired")]
+    fn retired_task_access_panics() {
+        let mut g = TaskGraph::new();
+        let a = g.add("a", Resource::Cpu(0), ns(10.0), Region::Application, &[]);
+        g.retire_tasks_before(1);
+        let _ = g.task(a);
     }
 
     #[test]

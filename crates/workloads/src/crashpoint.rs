@@ -331,14 +331,10 @@ impl Driver {
     /// image: the same pool and allocation sequence as [`Driver::new`] (so
     /// every object, marker, table, and arena slot lands at the address the
     /// crashed process used) but without any of the initial-image writes;
-    /// the persistent image is authoritative. `units_committed` restores
-    /// the checkpoint epoch counter (one unit per epoch), the only piece of
-    /// mechanism state this model keeps volatile.
-    pub(crate) fn reattach(
-        cfg: &ExplorerConfig,
-        mut sys: NearPmSystem,
-        units_committed: usize,
-    ) -> Result<Driver> {
+    /// the persistent image is authoritative. The checkpoint epoch counter
+    /// comes from the reopened system itself (read back from the media
+    /// manifest), so nothing about the pre-crash run needs replaying here.
+    pub(crate) fn reattach(cfg: &ExplorerConfig, mut sys: NearPmSystem) -> Result<Driver> {
         let pool = sys.create_pool("crashpoint", 16 << 20)?;
         let state = match cfg.mech {
             CcMech::UndoLog | CcMech::RedoLog => {
@@ -358,13 +354,7 @@ impl Driver {
                 let p0 = sys.alloc(pool, PAGE as u64, PAGE as u64)?;
                 let p1 = sys.alloc(pool, PAGE as u64, PAGE as u64)?;
                 State::Ckpt {
-                    ck: Checkpoint::reattach(
-                        &mut sys,
-                        pool,
-                        0,
-                        ARENA_PAGES,
-                        units_committed as u64,
-                    )?,
+                    ck: Checkpoint::reattach(&mut sys, pool, 0, ARENA_PAGES)?,
                     pages: [p0, p1],
                 }
             }

@@ -283,7 +283,10 @@ pub fn verify_restarted_recovery(spec: &RestartSpec) -> Result<RestartOutcome> {
         }
     }
 
-    let mut drv = Driver::reattach(&heap_cfg, reopened, units_committed)?;
+    // The checkpoint epoch rides in the reopened system (read back from the
+    // manifest); the replay's `units_committed` is only needed for the
+    // legal-image set below.
+    let mut drv = Driver::reattach(&heap_cfg, reopened)?;
 
     // Invariant 1: the recovered image is a legal committed prefix.
     let outcome = drv.recover()?;

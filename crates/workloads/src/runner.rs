@@ -196,6 +196,14 @@ pub struct RunOptions {
     pub seed: u64,
     /// Storage engine backing the PM media (heap by default).
     pub media: MediaConfig,
+    /// Decode lanes per device front-end (1 in the prototype).
+    pub decode_lanes: usize,
+    /// Worker threads for the PPO checker's batch pair sweeps (serial fold
+    /// when `<= 1`; any count yields the identical violation list).
+    pub checker_workers: usize,
+    /// Stream-compact the PPO trace at every report/sample (off by
+    /// default; incompatible with whole-trace oracles).
+    pub compact_trace: bool,
 }
 
 impl Default for RunOptions {
@@ -210,6 +218,9 @@ impl Default for RunOptions {
             pipeline: TxnPipeline::SplitPhase,
             seed: 1,
             media: MediaConfig::default(),
+            decode_lanes: 1,
+            checker_workers: 1,
+            compact_trace: false,
         }
     }
 }
@@ -258,6 +269,24 @@ impl RunOptions {
     /// Overrides the media storage engine (heap by default).
     pub fn with_media(mut self, media: MediaConfig) -> Self {
         self.media = media;
+        self
+    }
+
+    /// Overrides the decode-lane count of every device front-end.
+    pub fn with_decode_lanes(mut self, lanes: usize) -> Self {
+        self.decode_lanes = lanes.max(1);
+        self
+    }
+
+    /// Overrides the PPO checker's worker count (serial fold by default).
+    pub fn with_checker_workers(mut self, workers: usize) -> Self {
+        self.checker_workers = workers.max(1);
+        self
+    }
+
+    /// Enables streaming trace compaction at every report/sample.
+    pub fn with_trace_compaction(mut self, compact: bool) -> Self {
+        self.compact_trace = compact;
         self
     }
 }
@@ -340,7 +369,10 @@ impl Runner {
             .with_units(o.units_per_device)
             .with_cpu_threads(o.threads)
             .with_capacity(capacity)
-            .with_media(o.media.clone());
+            .with_media(o.media.clone())
+            .with_decode_lanes(o.decode_lanes)
+            .with_checker_workers(o.checker_workers)
+            .with_trace_compaction(o.compact_trace);
         if let Some(depth) = o.fifo_depth {
             config = config.with_fifo_depth(depth);
         }
@@ -591,6 +623,7 @@ pub struct MultiClientHarness {
     ops_per_client: usize,
     units_per_device: usize,
     fifo_depth: Option<usize>,
+    decode_lanes: usize,
     pipeline: TxnPipeline,
     seed: u64,
     media: MediaConfig,
@@ -625,6 +658,7 @@ impl MultiClientHarness {
             ops_per_client: 32,
             units_per_device: 4,
             fifo_depth: None,
+            decode_lanes: 1,
             pipeline: TxnPipeline::default(),
             seed: 1,
             media: MediaConfig::default(),
@@ -655,6 +689,13 @@ impl MultiClientHarness {
         self
     }
 
+    /// Decode lanes per device front-end (1 by default; 2 gives each device
+    /// a second decode stage for heavy multi-client loads).
+    pub fn with_decode_lanes(mut self, lanes: usize) -> Self {
+        self.decode_lanes = lanes.max(1);
+        self
+    }
+
     /// Transaction pipeline (split-phase by default).
     pub fn with_pipeline(mut self, pipeline: TxnPipeline) -> Self {
         self.pipeline = pipeline;
@@ -678,6 +719,7 @@ impl MultiClientHarness {
         let mut o = RunOptions::new(mode, self.mechanism, self.ops_per_client * self.clients)
             .with_threads(self.clients)
             .with_units(self.units_per_device)
+            .with_decode_lanes(self.decode_lanes)
             .with_pipeline(self.pipeline)
             .with_seed(self.seed)
             .with_media(self.media.clone());
