@@ -31,6 +31,7 @@ fn main() {
                 "norm_throughput_x",
                 "fifo_hw",
                 "stall_us",
+                "p99_us",
             ],
         );
         for w in [Workload::Memcached, Workload::Redis] {
@@ -38,15 +39,24 @@ fn main() {
                 let cmp = MultiClientHarness::new(w, m)
                     .with_clients(threads)
                     .with_ops_per_client(ops_per_thread)
+                    .with_latency_tracking(true)
                     .compare(ExecMode::NearPmMd)
                     .expect("workload run failed");
+                // Per-op service latency tail (closed loop: no queueing wait,
+                // so this is the pure service-time p99).
+                let p99 = cmp
+                    .nearpm
+                    .request_latency
+                    .as_ref()
+                    .map_or(0.0, |l| l.p99.as_us());
                 println!(
-                    "{}\t{}\t{:.3}\t{}\t{:.2}",
+                    "{}\t{}\t{:.3}\t{}\t{:.2}\t{:.3}",
                     w.name(),
                     threads,
                     cmp.speedup(),
                     cmp.nearpm.fifo_high_watermark,
-                    cmp.nearpm.fifo_stall_time.as_us()
+                    cmp.nearpm.fifo_stall_time.as_us(),
+                    p99
                 );
             }
         }

@@ -52,14 +52,17 @@ fn main() {
                 "fifo_hw",
                 "stall_us",
                 "stalls",
+                "p99_us",
             ],
         );
         for w in [Workload::Memcached, Workload::Redis, Workload::MetaOps] {
             // The CPU baseline has no request FIFO: one baseline serves the
-            // whole depth sweep.
+            // whole depth sweep (and the cache keeps it warm across the
+            // depth clones below).
             let harness = MultiClientHarness::new(w, m)
                 .with_clients(CLIENTS)
-                .with_ops_per_client(ops);
+                .with_ops_per_client(ops)
+                .with_latency_tracking(true);
             let base = harness.baseline().expect("baseline run failed");
             for depth in DEPTHS {
                 let md = harness
@@ -67,14 +70,18 @@ fn main() {
                     .with_fifo_depth(depth)
                     .run_mode(ExecMode::NearPmMd)
                     .expect("NearPM MD run failed");
+                // Per-op p99 includes any admission stall at a full FIFO, so
+                // shallow depths surface in the tail as well as in stall_us.
+                let p99 = md.request_latency.as_ref().map_or(0.0, |l| l.p99.as_us());
                 println!(
-                    "{}\t{}\t{:.3}\t{}\t{:.2}\t{}",
+                    "{}\t{}\t{:.3}\t{}\t{:.2}\t{}\t{:.3}",
                     w.name(),
                     depth,
                     md.speedup_over(&base),
                     md.fifo_high_watermark,
                     md.fifo_stall_time.as_us(),
-                    md.fifo_stalls
+                    md.fifo_stalls,
+                    p99
                 );
             }
         }

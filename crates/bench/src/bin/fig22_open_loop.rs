@@ -1,0 +1,181 @@
+//! Figure 22 (beyond the paper): open-loop offered-load sweep — the
+//! throughput knee and the p99 blow-up, per crash-consistency mechanism.
+//!
+//! Every other figure is closed-loop: N clients issue the next request only
+//! when the previous one retires, so offered load can never exceed service
+//! rate and queueing collapse is invisible by construction. This sweep
+//! drives the same workloads as **open-loop traffic**: request arrivals come
+//! from a seeded Poisson process at a configured rate, each request is
+//! admitted at its arrival time, and latency is measured from arrival to
+//! commit retire — including any wait in the host backlog and any stall at a
+//! full device FIFO.
+//!
+//! For each mechanism the sweep first calibrates the closed-loop service
+//! rate μ, then offers `FIG22_LOAD_FRACTIONS × μ`. Below the knee the
+//! achieved throughput tracks the offered load (delivery ≈ 1) and p99 sits
+//! at the service-time tail; past the knee throughput saturates near μ while
+//! p99 and the host backlog grow without bound. The knee line reports the
+//! highest offered load the server still delivered at ≥ 95 %.
+//!
+//! A second section fixes the offered load at 0.75 μ and swaps the arrival
+//! process — Poisson vs bursty on/off vs sinusoidal diurnal at the **same
+//! long-run mean rate** — showing how burstiness alone moves the tail.
+//!
+//! `--ops N` sets the requests per point; `--json PATH` writes the sweep as
+//! a machine-readable record.
+
+use nearpm_bench::json::JsonObject;
+use nearpm_bench::{
+    fig22_sweep, header, open_loop_point, ops_from_args, FIG22_THREADS, FIG22_WORKLOAD,
+};
+use nearpm_cc::Mechanism;
+use nearpm_workloads::{run_open_loop, ArrivalProcess, OpenLoopOptions};
+
+/// Requests per offered-load point; override with `--ops N`.
+const DEFAULT_OPS_PER_POINT: usize = 192;
+/// Seed of the sweep (workload content and arrivals derive independent
+/// streams from it).
+const SEED: u64 = 1;
+
+fn json_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next();
+        }
+        if let Some(p) = a.strip_prefix("--json=") {
+            return Some(p.to_string());
+        }
+    }
+    None
+}
+
+fn main() {
+    let ops = ops_from_args(DEFAULT_OPS_PER_POINT);
+    let mut record = JsonObject::new()
+        .str("bench", "fig22_open_loop")
+        .str("workload", FIG22_WORKLOAD.name())
+        .int("threads", FIG22_THREADS as u64)
+        .int("ops_per_point", ops as u64);
+
+    for m in Mechanism::all_extended() {
+        let (mu, points) = fig22_sweep(m, ops, SEED);
+        header(
+            &format!(
+                "Figure 22: open-loop offered-load sweep, {} (μ = {:.0} op/s)",
+                m.label(),
+                mu
+            ),
+            &[
+                "load_frac",
+                "offered_kops",
+                "achieved_kops",
+                "delivery",
+                "p50_us",
+                "p99_us",
+                "backlog_hw",
+                "wait_us",
+                "fifo_stalls",
+            ],
+        );
+        let mut mech_obj = JsonObject::new().num("service_rate_ops_per_s", mu);
+        for p in &points {
+            println!(
+                "{:.2}\t{:.1}\t{:.1}\t{:.3}\t{:.3}\t{:.3}\t{}\t{:.3}\t{}",
+                p.fraction,
+                p.offered_ops_per_s / 1e3,
+                p.achieved_ops_per_s / 1e3,
+                p.delivery_ratio,
+                p.p50_us,
+                p.p99_us,
+                p.max_backlog,
+                p.mean_wait_us,
+                p.fifo_stalls
+            );
+            mech_obj = mech_obj.obj(
+                &format!("{:.2}", p.fraction),
+                JsonObject::new()
+                    .num("offered_ops_per_s", p.offered_ops_per_s)
+                    .num("achieved_ops_per_s", p.achieved_ops_per_s)
+                    .num("delivery_ratio", p.delivery_ratio)
+                    .num("p50_us", p.p50_us)
+                    .num("p99_us", p.p99_us)
+                    .int("max_backlog", p.max_backlog as u64)
+                    .int("fifo_stalls", p.fifo_stalls),
+            );
+        }
+        let knee = points
+            .iter()
+            .filter(|p| p.delivery_ratio >= 0.95)
+            .map(|p| p.fraction)
+            .fold(0.0f64, f64::max);
+        println!("(knee: delivery ≥ 0.95 holds through {knee:.2}×μ; beyond it p99 blows up)");
+        record = record.obj(m.label(), mech_obj.num("knee_fraction", knee));
+    }
+
+    // Same mean offered load, three arrival processes: burstiness alone
+    // moves the tail even when the long-run rate is identical.
+    let mu = nearpm_bench::calibrate_service_rate(
+        FIG22_WORKLOAD,
+        Mechanism::Logging,
+        ops.max(64),
+        FIG22_THREADS,
+        SEED,
+    );
+    let rate = 0.75 * mu;
+    header(
+        &format!(
+            "Figure 22b: arrival-process shape at 0.75×μ, {} (same mean rate)",
+            Mechanism::Logging.label()
+        ),
+        &[
+            "process",
+            "delivery",
+            "p50_us",
+            "p99_us",
+            "backlog_hw",
+            "wait_us",
+        ],
+    );
+    let mut shape_obj = JsonObject::new().num("offered_ops_per_s", rate);
+    // Diurnal is parameterized by its trough rate; divide by the sinusoid's
+    // mean multiplier `(1 + peak) / 2` so all three processes offer the same
+    // long-run rate.
+    let diurnal_peak = 3.0;
+    let diurnal_trough = rate / ((1.0 + diurnal_peak) / 2.0);
+    for process in [
+        ArrivalProcess::poisson(rate),
+        ArrivalProcess::bursty(rate, 8.0, 16.0),
+        ArrivalProcess::diurnal(diurnal_trough, diurnal_peak, 1.0e-4),
+    ] {
+        let opts = OpenLoopOptions::new(FIG22_WORKLOAD, Mechanism::Logging, process, ops)
+            .with_threads(FIG22_THREADS)
+            .with_seed(SEED);
+        let report = run_open_loop(&opts).expect("open-loop run failed");
+        let p = open_loop_point(report.offered_ops_per_s / mu, &report);
+        println!(
+            "{}\t{:.3}\t{:.3}\t{:.3}\t{}\t{:.3}",
+            process.label(),
+            p.delivery_ratio,
+            p.p50_us,
+            p.p99_us,
+            p.max_backlog,
+            p.mean_wait_us
+        );
+        shape_obj = shape_obj.obj(
+            process.label(),
+            JsonObject::new()
+                .num("delivery_ratio", p.delivery_ratio)
+                .num("p50_us", p.p50_us)
+                .num("p99_us", p.p99_us)
+                .int("max_backlog", p.max_backlog as u64),
+        );
+    }
+    record = record.obj("arrival_shape_at_0p75mu", shape_obj);
+    println!("(open loop: throughput tracks offered load until μ, then p99 diverges)");
+
+    if let Some(path) = json_path() {
+        record.write_to(&path).expect("writing JSON record failed");
+        println!("(json record written to {path})");
+    }
+}

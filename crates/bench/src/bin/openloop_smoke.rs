@@ -1,0 +1,232 @@
+//! CI smoke gate for the open-loop traffic driver: the knee must be where
+//! queueing theory says it is, and the latency histogram must agree with the
+//! exact sorted-percentile oracle on every sampled window.
+//!
+//! Four check groups over the same machinery the fig22 figure prints:
+//!
+//! 1. **Below the knee** (0.6 μ, the million-op leg): achieved throughput
+//!    tracks offered load within 10 %, p99 stays bounded (≤ 20× p50 — no
+//!    queueing collapse), and the run completes at ≥ 1M requests inside the
+//!    gate budget using the compacting trace path (windows double as
+//!    compaction points).
+//! 2. **Histogram oracle**: on every sampled window of both legs, the
+//!    log-bucketed histogram's p50/p99/p999/max must equal the exact
+//!    sorted-latency oracle's answer (bucket-edge equality, not a tolerance
+//!    band).
+//! 3. **Above the knee** (4 μ): throughput saturates near μ, delivery
+//!    collapses, and the per-window p99 rises monotonically — the backlog
+//!    grows without bound, exactly what a closed loop can never show.
+//! 4. **Figure gate**: the shared `fig22_sweep` at reduced ops for all four
+//!    CC mechanisms must produce a monotone non-decreasing p99 curve and a
+//!    saturating throughput knee.
+//!
+//! Exits non-zero on any violation. `--ops N` overrides the million-op leg's
+//! request count (CI runs the full default); `--json PATH` writes the gate's
+//! measurements as a machine-readable record.
+
+use nearpm_bench::json::JsonObject;
+use nearpm_bench::{
+    calibrate_service_rate, fig22_sweep, ops_from_args, p99_monotone, FIG22_LOAD_FRACTIONS,
+};
+use nearpm_cc::Mechanism;
+use nearpm_workloads::{run_open_loop, ArrivalProcess, OpenLoopOptions, OpenLoopReport, Workload};
+
+/// Requests of the million-op below-knee leg; override with `--ops N`.
+const DEFAULT_OPS: usize = 1_000_000;
+/// Workload of the scale legs: metadata ops have the highest command rate
+/// per unit of simulated work we model, so a million requests stay cheap.
+const WORKLOAD: Workload = Workload::MetaOps;
+/// Server threads of the scale legs.
+const THREADS: usize = 4;
+/// Closed-loop operations of the μ calibration run.
+const CALIBRATION_OPS: usize = 4096;
+/// Requests per point of the reduced fig22 figure gate.
+const SWEEP_OPS: usize = 96;
+const SEED: u64 = 1;
+
+fn json_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next();
+        }
+        if let Some(p) = a.strip_prefix("--json=") {
+            return Some(p.to_string());
+        }
+    }
+    None
+}
+
+/// Checks the histogram-vs-exact-oracle differential on every window.
+fn windows_match_oracle(report: &OpenLoopReport, leg: &str, failures: &mut usize) {
+    let mut bad = 0usize;
+    for (i, w) in report.windows.iter().enumerate() {
+        match w.matches_exact_oracle() {
+            Some(true) => {}
+            verdict => {
+                eprintln!("  {leg} window {i}: histogram/oracle differential {verdict:?}");
+                bad += 1;
+            }
+        }
+    }
+    let ok = bad == 0;
+    println!(
+        "  {leg}: {} windows vs exact oracle {}",
+        report.windows.len(),
+        if ok { "ok" } else { "DIVERGED" }
+    );
+    if !ok {
+        *failures += 1;
+    }
+}
+
+fn main() {
+    let ops = ops_from_args(DEFAULT_OPS);
+    let mut failures = 0usize;
+    println!("openloop smoke: {ops} requests below the knee, {WORKLOAD:?} × {THREADS} threads");
+
+    let mu = calibrate_service_rate(WORKLOAD, Mechanism::Logging, CALIBRATION_OPS, THREADS, SEED);
+    println!("  calibrated service rate μ = {mu:.0} op/s");
+
+    // Leg 1: below the knee at million-op scale, compacting trace path.
+    let below = run_open_loop(
+        &OpenLoopOptions::new(
+            WORKLOAD,
+            Mechanism::Logging,
+            ArrivalProcess::poisson(0.6 * mu),
+            ops,
+        )
+        .with_threads(THREADS)
+        .with_seed(SEED)
+        .with_windows(16)
+        .with_exact_oracle(true)
+        .with_trace_compaction(true),
+    )
+    .expect("below-knee run failed");
+    let delivery = below.delivery_ratio();
+    let ok = (0.9..=1.1).contains(&delivery);
+    println!(
+        "  below knee (0.6×μ): delivery {delivery:.3} {}",
+        if ok {
+            "ok"
+        } else {
+            "NOT TRACKING OFFERED LOAD"
+        }
+    );
+    if !ok {
+        failures += 1;
+    }
+    let (p50, p99) = (below.hist.percentile(0.5).as_us(), below.p99().as_us());
+    let ok = p99 <= 20.0 * p50 && below.hist.count() == ops as u64;
+    println!(
+        "  below knee: p50 {p50:.3} µs, p99 {p99:.3} µs, {} requests {}",
+        below.hist.count(),
+        if ok { "ok" } else { "UNBOUNDED TAIL" }
+    );
+    if !ok {
+        failures += 1;
+    }
+    windows_match_oracle(&below, "below knee", &mut failures);
+
+    // Leg 2: above the knee — saturation and the monotone p99 blow-up.
+    let above_ops = (ops / 8).max(1024);
+    let above = run_open_loop(
+        &OpenLoopOptions::new(
+            WORKLOAD,
+            Mechanism::Logging,
+            ArrivalProcess::poisson(4.0 * mu),
+            above_ops,
+        )
+        .with_threads(THREADS)
+        .with_seed(SEED)
+        .with_windows(8)
+        .with_exact_oracle(true)
+        .with_trace_compaction(true),
+    )
+    .expect("above-knee run failed");
+    let ok = above.achieved_ops_per_s <= 1.3 * mu && above.delivery_ratio() < 0.7;
+    println!(
+        "  above knee (4×μ): achieved {:.0} op/s vs μ {mu:.0}, delivery {:.3} {}",
+        above.achieved_ops_per_s,
+        above.delivery_ratio(),
+        if ok { "ok" } else { "NOT SATURATING" }
+    );
+    if !ok {
+        failures += 1;
+    }
+    let window_p99s: Vec<f64> = above.windows.iter().map(|w| w.hist.p99().as_us()).collect();
+    let rising = window_p99s.windows(2).all(|w| w[1] >= w[0])
+        && window_p99s.last().copied().unwrap_or(0.0)
+            >= 2.0 * window_p99s.first().copied().unwrap_or(f64::INFINITY);
+    println!(
+        "  above knee: window p99 {:.3} → {:.3} µs across {} windows {}",
+        window_p99s.first().copied().unwrap_or(0.0),
+        window_p99s.last().copied().unwrap_or(0.0),
+        window_p99s.len(),
+        if rising { "ok" } else { "NOT RISING" }
+    );
+    if !rising {
+        failures += 1;
+    }
+    windows_match_oracle(&above, "above knee", &mut failures);
+
+    // Leg 3: the figure gate — every mechanism's sweep must show the knee.
+    let mut record_mechs = JsonObject::new();
+    for m in Mechanism::all_extended() {
+        let (sweep_mu, points) = fig22_sweep(m, SWEEP_OPS, SEED);
+        let monotone = p99_monotone(&points, 0.02);
+        let low = points.first().expect("sweep is non-empty");
+        let high = points.last().expect("sweep is non-empty");
+        let kneed = low.delivery_ratio >= 0.9
+            && high.delivery_ratio < 0.8
+            && high.achieved_ops_per_s <= 1.3 * sweep_mu;
+        println!(
+            "  fig22 {}: p99 {:.3} → {:.3} µs over {:?}×μ, delivery {:.3} → {:.3} {}",
+            m.label(),
+            low.p99_us,
+            high.p99_us,
+            FIG22_LOAD_FRACTIONS,
+            low.delivery_ratio,
+            high.delivery_ratio,
+            match (monotone, kneed) {
+                (true, true) => "ok",
+                (false, _) => "P99 NOT MONOTONE",
+                (_, false) => "NO KNEE",
+            }
+        );
+        if !monotone || !kneed {
+            failures += 1;
+        }
+        record_mechs = record_mechs.obj(
+            m.label(),
+            JsonObject::new()
+                .num("service_rate_ops_per_s", sweep_mu)
+                .num("p99_low_us", low.p99_us)
+                .num("p99_high_us", high.p99_us)
+                .num("delivery_low", low.delivery_ratio)
+                .num("delivery_high", high.delivery_ratio),
+        );
+    }
+
+    if let Some(path) = json_path() {
+        JsonObject::new()
+            .str("bench", "openloop_smoke")
+            .int("operations", ops as u64)
+            .num("service_rate_ops_per_s", mu)
+            .num("below_knee_delivery", delivery)
+            .num("below_knee_p99_us", p99)
+            .num("above_knee_delivery", above.delivery_ratio())
+            .int("above_knee_backlog_hw", above.max_backlog as u64)
+            .int("failures", failures as u64)
+            .obj("fig22", record_mechs)
+            .write_to(&path)
+            .expect("writing JSON record failed");
+        println!("  (json record written to {path})");
+    }
+
+    if failures > 0 {
+        eprintln!("openloop smoke FAILED: {failures} violations");
+        std::process::exit(1);
+    }
+    println!("openloop smoke passed: knee where queueing predicts, histogram equals the oracle");
+}

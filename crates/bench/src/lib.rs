@@ -16,7 +16,10 @@ pub mod synthetic;
 use nearpm_cc::Mechanism;
 use nearpm_core::{ExecMode, RunReport};
 use nearpm_sim::stats::geomean;
-use nearpm_workloads::{MultiClientHarness, RunOptions, Runner, Workload};
+use nearpm_workloads::{
+    run_open_loop, ArrivalProcess, MultiClientHarness, OpenLoopOptions, OpenLoopReport, RunOptions,
+    Runner, Workload,
+};
 
 /// Default number of operations per workload run. Raised toward paper scale
 /// now that trace checking and schedule analysis are ~linear; every figure
@@ -213,6 +216,113 @@ pub fn fig19_single_client_avg(ops: usize, units: usize) -> f64 {
         })
         .collect();
     gmean(&speedups)
+}
+
+/// Offered-load fractions (× the calibrated service rate μ) of the fig22
+/// open-loop sweep. Spans well below the knee (0.25) to deep saturation
+/// (4.0) so both the flat throughput-tracks-offered region and the p99
+/// blow-up are on the curve.
+pub const FIG22_LOAD_FRACTIONS: [f64; 7] = [0.25, 0.5, 0.75, 1.0, 1.5, 2.5, 4.0];
+
+/// Workload of the fig22 open-loop sweep (the same YCSB-driven memcached
+/// the paper's multithreaded figures lead with).
+pub const FIG22_WORKLOAD: Workload = Workload::Memcached;
+
+/// Server threads of the fig22 open-loop sweep.
+pub const FIG22_THREADS: usize = 4;
+
+/// One offered-load point of the fig22 open-loop sweep.
+#[derive(Debug, Clone)]
+pub struct OpenLoopPoint {
+    /// Offered load as a fraction of the calibrated service rate μ.
+    pub fraction: f64,
+    /// Offered load (mean arrival rate, operations per second).
+    pub offered_ops_per_s: f64,
+    /// Achieved throughput (operations over the makespan).
+    pub achieved_ops_per_s: f64,
+    /// `achieved / offered` (≈ 1 below the knee, < 1 above it).
+    pub delivery_ratio: f64,
+    /// Median per-request latency (arrival → commit retire), microseconds.
+    pub p50_us: f64,
+    /// p99 per-request latency, microseconds.
+    pub p99_us: f64,
+    /// Host-backlog high watermark (arrived but not yet in service).
+    pub max_backlog: usize,
+    /// Mean arrival → service-start wait, microseconds.
+    pub mean_wait_us: f64,
+    /// Device request-FIFO full stalls over the run.
+    pub fifo_stalls: u64,
+}
+
+/// Closed-loop service rate μ (operations per second) of one
+/// workload/mechanism pair at `threads` threads — the calibration point the
+/// open-loop sweep expresses its offered loads against.
+pub fn calibrate_service_rate(
+    w: Workload,
+    m: Mechanism,
+    ops: usize,
+    threads: usize,
+    seed: u64,
+) -> f64 {
+    let report = Runner::new(
+        w,
+        RunOptions::new(ExecMode::NearPmMd, m, ops)
+            .with_threads(threads)
+            .with_seed(seed),
+    )
+    .run()
+    .expect("calibration run failed");
+    ops as f64 / report.makespan.as_secs()
+}
+
+/// The fig22 offered-load sweep for one mechanism: calibrate μ closed-loop,
+/// then drive Poisson open-loop traffic at every [`FIG22_LOAD_FRACTIONS`]
+/// multiple of μ with `ops` requests per point. Returns `(μ, points)`.
+/// Shared by the `fig22_open_loop` figure binary and the `openloop_smoke`
+/// CI gate so the gate can never desynchronize from the figure.
+pub fn fig22_sweep(m: Mechanism, ops: usize, seed: u64) -> (f64, Vec<OpenLoopPoint>) {
+    let mu = calibrate_service_rate(FIG22_WORKLOAD, m, ops.max(64), FIG22_THREADS, seed);
+    let points = FIG22_LOAD_FRACTIONS
+        .iter()
+        .map(|&fraction| {
+            let opts = OpenLoopOptions::new(
+                FIG22_WORKLOAD,
+                m,
+                ArrivalProcess::poisson(fraction * mu),
+                ops,
+            )
+            .with_threads(FIG22_THREADS)
+            .with_seed(seed);
+            let report = run_open_loop(&opts).expect("open-loop run failed");
+            open_loop_point(fraction, &report)
+        })
+        .collect();
+    (mu, points)
+}
+
+/// Flattens one [`OpenLoopReport`] into the fig22 row shape.
+pub fn open_loop_point(fraction: f64, report: &OpenLoopReport) -> OpenLoopPoint {
+    OpenLoopPoint {
+        fraction,
+        offered_ops_per_s: report.offered_ops_per_s,
+        achieved_ops_per_s: report.achieved_ops_per_s,
+        delivery_ratio: report.delivery_ratio(),
+        p50_us: report.hist.percentile(0.5).as_us(),
+        p99_us: report.hist.p99().as_us(),
+        max_backlog: report.max_backlog,
+        mean_wait_us: report.mean_admission_wait.as_us(),
+        fifo_stalls: report.report.fifo_stalls,
+    }
+}
+
+/// Whether the sweep's p99 curve is monotone non-decreasing in offered
+/// load, modulo `slack` (fractional tolerance for the histogram's ≤ 0.78 %
+/// bucket quantization — below the knee consecutive points measure the same
+/// service-time tail and may land one bucket apart in either direction).
+pub fn p99_monotone(points: &[OpenLoopPoint], slack: f64) -> bool {
+    points
+        .windows(2)
+        .all(|w| w[1].p99_us >= w[0].p99_us * (1.0 - slack))
 }
 
 #[cfg(test)]

@@ -91,6 +91,12 @@ pub struct SystemConfig {
     /// bounding resident memory on long self-monitoring runs. Off by
     /// default — whole-trace oracles cannot run on a compacted trace.
     pub compact_trace: bool,
+    /// Record per-request latencies into the log-bucketed histogram and
+    /// surface them through `RunReport::request_latency`. Off by default:
+    /// latency capture is pure observation (it never perturbs the task
+    /// graph), but reports stay byte-identical to historic runs unless the
+    /// caller opts in.
+    pub track_latency: bool,
 }
 
 impl SystemConfig {
@@ -111,6 +117,7 @@ impl SystemConfig {
             media: MediaConfig::default(),
             checker_workers: 1,
             compact_trace: false,
+            track_latency: false,
         }
     }
 
@@ -203,6 +210,13 @@ impl SystemConfig {
         self
     }
 
+    /// Enables per-request latency tracking (off by default; observation
+    /// only — schedules and non-latency report fields are unaffected).
+    pub fn with_latency_tracking(mut self, track: bool) -> Self {
+        self.track_latency = track;
+        self
+    }
+
     /// The scheduling topology implied by this configuration.
     pub fn topology(&self) -> Topology {
         Topology::with_devices(self.cpu_threads, self.devices, self.units_per_device)
@@ -257,6 +271,8 @@ mod tests {
         let c = SystemConfig::nearpm_md();
         assert_eq!(c.checker_workers, 1);
         assert!(!c.compact_trace);
+        assert!(!c.track_latency);
+        assert!(c.clone().with_latency_tracking(true).track_latency);
         let c = c.with_checker_workers(4).with_trace_compaction(true);
         assert_eq!(c.checker_workers, 4);
         assert!(c.compact_trace);

@@ -22,7 +22,9 @@ use nearpm_pm::{
     PoolId, PoolRegistry, VirtAddr,
 };
 use nearpm_ppo::{Agent, EventKind, Interval, PpoViolation, ProcId, Sharing, Trace};
-use nearpm_sim::{LatencyModel, Region, Resource, SimDuration, SimTime, TaskGraph, TaskId};
+use nearpm_sim::{
+    LatencyHistogram, LatencyModel, Region, Resource, SimDuration, SimTime, TaskGraph, TaskId,
+};
 
 use crate::batch::OffloadBatch;
 use crate::config::{ExecMode, SystemConfig};
@@ -100,6 +102,45 @@ pub struct OffloadHandle {
     pub bytes: u64,
 }
 
+/// Per-request latency summary read off the log-bucketed
+/// [`LatencyHistogram`] — present in a [`RunReport`] only when the run
+/// tracked latencies ([`SystemConfig::with_latency_tracking`]) and recorded
+/// at least one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Number of requests recorded.
+    pub count: u64,
+    /// Median latency (log-bucketed, ≤ 1 % relative error).
+    pub p50: SimDuration,
+    /// 99th-percentile latency (log-bucketed).
+    pub p99: SimDuration,
+    /// 99.9th-percentile latency (log-bucketed).
+    pub p999: SimDuration,
+    /// Exact maximum latency.
+    pub max: SimDuration,
+    /// Exact mean latency.
+    pub mean: SimDuration,
+}
+
+impl LatencySummary {
+    /// Reads a summary off a histogram; `None` when no latencies were
+    /// recorded (so reports of runs that never tracked a request compare
+    /// equal to historic ones).
+    pub fn from_histogram(h: &LatencyHistogram) -> Option<Self> {
+        if h.is_empty() {
+            return None;
+        }
+        Some(LatencySummary {
+            count: h.count(),
+            p50: h.p50(),
+            p99: h.p99(),
+            p999: h.p999(),
+            max: h.max(),
+            mean: h.mean(),
+        })
+    }
+}
+
 /// Summary of one simulated run.
 ///
 /// `PartialEq` compares every field (region map order-independently), which
@@ -149,6 +190,9 @@ pub struct RunReport {
     pub fifo_stall_time: SimDuration,
     /// Number of requests that stalled at a full FIFO, summed over devices.
     pub fifo_stalls: u64,
+    /// Per-request latency summary (`None` unless the run tracked
+    /// latencies and recorded at least one request).
+    pub request_latency: Option<LatencySummary>,
 }
 
 impl RunReport {
@@ -198,6 +242,14 @@ pub struct NearPmSystem {
     /// its slot. The thread's next CPU task orders after it — a full FIFO
     /// blocks the host's control path, not just the device's decode.
     fifo_stall: Vec<Option<TaskId>>,
+    /// Per-thread pending open-loop admission: the zero-duration arrival
+    /// marker pinned at the request's absolute arrival time. The thread's
+    /// next CPU task orders after it, so service never begins before the
+    /// request arrived.
+    pending_admission: Vec<Option<TaskId>>,
+    /// Per-request latency histogram (populated only when
+    /// `config.track_latency`; observation only — never feeds scheduling).
+    latency_hist: LatencyHistogram,
     trace: TraceBuilder,
     ndp_managed: Vec<AddrRange>,
     next_txn: u64,
@@ -259,6 +311,8 @@ impl NearPmSystem {
         Ok(NearPmSystem {
             cpu_tail: vec![None; config.cpu_threads],
             fifo_stall: vec![None; config.cpu_threads],
+            pending_admission: vec![None; config.cpu_threads],
+            latency_hist: LatencyHistogram::new(),
             devices,
             space,
             pools,
@@ -411,6 +465,11 @@ impl NearPmSystem {
             // retires and frees the slot.
             deps.push(stall);
         }
+        if let Some(arrival) = self.pending_admission[thread].take() {
+            // Open-loop admission: service of the next request cannot begin
+            // before its pinned arrival marker.
+            deps.push(arrival);
+        }
         deps.extend_from_slice(extra_deps);
         deps.sort_unstable();
         deps.dedup();
@@ -419,6 +478,61 @@ impl NearPmSystem {
             .add(label, self.cpu_resource(thread), duration, region, &deps);
         self.cpu_tail[thread] = Some(id);
         id
+    }
+
+    /// Earliest simulated time at which `thread`'s CPU resource is free —
+    /// the open-loop driver's server-selection key (pick the thread with
+    /// the smallest value, ties to the lowest index, for earliest dispatch).
+    pub fn cpu_available(&self, thread: usize) -> SimTime {
+        self.graph.resource_available(self.cpu_resource(thread))
+    }
+
+    /// Admits an open-loop request that arrives at absolute simulated time
+    /// `at` on `thread`: pins a zero-duration arrival marker at `at` and
+    /// arranges for the thread's *next* CPU task to order after it, so
+    /// service never begins before the request arrived (an idle server
+    /// waits; a busy server queues the request behind its current work).
+    /// Returns the marker's task id — the driver measures the request span
+    /// from the marker's index.
+    pub fn admit_request_at(&mut self, thread: usize, at: SimTime) -> TaskId {
+        let thread = thread % self.config.cpu_threads;
+        let id = self.graph.add_pinned_marker(
+            "open-loop arrival",
+            self.cpu_resource(thread),
+            at,
+            Region::Application,
+        );
+        self.pending_admission[thread] = Some(id);
+        id
+    }
+
+    /// Records one request latency into the per-request histogram (no-op
+    /// unless the run tracks latencies).
+    pub fn record_request_latency(&mut self, latency: SimDuration) {
+        if self.config.track_latency {
+            self.latency_hist.record(latency);
+        }
+    }
+
+    /// Records the closed-loop span latency of every task at index `>=
+    /// from` — max finish minus min start over the span, the
+    /// admission-to-retire time of the operation those tasks implement.
+    /// Pure observation over the timing columns (which survive trace
+    /// compaction in full); returns the latency, or `None` when tracking is
+    /// off or the span is empty.
+    pub fn record_span_latency(&mut self, from: usize) -> Option<SimDuration> {
+        if !self.config.track_latency || from >= self.graph.len() {
+            return None;
+        }
+        let latency = self.graph.max_finish_since(from) - self.graph.min_start_since(from);
+        self.latency_hist.record(latency);
+        Some(latency)
+    }
+
+    /// Read-only access to the per-request latency histogram (empty unless
+    /// the run tracks latencies).
+    pub fn latency_histogram(&self) -> &LatencyHistogram {
+        &self.latency_hist
     }
 
     fn host_conflicts(&mut self, phys: PhysAddr, len: u64, is_write: bool) -> Vec<TaskId> {
@@ -1046,6 +1160,9 @@ impl NearPmSystem {
         for stall in &mut self.fifo_stall {
             *stall = None;
         }
+        for pending in &mut self.pending_admission {
+            *pending = None;
+        }
         let marker = self.cpu_tail.iter().flatten().copied().max();
         self.trace.record(
             &self.graph,
@@ -1421,6 +1538,7 @@ impl NearPmSystem {
             fifo_high_watermark,
             fifo_stall_time,
             fifo_stalls,
+            request_latency: LatencySummary::from_histogram(&self.latency_hist),
         };
         if self.config.compact_trace {
             // Every report is a compaction point: the cached checker has
@@ -1474,6 +1592,7 @@ impl NearPmSystem {
             fifo_high_watermark,
             fifo_stall_time,
             fifo_stalls,
+            request_latency: LatencySummary::from_histogram(&self.latency_hist),
         }
     }
 
@@ -1493,6 +1612,17 @@ impl NearPmSystem {
             .map(|d| d.fifo_occupancy_in(from, to))
             .max()
             .unwrap_or(0)
+    }
+
+    /// Requests admitted into any device's request FIFO within the
+    /// simulated-time window `[from, to)`, summed over devices — the
+    /// per-window device arrival count the open-loop driver reports next to
+    /// its latency series.
+    pub fn fifo_admissions_in(&self, from: SimTime, to: SimTime) -> usize {
+        self.devices
+            .iter()
+            .map(|d| d.fifo_admissions_in(from, to))
+            .sum()
     }
 
     /// Number of PPO trace events recorded so far (diagnostics; lets

@@ -246,6 +246,12 @@ impl NearPmDevice {
         self.fifo.occupancy_in(from, to)
     }
 
+    /// Number of requests admitted into this device's FIFO within the
+    /// simulated-time window `[from, to)`.
+    pub fn fifo_admissions_in(&self, from: SimTime, to: SimTime) -> usize {
+        self.fifo.admissions_in(from, to)
+    }
+
     /// The dispatcher's scheduling resource (decode lane 0).
     pub fn dispatcher_resource(&self) -> Resource {
         Resource::Dispatcher(self.config.id)

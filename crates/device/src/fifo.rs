@@ -320,6 +320,38 @@ impl RequestFifo {
         (max.max(0) as usize).min(self.depth)
     }
 
+    /// Number of requests admitted into the FIFO within the simulated-time
+    /// window `[from, to)` — the per-window arrival count the open-loop
+    /// driver reports as the device's offered admission rate.
+    ///
+    /// Answered in O(log m) from the sorted arrival-instant list of the
+    /// lazily built [`OccupancyIndex`]; [`RequestFifo::admissions_in_sweep`]
+    /// is the O(m) differential oracle.
+    pub fn admissions_in(&self, from: SimTime, to: SimTime) -> usize {
+        if to <= from {
+            return 0;
+        }
+        let mut index = self.occupancy_index.borrow_mut();
+        if index.built_len != self.history.len() {
+            index.rebuild(&self.history);
+        }
+        index.arrivals.partition_point(|&a| a < to.as_ps())
+            - index.arrivals.partition_point(|&a| a < from.as_ps())
+    }
+
+    /// O(m) scan over the residency history counting admissions in
+    /// `[from, to)` — the reference oracle [`RequestFifo::admissions_in`] is
+    /// differentially tested against.
+    pub fn admissions_in_sweep(&self, from: SimTime, to: SimTime) -> usize {
+        if to <= from {
+            return 0;
+        }
+        self.history
+            .iter()
+            .filter(|&&(arrival, _)| from <= arrival && arrival < to)
+            .count()
+    }
+
     /// The original per-window line sweep over the residency history —
     /// O(m log m) per call. Kept as the reference oracle the indexed
     /// [`RequestFifo::occupancy_in`] is differentially tested against.
@@ -654,6 +686,41 @@ mod tests {
                 f.occupancy_in_sweep(zero, far),
                 "round {round} full-history window"
             );
+        }
+    }
+
+    /// The indexed per-window admission count must agree with the O(m) scan
+    /// on randomized histories, and the full-history window must count every
+    /// admission exactly once.
+    #[test]
+    fn indexed_admissions_match_sweep_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(47);
+        for round in 0..40 {
+            let mut f = RequestFifo::new(rng.gen_range(1usize..6));
+            let entries = rng.gen_range(0usize..120);
+            for _ in 0..entries {
+                let arrival = rng.gen_range(0u64..3_000);
+                let len = rng.gen_range(0u64..400);
+                f.history
+                    .push((SimTime::from_ps(arrival), SimTime::from_ps(arrival + len)));
+            }
+            for _ in 0..60 {
+                let from = SimTime::from_ps(rng.gen_range(0u64..4_000));
+                let to = SimTime::from_ps(rng.gen_range(0u64..4_000));
+                assert_eq!(
+                    f.admissions_in(from, to),
+                    f.admissions_in_sweep(from, to),
+                    "round {round} window [{from}, {to})"
+                );
+            }
+            assert_eq!(
+                f.admissions_in(SimTime::ZERO, SimTime::from_ps(1 << 40)),
+                entries,
+                "round {round} full-history window"
+            );
+            assert_eq!(f.admissions_in(SimTime::from_ps(1 << 40), SimTime::ZERO), 0);
         }
     }
 }

@@ -14,7 +14,16 @@
 //!   *older* NDP access via mirrored NDP-side indexes (a late CPU access
 //!   can violate an old NDP event). NDP accesses whose procedure has no
 //!   offload yet are parked with a `MissingOffload` verdict and re-checked
-//!   in full if the offload arrives in a later batch.
+//!   in full if the offload arrives in a later batch. Neither direction
+//!   enumerates comparable pairs on clean traces: the CPU→NDP sweep screens
+//!   each access with one max-value overlap query (every mirrored NDP event
+//!   predates every new CPU access in program order, so a violation needs
+//!   an overlapping NDP timestamp above the CPU one), and the NDP→CPU sweep
+//!   uses the violation-pruned index walk
+//!   ([`IncrementalTraceIndex::for_each_comparable_cpu_order_violation`])
+//!   that proves subtrees clean from per-node aux/value bounds. Zipfian
+//!   working sets make pair counts quadratic in the trace length; the
+//!   screens keep the fold O(new events · log² n) regardless.
 //! * **Invariant 3 (persist-before-sync)** — writes are parked per agent,
 //!   keyed by the earliest timestamp a persist of that agent covered them
 //!   *as of the batch that parked them*. Keys are upper bounds (the true
@@ -710,14 +719,28 @@ fn evaluate_cpu_chunk(
 ) -> Vec<(PairKey, PpoViolation)> {
     let mut out = Vec::new();
     for &(cpu_id, kind, interval, cpu_ts, cpu_po) in chunk {
+        // Every mirrored NDP item's procedure was offloaded in an earlier
+        // batch (parked accesses are skipped below, and program order is
+        // assigned in trace-append order), so `off_po < cpu_po` holds for
+        // every pair this loop can form and the predicate reduces to
+        // "violation iff the NDP access is timestamped after the CPU
+        // access". A mirror whose max overlapping timestamp is `<= cpu_ts`
+        // therefore cannot contribute a violation — skip its enumeration
+        // entirely, which turns clean-trace checking from Θ(comparable
+        // pairs) into one O(log² n) aggregate query per mirror.
         let mut hits: Vec<Item> = Vec::new();
-        match kind {
-            EventKind::Persist => ndp_persists.for_each_overlap_item(interval, |it| hits.push(*it)),
-            EventKind::Write => {
-                ndp_writes.for_each_overlap_item(interval, |it| hits.push(*it));
-                ndp_reads.for_each_overlap_item(interval, |it| hits.push(*it));
+        let mut collect = |idx: &IncrementalIntervalIndex| {
+            if idx.max_value_overlapping(interval) > cpu_ts {
+                idx.for_each_overlap_item(interval, |it| hits.push(*it));
             }
-            EventKind::Read => ndp_writes.for_each_overlap_item(interval, |it| hits.push(*it)),
+        };
+        match kind {
+            EventKind::Persist => collect(ndp_persists),
+            EventKind::Write => {
+                collect(ndp_writes);
+                collect(ndp_reads);
+            }
+            EventKind::Read => collect(ndp_writes),
             _ => {}
         }
         for it in hits {
@@ -770,14 +793,16 @@ fn evaluate_ndp_access(index: &IncrementalTraceIndex, fact: &AccessFact) -> NdpO
         return NdpOutcome::Park(proc);
     };
     let mut violating: Vec<(u32, PpoViolation)> = Vec::new();
-    index.for_each_comparable_cpu_item(fact.kind, fact.interval, |cpu| {
-        let cpu_before_offload = cpu.aux < off_po;
-        let ok = if cpu_before_offload {
-            cpu.value <= fact.ts
-        } else {
-            fact.ts <= cpu.value
-        };
-        if !ok {
+    // The pruned walk yields exactly the comparable CPU accesses whose
+    // (program order, timestamp) contradicts the offload order — on clean
+    // traces it proves whole subtrees violation-free from per-node
+    // aggregates instead of enumerating every comparable pair.
+    index.for_each_comparable_cpu_order_violation(
+        fact.kind,
+        fact.interval,
+        off_po,
+        fact.ts,
+        |cpu| {
             violating.push((
                 cpu.id,
                 PpoViolation::SharedOrderViolation {
@@ -786,10 +811,10 @@ fn evaluate_ndp_access(index: &IncrementalTraceIndex, fact: &AccessFact) -> NdpO
                     ndp_interval: fact.interval,
                     cpu_ts: cpu.value,
                     ndp_ts: fact.ts,
-                    cpu_before_offload,
+                    cpu_before_offload: cpu.aux < off_po,
                 },
             ));
-        }
-    });
+        },
+    );
     NdpOutcome::Violations(violating)
 }

@@ -17,6 +17,9 @@
 //!   (makespan, per-region breakdown, CPU/NDP overlap, critical path).
 //! * [`stats`] — mean / standard deviation / geometric-mean summaries used by
 //!   the benchmark harness.
+//! * [`hist`] — the log-bucketed [`LatencyHistogram`] (≤ 1 % relative error,
+//!   O(1) record) behind the open-loop driver's p50/p99/p999 tail-latency
+//!   reporting, with the exact sorted-percentile oracle for differentials.
 //!
 //! Performance results in the rest of the workspace are *derived exclusively*
 //! from task graphs scheduled by this crate; no wall-clock measurement of the
@@ -62,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hist;
 pub mod latency;
 pub mod resource;
 pub mod schedule;
@@ -69,6 +73,7 @@ pub mod stats;
 pub mod task;
 pub mod time;
 
+pub use hist::{exact_percentile, LatencyHistogram};
 pub use latency::{LatencyModel, CACHE_LINE, PM_PAGE};
 pub use resource::{Resource, Topology};
 pub use schedule::{IntervalSet, Schedule, TaskTiming, Timeline};

@@ -450,6 +450,59 @@ impl TaskGraph {
         id
     }
 
+    /// Adds a zero-duration marker task pinned at the absolute simulated
+    /// time `at`, ignoring resource availability — the open-loop driver's
+    /// arrival events. A request generated by an external arrival process
+    /// enters the system at its arrival time regardless of what the serving
+    /// resources are doing; its first real task then depends on the marker,
+    /// so `start = max(arrival, resource free)` — queueing delay becomes
+    /// visible instead of being collapsed into back-to-back service.
+    ///
+    /// The marker reserves no busy interval and claims no scheduling
+    /// discipline (like all zero-duration tasks), so it composes with both
+    /// in-order and arrival-ordered resources. `resource_free` is only ever
+    /// advanced (never rewound) to `at`, matching arrival-ordered semantics.
+    pub fn add_pinned_marker(
+        &mut self,
+        label: &'static str,
+        resource: Resource,
+        at: SimTime,
+        region: Region,
+    ) -> TaskId {
+        let id = TaskId(self.len());
+        self.starts.push(at);
+        self.finishes.push(at);
+        let free = self.resource_free.entry(resource).or_insert(SimTime::ZERO);
+        *free = (*free).max(at);
+        self.account(resource, SimDuration::ZERO, region, &[], at, at);
+        self.push_task(label, resource, SimDuration::ZERO, region, &[]);
+        id
+    }
+
+    /// Latest finish time among tasks with id `>= from` — O(len - from) over
+    /// the timing columns, which survive [`TaskGraph::retire_tasks_before`].
+    /// This is how a driver reads one request's commit-retire time from the
+    /// task span the request added, without rescanning the whole graph.
+    /// [`SimTime::ZERO`] when the range is empty.
+    pub fn max_finish_since(&self, from: usize) -> SimTime {
+        self.finishes[from.min(self.finishes.len())..]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Earliest start time among tasks with id `>= from` (the span
+    /// counterpart of [`TaskGraph::max_finish_since`]). [`SimTime::ZERO`]
+    /// when the range is empty.
+    pub fn min_start_since(&self, from: usize) -> SimTime {
+        self.starts[from.min(self.starts.len())..]
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimTime::ZERO)
+    }
+
     /// Scheduled start time of a task (list-scheduling semantics, maintained
     /// incrementally as tasks are added).
     pub fn task_start(&self, id: TaskId) -> SimTime {
@@ -807,6 +860,79 @@ mod tests {
         let b = g.add_arrival_ordered("decode", disp, ns(10.0), Region::CcOffload, &[]);
         assert_eq!(g.task_start(a), SimTime::ZERO);
         assert_eq!(g.task_start(b), SimTime::ZERO);
+    }
+
+    #[test]
+    fn pinned_markers_schedule_at_their_absolute_time() {
+        let mut g = TaskGraph::new();
+        let busy = g.add(
+            "work",
+            Resource::Cpu(0),
+            ns(100.0),
+            Region::Application,
+            &[],
+        );
+        // A marker pinned in the middle of the resource's busy period starts
+        // exactly there (ignores availability)…
+        let m = g.add_pinned_marker(
+            "arrival",
+            Resource::Cpu(0),
+            SimTime::from_ns(40.0),
+            Region::Application,
+        );
+        assert_eq!(g.task_start(m), SimTime::from_ns(40.0));
+        assert_eq!(g.task_finish(m), SimTime::from_ns(40.0));
+        // …and never rewinds the resource's free time.
+        assert_eq!(g.resource_available(Resource::Cpu(0)), g.task_finish(busy));
+        // A task depending on the marker starts at max(arrival, free).
+        let next = g.add("op", Resource::Cpu(0), ns(10.0), Region::Application, &[m]);
+        assert_eq!(g.task_start(next), g.task_finish(busy));
+        // A marker past the horizon advances the resource's free time, so a
+        // later arrival-gated task waits for its arrival, not the resource.
+        let late = g.add_pinned_marker(
+            "arrival",
+            Resource::Cpu(1),
+            SimTime::from_ns(500.0),
+            Region::Application,
+        );
+        let served = g.add(
+            "op",
+            Resource::Cpu(1),
+            ns(10.0),
+            Region::Application,
+            &[late],
+        );
+        assert_eq!(g.task_start(served), SimTime::from_ns(500.0));
+    }
+
+    #[test]
+    fn pinned_markers_compose_with_arrival_ordered_resources() {
+        let disp = Resource::Dispatcher(0);
+        let mut g = TaskGraph::new();
+        let a = g.add_arrival_ordered("ndp-decode", disp, ns(10.0), Region::CcOffload, &[]);
+        // Zero-duration markers claim no discipline, so they can pin events
+        // onto an arrival-ordered resource too.
+        let m = g.add_pinned_marker("arrival", disp, SimTime::from_ns(3.0), Region::CcSync);
+        assert_eq!(g.task_start(m), SimTime::from_ns(3.0));
+        assert_eq!(g.resource_available(disp), g.task_finish(a));
+    }
+
+    #[test]
+    fn span_extrema_cover_task_ranges_and_survive_retirement() {
+        let mut g = TaskGraph::new();
+        let a = g.add("a", Resource::Cpu(0), ns(10.0), Region::Application, &[]);
+        let b = g.add("b", Resource::Cpu(1), ns(5.0), Region::Application, &[]);
+        let c = g.add("c", Resource::Cpu(0), ns(2.0), Region::Application, &[a, b]);
+        assert_eq!(g.max_finish_since(0), g.task_finish(c));
+        assert_eq!(g.max_finish_since(c.index()), g.task_finish(c));
+        assert_eq!(g.min_start_since(c.index()), g.task_start(c));
+        assert_eq!(g.min_start_since(b.index()), SimTime::ZERO);
+        // Empty and out-of-range spans are ZERO, not a panic.
+        assert_eq!(g.max_finish_since(g.len()), SimTime::ZERO);
+        assert_eq!(g.max_finish_since(g.len() + 10), SimTime::ZERO);
+        // Timing columns survive retirement, so spans still answer.
+        g.retire_tasks_before(g.len());
+        assert_eq!(g.max_finish_since(0), g.task_finish(c));
     }
 
     #[test]

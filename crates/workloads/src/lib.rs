@@ -16,6 +16,7 @@
 
 pub mod crashpoint;
 pub mod gen;
+pub mod openloop;
 pub mod restart;
 pub mod runner;
 
@@ -23,6 +24,9 @@ pub use crashpoint::{
     explore, explore_matrix, CcMech, ExplorationReport, ExplorerConfig, PipelineMode,
 };
 pub use gen::{TatpGenerator, TatpTxn, TpccGenerator, TpccTxn, YcsbGenerator, YcsbOp, Zipfian};
+pub use openloop::{
+    run_open_loop, ArrivalGen, ArrivalProcess, LatencyWindow, OpenLoopOptions, OpenLoopReport,
+};
 pub use restart::{
     child_main, count_boundaries, drop_and_reopen, verify_restarted_recovery, RestartOutcome,
     RestartSpec, CHILD_ENV,

@@ -10,7 +10,7 @@
 //! system's [`RunReport`], from which every figure of the evaluation is
 //! derived.
 
-use nearpm_cc::{Checkpoint, Mechanism, ShadowPaging, UndoLog};
+use nearpm_cc::{Checkpoint, Mechanism, RedoLog, ShadowPaging, UndoLog};
 use nearpm_core::{
     ExecMode, MediaConfig, NearPmSystem, PoolId, Result, RunReport, SystemConfig, VirtAddr,
 };
@@ -204,6 +204,10 @@ pub struct RunOptions {
     /// Stream-compact the PPO trace at every report/sample (off by
     /// default; incompatible with whole-trace oracles).
     pub compact_trace: bool,
+    /// Record per-operation latencies into the system's histogram and
+    /// surface them as `RunReport::request_latency` (off by default;
+    /// observation only — schedules stay byte-identical).
+    pub track_latency: bool,
 }
 
 impl Default for RunOptions {
@@ -221,6 +225,7 @@ impl Default for RunOptions {
             decode_lanes: 1,
             checker_workers: 1,
             compact_trace: false,
+            track_latency: false,
         }
     }
 }
@@ -289,6 +294,12 @@ impl RunOptions {
         self.compact_trace = compact;
         self
     }
+
+    /// Enables per-operation latency tracking (observation only).
+    pub fn with_latency_tracking(mut self, track: bool) -> Self {
+        self.track_latency = track;
+        self
+    }
 }
 
 /// Per-thread crash-consistency state.
@@ -296,10 +307,11 @@ enum ThreadMechanism {
     Logging(UndoLog),
     Checkpointing(Checkpoint),
     Shadow(ShadowPaging),
+    RedoLogging(RedoLog),
 }
 
 /// Per-thread workload state: working-set objects and request generators.
-struct ThreadState {
+pub(crate) struct ThreadState {
     mechanism: ThreadMechanism,
     objects: Vec<VirtAddr>,
     pages: usize,
@@ -364,19 +376,54 @@ impl Runner {
         mut observe: impl FnMut(&mut NearPmSystem, usize),
     ) -> Result<(RunReport, NearPmSystem)> {
         let o = &self.options;
-        let capacity: u64 = 96 << 20;
+        let mut sys = self.build_system()?;
+        let mut threads = self.setup_threads(&mut sys)?;
+
+        // Round-robin the operations over the threads (a closed-loop client
+        // per thread).
+        for op in 0..o.operations {
+            let t = op % o.threads;
+            let span_start = sys.task_count();
+            self.run_one_op(&mut sys, &mut threads[t], t)?;
+            // Pure observation (no-op unless latency tracking is on): the
+            // op's admission-to-retire time is the span of the tasks it
+            // just added.
+            sys.record_span_latency(span_start);
+            observe(&mut sys, op + 1);
+        }
+
+        self.finish_epochs(&mut sys, &mut threads);
+        Ok((sys.report(), sys))
+    }
+
+    /// Builds the configured system for this runner's options (shared by the
+    /// closed loop here and the open-loop driver).
+    pub(crate) fn build_system(&self) -> Result<NearPmSystem> {
+        let o = &self.options;
         let mut config = SystemConfig::for_mode(o.mode)
             .with_units(o.units_per_device)
             .with_cpu_threads(o.threads)
-            .with_capacity(capacity)
+            .with_capacity(Self::CAPACITY)
             .with_media(o.media.clone())
             .with_decode_lanes(o.decode_lanes)
             .with_checker_workers(o.checker_workers)
-            .with_trace_compaction(o.compact_trace);
+            .with_trace_compaction(o.compact_trace)
+            .with_latency_tracking(o.track_latency);
         if let Some(depth) = o.fifo_depth {
             config = config.with_fifo_depth(depth);
         }
-        let mut sys = NearPmSystem::try_new(config)?;
+        NearPmSystem::try_new(config)
+    }
+
+    /// Emulated PM capacity every run provisions.
+    const CAPACITY: u64 = 96 << 20;
+
+    /// Allocates pools, working-set objects, mechanism state, and request
+    /// generators for every thread (shared by the closed loop and the
+    /// open-loop driver).
+    pub(crate) fn setup_threads(&self, sys: &mut NearPmSystem) -> Result<Vec<ThreadState>> {
+        let o = &self.options;
+        let capacity = Self::CAPACITY;
 
         // Redis shares one pool among all threads; Memcached and the rest use
         // one pool per thread (Section 8.3.1).
@@ -404,10 +451,10 @@ impl Runner {
             let arena_pages = 48 / o.threads.max(1) + 16;
             let mechanism = match o.mechanism {
                 Mechanism::Logging => {
-                    ThreadMechanism::Logging(UndoLog::new(&mut sys, pool, t, arena_pages)?)
+                    ThreadMechanism::Logging(UndoLog::new(sys, pool, t, arena_pages)?)
                 }
                 Mechanism::Checkpointing => {
-                    ThreadMechanism::Checkpointing(Checkpoint::new(&mut sys, pool, t, arena_pages)?)
+                    ThreadMechanism::Checkpointing(Checkpoint::new(sys, pool, t, arena_pages)?)
                 }
                 Mechanism::ShadowPaging => {
                     let pages = (per_thread_objects / 8).clamp(4, 32);
@@ -417,12 +464,15 @@ impl Runner {
                     // page lands on the same one (the baseline's single
                     // virtual device).
                     ThreadMechanism::Shadow(ShadowPaging::new(
-                        &mut sys,
+                        sys,
                         pool,
                         t,
                         pages,
                         arena_pages.max(pages),
                     )?)
+                }
+                Mechanism::RedoLogging => {
+                    ThreadMechanism::RedoLogging(RedoLog::new(sys, pool, t, arena_pages)?)
                 }
             };
             let seed = o.seed ^ (t as u64).wrapping_mul(0x9E37_79B9);
@@ -442,28 +492,21 @@ impl Runner {
                 ops_done: 0,
             });
         }
+        Ok(threads)
+    }
 
-        // Round-robin the operations over the threads (a closed-loop client
-        // per thread).
-        for op in 0..o.operations {
-            let t = op % o.threads;
-            self.run_one_op(&mut sys, &mut threads[t], t)?;
-            observe(&mut sys, op + 1);
-        }
-
-        // Close out open epochs so checkpointing work is fully accounted.
-        for (t, state) in threads.iter_mut().enumerate() {
+    /// Closes out open checkpoint epochs so their work is fully accounted
+    /// (call once after the last operation).
+    pub(crate) fn finish_epochs(&self, sys: &mut NearPmSystem, threads: &mut [ThreadState]) {
+        for state in threads.iter_mut() {
             if let ThreadMechanism::Checkpointing(ckpt) = &mut state.mechanism {
-                let _ = ckpt.advance_epoch(&mut sys);
+                let _ = ckpt.advance_epoch(sys);
             }
-            let _ = t;
         }
-
-        Ok((sys.report(), sys))
     }
 
     /// Runs one workload operation on one thread.
-    fn run_one_op(
+    pub(crate) fn run_one_op(
         &self,
         sys: &mut NearPmSystem,
         state: &mut ThreadState,
@@ -505,6 +548,17 @@ impl Runner {
                 if state.ops_done.is_multiple_of(16) {
                     ckpt.advance_epoch(sys)?;
                 }
+            }
+            ThreadMechanism::RedoLogging(redo) => {
+                redo.begin(sys)?;
+                // Redo logging computes the new values first, stages them
+                // into the log, and applies in place only at commit.
+                sys.cpu_compute(thread, compute_ns)?;
+                for (addr, len) in &update_sites {
+                    let val = vec![state.rng.gen::<u8>(); *len as usize];
+                    redo.stage(sys, *addr, &val)?;
+                }
+                redo.commit(sys)?;
             }
             ThreadMechanism::Shadow(shadow) => {
                 sys.cpu_compute(thread, compute_ns)?;
@@ -627,6 +681,14 @@ pub struct MultiClientHarness {
     pipeline: TxnPipeline,
     seed: u64,
     media: MediaConfig,
+    track_latency: bool,
+    /// Memoized equal-work CPU baseline. The baseline is independent of the
+    /// device-side knobs (units, FIFO depth, decode lanes), so sweeps over
+    /// those — fig19/fig21 depth loops, the open-loop offered-load sweep —
+    /// pay for it once per (workload, mechanism, clients) point. Builders
+    /// that *do* change the baseline invalidate it; `Clone` carries it, so
+    /// `harness.clone().with_fifo_depth(d)` reuses the parent's run.
+    baseline_cache: std::cell::RefCell<Option<RunReport>>,
 }
 
 /// A NearPM run and the equal-client CPU baseline it is measured against.
@@ -662,18 +724,28 @@ impl MultiClientHarness {
             pipeline: TxnPipeline::default(),
             seed: 1,
             media: MediaConfig::default(),
+            track_latency: false,
+            baseline_cache: std::cell::RefCell::new(None),
         }
+    }
+
+    /// Drops the memoized baseline (builders whose knob feeds the baseline
+    /// run call this; device-side knobs don't).
+    fn invalidate_baseline(&mut self) {
+        self.baseline_cache.get_mut().take();
     }
 
     /// Number of concurrent closed-loop clients.
     pub fn with_clients(mut self, clients: usize) -> Self {
         self.clients = clients.max(1);
+        self.invalidate_baseline();
         self
     }
 
     /// Operations each client executes.
     pub fn with_ops_per_client(mut self, ops: usize) -> Self {
         self.ops_per_client = ops.max(1);
+        self.invalidate_baseline();
         self
     }
 
@@ -699,18 +771,29 @@ impl MultiClientHarness {
     /// Transaction pipeline (split-phase by default).
     pub fn with_pipeline(mut self, pipeline: TxnPipeline) -> Self {
         self.pipeline = pipeline;
+        self.invalidate_baseline();
         self
     }
 
     /// RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self.invalidate_baseline();
         self
     }
 
     /// Media storage engine (heap by default).
     pub fn with_media(mut self, media: MediaConfig) -> Self {
         self.media = media;
+        self.invalidate_baseline();
+        self
+    }
+
+    /// Enables per-operation latency tracking on every run this harness
+    /// drives (off by default; observation only).
+    pub fn with_latency_tracking(mut self, track: bool) -> Self {
+        self.track_latency = track;
+        self.invalidate_baseline();
         self
     }
 
@@ -722,7 +805,8 @@ impl MultiClientHarness {
             .with_decode_lanes(self.decode_lanes)
             .with_pipeline(self.pipeline)
             .with_seed(self.seed)
-            .with_media(self.media.clone());
+            .with_media(self.media.clone())
+            .with_latency_tracking(self.track_latency);
         if let Some(depth) = self.fifo_depth {
             o = o.with_fifo_depth(depth);
         }
@@ -734,11 +818,18 @@ impl MultiClientHarness {
         Runner::new(self.workload, self.options(mode)).run()
     }
 
-    /// Runs the equal-client CPU baseline. The baseline is independent of
-    /// the unit-count and FIFO-depth knobs, so sweeps over those reuse one
-    /// baseline per (workload, mechanism, clients) point.
+    /// Runs the equal-client CPU baseline — once. The baseline is
+    /// independent of the unit-count, FIFO-depth, and decode-lane knobs, so
+    /// sweeps over those (and the open-loop offered-load sweep) reuse one
+    /// memoized baseline per (workload, mechanism, clients) point instead
+    /// of recomputing it at every level.
     pub fn baseline(&self) -> Result<RunReport> {
-        self.run_mode(ExecMode::CpuBaseline)
+        if let Some(cached) = self.baseline_cache.borrow().as_ref() {
+            return Ok(cached.clone());
+        }
+        let report = self.run_mode(ExecMode::CpuBaseline)?;
+        *self.baseline_cache.borrow_mut() = Some(report.clone());
+        Ok(report)
     }
 
     /// Runs `mode` and the equal-client baseline, pairing them for
@@ -770,12 +861,62 @@ mod tests {
     #[test]
     fn every_workload_runs_under_every_mechanism() {
         for w in [Workload::Tatp, Workload::Hashmap, Workload::Redis] {
-            for m in Mechanism::all() {
+            for m in Mechanism::all_extended() {
                 let report = run(w, m, ExecMode::NearPmMd, 8).unwrap();
                 assert!(report.ppo_violations.is_empty(), "{w:?}/{m:?}");
                 assert!(report.makespan.as_ns() > 0.0);
             }
         }
+    }
+
+    /// Latency tracking is pure observation: every non-latency report field
+    /// is identical with and without it, and the tracked run records
+    /// exactly one latency per operation.
+    #[test]
+    fn latency_tracking_is_pure_observation() {
+        let opts = RunOptions::new(ExecMode::NearPmMd, Mechanism::Logging, 24)
+            .with_threads(2)
+            .with_seed(7);
+        let plain = Runner::new(Workload::Memcached, opts.clone())
+            .run()
+            .unwrap();
+        let tracked = Runner::new(Workload::Memcached, opts.with_latency_tracking(true))
+            .run()
+            .unwrap();
+        let summary = tracked.request_latency.clone().expect("tracked summary");
+        assert_eq!(summary.count, 24);
+        assert!(summary.p50 <= summary.p99 && summary.p99 <= summary.p999);
+        assert!(summary.p999.as_ns() > 0.0);
+        let mut scrubbed = tracked;
+        scrubbed.request_latency = None;
+        assert_eq!(scrubbed, plain);
+    }
+
+    /// The harness memoizes the equal-work CPU baseline: repeated calls and
+    /// device-knob variations reuse it, and it stays correct (identical to
+    /// a fresh run).
+    #[test]
+    fn harness_baseline_is_cached_across_device_knobs() {
+        let harness = MultiClientHarness::new(Workload::Hashmap, Mechanism::Logging)
+            .with_clients(2)
+            .with_ops_per_client(8);
+        let first = harness.baseline().unwrap();
+        let again = harness.baseline().unwrap();
+        assert_eq!(first, again);
+        // Device-side knobs keep the cache — and the cached value equals
+        // what a fresh harness at that knob setting would compute.
+        let deep = harness.clone().with_fifo_depth(4);
+        assert!(deep.baseline_cache.borrow().is_some());
+        let fresh = MultiClientHarness::new(Workload::Hashmap, Mechanism::Logging)
+            .with_clients(2)
+            .with_ops_per_client(8)
+            .with_fifo_depth(4)
+            .baseline()
+            .unwrap();
+        assert_eq!(deep.baseline().unwrap(), fresh);
+        // Baseline-feeding knobs invalidate it.
+        let reseeded = harness.clone().with_seed(9);
+        assert!(reseeded.baseline_cache.borrow().is_none());
     }
 
     #[test]
